@@ -1,0 +1,262 @@
+//! Replays of the paper's real-world case studies (§V-B), executed
+//! end-to-end against the simulated ecosystem.
+
+use crate::dossier::Dossier;
+use crate::error::AttackError;
+use crate::intercept::Interceptor;
+use crate::intrusion::compromise;
+use actfort_ecosystem::dataset::curated_services;
+use actfort_ecosystem::factor::ServiceId;
+use actfort_ecosystem::host::Ecosystem;
+use actfort_ecosystem::info::PersonalInfoKind;
+use actfort_ecosystem::policy::{Platform, Purpose};
+use actfort_ecosystem::population::PopulationBuilder;
+use actfort_ecosystem::service::{AccountLocator, AuthOutcome, FactorResponse};
+use actfort_gsm::identity::Msisdn;
+use actfort_gsm::network::NetworkConfig;
+
+/// A case-study world: curated services over a weak-key GSM network,
+/// one victim whose mailbox is hosted on Gmail.
+#[derive(Debug)]
+pub struct CaseWorld {
+    /// The simulated world.
+    pub eco: Ecosystem,
+    /// The victim's phone number (all the attacker starts with).
+    pub victim_phone: Msisdn,
+    /// The victim's mailbox address.
+    pub victim_email: String,
+}
+
+impl CaseWorld {
+    /// Builds the standard case-study world.
+    ///
+    /// # Panics
+    ///
+    /// Panics only on internal setup failures (the configuration is
+    /// static and known-good).
+    pub fn new(seed: u64) -> Self {
+        let mut eco = Ecosystem::with_network(
+            seed,
+            NetworkConfig { session_key_bits: 16, ..Default::default() },
+        );
+        let mut person = PopulationBuilder::new(seed ^ 0x5eed).person();
+        person.email = format!("victim{}@gmail.com", person.id.0);
+        let victim_phone = person.phone.clone();
+        let victim_email = person.email.clone();
+        eco.add_person(person).expect("fresh world");
+        for spec in curated_services() {
+            eco.add_service(spec).expect("unique curated ids");
+        }
+        eco.enroll_everyone().expect("registration succeeds");
+        Self { eco, victim_phone, victim_email }
+    }
+}
+
+/// Outcome of one case replay.
+#[derive(Debug, Clone)]
+pub struct CaseReport {
+    /// Case label.
+    pub name: String,
+    /// Step-by-step narrative.
+    pub narrative: Vec<String>,
+    /// Accounts compromised, in order.
+    pub accounts: Vec<ServiceId>,
+    /// Payment receipt proving impact, when applicable.
+    pub receipt: Option<String>,
+}
+
+/// **Case I** — Baidu Wallet: the SMS code works as a one-time login
+/// token; once in, the QR payment flows. No intermediate account needed.
+///
+/// # Errors
+///
+/// Propagates interception and ecosystem failures.
+pub fn case1_baidu_wallet(world: &mut CaseWorld) -> Result<CaseReport, AttackError> {
+    let eco = &mut world.eco;
+    let phone = &world.victim_phone;
+    let target = ServiceId::new("baidu-wallet");
+    let mut narrative = Vec::new();
+    let mut icpt = Interceptor::passive(eco, 16)?;
+
+    // Sign in directly with the intercepted one-time token.
+    let ch = eco.begin_auth(
+        &target,
+        &AccountLocator::Phone(phone.clone()),
+        Platform::MobileApp,
+        Purpose::SignIn,
+        0,
+    )?;
+    let code = icpt.next_code(eco, "Baidu Wallet")?;
+    narrative.push(format!("intercepted login token {} for Baidu Wallet", code.code));
+    let outcome = eco.complete_auth(
+        &target,
+        ch.id,
+        &[
+            FactorResponse::CellphoneNumber(phone.digits().to_owned()),
+            FactorResponse::SmsCode(code.code),
+        ],
+        &[],
+    )?;
+    let AuthOutcome::Session(session) = outcome else {
+        return Err(AttackError::NoViablePath("expected a session".into()));
+    };
+    narrative.push("logged into Baidu Wallet with the SMS code alone".into());
+    let receipt = eco
+        .service_mut(&target)
+        .expect("service exists")
+        .make_payment(session, 50_000)
+        .map_err(AttackError::from)?;
+    narrative.push(format!("paid by QR code: {receipt}"));
+    Ok(CaseReport {
+        name: "Case I: Baidu Wallet".into(),
+        narrative,
+        accounts: vec![target],
+        receipt: Some(receipt),
+    })
+}
+
+/// **Case II** — PayPal via Gmail: reset Gmail with the intercepted SMS
+/// code, read PayPal's emailed token from the stolen mailbox, reset
+/// PayPal (SMS + email code) and transact.
+///
+/// # Errors
+///
+/// Propagates interception and ecosystem failures.
+pub fn case2_paypal_via_gmail(world: &mut CaseWorld) -> Result<CaseReport, AttackError> {
+    let eco = &mut world.eco;
+    let phone = &world.victim_phone;
+    let mut icpt = Interceptor::passive(eco, 16)?;
+    let mut dossier = Dossier::new(phone.digits(), &world.victim_email);
+    let mut narrative = Vec::new();
+
+    let gmail = compromise(eco, phone, &"gmail".into(), &mut icpt, &mut dossier)?;
+    narrative.push(format!(
+        "reset Gmail with only the SMS code (took_over = {})",
+        gmail.took_over
+    ));
+    assert!(dossier.mailbox_owned());
+    narrative.push("now reading the victim's mailbox".into());
+
+    let paypal = compromise(eco, phone, &"paypal".into(), &mut icpt, &mut dossier)?;
+    narrative.push("reset PayPal with SMS code + emailed token from the stolen mailbox".into());
+    let receipt = eco
+        .service_mut(&"paypal".into())
+        .expect("service exists")
+        .make_payment(paypal.session, 120_000)
+        .map_err(AttackError::from)?;
+    narrative.push(format!("made a transaction: {receipt}"));
+    Ok(CaseReport {
+        name: "Case II: PayPal via Gmail".into(),
+        narrative,
+        accounts: vec!["gmail".into(), "paypal".into()],
+        receipt: Some(receipt),
+    })
+}
+
+/// **Case III** — Alipay via Ctrip: log into Ctrip with an SMS token,
+/// read the full citizen ID behind the "EDIT" button, then reset the
+/// Alipay app's password *and payment code* with citizen ID + SMS, and
+/// make a payment.
+///
+/// # Errors
+///
+/// Propagates interception and ecosystem failures.
+pub fn case3_alipay_via_ctrip(world: &mut CaseWorld) -> Result<CaseReport, AttackError> {
+    let eco = &mut world.eco;
+    let phone = &world.victim_phone;
+    let mut icpt = Interceptor::passive(eco, 16)?;
+    let mut dossier = Dossier::new(phone.digits(), &world.victim_email);
+    let mut narrative = Vec::new();
+
+    let _ctrip = compromise(eco, phone, &"ctrip".into(), &mut icpt, &mut dossier)?;
+    let cid = dossier
+        .full_value(PersonalInfoKind::CitizenId)
+        .ok_or_else(|| AttackError::NoViablePath("ctrip page lacked the citizen ID".into()))?;
+    narrative.push(format!("read citizen ID {cid} from Ctrip's Frequent Travelers page"));
+
+    let alipay = compromise(eco, phone, &"alipay".into(), &mut icpt, &mut dossier)?;
+    narrative.push("reset the Alipay app password with citizen ID + SMS code".into());
+    assert!(alipay.took_over);
+
+    // Reset the payment code through the Payment purpose path.
+    let ch = eco.begin_auth(
+        &"alipay".into(),
+        &AccountLocator::Phone(phone.clone()),
+        Platform::MobileApp,
+        Purpose::Payment,
+        0,
+    )?;
+    let code = icpt.next_code(eco, "Alipay")?;
+    let outcome = eco.complete_auth(
+        &"alipay".into(),
+        ch.id,
+        &[FactorResponse::SmsCode(code.code), FactorResponse::CitizenId(cid.clone())],
+        &[],
+    )?;
+    let AuthOutcome::PaymentAuthorised(session) = outcome else {
+        return Err(AttackError::NoViablePath("expected payment authorisation".into()));
+    };
+    narrative.push("reset the payment code with citizen ID + SMS code".into());
+    let receipt = eco
+        .service_mut(&"alipay".into())
+        .expect("service exists")
+        .make_payment(session, 200_000)
+        .map_err(AttackError::from)?;
+    narrative.push(format!("made a payment: {receipt}"));
+
+    Ok(CaseReport {
+        name: "Case III: Alipay via Ctrip".into(),
+        narrative,
+        accounts: vec!["ctrip".into(), "alipay".into()],
+        receipt: Some(receipt),
+    })
+}
+
+/// Runs all three cases in fresh worlds, returning their reports.
+///
+/// # Errors
+///
+/// Propagates the first failing case.
+pub fn run_all(seed: u64) -> Result<Vec<CaseReport>, AttackError> {
+    Ok(vec![
+        case1_baidu_wallet(&mut CaseWorld::new(seed))?,
+        case2_paypal_via_gmail(&mut CaseWorld::new(seed + 1))?,
+        case3_alipay_via_ctrip(&mut CaseWorld::new(seed + 2))?,
+    ])
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn case1_direct_wallet_takeover() {
+        let report = case1_baidu_wallet(&mut CaseWorld::new(1)).unwrap();
+        assert_eq!(report.accounts.len(), 1, "no intermediate attack needed");
+        assert!(report.receipt.is_some());
+    }
+
+    #[test]
+    fn case2_email_gateway() {
+        let report = case2_paypal_via_gmail(&mut CaseWorld::new(2)).unwrap();
+        assert_eq!(report.accounts, vec![ServiceId::new("gmail"), ServiceId::new("paypal")]);
+        assert!(report.narrative.iter().any(|l| l.contains("mailbox")));
+        assert!(report.receipt.is_some());
+    }
+
+    #[test]
+    fn case3_citizen_id_chain() {
+        let report = case3_alipay_via_ctrip(&mut CaseWorld::new(3)).unwrap();
+        assert_eq!(report.accounts, vec![ServiceId::new("ctrip"), ServiceId::new("alipay")]);
+        assert!(report.narrative.iter().any(|l| l.contains("citizen ID")));
+        assert!(report.narrative.iter().any(|l| l.contains("payment code")));
+        assert!(report.receipt.is_some());
+    }
+
+    #[test]
+    fn all_cases_run_together() {
+        let reports = run_all(77).unwrap();
+        assert_eq!(reports.len(), 3);
+        assert!(reports.iter().all(|r| r.receipt.is_some()));
+    }
+}

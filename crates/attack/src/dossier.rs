@@ -1,0 +1,233 @@
+//! The attacker's per-victim evidence file.
+//!
+//! Every compromised account page contributes (possibly masked) views of
+//! the victim's information. The dossier merges views per kind
+//! ([`actfort_ecosystem::info::merge_masked`]) until values are fully
+//! recovered, tracks which services the attacker controls and whether
+//! the victim's mailbox is among them.
+
+use actfort_ecosystem::factor::ServiceId;
+use actfort_ecosystem::info::{is_fully_recovered, merge_masked, PersonalInfoKind};
+use actfort_ecosystem::spec::ServiceDomain;
+use std::collections::{BTreeMap, BTreeSet};
+
+/// Maps a mailbox address to the curated service hosting it.
+pub fn email_provider_of(address: &str) -> Option<ServiceId> {
+    let domain = address.rsplit('@').next()?;
+    let id = match domain {
+        "gmail.com" => "gmail",
+        "163.com" => "netease-163",
+        "outlook.com" => "outlook",
+        "aliyun.com" => "aliyun-mail",
+        _ => return None,
+    };
+    Some(ServiceId::new(id))
+}
+
+/// Accumulated knowledge about one victim.
+#[derive(Debug, Clone, Default)]
+pub struct Dossier {
+    views: BTreeMap<PersonalInfoKind, Vec<String>>,
+    owned: BTreeSet<ServiceId>,
+    email_provider: Option<ServiceId>,
+    mailbox_owned: bool,
+    /// Human-readable trace of how each fact was obtained.
+    pub log: Vec<String>,
+}
+
+impl Dossier {
+    /// An empty dossier, seeded only with the victim's phone number
+    /// (which reconnaissance supplies).
+    pub fn new(phone_digits: &str, email: &str) -> Self {
+        let mut d = Self { email_provider: email_provider_of(email), ..Self::default() };
+        d.views
+            .entry(PersonalInfoKind::CellphoneNumber)
+            .or_default()
+            .push(phone_digits.to_owned());
+        d.log.push(format!("recon: phone number {phone_digits}"));
+        d
+    }
+
+    /// Adds a fully known value from an out-of-band source (leak DB).
+    pub fn add_known(&mut self, kind: PersonalInfoKind, value: &str, source: &str) {
+        self.views.entry(kind).or_default().push(value.to_owned());
+        self.log.push(format!("{source}: {kind} = {value}"));
+    }
+
+    /// Records control of a service account; email-provider control also
+    /// unlocks the victim's mailbox when it hosts their address.
+    pub fn mark_owned(&mut self, service: &ServiceId, domain: ServiceDomain) {
+        self.owned.insert(service.clone());
+        if domain == ServiceDomain::Email && self.email_provider.as_ref() == Some(service) {
+            self.mailbox_owned = true;
+            self.log.push(format!("mailbox access gained via {service}"));
+        }
+    }
+
+    /// Whether the attacker controls `service`.
+    pub fn owns(&self, service: &ServiceId) -> bool {
+        self.owned.contains(service)
+    }
+
+    /// Services the attacker controls.
+    pub fn owned_services(&self) -> Vec<ServiceId> {
+        self.owned.iter().cloned().collect()
+    }
+
+    /// Whether the victim's mailbox is readable.
+    pub fn mailbox_owned(&self) -> bool {
+        self.mailbox_owned
+    }
+
+    /// The victim's email provider service, if recognised.
+    pub fn email_provider(&self) -> Option<&ServiceId> {
+        self.email_provider.as_ref()
+    }
+
+    /// Absorbs a profile page: masked views accumulate per kind; cloud
+    /// photo archives containing an ID-card photo yield the citizen ID.
+    pub fn absorb_profile(&mut self, service: &ServiceId, fields: &[(PersonalInfoKind, String)]) {
+        for (kind, view) in fields {
+            if *kind == PersonalInfoKind::Photos {
+                if let Some(cid) = view.strip_prefix("photo-archive-with-id-card:") {
+                    self.views
+                        .entry(PersonalInfoKind::CitizenId)
+                        .or_default()
+                        .push(cid.to_owned());
+                    self.log.push(format!("{service}: citizen ID from cloud photo backup"));
+                }
+                continue;
+            }
+            self.views.entry(*kind).or_default().push(view.clone());
+            self.log.push(format!("{service}: {kind} view {view}"));
+        }
+    }
+
+    /// The fully recovered value of a kind, when the merged views cover
+    /// it completely.
+    pub fn full_value(&self, kind: PersonalInfoKind) -> Option<String> {
+        let views = self.views.get(&kind)?;
+        // Views may disagree in length (different formats); try merging
+        // per length group, preferring the group with most views.
+        let mut by_len: BTreeMap<usize, Vec<&String>> = BTreeMap::new();
+        for v in views {
+            by_len.entry(v.chars().count()).or_default().push(v);
+        }
+        let mut best: Option<String> = None;
+        for group in by_len.values() {
+            if let Some(merged) = merge_masked(group) {
+                if is_fully_recovered(&merged) {
+                    match &best {
+                        Some(b) if b.len() >= merged.len() => {}
+                        _ => best = Some(merged),
+                    }
+                }
+            }
+        }
+        best
+    }
+
+    /// Whether a kind is fully known.
+    pub fn has_full(&self, kind: PersonalInfoKind) -> bool {
+        self.full_value(kind).is_some()
+    }
+
+    /// Count of distinct identity facts fully known (the customer-service
+    /// social-engineering currency).
+    pub fn identity_fact_count(&self) -> usize {
+        [
+            PersonalInfoKind::RealName,
+            PersonalInfoKind::CitizenId,
+            PersonalInfoKind::CellphoneNumber,
+            PersonalInfoKind::Address,
+            PersonalInfoKind::BankcardNumber,
+            PersonalInfoKind::SecurityAnswers,
+        ]
+        .into_iter()
+        .filter(|&k| self.has_full(k))
+        .count()
+    }
+
+    /// All fully known identity facts as (kind, value) pairs.
+    pub fn known_facts(&self) -> Vec<(PersonalInfoKind, String)> {
+        PersonalInfoKind::all()
+            .iter()
+            .filter_map(|&k| self.full_value(k).map(|v| (k, v)))
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn provider_mapping() {
+        assert_eq!(email_provider_of("a@gmail.com"), Some(ServiceId::new("gmail")));
+        assert_eq!(email_provider_of("a@163.com"), Some(ServiceId::new("netease-163")));
+        assert_eq!(email_provider_of("a@corp.example"), None);
+        assert_eq!(email_provider_of("no-at-sign"), None);
+    }
+
+    #[test]
+    fn seeded_with_phone() {
+        let d = Dossier::new("13800138000", "x@gmail.com");
+        assert_eq!(d.full_value(PersonalInfoKind::CellphoneNumber).unwrap(), "13800138000");
+        assert!(!d.mailbox_owned());
+    }
+
+    #[test]
+    fn mailbox_ownership_requires_matching_provider() {
+        let mut d = Dossier::new("13800138000", "x@gmail.com");
+        d.mark_owned(&ServiceId::new("outlook"), ServiceDomain::Email);
+        assert!(!d.mailbox_owned(), "wrong provider");
+        d.mark_owned(&ServiceId::new("gmail"), ServiceDomain::Email);
+        assert!(d.mailbox_owned());
+    }
+
+    #[test]
+    fn masked_views_merge_to_full_value() {
+        let sid = ServiceId::new("xiaozhu");
+        let mut d = Dossier::new("13800138000", "x@163.com");
+        d.absorb_profile(&sid, &[(PersonalInfoKind::CitizenId, "1101011990********".into())]);
+        assert!(!d.has_full(PersonalInfoKind::CitizenId));
+        d.absorb_profile(
+            &ServiceId::new("china-railway-12306"),
+            &[(PersonalInfoKind::CitizenId, "**********03078515".into())],
+        );
+        assert_eq!(d.full_value(PersonalInfoKind::CitizenId).unwrap(), "110101199003078515");
+    }
+
+    #[test]
+    fn photo_archive_yields_citizen_id() {
+        let mut d = Dossier::new("13800138000", "x@163.com");
+        d.absorb_profile(
+            &ServiceId::new("baidu-pan"),
+            &[(PersonalInfoKind::Photos, "photo-archive-with-id-card:110101199003078515".into())],
+        );
+        assert_eq!(d.full_value(PersonalInfoKind::CitizenId).unwrap(), "110101199003078515");
+        // A plain archive yields nothing.
+        let mut d2 = Dossier::new("13800138000", "x@163.com");
+        d2.absorb_profile(&ServiceId::new("dropbox"), &[(PersonalInfoKind::Photos, "photo-archive".into())]);
+        assert!(!d2.has_full(PersonalInfoKind::CitizenId));
+    }
+
+    #[test]
+    fn identity_fact_counting() {
+        let mut d = Dossier::new("13800138000", "x@163.com");
+        assert_eq!(d.identity_fact_count(), 1); // phone
+        d.add_known(PersonalInfoKind::RealName, "Wang Wei", "leak db");
+        d.add_known(PersonalInfoKind::Address, "1 Test Rd", "leak db");
+        assert_eq!(d.identity_fact_count(), 3);
+    }
+
+    #[test]
+    fn conflicting_view_lengths_grouped() {
+        let mut d = Dossier::new("13800138000", "x@163.com");
+        let sid = ServiceId::new("a");
+        d.absorb_profile(&sid, &[(PersonalInfoKind::RealName, "Wang Wei".into())]);
+        d.absorb_profile(&sid, &[(PersonalInfoKind::RealName, "W*** ***".into())]);
+        // The clear 8-char view merges with the masked 8-char view.
+        assert_eq!(d.full_value(PersonalInfoKind::RealName).unwrap(), "Wang Wei");
+    }
+}

@@ -1,0 +1,80 @@
+//! Error types for the attack engine.
+
+use std::fmt;
+
+/// Errors produced while executing attacks.
+#[derive(Debug, Clone, PartialEq)]
+#[non_exhaustive]
+pub enum AttackError {
+    /// No authentication path of the target is attackable with current
+    /// capabilities and harvested information.
+    NoViablePath(String),
+    /// SMS interception produced no usable code.
+    InterceptionFailed(String),
+    /// The strategy engine found no chain to the target.
+    NoChain(String),
+    /// An underlying ecosystem operation failed.
+    Ecosystem(actfort_ecosystem::EcosystemError),
+    /// An underlying GSM operation failed.
+    Gsm(actfort_gsm::GsmError),
+    /// Reconnaissance could not produce the victim's phone number.
+    ReconFailed(String),
+    /// The victim noticed the attack (unexpected OTPs) and froze their
+    /// accounts — §V-A2's stealthiness caveat.
+    Detected(String),
+}
+
+impl fmt::Display for AttackError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            AttackError::NoViablePath(s) => write!(f, "no viable authentication path on {s}"),
+            AttackError::InterceptionFailed(s) => write!(f, "interception failed: {s}"),
+            AttackError::NoChain(s) => write!(f, "no attack chain reaches {s}"),
+            AttackError::Ecosystem(e) => write!(f, "ecosystem: {e}"),
+            AttackError::Gsm(e) => write!(f, "gsm: {e}"),
+            AttackError::ReconFailed(s) => write!(f, "reconnaissance failed: {s}"),
+            AttackError::Detected(s) => write!(f, "victim detected the attack: {s}"),
+        }
+    }
+}
+
+impl std::error::Error for AttackError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            AttackError::Ecosystem(e) => Some(e),
+            AttackError::Gsm(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<actfort_ecosystem::EcosystemError> for AttackError {
+    fn from(e: actfort_ecosystem::EcosystemError) -> Self {
+        AttackError::Ecosystem(e)
+    }
+}
+
+impl From<actfort_gsm::GsmError> for AttackError {
+    fn from(e: actfort_gsm::GsmError) -> Self {
+        AttackError::Gsm(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn error_is_send_sync() {
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<AttackError>();
+    }
+
+    #[test]
+    fn display_and_source() {
+        use std::error::Error;
+        let e = AttackError::Gsm(actfort_gsm::GsmError::NotAttached);
+        assert!(e.source().is_some());
+        assert!(e.to_string().contains("gsm"));
+    }
+}

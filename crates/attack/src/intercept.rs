@@ -1,0 +1,449 @@
+//! SMS interception drivers — the attack's step 2 (§V-A2).
+//!
+//! Four acquisition strategies:
+//!
+//! - **Passive** (Fig. 6): the 16×C118 OsmocomBB sniffer. Captures the
+//!   victim's cell, cracks weak A5/1 sessions off the recorded SI5 known
+//!   plaintext, and fishes one-time codes out of the decrypted
+//!   SMS-DELIVER frames. The victim still receives the SMS (the
+//!   stealthiness caveat the paper notes).
+//! - **Passive with rainbow tables**: same capture, but key recovery
+//!   follows the published table statistics — effective against
+//!   full-strength keys, with occasional misses.
+//! - **Active** (Fig. 7): the USRP fake base station. Downgrades,
+//!   captures and impersonates the victim so its SMS arrive *only* at
+//!   the attacker.
+//! - **Phishing** (§II): a remote smishing lure; no proximity needed,
+//!   but the victim must comply.
+
+use crate::error::AttackError;
+use actfort_ecosystem::host::Ecosystem;
+use actfort_gsm::arfcn::Arfcn;
+use actfort_gsm::identity::{Msisdn, SubscriberId};
+use actfort_gsm::mitm::MitmAttack;
+use actfort_gsm::sniffer::{PassiveSniffer, SnifferConfig};
+
+/// An intercepted one-time code.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct InterceptedCode {
+    /// The numeric code.
+    pub code: String,
+    /// Full message text.
+    pub text: String,
+    /// Displayed sender.
+    pub originator: String,
+    /// Simulated latency charged to interception (key cracking etc.), ms.
+    pub latency_ms: u64,
+}
+
+/// A unified interception driver.
+#[derive(Debug)]
+pub enum Interceptor {
+    /// Passive multi-carrier sniffing.
+    Passive {
+        /// The capture rig.
+        sniffer: Box<PassiveSniffer>,
+        /// Rainbow-table model to use instead of exhaustive weak-key
+        /// search (enables attacks on full-strength keys, with table
+        /// misses).
+        tables: Option<actfort_gsm::a5::RainbowTableModel>,
+        /// Messages already consumed (so each code is used once).
+        consumed: usize,
+        /// Session keys whose crack latency has been charged already.
+        charged_keys: Vec<actfort_gsm::a5::Kc>,
+    },
+    /// Active MitM with a spoofed registration already in place.
+    Active {
+        /// The rig (jammer + fake BTS).
+        rig: Box<MitmAttack>,
+        /// The impersonated victim.
+        victim: SubscriberId,
+        /// Spoofed-inbox messages already consumed.
+        consumed: usize,
+    },
+    /// Remote phishing (§II): a spoofed "security alert" SMS lures the
+    /// victim into relaying the genuine codes they receive. Needs no
+    /// radio proximity — but requires the victim's cooperation and is
+    /// the least stealthy option.
+    Phishing {
+        /// The lured victim.
+        victim: SubscriberId,
+        /// Whether the victim fell for the lure.
+        gullible: bool,
+        /// Inbox messages already consumed (including the lure itself).
+        consumed: usize,
+    },
+}
+
+impl Interceptor {
+    /// Builds a passive rig co-located with the ecosystem's default cell
+    /// and tunes receivers to every configured cell carrier.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`AttackError::InterceptionFailed`] when there are more
+    /// carriers than receivers.
+    pub fn passive(eco: &Ecosystem, crack_bits: u32) -> Result<Self, AttackError> {
+        let mut sniffer = PassiveSniffer::new(SnifferConfig { crack_bits, ..SnifferConfig::default() });
+        for cell in eco.gsm.cells() {
+            sniffer
+                .monitor(cell.arfcn)
+                .map_err(|e| AttackError::InterceptionFailed(e.to_string()))?;
+        }
+        Ok(Self::Passive {
+            sniffer: Box::new(sniffer),
+            tables: None,
+            consumed: 0,
+            charged_keys: Vec::new(),
+        })
+    }
+
+    /// Builds a passive rig that attacks sessions with probabilistic
+    /// rainbow-table lookups — effective against full-strength session
+    /// keys, at the cost of occasional table misses.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`AttackError::InterceptionFailed`] when there are more
+    /// carriers than receivers.
+    pub fn passive_with_tables(
+        eco: &Ecosystem,
+        model: actfort_gsm::a5::RainbowTableModel,
+    ) -> Result<Self, AttackError> {
+        let mut sniffer = PassiveSniffer::new(SnifferConfig::default());
+        for cell in eco.gsm.cells() {
+            sniffer
+                .monitor(cell.arfcn)
+                .map_err(|e| AttackError::InterceptionFailed(e.to_string()))?;
+        }
+        Ok(Self::Passive {
+            sniffer: Box::new(sniffer),
+            tables: Some(model),
+            consumed: 0,
+            charged_keys: Vec::new(),
+        })
+    }
+
+    /// Builds an active rig and runs the full downgrade → capture →
+    /// impersonation sequence against `victim_phone`.
+    ///
+    /// # Errors
+    ///
+    /// Propagates rig failures (victim out of range, spoof refused).
+    pub fn active(eco: &mut Ecosystem, victim_phone: &Msisdn) -> Result<Self, AttackError> {
+        let victim = eco
+            .gsm
+            .subscriber_by_msisdn(victim_phone)
+            .ok_or_else(|| AttackError::InterceptionFailed(format!("{victim_phone} not on network")))?;
+        let victim_pos = eco
+            .gsm
+            .terminal(victim)
+            .map(|t| t.position())
+            .unwrap_or_default();
+        let mut rig = MitmAttack::new(victim_pos, Arfcn(42));
+        rig.execute(&mut eco.gsm, victim)?;
+        Ok(Self::Active { rig: Box::new(rig), victim, consumed: 0 })
+    }
+
+    /// Launches a smishing lure from a spoofed sender. When the victim is
+    /// `gullible`, every genuine code they subsequently receive is
+    /// relayed to the attacker's fake site.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`AttackError::InterceptionFailed`] when the victim is not
+    /// on the network or the lure cannot be delivered.
+    pub fn phishing(
+        eco: &mut Ecosystem,
+        victim_phone: &Msisdn,
+        spoofed_sender: &str,
+        gullible: bool,
+    ) -> Result<Self, AttackError> {
+        let victim = eco
+            .gsm
+            .subscriber_by_msisdn(victim_phone)
+            .ok_or_else(|| AttackError::InterceptionFailed(format!("{victim_phone} not on network")))?;
+        let sender = actfort_gsm::pdu::Address::alphanumeric(spoofed_sender)
+            .map_err(|e| AttackError::InterceptionFailed(e.to_string()))?;
+        eco.gsm
+            .send_sms_from(
+                sender,
+                victim_phone,
+                "Security alert: unusual sign-in detected. Verify at https://account-safety.example and enter the code you receive.",
+            )
+            .map_err(|e| AttackError::InterceptionFailed(e.to_string()))?;
+        let consumed = eco.gsm.terminal(victim).map(|t| t.inbox().len()).unwrap_or(0);
+        Ok(Self::Phishing { victim, gullible, consumed })
+    }
+
+    /// Waits for (and returns) the next code sent to the victim whose
+    /// message mentions `service_name`. Call *after* triggering the
+    /// challenge.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`AttackError::InterceptionFailed`] when no matching
+    /// message is observable (strong cipher, out of range, nothing sent).
+    pub fn next_code(
+        &mut self,
+        eco: &Ecosystem,
+        service_name: &str,
+    ) -> Result<InterceptedCode, AttackError> {
+        match self {
+            Interceptor::Passive { sniffer, tables, consumed, charged_keys } => {
+                match tables {
+                    Some(model) => sniffer.poll_with_tables(&eco.gsm, model.clone()),
+                    None => sniffer.poll(eco.gsm.ether()),
+                }
+                // Take the newest matching message: older unconsumed codes
+                // may have been invalidated by reissues.
+                let sms = sniffer
+                    .sms()
+                    .iter()
+                    .skip(*consumed).rfind(|s| s.text.contains(service_name) || s.originator.contains(service_name));
+                match sms {
+                    Some(s) => {
+                        let code = extract_code(&s.text).ok_or_else(|| {
+                            AttackError::InterceptionFailed(format!("no code in {:?}", s.text))
+                        })?;
+                        // A key's search latency is paid once; further
+                        // traffic under it decrypts instantly.
+                        let latency_ms = match s.cracked_key {
+                            Some(kc) if !charged_keys.contains(&kc) => {
+                                charged_keys.push(kc);
+                                s.crack_latency_ms
+                            }
+                            _ => 0,
+                        };
+                        let out = InterceptedCode {
+                            code,
+                            text: s.text.clone(),
+                            originator: s.originator.clone(),
+                            latency_ms,
+                        };
+                        *consumed = sniffer.sms().len();
+                        Ok(out)
+                    }
+                    None => Err(AttackError::InterceptionFailed(format!(
+                        "no SMS mentioning {service_name:?} captured (stats: {:?})",
+                        sniffer.stats()
+                    ))),
+                }
+            }
+            Interceptor::Phishing { victim, gullible, consumed } => {
+                if !*gullible {
+                    return Err(AttackError::InterceptionFailed(
+                        "victim ignored the phishing lure".into(),
+                    ));
+                }
+                let inbox = eco
+                    .gsm
+                    .terminal(*victim)
+                    .map(|t| t.inbox())
+                    .unwrap_or(&[]);
+                let sms = inbox
+                    .iter()
+                    .skip(*consumed).rfind(|s| s.text.contains(service_name) || s.originator.contains(service_name));
+                match sms {
+                    Some(s) => {
+                        let code = extract_code(&s.text).ok_or_else(|| {
+                            AttackError::InterceptionFailed(format!("no code in {:?}", s.text))
+                        })?;
+                        let out = InterceptedCode {
+                            code,
+                            text: s.text.clone(),
+                            originator: s.originator.clone(),
+                            latency_ms: 0,
+                        };
+                        *consumed = inbox.len();
+                        Ok(out)
+                    }
+                    None => Err(AttackError::InterceptionFailed(format!(
+                        "victim received no SMS mentioning {service_name:?} to relay"
+                    ))),
+                }
+            }
+            Interceptor::Active { victim, consumed, .. } => {
+                let inbox = eco.gsm.spoofed_inbox(*victim);
+                let sms = inbox
+                    .iter()
+                    .skip(*consumed).rfind(|s| s.text.contains(service_name) || s.originator.contains(service_name));
+                match sms {
+                    Some(s) => {
+                        let code = extract_code(&s.text).ok_or_else(|| {
+                            AttackError::InterceptionFailed(format!("no code in {:?}", s.text))
+                        })?;
+                        let out = InterceptedCode {
+                            code,
+                            text: s.text.clone(),
+                            originator: s.originator.clone(),
+                            latency_ms: 0,
+                        };
+                        *consumed = inbox.len();
+                        Ok(out)
+                    }
+                    None => Err(AttackError::InterceptionFailed(format!(
+                        "no diverted SMS mentioning {service_name:?}"
+                    ))),
+                }
+            }
+        }
+    }
+
+    /// Whether this interceptor also denies the victim the message
+    /// (active MitM is stealthy; passive sniffing is not, and phishing
+    /// actively involves the victim).
+    pub fn is_stealthy(&self) -> bool {
+        matches!(self, Interceptor::Active { .. })
+    }
+
+    /// Whether this interceptor needs radio proximity to the victim.
+    pub fn needs_proximity(&self) -> bool {
+        !matches!(self, Interceptor::Phishing { .. })
+    }
+
+    /// Whether the victim's handset still displays the intercepted OTPs
+    /// (the detection surface of §V-A2). Passive sniffing leaves them
+    /// visible; the MitM diverts them; a phished victim has already been
+    /// socially engineered into expecting them.
+    pub fn leaves_otp_on_handset(&self) -> bool {
+        matches!(self, Interceptor::Passive { .. })
+    }
+
+    /// Tears down an active rig, releasing the victim.
+    pub fn release(&self, eco: &mut Ecosystem) {
+        if let Interceptor::Active { rig, victim, .. } = self {
+            rig.release(&mut eco.gsm, *victim);
+        }
+    }
+}
+
+/// Extracts the first 4–10 digit run from an SMS body.
+pub fn extract_code(text: &str) -> Option<String> {
+    let bytes = text.as_bytes();
+    let mut i = 0;
+    while i < bytes.len() {
+        if bytes[i].is_ascii_digit() {
+            let start = i;
+            while i < bytes.len() && bytes[i].is_ascii_digit() {
+                i += 1;
+            }
+            if (4..=10).contains(&(i - start)) {
+                return Some(text[start..i].to_owned());
+            }
+        } else {
+            i += 1;
+        }
+    }
+    None
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use actfort_ecosystem::population::PopulationBuilder;
+    use actfort_gsm::network::NetworkConfig;
+
+    fn weak_world() -> (Ecosystem, Msisdn) {
+        let mut eco = Ecosystem::with_network(
+            5,
+            NetworkConfig { session_key_bits: 16, ..Default::default() },
+        );
+        let person = PopulationBuilder::new(77).person();
+        let phone = person.phone.clone();
+        eco.add_person(person).unwrap();
+        (eco, phone)
+    }
+
+    #[test]
+    fn extract_code_variants() {
+        assert_eq!(extract_code("G-786348 is your Google verification code."), Some("786348".into()));
+        assert_eq!(extract_code("code: 4821"), Some("4821".into()));
+        assert_eq!(extract_code("no digits"), None);
+        assert_eq!(extract_code("card 12345678901234567890"), None);
+    }
+
+    #[test]
+    fn passive_interceptor_reads_weak_a51_code() {
+        let (mut eco, phone) = weak_world();
+        let mut icpt = Interceptor::passive(&eco, 16).unwrap();
+        eco.gsm.send_sms(&phone, "482910 is your Google login code.").unwrap();
+        let got = icpt.next_code(&eco, "Google").unwrap();
+        assert_eq!(got.code, "482910");
+        assert!(!icpt.is_stealthy());
+        // Victim still received it (stealth caveat).
+        let sub = eco.gsm.subscriber_by_msisdn(&phone).unwrap();
+        assert_eq!(eco.gsm.terminal(sub).unwrap().inbox().len(), 1);
+    }
+
+    #[test]
+    fn passive_codes_are_consumed_once() {
+        let (mut eco, phone) = weak_world();
+        let mut icpt = Interceptor::passive(&eco, 16).unwrap();
+        eco.gsm.send_sms(&phone, "111222 is your Google login code.").unwrap();
+        icpt.next_code(&eco, "Google").unwrap();
+        assert!(icpt.next_code(&eco, "Google").is_err(), "same code not replayed");
+        eco.gsm.send_sms(&phone, "333444 is your Google login code.").unwrap();
+        assert_eq!(icpt.next_code(&eco, "Google").unwrap().code, "333444");
+    }
+
+    #[test]
+    fn passive_fails_against_strong_keys() {
+        let mut eco = Ecosystem::with_network(5, NetworkConfig::default()); // 64-bit keys
+        let person = PopulationBuilder::new(78).person();
+        let phone = person.phone.clone();
+        eco.add_person(person).unwrap();
+        let mut icpt = Interceptor::passive(&eco, 20).unwrap();
+        eco.gsm.send_sms(&phone, "999000 is your Google login code.").unwrap();
+        assert!(icpt.next_code(&eco, "Google").is_err());
+    }
+
+    #[test]
+    fn active_interceptor_diverts_and_is_stealthy() {
+        let (mut eco, phone) = weak_world();
+        let mut icpt = Interceptor::active(&mut eco, &phone).unwrap();
+        assert!(icpt.is_stealthy());
+        eco.gsm.send_sms(&phone, "555666 is your PayPal reset code.").unwrap();
+        let got = icpt.next_code(&eco, "PayPal").unwrap();
+        assert_eq!(got.code, "555666");
+        // The victim saw nothing.
+        let sub = eco.gsm.subscriber_by_msisdn(&phone).unwrap();
+        assert!(eco.gsm.terminal(sub).unwrap().inbox().is_empty());
+        icpt.release(&mut eco);
+    }
+
+    #[test]
+    fn phishing_relays_codes_from_gullible_victims_without_proximity() {
+        // Full-strength keys: passive sniffing would be blind, but the
+        // victim hands the code over.
+        let mut eco = Ecosystem::with_network(6, NetworkConfig::default());
+        let person = PopulationBuilder::new(80).person();
+        let phone = person.phone.clone();
+        eco.add_person(person).unwrap();
+        let mut icpt = Interceptor::phishing(&mut eco, &phone, "AcctSafety", true).unwrap();
+        assert!(!icpt.needs_proximity());
+        assert!(!icpt.is_stealthy());
+        eco.gsm.send_sms(&phone, "909090 is your PayPal reset code.").unwrap();
+        assert_eq!(icpt.next_code(&eco, "PayPal").unwrap().code, "909090");
+        // The lure itself is never mistaken for a service code.
+        assert!(icpt.next_code(&eco, "account-safety").is_err());
+    }
+
+    #[test]
+    fn wary_victims_defeat_phishing() {
+        let (mut eco, phone) = weak_world();
+        let mut icpt = Interceptor::phishing(&mut eco, &phone, "AcctSafety", false).unwrap();
+        eco.gsm.send_sms(&phone, "111111 is your PayPal reset code.").unwrap();
+        assert!(matches!(
+            icpt.next_code(&eco, "PayPal"),
+            Err(AttackError::InterceptionFailed(_))
+        ));
+    }
+
+    #[test]
+    fn active_fails_for_unknown_number() {
+        let (mut eco, _) = weak_world();
+        let ghost = Msisdn::new("19999999999").unwrap();
+        assert!(Interceptor::active(&mut eco, &ghost).is_err());
+    }
+}

@@ -1,0 +1,45 @@
+//! The Chain Reaction Attack engine — §V of the paper, executed for real
+//! against the simulated ecosystem.
+//!
+//! - [`recon`] — target acquisition: phishing Wi-Fi for random attacks,
+//!   the leak database for targeted ones.
+//! - [`intercept`] — SMS code interception drivers over the GSM
+//!   substrate: the passive OsmocomBB-style sniffer and the active
+//!   fake-base-station MitM.
+//! - [`dossier`] — the attacker's per-victim evidence file, merging
+//!   masked profile views until values are fully recovered.
+//! - [`intrusion`] — single-account takeover: picks an attackable path,
+//!   triggers challenges, intercepts/reads the codes, presents harvested
+//!   factors and resets the password.
+//! - [`chain`] — the full Chain Reaction Attack: follows a strategy
+//!   chain from fringe accounts to the high-value target.
+//! - [`cases`] — replays of the paper's Case I (Baidu Wallet), Case II
+//!   (PayPal via Gmail) and Case III (Alipay via Ctrip).
+//! - [`scenario`] — random and targeted end-to-end scenarios.
+//!
+//! # Example
+//!
+//! ```
+//! use actfort_attack::cases::{case1_baidu_wallet, CaseWorld};
+//!
+//! # fn main() -> Result<(), actfort_attack::AttackError> {
+//! let mut world = CaseWorld::new(7);
+//! let report = case1_baidu_wallet(&mut world)?;
+//! assert!(report.receipt.is_some(), "the wallet paid out");
+//! # Ok(())
+//! # }
+//! ```
+
+pub mod cases;
+pub mod chain;
+pub mod dossier;
+pub mod error;
+pub mod intercept;
+pub mod intrusion;
+pub mod recon;
+pub mod scenario;
+
+pub use chain::{ChainReactionAttack, ChainReport};
+pub use dossier::Dossier;
+pub use error::AttackError;
+pub use intercept::Interceptor;

@@ -1,0 +1,106 @@
+//! Target acquisition — §V-A1.
+//!
+//! Random attacks harvest phone numbers from a phishing Wi-Fi captive
+//! portal at crowded places; targeted attacks look the victim up in a
+//! black-market leak database.
+
+use crate::error::AttackError;
+use actfort_authsvc::email::Mailbox;
+use actfort_ecosystem::factor::ServiceId;
+use actfort_ecosystem::population::{LeakDatabase, Person, PhishingWifi};
+use actfort_gsm::identity::Msisdn;
+
+/// Harvests phone numbers from passers-by who connect to the phishing AP.
+/// `connect_rate_percent` of the crowd falls for the portal
+/// (deterministic systematic sampling).
+pub fn harvest_random_targets(
+    ap: &mut PhishingWifi,
+    crowd: &[Person],
+    connect_rate_percent: u8,
+) -> Vec<Msisdn> {
+    let rate = usize::from(connect_rate_percent.min(100));
+    for (i, person) in crowd.iter().enumerate() {
+        if rate > 0 && (i * 100 / crowd.len().max(1)) % 100 < rate {
+            ap.victim_connects(person);
+        }
+    }
+    ap.harvested().to_vec()
+}
+
+/// Resolves a named target through the leak database.
+///
+/// # Errors
+///
+/// Returns [`AttackError::ReconFailed`] when the name is not in the dump.
+pub fn lookup_target(db: &LeakDatabase, name: &str) -> Result<(Msisdn, String), AttackError> {
+    let entry = db
+        .find_by_name(name)
+        .ok_or_else(|| AttackError::ReconFailed(format!("{name} not in leak database")))?;
+    let phone = Msisdn::new(&entry.phone)
+        .map_err(|e| AttackError::ReconFailed(format!("corrupt leak entry: {e}")))?;
+    Ok((phone, entry.address.clone()))
+}
+
+/// Enumerates the services a victim uses from a stolen mailbox — every
+/// welcome mail, code and reset link names its sender. §IV-B2: "From
+/// the Email history, there is a high possibility that Email accounts
+/// will reveal important information, such as signed-up services".
+pub fn services_from_mailbox(mailbox: &Mailbox) -> Vec<ServiceId> {
+    let mut out: Vec<ServiceId> = Vec::new();
+    for msg in mailbox.messages() {
+        let id = ServiceId::new(&msg.from);
+        if !out.contains(&id) {
+            out.push(id);
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use actfort_ecosystem::population::PopulationBuilder;
+
+    #[test]
+    fn phishing_harvest_rate() {
+        let crowd = PopulationBuilder::new(4).population(100);
+        let mut ap = PhishingWifi::deploy("Airport-Free-WiFi");
+        let harvested = harvest_random_targets(&mut ap, &crowd, 30);
+        assert!((25..=35).contains(&harvested.len()), "harvested {}", harvested.len());
+        // Zero rate harvests nothing.
+        let mut ap2 = PhishingWifi::deploy("x");
+        assert!(harvest_random_targets(&mut ap2, &crowd, 0).is_empty());
+    }
+
+    #[test]
+    fn mailbox_reveals_signed_up_services() {
+        use actfort_ecosystem::dataset::curated;
+        use actfort_ecosystem::host::Ecosystem;
+        let mut eco = Ecosystem::new(3);
+        let person = PopulationBuilder::new(8).person();
+        let email = person.email.clone();
+        eco.add_person(person).unwrap();
+        for id in ["ctrip", "jd", "paypal"] {
+            eco.add_service(curated(id).unwrap()).unwrap();
+        }
+        eco.enroll_everyone().unwrap();
+        let services = services_from_mailbox(eco.mail.mailbox(&email).unwrap());
+        for id in ["ctrip", "jd", "paypal"] {
+            assert!(services.contains(&ServiceId::new(id)), "{id} missing from mailbox recon");
+        }
+    }
+
+    #[test]
+    fn targeted_lookup() {
+        let pop = PopulationBuilder::new(4).population(20);
+        let db = LeakDatabase::from_breach(&pop, 1.0);
+        let victim = &pop[7];
+        let (phone, address) = lookup_target(&db, &victim.real_name).unwrap();
+        assert_eq!(phone, victim.phone);
+        assert_eq!(address, victim.address);
+        assert!(matches!(
+            lookup_target(&db, "Nobody Nowhere"),
+            Err(AttackError::ReconFailed(_))
+        ));
+    }
+}

@@ -1,0 +1,194 @@
+//! End-to-end attack scenarios: random and targeted (§II).
+
+use crate::chain::{ChainReactionAttack, ChainReport, InterceptMode};
+use crate::error::AttackError;
+use crate::recon;
+use actfort_core::profile::AttackerProfile;
+use actfort_ecosystem::factor::ServiceId;
+use actfort_ecosystem::host::Ecosystem;
+use actfort_ecosystem::policy::Platform;
+use actfort_ecosystem::population::{LeakDatabase, Person, PhishingWifi};
+
+/// Result of a random sweep over harvested victims.
+#[derive(Debug)]
+pub struct RandomAttackReport {
+    /// Numbers harvested by the phishing AP.
+    pub harvested: usize,
+    /// Per-victim chain outcomes (successes only).
+    pub successes: Vec<ChainReport>,
+    /// Victims whose chains failed, with the reason.
+    pub failures: Vec<(String, AttackError)>,
+}
+
+/// Aggregate campaign statistics.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct CampaignSummary {
+    /// Victims harvested by the AP.
+    pub harvested: usize,
+    /// Victims whose chain completed.
+    pub compromised: usize,
+    /// Success rate over harvested victims (0–1).
+    pub success_rate: f64,
+    /// Mean accounts compromised per successful chain.
+    pub mean_accounts_per_chain: f64,
+    /// Payments extracted.
+    pub payments: usize,
+    /// Mean simulated time per successful chain, milliseconds.
+    pub mean_elapsed_ms: f64,
+}
+
+impl RandomAttackReport {
+    /// Computes aggregate statistics for the campaign.
+    pub fn summary(&self) -> CampaignSummary {
+        let compromised = self.successes.len();
+        let denom = compromised.max(1) as f64;
+        CampaignSummary {
+            harvested: self.harvested,
+            compromised,
+            success_rate: if self.harvested == 0 {
+                0.0
+            } else {
+                compromised as f64 / self.harvested as f64
+            },
+            mean_accounts_per_chain: self
+                .successes
+                .iter()
+                .map(|s| s.compromised.len() as f64)
+                .sum::<f64>()
+                / denom,
+            payments: self.successes.iter().filter(|s| s.receipt.is_some()).count(),
+            mean_elapsed_ms: self
+                .successes
+                .iter()
+                .map(|s| s.sim_elapsed_ms as f64)
+                .sum::<f64>()
+                / denom,
+        }
+    }
+}
+
+/// Runs a **random attack**: deploy phishing Wi-Fi, harvest numbers from
+/// the crowd, run a chain against each harvested victim.
+pub fn random_attack(
+    eco: &mut Ecosystem,
+    crowd: &[Person],
+    target: &ServiceId,
+    platform: Platform,
+    connect_rate_percent: u8,
+) -> RandomAttackReport {
+    let mut ap = PhishingWifi::deploy("Airport-Free-WiFi");
+    let harvested = recon::harvest_random_targets(&mut ap, crowd, connect_rate_percent);
+    let attack = ChainReactionAttack {
+        platform,
+        profile: AttackerProfile::paper_default(),
+        mode: InterceptMode::PassiveSniffing { crack_bits: 16 },
+        max_chains: 8,
+        ..Default::default()
+    };
+    let mut successes = Vec::new();
+    let mut failures = Vec::new();
+    for phone in &harvested {
+        match attack.execute(eco, phone, target) {
+            Ok(report) => successes.push(report),
+            Err(e) => failures.push((phone.to_string(), e)),
+        }
+    }
+    RandomAttackReport { harvested: harvested.len(), successes, failures }
+}
+
+/// Runs a **targeted attack**: resolve the named victim through the leak
+/// database, seed the dossier with the leaked identity data, and attack
+/// with the stealthier active MitM rig.
+///
+/// # Errors
+///
+/// Propagates reconnaissance and chain failures.
+pub fn targeted_attack(
+    eco: &mut Ecosystem,
+    db: &LeakDatabase,
+    victim_name: &str,
+    target: &ServiceId,
+    platform: Platform,
+) -> Result<ChainReport, AttackError> {
+    let (phone, _address) = recon::lookup_target(db, victim_name)?;
+    let attack = ChainReactionAttack {
+        platform,
+        profile: AttackerProfile::targeted(),
+        mode: InterceptMode::ActiveMitm,
+        max_chains: 8,
+        ..Default::default()
+    };
+    attack.execute(eco, &phone, target)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use actfort_ecosystem::dataset::curated_services;
+    use actfort_ecosystem::population::PopulationBuilder;
+    use actfort_gsm::network::NetworkConfig;
+
+    fn world(n_people: usize) -> (Ecosystem, Vec<Person>) {
+        let mut eco = Ecosystem::with_network(
+            17,
+            NetworkConfig { session_key_bits: 16, ..Default::default() },
+        );
+        let mut people = PopulationBuilder::new(51).population(n_people);
+        for p in &mut people {
+            p.email = format!("u{}@gmail.com", p.id.0);
+            eco.add_person(p.clone()).unwrap();
+        }
+        for spec in curated_services() {
+            eco.add_service(spec).unwrap();
+        }
+        eco.enroll_everyone().unwrap();
+        (eco, people)
+    }
+
+    #[test]
+    fn random_attack_compromises_harvested_victims() {
+        let (mut eco, people) = world(4);
+        let report = random_attack(&mut eco, &people, &"baidu-wallet".into(), Platform::Web, 50);
+        assert!(report.harvested >= 1);
+        assert!(
+            !report.successes.is_empty(),
+            "at least one harvested victim falls; failures: {:?}",
+            report.failures
+        );
+        for s in &report.successes {
+            assert!(s.receipt.is_some(), "wallet pays out");
+        }
+        let summary = report.summary();
+        assert_eq!(summary.compromised, report.successes.len());
+        assert!(summary.success_rate > 0.0 && summary.success_rate <= 1.0);
+        assert!(summary.mean_accounts_per_chain >= 1.0);
+        assert_eq!(summary.payments, summary.compromised);
+        assert!(summary.mean_elapsed_ms > 0.0, "chains consume simulated time");
+    }
+
+    #[test]
+    fn targeted_attack_with_leak_database() {
+        let (mut eco, people) = world(3);
+        let db = LeakDatabase::from_breach(&people, 1.0);
+        let victim = &people[1];
+        let report =
+            targeted_attack(&mut eco, &db, &victim.real_name, &"alipay".into(), Platform::MobileApp)
+                .unwrap();
+        assert!(report.stealthy, "active MitM leaves no trace on the handset");
+        assert!(report.receipt.is_some());
+    }
+
+    #[test]
+    fn targeted_attack_fails_without_leak_entry() {
+        let (mut eco, people) = world(2);
+        let db = LeakDatabase::from_breach(&people, 0.0);
+        let err = targeted_attack(
+            &mut eco,
+            &db,
+            &people[0].real_name,
+            &"alipay".into(),
+            Platform::MobileApp,
+        );
+        assert!(matches!(err, Err(AttackError::ReconFailed(_))));
+    }
+}

@@ -1,0 +1,204 @@
+//! An in-process mail system: per-address inboxes, verification codes
+//! and password-reset links.
+//!
+//! The paper's measurement found email the second most common factor and
+//! "the gateway to most of the vulnerabilities": a compromised mailbox
+//! yields every code and reset link sent to it, which is exactly what
+//! [`Mailbox::messages`] hands an attacker who has taken the account.
+
+use crate::error::AuthError;
+use serde::{Deserialize, Serialize};
+use std::collections::HashMap;
+
+/// One delivered email.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct EmailMessage {
+    /// Sending service identifier.
+    pub from: String,
+    /// Subject line.
+    pub subject: String,
+    /// Body text (codes and links appear here verbatim).
+    pub body: String,
+    /// Delivery time.
+    pub delivered_at_ms: u64,
+}
+
+impl EmailMessage {
+    /// Extracts the first run of 4–10 consecutive digits — how both the
+    /// legitimate user and an attacker reading a stolen mailbox find the
+    /// verification code.
+    pub fn extract_code(&self) -> Option<String> {
+        let bytes = self.body.as_bytes();
+        let mut i = 0;
+        while i < bytes.len() {
+            if bytes[i].is_ascii_digit() {
+                let start = i;
+                while i < bytes.len() && bytes[i].is_ascii_digit() {
+                    i += 1;
+                }
+                let run = &self.body[start..i];
+                if (4..=10).contains(&run.len()) {
+                    return Some(run.to_owned());
+                }
+            } else {
+                i += 1;
+            }
+        }
+        None
+    }
+
+    /// Extracts the first `https://` link, if any (reset links).
+    pub fn extract_link(&self) -> Option<&str> {
+        let start = self.body.find("https://")?;
+        let rest = &self.body[start..];
+        let end = rest.find(|c: char| c.is_whitespace()).unwrap_or(rest.len());
+        Some(&rest[..end])
+    }
+}
+
+/// A single user's mailbox.
+#[derive(Debug, Clone, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Mailbox {
+    messages: Vec<EmailMessage>,
+}
+
+impl Mailbox {
+    /// All messages, oldest first.
+    pub fn messages(&self) -> &[EmailMessage] {
+        &self.messages
+    }
+
+    /// The newest message from `service`, if any.
+    pub fn latest_from(&self, service: &str) -> Option<&EmailMessage> {
+        self.messages.iter().rev().find(|m| m.from == service)
+    }
+}
+
+/// The mail transport connecting services to mailboxes.
+#[derive(Debug, Clone, Default)]
+pub struct MailSystem {
+    boxes: HashMap<String, Mailbox>,
+    delivered: u64,
+}
+
+impl MailSystem {
+    /// Creates an empty mail system.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Registers an address (idempotent).
+    pub fn register(&mut self, address: &str) {
+        self.boxes.entry(address.to_owned()).or_default();
+    }
+
+    /// Whether an address exists.
+    pub fn has_address(&self, address: &str) -> bool {
+        self.boxes.contains_key(address)
+    }
+
+    /// Delivers a message.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`AuthError::Unknown`] for an unregistered address.
+    pub fn deliver(
+        &mut self,
+        to: &str,
+        from: &str,
+        subject: &str,
+        body: &str,
+        now_ms: u64,
+    ) -> Result<(), AuthError> {
+        let mb = self.boxes.get_mut(to).ok_or_else(|| AuthError::Unknown(to.to_owned()))?;
+        mb.messages.push(EmailMessage {
+            from: from.to_owned(),
+            subject: subject.to_owned(),
+            body: body.to_owned(),
+            delivered_at_ms: now_ms,
+        });
+        self.delivered += 1;
+        Ok(())
+    }
+
+    /// Read access to a mailbox — note that this is also precisely what an
+    /// attacker gets after compromising the email account.
+    pub fn mailbox(&self, address: &str) -> Option<&Mailbox> {
+        self.boxes.get(address)
+    }
+
+    /// Total messages delivered.
+    pub fn delivered_count(&self) -> u64 {
+        self.delivered
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn register_deliver_read() {
+        let mut mail = MailSystem::new();
+        mail.register("alice@example.com");
+        mail.deliver("alice@example.com", "paypal", "Your code", "Code: 482910", 5).unwrap();
+        let mb = mail.mailbox("alice@example.com").unwrap();
+        assert_eq!(mb.messages().len(), 1);
+        assert_eq!(mb.latest_from("paypal").unwrap().extract_code().unwrap(), "482910");
+    }
+
+    #[test]
+    fn deliver_to_unknown_address_fails() {
+        let mut mail = MailSystem::new();
+        assert!(matches!(
+            mail.deliver("nobody@example.com", "svc", "s", "b", 0),
+            Err(AuthError::Unknown(_))
+        ));
+    }
+
+    #[test]
+    fn latest_from_picks_newest() {
+        let mut mail = MailSystem::new();
+        mail.register("a@x.com");
+        mail.deliver("a@x.com", "svc", "first", "code 1111", 1).unwrap();
+        mail.deliver("a@x.com", "svc", "second", "code 2222", 2).unwrap();
+        mail.deliver("a@x.com", "other", "noise", "code 9999", 3).unwrap();
+        assert_eq!(mail.mailbox("a@x.com").unwrap().latest_from("svc").unwrap().subject, "second");
+    }
+
+    #[test]
+    fn code_extraction_rules() {
+        let m = |body: &str| EmailMessage {
+            from: String::new(),
+            subject: String::new(),
+            body: body.to_owned(),
+            delivered_at_ms: 0,
+        };
+        assert_eq!(m("your code is 123456, thanks").extract_code().unwrap(), "123456");
+        assert_eq!(m("order #123 shipped; pin 7890").extract_code().unwrap(), "7890");
+        assert_eq!(m("no digits here").extract_code(), None);
+        assert_eq!(m("card 12345678901234567890 is long").extract_code(), None);
+    }
+
+    #[test]
+    fn link_extraction() {
+        let m = EmailMessage {
+            from: String::new(),
+            subject: String::new(),
+            body: "reset here: https://fb.com/l/9ftHJ8doo7jtDf now".to_owned(),
+            delivered_at_ms: 0,
+        };
+        assert_eq!(m.extract_link().unwrap(), "https://fb.com/l/9ftHJ8doo7jtDf");
+        let none = EmailMessage { body: "plain".into(), ..m };
+        assert_eq!(none.extract_link(), None);
+    }
+
+    #[test]
+    fn register_is_idempotent() {
+        let mut mail = MailSystem::new();
+        mail.register("a@x.com");
+        mail.deliver("a@x.com", "svc", "s", "b", 0).unwrap();
+        mail.register("a@x.com");
+        assert_eq!(mail.mailbox("a@x.com").unwrap().messages().len(), 1);
+    }
+}

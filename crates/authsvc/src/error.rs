@@ -1,0 +1,88 @@
+//! Error types for the authentication substrate.
+
+use std::fmt;
+
+/// Errors produced by the authentication services.
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum AuthError {
+    /// The presented code is wrong.
+    WrongCode,
+    /// The code existed but has expired.
+    CodeExpired,
+    /// No code was ever issued for this key.
+    NoCodeIssued,
+    /// Too many wrong attempts; the factor is locked out.
+    LockedOut {
+        /// Milliseconds until the lockout lifts.
+        retry_after_ms: u64,
+    },
+    /// A new code was requested too soon after the previous one.
+    RateLimited {
+        /// Milliseconds until a new code may be requested.
+        retry_after_ms: u64,
+    },
+    /// The referenced user/address/device is unknown.
+    Unknown(String),
+    /// Password verification failed.
+    BadPassword,
+    /// A U2F assertion was produced for a different origin (phishing or
+    /// MitM detected by origin binding).
+    OriginMismatch {
+        /// Origin the key signed.
+        signed: String,
+        /// Origin the service expected.
+        expected: String,
+    },
+    /// The push request was denied or timed out on the device.
+    PushDenied,
+    /// A downstream delivery step failed (SMS gateway, mail routing).
+    Delivery(String),
+}
+
+impl fmt::Display for AuthError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            AuthError::WrongCode => f.write_str("presented code is wrong"),
+            AuthError::CodeExpired => f.write_str("code has expired"),
+            AuthError::NoCodeIssued => f.write_str("no code was issued"),
+            AuthError::LockedOut { retry_after_ms } => {
+                write!(f, "locked out for {retry_after_ms} ms after repeated failures")
+            }
+            AuthError::RateLimited { retry_after_ms } => {
+                write!(f, "rate limited; retry in {retry_after_ms} ms")
+            }
+            AuthError::Unknown(s) => write!(f, "unknown principal: {s}"),
+            AuthError::BadPassword => f.write_str("password verification failed"),
+            AuthError::OriginMismatch { signed, expected } => {
+                write!(f, "assertion origin {signed:?} does not match expected {expected:?}")
+            }
+            AuthError::PushDenied => f.write_str("push authentication was denied"),
+            AuthError::Delivery(s) => write!(f, "delivery failed: {s}"),
+        }
+    }
+}
+
+impl std::error::Error for AuthError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn error_is_send_sync() {
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<AuthError>();
+    }
+
+    #[test]
+    fn display_messages() {
+        assert!(AuthError::RateLimited { retry_after_ms: 30_000 }.to_string().contains("30000"));
+        assert!(AuthError::OriginMismatch {
+            signed: "evil.example".into(),
+            expected: "bank.example".into()
+        }
+        .to_string()
+        .contains("evil.example"));
+    }
+}

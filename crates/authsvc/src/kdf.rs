@@ -1,0 +1,75 @@
+//! A salted, iterated key-derivation function over SHA-256
+//! (PBKDF1-style chaining; enough to model password storage cost).
+
+use crate::sha256::{digest, DIGEST_LEN};
+
+/// Default iteration count used by the password store.
+pub const DEFAULT_ITERATIONS: u32 = 1_000;
+
+/// Derives a key from `secret` and `salt` with `iterations` chained
+/// SHA-256 applications.
+///
+/// # Panics
+///
+/// Panics if `iterations` is zero (a zero-work KDF is always a bug).
+pub fn derive(secret: &[u8], salt: &[u8], iterations: u32) -> [u8; DIGEST_LEN] {
+    assert!(iterations > 0, "kdf iterations must be positive");
+    let mut state = {
+        let mut first = Vec::with_capacity(secret.len() + salt.len());
+        first.extend_from_slice(salt);
+        first.extend_from_slice(secret);
+        digest(&first)
+    };
+    for _ in 1..iterations {
+        let mut buf = [0u8; DIGEST_LEN * 2];
+        buf[..DIGEST_LEN].copy_from_slice(&state);
+        buf[DIGEST_LEN..DIGEST_LEN + salt.len().min(DIGEST_LEN)]
+            .copy_from_slice(&salt[..salt.len().min(DIGEST_LEN)]);
+        state = digest(&buf);
+    }
+    state
+}
+
+/// Constant-time-ish comparison of two digests (length then XOR fold).
+pub fn verify(expected: &[u8; DIGEST_LEN], candidate: &[u8; DIGEST_LEN]) -> bool {
+    let mut acc = 0u8;
+    for (a, b) in expected.iter().zip(candidate) {
+        acc |= a ^ b;
+    }
+    acc == 0
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn deterministic() {
+        let a = derive(b"hunter2", b"salt", 100);
+        let b = derive(b"hunter2", b"salt", 100);
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn salt_and_secret_sensitive() {
+        let base = derive(b"hunter2", b"salt", 100);
+        assert_ne!(base, derive(b"hunter2", b"pepper", 100));
+        assert_ne!(base, derive(b"hunter3", b"salt", 100));
+        assert_ne!(base, derive(b"hunter2", b"salt", 101));
+    }
+
+    #[test]
+    #[should_panic(expected = "iterations must be positive")]
+    fn zero_iterations_panics() {
+        derive(b"x", b"y", 0);
+    }
+
+    #[test]
+    fn verify_matches_and_rejects() {
+        let a = derive(b"pw", b"s", 10);
+        let mut b = a;
+        assert!(verify(&a, &b));
+        b[31] ^= 1;
+        assert!(!verify(&a, &b));
+    }
+}

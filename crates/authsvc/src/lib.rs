@@ -1,0 +1,50 @@
+//! Authentication service substrate for the ActFort reproduction.
+//!
+//! Online services in the simulated ecosystem authenticate users through
+//! the components in this crate:
+//!
+//! - [`otp`] — numeric one-time codes with TTL, rate limiting and
+//!   attempt lockout (the "SMS Code" / "Email Code" factor).
+//! - [`sms_gateway`] — bridges OTP issuance onto the simulated GSM
+//!   network, which is exactly where the paper's interception attacks
+//!   bite.
+//! - [`email`] — an in-process mail system with per-address inboxes,
+//!   code and reset-link delivery.
+//! - [`totp`] — RFC-6238-style time-based codes over our own
+//!   HMAC-SHA-256.
+//! - [`u2f`] — an origin-bound challenge/response security key, the
+//!   factor the paper found unattackable.
+//! - [`push`] — the paper's proposed countermeasure (§VII-A2): built-in
+//!   push authentication over an encrypted channel that never touches
+//!   GSM.
+//! - [`password`], [`kdf`], [`sha256`] — salted iterated password
+//!   storage over a from-scratch SHA-256.
+//!
+//! All components take explicit `now_ms` timestamps so simulations stay
+//! deterministic.
+//!
+//! # Example
+//!
+//! ```
+//! use actfort_authsvc::otp::{OtpIssuer, OtpPolicy};
+//!
+//! # fn main() -> Result<(), actfort_authsvc::AuthError> {
+//! let mut otp = OtpIssuer::new(OtpPolicy::default(), 42);
+//! let code = otp.issue("alipay:alice:reset", 0)?;
+//! otp.verify("alipay:alice:reset", &code, 1_000)?;
+//! # Ok(())
+//! # }
+//! ```
+
+pub mod email;
+pub mod error;
+pub mod kdf;
+pub mod otp;
+pub mod password;
+pub mod push;
+pub mod sha256;
+pub mod sms_gateway;
+pub mod totp;
+pub mod u2f;
+
+pub use error::AuthError;

@@ -1,0 +1,239 @@
+//! Numeric one-time codes with TTL, issue rate limiting and attempt
+//! lockout — the "SMS Code" / "Email Code" factor of the paper.
+
+use crate::error::AuthError;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use std::collections::HashMap;
+
+/// Issuance and verification policy.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct OtpPolicy {
+    /// Code length in decimal digits (4–10).
+    pub digits: u8,
+    /// Code lifetime in milliseconds.
+    pub ttl_ms: u64,
+    /// Minimum interval between issues for one key.
+    pub min_issue_interval_ms: u64,
+    /// Wrong attempts tolerated before lockout.
+    pub max_attempts: u8,
+    /// Lockout duration after exhausting attempts.
+    pub lockout_ms: u64,
+}
+
+impl Default for OtpPolicy {
+    fn default() -> Self {
+        Self {
+            digits: 6,
+            ttl_ms: 5 * 60 * 1_000,
+            min_issue_interval_ms: 60 * 1_000,
+            max_attempts: 5,
+            lockout_ms: 15 * 60 * 1_000,
+        }
+    }
+}
+
+#[derive(Debug, Clone)]
+struct ActiveCode {
+    code: String,
+    issued_at_ms: u64,
+    attempts: u8,
+}
+
+/// Issues and verifies one-time codes keyed by an arbitrary string
+/// (typically `service:user:purpose`).
+///
+/// All methods take an explicit `now_ms`; the issuer holds no clock.
+#[derive(Debug, Clone)]
+pub struct OtpIssuer {
+    policy: OtpPolicy,
+    rng: StdRng,
+    active: HashMap<String, ActiveCode>,
+    last_issue_ms: HashMap<String, u64>,
+    locked_until_ms: HashMap<String, u64>,
+    issued: u64,
+}
+
+impl OtpIssuer {
+    /// Creates an issuer with the given policy and RNG seed.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `policy.digits` is outside 4–10.
+    pub fn new(policy: OtpPolicy, seed: u64) -> Self {
+        assert!((4..=10).contains(&policy.digits), "otp digits must be 4–10");
+        Self {
+            policy,
+            rng: StdRng::seed_from_u64(seed),
+            active: HashMap::new(),
+            last_issue_ms: HashMap::new(),
+            locked_until_ms: HashMap::new(),
+            issued: 0,
+        }
+    }
+
+    /// The active policy.
+    pub fn policy(&self) -> OtpPolicy {
+        self.policy
+    }
+
+    /// Total codes issued over the issuer's lifetime.
+    pub fn issued_count(&self) -> u64 {
+        self.issued
+    }
+
+    /// Issues a fresh code for `key`, invalidating any previous one.
+    /// The caller is responsible for delivering the returned code.
+    ///
+    /// # Errors
+    ///
+    /// - [`AuthError::RateLimited`] when requested too soon.
+    /// - [`AuthError::LockedOut`] during a lockout window.
+    pub fn issue(&mut self, key: &str, now_ms: u64) -> Result<String, AuthError> {
+        if let Some(&until) = self.locked_until_ms.get(key) {
+            if now_ms < until {
+                return Err(AuthError::LockedOut { retry_after_ms: until - now_ms });
+            }
+            self.locked_until_ms.remove(key);
+        }
+        if let Some(&last) = self.last_issue_ms.get(key) {
+            let earliest = last + self.policy.min_issue_interval_ms;
+            if now_ms < earliest {
+                return Err(AuthError::RateLimited { retry_after_ms: earliest - now_ms });
+            }
+        }
+        let max = 10u64.pow(u32::from(self.policy.digits));
+        let code = format!("{:0width$}", self.rng.gen_range(0..max), width = usize::from(self.policy.digits));
+        self.active
+            .insert(key.to_owned(), ActiveCode { code: code.clone(), issued_at_ms: now_ms, attempts: 0 });
+        self.last_issue_ms.insert(key.to_owned(), now_ms);
+        self.issued += 1;
+        Ok(code)
+    }
+
+    /// Verifies `code` for `key`, consuming the active code on success.
+    ///
+    /// # Errors
+    ///
+    /// - [`AuthError::NoCodeIssued`] when nothing is pending.
+    /// - [`AuthError::CodeExpired`] past the TTL.
+    /// - [`AuthError::WrongCode`] on mismatch (counting toward lockout).
+    /// - [`AuthError::LockedOut`] after too many failures.
+    pub fn verify(&mut self, key: &str, code: &str, now_ms: u64) -> Result<(), AuthError> {
+        if let Some(&until) = self.locked_until_ms.get(key) {
+            if now_ms < until {
+                return Err(AuthError::LockedOut { retry_after_ms: until - now_ms });
+            }
+            self.locked_until_ms.remove(key);
+        }
+        let active = self.active.get_mut(key).ok_or(AuthError::NoCodeIssued)?;
+        if now_ms.saturating_sub(active.issued_at_ms) > self.policy.ttl_ms {
+            self.active.remove(key);
+            return Err(AuthError::CodeExpired);
+        }
+        if active.code == code {
+            self.active.remove(key);
+            return Ok(());
+        }
+        active.attempts += 1;
+        if active.attempts >= self.policy.max_attempts {
+            self.active.remove(key);
+            self.locked_until_ms.insert(key.to_owned(), now_ms + self.policy.lockout_ms);
+            return Err(AuthError::LockedOut { retry_after_ms: self.policy.lockout_ms });
+        }
+        Err(AuthError::WrongCode)
+    }
+
+    /// Whether a key currently has an unexpired code pending.
+    pub fn has_pending(&self, key: &str, now_ms: u64) -> bool {
+        self.active
+            .get(key)
+            .map(|a| now_ms.saturating_sub(a.issued_at_ms) <= self.policy.ttl_ms)
+            .unwrap_or(false)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn issuer() -> OtpIssuer {
+        OtpIssuer::new(OtpPolicy::default(), 42)
+    }
+
+    #[test]
+    fn issue_and_verify() {
+        let mut otp = issuer();
+        let code = otp.issue("svc:alice", 0).unwrap();
+        assert_eq!(code.len(), 6);
+        assert!(code.bytes().all(|b| b.is_ascii_digit()));
+        assert!(otp.verify("svc:alice", &code, 1_000).is_ok());
+        // Consumed: second use fails.
+        assert_eq!(otp.verify("svc:alice", &code, 1_001), Err(AuthError::NoCodeIssued));
+    }
+
+    #[test]
+    fn expiry_enforced() {
+        let mut otp = issuer();
+        let code = otp.issue("k", 0).unwrap();
+        assert_eq!(otp.verify("k", &code, 5 * 60 * 1_000 + 1), Err(AuthError::CodeExpired));
+    }
+
+    #[test]
+    fn rate_limit_between_issues() {
+        let mut otp = issuer();
+        otp.issue("k", 0).unwrap();
+        assert!(matches!(otp.issue("k", 30_000), Err(AuthError::RateLimited { .. })));
+        assert!(otp.issue("k", 60_000).is_ok());
+    }
+
+    #[test]
+    fn reissue_invalidates_previous_code() {
+        let mut otp = issuer();
+        let first = otp.issue("k", 0).unwrap();
+        let second = otp.issue("k", 60_000).unwrap();
+        assert_ne!(first, second);
+        assert_eq!(otp.verify("k", &first, 61_000), Err(AuthError::WrongCode));
+        assert!(otp.verify("k", &second, 61_000).is_ok());
+    }
+
+    #[test]
+    fn lockout_after_repeated_failures() {
+        let mut otp = issuer();
+        let code = otp.issue("k", 0).unwrap();
+        let wrong = if code == "000000" { "000001" } else { "000000" };
+        for _ in 0..4 {
+            assert_eq!(otp.verify("k", wrong, 1), Err(AuthError::WrongCode));
+        }
+        assert!(matches!(otp.verify("k", wrong, 1), Err(AuthError::LockedOut { .. })));
+        // Even the right code is refused during lockout...
+        assert!(matches!(otp.verify("k", &code, 2), Err(AuthError::LockedOut { .. })));
+        assert!(matches!(otp.issue("k", 2), Err(AuthError::LockedOut { .. })));
+        // ...and issuing works again after it lifts.
+        assert!(otp.issue("k", 15 * 60 * 1_000 + 2).is_ok());
+    }
+
+    #[test]
+    fn keys_are_independent() {
+        let mut otp = issuer();
+        let a = otp.issue("svc:a", 0).unwrap();
+        let _b = otp.issue("svc:b", 0).unwrap();
+        assert!(otp.verify("svc:a", &a, 1).is_ok());
+        assert!(otp.has_pending("svc:b", 1));
+        assert!(!otp.has_pending("svc:a", 1));
+    }
+
+    #[test]
+    fn issued_count_tracks() {
+        let mut otp = issuer();
+        otp.issue("a", 0).unwrap();
+        otp.issue("b", 0).unwrap();
+        assert_eq!(otp.issued_count(), 2);
+    }
+
+    #[test]
+    #[should_panic(expected = "digits must be 4–10")]
+    fn bad_digit_policy_panics() {
+        OtpIssuer::new(OtpPolicy { digits: 3, ..Default::default() }, 0);
+    }
+}

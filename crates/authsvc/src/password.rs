@@ -1,0 +1,136 @@
+//! Salted password storage for simulated services.
+
+use crate::error::AuthError;
+use crate::kdf::{self, DEFAULT_ITERATIONS};
+use crate::sha256::DIGEST_LEN;
+use std::collections::HashMap;
+
+#[derive(Debug, Clone)]
+struct Record {
+    salt: [u8; 16],
+    hash: [u8; DIGEST_LEN],
+}
+
+/// A per-service password database.
+///
+/// ```
+/// use actfort_authsvc::password::PasswordStore;
+/// let mut store = PasswordStore::new();
+/// store.set("alice", "correct horse");
+/// assert!(store.verify("alice", "correct horse").is_ok());
+/// assert!(store.verify("alice", "wrong").is_err());
+/// ```
+#[derive(Debug, Clone, Default)]
+pub struct PasswordStore {
+    users: HashMap<String, Record>,
+    iterations: u32,
+    salt_counter: u64,
+}
+
+impl PasswordStore {
+    /// Creates an empty store with the default KDF cost.
+    pub fn new() -> Self {
+        Self { users: HashMap::new(), iterations: DEFAULT_ITERATIONS, salt_counter: 0 }
+    }
+
+    /// Creates a store with a custom KDF cost (useful to keep large
+    /// simulations fast).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `iterations` is zero.
+    pub fn with_iterations(iterations: u32) -> Self {
+        assert!(iterations > 0, "kdf iterations must be positive");
+        Self { users: HashMap::new(), iterations, salt_counter: 0 }
+    }
+
+    /// Sets (or resets) a user's password. This is exactly what a
+    /// password-reset flow calls once its factors verify.
+    pub fn set(&mut self, user: &str, password: &str) {
+        self.salt_counter += 1;
+        let mut salt = [0u8; 16];
+        salt[..8].copy_from_slice(&self.salt_counter.to_be_bytes());
+        salt[8..].copy_from_slice(&(user.len() as u64).to_be_bytes());
+        let hash = kdf::derive(password.as_bytes(), &salt, self.iterations);
+        self.users.insert(user.to_owned(), Record { salt, hash });
+    }
+
+    /// Verifies a login attempt.
+    ///
+    /// # Errors
+    ///
+    /// - [`AuthError::Unknown`] when the user does not exist.
+    /// - [`AuthError::BadPassword`] on mismatch.
+    pub fn verify(&self, user: &str, password: &str) -> Result<(), AuthError> {
+        let rec = self.users.get(user).ok_or_else(|| AuthError::Unknown(user.to_owned()))?;
+        let candidate = kdf::derive(password.as_bytes(), &rec.salt, self.iterations);
+        if kdf::verify(&rec.hash, &candidate) {
+            Ok(())
+        } else {
+            Err(AuthError::BadPassword)
+        }
+    }
+
+    /// Whether the user exists.
+    pub fn contains(&self, user: &str) -> bool {
+        self.users.contains_key(user)
+    }
+
+    /// Number of stored credentials.
+    pub fn len(&self) -> usize {
+        self.users.len()
+    }
+
+    /// Whether the store is empty.
+    pub fn is_empty(&self) -> bool {
+        self.users.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn store() -> PasswordStore {
+        PasswordStore::with_iterations(10)
+    }
+
+    #[test]
+    fn set_verify_cycle() {
+        let mut s = store();
+        s.set("alice", "pw1");
+        assert!(s.verify("alice", "pw1").is_ok());
+        assert_eq!(s.verify("alice", "pw2"), Err(AuthError::BadPassword));
+        assert!(matches!(s.verify("bob", "pw1"), Err(AuthError::Unknown(_))));
+    }
+
+    #[test]
+    fn reset_replaces_password() {
+        let mut s = store();
+        s.set("alice", "old");
+        s.set("alice", "new");
+        assert!(s.verify("alice", "old").is_err());
+        assert!(s.verify("alice", "new").is_ok());
+    }
+
+    #[test]
+    fn salts_are_unique_per_set() {
+        let mut s = store();
+        s.set("alice", "same");
+        let h1 = s.users.get("alice").unwrap().hash;
+        s.set("alice", "same");
+        let h2 = s.users.get("alice").unwrap().hash;
+        assert_ne!(h1, h2, "same password, different salt, different hash");
+    }
+
+    #[test]
+    fn len_and_contains() {
+        let mut s = store();
+        assert!(s.is_empty());
+        s.set("a", "x");
+        s.set("b", "y");
+        assert_eq!(s.len(), 2);
+        assert!(s.contains("a"));
+        assert!(!s.contains("c"));
+    }
+}

@@ -1,0 +1,144 @@
+//! Bridges OTP issuance onto the simulated GSM network.
+//!
+//! This is the path the paper attacks: the service calls
+//! [`SmsOtpGateway::send_code`], the code crosses the air interface as an
+//! SMS-DELIVER, and anyone who can read that frame owns the factor.
+
+use crate::error::AuthError;
+use crate::otp::{OtpIssuer, OtpPolicy};
+use actfort_gsm::identity::Msisdn;
+use actfort_gsm::network::GsmNetwork;
+use actfort_gsm::pdu::Address;
+
+/// A per-service SMS OTP gateway.
+#[derive(Debug, Clone)]
+pub struct SmsOtpGateway {
+    service: String,
+    issuer: OtpIssuer,
+}
+
+impl SmsOtpGateway {
+    /// Creates a gateway for `service` (used as the SMS sender ID when it
+    /// fits the 11-character alphanumeric limit).
+    pub fn new(service: &str, policy: OtpPolicy, seed: u64) -> Self {
+        Self { service: service.to_owned(), issuer: OtpIssuer::new(policy, seed) }
+    }
+
+    /// The service name this gateway sends for.
+    pub fn service(&self) -> &str {
+        &self.service
+    }
+
+    fn key(to: &Msisdn, purpose: &str) -> String {
+        format!("{to}:{purpose}")
+    }
+
+    /// Issues a code and texts it to `to` over the GSM network.
+    ///
+    /// # Errors
+    ///
+    /// - OTP policy errors ([`AuthError::RateLimited`], [`AuthError::LockedOut`]).
+    /// - [`AuthError::Delivery`] when the GSM side rejects the message.
+    pub fn send_code(
+        &mut self,
+        net: &mut GsmNetwork,
+        to: &Msisdn,
+        purpose: &str,
+        now_ms: u64,
+    ) -> Result<(), AuthError> {
+        let code = self.issuer.issue(&Self::key(to, purpose), now_ms)?;
+        let text = format!("{code} is your {} {purpose} code. Do not share it.", self.service);
+        let sender = Address::alphanumeric(&self.service)
+            .or_else(|_| Address::numeric("10690001", actfort_gsm::pdu::TypeOfNumber::National))
+            .expect("static fallback address is valid");
+        net.send_sms_from(sender, to, &text)
+            .map_err(|e| AuthError::Delivery(e.to_string()))
+    }
+
+    /// Verifies a code presented back to the service.
+    ///
+    /// # Errors
+    ///
+    /// See [`OtpIssuer::verify`].
+    pub fn verify(&mut self, to: &Msisdn, purpose: &str, code: &str, now_ms: u64) -> Result<(), AuthError> {
+        self.issuer.verify(&Self::key(to, purpose), code, now_ms)
+    }
+
+    /// Total codes issued by this gateway.
+    pub fn issued_count(&self) -> u64 {
+        self.issuer.issued_count()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use actfort_gsm::network::{GsmNetwork, NetworkConfig};
+
+    fn setup() -> (GsmNetwork, Msisdn) {
+        let mut net = GsmNetwork::new(NetworkConfig::default());
+        let m = Msisdn::new("13800138000").unwrap();
+        let id = net.provision_subscriber("alice", m.clone()).unwrap();
+        net.attach(id).unwrap();
+        (net, m)
+    }
+
+    #[test]
+    fn code_reaches_handset_and_verifies() {
+        let (mut net, m) = setup();
+        let mut gw = SmsOtpGateway::new("Google", OtpPolicy::default(), 7);
+        gw.send_code(&mut net, &m, "login", 0).unwrap();
+        let id = net.subscriber_by_msisdn(&m).unwrap();
+        let sms = &net.terminal(id).unwrap().inbox()[0];
+        assert!(sms.text.contains("is your Google login code"));
+        assert_eq!(sms.originator, "Google");
+        // The user types the code back.
+        let code: String = sms.text.chars().take_while(|c| c.is_ascii_digit()).collect();
+        assert!(gw.verify(&m, "login", &code, 1_000).is_ok());
+    }
+
+    #[test]
+    fn wrong_purpose_does_not_verify() {
+        let (mut net, m) = setup();
+        let mut gw = SmsOtpGateway::new("Google", OtpPolicy::default(), 7);
+        gw.send_code(&mut net, &m, "login", 0).unwrap();
+        let id = net.subscriber_by_msisdn(&m).unwrap();
+        let code: String = net.terminal(id).unwrap().inbox()[0]
+            .text
+            .chars()
+            .take_while(|c| c.is_ascii_digit())
+            .collect();
+        assert_eq!(gw.verify(&m, "reset", &code, 1), Err(AuthError::NoCodeIssued));
+    }
+
+    #[test]
+    fn delivery_failure_maps_to_auth_error() {
+        let mut net = GsmNetwork::new(NetworkConfig::default());
+        let mut gw = SmsOtpGateway::new("Google", OtpPolicy::default(), 7);
+        let unknown = Msisdn::new("19999999999").unwrap();
+        assert!(matches!(
+            gw.send_code(&mut net, &unknown, "login", 0),
+            Err(AuthError::Delivery(_))
+        ));
+    }
+
+    #[test]
+    fn long_service_name_falls_back_to_shortcode() {
+        let (mut net, m) = setup();
+        let mut gw = SmsOtpGateway::new("AVeryLongServiceName", OtpPolicy::default(), 7);
+        gw.send_code(&mut net, &m, "login", 0).unwrap();
+        let id = net.subscriber_by_msisdn(&m).unwrap();
+        assert_eq!(net.terminal(id).unwrap().inbox()[0].originator, "10690001");
+    }
+
+    #[test]
+    fn rate_limit_propagates() {
+        let (mut net, m) = setup();
+        let mut gw = SmsOtpGateway::new("Google", OtpPolicy::default(), 7);
+        gw.send_code(&mut net, &m, "login", 0).unwrap();
+        assert!(matches!(
+            gw.send_code(&mut net, &m, "login", 1_000),
+            Err(AuthError::RateLimited { .. })
+        ));
+    }
+}

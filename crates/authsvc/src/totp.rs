@@ -1,0 +1,110 @@
+//! Time-based one-time passwords (RFC 6238 over our HMAC-SHA-256).
+
+use crate::sha256::hmac;
+use serde::{Deserialize, Serialize};
+
+/// A provisioned TOTP secret.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct TotpKey {
+    secret: Vec<u8>,
+    /// Time step in seconds (default 30).
+    pub step_secs: u64,
+    /// Code length in digits (default 6).
+    pub digits: u8,
+}
+
+impl TotpKey {
+    /// Creates a key with standard parameters.
+    ///
+    /// # Panics
+    ///
+    /// Panics on an empty secret or digits outside 6–8.
+    pub fn new(secret: Vec<u8>) -> Self {
+        Self::with_params(secret, 30, 6)
+    }
+
+    /// Creates a key with explicit parameters.
+    ///
+    /// # Panics
+    ///
+    /// Panics on an empty secret or digits outside 6–8.
+    pub fn with_params(secret: Vec<u8>, step_secs: u64, digits: u8) -> Self {
+        assert!(!secret.is_empty(), "totp secret must not be empty");
+        assert!((6..=8).contains(&digits), "totp digits must be 6–8");
+        assert!(step_secs > 0, "totp step must be positive");
+        Self { secret, step_secs, digits }
+    }
+
+    /// The code valid at `now_ms`.
+    pub fn code_at(&self, now_ms: u64) -> String {
+        let counter = (now_ms / 1_000) / self.step_secs;
+        self.code_for_counter(counter)
+    }
+
+    fn code_for_counter(&self, counter: u64) -> String {
+        let mac = hmac(&self.secret, &counter.to_be_bytes());
+        // Dynamic truncation (RFC 4226 §5.3).
+        let offset = usize::from(mac[31] & 0x0f);
+        let bin = (u32::from(mac[offset] & 0x7f) << 24)
+            | (u32::from(mac[offset + 1]) << 16)
+            | (u32::from(mac[offset + 2]) << 8)
+            | u32::from(mac[offset + 3]);
+        let modulus = 10u32.pow(u32::from(self.digits));
+        format!("{:0width$}", bin % modulus, width = usize::from(self.digits))
+    }
+
+    /// Verifies `code` at `now_ms`, accepting ±`window` time steps of
+    /// clock skew.
+    pub fn verify(&self, code: &str, now_ms: u64, window: u8) -> bool {
+        let counter = (now_ms / 1_000) / self.step_secs;
+        let lo = counter.saturating_sub(u64::from(window));
+        let hi = counter + u64::from(window);
+        (lo..=hi).any(|c| self.code_for_counter(c) == code)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn key() -> TotpKey {
+        TotpKey::new(b"12345678901234567890".to_vec())
+    }
+
+    #[test]
+    fn code_is_stable_within_step() {
+        let k = key();
+        assert_eq!(k.code_at(0), k.code_at(29_999));
+        assert_ne!(k.code_at(0), k.code_at(30_000));
+    }
+
+    #[test]
+    fn verify_accepts_current_and_window() {
+        let k = key();
+        let code = k.code_at(65_000);
+        assert!(k.verify(&code, 65_000, 0));
+        // One step later with window 1 still accepts.
+        assert!(k.verify(&code, 95_000, 1));
+        // But not with window 0.
+        assert!(!k.verify(&code, 95_000, 0));
+    }
+
+    #[test]
+    fn different_secrets_differ() {
+        let a = TotpKey::new(b"secret-a".to_vec());
+        let b = TotpKey::new(b"secret-b".to_vec());
+        assert_ne!(a.code_at(0), b.code_at(0));
+    }
+
+    #[test]
+    fn eight_digit_codes() {
+        let k = TotpKey::with_params(b"secret".to_vec(), 30, 8);
+        assert_eq!(k.code_at(0).len(), 8);
+    }
+
+    #[test]
+    #[should_panic(expected = "secret must not be empty")]
+    fn empty_secret_panics() {
+        TotpKey::new(Vec::new());
+    }
+}

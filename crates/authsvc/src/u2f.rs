@@ -1,0 +1,161 @@
+//! An origin-bound hardware security key (U2F-style challenge/response).
+//!
+//! The paper's measurement singles out U2F keys and biometrics as the
+//! factors Chain Reaction Attacks cannot traverse: the assertion binds
+//! the *origin*, so a code relayed through a phishing page or MitM
+//! carries the wrong origin and verification fails.
+//!
+//! Real U2F uses asymmetric signatures; this simulation substitutes a
+//! symmetric MAC chain with the same security-relevant structure: the
+//! authenticator derives a per-origin credential secret
+//! `cred = HMAC(device_secret, origin)` from the origin *it observes*,
+//! and signs challenges with it. The service stores `cred` at
+//! registration. A phished authenticator derives a different `cred`, so
+//! its assertions never verify.
+
+use crate::error::AuthError;
+use crate::sha256::hmac;
+use serde::{Deserialize, Serialize};
+
+/// The registered credential held by the service.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct KeyHandle {
+    /// Public identifier of the credential.
+    pub id: u64,
+    /// Origin the credential was registered for.
+    pub origin: String,
+    credential: [u8; 32],
+}
+
+/// The user-held authenticator (the physical key).
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct SecurityKey {
+    device_secret: u64,
+}
+
+/// An assertion produced by the key for one challenge.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Assertion {
+    /// Credential id this assertion belongs to.
+    pub key_id: u64,
+    /// Origin the authenticator saw when signing.
+    pub origin: String,
+    signature: [u8; 32],
+}
+
+impl SecurityKey {
+    /// Creates a key from device-unique secret material.
+    pub fn new(device_secret: u64) -> Self {
+        Self { device_secret }
+    }
+
+    /// Stable public credential id.
+    pub fn key_id(&self) -> u64 {
+        self.device_secret.wrapping_mul(0x9e37_79b9_7f4a_7c15) >> 1
+    }
+
+    fn credential_for(&self, origin: &str) -> [u8; 32] {
+        hmac(&self.device_secret.to_be_bytes(), origin.as_bytes())
+    }
+
+    /// Registers with a service at `origin`, yielding the handle the
+    /// service stores.
+    pub fn register(&self, origin: &str) -> KeyHandle {
+        KeyHandle {
+            id: self.key_id(),
+            origin: origin.to_owned(),
+            credential: self.credential_for(origin),
+        }
+    }
+
+    /// Signs a challenge as seen from `origin`. The origin comes from the
+    /// *browser/client*, not from the service — which is the entire
+    /// phishing defence: a key on a phishing page signs the wrong origin.
+    pub fn sign(&self, origin: &str, challenge: u64) -> Assertion {
+        let cred = self.credential_for(origin);
+        Assertion {
+            key_id: self.key_id(),
+            origin: origin.to_owned(),
+            signature: hmac(&cred, &challenge.to_be_bytes()),
+        }
+    }
+}
+
+impl KeyHandle {
+    /// Verifies an assertion for `challenge`.
+    ///
+    /// # Errors
+    ///
+    /// - [`AuthError::OriginMismatch`] when the assertion was produced on
+    ///   a different origin (phishing/MitM).
+    /// - [`AuthError::WrongCode`] when the signature does not verify.
+    pub fn verify(&self, assertion: &Assertion, challenge: u64) -> Result<(), AuthError> {
+        if assertion.origin != self.origin {
+            return Err(AuthError::OriginMismatch {
+                signed: assertion.origin.clone(),
+                expected: self.origin.clone(),
+            });
+        }
+        if assertion.key_id != self.id {
+            return Err(AuthError::WrongCode);
+        }
+        let expected = hmac(&self.credential, &challenge.to_be_bytes());
+        if expected == assertion.signature {
+            Ok(())
+        } else {
+            Err(AuthError::WrongCode)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn register_and_authenticate() {
+        let key = SecurityKey::new(0xdead_beef);
+        let handle = key.register("https://bank.example");
+        let assertion = key.sign("https://bank.example", 42);
+        assert!(handle.verify(&assertion, 42).is_ok());
+    }
+
+    #[test]
+    fn phished_origin_is_rejected() {
+        let key = SecurityKey::new(0xdead_beef);
+        let handle = key.register("https://bank.example");
+        // The victim's browser is on the phishing page, so the key signs
+        // the attacker's origin — verification must fail.
+        let assertion = key.sign("https://bank.example.evil", 42);
+        assert!(matches!(handle.verify(&assertion, 42), Err(AuthError::OriginMismatch { .. })));
+    }
+
+    #[test]
+    fn relayed_assertion_with_forged_origin_field_still_fails() {
+        // An attacker relaying in real time could rewrite the origin field
+        // of the assertion, but not the signature, which was derived from
+        // the origin the key actually saw.
+        let key = SecurityKey::new(0xdead_beef);
+        let handle = key.register("https://bank.example");
+        let mut assertion = key.sign("https://bank.example.evil", 42);
+        assertion.origin = "https://bank.example".to_owned();
+        assert_eq!(handle.verify(&assertion, 42), Err(AuthError::WrongCode));
+    }
+
+    #[test]
+    fn wrong_key_is_rejected() {
+        let key = SecurityKey::new(1);
+        let other = SecurityKey::new(2);
+        let handle = key.register("https://bank.example");
+        let assertion = other.sign("https://bank.example", 42);
+        assert!(handle.verify(&assertion, 42).is_err());
+    }
+
+    #[test]
+    fn replay_with_different_challenge_fails() {
+        let key = SecurityKey::new(7);
+        let handle = key.register("https://bank.example");
+        let assertion = key.sign("https://bank.example", 42);
+        assert!(handle.verify(&assertion, 43).is_err());
+    }
+}

@@ -1,0 +1,110 @@
+//! Property-based tests for the authentication substrate.
+
+use actfort_authsvc::otp::{OtpIssuer, OtpPolicy};
+use actfort_authsvc::sha256::{digest, hmac, Sha256};
+use actfort_authsvc::totp::TotpKey;
+use proptest::prelude::*;
+
+proptest! {
+    /// Streaming in arbitrary chunkings always equals the one-shot digest.
+    #[test]
+    fn sha256_streaming_invariance(data in prop::collection::vec(any::<u8>(), 0..512), cuts in prop::collection::vec(any::<usize>(), 0..6)) {
+        let oneshot = digest(&data);
+        let mut h = Sha256::new();
+        let mut offsets: Vec<usize> = cuts.iter().map(|&c| if data.is_empty() { 0 } else { c % data.len() }).collect();
+        offsets.sort_unstable();
+        let mut prev = 0;
+        for &o in &offsets {
+            h.update(&data[prev..o.max(prev)]);
+            prev = o.max(prev);
+        }
+        h.update(&data[prev..]);
+        prop_assert_eq!(h.finalize(), oneshot);
+    }
+
+    /// Distinct inputs give distinct digests (collision over random pairs
+    /// would falsify the implementation, not SHA-256).
+    #[test]
+    fn sha256_injective_on_samples(a in prop::collection::vec(any::<u8>(), 0..64), b in prop::collection::vec(any::<u8>(), 0..64)) {
+        prop_assume!(a != b);
+        prop_assert_ne!(digest(&a), digest(&b));
+    }
+
+    /// HMAC is key-sensitive.
+    #[test]
+    fn hmac_key_sensitivity(k1 in any::<u64>(), k2 in any::<u64>(), msg in prop::collection::vec(any::<u8>(), 0..64)) {
+        prop_assume!(k1 != k2);
+        prop_assert_ne!(hmac(&k1.to_be_bytes(), &msg), hmac(&k2.to_be_bytes(), &msg));
+    }
+
+    /// An issued OTP always verifies immediately and never twice.
+    #[test]
+    fn otp_issue_verify_once(seed in any::<u64>(), key in "[a-z]{1,12}") {
+        let mut otp = OtpIssuer::new(OtpPolicy::default(), seed);
+        let code = otp.issue(&key, 0).unwrap();
+        prop_assert!(otp.verify(&key, &code, 1).is_ok());
+        prop_assert!(otp.verify(&key, &code, 2).is_err());
+    }
+
+    /// OTP codes always have exactly the configured number of digits.
+    #[test]
+    fn otp_code_shape(seed in any::<u64>(), digits in 4u8..=10) {
+        let mut otp = OtpIssuer::new(OtpPolicy { digits, ..Default::default() }, seed);
+        let code = otp.issue("k", 0).unwrap();
+        prop_assert_eq!(code.len(), usize::from(digits));
+        prop_assert!(code.bytes().all(|b| b.is_ascii_digit()));
+    }
+
+    /// A TOTP code generated at time T verifies at T with window 0.
+    #[test]
+    fn totp_self_verifies(secret in prop::collection::vec(any::<u8>(), 1..40), now_ms in any::<u32>()) {
+        let key = TotpKey::new(secret);
+        let code = key.code_at(u64::from(now_ms));
+        prop_assert!(key.verify(&code, u64::from(now_ms), 0));
+    }
+
+    /// U2F assertions verify exactly when key, origin and challenge all
+    /// match the registration — any single mismatch fails.
+    #[test]
+    fn u2f_verification_is_exact(
+        device in any::<u64>(),
+        other_device in any::<u64>(),
+        challenge in any::<u64>(),
+        other_challenge in any::<u64>(),
+    ) {
+        use actfort_authsvc::u2f::SecurityKey;
+        let key = SecurityKey::new(device);
+        let handle = key.register("https://bank.example");
+        prop_assert!(handle.verify(&key.sign("https://bank.example", challenge), challenge).is_ok());
+        // Wrong origin (phishing).
+        prop_assert!(handle
+            .verify(&key.sign("https://evil.example", challenge), challenge)
+            .is_err());
+        // Wrong challenge (replay).
+        if challenge != other_challenge {
+            prop_assert!(handle
+                .verify(&key.sign("https://bank.example", challenge), other_challenge)
+                .is_err());
+        }
+        // Wrong device.
+        if device != other_device {
+            let imposter = SecurityKey::new(other_device);
+            prop_assert!(handle
+                .verify(&imposter.sign("https://bank.example", challenge), challenge)
+                .is_err());
+        }
+    }
+
+    /// Password storage round-trips for arbitrary credentials and never
+    /// accepts a different password.
+    #[test]
+    fn password_store_roundtrip(user in "[a-z]{1,10}", pw in ".{1,24}", wrong in ".{1,24}") {
+        use actfort_authsvc::password::PasswordStore;
+        let mut store = PasswordStore::with_iterations(4);
+        store.set(&user, &pw);
+        prop_assert!(store.verify(&user, &pw).is_ok());
+        if wrong != pw {
+            prop_assert!(store.verify(&user, &wrong).is_err());
+        }
+    }
+}

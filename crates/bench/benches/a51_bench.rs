@@ -1,0 +1,48 @@
+//! A5/1 cipher performance: key setup, keystream throughput and
+//! known-plaintext key search (the attack-side cost model).
+
+use actfort_gsm::a5::{A51, Kc, SubsetKeySearch};
+use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+
+fn bench_key_setup(c: &mut Criterion) {
+    c.bench_function("a51/key_setup", |b| {
+        let mut frame = 0u32;
+        b.iter(|| {
+            frame = frame.wrapping_add(1) & 0x3f_ffff;
+            black_box(A51::new(Kc(0x0123_4567_89ab_cdef), frame))
+        })
+    });
+}
+
+fn bench_keystream(c: &mut Criterion) {
+    let mut g = c.benchmark_group("a51/keystream");
+    for bytes in [23usize, 114, 1024] {
+        g.throughput(Throughput::Bytes(bytes as u64));
+        g.bench_with_input(BenchmarkId::from_parameter(bytes), &bytes, |b, &n| {
+            b.iter(|| {
+                let mut cipher = A51::new(Kc(0xdead_beef_cafe_f00d), 0x134);
+                black_box(cipher.keystream_bytes(n))
+            })
+        });
+    }
+    g.finish();
+}
+
+fn bench_key_search(c: &mut Criterion) {
+    let mut g = c.benchmark_group("a51/subset_key_search");
+    g.sample_size(10);
+    for bits in [8u32, 12, 16] {
+        // Worst case: the true key is the last candidate.
+        let true_kc = Kc(actfort_gsm::a5::WEAK_KC_BASE | ((1u64 << bits) - 1));
+        let mut ks = [0u8; 64];
+        A51::new(true_kc, 7).keystream_bits(&mut ks);
+        g.bench_with_input(BenchmarkId::from_parameter(bits), &bits, |b, &bits| {
+            let search = SubsetKeySearch::new(Kc(actfort_gsm::a5::WEAK_KC_BASE), bits);
+            b.iter(|| black_box(search.recover(7, &ks)))
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench_key_setup, bench_keystream, bench_key_search);
+criterion_main!(benches);

@@ -1,0 +1,48 @@
+//! Forward (OAAS → PAV) fixed-point analysis performance.
+
+use actfort_core::profile::AttackerProfile;
+use actfort_core::{forward, metrics};
+use actfort_ecosystem::policy::Platform;
+use actfort_ecosystem::synth::{generate, SynthConfig};
+use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+
+fn population(n: usize) -> Vec<actfort_ecosystem::ServiceSpec> {
+    let mut specs = actfort_ecosystem::dataset::curated_services();
+    if n > specs.len() {
+        specs.extend(generate(n - specs.len(), 5, &SynthConfig::default()));
+    } else {
+        specs.truncate(n);
+    }
+    specs
+}
+
+fn bench_forward(c: &mut Criterion) {
+    let mut g = c.benchmark_group("analysis/forward_fixed_point");
+    g.sample_size(10);
+    for n in [44usize, 201, 400] {
+        let specs = population(n);
+        g.throughput(Throughput::Elements(n as u64));
+        g.bench_with_input(BenchmarkId::from_parameter(n), &specs, |b, specs| {
+            let ap = AttackerProfile::paper_default();
+            b.iter(|| black_box(forward(specs, Platform::Web, &ap, &[])))
+        });
+    }
+    g.finish();
+}
+
+fn bench_depth_breakdowns(c: &mut Criterion) {
+    let specs = population(201);
+    let ap = AttackerProfile::paper_default();
+    let mut g = c.benchmark_group("analysis/depth_breakdown");
+    g.sample_size(10);
+    g.bench_function("exclusive_201", |b| {
+        b.iter(|| black_box(metrics::depth_breakdown(&specs, Platform::Web, &ap)))
+    });
+    g.bench_function("overlapping_201", |b| {
+        b.iter(|| black_box(metrics::depth_breakdown_overlapping(&specs, Platform::Web, &ap)))
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench_forward, bench_depth_breakdowns);
+criterion_main!(benches);

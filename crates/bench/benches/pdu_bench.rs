@@ -1,0 +1,53 @@
+//! GSM 03.40 PDU codec throughput.
+
+use actfort_gsm::pdu::{Address, SmsDeliver};
+use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+
+const GSM7_TEXTS: &[(&str, &str)] = &[
+    ("otp", "G-786348 is your Google verification code."),
+    ("long", "255436 is your Facebook password reset code or reset your password here: https://fb.com/l/9ftHJ8doo7jtDf plus padding toward the septet limit ......."),
+];
+
+fn bench_encode(c: &mut Criterion) {
+    let mut g = c.benchmark_group("pdu/encode");
+    for (label, text) in GSM7_TEXTS {
+        let oa = Address::alphanumeric("Google").unwrap();
+        let deliver = SmsDeliver::new(oa, text).unwrap();
+        g.throughput(Throughput::Bytes(text.len() as u64));
+        g.bench_with_input(BenchmarkId::from_parameter(label), &deliver, |b, d| {
+            b.iter(|| black_box(d.encode()))
+        });
+    }
+    // UCS-2 path.
+    let oa = Address::numeric("10690001", actfort_gsm::pdu::TypeOfNumber::National).unwrap();
+    let ucs2 = SmsDeliver::new(oa, "【支付宝】验证码 884211，请勿泄露给任何人").unwrap();
+    g.bench_function("ucs2", |b| b.iter(|| black_box(ucs2.encode())));
+    g.finish();
+}
+
+fn bench_decode(c: &mut Criterion) {
+    let mut g = c.benchmark_group("pdu/decode");
+    for (label, text) in GSM7_TEXTS {
+        let oa = Address::alphanumeric("Google").unwrap();
+        let bytes = SmsDeliver::new(oa, text).unwrap().encode();
+        g.throughput(Throughput::Bytes(bytes.len() as u64));
+        g.bench_with_input(BenchmarkId::from_parameter(label), &bytes, |b, data| {
+            b.iter(|| black_box(SmsDeliver::decode(data).unwrap()))
+        });
+    }
+    g.finish();
+}
+
+fn bench_roundtrip_with_text(c: &mut Criterion) {
+    c.bench_function("pdu/roundtrip_and_extract_text", |b| {
+        let oa = Address::alphanumeric("Google").unwrap();
+        let bytes = SmsDeliver::new(oa, GSM7_TEXTS[0].1).unwrap().encode();
+        b.iter(|| {
+            let d = SmsDeliver::decode(black_box(&bytes)).unwrap();
+            black_box(d.text().unwrap())
+        })
+    });
+}
+
+criterion_group!(benches, bench_encode, bench_decode, bench_roundtrip_with_text);
+criterion_main!(benches);

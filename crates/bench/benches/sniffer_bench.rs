@@ -1,0 +1,87 @@
+//! Passive sniffer throughput: frames ingested per second, with and
+//! without key cracking on the critical path.
+
+use actfort_gsm::arfcn::Arfcn;
+use actfort_gsm::identity::Msisdn;
+use actfort_gsm::network::{GsmNetwork, NetworkConfig};
+use actfort_gsm::sniffer::{PassiveSniffer, SnifferConfig};
+use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+
+/// Builds a network with `subs` attached subscribers, each having
+/// received `sms_each` messages.
+fn capture(session_key_bits: u32, subs: usize, sms_each: usize) -> GsmNetwork {
+    let mut net = GsmNetwork::new(NetworkConfig { session_key_bits, ..Default::default() });
+    for i in 0..subs {
+        let msisdn = Msisdn::new(&format!("138{i:08}")).unwrap();
+        let id = net.provision_subscriber(&format!("sub{i}"), msisdn.clone()).unwrap();
+        net.attach(id).unwrap();
+        for k in 0..sms_each {
+            net.send_sms(&msisdn, &format!("{:06} is your Service login code.", k * 7919 % 1_000_000))
+                .unwrap();
+        }
+    }
+    net
+}
+
+fn bench_poll(c: &mut Criterion) {
+    let plain = {
+        let mut net = GsmNetwork::new(NetworkConfig {
+            cipher_preference: vec![actfort_gsm::cipher::CipherAlgo::A50],
+            ..Default::default()
+        });
+        for i in 0..8 {
+            let msisdn = Msisdn::new(&format!("139{i:08}")).unwrap();
+            let id = net.provision_subscriber(&format!("p{i}"), msisdn.clone()).unwrap();
+            net.attach(id).unwrap();
+            for k in 0..4 {
+                net.send_sms(&msisdn, &format!("{k:06} is your Service login code.")).unwrap();
+            }
+        }
+        net
+    };
+    let weak = capture(16, 8, 4);
+
+    let mut g = c.benchmark_group("sniffer/poll");
+    g.sample_size(20);
+    g.throughput(Throughput::Elements(plain.ether().len() as u64));
+    g.bench_function("plaintext_a50", |b| {
+        b.iter(|| {
+            let mut s = PassiveSniffer::new(SnifferConfig::default());
+            s.monitor(Arfcn(17)).unwrap();
+            s.poll(black_box(plain.ether()));
+            black_box(s.sms().len())
+        })
+    });
+    g.throughput(Throughput::Elements(weak.ether().len() as u64));
+    g.bench_function("crack_weak_a51_16bit", |b| {
+        b.iter(|| {
+            let mut s = PassiveSniffer::new(SnifferConfig { crack_bits: 16, ..Default::default() });
+            s.monitor(Arfcn(17)).unwrap();
+            s.poll(black_box(weak.ether()));
+            black_box(s.sms().len())
+        })
+    });
+    g.finish();
+}
+
+fn bench_scaling_with_subscribers(c: &mut Criterion) {
+    let mut g = c.benchmark_group("sniffer/scaling");
+    g.sample_size(10);
+    for subs in [2usize, 8, 16] {
+        let net = capture(12, subs, 2);
+        g.throughput(Throughput::Elements(net.ether().len() as u64));
+        g.bench_with_input(BenchmarkId::from_parameter(subs), &net, |b, net| {
+            b.iter(|| {
+                let mut s =
+                    PassiveSniffer::new(SnifferConfig { crack_bits: 12, ..Default::default() });
+                s.monitor(Arfcn(17)).unwrap();
+                s.poll(net.ether());
+                black_box(s.stats())
+            })
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench_poll, bench_scaling_with_subscribers);
+criterion_main!(benches);

@@ -1,0 +1,41 @@
+//! Strategy-engine query latency: backward chain search over full-size
+//! dependency graphs.
+
+use actfort_core::profile::AttackerProfile;
+use actfort_core::strategy::StrategyEngine;
+use actfort_core::{backward_chains, Tdg};
+use actfort_ecosystem::policy::Platform;
+use actfort_ecosystem::synth::paper_population;
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+
+fn bench_backward(c: &mut Criterion) {
+    let specs = paper_population(5);
+    let tdg = Tdg::build(&specs, Platform::MobileApp, AttackerProfile::paper_default());
+    let mut g = c.benchmark_group("strategy/backward_chains");
+    g.sample_size(20);
+    for target in ["paypal", "alipay", "union-bank"] {
+        g.bench_function(target, |b| {
+            b.iter(|| black_box(backward_chains(&tdg, &target.into(), 8)))
+        });
+    }
+    g.finish();
+}
+
+fn bench_engine_construction(c: &mut Criterion) {
+    let specs = paper_population(5);
+    let mut g = c.benchmark_group("strategy/engine_new_201");
+    g.sample_size(10);
+    g.bench_function("mobile", |b| {
+        b.iter(|| {
+            black_box(StrategyEngine::new(
+                specs.clone(),
+                Platform::MobileApp,
+                AttackerProfile::paper_default(),
+            ))
+        })
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench_backward, bench_engine_construction);
+criterion_main!(benches);

@@ -1,0 +1,38 @@
+//! Transformation Dependency Graph construction scalability.
+
+use actfort_core::profile::AttackerProfile;
+use actfort_core::Tdg;
+use actfort_ecosystem::policy::Platform;
+use actfort_ecosystem::synth::{generate, SynthConfig};
+use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+
+fn bench_build(c: &mut Criterion) {
+    let mut g = c.benchmark_group("tdg/build");
+    g.sample_size(10);
+    for n in [44usize, 100, 201, 400] {
+        let mut specs = actfort_ecosystem::dataset::curated_services();
+        if n > specs.len() {
+            specs.extend(generate(n - specs.len(), 5, &SynthConfig::default()));
+        } else {
+            specs.truncate(n);
+        }
+        g.throughput(Throughput::Elements(n as u64));
+        g.bench_with_input(BenchmarkId::from_parameter(n), &specs, |b, specs| {
+            b.iter(|| {
+                black_box(Tdg::build(specs, Platform::Web, AttackerProfile::paper_default()))
+            })
+        });
+    }
+    g.finish();
+}
+
+fn bench_dot_export(c: &mut Criterion) {
+    let specs = actfort_ecosystem::synth::paper_population(5);
+    let tdg = Tdg::build(&specs, Platform::Web, AttackerProfile::paper_default());
+    c.bench_function("tdg/dot_export_201", |b| {
+        b.iter(|| black_box(actfort_core::dot::to_dot(&tdg)))
+    });
+}
+
+criterion_group!(benches, bench_build, bench_dot_export);
+criterion_main!(benches);

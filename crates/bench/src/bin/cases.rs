@@ -1,0 +1,67 @@
+//! Regenerates the §V-B case studies as executable experiments, printing
+//! the full narratives and verifying the paper's per-case claims.
+//!
+//! ```sh
+//! cargo run -p actfort-bench --bin cases
+//! ```
+
+use actfort_attack::cases::{
+    case1_baidu_wallet, case2_paypal_via_gmail, case3_alipay_via_ctrip, CaseWorld,
+};
+use actfort_bench::EXPERIMENT_SEED;
+
+fn main() {
+    let mut pass = 0;
+    let mut total = 0;
+
+    let mut check = |name: &str, claim: &str, ok: bool| {
+        total += 1;
+        if ok {
+            pass += 1;
+        }
+        println!("  [{}] {claim}", if ok { "ok" } else { "FAIL" });
+        let _ = name;
+    };
+
+    println!("Case I — Baidu Wallet (direct SMS login, QR payment)");
+    match case1_baidu_wallet(&mut CaseWorld::new(EXPERIMENT_SEED)) {
+        Ok(r) => {
+            for line in &r.narrative {
+                println!("    {line}");
+            }
+            check("case1", "no intermediate attack needed", r.accounts.len() == 1);
+            check("case1", "payment made", r.receipt.is_some());
+        }
+        Err(e) => check("case1", &format!("execution ({e})"), false),
+    }
+
+    println!("\nCase II — PayPal via Gmail (SMS → mailbox → email token)");
+    match case2_paypal_via_gmail(&mut CaseWorld::new(EXPERIMENT_SEED + 1)) {
+        Ok(r) => {
+            for line in &r.narrative {
+                println!("    {line}");
+            }
+            check("case2", "gmail compromised first", r.accounts[0].as_str() == "gmail");
+            check("case2", "paypal transaction made", r.receipt.is_some());
+        }
+        Err(e) => check("case2", &format!("execution ({e})"), false),
+    }
+
+    println!("\nCase III — Alipay via Ctrip (citizen-ID harvest, payment-code reset)");
+    match case3_alipay_via_ctrip(&mut CaseWorld::new(EXPERIMENT_SEED + 2)) {
+        Ok(r) => {
+            for line in &r.narrative {
+                println!("    {line}");
+            }
+            check("case3", "citizen ID read from ctrip", r.narrative.iter().any(|l| l.contains("citizen ID")));
+            check("case3", "payment code reset", r.narrative.iter().any(|l| l.contains("payment code")));
+            check("case3", "payment made", r.receipt.is_some());
+        }
+        Err(e) => check("case3", &format!("execution ({e})"), false),
+    }
+
+    println!("\n{pass}/{total} case claims verified");
+    if pass != total {
+        std::process::exit(1);
+    }
+}

@@ -1,0 +1,97 @@
+//! Regenerates the §VII countermeasure evaluation: differential
+//! re-analysis of the ecosystem under each proposed hardening measure.
+//!
+//! The paper argues qualitatively; this experiment quantifies each
+//! measure's effect on the dependency-depth table and additionally
+//! verifies the executable consequence (the chain attack that succeeds
+//! on the stock ecosystem fails on the hardened one).
+//!
+//! ```sh
+//! cargo run -p actfort-bench --bin countermeasures
+//! ```
+
+use actfort_attack::chain::ChainReactionAttack;
+use actfort_bench::EXPERIMENT_SEED;
+use actfort_core::counter::{apply, evaluate, Countermeasure};
+use actfort_core::profile::AttackerProfile;
+use actfort_ecosystem::dataset::curated_services;
+use actfort_ecosystem::host::Ecosystem;
+use actfort_ecosystem::policy::Platform;
+use actfort_ecosystem::population::PopulationBuilder;
+use actfort_ecosystem::synth::paper_population;
+use actfort_gsm::network::NetworkConfig;
+
+fn main() {
+    let specs = paper_population(EXPERIMENT_SEED);
+    let ap = AttackerProfile::paper_default();
+
+    println!("countermeasure differential analysis over {} services\n", specs.len());
+    for platform in [Platform::Web, Platform::MobileApp] {
+        println!("{platform}:");
+        println!(
+            "  {:<50} {:>9} {:>9} {:>12}",
+            "measure", "direct→", "after", "survive Δpp"
+        );
+        for &cm in Countermeasure::all() {
+            let r = evaluate(&specs, &[cm], platform, &ap);
+            println!(
+                "  {:<50} {:>9.2} {:>9.2} {:>+12.2}",
+                r.label,
+                r.before.direct_pct,
+                r.after.direct_pct,
+                r.survivability_gain_pts()
+            );
+        }
+        let all = evaluate(&specs, Countermeasure::all(), platform, &ap);
+        println!(
+            "  {:<50} {:>9.2} {:>9.2} {:>+12.2}\n",
+            "ALL COMBINED",
+            all.before.direct_pct,
+            all.after.direct_pct,
+            all.survivability_gain_pts()
+        );
+    }
+
+    // Executable verification: the same chain that takes PayPal on the
+    // stock curated ecosystem must fail once push authentication is in.
+    println!("executable check — chain vs hardened world:");
+    let build = |hardened: bool| {
+        let mut eco = Ecosystem::with_network(
+            EXPERIMENT_SEED,
+            NetworkConfig { session_key_bits: 16, ..Default::default() },
+        );
+        let mut person = PopulationBuilder::new(7).person();
+        person.email = format!("v{}@gmail.com", person.id.0);
+        let phone = person.phone.clone();
+        eco.add_person(person).expect("fresh world");
+        let source = if hardened {
+            apply(&curated_services(), Countermeasure::BuiltInPush)
+        } else {
+            curated_services()
+        };
+        for s in source {
+            eco.add_service(s).expect("unique ids");
+        }
+        eco.enroll_everyone().expect("registration");
+        (eco, phone)
+    };
+    let attack = ChainReactionAttack { platform: Platform::Web, ..Default::default() };
+
+    let (mut stock, phone) = build(false);
+    let stock_result = attack.execute(&mut stock, &phone, &"paypal".into());
+    println!("  stock ecosystem:    {}", match &stock_result {
+        Ok(r) => format!("COMPROMISED ({} accounts, receipt: {})", r.compromised.len(), r.receipt.is_some()),
+        Err(e) => format!("resisted ({e})"),
+    });
+
+    let (mut hardened, phone) = build(true);
+    let hardened_result = attack.execute(&mut hardened, &phone, &"paypal".into());
+    println!("  hardened ecosystem: {}", match &hardened_result {
+        Ok(_) => "COMPROMISED (unexpected!)".to_owned(),
+        Err(e) => format!("resisted ({e})"),
+    });
+
+    if stock_result.is_err() || hardened_result.is_ok() {
+        std::process::exit(1);
+    }
+}

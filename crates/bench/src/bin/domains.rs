@@ -1,0 +1,32 @@
+//! Regenerates the §IV-B2 domain insight: "Different domains have
+//! different levels of authentication" — Fintech strictest, content
+//! services weakest.
+//!
+//! ```sh
+//! cargo run -p actfort-bench --bin domains
+//! ```
+
+use actfort_bench::EXPERIMENT_SEED;
+use actfort_core::metrics::domain_postures;
+use actfort_ecosystem::policy::Platform;
+use actfort_ecosystem::synth::paper_population;
+
+fn main() {
+    let specs = paper_population(EXPERIMENT_SEED);
+    for platform in [Platform::Web, Platform::MobileApp] {
+        println!("domain security ranking — {platform} (strictest first):");
+        println!(
+            "  {:<16} {:>9} {:>10} {:>13} {:>15}",
+            "domain", "services", "direct %", "robust-path %", "factors/path"
+        );
+        for p in domain_postures(&specs, platform) {
+            println!(
+                "  {:<16} {:>9} {:>10.1} {:>13.1} {:>15.2}",
+                p.domain, p.services, p.direct_pct, p.robust_path_pct, p.mean_factors_per_path
+            );
+        }
+        println!();
+    }
+    println!("paper's claim: Fintech deploys the strictest authentication; attackers must");
+    println!("harvest personal information elsewhere before a Fintech account falls.");
+}

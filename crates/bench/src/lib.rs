@@ -1,0 +1,60 @@
+//! Shared helpers for the experiment binaries that regenerate the
+//! paper's tables and figures.
+//!
+//! Each binary prints a `paper vs measured` table. Absolute numbers are
+//! not expected to match (the population is synthetic but calibrated);
+//! the *shape* — orderings, dominant categories, rough magnitudes — is
+//! what EXPERIMENTS.md records.
+
+/// One comparison row.
+#[derive(Debug, Clone)]
+pub struct Row {
+    /// Metric label.
+    pub label: String,
+    /// The paper's reported value, if stated.
+    pub paper: Option<f64>,
+    /// Our measured value.
+    pub measured: f64,
+}
+
+impl Row {
+    /// Creates a row with a paper reference value.
+    pub fn new(label: &str, paper: f64, measured: f64) -> Self {
+        Self { label: label.to_owned(), paper: Some(paper), measured }
+    }
+
+    /// Creates a row the paper gives no number for.
+    pub fn measured_only(label: &str, measured: f64) -> Self {
+        Self { label: label.to_owned(), paper: None, measured }
+    }
+}
+
+/// Prints a comparison table with a heading.
+pub fn print_table(heading: &str, rows: &[Row]) {
+    println!("== {heading} ==");
+    println!("  {:<46} {:>9} {:>10}", "metric", "paper %", "measured %");
+    for r in rows {
+        match r.paper {
+            Some(p) => println!("  {:<46} {:>9.2} {:>10.2}", r.label, p, r.measured),
+            None => println!("  {:<46} {:>9} {:>10.2}", r.label, "—", r.measured),
+        }
+    }
+    println!();
+}
+
+/// The standard experiment population seed (kept stable so EXPERIMENTS.md
+/// stays reproducible).
+pub const EXPERIMENT_SEED: u64 = 2021;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn rows_construct() {
+        let r = Row::new("x", 1.0, 2.0);
+        assert_eq!(r.paper, Some(1.0));
+        let m = Row::measured_only("y", 3.0);
+        assert_eq!(m.paper, None);
+    }
+}

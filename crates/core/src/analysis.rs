@@ -1,0 +1,412 @@
+//! Forward and backward reachability over the ecosystem — §III-E.
+//!
+//! **Forward** answers the strategy engine's first question: given an
+//! initially attacked set (OAAS), pool its information into the Initial
+//! Attack Database and iterate compromise to a fixed point, yielding the
+//! Potential Account Victims (PAV). **Backward** answers the second:
+//! given a target, walk full-capacity parents and merged couple groups
+//! until reaching phone+SMS-only nodes, returning the account chain.
+
+use crate::pool::{attack_paths, path_satisfied, InfoPool};
+use crate::profile::AttackerProfile;
+use crate::tdg::Tdg;
+use actfort_ecosystem::factor::ServiceId;
+use actfort_ecosystem::policy::Platform;
+use actfort_ecosystem::spec::ServiceSpec;
+use serde::{Deserialize, Serialize};
+use std::collections::{BTreeMap, BTreeSet, VecDeque};
+
+/// How a node was first compromised in a forward pass.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct CompromiseRecord {
+    /// BFS round (1 = direct with the attacker profile / seeds).
+    pub round: usize,
+    /// Minimum number of previously compromised accounts whose pooled
+    /// information was needed (0 = profile alone, 1 = one full-capacity
+    /// parent, ≥2 = couple).
+    pub min_providers: usize,
+}
+
+/// Result of a forward (OAAS → PAV) analysis.
+#[derive(Debug, Clone)]
+pub struct ForwardResult {
+    /// Newly compromised ids per round; `rounds[0]` is the seed set.
+    pub rounds: Vec<Vec<ServiceId>>,
+    /// Per-service compromise record.
+    pub records: BTreeMap<ServiceId, CompromiseRecord>,
+    /// Services that never fell.
+    pub uncompromised: Vec<ServiceId>,
+    /// The attacker's final information pool.
+    pub final_pool: InfoPool,
+}
+
+impl ForwardResult {
+    /// All potential account victims (every compromised service except
+    /// the seeds).
+    pub fn potential_victims(&self) -> Vec<ServiceId> {
+        self.rounds.iter().skip(1).flatten().cloned().collect()
+    }
+
+    /// Total compromised count (seeds included).
+    pub fn compromised_count(&self) -> usize {
+        self.rounds.iter().map(Vec::len).sum()
+    }
+}
+
+/// Runs the forward fixed point on `platform`, starting from `seeds`
+/// (which may be empty: the profile's own capabilities then drive round
+/// one, the paper's standard setting).
+pub fn forward(
+    specs: &[ServiceSpec],
+    platform: Platform,
+    ap: &AttackerProfile,
+    seeds: &[ServiceId],
+) -> ForwardResult {
+    let nodes: Vec<&ServiceSpec> = specs
+        .iter()
+        .filter(|s| match platform {
+            Platform::Web => s.has_web,
+            Platform::MobileApp => s.has_mobile,
+        })
+        .collect();
+
+    let mut pool = InfoPool::new();
+    let mut compromised: BTreeSet<usize> = BTreeSet::new();
+    let mut records: BTreeMap<ServiceId, CompromiseRecord> = BTreeMap::new();
+    let mut rounds: Vec<Vec<ServiceId>> = Vec::new();
+
+    // Round 0: seeds.
+    let mut seed_round = Vec::new();
+    for (i, s) in nodes.iter().enumerate() {
+        if seeds.contains(&s.id) {
+            compromised.insert(i);
+            pool.absorb_compromise(s, platform);
+            records.insert(s.id.clone(), CompromiseRecord { round: 0, min_providers: 0 });
+            seed_round.push(s.id.clone());
+        }
+    }
+    rounds.push(seed_round);
+
+    loop {
+        let round = rounds.len();
+        // Evaluate all targets against the *same* pool (synchronous BFS),
+        // so `round` is a true layer number.
+        let mut newly: Vec<usize> = Vec::new();
+        for (i, s) in nodes.iter().enumerate() {
+            if compromised.contains(&i) {
+                continue;
+            }
+            if attack_paths(s, platform).iter().any(|p| path_satisfied(p, ap, &pool)) {
+                newly.push(i);
+            }
+        }
+        if newly.is_empty() {
+            break;
+        }
+        let mut ids = Vec::with_capacity(newly.len());
+        for &i in &newly {
+            let min_providers = min_providers_for(nodes[i], platform, ap, &compromised, &nodes);
+            records.insert(nodes[i].id.clone(), CompromiseRecord { round, min_providers });
+            ids.push(nodes[i].id.clone());
+        }
+        for &i in &newly {
+            compromised.insert(i);
+            pool.absorb_compromise(nodes[i], platform);
+        }
+        rounds.push(ids);
+    }
+
+    let uncompromised = nodes
+        .iter()
+        .enumerate()
+        .filter(|(i, _)| !compromised.contains(i))
+        .map(|(_, s)| s.id.clone())
+        .collect();
+    ForwardResult { rounds, records, uncompromised, final_pool: pool }
+}
+
+/// Fewest previously-compromised providers whose exposures (plus AP)
+/// satisfy one of the target's attack paths: 0, 1, 2 or 3 (capped).
+fn min_providers_for(
+    target: &ServiceSpec,
+    platform: Platform,
+    ap: &AttackerProfile,
+    compromised: &BTreeSet<usize>,
+    nodes: &[&ServiceSpec],
+) -> usize {
+    let empty = InfoPool::new();
+    let paths = attack_paths(target, platform);
+    if paths.iter().any(|p| path_satisfied(p, ap, &empty)) {
+        return 0;
+    }
+    let owned: Vec<usize> = compromised.iter().copied().collect();
+    for &j in &owned {
+        let mut pool = InfoPool::new();
+        pool.absorb_compromise(nodes[j], platform);
+        if paths.iter().any(|p| path_satisfied(p, ap, &pool)) {
+            return 1;
+        }
+    }
+    for (ai, &a) in owned.iter().enumerate() {
+        for &b in &owned[ai + 1..] {
+            let mut pool = InfoPool::new();
+            pool.absorb_compromise(nodes[a], platform);
+            pool.absorb_compromise(nodes[b], platform);
+            if paths.iter().any(|p| path_satisfied(p, ap, &pool)) {
+                return 2;
+            }
+        }
+    }
+    3
+}
+
+/// One step of an attack chain: every listed service must be compromised
+/// (singletons are strong-edge steps; groups are merged couples).
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct ChainStep {
+    /// Services compromised at this step.
+    pub services: Vec<ServiceId>,
+}
+
+/// A complete attack chain ending at the target.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct AttackChain {
+    /// Steps in execution order; the last step is the target itself.
+    pub steps: Vec<ChainStep>,
+}
+
+impl AttackChain {
+    /// Total accounts compromised along the chain.
+    pub fn accounts_touched(&self) -> usize {
+        self.steps.iter().map(|s| s.services.len()).sum()
+    }
+
+    /// Chain length in steps.
+    pub fn len(&self) -> usize {
+        self.steps.len()
+    }
+
+    /// Whether the chain is empty.
+    pub fn is_empty(&self) -> bool {
+        self.steps.is_empty()
+    }
+}
+
+/// Finds attack chains to `target` over the TDG: the paper's backward
+/// query. Returns up to `max_chains` chains, shortest first. Every chain
+/// starts at fringe (phone+SMS-only) nodes.
+pub fn backward_chains(tdg: &Tdg, target: &ServiceId, max_chains: usize) -> Vec<AttackChain> {
+    let Some(t) = tdg.index_of(target) else { return Vec::new() };
+    let mut out: Vec<AttackChain> = Vec::new();
+
+    // BFS over "option trees": each frontier entry is a partial chain
+    // (list of steps toward the target, reversed at the end).
+    #[derive(Clone)]
+    struct Partial {
+        /// Steps accumulated so far, target-end first.
+        steps_rev: Vec<Vec<usize>>,
+        /// Nodes whose support is still unresolved.
+        unresolved: Vec<usize>,
+        visited: BTreeSet<usize>,
+    }
+
+    let mut queue: VecDeque<Partial> = VecDeque::new();
+    queue.push_back(Partial {
+        steps_rev: vec![vec![t]],
+        unresolved: vec![t],
+        visited: BTreeSet::from([t]),
+    });
+
+    while let Some(partial) = queue.pop_front() {
+        if out.len() >= max_chains || partial.steps_rev.len() > 8 {
+            break;
+        }
+        // Resolve the next unresolved node.
+        let Some((&node, rest)) = partial.unresolved.split_first() else {
+            // Everything resolved: chain complete.
+            let steps = partial
+                .steps_rev
+                .iter()
+                .rev()
+                .map(|group| ChainStep {
+                    services: group.iter().map(|&i| tdg.spec(i).id.clone()).collect(),
+                })
+                .collect();
+            out.push(AttackChain { steps });
+            continue;
+        };
+        let rest: Vec<usize> = rest.to_vec();
+
+        if tdg.is_fringe(node) {
+            // This node needs no support; continue with the remainder.
+            let mut next = partial.clone();
+            next.unresolved = rest;
+            queue.push_back(next);
+            continue;
+        }
+
+        // Expand via full-capacity parents (shorter first) …
+        for &parent in tdg.strong_parents(node) {
+            if partial.visited.contains(&parent) {
+                continue;
+            }
+            let mut next = partial.clone();
+            next.visited.insert(parent);
+            next.steps_rev.push(vec![parent]);
+            next.unresolved = rest.clone();
+            next.unresolved.push(parent);
+            queue.push_back(next);
+        }
+        // … then via merged couple groups.
+        for couple in tdg.couples_for(node) {
+            if couple.providers.iter().any(|p| partial.visited.contains(p)) {
+                continue;
+            }
+            let mut next = partial.clone();
+            for &p in &couple.providers {
+                next.visited.insert(p);
+            }
+            next.steps_rev.push(couple.providers.clone());
+            next.unresolved = rest.clone();
+            next.unresolved.extend(&couple.providers);
+            queue.push_back(next);
+        }
+    }
+
+    out.sort_by_key(|c| (c.len(), c.accounts_touched()));
+    out.truncate(max_chains);
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use actfort_ecosystem::dataset::curated_services;
+
+    fn specs() -> Vec<ServiceSpec> {
+        curated_services()
+    }
+
+    fn ap() -> AttackerProfile {
+        AttackerProfile::paper_default()
+    }
+
+    #[test]
+    fn forward_from_profile_compromises_majority() {
+        let r = forward(&specs(), Platform::Web, &ap(), &[]);
+        let total: usize = r.compromised_count() + r.uncompromised.len();
+        assert!(r.compromised_count() * 100 / total >= 70, "compromised {}/{total}", r.compromised_count());
+        // Robust nodes survive.
+        assert!(r.uncompromised.contains(&"union-bank".into()));
+        assert!(r.uncompromised.contains(&"github".into()));
+    }
+
+    #[test]
+    fn forward_rounds_are_monotone_layers() {
+        let r = forward(&specs(), Platform::MobileApp, &ap(), &[]);
+        for (id, rec) in &r.records {
+            assert!(rec.round >= 1, "{id} at round {}", rec.round);
+            assert!(r.rounds[rec.round].contains(id));
+        }
+        // PayPal needs Gmail first: round 2, one provider.
+        let paypal = r.records.get(&"paypal".into()).expect("paypal falls");
+        assert_eq!(paypal.round, 2);
+        assert_eq!(paypal.min_providers, 1);
+    }
+
+    #[test]
+    fn forward_without_capabilities_compromises_nothing() {
+        let r = forward(&specs(), Platform::Web, &AttackerProfile::none(), &[]);
+        assert_eq!(r.compromised_count(), 0);
+        assert_eq!(r.uncompromised.len(), r.rounds[0].len() + r.uncompromised.len());
+    }
+
+    #[test]
+    fn forward_is_idempotent_at_fixed_point() {
+        let r1 = forward(&specs(), Platform::Web, &ap(), &[]);
+        // Seeding with everything already compromised adds nothing new.
+        let all: Vec<ServiceId> = r1
+            .records
+            .keys()
+            .cloned()
+            .collect();
+        let r2 = forward(&specs(), Platform::Web, &ap(), &all);
+        assert_eq!(r2.compromised_count(), r1.compromised_count());
+        assert_eq!(r2.uncompromised, r1.uncompromised);
+    }
+
+    #[test]
+    fn seeding_email_unlocks_email_reset_services() {
+        // With no SMS interception but a compromised Gmail, email-reset
+        // services fall.
+        let ap = AttackerProfile::none();
+        let r = forward(&specs(), Platform::Web, &ap, &["gmail".into()]);
+        let victims = r.potential_victims();
+        assert!(victims.contains(&"dropbox".into()), "dropbox resets via email code");
+        assert!(victims.contains(&"expedia".into()), "expedia resets via email link");
+    }
+
+    #[test]
+    fn backward_chain_for_paypal_goes_through_email() {
+        let g = Tdg::build(&specs(), Platform::Web, ap());
+        let chains = backward_chains(&g, &"paypal".into(), 8);
+        assert!(!chains.is_empty());
+        let best = &chains[0];
+        // Last step is the target.
+        assert_eq!(best.steps.last().unwrap().services, vec![ServiceId::new("paypal")]);
+        // Some earlier step compromises an email provider.
+        let email_ids = ["gmail", "netease-163", "outlook", "aliyun-mail"];
+        assert!(
+            best.steps
+                .iter()
+                .flat_map(|s| &s.services)
+                .any(|id| email_ids.contains(&id.as_str())),
+            "chain must pass through an email provider: {best:?}"
+        );
+    }
+
+    #[test]
+    fn backward_chain_for_alipay_uses_citizen_id_source() {
+        let g = Tdg::build(&specs(), Platform::MobileApp, ap());
+        let chains = backward_chains(&g, &"alipay".into(), 8);
+        assert!(!chains.is_empty());
+        let id_sources = ["ctrip", "gome", "xiaozhu", "china-railway-12306", "baidu-pan", "dropbox"];
+        assert!(chains.iter().any(|c| c
+            .steps
+            .iter()
+            .flat_map(|s| &s.services)
+            .any(|id| id_sources.contains(&id.as_str()))));
+    }
+
+    #[test]
+    fn backward_chain_for_fringe_node_is_single_step() {
+        let g = Tdg::build(&specs(), Platform::Web, ap());
+        let chains = backward_chains(&g, &"ctrip".into(), 4);
+        assert_eq!(chains[0].steps.len(), 1);
+        assert_eq!(chains[0].accounts_touched(), 1);
+    }
+
+    #[test]
+    fn backward_chain_for_robust_target_is_empty() {
+        let g = Tdg::build(&specs(), Platform::Web, ap());
+        assert!(backward_chains(&g, &"union-bank".into(), 4).is_empty());
+        assert!(backward_chains(&g, &"nonexistent".into(), 4).is_empty());
+    }
+
+    #[test]
+    fn chains_start_at_fringe_nodes() {
+        let g = Tdg::build(&specs(), Platform::Web, ap());
+        for target in ["paypal", "alipay", "dropbox"] {
+            for chain in backward_chains(&g, &target.into(), 4) {
+                let first = &chain.steps[0];
+                for sid in &first.services {
+                    let idx = g.index_of(sid).unwrap();
+                    assert!(
+                        g.is_fringe(idx),
+                        "chain for {target} starts at non-fringe {sid}"
+                    );
+                }
+            }
+        }
+    }
+}

@@ -1,0 +1,314 @@
+//! Countermeasures — §VII-A, implemented as spec transformations plus a
+//! differential re-analysis.
+//!
+//! Each countermeasure rewrites the service population; re-running the
+//! dependency-depth analysis before and after quantifies how much of the
+//! attack graph it removes.
+
+use crate::metrics::{depth_breakdown, DepthBreakdown};
+use crate::profile::AttackerProfile;
+use actfort_ecosystem::factor::CredentialFactor;
+use actfort_ecosystem::info::{Masking, PersonalInfoKind};
+use actfort_ecosystem::policy::Platform;
+use actfort_ecosystem::spec::{ServiceDomain, ServiceSpec};
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// The paper's proposed countermeasures.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum Countermeasure {
+    /// "Cover unified digits on SSN and bankcard numbers": every service
+    /// masks the same positions, so mask merging recovers nothing new.
+    UnifiedMasking,
+    /// "Make email service accounts more secure": email providers add a
+    /// device check to every reset path.
+    HardenEmail,
+    /// "Tackle the asymmetry existing between web end and mobile end":
+    /// mobile adopts the web end's (stricter) exposure rules and reset
+    /// paths.
+    FixAsymmetry,
+    /// §VII-A2 built-in authentication: SMS codes are replaced by
+    /// OS-level push approvals that never cross GSM.
+    BuiltInPush,
+}
+
+impl Countermeasure {
+    /// All countermeasures, in presentation order.
+    pub fn all() -> &'static [Countermeasure] {
+        &[
+            Countermeasure::UnifiedMasking,
+            Countermeasure::HardenEmail,
+            Countermeasure::FixAsymmetry,
+            Countermeasure::BuiltInPush,
+        ]
+    }
+}
+
+impl fmt::Display for Countermeasure {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            Countermeasure::UnifiedMasking => "unified masking",
+            Countermeasure::HardenEmail => "hardened email authentication",
+            Countermeasure::FixAsymmetry => "web/mobile symmetry",
+            Countermeasure::BuiltInPush => "built-in push authentication",
+        };
+        f.pad(s)
+    }
+}
+
+/// Applies one countermeasure, returning the transformed population.
+pub fn apply(specs: &[ServiceSpec], cm: Countermeasure) -> Vec<ServiceSpec> {
+    specs.iter().map(|s| apply_one(s, cm)).collect()
+}
+
+/// Applies several countermeasures in order.
+pub fn apply_all(specs: &[ServiceSpec], cms: &[Countermeasure]) -> Vec<ServiceSpec> {
+    let mut out = specs.to_vec();
+    for &cm in cms {
+        out = apply(&out, cm);
+    }
+    out
+}
+
+fn apply_one(spec: &ServiceSpec, cm: Countermeasure) -> ServiceSpec {
+    let mut s = spec.clone();
+    match cm {
+        Countermeasure::UnifiedMasking => {
+            let unify = |fields: &mut Vec<actfort_ecosystem::info::ExposedField>| {
+                for f in fields {
+                    match f.kind {
+                        PersonalInfoKind::CitizenId => {
+                            f.masking = Masking::Partial { prefix: 3, suffix: 2 }
+                        }
+                        PersonalInfoKind::BankcardNumber => {
+                            f.masking = Masking::Partial { prefix: 0, suffix: 4 }
+                        }
+                        PersonalInfoKind::CellphoneNumber => {
+                            f.masking = Masking::Partial { prefix: 3, suffix: 2 }
+                        }
+                        _ => {}
+                    }
+                }
+            };
+            unify(&mut s.web_exposure);
+            unify(&mut s.mobile_exposure);
+        }
+        Countermeasure::HardenEmail => {
+            if s.domain == ServiceDomain::Email {
+                for p in &mut s.paths {
+                    if p.purpose == actfort_ecosystem::policy::Purpose::PasswordReset
+                        && !p.factors.iter().any(|f| f.is_robust())
+                    {
+                        p.factors.push(CredentialFactor::DeviceCheck);
+                    }
+                }
+            }
+        }
+        Countermeasure::FixAsymmetry => {
+            if s.has_web && s.has_mobile {
+                // Symmetry by *intersection* — the only direction that can
+                // never widen the attack surface. Copying either side
+                // wholesale can backfire: a lax web reset overwriting a
+                // gated mobile one (or vice versa) hands the attacker a
+                // new path. Instead, for every purpose with flows common
+                // to both clients, both keep exactly the common flows;
+                // purposes with no common flow stay as they are (flagged
+                // for manual redesign in a real deployment).
+                use actfort_ecosystem::policy::Purpose;
+                use std::collections::BTreeSet;
+                for purpose in [Purpose::SignIn, Purpose::PasswordReset, Purpose::Payment] {
+                    let set_of = |platform: Platform| -> BTreeSet<Vec<CredentialFactor>> {
+                        s.paths
+                            .iter()
+                            .filter(|p| p.platform == platform && p.purpose == purpose)
+                            .map(|p| p.factors.clone())
+                            .collect()
+                    };
+                    let common: BTreeSet<_> = set_of(Platform::Web)
+                        .intersection(&set_of(Platform::MobileApp))
+                        .cloned()
+                        .collect();
+                    if !common.is_empty() {
+                        s.paths.retain(|p| p.purpose != purpose || common.contains(&p.factors));
+                    }
+                }
+                // Exposure: for kinds shown on both pages, both adopt the
+                // positional intersection of what was visible (never
+                // revealing a character either page hid).
+                let masks: Vec<(PersonalInfoKind, Masking, Masking)> = s
+                    .web_exposure
+                    .iter()
+                    .filter_map(|w| {
+                        s.mobile_exposure
+                            .iter()
+                            .find(|m| m.kind == w.kind)
+                            .map(|m| (w.kind, w.masking, m.masking))
+                    })
+                    .collect();
+                for (kind, web_mask, mobile_mask) in masks {
+                    let joint = intersect_masking(web_mask, mobile_mask);
+                    for f in s.web_exposure.iter_mut().chain(s.mobile_exposure.iter_mut()) {
+                        if f.kind == kind {
+                            f.masking = joint;
+                        }
+                    }
+                }
+            }
+        }
+        Countermeasure::BuiltInPush => {
+            for p in &mut s.paths {
+                for f in &mut p.factors {
+                    if *f == CredentialFactor::SmsCode {
+                        *f = CredentialFactor::PushApproval;
+                    }
+                }
+            }
+        }
+    }
+    s
+}
+
+/// Positional intersection of two maskings: the result shows only the
+/// characters *both* maskings showed.
+fn intersect_masking(a: Masking, b: Masking) -> Masking {
+    match (a, b) {
+        (Masking::Clear, other) | (other, Masking::Clear) => other,
+        (Masking::Hidden, _) | (_, Masking::Hidden) => Masking::Hidden,
+        (Masking::Partial { prefix: p1, suffix: s1 }, Masking::Partial { prefix: p2, suffix: s2 }) => {
+            Masking::Partial { prefix: p1.min(p2), suffix: s1.min(s2) }
+        }
+    }
+}
+
+/// Before/after depth breakdowns for one countermeasure set.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct CountermeasureReport {
+    /// Label of the applied set.
+    pub label: String,
+    /// Breakdown before.
+    pub before: DepthBreakdown,
+    /// Breakdown after.
+    pub after: DepthBreakdown,
+}
+
+impl CountermeasureReport {
+    /// Percentage-point drop in directly-compromisable services.
+    pub fn direct_reduction_pts(&self) -> f64 {
+        self.before.direct_pct - self.after.direct_pct
+    }
+
+    /// Percentage-point rise in uncompromisable services.
+    pub fn survivability_gain_pts(&self) -> f64 {
+        self.after.uncompromisable_pct - self.before.uncompromisable_pct
+    }
+}
+
+/// Evaluates a countermeasure set by differential re-analysis.
+pub fn evaluate(
+    specs: &[ServiceSpec],
+    cms: &[Countermeasure],
+    platform: Platform,
+    ap: &AttackerProfile,
+) -> CountermeasureReport {
+    let label = cms.iter().map(|c| c.to_string()).collect::<Vec<_>>().join(" + ");
+    let before = depth_breakdown(specs, platform, ap);
+    let hardened = apply_all(specs, cms);
+    let after = depth_breakdown(&hardened, platform, ap);
+    CountermeasureReport { label, before, after }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use actfort_ecosystem::dataset::curated_services;
+    use actfort_ecosystem::info::merge_masked;
+
+    fn specs() -> Vec<ServiceSpec> {
+        curated_services()
+    }
+
+    fn ap() -> AttackerProfile {
+        AttackerProfile::paper_default()
+    }
+
+    #[test]
+    fn unified_masking_blocks_merge_attack() {
+        let hardened = apply(&specs(), Countermeasure::UnifiedMasking);
+        let cid = "110101199003078515";
+        let views: Vec<String> = hardened
+            .iter()
+            .flat_map(|s| s.web_exposure.iter().chain(&s.mobile_exposure))
+            .filter(|f| f.kind == PersonalInfoKind::CitizenId)
+            .map(|f| f.masking.apply(cid))
+            .collect();
+        assert!(!views.is_empty());
+        let merged = merge_masked(&views).expect("uniform masks always merge");
+        assert!(merged.contains('*'), "unified masking must leave digits hidden: {merged}");
+    }
+
+    #[test]
+    fn harden_email_removes_email_gateway() {
+        let hardened = apply(&specs(), Countermeasure::HardenEmail);
+        let gmail = hardened.iter().find(|s| s.id.as_str() == "gmail").unwrap();
+        for p in gmail.paths_for(Platform::Web, actfort_ecosystem::policy::Purpose::PasswordReset) {
+            assert!(p.factors.iter().any(|f| f.is_robust()), "gmail reset still weak: {p}");
+        }
+        // Non-email services untouched.
+        let ctrip = hardened.iter().find(|s| s.id.as_str() == "ctrip").unwrap();
+        assert!(ctrip.has_sms_only_path());
+    }
+
+    #[test]
+    fn fix_asymmetry_aligns_platforms() {
+        let hardened = apply(&specs(), Countermeasure::FixAsymmetry);
+        let gome = hardened.iter().find(|s| s.id.as_str() == "gome").unwrap();
+        assert_eq!(gome.web_exposure, gome.mobile_exposure);
+        let alipay = hardened.iter().find(|s| s.id.as_str() == "alipay").unwrap();
+        // The weak mobile path (SMS + citizen ID) is gone.
+        assert!(alipay
+            .paths_for(Platform::MobileApp, actfort_ecosystem::policy::Purpose::PasswordReset)
+            .iter()
+            .all(|p| !p.factors.contains(&CredentialFactor::CitizenId)));
+    }
+
+    #[test]
+    fn built_in_push_eliminates_sms() {
+        let hardened = apply(&specs(), Countermeasure::BuiltInPush);
+        for s in &hardened {
+            for p in &s.paths {
+                assert!(!p.factors.contains(&CredentialFactor::SmsCode), "{}: {p}", s.id);
+            }
+        }
+    }
+
+    #[test]
+    fn every_countermeasure_monotonically_helps() {
+        let base = specs();
+        let before = depth_breakdown(&base, Platform::MobileApp, &ap());
+        for &cm in Countermeasure::all() {
+            let report = evaluate(&base, &[cm], Platform::MobileApp, &ap());
+            assert!(
+                report.after.direct_pct <= before.direct_pct + 1e-9,
+                "{cm} increased direct compromise"
+            );
+            assert!(
+                report.after.uncompromisable_pct >= before.uncompromisable_pct - 1e-9,
+                "{cm} reduced survivability"
+            );
+        }
+    }
+
+    #[test]
+    fn push_countermeasure_collapses_the_attack() {
+        let report = evaluate(&specs(), &[Countermeasure::BuiltInPush], Platform::Web, &ap());
+        assert_eq!(report.after.direct_pct, 0.0, "no SMS left to intercept");
+        assert!(report.survivability_gain_pts() > 50.0, "gain {:.1}", report.survivability_gain_pts());
+    }
+
+    #[test]
+    fn combined_countermeasures_stack() {
+        let all = evaluate(&specs(), Countermeasure::all(), Platform::MobileApp, &ap());
+        assert!(all.after.uncompromisable_pct > 90.0, "combined: {:?}", all.after);
+        assert!(all.label.contains("push"));
+    }
+}

@@ -1,0 +1,55 @@
+//! ActFort — the paper's primary contribution: systematic analysis of
+//! Online Account Ecosystem dependency vulnerabilities.
+//!
+//! The pipeline mirrors Fig. 2 of the paper:
+//!
+//! 1. **Authentication Process** and **Personal Information Collection**
+//!    are captured as [`actfort_ecosystem::spec::ServiceSpec`] profiles
+//!    (curated + synthetic populations live in `actfort-ecosystem`).
+//! 2. **Dependency Graph Generation** — [`tdg::Tdg`] classifies
+//!    full-capacity parents (strong-directivity edges) and couple nodes
+//!    (weak-directivity edges / the Couple File) against an
+//!    [`profile::AttackerProfile`].
+//! 3. **Strategy Output** — [`strategy::StrategyEngine`] answers the two
+//!    queries of §III-E: forward (OAAS → IAD → PAV fixed point) and
+//!    backward (attack chains from phone+SMS fringe nodes to a target).
+//!
+//! [`metrics`] reproduces the measurement statistics (Fig. 3, Table I,
+//! dependency depth), [`counter`] implements the §VII countermeasures
+//! with differential re-analysis, and [`dot`] exports Fig. 4-style
+//! graphs.
+//!
+//! # Example
+//!
+//! ```
+//! use actfort_core::profile::AttackerProfile;
+//! use actfort_core::strategy::StrategyEngine;
+//! use actfort_ecosystem::dataset::curated_services;
+//! use actfort_ecosystem::policy::Platform;
+//!
+//! let engine = StrategyEngine::new(
+//!     curated_services(),
+//!     Platform::MobileApp,
+//!     AttackerProfile::paper_default(),
+//! );
+//! let chain = engine.best_chain(&"alipay".into()).expect("alipay is reachable");
+//! println!("{}", StrategyEngine::render_chain(&chain));
+//! ```
+
+pub mod analysis;
+pub mod breach;
+pub mod counter;
+pub mod dot;
+pub mod metrics;
+pub mod pool;
+pub mod profile;
+pub mod report;
+pub mod strategy;
+pub mod tdg;
+
+pub use analysis::{backward_chains, forward, AttackChain, ForwardResult};
+pub use counter::Countermeasure;
+pub use pool::InfoPool;
+pub use profile::AttackerProfile;
+pub use strategy::StrategyEngine;
+pub use tdg::Tdg;

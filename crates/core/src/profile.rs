@@ -1,0 +1,92 @@
+//! The attacker profile (AP) — §III-D.
+//!
+//! The TDG carries "an attacker profile which contains information about
+//! an assumed attacker's capabilities, such as SMS Code interception,
+//! social engineering database, and etc."
+
+use serde::{Deserialize, Serialize};
+
+/// Base capabilities assumed of the attacker.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct AttackerProfile {
+    /// Knows the victim's cellphone number (phishing Wi-Fi / leak DB).
+    pub knows_phone_number: bool,
+    /// Can intercept SMS codes (passive sniffing or active MitM).
+    pub sms_interception: bool,
+    /// Can intercept email codes *without* first owning the mailbox
+    /// (e.g. a mail-provider breach or TLS-stripping position). §VII-B:
+    /// "any weak factors (like email code) in the ecosystem can be the
+    /// breakthrough point" — this switch makes email the initial attack
+    /// surface instead of (or alongside) SMS.
+    pub email_interception: bool,
+    /// Holds a social-engineering / leak database yielding the victim's
+    /// legal name and home address.
+    pub social_engineering_db: bool,
+    /// Can run phishing campaigns (lowers stealth; not used by the
+    /// default analyses but recorded for completeness).
+    pub phishing: bool,
+}
+
+impl AttackerProfile {
+    /// The paper's standard profile: cellphone number + SMS interception.
+    pub fn paper_default() -> Self {
+        Self {
+            knows_phone_number: true,
+            sms_interception: true,
+            email_interception: false,
+            social_engineering_db: false,
+            phishing: false,
+        }
+    }
+
+    /// The targeted-attack profile: adds the black-market leak database.
+    pub fn targeted() -> Self {
+        Self { social_engineering_db: true, ..Self::paper_default() }
+    }
+
+    /// The §VII-B extension: email codes, not SMS codes, are the
+    /// breakthrough factor.
+    pub fn email_surface() -> Self {
+        Self {
+            knows_phone_number: true,
+            sms_interception: false,
+            email_interception: true,
+            social_engineering_db: false,
+            phishing: false,
+        }
+    }
+
+    /// A powerless profile (for countermeasure baselines).
+    pub fn none() -> Self {
+        Self {
+            knows_phone_number: false,
+            sms_interception: false,
+            email_interception: false,
+            social_engineering_db: false,
+            phishing: false,
+        }
+    }
+}
+
+impl Default for AttackerProfile {
+    fn default() -> Self {
+        Self::paper_default()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn presets() {
+        let p = AttackerProfile::paper_default();
+        assert!(p.knows_phone_number && p.sms_interception);
+        assert!(!p.social_engineering_db && !p.email_interception);
+        assert!(AttackerProfile::targeted().social_engineering_db);
+        let none = AttackerProfile::none();
+        assert!(!none.knows_phone_number && !none.sms_interception);
+        let email = AttackerProfile::email_surface();
+        assert!(email.email_interception && !email.sms_interception);
+    }
+}

@@ -1,0 +1,372 @@
+//! The Transformation Dependency Graph (TDG) — §III-D.
+//!
+//! Nodes are online accounts (service specs); a **strong-directivity
+//! edge** `u → v` means `u` is a *full-capacity parent*: together with
+//! the attacker profile, `u`'s exposed information satisfies at least one
+//! complete authentication path of `v` (Definition 1). **Couple nodes**
+//! jointly satisfying a path produce *weak-directivity edges* recorded in
+//! the Couple File (Definitions 2–3).
+
+use crate::pool::{attack_paths, path_satisfied, InfoPool};
+use crate::profile::AttackerProfile;
+use actfort_ecosystem::factor::ServiceId;
+use actfort_ecosystem::policy::Platform;
+use actfort_ecosystem::spec::ServiceSpec;
+use serde::{Deserialize, Serialize};
+use std::collections::BTreeSet;
+
+/// Maximum couple group size searched (the combinatorial cut-off).
+pub const MAX_COUPLE_SIZE: usize = 3;
+/// Maximum couple entries recorded per target node.
+pub const MAX_COUPLES_PER_TARGET: usize = 64;
+
+/// One entry of the Couple File: `providers` jointly unlock `target`.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct CoupleEntry {
+    /// Node indices that must all be compromised.
+    pub providers: Vec<usize>,
+    /// The node they jointly unlock.
+    pub target: usize,
+}
+
+/// The dependency graph over one platform.
+#[derive(Debug, Clone)]
+pub struct Tdg {
+    platform: Platform,
+    specs: Vec<ServiceSpec>,
+    ap: AttackerProfile,
+    fringe: Vec<bool>,
+    /// `strong[child]` = parents with a strong-directivity edge to child.
+    strong: Vec<Vec<usize>>,
+    couples: Vec<CoupleEntry>,
+}
+
+/// Whether `provider` exposes information that partially covers `factor`
+/// (masked views that could combine with others').
+fn contributes_partially(
+    factor: &actfort_ecosystem::factor::CredentialFactor,
+    provider: &ServiceSpec,
+    platform: Platform,
+) -> bool {
+    use actfort_ecosystem::factor::CredentialFactor as F;
+    use actfort_ecosystem::info::{Masking, PersonalInfoKind as K};
+    let exposes_some = |kind: K| {
+        provider
+            .exposure_on(platform)
+            .iter()
+            .any(|e| e.kind == kind && e.masking != Masking::Hidden)
+    };
+    match factor {
+        F::CitizenId => exposes_some(K::CitizenId) || exposes_some(K::Photos),
+        F::BankcardNumber => exposes_some(K::BankcardNumber),
+        F::CellphoneNumber => exposes_some(K::CellphoneNumber),
+        F::CustomerService => [K::RealName, K::CitizenId, K::Address, K::BankcardNumber, K::CellphoneNumber]
+            .into_iter()
+            .any(exposes_some),
+        _ => false,
+    }
+}
+
+impl Tdg {
+    /// Builds the TDG for every spec present on `platform`.
+    pub fn build(specs: &[ServiceSpec], platform: Platform, ap: AttackerProfile) -> Self {
+        let specs: Vec<ServiceSpec> = specs
+            .iter()
+            .filter(|s| match platform {
+                Platform::Web => s.has_web,
+                Platform::MobileApp => s.has_mobile,
+            })
+            .cloned()
+            .collect();
+        let n = specs.len();
+        let empty_pool = InfoPool::new();
+
+        // Fringe nodes: compromisable with the attacker profile alone.
+        let fringe: Vec<bool> = specs
+            .iter()
+            .map(|s| attack_paths(s, platform).iter().any(|p| path_satisfied(p, &ap, &empty_pool)))
+            .collect();
+
+        // Single-provider pools, reused across all targets.
+        let single_pools: Vec<InfoPool> = specs
+            .iter()
+            .map(|s| {
+                let mut pool = InfoPool::new();
+                pool.absorb_compromise(s, platform);
+                pool
+            })
+            .collect();
+
+        let mut strong: Vec<Vec<usize>> = vec![Vec::new(); n];
+        let mut couples: Vec<CoupleEntry> = Vec::new();
+
+        for target in 0..n {
+            let paths: Vec<_> = attack_paths(&specs[target], platform)
+                .into_iter()
+                .filter(|p| !path_satisfied(p, &ap, &empty_pool))
+                .cloned()
+                .collect();
+            if paths.is_empty() {
+                continue;
+            }
+
+            // Full-capacity parents.
+            let mut parents: BTreeSet<usize> = BTreeSet::new();
+            for (provider, pool) in single_pools.iter().enumerate() {
+                if provider == target {
+                    continue;
+                }
+                if paths.iter().any(|p| path_satisfied(p, &ap, pool)) {
+                    parents.insert(provider);
+                }
+            }
+
+            // Couple candidates: nodes that are not full parents but whose
+            // exposure moves at least one unsatisfied factor — either by
+            // satisfying it outright or by contributing partial (masked)
+            // coverage of the needed information kind.
+            let candidates: Vec<usize> = (0..n)
+                .filter(|&j| j != target && !parents.contains(&j))
+                .filter(|&j| {
+                    paths.iter().any(|p| {
+                        p.factors.iter().any(|f| {
+                            if crate::pool::factor_satisfied(f, &ap, &empty_pool) {
+                                return false;
+                            }
+                            if crate::pool::factor_satisfied(f, &ap, &single_pools[j]) {
+                                return true;
+                            }
+                            contributes_partially(f, &specs[j], platform)
+                        })
+                    })
+                })
+                .collect();
+
+            let mut target_couples = 0usize;
+            'pairs: for (a_idx, &a) in candidates.iter().enumerate() {
+                for &b in &candidates[a_idx + 1..] {
+                    let mut pool = single_pools[a].clone();
+                    pool.absorb_compromise(&specs[b], platform);
+                    if paths.iter().any(|p| path_satisfied(p, &ap, &pool)) {
+                        couples.push(CoupleEntry { providers: vec![a, b], target });
+                        target_couples += 1;
+                        if target_couples >= MAX_COUPLES_PER_TARGET {
+                            break 'pairs;
+                        }
+                    }
+                }
+            }
+            // Triples only when pairs found nothing and the candidate set
+            // is small (keeps the search tractable on 200+ services).
+            if target_couples == 0 && candidates.len() <= 40 && MAX_COUPLE_SIZE >= 3 {
+                'triples: for (a_idx, &a) in candidates.iter().enumerate() {
+                    for (b_off, &b) in candidates[a_idx + 1..].iter().enumerate() {
+                        for &c in &candidates[a_idx + 1 + b_off + 1..] {
+                            let mut pool = single_pools[a].clone();
+                            pool.absorb_compromise(&specs[b], platform);
+                            pool.absorb_compromise(&specs[c], platform);
+                            if paths.iter().any(|p| path_satisfied(p, &ap, &pool)) {
+                                couples.push(CoupleEntry { providers: vec![a, b, c], target });
+                                target_couples += 1;
+                                if target_couples >= MAX_COUPLES_PER_TARGET {
+                                    break 'triples;
+                                }
+                            }
+                        }
+                    }
+                }
+            }
+
+            strong[target] = parents.into_iter().collect();
+        }
+
+        Self { platform, specs, ap, fringe, strong, couples }
+    }
+
+    /// The platform this graph describes.
+    pub fn platform(&self) -> Platform {
+        self.platform
+    }
+
+    /// The attacker profile the graph was built against.
+    pub fn attacker_profile(&self) -> AttackerProfile {
+        self.ap
+    }
+
+    /// Number of nodes.
+    pub fn node_count(&self) -> usize {
+        self.specs.len()
+    }
+
+    /// The spec at a node index.
+    pub fn spec(&self, index: usize) -> &ServiceSpec {
+        &self.specs[index]
+    }
+
+    /// All node specs.
+    pub fn specs(&self) -> &[ServiceSpec] {
+        &self.specs
+    }
+
+    /// Index of a service id.
+    pub fn index_of(&self, id: &ServiceId) -> Option<usize> {
+        self.specs.iter().position(|s| &s.id == id)
+    }
+
+    /// Whether the node falls to the attacker profile alone (red node in
+    /// Fig. 4).
+    pub fn is_fringe(&self, index: usize) -> bool {
+        self.fringe[index]
+    }
+
+    /// Indices of all fringe nodes.
+    pub fn fringe_nodes(&self) -> Vec<usize> {
+        (0..self.specs.len()).filter(|&i| self.fringe[i]).collect()
+    }
+
+    /// Full-capacity parents of a node (strong-directivity edges in).
+    pub fn strong_parents(&self, index: usize) -> &[usize] {
+        &self.strong[index]
+    }
+
+    /// Children a node is full-capacity parent of.
+    pub fn strong_children(&self, index: usize) -> Vec<usize> {
+        (0..self.specs.len())
+            .filter(|&c| self.strong[c].contains(&index))
+            .collect()
+    }
+
+    /// Total strong-directivity edge count.
+    pub fn strong_edge_count(&self) -> usize {
+        self.strong.iter().map(Vec::len).sum()
+    }
+
+    /// The Couple File.
+    pub fn couples(&self) -> &[CoupleEntry] {
+        &self.couples
+    }
+
+    /// Couple entries unlocking a given target.
+    pub fn couples_for(&self, target: usize) -> Vec<&CoupleEntry> {
+        self.couples.iter().filter(|c| c.target == target).collect()
+    }
+
+    /// Whether `index` appears as a provider in any couple (making it a
+    /// half-capacity parent).
+    pub fn is_half_capacity_parent(&self, index: usize) -> bool {
+        self.couples.iter().any(|c| c.providers.contains(&index))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use actfort_ecosystem::dataset::curated_services;
+
+    fn tdg(platform: Platform) -> Tdg {
+        Tdg::build(&curated_services(), platform, AttackerProfile::paper_default())
+    }
+
+    #[test]
+    fn fringe_matches_sms_only_condition() {
+        let g = tdg(Platform::Web);
+        for i in 0..g.node_count() {
+            let spec = g.spec(i);
+            let sms_only = spec
+                .paths_on(Platform::Web)
+                .iter()
+                .any(|p| p.is_sms_only());
+            assert_eq!(
+                g.is_fringe(i),
+                sms_only,
+                "{}: fringe classification mismatch",
+                spec.id
+            );
+        }
+    }
+
+    #[test]
+    fn gmail_is_fringe_and_paypal_is_internal() {
+        let g = tdg(Platform::Web);
+        let gmail = g.index_of(&"gmail".into()).unwrap();
+        let paypal = g.index_of(&"paypal".into()).unwrap();
+        assert!(g.is_fringe(gmail));
+        assert!(!g.is_fringe(paypal));
+    }
+
+    #[test]
+    fn gmail_is_full_capacity_parent_of_paypal() {
+        // Case II: PayPal reset = SMS + email code; owning Gmail plus the
+        // AP covers it.
+        let g = tdg(Platform::Web);
+        let gmail = g.index_of(&"gmail".into()).unwrap();
+        let paypal = g.index_of(&"paypal".into()).unwrap();
+        assert!(
+            g.strong_parents(paypal).contains(&gmail),
+            "gmail must be a full-capacity parent of paypal; parents: {:?}",
+            g.strong_parents(paypal).iter().map(|&i| g.spec(i).id.as_str()).collect::<Vec<_>>()
+        );
+    }
+
+    #[test]
+    fn ctrip_is_full_capacity_parent_of_alipay_mobile() {
+        // Case III: Alipay app reset = SMS + citizen ID; Ctrip exposes the
+        // citizen ID in full.
+        let g = tdg(Platform::MobileApp);
+        let ctrip = g.index_of(&"ctrip".into()).unwrap();
+        let alipay = g.index_of(&"alipay".into()).unwrap();
+        assert!(g.strong_parents(alipay).contains(&ctrip));
+    }
+
+    #[test]
+    fn travel_sites_form_couple_for_alipay_web_targets() {
+        // Xiaozhu (ID head) + 12306 (ID tail) jointly provide the citizen
+        // ID on mobile Alipay — they are couple nodes when neither is a
+        // full parent. On mobile, Ctrip already provides it fully, so the
+        // couple condition applies to the pair specifically.
+        let g = tdg(Platform::MobileApp);
+        let alipay = g.index_of(&"alipay".into()).unwrap();
+        let xiaozhu = g.index_of(&"xiaozhu".into()).unwrap();
+        let railway = g.index_of(&"china-railway-12306".into()).unwrap();
+        let couple_found = g
+            .couples_for(alipay)
+            .iter()
+            .any(|c| c.providers.contains(&xiaozhu) && c.providers.contains(&railway));
+        assert!(couple_found, "xiaozhu + 12306 must form a couple for alipay");
+        assert!(g.is_half_capacity_parent(xiaozhu));
+    }
+
+    #[test]
+    fn robust_bank_has_no_parents() {
+        let g = tdg(Platform::Web);
+        let bank = g.index_of(&"union-bank".into()).unwrap();
+        assert!(g.strong_parents(bank).is_empty());
+        assert!(g.couples_for(bank).is_empty());
+        assert!(!g.is_fringe(bank));
+    }
+
+    #[test]
+    fn strong_children_inverts_parents() {
+        let g = tdg(Platform::Web);
+        let gmail = g.index_of(&"gmail".into()).unwrap();
+        for child in g.strong_children(gmail) {
+            assert!(g.strong_parents(child).contains(&gmail));
+        }
+    }
+
+    #[test]
+    fn mobile_only_services_absent_from_web_graph() {
+        let g = tdg(Platform::Web);
+        assert!(g.index_of(&"wechat".into()).is_none());
+        let m = tdg(Platform::MobileApp);
+        assert!(m.index_of(&"wechat".into()).is_some());
+        assert!(m.index_of(&"government-portal".into()).is_none());
+    }
+
+    #[test]
+    fn graph_has_substantial_connectivity() {
+        let g = tdg(Platform::Web);
+        assert!(g.strong_edge_count() > 50, "edges: {}", g.strong_edge_count());
+        assert!(!g.fringe_nodes().is_empty());
+    }
+}

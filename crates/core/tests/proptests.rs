@@ -1,0 +1,188 @@
+//! Property-based tests for the ActFort analyses: graph classification,
+//! fixed-point behaviour and chain soundness over randomly generated
+//! ecosystems.
+
+use actfort_core::analysis::{backward_chains, forward};
+use actfort_core::counter::{apply, Countermeasure};
+use actfort_core::pool::{attack_paths, path_satisfied, InfoPool};
+use actfort_core::profile::AttackerProfile;
+use actfort_core::Tdg;
+use actfort_ecosystem::policy::Platform;
+use actfort_ecosystem::spec::ServiceSpec;
+use actfort_ecosystem::synth::{generate, SynthConfig};
+use proptest::prelude::*;
+use std::collections::BTreeSet;
+
+fn population(seed: u64, n: usize) -> Vec<ServiceSpec> {
+    let mut specs = actfort_ecosystem::dataset::curated_services();
+    specs.truncate(12);
+    specs.extend(generate(n, seed, &SynthConfig::default()));
+    specs
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(16))]
+
+    /// Fringe nodes are exactly the accounts falling in round one of the
+    /// forward analysis from an empty seed set.
+    #[test]
+    fn fringe_equals_forward_round_one(seed in any::<u64>()) {
+        let specs = population(seed, 30);
+        let ap = AttackerProfile::paper_default();
+        let tdg = Tdg::build(&specs, Platform::Web, ap);
+        let fwd = forward(&specs, Platform::Web, &ap, &[]);
+        let round1: BTreeSet<&str> =
+            fwd.rounds.get(1).map(|r| r.iter().map(|s| s.as_str()).collect()).unwrap_or_default();
+        for i in 0..tdg.node_count() {
+            let id = tdg.spec(i).id.as_str();
+            prop_assert_eq!(tdg.is_fringe(i), round1.contains(id), "{}", id);
+        }
+    }
+
+    /// Definition 1 soundness: every strong-directivity edge's parent,
+    /// alone with the attacker profile, satisfies a complete attack path
+    /// of the child.
+    #[test]
+    fn strong_edges_satisfy_definition_one(seed in any::<u64>()) {
+        let specs = population(seed, 25);
+        let ap = AttackerProfile::paper_default();
+        let tdg = Tdg::build(&specs, Platform::MobileApp, ap);
+        for child in 0..tdg.node_count() {
+            for &parent in tdg.strong_parents(child) {
+                let mut pool = InfoPool::new();
+                pool.absorb_compromise(tdg.spec(parent), Platform::MobileApp);
+                let ok = attack_paths(tdg.spec(child), Platform::MobileApp)
+                    .iter()
+                    .any(|p| path_satisfied(p, &ap, &pool));
+                prop_assert!(
+                    ok,
+                    "edge {} -> {} violates Definition 1",
+                    tdg.spec(parent).id,
+                    tdg.spec(child).id
+                );
+            }
+        }
+    }
+
+    /// Couple soundness (Definition 3): every couple jointly satisfies a
+    /// path, and no single member does alone.
+    #[test]
+    fn couples_satisfy_definition_three(seed in any::<u64>()) {
+        let specs = population(seed, 25);
+        let ap = AttackerProfile::paper_default();
+        let tdg = Tdg::build(&specs, Platform::Web, ap);
+        for couple in tdg.couples() {
+            let target = tdg.spec(couple.target);
+            let mut joint = InfoPool::new();
+            for &p in &couple.providers {
+                joint.absorb_compromise(tdg.spec(p), Platform::Web);
+            }
+            prop_assert!(
+                attack_paths(target, Platform::Web).iter().any(|p| path_satisfied(p, &ap, &joint)),
+                "couple {:?} -> {} not jointly sufficient",
+                couple.providers,
+                target.id
+            );
+            for &member in &couple.providers {
+                let mut solo = InfoPool::new();
+                solo.absorb_compromise(tdg.spec(member), Platform::Web);
+                // A solo-sufficient member would make this a strong edge,
+                // not a couple.
+                let solo_paths_beyond_ap = attack_paths(target, Platform::Web)
+                    .iter()
+                    .filter(|p| !path_satisfied(p, &ap, &InfoPool::new()))
+                    .any(|p| path_satisfied(p, &ap, &solo));
+                prop_assert!(!solo_paths_beyond_ap, "couple member is secretly a full parent");
+            }
+        }
+    }
+
+    /// Forward monotonicity: strictly richer capabilities never shrink
+    /// the compromised set.
+    #[test]
+    fn forward_is_monotone_in_capabilities(seed in any::<u64>()) {
+        let specs = population(seed, 30);
+        let weak = AttackerProfile::email_surface();
+        let strong = AttackerProfile { sms_interception: true, ..weak };
+        let fw = forward(&specs, Platform::Web, &weak, &[]);
+        let fs = forward(&specs, Platform::Web, &strong, &[]);
+        let weak_set: BTreeSet<_> = fw.records.keys().cloned().collect();
+        let strong_set: BTreeSet<_> = fs.records.keys().cloned().collect();
+        prop_assert!(weak_set.is_subset(&strong_set));
+    }
+
+    /// Seeding monotonicity: extra seeds never shrink the final set.
+    #[test]
+    fn forward_is_monotone_in_seeds(seed in any::<u64>(), pick in 0usize..12) {
+        let specs = population(seed, 20);
+        let ap = AttackerProfile::paper_default();
+        let base = forward(&specs, Platform::Web, &ap, &[]);
+        let seed_id = specs[pick % specs.len()].id.clone();
+        let seeded = forward(&specs, Platform::Web, &ap, std::slice::from_ref(&seed_id));
+        let base_set: BTreeSet<_> = base.records.keys().cloned().collect();
+        let seeded_set: BTreeSet<_> = seeded.records.keys().cloned().collect();
+        prop_assert!(base_set.is_subset(&seeded_set), "seeding {} lost victims", seed_id);
+    }
+
+    /// Chain soundness: every backward chain is executable — walking it
+    /// step by step, each account is compromisable with the pool gathered
+    /// so far, and the walk ends at the requested target.
+    #[test]
+    fn backward_chains_are_executable(seed in any::<u64>()) {
+        let specs = population(seed, 25);
+        let ap = AttackerProfile::paper_default();
+        let tdg = Tdg::build(&specs, Platform::MobileApp, ap);
+        let fwd = forward(&specs, Platform::MobileApp, &ap, &[]);
+        // Try a handful of reachable non-fringe targets.
+        let targets: Vec<_> = fwd
+            .records
+            .iter()
+            .filter(|(_, rec)| rec.round >= 2)
+            .map(|(id, _)| id.clone())
+            .take(4)
+            .collect();
+        for target in targets {
+            for chain in backward_chains(&tdg, &target, 3) {
+                let mut pool = InfoPool::new();
+                for step in &chain.steps {
+                    for sid in &step.services {
+                        let idx = tdg.index_of(sid).expect("chain names real nodes");
+                        let spec = tdg.spec(idx);
+                        prop_assert!(
+                            attack_paths(spec, Platform::MobileApp)
+                                .iter()
+                                .any(|p| path_satisfied(p, &ap, &pool)),
+                            "chain step {} not satisfiable when reached (target {})",
+                            sid,
+                            target
+                        );
+                        pool.absorb_compromise(spec, Platform::MobileApp);
+                    }
+                }
+                prop_assert_eq!(
+                    &chain.steps.last().expect("non-empty").services,
+                    &vec![target.clone()]
+                );
+            }
+        }
+    }
+
+    /// Countermeasures never enlarge the compromised set, on any seed.
+    #[test]
+    fn countermeasures_never_hurt(seed in any::<u64>()) {
+        let specs = population(seed, 25);
+        let ap = AttackerProfile::paper_default();
+        let before: BTreeSet<_> =
+            forward(&specs, Platform::MobileApp, &ap, &[]).records.keys().cloned().collect();
+        for &cm in Countermeasure::all() {
+            let hardened = apply(&specs, cm);
+            let after: BTreeSet<_> =
+                forward(&hardened, Platform::MobileApp, &ap, &[]).records.keys().cloned().collect();
+            prop_assert!(
+                after.is_subset(&before),
+                "{cm} newly compromised: {:?}",
+                after.difference(&before).collect::<Vec<_>>()
+            );
+        }
+    }
+}

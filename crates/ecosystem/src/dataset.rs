@@ -1,0 +1,599 @@
+//! The curated service dataset: every service the paper names, with
+//! authentication paths and exposure rules encoded from §IV–§V.
+//!
+//! These 44 profiles are the reproduction's stand-in for the paper's
+//! manual probing of live sites (Fig. 4 draws the connection graph of 44
+//! accounts). Where the paper states a concrete fact — "Ctrip exposes
+//! the citizen ID behind the EDIT button", "Gmail resets with only an
+//! SMS code", "Alipay's web and app ends differ" — that fact is encoded
+//! here verbatim; surrounding details are filled in with typical
+//! industry practice.
+
+use crate::factor::CredentialFactor as F;
+use crate::info::{ExposedField, PersonalInfoKind as K};
+use crate::policy::{Platform::*, Purpose::*};
+use crate::spec::{ServiceDomain as D, ServiceSpec};
+
+fn clear(kind: K) -> ExposedField {
+    ExposedField::clear(kind)
+}
+
+fn part(kind: K, prefix: u8, suffix: u8) -> ExposedField {
+    ExposedField::partial(kind, prefix, suffix)
+}
+
+/// Builds the full curated dataset (44 services).
+pub fn curated_services() -> Vec<ServiceSpec> {
+    let mut v = Vec::with_capacity(44);
+
+    // ------------------------------------------------------------------
+    // Email providers — §IV-B: "all of these accounts could be verified
+    // with only SMS Code"; the gateway nodes of the ecosystem.
+    // ------------------------------------------------------------------
+    for (id, name) in [
+        ("gmail", "Gmail"),
+        ("netease-163", "NetEase 163 Mail"),
+        ("outlook", "Outlook"),
+        ("aliyun-mail", "Aliyun Mail"),
+    ] {
+        v.push(
+            ServiceSpec::builder(id, name, D::Email)
+                .path_both(SignIn, &[F::Password])
+                .path_both(SignIn, &[F::CellphoneNumber, F::SmsCode])
+                .path_both(PasswordReset, &[F::CellphoneNumber, F::SmsCode])
+                .expose_both(clear(K::EmailAddress))
+                .expose_both(part(K::CellphoneNumber, 3, 4))
+                .expose_both(clear(K::BindingAccount))
+                .expose_both(clear(K::HistoryRecords))
+                .expose_mobile(clear(K::DeviceType))
+                .build(),
+        );
+    }
+
+    // ------------------------------------------------------------------
+    // Fintech — strictest authentication, the attack's final targets.
+    // ------------------------------------------------------------------
+    // PayPal (Case II): reset requires SMS code AND email code.
+    v.push(
+        ServiceSpec::builder("paypal", "PayPal", D::Fintech)
+            .path_both(SignIn, &[F::Password])
+            .path_both(PasswordReset, &[F::SmsCode, F::EmailCode])
+            .expose_both(clear(K::RealName))
+            .expose_both(clear(K::EmailAddress))
+            .expose_both(part(K::BankcardNumber, 0, 4))
+            .expose_both(clear(K::Address))
+            .build(),
+    );
+    // Alipay (Case III): asymmetric web vs mobile. The app resets with
+    // SMS + one of {face, bankcard, citizen ID, security question}; the
+    // weak link is SMS + citizen ID. The web end wants SMS + bankcard or
+    // human customer service.
+    v.push(
+        ServiceSpec::builder("alipay", "Alipay", D::Fintech)
+            .path_both(SignIn, &[F::Password])
+            .path(SignIn, MobileApp, &[F::CellphoneNumber, F::SmsCode, F::DeviceCheck])
+            .path(PasswordReset, MobileApp, &[F::SmsCode, F::Biometric])
+            .path(PasswordReset, MobileApp, &[F::SmsCode, F::BankcardNumber])
+            .path(PasswordReset, MobileApp, &[F::SmsCode, F::CitizenId])
+            .path(PasswordReset, MobileApp, &[F::SmsCode, F::SecurityQuestion])
+            .path(Payment, MobileApp, &[F::SmsCode, F::CitizenId])
+            .path(PasswordReset, Web, &[F::SmsCode, F::BankcardNumber])
+            .path(PasswordReset, Web, &[F::CustomerService])
+            .expose_mobile(clear(K::RealName))
+            .expose_web(part(K::RealName, 1, 0))
+            .expose_both(part(K::CitizenId, 4, 4))
+            .expose_both(part(K::BankcardNumber, 4, 4))
+            .expose_both(part(K::CellphoneNumber, 3, 4))
+            .expose_mobile(clear(K::Address))
+            .build(),
+    );
+    // Baidu Wallet (Case I): SMS code as a one-time login token; QR
+    // payments straight from the session.
+    v.push(
+        ServiceSpec::builder("baidu-wallet", "Baidu Wallet", D::Fintech)
+            .path_both(SignIn, &[F::CellphoneNumber, F::SmsCode])
+            .path_both(PasswordReset, &[F::CellphoneNumber, F::SmsCode])
+            .expose_both(clear(K::RealName))
+            .expose_both(part(K::CellphoneNumber, 3, 4))
+            .expose_mobile(part(K::BankcardNumber, 0, 4))
+            .build(),
+    );
+    // WeChat Pay: device binding makes it robust.
+    v.push(
+        ServiceSpec::builder("wechat-pay", "WeChat Pay", D::Fintech)
+            .mobile_only()
+            .path(SignIn, MobileApp, &[F::Password, F::DeviceCheck])
+            .path(PasswordReset, MobileApp, &[F::SmsCode, F::BankcardNumber, F::DeviceCheck])
+            .expose_mobile(clear(K::RealName))
+            .expose_mobile(part(K::BankcardNumber, 0, 4))
+            .build(),
+    );
+    // A U2F-protected bank — the paper's "most secure node".
+    v.push(
+        ServiceSpec::builder("union-bank", "Union Bank", D::Fintech)
+            .path(SignIn, Web, &[F::Password, F::U2fKey])
+            .path(PasswordReset, Web, &[F::U2fKey, F::CitizenId, F::BankcardNumber])
+            .path(SignIn, MobileApp, &[F::Password, F::Biometric])
+            .path(PasswordReset, MobileApp, &[F::Biometric, F::BankcardNumber])
+            .expose_both(part(K::RealName, 1, 0))
+            .expose_both(part(K::BankcardNumber, 0, 4))
+            .build(),
+    );
+    // A brokerage with TOTP.
+    v.push(
+        ServiceSpec::builder("east-securities", "East Securities", D::Fintech)
+            .path_both(SignIn, &[F::Password, F::TotpCode])
+            .path_both(PasswordReset, &[F::CitizenId, F::BankcardNumber, F::SmsCode])
+            .expose_both(part(K::CitizenId, 6, 2))
+            .expose_both(clear(K::RealName))
+            .build(),
+    );
+
+    // ------------------------------------------------------------------
+    // Travel — the citizen-ID leak cluster (§IV-B, Case III).
+    // ------------------------------------------------------------------
+    // Ctrip: SMS one-time login; citizen ID in full behind "EDIT".
+    v.push(
+        ServiceSpec::builder("ctrip", "Ctrip", D::Travel)
+            .path_both(SignIn, &[F::CellphoneNumber, F::SmsCode])
+            .path_both(PasswordReset, &[F::CellphoneNumber, F::SmsCode])
+            .path_both(PasswordReset, &[F::EmailCode])
+            .expose_both(clear(K::CitizenId))
+            .expose_both(clear(K::RealName))
+            .expose_both(part(K::CellphoneNumber, 3, 4))
+            .expose_both(clear(K::HistoryRecords))
+            .build(),
+    );
+    // China Railway 12306: exposes the vital tail of the citizen ID.
+    v.push(
+        ServiceSpec::builder("china-railway-12306", "China Railway 12306", D::Travel)
+            .path_both(SignIn, &[F::Password, F::SmsCode])
+            .path_both(PasswordReset, &[F::SmsCode, F::CitizenId])
+            .expose_both(part(K::CitizenId, 0, 8))
+            .expose_both(clear(K::RealName))
+            .expose_both(clear(K::HistoryRecords))
+            .build(),
+    );
+    // Xiaozhu: SMS or email login; exposes the head of the citizen ID —
+    // complementary to 12306, enabling the mask-merging attack.
+    v.push(
+        ServiceSpec::builder("xiaozhu", "Xiaozhu", D::Travel)
+            .path_both(SignIn, &[F::CellphoneNumber, F::SmsCode])
+            .path_both(SignIn, &[F::EmailCode])
+            .path_both(PasswordReset, &[F::CellphoneNumber, F::SmsCode])
+            .expose_both(part(K::CitizenId, 10, 0))
+            .expose_both(clear(K::RealName))
+            .expose_both(clear(K::Address))
+            .build(),
+    );
+    v.push(
+        ServiceSpec::builder("expedia", "Expedia", D::Travel)
+            .path_both(SignIn, &[F::Password])
+            .path_both(SignIn, &[F::LinkedAccount("gmail".into())])
+            .path_both(PasswordReset, &[F::EmailLink])
+            .expose_both(clear(K::RealName))
+            .expose_both(clear(K::HistoryRecords))
+            .expose_both(clear(K::EmailAddress))
+            .build(),
+    );
+    v.push(
+        ServiceSpec::builder("airbnb", "Airbnb", D::Travel)
+            .path_both(SignIn, &[F::Password])
+            .path_both(SignIn, &[F::LinkedAccount("gmail".into())])
+            .path_both(PasswordReset, &[F::EmailLink])
+            .path_both(PasswordReset, &[F::SmsCode])
+            .expose_both(clear(K::RealName))
+            .expose_both(clear(K::Address))
+            .expose_mobile(clear(K::DeviceType))
+            .build(),
+    );
+    v.push(
+        ServiceSpec::builder("booking", "Booking.com", D::Travel)
+            .path_both(SignIn, &[F::Password])
+            .path_both(PasswordReset, &[F::EmailLink])
+            .expose_both(clear(K::RealName))
+            .expose_both(part(K::BankcardNumber, 0, 4))
+            .expose_both(clear(K::Address))
+            .build(),
+    );
+
+    // ------------------------------------------------------------------
+    // E-commerce.
+    // ------------------------------------------------------------------
+    // JD: "provided a mass of" device type and acquaintance info.
+    v.push(
+        ServiceSpec::builder("jd", "JD", D::Ecommerce)
+            .path_both(SignIn, &[F::CellphoneNumber, F::SmsCode])
+            .path_both(SignIn, &[F::Password])
+            .path_both(PasswordReset, &[F::CellphoneNumber, F::SmsCode])
+            .expose_both(clear(K::DeviceType))
+            .expose_both(clear(K::AcquaintanceInfo))
+            .expose_both(clear(K::Address))
+            .expose_both(clear(K::RealName))
+            .expose_both(part(K::CellphoneNumber, 3, 4))
+            .expose_both(clear(K::HistoryRecords))
+            .build(),
+    );
+    v.push(
+        ServiceSpec::builder("taobao", "Taobao", D::Ecommerce)
+            .path_both(SignIn, &[F::Password, F::DeviceCheck])
+            .path_both(SignIn, &[F::CellphoneNumber, F::SmsCode])
+            .path_both(PasswordReset, &[F::CellphoneNumber, F::SmsCode])
+            .expose_both(clear(K::Address))
+            .expose_both(clear(K::RealName))
+            .expose_both(part(K::CellphoneNumber, 3, 4))
+            .expose_both(clear(K::HistoryRecords))
+            .build(),
+    );
+    v.push(
+        ServiceSpec::builder("amazon", "Amazon", D::Ecommerce)
+            .path_both(SignIn, &[F::Password])
+            .path_both(PasswordReset, &[F::EmailLink])
+            .path_both(PasswordReset, &[F::SmsCode])
+            .expose_both(clear(K::Address))
+            .expose_both(clear(K::RealName))
+            .expose_both(part(K::BankcardNumber, 0, 4))
+            .build(),
+    );
+    // Gome: the web/mobile asymmetry example — web masks the SSN part
+    // that mobile shows in the clear.
+    v.push(
+        ServiceSpec::builder("gome", "Gome", D::Ecommerce)
+            .path_both(SignIn, &[F::CellphoneNumber, F::SmsCode])
+            .path_both(PasswordReset, &[F::CellphoneNumber, F::SmsCode])
+            .expose_web(part(K::CitizenId, 4, 4))
+            .expose_mobile(clear(K::CitizenId))
+            .expose_both(clear(K::RealName))
+            .build(),
+    );
+    v.push(
+        ServiceSpec::builder("pinduoduo", "Pinduoduo", D::Ecommerce)
+            .mobile_only()
+            .path(SignIn, MobileApp, &[F::CellphoneNumber, F::SmsCode])
+            .path(PasswordReset, MobileApp, &[F::CellphoneNumber, F::SmsCode])
+            .expose_mobile(clear(K::Address))
+            .expose_mobile(clear(K::RealName))
+            .expose_mobile(part(K::CellphoneNumber, 3, 4))
+            .build(),
+    );
+    // ------------------------------------------------------------------
+    // Social networks.
+    // ------------------------------------------------------------------
+    // LinkedIn: acquaintance + device info trove.
+    v.push(
+        ServiceSpec::builder("linkedin", "LinkedIn", D::SocialNetwork)
+            .path_both(SignIn, &[F::Password])
+            .path_both(PasswordReset, &[F::EmailLink])
+            .path_both(PasswordReset, &[F::SmsCode])
+            .expose_both(clear(K::AcquaintanceInfo))
+            .expose_both(clear(K::DeviceType))
+            .expose_both(clear(K::RealName))
+            .expose_both(clear(K::EmailAddress))
+            .build(),
+    );
+    v.push(
+        ServiceSpec::builder("facebook", "Facebook", D::SocialNetwork)
+            .path_both(SignIn, &[F::Password])
+            .path_both(PasswordReset, &[F::SmsCode])
+            .path_both(PasswordReset, &[F::EmailLink])
+            .expose_both(clear(K::RealName))
+            .expose_both(clear(K::AcquaintanceInfo))
+            .expose_both(part(K::EmailAddress, 2, 8))
+            .build(),
+    );
+    v.push(
+        ServiceSpec::builder("weibo", "Weibo", D::SocialNetwork)
+            .path_both(SignIn, &[F::CellphoneNumber, F::SmsCode])
+            .path_both(PasswordReset, &[F::CellphoneNumber, F::SmsCode])
+            .expose_both(clear(K::RealName))
+            .expose_both(part(K::CellphoneNumber, 3, 4))
+            .expose_both(clear(K::AcquaintanceInfo))
+            .expose_both(clear(K::UserId))
+            .build(),
+    );
+    v.push(
+        ServiceSpec::builder("wechat", "WeChat", D::SocialNetwork)
+            .mobile_only()
+            .path(SignIn, MobileApp, &[F::CellphoneNumber, F::SmsCode])
+            .path(PasswordReset, MobileApp, &[F::SmsCode, F::SecurityQuestion])
+            .expose_mobile(clear(K::AcquaintanceInfo))
+            .expose_mobile(clear(K::UserId))
+            .expose_mobile(part(K::CellphoneNumber, 3, 4))
+            .build(),
+    );
+    v.push(
+        ServiceSpec::builder("twitter", "Twitter", D::SocialNetwork)
+            .path_both(SignIn, &[F::Password])
+            .path_both(PasswordReset, &[F::SmsCode])
+            .path_both(PasswordReset, &[F::EmailCode])
+            .expose_both(clear(K::UserId))
+            .expose_both(part(K::EmailAddress, 2, 6))
+            .expose_both(part(K::CellphoneNumber, 0, 2))
+            .build(),
+    );
+    v.push(
+        ServiceSpec::builder("instagram", "Instagram", D::SocialNetwork)
+            .path_both(SignIn, &[F::Password])
+            .path_both(PasswordReset, &[F::EmailLink])
+            .path_both(PasswordReset, &[F::SmsCode])
+            .expose_both(clear(K::UserId))
+            .expose_both(clear(K::AcquaintanceInfo))
+            .build(),
+    );
+    v.push(
+        ServiceSpec::builder("zhihu", "Zhihu", D::SocialNetwork)
+            .path_both(SignIn, &[F::CellphoneNumber, F::SmsCode])
+            .path_both(PasswordReset, &[F::CellphoneNumber, F::SmsCode])
+            .expose_both(clear(K::UserId))
+            .expose_both(part(K::CellphoneNumber, 3, 4))
+            .build(),
+    );
+
+    // ------------------------------------------------------------------
+    // Cloud storage — photo/ID backup leak cluster.
+    // ------------------------------------------------------------------
+    v.push(
+        ServiceSpec::builder("dropbox", "Dropbox", D::CloudStorage)
+            .path_both(SignIn, &[F::Password])
+            .path_both(PasswordReset, &[F::EmailCode])
+            .expose_both(clear(K::Photos))
+            .expose_both(clear(K::EmailAddress))
+            .expose_mobile(clear(K::DeviceType))
+            .build(),
+    );
+    v.push(
+        ServiceSpec::builder("baidu-pan", "Baidu Pan", D::CloudStorage)
+            .path_both(SignIn, &[F::CellphoneNumber, F::SmsCode])
+            .path_both(SignIn, &[F::EmailCode])
+            .path_both(PasswordReset, &[F::CellphoneNumber, F::SmsCode])
+            .expose_both(clear(K::Photos))
+            .expose_both(part(K::CellphoneNumber, 3, 4))
+            .build(),
+    );
+    v.push(
+        ServiceSpec::builder("icloud-drive", "iCloud Drive", D::CloudStorage)
+            .path_both(SignIn, &[F::Password, F::DeviceCheck])
+            .path_both(PasswordReset, &[F::DeviceCheck, F::SmsCode])
+            .expose_both(clear(K::Photos))
+            .expose_both(clear(K::DeviceType))
+            .build(),
+    );
+
+    // ------------------------------------------------------------------
+    // Local services / transport.
+    // ------------------------------------------------------------------
+    v.push(
+        ServiceSpec::builder("didi", "Didi", D::LocalServices)
+            .mobile_only()
+            .path(SignIn, MobileApp, &[F::CellphoneNumber, F::SmsCode])
+            .path(PasswordReset, MobileApp, &[F::CellphoneNumber, F::SmsCode])
+            .expose_mobile(clear(K::Address))
+            .expose_mobile(clear(K::HistoryRecords))
+            .expose_mobile(part(K::CellphoneNumber, 3, 4))
+            .build(),
+    );
+    v.push(
+        ServiceSpec::builder("meituan", "Meituan", D::LocalServices)
+            .path_both(SignIn, &[F::CellphoneNumber, F::SmsCode])
+            .path_both(PasswordReset, &[F::CellphoneNumber, F::SmsCode])
+            .expose_both(clear(K::Address))
+            .expose_both(clear(K::HistoryRecords))
+            .build(),
+    );
+    v.push(
+        ServiceSpec::builder("eleme", "Ele.me", D::LocalServices)
+            .mobile_only()
+            .path(SignIn, MobileApp, &[F::CellphoneNumber, F::SmsCode])
+            .path(PasswordReset, MobileApp, &[F::CellphoneNumber, F::SmsCode])
+            .expose_mobile(clear(K::Address))
+            .expose_mobile(part(K::RealName, 1, 0))
+            .build(),
+    );
+    v.push(
+        ServiceSpec::builder("uber", "Uber", D::LocalServices)
+            .path_both(SignIn, &[F::CellphoneNumber, F::SmsCode])
+            .path_both(PasswordReset, &[F::EmailLink])
+            .expose_both(clear(K::HistoryRecords))
+            .expose_both(part(K::BankcardNumber, 0, 4))
+            .build(),
+    );
+
+    // ------------------------------------------------------------------
+    // Video / news / misc.
+    // ------------------------------------------------------------------
+    v.push(
+        ServiceSpec::builder("bilibili", "Bilibili", D::Video)
+            .path_both(SignIn, &[F::CellphoneNumber, F::SmsCode])
+            .path_both(PasswordReset, &[F::CellphoneNumber, F::SmsCode])
+            .expose_both(clear(K::UserId))
+            .expose_both(part(K::CellphoneNumber, 3, 4))
+            .build(),
+    );
+    v.push(
+        ServiceSpec::builder("iqiyi", "iQIYI", D::Video)
+            .path_both(SignIn, &[F::CellphoneNumber, F::SmsCode])
+            .path_both(PasswordReset, &[F::CellphoneNumber, F::SmsCode])
+            .expose_both(clear(K::UserId))
+            .build(),
+    );
+    v.push(
+        ServiceSpec::builder("youku", "Youku", D::Video)
+            .path_both(SignIn, &[F::CellphoneNumber, F::SmsCode])
+            .path_both(SignIn, &[F::LinkedAccount("alipay".into())])
+            .path_both(PasswordReset, &[F::CellphoneNumber, F::SmsCode])
+            .expose_both(clear(K::UserId))
+            .build(),
+    );
+    v.push(
+        ServiceSpec::builder("netflix", "Netflix", D::Video)
+            .path_both(SignIn, &[F::Password])
+            .path_both(PasswordReset, &[F::EmailLink])
+            .path_both(PasswordReset, &[F::SmsCode])
+            .expose_both(part(K::BankcardNumber, 0, 4))
+            .expose_both(clear(K::EmailAddress))
+            .build(),
+    );
+    v.push(
+        ServiceSpec::builder("toutiao", "Toutiao", D::News)
+            .path_both(SignIn, &[F::CellphoneNumber, F::SmsCode])
+            .path_both(PasswordReset, &[F::CellphoneNumber, F::SmsCode])
+            .expose_both(clear(K::UserId))
+            .expose_both(clear(K::DeviceType))
+            .build(),
+    );
+    // GitHub with U2F — a second robust node.
+    v.push(
+        ServiceSpec::builder("github", "GitHub", D::Other)
+            .path_both(SignIn, &[F::Password, F::U2fKey])
+            .path_both(PasswordReset, &[F::EmailLink, F::U2fKey])
+            .expose_both(clear(K::EmailAddress))
+            .expose_both(clear(K::UserId))
+            .build(),
+    );
+    v.push(
+        ServiceSpec::builder("steam", "Steam", D::Other)
+            .path_both(SignIn, &[F::Password, F::TotpCode])
+            .path_both(PasswordReset, &[F::EmailCode])
+            .expose_both(clear(K::UserId))
+            .expose_both(part(K::EmailAddress, 2, 8))
+            .build(),
+    );
+    v.push(
+        ServiceSpec::builder("58-tongcheng", "58.com", D::Other)
+            .path_both(SignIn, &[F::CellphoneNumber, F::SmsCode])
+            .path_both(PasswordReset, &[F::CellphoneNumber, F::SmsCode])
+            .expose_both(clear(K::Address))
+            .expose_both(part(K::CellphoneNumber, 3, 4))
+            .build(),
+    );
+    v.push(
+        ServiceSpec::builder("government-portal", "Citizen Services Portal", D::Other)
+            .web_only()
+            .path(SignIn, Web, &[F::Password, F::CitizenId, F::SmsCode])
+            .path(PasswordReset, Web, &[F::CitizenId, F::RealName, F::SmsCode, F::Biometric])
+            .expose_web(part(K::CitizenId, 6, 0))
+            .expose_web(clear(K::RealName))
+            .expose_web(clear(K::Address))
+            .build(),
+    );
+
+    v
+}
+
+/// The 44-service subset drawn in Fig. 4 — here, the whole curated set.
+pub fn fig4_services() -> Vec<ServiceSpec> {
+    curated_services()
+}
+
+/// Looks up a curated service by id.
+pub fn curated(id: &str) -> Option<ServiceSpec> {
+    curated_services().into_iter().find(|s| s.id.as_str() == id)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::policy::{Platform, Purpose};
+
+    #[test]
+    fn dataset_has_44_services_with_unique_ids() {
+        let all = curated_services();
+        assert_eq!(all.len(), 44);
+        let mut ids: Vec<&str> = all.iter().map(|s| s.id.as_str()).collect();
+        ids.sort_unstable();
+        ids.dedup();
+        assert_eq!(ids.len(), 44, "duplicate service ids");
+    }
+
+    #[test]
+    fn email_providers_reset_with_sms_only() {
+        for id in ["gmail", "netease-163", "outlook", "aliyun-mail"] {
+            let s = curated(id).unwrap();
+            let resets = s.paths_for(Platform::Web, Purpose::PasswordReset);
+            assert!(
+                resets.iter().any(|p| p.is_sms_only()),
+                "{id} must reset with SMS only (paper §IV-B)"
+            );
+        }
+    }
+
+    #[test]
+    fn ctrip_exposes_full_citizen_id() {
+        let s = curated("ctrip").unwrap();
+        let field = s
+            .web_exposure
+            .iter()
+            .find(|f| f.kind == K::CitizenId)
+            .expect("ctrip exposes citizen ID");
+        assert!(field.reveals_fully());
+    }
+
+    #[test]
+    fn alipay_web_mobile_asymmetry() {
+        let s = curated("alipay").unwrap();
+        let mobile_resets = s.paths_for(Platform::MobileApp, Purpose::PasswordReset);
+        let web_resets = s.paths_for(Platform::Web, Purpose::PasswordReset);
+        // The weak mobile link: SMS + citizen ID.
+        assert!(mobile_resets
+            .iter()
+            .any(|p| p.factors.contains(&F::SmsCode) && p.factors.contains(&F::CitizenId)));
+        // The web end never accepts citizen ID — it wants the bankcard.
+        assert!(web_resets.iter().all(|p| !p.factors.contains(&F::CitizenId)));
+        assert!(web_resets
+            .iter()
+            .any(|p| p.factors.contains(&F::BankcardNumber)));
+    }
+
+    #[test]
+    fn gome_masks_web_but_not_mobile() {
+        let s = curated("gome").unwrap();
+        let web = s.web_exposure.iter().find(|f| f.kind == K::CitizenId).unwrap();
+        let mobile = s.mobile_exposure.iter().find(|f| f.kind == K::CitizenId).unwrap();
+        assert!(!web.reveals_fully());
+        assert!(mobile.reveals_fully());
+    }
+
+    #[test]
+    fn citizen_id_masks_are_complementary_across_travel_sites() {
+        use crate::info::{is_fully_recovered, merge_masked};
+        let cid = "110101199003078515";
+        let x = curated("xiaozhu").unwrap();
+        let r = curated("china-railway-12306").unwrap();
+        let xm = x.web_exposure.iter().find(|f| f.kind == K::CitizenId).unwrap().masking.apply(cid);
+        let rm = r.web_exposure.iter().find(|f| f.kind == K::CitizenId).unwrap().masking.apply(cid);
+        let merged = merge_masked(&[xm, rm]).unwrap();
+        assert!(is_fully_recovered(&merged), "merged mask views recover the full ID");
+        assert_eq!(merged, cid);
+    }
+
+    #[test]
+    fn robust_nodes_have_no_weak_path() {
+        for id in ["union-bank", "github"] {
+            let s = curated(id).unwrap();
+            assert!(!s.has_sms_only_path(), "{id} must not fall to SMS alone");
+            for p in &s.paths {
+                assert!(
+                    p.factors.iter().any(|f| f.is_robust()),
+                    "{id} path {p} lacks a robust factor"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn dataset_covers_all_domains() {
+        use std::collections::BTreeSet;
+        let domains: BTreeSet<String> =
+            curated_services().iter().map(|s| s.domain.to_string()).collect();
+        assert!(domains.len() >= 8, "expected broad domain coverage, got {domains:?}");
+    }
+
+    #[test]
+    fn majority_of_dataset_is_sms_compromisable() {
+        let all = curated_services();
+        let direct = all.iter().filter(|s| s.has_sms_only_path()).count();
+        let frac = direct as f64 / all.len() as f64;
+        // The paper measures ~74–76% directly compromisable.
+        assert!((0.55..=0.90).contains(&frac), "direct fraction {frac}");
+    }
+}

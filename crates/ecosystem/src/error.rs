@@ -1,0 +1,97 @@
+//! Error types for the ecosystem simulator.
+
+use std::fmt;
+
+/// Errors produced by the Online Account Ecosystem simulator.
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum EcosystemError {
+    /// The referenced service is not registered.
+    UnknownService(String),
+    /// The referenced person does not exist.
+    UnknownPerson(u32),
+    /// No account matches the locator at this service.
+    UnknownAccount(String),
+    /// The referenced pending challenge does not exist or was consumed.
+    UnknownChallenge(u64),
+    /// The chosen authentication path index is out of range.
+    NoSuchPath {
+        /// Requested index.
+        index: usize,
+        /// Number of paths actually available.
+        available: usize,
+    },
+    /// A presented factor failed verification; carries a description.
+    FactorRejected(String),
+    /// The responses do not cover every required factor.
+    MissingFactor(String),
+    /// The session token is invalid or expired.
+    InvalidSession,
+    /// An underlying authentication-service failure.
+    Auth(actfort_authsvc::AuthError),
+    /// An underlying GSM failure.
+    Gsm(actfort_gsm::GsmError),
+    /// The operation conflicts with service state (duplicate account, …).
+    Conflict(String),
+}
+
+impl fmt::Display for EcosystemError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            EcosystemError::UnknownService(s) => write!(f, "unknown service: {s}"),
+            EcosystemError::UnknownPerson(p) => write!(f, "unknown person #{p}"),
+            EcosystemError::UnknownAccount(s) => write!(f, "no account matches {s}"),
+            EcosystemError::UnknownChallenge(c) => write!(f, "unknown challenge #{c}"),
+            EcosystemError::NoSuchPath { index, available } => {
+                write!(f, "authentication path {index} out of range ({available} available)")
+            }
+            EcosystemError::FactorRejected(s) => write!(f, "factor rejected: {s}"),
+            EcosystemError::MissingFactor(s) => write!(f, "missing required factor: {s}"),
+            EcosystemError::InvalidSession => f.write_str("invalid or expired session"),
+            EcosystemError::Auth(e) => write!(f, "authentication service: {e}"),
+            EcosystemError::Gsm(e) => write!(f, "gsm: {e}"),
+            EcosystemError::Conflict(s) => write!(f, "conflict: {s}"),
+        }
+    }
+}
+
+impl std::error::Error for EcosystemError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            EcosystemError::Auth(e) => Some(e),
+            EcosystemError::Gsm(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<actfort_authsvc::AuthError> for EcosystemError {
+    fn from(e: actfort_authsvc::AuthError) -> Self {
+        EcosystemError::Auth(e)
+    }
+}
+
+impl From<actfort_gsm::GsmError> for EcosystemError {
+    fn from(e: actfort_gsm::GsmError) -> Self {
+        EcosystemError::Gsm(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn error_is_send_sync() {
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<EcosystemError>();
+    }
+
+    #[test]
+    fn source_chains() {
+        use std::error::Error;
+        let e = EcosystemError::Auth(actfort_authsvc::AuthError::WrongCode);
+        assert!(e.source().is_some());
+        assert!(EcosystemError::InvalidSession.source().is_none());
+    }
+}

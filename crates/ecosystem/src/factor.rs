@@ -1,0 +1,167 @@
+//! Credential factors — the inputs authentication paths demand.
+
+use crate::info::PersonalInfoKind;
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// Identifier of a service within the ecosystem (stable slug).
+#[derive(Debug, Clone, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub struct ServiceId(pub String);
+
+impl ServiceId {
+    /// Creates a service id from a slug.
+    pub fn new(slug: &str) -> Self {
+        Self(slug.to_owned())
+    }
+
+    /// The slug.
+    pub fn as_str(&self) -> &str {
+        &self.0
+    }
+}
+
+impl fmt::Display for ServiceId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.pad(&self.0)
+    }
+}
+
+impl From<&str> for ServiceId {
+    fn from(s: &str) -> Self {
+        Self::new(s)
+    }
+}
+
+/// A credential factor an authentication path can require.
+#[derive(Debug, Clone, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+#[non_exhaustive]
+pub enum CredentialFactor {
+    /// The account password.
+    Password,
+    /// A one-time code texted to the bound phone.
+    SmsCode,
+    /// A one-time code mailed to the bound address.
+    EmailCode,
+    /// A reset link mailed to the bound address.
+    EmailLink,
+    /// Knowledge of the cellphone number itself (as an identifier).
+    CellphoneNumber,
+    /// The user's legal name.
+    RealName,
+    /// The user's citizen ID / SSN.
+    CitizenId,
+    /// A bound bank card number.
+    BankcardNumber,
+    /// Answer to a security question.
+    SecurityQuestion,
+    /// Face / fingerprint verification on a trusted device.
+    Biometric,
+    /// A U2F hardware key assertion.
+    U2fKey,
+    /// The attempt must come from a previously-seen device.
+    DeviceCheck,
+    /// Human customer service accepting a dossier of personal information
+    /// (the social-engineering path on Alipay web).
+    CustomerService,
+    /// A live session on a linked account (SSO).
+    LinkedAccount(ServiceId),
+    /// TOTP authenticator app code.
+    TotpCode,
+    /// OS-level push approval on the registered device — the paper's
+    /// built-in-authentication countermeasure (§VII-A2). Never crosses
+    /// GSM, so it cannot be intercepted.
+    PushApproval,
+}
+
+impl CredentialFactor {
+    /// The personal-information kind that *satisfies* this factor when
+    /// harvested from another account, if any. This is the paper's
+    /// "reciprocal transformation of sensitive personal information and
+    /// authentication credential factors".
+    pub fn satisfied_by_info(&self) -> Option<PersonalInfoKind> {
+        match self {
+            CredentialFactor::CellphoneNumber => Some(PersonalInfoKind::CellphoneNumber),
+            CredentialFactor::RealName => Some(PersonalInfoKind::RealName),
+            CredentialFactor::CitizenId => Some(PersonalInfoKind::CitizenId),
+            CredentialFactor::BankcardNumber => Some(PersonalInfoKind::BankcardNumber),
+            CredentialFactor::SecurityQuestion => Some(PersonalInfoKind::SecurityAnswers),
+            _ => None,
+        }
+    }
+
+    /// Whether an attacker profile capability (rather than harvested
+    /// info) can satisfy the factor: SMS interception covers `SmsCode`,
+    /// a compromised mailbox covers `EmailCode`/`EmailLink`, etc.
+    pub fn is_interceptable_channel(&self) -> bool {
+        matches!(
+            self,
+            CredentialFactor::SmsCode | CredentialFactor::EmailCode | CredentialFactor::EmailLink
+        )
+    }
+
+    /// Factors the paper classifies as effectively unattackable
+    /// (biometrics, U2F, trusted-device checks).
+    pub fn is_robust(&self) -> bool {
+        matches!(
+            self,
+            CredentialFactor::Biometric
+                | CredentialFactor::U2fKey
+                | CredentialFactor::DeviceCheck
+                | CredentialFactor::PushApproval
+        )
+    }
+}
+
+impl fmt::Display for CredentialFactor {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CredentialFactor::Password => f.write_str("password"),
+            CredentialFactor::SmsCode => f.write_str("SMS code"),
+            CredentialFactor::EmailCode => f.write_str("email code"),
+            CredentialFactor::EmailLink => f.write_str("email link"),
+            CredentialFactor::CellphoneNumber => f.write_str("cellphone number"),
+            CredentialFactor::RealName => f.write_str("real name"),
+            CredentialFactor::CitizenId => f.write_str("citizen ID"),
+            CredentialFactor::BankcardNumber => f.write_str("bankcard number"),
+            CredentialFactor::SecurityQuestion => f.write_str("security question"),
+            CredentialFactor::Biometric => f.write_str("biometric"),
+            CredentialFactor::U2fKey => f.write_str("U2F key"),
+            CredentialFactor::DeviceCheck => f.write_str("device check"),
+            CredentialFactor::CustomerService => f.write_str("customer service"),
+            CredentialFactor::LinkedAccount(s) => write!(f, "linked account ({s})"),
+            CredentialFactor::TotpCode => f.write_str("TOTP code"),
+            CredentialFactor::PushApproval => f.write_str("push approval"),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn info_transformation_mapping() {
+        assert_eq!(
+            CredentialFactor::CitizenId.satisfied_by_info(),
+            Some(PersonalInfoKind::CitizenId)
+        );
+        assert_eq!(CredentialFactor::SmsCode.satisfied_by_info(), None);
+        assert_eq!(CredentialFactor::Biometric.satisfied_by_info(), None);
+    }
+
+    #[test]
+    fn channel_and_robust_classification() {
+        assert!(CredentialFactor::SmsCode.is_interceptable_channel());
+        assert!(CredentialFactor::EmailLink.is_interceptable_channel());
+        assert!(!CredentialFactor::Password.is_interceptable_channel());
+        assert!(CredentialFactor::U2fKey.is_robust());
+        assert!(!CredentialFactor::SmsCode.is_robust());
+    }
+
+    #[test]
+    fn service_id_display() {
+        let id = ServiceId::from("gmail");
+        assert_eq!(id.to_string(), "gmail");
+        assert_eq!(CredentialFactor::LinkedAccount(id).to_string(), "linked account (gmail)");
+    }
+}

@@ -1,0 +1,438 @@
+//! The ecosystem host: the world every experiment runs in.
+//!
+//! An [`Ecosystem`] owns the shared substrates (GSM network, mail system,
+//! push authenticator), the victim population and every executable
+//! service, and mediates authentication flows between them.
+
+use crate::error::EcosystemError;
+use crate::factor::ServiceId;
+use crate::policy::{Platform, Purpose};
+use crate::population::{Person, PersonId};
+use crate::service::{
+    AccountId, AccountLocator, AuthOutcome, Challenge, FactorResponse, OnlineService,
+};
+use crate::spec::ServiceSpec;
+use actfort_authsvc::email::MailSystem;
+use actfort_authsvc::push::PushAuthenticator;
+use actfort_gsm::network::{GsmNetwork, NetworkConfig};
+use std::collections::BTreeMap;
+
+/// The complete simulated world.
+#[derive(Debug)]
+pub struct Ecosystem {
+    /// The cellular substrate every SMS code crosses.
+    pub gsm: GsmNetwork,
+    /// The mail substrate for email codes and links.
+    pub mail: MailSystem,
+    /// The push-authentication countermeasure service.
+    pub push: PushAuthenticator,
+    services: BTreeMap<ServiceId, OnlineService>,
+    people: BTreeMap<u32, Person>,
+    clock_ms: u64,
+    seed: u64,
+}
+
+impl Ecosystem {
+    /// Creates a world over a default GSM network.
+    pub fn new(seed: u64) -> Self {
+        Self::with_network(seed, NetworkConfig::default())
+    }
+
+    /// Creates a world over a custom GSM network (e.g. weak session keys
+    /// for sniffing experiments).
+    pub fn with_network(seed: u64, config: NetworkConfig) -> Self {
+        Self {
+            gsm: GsmNetwork::new(config),
+            mail: MailSystem::new(),
+            push: PushAuthenticator::new(),
+            services: BTreeMap::new(),
+            people: BTreeMap::new(),
+            clock_ms: 0,
+            seed,
+        }
+    }
+
+    /// Current simulated wall-clock in milliseconds.
+    pub fn now_ms(&self) -> u64 {
+        self.clock_ms
+    }
+
+    /// Advances simulated time (both the host clock and the GSM clock).
+    pub fn advance_ms(&mut self, ms: u64) {
+        self.clock_ms += ms;
+        self.gsm.advance_millis(ms);
+    }
+
+    /// Adds a person to the world: provisions their SIM, attaches the
+    /// handset and registers their mailbox.
+    ///
+    /// # Errors
+    ///
+    /// Propagates GSM provisioning failures (duplicate number).
+    pub fn add_person(&mut self, person: Person) -> Result<PersonId, EcosystemError> {
+        let id = person.id;
+        let sub = self.gsm.provision_subscriber(&person.real_name, person.phone.clone())?;
+        self.gsm.attach(sub)?;
+        self.mail.register(&person.email);
+        self.people.insert(id.0, person);
+        Ok(id)
+    }
+
+    /// Looks up a person.
+    pub fn person(&self, id: PersonId) -> Option<&Person> {
+        self.people.get(&id.0)
+    }
+
+    /// All people in the world.
+    pub fn people(&self) -> impl Iterator<Item = &Person> {
+        self.people.values()
+    }
+
+    /// Instantiates a service from its spec.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`EcosystemError::Conflict`] on a duplicate id.
+    pub fn add_service(&mut self, spec: ServiceSpec) -> Result<ServiceId, EcosystemError> {
+        let id = spec.id.clone();
+        if self.services.contains_key(&id) {
+            return Err(EcosystemError::Conflict(format!("service {id} already exists")));
+        }
+        let seed = self.seed ^ fxhash(id.as_str());
+        self.services.insert(id.clone(), OnlineService::new(spec, seed));
+        Ok(id)
+    }
+
+    /// Read access to a service.
+    pub fn service(&self, id: &ServiceId) -> Option<&OnlineService> {
+        self.services.get(id)
+    }
+
+    /// Mutable access to a service.
+    pub fn service_mut(&mut self, id: &ServiceId) -> Option<&mut OnlineService> {
+        self.services.get_mut(id)
+    }
+
+    /// All service specs (what ActFort consumes).
+    pub fn specs(&self) -> Vec<&ServiceSpec> {
+        self.services.values().map(|s| s.spec()).collect()
+    }
+
+    /// Ids of all services.
+    pub fn service_ids(&self) -> Vec<ServiceId> {
+        self.services.keys().cloned().collect()
+    }
+
+    /// Registers a person at a service with a generated password.
+    ///
+    /// # Errors
+    ///
+    /// Propagates unknown ids and registration conflicts.
+    pub fn register_account(
+        &mut self,
+        person: PersonId,
+        service: &ServiceId,
+    ) -> Result<AccountId, EcosystemError> {
+        let p = self
+            .people
+            .get(&person.0)
+            .ok_or(EcosystemError::UnknownPerson(person.0))?
+            .clone();
+        let svc = self
+            .services
+            .get_mut(service)
+            .ok_or_else(|| EcosystemError::UnknownService(service.to_string()))?;
+        let password = format!("user-pw-{}-{}", service.as_str(), person.0);
+        let name = svc.spec().name.clone();
+        let account = svc.register(&p, &password, None)?;
+        // The welcome mail every real service sends — and exactly what
+        // lets an attacker who owns the mailbox enumerate the victim's
+        // accounts (§IV-B2, "emails are the gateway").
+        self.mail
+            .deliver(
+                &p.email,
+                service.as_str(),
+                &format!("Welcome to {name}"),
+                &format!("Hi {}, thanks for signing up for {name}.", p.real_name),
+                self.clock_ms,
+            )
+            .ok();
+        Ok(account)
+    }
+
+    /// Registers every person at every service (measurement setup).
+    ///
+    /// # Errors
+    ///
+    /// Propagates the first failure.
+    pub fn enroll_everyone(&mut self) -> Result<(), EcosystemError> {
+        let people: Vec<PersonId> = self.people.values().map(|p| p.id).collect();
+        let services = self.service_ids();
+        for person in people {
+            for service in &services {
+                self.register_account(person, service)?;
+            }
+        }
+        Ok(())
+    }
+
+    /// Starts an authentication flow; SMS/email side effects hit the
+    /// shared substrates.
+    ///
+    /// # Errors
+    ///
+    /// See [`OnlineService::begin_auth`].
+    pub fn begin_auth(
+        &mut self,
+        service: &ServiceId,
+        locator: &AccountLocator,
+        platform: Platform,
+        purpose: Purpose,
+        path_index: usize,
+    ) -> Result<Challenge, EcosystemError> {
+        let now = self.clock_ms;
+        let svc = self
+            .services
+            .get_mut(service)
+            .ok_or_else(|| EcosystemError::UnknownService(service.to_string()))?;
+        let account = svc
+            .find_account(locator)
+            .ok_or_else(|| EcosystemError::UnknownAccount(format!("{locator:?} at {service}")))?;
+        svc.begin_auth(account, platform, purpose, path_index, &mut self.gsm, &mut self.mail, now)
+    }
+
+    /// Freezes every account the person holds (the victim noticed the
+    /// attack and called every provider). Returns how many accounts were
+    /// locked.
+    pub fn freeze_person_everywhere(&mut self, person: PersonId) -> usize {
+        let Some(phone) = self.people.get(&person.0).map(|p| p.phone.clone()) else {
+            return 0;
+        };
+        let mut frozen = 0;
+        for svc in self.services.values_mut() {
+            if let Some(account) = svc.find_account(&AccountLocator::Phone(phone.clone())) {
+                svc.freeze(account);
+                frozen += 1;
+            }
+        }
+        frozen
+    }
+
+    /// Looks up the person owning a phone number.
+    pub fn person_by_phone(&self, phone: &actfort_gsm::identity::Msisdn) -> Option<PersonId> {
+        self.people.values().find(|p| &p.phone == phone).map(|p| p.id)
+    }
+
+    /// Simulates ordinary user activity for `rounds` rounds: every
+    /// person signs into a random service via its SMS quick-login when
+    /// one exists, generating realistic one-time-code traffic on the
+    /// air — the background a real sniffing rig must filter through.
+    ///
+    /// Returns the number of successful sign-ins performed.
+    pub fn simulate_background_activity(&mut self, rounds: usize, seed: u64) -> usize {
+        use crate::factor::CredentialFactor;
+        use crate::service::FactorResponse;
+        use rand::rngs::StdRng;
+        use rand::{Rng, SeedableRng};
+        let mut rng = StdRng::seed_from_u64(seed);
+        let people: Vec<(PersonId, actfort_gsm::identity::Msisdn)> =
+            self.people.values().map(|p| (p.id, p.phone.clone())).collect();
+        let services = self.service_ids();
+        let mut logins = 0usize;
+        for _ in 0..rounds {
+            for (_pid, phone) in &people {
+                let service = &services[rng.gen_range(0..services.len().max(1))];
+                let Some(svc) = self.services.get(service) else { continue };
+                let spec = svc.spec().clone();
+                let platform = if spec.has_mobile { Platform::MobileApp } else { Platform::Web };
+                let Some(index) = spec
+                    .paths_for(platform, Purpose::SignIn)
+                    .iter()
+                    .position(|p| p.is_sms_only())
+                else {
+                    continue;
+                };
+                let path = spec.paths_for(platform, Purpose::SignIn)[index].clone();
+                let Ok(challenge) = self.begin_auth(
+                    service,
+                    &AccountLocator::Phone(phone.clone()),
+                    platform,
+                    Purpose::SignIn,
+                    index,
+                ) else {
+                    continue;
+                };
+                // The legitimate user reads the code off their own phone.
+                let Some(sub) = self.gsm.subscriber_by_msisdn(phone) else { continue };
+                let Some(code) = self
+                    .gsm
+                    .terminal(sub)
+                    .and_then(|t| t.inbox().last())
+                    .and_then(|sms| {
+                        sms.text
+                            .chars()
+                            .take_while(|c| c.is_ascii_digit())
+                            .collect::<String>()
+                            .into()
+                    })
+                else {
+                    continue;
+                };
+                let mut responses = vec![FactorResponse::SmsCode(code)];
+                if path.factors.contains(&CredentialFactor::CellphoneNumber) {
+                    responses.push(FactorResponse::CellphoneNumber(phone.digits().to_owned()));
+                }
+                if self.complete_auth(service, challenge.id, &responses, &[]).is_ok() {
+                    logins += 1;
+                }
+            }
+            // Space rounds out past the OTP issue rate limit.
+            self.advance_ms(61_000);
+        }
+        logins
+    }
+
+    /// Completes an authentication flow.
+    ///
+    /// # Errors
+    ///
+    /// See [`OnlineService::complete_auth`].
+    pub fn complete_auth(
+        &mut self,
+        service: &ServiceId,
+        challenge_id: u64,
+        responses: &[FactorResponse],
+        live_links: &[ServiceId],
+    ) -> Result<AuthOutcome, EcosystemError> {
+        let now = self.clock_ms;
+        let svc = self
+            .services
+            .get_mut(service)
+            .ok_or_else(|| EcosystemError::UnknownService(service.to_string()))?;
+        svc.complete_auth(challenge_id, responses, live_links, now)
+    }
+}
+
+/// Tiny FNV-style hash for deriving per-service seeds.
+fn fxhash(s: &str) -> u64 {
+    let mut h = 0xcbf2_9ce4_8422_2325u64;
+    for b in s.bytes() {
+        h ^= u64::from(b);
+        h = h.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    h
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::factor::CredentialFactor as F;
+    use crate::population::PopulationBuilder;
+    use crate::spec::ServiceDomain;
+
+    fn world() -> (Ecosystem, PersonId, ServiceId) {
+        let mut eco = Ecosystem::new(1);
+        let person = PopulationBuilder::new(2).person();
+        let pid = eco.add_person(person).unwrap();
+        let spec = ServiceSpec::builder("svc", "Svc", ServiceDomain::Other)
+            .path(Purpose::SignIn, Platform::Web, &[F::SmsCode])
+            .build();
+        let sid = eco.add_service(spec).unwrap();
+        (eco, pid, sid)
+    }
+
+    #[test]
+    fn end_to_end_sms_login_through_host() {
+        let (mut eco, pid, sid) = world();
+        eco.register_account(pid, &sid).unwrap();
+        let phone = eco.person(pid).unwrap().phone.clone();
+        let ch = eco
+            .begin_auth(&sid, &AccountLocator::Phone(phone.clone()), Platform::Web, Purpose::SignIn, 0)
+            .unwrap();
+        // The code really crossed the GSM network.
+        let sub = eco.gsm.subscriber_by_msisdn(&phone).unwrap();
+        let code: String = eco.gsm.terminal(sub).unwrap().inbox()[0]
+            .text
+            .chars()
+            .take_while(|c| c.is_ascii_digit())
+            .collect();
+        eco.advance_ms(1_000);
+        let outcome = eco
+            .complete_auth(&sid, ch.id, &[FactorResponse::SmsCode(code)], &[])
+            .unwrap();
+        assert!(matches!(outcome, AuthOutcome::Session(_)));
+    }
+
+    #[test]
+    fn duplicate_service_rejected() {
+        let (mut eco, _pid, _sid) = world();
+        let spec = ServiceSpec::builder("svc", "Svc", ServiceDomain::Other)
+            .path(Purpose::SignIn, Platform::Web, &[F::Password])
+            .build();
+        assert!(matches!(eco.add_service(spec), Err(EcosystemError::Conflict(_))));
+    }
+
+    #[test]
+    fn unknown_targets_error() {
+        let (mut eco, pid, _sid) = world();
+        let ghost = ServiceId::new("ghost");
+        assert!(matches!(
+            eco.register_account(pid, &ghost),
+            Err(EcosystemError::UnknownService(_))
+        ));
+        assert!(matches!(
+            eco.begin_auth(
+                &ghost,
+                &AccountLocator::Username("x".into()),
+                Platform::Web,
+                Purpose::SignIn,
+                0
+            ),
+            Err(EcosystemError::UnknownService(_))
+        ));
+    }
+
+    #[test]
+    fn enroll_everyone_registers_cross_product() {
+        let mut eco = Ecosystem::new(9);
+        let people = PopulationBuilder::new(3).population(4);
+        for p in people {
+            eco.add_person(p).unwrap();
+        }
+        for i in 0..3 {
+            let spec = ServiceSpec::builder(&format!("s{i}"), &format!("S{i}"), ServiceDomain::Other)
+                .path(Purpose::SignIn, Platform::Web, &[F::Password])
+                .build();
+            eco.add_service(spec).unwrap();
+        }
+        eco.enroll_everyone().unwrap();
+        for sid in eco.service_ids() {
+            assert_eq!(eco.service(&sid).unwrap().account_count(), 4);
+        }
+    }
+
+    #[test]
+    fn background_activity_is_a_noop_without_sms_quick_logins() {
+        let mut eco = Ecosystem::new(10);
+        let person = PopulationBuilder::new(44).person();
+        eco.add_person(person).unwrap();
+        let spec = ServiceSpec::builder("pwonly", "PwOnly", ServiceDomain::Other)
+            .path(Purpose::SignIn, Platform::Web, &[F::Password])
+            .path(Purpose::PasswordReset, Platform::Web, &[F::EmailCode])
+            .build();
+        eco.add_service(spec).unwrap();
+        eco.enroll_everyone().unwrap();
+        let frames_before = eco.gsm.ether().len();
+        assert_eq!(eco.simulate_background_activity(3, 1), 0);
+        assert_eq!(eco.gsm.ether().len(), frames_before, "no OTP traffic generated");
+    }
+
+    #[test]
+    fn clock_advances_both_layers() {
+        let (mut eco, _p, _s) = world();
+        let gsm_before = eco.gsm.clock().millis();
+        eco.advance_ms(500);
+        assert_eq!(eco.now_ms(), 500);
+        assert_eq!(eco.gsm.clock().millis(), gsm_before + 500);
+    }
+}

@@ -1,0 +1,262 @@
+//! Personal information kinds, masking rules and mask-combination.
+//!
+//! §III-C of the paper classifies the information exposed on account
+//! pages; Table I measures how often each kind is visible. A key insight
+//! (§IV-B2) is that services mask *different* digits of the same SSN or
+//! bankcard number, so an attacker who compromises several accounts can
+//! merge the masked views and recover the full value — implemented here
+//! as [`merge_masked`].
+
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// Kinds of personal information an account can hold or expose.
+///
+/// These are the paper's five categories flattened into concrete fields
+/// (identity, account, social, property, history).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+#[non_exhaustive]
+pub enum PersonalInfoKind {
+    /// Legal name.
+    RealName,
+    /// SSN / citizen ID number.
+    CitizenId,
+    /// Phone number.
+    CellphoneNumber,
+    /// Email address.
+    EmailAddress,
+    /// Home or shipping address.
+    Address,
+    /// Site-local user ID / username.
+    UserId,
+    /// Which other accounts are bound (SSO links, bound services).
+    BindingAccount,
+    /// Names of friends / frequent contacts.
+    AcquaintanceInfo,
+    /// Device model / type used for login.
+    DeviceType,
+    /// Bank card number.
+    BankcardNumber,
+    /// Stored photos (cloud backups often include ID-card photos).
+    Photos,
+    /// Order / travel / chat history.
+    HistoryRecords,
+    /// Answers to security questions.
+    SecurityAnswers,
+}
+
+impl PersonalInfoKind {
+    /// All kinds, in Table I order followed by the extended kinds.
+    pub fn all() -> &'static [PersonalInfoKind] {
+        use PersonalInfoKind::*;
+        &[
+            RealName,
+            CitizenId,
+            CellphoneNumber,
+            EmailAddress,
+            Address,
+            UserId,
+            BindingAccount,
+            AcquaintanceInfo,
+            DeviceType,
+            BankcardNumber,
+            Photos,
+            HistoryRecords,
+            SecurityAnswers,
+        ]
+    }
+
+    /// The nine kinds measured in Table I of the paper.
+    pub fn table1() -> &'static [PersonalInfoKind] {
+        use PersonalInfoKind::*;
+        &[
+            RealName,
+            CitizenId,
+            CellphoneNumber,
+            EmailAddress,
+            Address,
+            UserId,
+            BindingAccount,
+            AcquaintanceInfo,
+            DeviceType,
+        ]
+    }
+}
+
+impl fmt::Display for PersonalInfoKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            PersonalInfoKind::RealName => "real name",
+            PersonalInfoKind::CitizenId => "citizen ID",
+            PersonalInfoKind::CellphoneNumber => "cellphone number",
+            PersonalInfoKind::EmailAddress => "e-mail address",
+            PersonalInfoKind::Address => "address",
+            PersonalInfoKind::UserId => "user ID",
+            PersonalInfoKind::BindingAccount => "binding account",
+            PersonalInfoKind::AcquaintanceInfo => "acquaintance info",
+            PersonalInfoKind::DeviceType => "device type",
+            PersonalInfoKind::BankcardNumber => "bankcard number",
+            PersonalInfoKind::Photos => "photos",
+            PersonalInfoKind::HistoryRecords => "history records",
+            PersonalInfoKind::SecurityAnswers => "security answers",
+        };
+        f.pad(s)
+    }
+}
+
+/// How a service masks a field on its account page.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum Masking {
+    /// Shown in full.
+    Clear,
+    /// Middle hidden: first `prefix` and last `suffix` characters visible.
+    Partial {
+        /// Visible leading characters.
+        prefix: u8,
+        /// Visible trailing characters.
+        suffix: u8,
+    },
+    /// Fully hidden (only existence is revealed).
+    Hidden,
+}
+
+impl Masking {
+    /// Applies the mask, replacing hidden characters with `*`.
+    pub fn apply(&self, value: &str) -> String {
+        let chars: Vec<char> = value.chars().collect();
+        match *self {
+            Masking::Clear => value.to_owned(),
+            Masking::Hidden => "*".repeat(chars.len()),
+            Masking::Partial { prefix, suffix } => {
+                let p = usize::from(prefix).min(chars.len());
+                let s = usize::from(suffix).min(chars.len() - p);
+                let hidden = chars.len() - p - s;
+                let mut out = String::with_capacity(chars.len());
+                out.extend(&chars[..p]);
+                out.extend(std::iter::repeat('*').take(hidden));
+                out.extend(&chars[chars.len() - s..]);
+                out
+            }
+        }
+    }
+}
+
+/// One field a service exposes post-login.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct ExposedField {
+    /// What is exposed.
+    pub kind: PersonalInfoKind,
+    /// How it is masked.
+    pub masking: Masking,
+}
+
+impl ExposedField {
+    /// A fully visible field.
+    pub fn clear(kind: PersonalInfoKind) -> Self {
+        Self { kind, masking: Masking::Clear }
+    }
+
+    /// A partially masked field.
+    pub fn partial(kind: PersonalInfoKind, prefix: u8, suffix: u8) -> Self {
+        Self { kind, masking: Masking::Partial { prefix, suffix } }
+    }
+
+    /// Whether an attacker reading the page learns the full value.
+    pub fn reveals_fully(&self) -> bool {
+        self.masking == Masking::Clear
+    }
+}
+
+/// Merges differently-masked views of the same underlying value.
+///
+/// Returns the combined view with every position known from at least one
+/// view filled in; positions still unknown stay `*`. Returns `None` when
+/// the views disagree on a visible position or on length — evidence they
+/// are *not* the same underlying value.
+///
+/// ```
+/// use actfort_ecosystem::info::merge_masked;
+/// let full = merge_masked(&["6222***********888", "62220231*******888"]).unwrap();
+/// assert_eq!(full, "62220231*******888");
+/// ```
+pub fn merge_masked<S: AsRef<str>>(views: &[S]) -> Option<String> {
+    let mut merged: Option<Vec<char>> = None;
+    for view in views {
+        let chars: Vec<char> = view.as_ref().chars().collect();
+        match &mut merged {
+            None => merged = Some(chars),
+            Some(acc) => {
+                if acc.len() != chars.len() {
+                    return None;
+                }
+                for (a, c) in acc.iter_mut().zip(chars) {
+                    match (*a, c) {
+                        (_, '*') => {}
+                        ('*', known) => *a = known,
+                        (x, y) if x == y => {}
+                        _ => return None,
+                    }
+                }
+            }
+        }
+    }
+    merged.map(|v| v.into_iter().collect())
+}
+
+/// Whether a merged view is fully recovered (no `*` remains).
+pub fn is_fully_recovered(merged: &str) -> bool {
+    !merged.contains('*')
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn masking_partial() {
+        let m = Masking::Partial { prefix: 3, suffix: 4 };
+        assert_eq!(m.apply("110101199003078515"), "110***********8515");
+    }
+
+    #[test]
+    fn masking_edge_lengths() {
+        let m = Masking::Partial { prefix: 3, suffix: 4 };
+        assert_eq!(m.apply("abcdefg"), "abcdefg"); // shorter than prefix+suffix
+        assert_eq!(m.apply(""), "");
+        assert_eq!(Masking::Hidden.apply("secret"), "******");
+        assert_eq!(Masking::Clear.apply("x"), "x");
+    }
+
+    #[test]
+    fn merge_recovers_full_value_from_complementary_masks() {
+        // Ctrip shows the head, 12306 shows the tail.
+        let a = Masking::Partial { prefix: 10, suffix: 0 }.apply("110101199003078515");
+        let b = Masking::Partial { prefix: 0, suffix: 8 }.apply("110101199003078515");
+        let merged = merge_masked(&[a, b]).unwrap();
+        assert!(is_fully_recovered(&merged));
+        assert_eq!(merged, "110101199003078515");
+    }
+
+    #[test]
+    fn merge_detects_conflicts() {
+        assert_eq!(merge_masked(&["12**", "13**"]), None);
+        assert_eq!(merge_masked(&["12*", "12**"]), None, "length mismatch");
+    }
+
+    #[test]
+    fn merge_partial_leaves_stars() {
+        let merged = merge_masked(&["1***", "1*3*"]).unwrap();
+        assert_eq!(merged, "1*3*");
+        assert!(!is_fully_recovered(&merged));
+    }
+
+    #[test]
+    fn merge_empty_input() {
+        assert_eq!(merge_masked::<&str>(&[]), None);
+    }
+
+    #[test]
+    fn table1_kinds_are_nine() {
+        assert_eq!(PersonalInfoKind::table1().len(), 9);
+    }
+}

@@ -1,0 +1,56 @@
+//! The Online Account Ecosystem simulator.
+//!
+//! The paper's central object of study is the *ecosystem*: hundreds of
+//! online services whose authentication paths and personal-information
+//! exposure interlock into a dependency graph. This crate provides:
+//!
+//! - [`spec`] — static service profiles ([`spec::ServiceSpec`]): every
+//!   authentication path per platform and purpose, every exposed field
+//!   with its masking. This is what ActFort analyses.
+//! - [`service`] — *executable* services: registration, SMS/email
+//!   challenge issuance over the real substrates, factor verification,
+//!   sessions, password resets, payments and masked profile pages.
+//! - [`host`] — the [`host::Ecosystem`] world object tying services to
+//!   the GSM network, mail system and victim population.
+//! - [`dataset`] — 44 curated profiles encoding every concrete fact the
+//!   paper states about named services (Gmail, Alipay, Ctrip, …).
+//! - [`synth`] — a generator calibrated to the paper's aggregate
+//!   measurements (Fig. 3, Table I) for population-scale experiments.
+//! - [`population`] — generated victims, leak databases, phishing Wi-Fi.
+//! - [`info`], [`factor`], [`policy`] — the vocabulary: information
+//!   kinds and masking, credential factors, authentication paths and the
+//!   general/info/unique path taxonomy.
+//!
+//! # Example
+//!
+//! ```
+//! use actfort_ecosystem::dataset::curated;
+//! use actfort_ecosystem::policy::{Platform, Purpose};
+//!
+//! let ctrip = curated("ctrip").expect("in the dataset");
+//! // The paper's finding: Ctrip signs in with just phone + SMS code…
+//! assert!(ctrip
+//!     .paths_for(Platform::Web, Purpose::SignIn)
+//!     .iter()
+//!     .any(|p| p.is_sms_only()));
+//! // …and exposes the full citizen ID after login.
+//! assert!(ctrip.exposes(Platform::Web, actfort_ecosystem::PersonalInfoKind::CitizenId));
+//! ```
+
+pub mod dataset;
+pub mod error;
+pub mod factor;
+pub mod host;
+pub mod info;
+pub mod policy;
+pub mod population;
+pub mod service;
+pub mod spec;
+pub mod synth;
+
+pub use error::EcosystemError;
+pub use factor::{CredentialFactor, ServiceId};
+pub use host::Ecosystem;
+pub use info::PersonalInfoKind;
+pub use policy::{AuthPath, PathClass, Platform, Purpose};
+pub use spec::{ServiceDomain, ServiceSpec};

@@ -1,0 +1,214 @@
+//! Authentication paths and their classification.
+//!
+//! §IV-B1 of the paper divides the 405 measured paths into *general*
+//! (basic factors only), *info* (requiring personal information like real
+//! names or citizen IDs) and *unique* (biometrics, U2F, device binding,
+//! human review).
+
+use crate::factor::CredentialFactor;
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// What the path authenticates.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub enum Purpose {
+    /// Ordinary sign-in.
+    SignIn,
+    /// Password reset / account recovery — the paper's main attack
+    /// surface, consistently weaker than sign-in.
+    PasswordReset,
+    /// Authorising a payment (resetting the payment code on Fintech apps).
+    Payment,
+}
+
+impl fmt::Display for Purpose {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            Purpose::SignIn => "sign-in",
+            Purpose::PasswordReset => "password reset",
+            Purpose::Payment => "payment",
+        };
+        f.pad(s)
+    }
+}
+
+/// Which client the path exists on.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub enum Platform {
+    /// The web site.
+    Web,
+    /// The mobile application.
+    MobileApp,
+}
+
+impl fmt::Display for Platform {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Platform::Web => f.pad("web"),
+            Platform::MobileApp => f.pad("mobile"),
+        }
+    }
+}
+
+/// The paper's three path classes.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub enum PathClass {
+    /// Only basic factors (password, SMS/email codes, phone number).
+    General,
+    /// Requires harvestable personal information.
+    Info,
+    /// Requires a robust factor (biometric, U2F, device, human review).
+    Unique,
+}
+
+impl PathClass {
+    /// Classifies a factor set. The phone number counts as a *basic*
+    /// factor (it identifies the account, like a username), so paths of
+    /// phone + SMS stay in the general class, matching the paper's
+    /// taxonomy.
+    pub fn classify(factors: &[CredentialFactor]) -> Self {
+        if factors
+            .iter()
+            .any(|f| f.is_robust() || matches!(f, CredentialFactor::CustomerService))
+        {
+            PathClass::Unique
+        } else if factors.iter().any(|f| {
+            matches!(
+                f,
+                CredentialFactor::RealName
+                    | CredentialFactor::CitizenId
+                    | CredentialFactor::BankcardNumber
+                    | CredentialFactor::SecurityQuestion
+            )
+        }) {
+            PathClass::Info
+        } else {
+            PathClass::General
+        }
+    }
+}
+
+impl fmt::Display for PathClass {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            PathClass::General => "general",
+            PathClass::Info => "info",
+            PathClass::Unique => "unique",
+        };
+        f.pad(s)
+    }
+}
+
+/// One authentication path: a factor set valid for a purpose on a platform.
+#[derive(Debug, Clone, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct AuthPath {
+    /// What it authenticates.
+    pub purpose: Purpose,
+    /// Which client offers it.
+    pub platform: Platform,
+    /// Every factor that must be presented (conjunction).
+    pub factors: Vec<CredentialFactor>,
+}
+
+impl AuthPath {
+    /// Creates a path.
+    ///
+    /// # Panics
+    ///
+    /// Panics on an empty factor set — a no-factor path would mean an
+    /// open account.
+    pub fn new(purpose: Purpose, platform: Platform, factors: Vec<CredentialFactor>) -> Self {
+        assert!(!factors.is_empty(), "authentication path needs at least one factor");
+        Self { purpose, platform, factors }
+    }
+
+    /// The path's class per the paper's taxonomy.
+    pub fn class(&self) -> PathClass {
+        PathClass::classify(&self.factors)
+    }
+
+    /// Whether the path needs *only* phone number + SMS code (the paper's
+    /// fringe-node condition, Fig. 4).
+    pub fn is_sms_only(&self) -> bool {
+        self.factors.iter().all(|f| {
+            matches!(f, CredentialFactor::SmsCode | CredentialFactor::CellphoneNumber)
+        }) && self.factors.contains(&CredentialFactor::SmsCode)
+    }
+
+    /// Whether the path uses more than one distinct factor.
+    pub fn is_multi_factor(&self) -> bool {
+        self.factors.len() > 1
+    }
+
+    /// Whether any factor is an SMS code.
+    pub fn uses_sms(&self) -> bool {
+        self.factors.contains(&CredentialFactor::SmsCode)
+    }
+}
+
+impl fmt::Display for AuthPath {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{} on {} via [", self.purpose, self.platform)?;
+        for (i, factor) in self.factors.iter().enumerate() {
+            if i > 0 {
+                f.write_str(" + ")?;
+            }
+            write!(f, "{factor}")?;
+        }
+        f.write_str("]")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::factor::CredentialFactor as F;
+
+    #[test]
+    fn classification_matches_paper_taxonomy() {
+        assert_eq!(PathClass::classify(&[F::SmsCode]), PathClass::General);
+        assert_eq!(PathClass::classify(&[F::Password, F::SmsCode]), PathClass::General);
+        assert_eq!(PathClass::classify(&[F::SmsCode, F::CitizenId]), PathClass::Info);
+        assert_eq!(PathClass::classify(&[F::SmsCode, F::RealName]), PathClass::Info);
+        assert_eq!(PathClass::classify(&[F::SmsCode, F::Biometric]), PathClass::Unique);
+        assert_eq!(PathClass::classify(&[F::U2fKey]), PathClass::Unique);
+        assert_eq!(PathClass::classify(&[F::CustomerService]), PathClass::Unique);
+        // Robust factor dominates info factors.
+        assert_eq!(PathClass::classify(&[F::CitizenId, F::Biometric]), PathClass::Unique);
+    }
+
+    #[test]
+    fn sms_only_detection() {
+        assert!(AuthPath::new(Purpose::SignIn, Platform::Web, vec![F::SmsCode]).is_sms_only());
+        assert!(AuthPath::new(
+            Purpose::PasswordReset,
+            Platform::Web,
+            vec![F::CellphoneNumber, F::SmsCode]
+        )
+        .is_sms_only());
+        assert!(!AuthPath::new(Purpose::SignIn, Platform::Web, vec![F::SmsCode, F::CitizenId])
+            .is_sms_only());
+        assert!(!AuthPath::new(Purpose::SignIn, Platform::Web, vec![F::CellphoneNumber])
+            .is_sms_only());
+    }
+
+    #[test]
+    fn multi_factor_and_sms_usage() {
+        let p = AuthPath::new(Purpose::PasswordReset, Platform::MobileApp, vec![F::SmsCode, F::CitizenId]);
+        assert!(p.is_multi_factor());
+        assert!(p.uses_sms());
+        assert_eq!(p.class(), PathClass::Info);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one factor")]
+    fn empty_path_panics() {
+        AuthPath::new(Purpose::SignIn, Platform::Web, vec![]);
+    }
+
+    #[test]
+    fn display_is_readable() {
+        let p = AuthPath::new(Purpose::PasswordReset, Platform::Web, vec![F::SmsCode, F::EmailCode]);
+        assert_eq!(p.to_string(), "password reset on web via [SMS code + email code]");
+    }
+}

@@ -1,0 +1,314 @@
+//! The victim population: generated people, leak databases and the
+//! phishing Wi-Fi access point used for random-target acquisition.
+
+use actfort_gsm::identity::Msisdn;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use serde::{Deserialize, Serialize};
+use std::collections::BTreeMap;
+use std::fmt;
+
+/// Identifier of a simulated person.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub struct PersonId(pub u32);
+
+impl fmt::Display for PersonId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "person#{}", self.0)
+    }
+}
+
+/// A simulated person with the complete ground-truth profile that
+/// services store pieces of.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Person {
+    /// Identifier.
+    pub id: PersonId,
+    /// Legal name.
+    pub real_name: String,
+    /// 18-digit citizen ID.
+    pub citizen_id: String,
+    /// Phone number.
+    pub phone: Msisdn,
+    /// Primary email address.
+    pub email: String,
+    /// Home address.
+    pub address: String,
+    /// Primary bank card number (16 digits).
+    pub bankcard: String,
+    /// Handset model in use.
+    pub device_type: String,
+    /// Names of acquaintances (other people in the population).
+    pub acquaintances: Vec<String>,
+    /// Canonical security-question answer.
+    pub security_answer: String,
+    /// Whether the person backs up an ID-card photo to cloud storage
+    /// (the paper's Baidu Pan / Dropbox observation).
+    pub has_id_photo_in_cloud: bool,
+}
+
+const GIVEN: &[&str] = &[
+    "Wei", "Fang", "Min", "Jing", "Lei", "Yan", "Tao", "Juan", "Chao", "Na", "Qiang", "Xiu", "Gang",
+    "Ying", "Ping", "Jun", "Hong", "Bo", "Li", "Mei",
+];
+const FAMILY: &[&str] = &[
+    "Wang", "Li", "Zhang", "Liu", "Chen", "Yang", "Huang", "Zhao", "Wu", "Zhou", "Xu", "Sun", "Ma",
+    "Zhu", "Hu", "Guo", "He", "Lin", "Luo", "Zheng",
+];
+const DEVICES: &[&str] = &[
+    "iPhone 12", "Huawei P40", "Xiaomi 11", "OPPO Find X3", "vivo X60", "Samsung S21",
+    "iPhone SE", "Honor 50",
+];
+const STREETS: &[&str] = &[
+    "Wensan Rd", "Binjiang Ave", "Xixi Rd", "Huanglong St", "Kejiyuan Rd", "Jiangnan Ave",
+    "Zijingang Rd", "Yuhangtang Rd",
+];
+const CITIES: &[&str] = &["Hangzhou", "Shanghai", "Beijing", "Shenzhen", "Nanjing", "Chengdu"];
+
+/// Deterministic generator for a victim population.
+#[derive(Debug)]
+pub struct PopulationBuilder {
+    rng: StdRng,
+    next_id: u32,
+    used_phones: std::collections::BTreeSet<String>,
+}
+
+impl PopulationBuilder {
+    /// Creates a generator from a seed.
+    pub fn new(seed: u64) -> Self {
+        Self { rng: StdRng::seed_from_u64(seed), next_id: 0, used_phones: Default::default() }
+    }
+
+    /// Generates one person.
+    pub fn person(&mut self) -> Person {
+        let id = PersonId(self.next_id);
+        self.next_id += 1;
+        let given = GIVEN[self.rng.gen_range(0..GIVEN.len())];
+        let family = FAMILY[self.rng.gen_range(0..FAMILY.len())];
+        let real_name = format!("{family} {given}");
+        let phone_digits = loop {
+            let candidate = format!("13{:09}", self.rng.gen_range(0..1_000_000_000u64));
+            if self.used_phones.insert(candidate.clone()) {
+                break candidate;
+            }
+        };
+        let phone = Msisdn::new(&phone_digits).expect("generated digits are valid");
+        let birth_year = self.rng.gen_range(1960..2003);
+        let citizen_id = format!(
+            "3301{:02}{:04}{:02}{:02}{:03}{}",
+            self.rng.gen_range(1..19u8),
+            birth_year,
+            self.rng.gen_range(1..13u8),
+            self.rng.gen_range(1..29u8),
+            self.rng.gen_range(0..1000u16),
+            self.rng.gen_range(0..10u8),
+        );
+        let email = format!(
+            "{}.{}{}@{}",
+            given.to_lowercase(),
+            family.to_lowercase(),
+            self.rng.gen_range(0..100u8),
+            ["gmail.com", "163.com", "outlook.com", "aliyun.com"][self.rng.gen_range(0..4)]
+        );
+        let address = format!(
+            "{} {} #{}, {}",
+            self.rng.gen_range(1..999u16),
+            STREETS[self.rng.gen_range(0..STREETS.len())],
+            self.rng.gen_range(101..2500u16),
+            CITIES[self.rng.gen_range(0..CITIES.len())],
+        );
+        let bankcard = format!("6222{:012}", self.rng.gen_range(0..1_000_000_000_000u64));
+        Person {
+            id,
+            real_name,
+            citizen_id,
+            phone,
+            email,
+            address,
+            bankcard,
+            device_type: DEVICES[self.rng.gen_range(0..DEVICES.len())].to_owned(),
+            acquaintances: Vec::new(),
+            security_answer: format!("{} middle school", CITIES[self.rng.gen_range(0..CITIES.len())]),
+            has_id_photo_in_cloud: self.rng.gen_bool(0.6),
+        }
+    }
+
+    /// Generates `n` people and wires up acquaintance links among them.
+    pub fn population(&mut self, n: usize) -> Vec<Person> {
+        let mut people: Vec<Person> = (0..n).map(|_| self.person()).collect();
+        let names: Vec<String> = people.iter().map(|p| p.real_name.clone()).collect();
+        for (i, p) in people.iter_mut().enumerate() {
+            for k in 1..=3usize {
+                let j = (i + k * 7 + 1) % names.len().max(1);
+                if j != i {
+                    p.acquaintances.push(names[j].clone());
+                }
+            }
+        }
+        people
+    }
+}
+
+/// A black-market leak database mapping phone numbers to identity data
+/// (the paper's targeted-attack prerequisite, citing real 2016 leak
+/// reports).
+#[derive(Debug, Clone, Default)]
+pub struct LeakDatabase {
+    entries: BTreeMap<String, LeakEntry>,
+}
+
+/// One leaked record.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct LeakEntry {
+    /// Leaked legal name.
+    pub real_name: String,
+    /// Leaked home address.
+    pub address: String,
+    /// Phone number, the lookup key.
+    pub phone: String,
+}
+
+impl LeakDatabase {
+    /// Creates an empty database.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Builds the database from a breached slice of the population
+    /// (`fraction` in 0..=1, deterministic by index).
+    pub fn from_breach(population: &[Person], fraction: f64) -> Self {
+        let keep_every = if fraction <= 0.0 {
+            usize::MAX
+        } else {
+            (1.0 / fraction.min(1.0)).round() as usize
+        };
+        let mut db = Self::new();
+        for (i, p) in population.iter().enumerate() {
+            if keep_every != usize::MAX && i % keep_every == 0 {
+                db.entries.insert(
+                    p.phone.digits().to_owned(),
+                    LeakEntry {
+                        real_name: p.real_name.clone(),
+                        address: p.address.clone(),
+                        phone: p.phone.digits().to_owned(),
+                    },
+                );
+            }
+        }
+        db
+    }
+
+    /// Looks up a phone number.
+    pub fn lookup(&self, phone: &Msisdn) -> Option<&LeakEntry> {
+        self.entries.get(phone.digits())
+    }
+
+    /// Finds the phone number for a person by name (targeted attack prep).
+    pub fn find_by_name(&self, name: &str) -> Option<&LeakEntry> {
+        self.entries.values().find(|e| e.real_name == name)
+    }
+
+    /// Number of leaked records.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// Whether the database is empty.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+}
+
+/// A phishing Wi-Fi access point harvesting phone numbers from passers-by
+/// (the paper's random-attack target acquisition at airports/stations).
+#[derive(Debug, Clone)]
+pub struct PhishingWifi {
+    /// Captive-portal SSID shown to victims.
+    pub ssid: String,
+    harvested: Vec<Msisdn>,
+}
+
+impl PhishingWifi {
+    /// Deploys an access point with a plausible SSID.
+    pub fn deploy(ssid: &str) -> Self {
+        Self { ssid: ssid.to_owned(), harvested: Vec::new() }
+    }
+
+    /// A passer-by connects and "verifies" with their phone number, as
+    /// captive portals demand; the AP records it.
+    pub fn victim_connects(&mut self, person: &Person) {
+        if !self.harvested.contains(&person.phone) {
+            self.harvested.push(person.phone.clone());
+        }
+    }
+
+    /// Numbers harvested so far.
+    pub fn harvested(&self) -> &[Msisdn] {
+        &self.harvested
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn population_is_deterministic() {
+        let a = PopulationBuilder::new(1).population(10);
+        let b = PopulationBuilder::new(1).population(10);
+        assert_eq!(a, b);
+        let c = PopulationBuilder::new(2).population(10);
+        assert_ne!(a, c);
+    }
+
+    #[test]
+    fn person_fields_are_well_formed() {
+        let p = PopulationBuilder::new(7).person();
+        assert_eq!(p.citizen_id.len(), 18);
+        assert_eq!(p.bankcard.len(), 16);
+        assert!(p.phone.digits().starts_with("13"));
+        assert!(p.email.contains('@'));
+    }
+
+    #[test]
+    fn acquaintances_are_other_people() {
+        let pop = PopulationBuilder::new(3).population(20);
+        for p in &pop {
+            assert!(!p.acquaintances.is_empty());
+            for a in &p.acquaintances {
+                assert_ne!(a, &p.real_name);
+            }
+        }
+    }
+
+    #[test]
+    fn leak_database_fraction() {
+        let pop = PopulationBuilder::new(5).population(100);
+        let db = LeakDatabase::from_breach(&pop, 0.5);
+        assert_eq!(db.len(), 50);
+        let full = LeakDatabase::from_breach(&pop, 1.0);
+        assert_eq!(full.len(), 100);
+        assert!(full.lookup(&pop[3].phone).is_some());
+        let none = LeakDatabase::from_breach(&pop, 0.0);
+        assert!(none.is_empty());
+    }
+
+    #[test]
+    fn leak_lookup_by_name() {
+        let pop = PopulationBuilder::new(5).population(10);
+        let db = LeakDatabase::from_breach(&pop, 1.0);
+        let target = &pop[4];
+        let entry = db.find_by_name(&target.real_name).unwrap();
+        assert_eq!(entry.phone, target.phone.digits());
+    }
+
+    #[test]
+    fn phishing_wifi_dedups() {
+        let pop = PopulationBuilder::new(9).population(3);
+        let mut ap = PhishingWifi::deploy("Airport-Free-WiFi");
+        ap.victim_connects(&pop[0]);
+        ap.victim_connects(&pop[0]);
+        ap.victim_connects(&pop[1]);
+        assert_eq!(ap.harvested().len(), 2);
+    }
+}

@@ -1,0 +1,1142 @@
+//! Executable online services: registration, challenge issuance, factor
+//! verification, sessions, password reset and profile exposure.
+//!
+//! An [`OnlineService`] is a [`crate::spec::ServiceSpec`] brought to life:
+//! its authentication paths actually issue SMS codes over the simulated
+//! GSM network and email codes through the mail system, verify presented
+//! factors against the account's stored truth, and expose masked personal
+//! information post-login — so the Chain Reaction Attack can be *run*,
+//! not just predicted.
+
+use crate::error::EcosystemError;
+use crate::factor::{CredentialFactor, ServiceId};
+use crate::info::PersonalInfoKind;
+use crate::policy::{AuthPath, Platform, Purpose};
+use crate::population::{Person, PersonId};
+use crate::spec::{ServiceDomain, ServiceSpec};
+use actfort_authsvc::email::MailSystem;
+use actfort_authsvc::otp::{OtpIssuer, OtpPolicy};
+use actfort_authsvc::password::PasswordStore;
+use actfort_authsvc::sms_gateway::SmsOtpGateway;
+use actfort_authsvc::totp::TotpKey;
+use actfort_authsvc::u2f::{Assertion, KeyHandle};
+use actfort_gsm::identity::Msisdn;
+use actfort_gsm::network::GsmNetwork;
+use serde::{Deserialize, Serialize};
+use std::collections::BTreeMap;
+use std::fmt;
+
+/// Per-service account identifier.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub struct AccountId(pub u32);
+
+impl fmt::Display for AccountId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "acct#{}", self.0)
+    }
+}
+
+/// An authenticated session token.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub struct SessionToken(pub u64);
+
+/// Ways to name an account when starting authentication.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum AccountLocator {
+    /// By bound phone number.
+    Phone(Msisdn),
+    /// By bound email address.
+    Email(String),
+    /// By username.
+    Username(String),
+}
+
+/// A pending multi-factor challenge.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Challenge {
+    /// Challenge id, to be passed to [`OnlineService::complete_auth`].
+    pub id: u64,
+    /// Account under authentication.
+    pub account: AccountId,
+    /// The path being exercised.
+    pub path: AuthPath,
+    /// Random challenge for U2F assertions, when the path needs one.
+    pub u2f_challenge: u64,
+}
+
+/// Factor responses presented to complete a challenge.
+#[derive(Debug, Clone, PartialEq)]
+#[non_exhaustive]
+pub enum FactorResponse {
+    /// The account password.
+    Password(String),
+    /// Code received by SMS.
+    SmsCode(String),
+    /// Code received by email.
+    EmailCode(String),
+    /// Token clicked in a reset link.
+    EmailLink(String),
+    /// The phone number itself.
+    CellphoneNumber(String),
+    /// Legal name.
+    RealName(String),
+    /// Citizen ID.
+    CitizenId(String),
+    /// Bank card number.
+    BankcardNumber(String),
+    /// Security-question answer.
+    SecurityAnswer(String),
+    /// Biometric proof — only the genuine person can produce it, so it
+    /// carries the person id and is checked against the account owner.
+    Biometric(PersonId),
+    /// A U2F assertion over the challenge's nonce.
+    U2f(Assertion),
+    /// TOTP authenticator code.
+    Totp(String),
+    /// A dossier presented to human customer service.
+    CustomerService(Vec<(PersonalInfoKind, String)>),
+    /// Claim of a live session on a linked service (validated by the
+    /// ecosystem host before verification).
+    LinkedAccount(ServiceId),
+}
+
+/// The result of completing a challenge.
+#[derive(Debug, Clone, PartialEq)]
+pub enum AuthOutcome {
+    /// Signed in.
+    Session(SessionToken),
+    /// Password reset authorised; redeem with [`OnlineService::apply_reset`].
+    ResetGranted(ResetGrant),
+    /// Payment authorised (Fintech `Payment` purpose).
+    PaymentAuthorised(SessionToken),
+}
+
+/// One-time grant to set a new password.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ResetGrant {
+    /// The account whose password may be set.
+    pub account: AccountId,
+    grant_id: u64,
+}
+
+#[derive(Debug, Clone)]
+struct Account {
+    id: AccountId,
+    person: PersonId,
+    username: String,
+    phone: Option<Msisdn>,
+    email: Option<String>,
+    stored: BTreeMap<PersonalInfoKind, String>,
+    u2f: Option<KeyHandle>,
+    totp: Option<TotpKey>,
+    /// Other service accounts bound for SSO sign-in.
+    bindings: std::collections::BTreeSet<ServiceId>,
+    /// Set when the owner notices suspicious activity and locks the
+    /// account (every authentication flow is then refused).
+    frozen: bool,
+    payments_made: u32,
+}
+
+/// An executable online service.
+#[derive(Debug)]
+pub struct OnlineService {
+    spec: ServiceSpec,
+    accounts: BTreeMap<u32, Account>,
+    passwords: PasswordStore,
+    sms: SmsOtpGateway,
+    email_otp: OtpIssuer,
+    challenges: BTreeMap<u64, Challenge>,
+    sessions: BTreeMap<u64, AccountId>,
+    grants: BTreeMap<u64, AccountId>,
+    next_account: u32,
+    next_challenge: u64,
+    next_session: u64,
+    next_grant: u64,
+}
+
+impl OnlineService {
+    /// Brings a spec to life. `seed` controls this service's OTP streams.
+    pub fn new(spec: ServiceSpec, seed: u64) -> Self {
+        let sms = SmsOtpGateway::new(&spec.name, OtpPolicy::default(), seed);
+        Self {
+            spec,
+            accounts: BTreeMap::new(),
+            // Low KDF cost keeps population-scale simulations fast.
+            passwords: PasswordStore::with_iterations(16),
+            sms,
+            email_otp: OtpIssuer::new(OtpPolicy::default(), seed.wrapping_add(1)),
+            challenges: BTreeMap::new(),
+            sessions: BTreeMap::new(),
+            grants: BTreeMap::new(),
+            next_account: 0,
+            next_challenge: 0,
+            next_session: 0,
+            next_grant: 0,
+        }
+    }
+
+    /// The static profile.
+    pub fn spec(&self) -> &ServiceSpec {
+        &self.spec
+    }
+
+    /// This service's id.
+    pub fn id(&self) -> &ServiceId {
+        &self.spec.id
+    }
+
+    /// Registers `person`, binding phone and email and storing every
+    /// information kind the service exposes or requires as a factor.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`EcosystemError::Conflict`] when the phone is already
+    /// bound to another account.
+    pub fn register(
+        &mut self,
+        person: &Person,
+        password: &str,
+        u2f: Option<KeyHandle>,
+    ) -> Result<AccountId, EcosystemError> {
+        if self
+            .accounts
+            .values()
+            .any(|a| a.phone.as_ref() == Some(&person.phone))
+        {
+            return Err(EcosystemError::Conflict(format!(
+                "{} already bound at {}",
+                person.phone, self.spec.name
+            )));
+        }
+        let id = AccountId(self.next_account);
+        self.next_account += 1;
+        let username = format!("{}_{}", self.spec.id.as_str(), person.id.0);
+
+        let mut needed: Vec<PersonalInfoKind> = Vec::new();
+        for platform in [Platform::Web, Platform::MobileApp] {
+            for f in self.spec.exposure_on(platform) {
+                if !needed.contains(&f.kind) {
+                    needed.push(f.kind);
+                }
+            }
+        }
+        for f in self.spec.factor_universe() {
+            if let Some(kind) = f.satisfied_by_info() {
+                if !needed.contains(&kind) {
+                    needed.push(kind);
+                }
+            }
+        }
+        let mut stored = BTreeMap::new();
+        for kind in needed {
+            stored.insert(kind, truth_value(person, kind, &username));
+        }
+
+        // Services whose paths use TOTP enrol an authenticator app at
+        // registration; the secret never leaves device and service.
+        let totp = if self.spec.factor_universe().contains(&CredentialFactor::TotpCode) {
+            Some(TotpKey::new(
+                format!("totp:{}:{}", self.spec.id.as_str(), person.id.0).into_bytes(),
+            ))
+        } else {
+            None
+        };
+
+        // Accounts created through "sign in with X" arrive pre-bound to
+        // every linked service the spec's paths reference.
+        let bindings: std::collections::BTreeSet<ServiceId> = self
+            .spec
+            .factor_universe()
+            .into_iter()
+            .filter_map(|f| match f {
+                CredentialFactor::LinkedAccount(s) => Some(s),
+                _ => None,
+            })
+            .collect();
+
+        self.passwords.set(&username, password);
+        self.accounts.insert(
+            id.0,
+            Account {
+                id,
+                person: person.id,
+                username,
+                phone: Some(person.phone.clone()),
+                email: Some(person.email.clone()),
+                stored,
+                u2f,
+                totp,
+                bindings,
+                frozen: false,
+                payments_made: 0,
+            },
+        );
+        Ok(id)
+    }
+
+    /// Locks an account after the owner reports suspicious activity:
+    /// every subsequent authentication flow is refused until support
+    /// unfreezes it.
+    pub fn freeze(&mut self, id: AccountId) {
+        if let Some(a) = self.accounts.get_mut(&id.0) {
+            a.frozen = true;
+        }
+    }
+
+    /// Lifts a freeze (customer support after identity verification).
+    pub fn unfreeze(&mut self, id: AccountId) {
+        if let Some(a) = self.accounts.get_mut(&id.0) {
+            a.frozen = false;
+        }
+    }
+
+    /// Whether an account is currently frozen.
+    pub fn is_frozen(&self, id: AccountId) -> bool {
+        self.accounts.get(&id.0).map(|a| a.frozen).unwrap_or(false)
+    }
+
+    /// Binds another service account for SSO sign-in (done from inside a
+    /// live session, as real account-settings pages require).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`EcosystemError::InvalidSession`] for a bad token.
+    pub fn bind_account(&mut self, token: SessionToken, target: &ServiceId) -> Result<(), EcosystemError> {
+        let account = *self.sessions.get(&token.0).ok_or(EcosystemError::InvalidSession)?;
+        let acct = self.accounts.get_mut(&account.0).ok_or(EcosystemError::InvalidSession)?;
+        acct.bindings.insert(target.clone());
+        Ok(())
+    }
+
+    /// Removes an SSO binding.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`EcosystemError::InvalidSession`] for a bad token.
+    pub fn unbind_account(
+        &mut self,
+        token: SessionToken,
+        target: &ServiceId,
+    ) -> Result<(), EcosystemError> {
+        let account = *self.sessions.get(&token.0).ok_or(EcosystemError::InvalidSession)?;
+        let acct = self.accounts.get_mut(&account.0).ok_or(EcosystemError::InvalidSession)?;
+        acct.bindings.remove(target);
+        Ok(())
+    }
+
+    /// The services an account is bound to.
+    pub fn bindings(&self, id: AccountId) -> Vec<ServiceId> {
+        self.accounts
+            .get(&id.0)
+            .map(|a| a.bindings.iter().cloned().collect())
+            .unwrap_or_default()
+    }
+
+    /// The TOTP key enrolled for an account, if its service uses one.
+    /// (This models the *user's* authenticator app; attackers have no
+    /// access to it.)
+    pub fn totp_key(&self, id: AccountId) -> Option<&TotpKey> {
+        self.accounts.get(&id.0).and_then(|a| a.totp.as_ref())
+    }
+
+    /// Finds an account by locator.
+    pub fn find_account(&self, locator: &AccountLocator) -> Option<AccountId> {
+        self.accounts
+            .values()
+            .find(|a| match locator {
+                AccountLocator::Phone(p) => a.phone.as_ref() == Some(p),
+                AccountLocator::Email(e) => a.email.as_deref() == Some(e.as_str()),
+                AccountLocator::Username(u) => &a.username == u,
+            })
+            .map(|a| a.id)
+    }
+
+    /// The person who owns an account.
+    pub fn account_owner(&self, id: AccountId) -> Option<PersonId> {
+        self.accounts.get(&id.0).map(|a| a.person)
+    }
+
+    /// Number of registered accounts.
+    pub fn account_count(&self) -> usize {
+        self.accounts.len()
+    }
+
+    /// Starts authentication on path `path_index` of (`platform`,
+    /// `purpose`). Side effects: sends the SMS code over `gsm` and/or the
+    /// email code through `mail` when the path demands them.
+    ///
+    /// # Errors
+    ///
+    /// - [`EcosystemError::UnknownAccount`] / [`EcosystemError::NoSuchPath`].
+    /// - Delivery errors from the substrates.
+    #[allow(clippy::too_many_arguments)]
+    pub fn begin_auth(
+        &mut self,
+        account: AccountId,
+        platform: Platform,
+        purpose: Purpose,
+        path_index: usize,
+        gsm: &mut GsmNetwork,
+        mail: &mut MailSystem,
+        now_ms: u64,
+    ) -> Result<Challenge, EcosystemError> {
+        let acct = self
+            .accounts
+            .get(&account.0)
+            .ok_or_else(|| EcosystemError::UnknownAccount(account.to_string()))?;
+        if acct.frozen {
+            return Err(EcosystemError::Conflict(format!(
+                "{account} is frozen after a fraud report"
+            )));
+        }
+        let paths = self.spec.paths_for(platform, purpose);
+        let path = paths
+            .get(path_index)
+            .copied()
+            .ok_or(EcosystemError::NoSuchPath { index: path_index, available: paths.len() })?
+            .clone();
+
+        let purpose_key = purpose_key(purpose);
+        if path.factors.contains(&CredentialFactor::SmsCode) {
+            let phone = acct.phone.clone().ok_or_else(|| {
+                EcosystemError::FactorRejected("no phone bound for SMS code".into())
+            })?;
+            self.sms.send_code(gsm, &phone, purpose_key, now_ms)?;
+        }
+        if path.factors.contains(&CredentialFactor::EmailCode)
+            || path.factors.contains(&CredentialFactor::EmailLink)
+        {
+            let email = acct.email.clone().ok_or_else(|| {
+                EcosystemError::FactorRejected("no email bound for email code".into())
+            })?;
+            let key = format!("{email}:{purpose_key}");
+            let code = self.email_otp.issue(&key, now_ms)?;
+            let body = if path.factors.contains(&CredentialFactor::EmailLink) {
+                format!(
+                    "{code} is your {name} {purpose_key} code or reset here: https://{slug}.example/l/{code}",
+                    name = self.spec.name,
+                    slug = self.spec.id.as_str()
+                )
+            } else {
+                format!("{code} is your {name} {purpose_key} code.", name = self.spec.name)
+            };
+            mail.deliver(&email, self.spec.id.as_str(), &format!("{} security code", self.spec.name), &body, now_ms)?;
+        }
+
+        self.next_challenge += 1;
+        let challenge = Challenge {
+            id: self.next_challenge,
+            account,
+            path,
+            u2f_challenge: self
+                .next_challenge
+                .wrapping_mul(0x9e37_79b9_7f4a_7c15)
+                .wrapping_add(now_ms),
+        };
+        self.challenges.insert(challenge.id, challenge.clone());
+        Ok(challenge)
+    }
+
+    /// Completes a pending challenge with factor responses.
+    /// `live_links` names services the presenter holds live sessions on
+    /// (for `LinkedAccount` factors; the host validates them).
+    ///
+    /// A challenge survives failed attempts (users retype codes), so
+    /// repeated wrong guesses accumulate toward the OTP lockout; it is
+    /// consumed on success.
+    ///
+    /// # Errors
+    ///
+    /// - [`EcosystemError::UnknownChallenge`] for a bad or consumed id.
+    /// - [`EcosystemError::MissingFactor`] / [`EcosystemError::FactorRejected`].
+    pub fn complete_auth(
+        &mut self,
+        challenge_id: u64,
+        responses: &[FactorResponse],
+        live_links: &[ServiceId],
+        now_ms: u64,
+    ) -> Result<AuthOutcome, EcosystemError> {
+        let challenge = self
+            .challenges
+            .get(&challenge_id)
+            .cloned()
+            .ok_or(EcosystemError::UnknownChallenge(challenge_id))?;
+        let acct = self
+            .accounts
+            .get(&challenge.account.0)
+            .ok_or_else(|| EcosystemError::UnknownAccount(challenge.account.to_string()))?
+            .clone();
+        let purpose_key = purpose_key(challenge.path.purpose);
+
+        for factor in &challenge.path.factors {
+            self.verify_factor(factor, &challenge, &acct, responses, live_links, purpose_key, now_ms)?;
+        }
+        self.challenges.remove(&challenge_id);
+
+        match challenge.path.purpose {
+            Purpose::SignIn => {
+                self.next_session += 1;
+                let token = SessionToken(self.next_session);
+                self.sessions.insert(token.0, challenge.account);
+                Ok(AuthOutcome::Session(token))
+            }
+            Purpose::PasswordReset => {
+                self.next_grant += 1;
+                self.grants.insert(self.next_grant, challenge.account);
+                Ok(AuthOutcome::ResetGranted(ResetGrant {
+                    account: challenge.account,
+                    grant_id: self.next_grant,
+                }))
+            }
+            Purpose::Payment => {
+                self.next_session += 1;
+                let token = SessionToken(self.next_session);
+                self.sessions.insert(token.0, challenge.account);
+                if let Some(a) = self.accounts.get_mut(&challenge.account.0) {
+                    a.payments_made += 1;
+                }
+                Ok(AuthOutcome::PaymentAuthorised(token))
+            }
+        }
+    }
+
+    #[allow(clippy::too_many_arguments)]
+    fn verify_factor(
+        &mut self,
+        factor: &CredentialFactor,
+        challenge: &Challenge,
+        acct: &Account,
+        responses: &[FactorResponse],
+        live_links: &[ServiceId],
+        purpose_key: &str,
+        now_ms: u64,
+    ) -> Result<(), EcosystemError> {
+        let missing = || EcosystemError::MissingFactor(factor.to_string());
+        let rejected = |why: &str| EcosystemError::FactorRejected(format!("{factor}: {why}"));
+        match factor {
+            CredentialFactor::Password => {
+                let pw = responses
+                    .iter()
+                    .find_map(|r| match r {
+                        FactorResponse::Password(p) => Some(p),
+                        _ => None,
+                    })
+                    .ok_or_else(missing)?;
+                self.passwords
+                    .verify(&acct.username, pw)
+                    .map_err(|_| rejected("wrong password"))
+            }
+            CredentialFactor::SmsCode => {
+                let code = responses
+                    .iter()
+                    .find_map(|r| match r {
+                        FactorResponse::SmsCode(c) => Some(c),
+                        _ => None,
+                    })
+                    .ok_or_else(missing)?;
+                let phone = acct.phone.as_ref().ok_or_else(|| rejected("no phone bound"))?;
+                self.sms
+                    .verify(phone, purpose_key, code, now_ms)
+                    .map_err(|e| rejected(&e.to_string()))
+            }
+            CredentialFactor::EmailCode | CredentialFactor::EmailLink => {
+                let code = responses
+                    .iter()
+                    .find_map(|r| match r {
+                        FactorResponse::EmailCode(c) | FactorResponse::EmailLink(c) => Some(c),
+                        _ => None,
+                    })
+                    .ok_or_else(missing)?;
+                let email = acct.email.as_ref().ok_or_else(|| rejected("no email bound"))?;
+                self.email_otp
+                    .verify(&format!("{email}:{purpose_key}"), code, now_ms)
+                    .map_err(|e| rejected(&e.to_string()))
+            }
+            CredentialFactor::CellphoneNumber => {
+                let num = responses
+                    .iter()
+                    .find_map(|r| match r {
+                        FactorResponse::CellphoneNumber(n) => Some(n),
+                        _ => None,
+                    })
+                    .ok_or_else(missing)?;
+                match &acct.phone {
+                    Some(p) if p.digits() == num => Ok(()),
+                    _ => Err(rejected("number mismatch")),
+                }
+            }
+            CredentialFactor::RealName
+            | CredentialFactor::CitizenId
+            | CredentialFactor::BankcardNumber
+            | CredentialFactor::SecurityQuestion => {
+                let (kind, presented) = responses
+                    .iter()
+                    .find_map(|r| match (factor, r) {
+                        (CredentialFactor::RealName, FactorResponse::RealName(v)) => {
+                            Some((PersonalInfoKind::RealName, v))
+                        }
+                        (CredentialFactor::CitizenId, FactorResponse::CitizenId(v)) => {
+                            Some((PersonalInfoKind::CitizenId, v))
+                        }
+                        (CredentialFactor::BankcardNumber, FactorResponse::BankcardNumber(v)) => {
+                            Some((PersonalInfoKind::BankcardNumber, v))
+                        }
+                        (CredentialFactor::SecurityQuestion, FactorResponse::SecurityAnswer(v)) => {
+                            Some((PersonalInfoKind::SecurityAnswers, v))
+                        }
+                        _ => None,
+                    })
+                    .ok_or_else(missing)?;
+                match acct.stored.get(&kind) {
+                    Some(truth) if truth == presented => Ok(()),
+                    Some(_) => Err(rejected("value mismatch")),
+                    None => Err(rejected("service holds no such value")),
+                }
+            }
+            CredentialFactor::Biometric => {
+                let person = responses
+                    .iter()
+                    .find_map(|r| match r {
+                        FactorResponse::Biometric(p) => Some(*p),
+                        _ => None,
+                    })
+                    .ok_or_else(missing)?;
+                if person == acct.person {
+                    Ok(())
+                } else {
+                    Err(rejected("biometric mismatch"))
+                }
+            }
+            CredentialFactor::U2fKey => {
+                let assertion = responses
+                    .iter()
+                    .find_map(|r| match r {
+                        FactorResponse::U2f(a) => Some(a),
+                        _ => None,
+                    })
+                    .ok_or_else(missing)?;
+                let handle = acct.u2f.as_ref().ok_or_else(|| rejected("no key enrolled"))?;
+                handle
+                    .verify(assertion, challenge.u2f_challenge)
+                    .map_err(|e| rejected(&e.to_string()))
+            }
+            CredentialFactor::DeviceCheck | CredentialFactor::PushApproval => {
+                // Trusted-device binding: only the genuine person's device
+                // passes; modelled like biometrics.
+                let person = responses
+                    .iter()
+                    .find_map(|r| match r {
+                        FactorResponse::Biometric(p) => Some(*p),
+                        _ => None,
+                    })
+                    .ok_or_else(missing)?;
+                if person == acct.person {
+                    Ok(())
+                } else {
+                    Err(rejected("unrecognised device"))
+                }
+            }
+            CredentialFactor::TotpCode => {
+                let code = responses
+                    .iter()
+                    .find_map(|r| match r {
+                        FactorResponse::Totp(c) => Some(c),
+                        _ => None,
+                    })
+                    .ok_or_else(missing)?;
+                let key = acct.totp.as_ref().ok_or_else(|| rejected("no authenticator enrolled"))?;
+                if key.verify(code, now_ms, 1) {
+                    Ok(())
+                } else {
+                    Err(rejected("wrong TOTP code"))
+                }
+            }
+            CredentialFactor::CustomerService => {
+                let dossier = responses
+                    .iter()
+                    .find_map(|r| match r {
+                        FactorResponse::CustomerService(d) => Some(d),
+                        _ => None,
+                    })
+                    .ok_or_else(missing)?;
+                let correct = dossier
+                    .iter()
+                    .filter(|(kind, value)| acct.stored.get(kind).map(|t| t == value).unwrap_or(false))
+                    .count();
+                if correct >= 3 {
+                    Ok(())
+                } else {
+                    Err(rejected(&format!("{correct} verified facts, need 3")))
+                }
+            }
+            CredentialFactor::LinkedAccount(service) => {
+                let claimed = responses.iter().any(|r| matches!(r, FactorResponse::LinkedAccount(s) if s == service));
+                if !acct.bindings.contains(service) {
+                    Err(rejected("account is not bound to that service"))
+                } else if claimed && live_links.contains(service) {
+                    Ok(())
+                } else {
+                    Err(rejected("no live linked session"))
+                }
+            }
+        }
+    }
+
+    /// Redeems a reset grant, setting a new password and returning a
+    /// fresh session (account takeover complete).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`EcosystemError::UnknownChallenge`] for a consumed or
+    /// forged grant.
+    pub fn apply_reset(
+        &mut self,
+        grant: ResetGrant,
+        new_password: &str,
+    ) -> Result<SessionToken, EcosystemError> {
+        let account = self
+            .grants
+            .remove(&grant.grant_id)
+            .ok_or(EcosystemError::UnknownChallenge(grant.grant_id))?;
+        let username = self
+            .accounts
+            .get(&account.0)
+            .ok_or_else(|| EcosystemError::UnknownAccount(account.to_string()))?
+            .username
+            .clone();
+        self.passwords.set(&username, new_password);
+        self.next_session += 1;
+        let token = SessionToken(self.next_session);
+        self.sessions.insert(token.0, account);
+        Ok(token)
+    }
+
+    /// The account behind a session.
+    pub fn session_account(&self, token: SessionToken) -> Option<AccountId> {
+        self.sessions.get(&token.0).copied()
+    }
+
+    /// Renders the account page: every exposed field with the service's
+    /// masking applied — what a logged-in user (or attacker) sees.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`EcosystemError::InvalidSession`] for a bad token.
+    pub fn view_profile(
+        &self,
+        token: SessionToken,
+        platform: Platform,
+    ) -> Result<Vec<(PersonalInfoKind, String)>, EcosystemError> {
+        let account = self.sessions.get(&token.0).ok_or(EcosystemError::InvalidSession)?;
+        let acct = self
+            .accounts
+            .get(&account.0)
+            .ok_or(EcosystemError::InvalidSession)?;
+        Ok(self
+            .spec
+            .exposure_on(platform)
+            .iter()
+            .filter_map(|f| {
+                acct.stored
+                    .get(&f.kind)
+                    .map(|truth| (f.kind, f.masking.apply(truth)))
+            })
+            .collect())
+    }
+
+    /// Makes a payment inside a session (Fintech impact demonstration).
+    ///
+    /// # Errors
+    ///
+    /// - [`EcosystemError::InvalidSession`] for a bad token.
+    /// - [`EcosystemError::Conflict`] when the service is not a Fintech
+    ///   service.
+    pub fn make_payment(&mut self, token: SessionToken, amount_cents: u64) -> Result<String, EcosystemError> {
+        if self.spec.domain != ServiceDomain::Fintech {
+            return Err(EcosystemError::Conflict(format!(
+                "{} does not process payments",
+                self.spec.name
+            )));
+        }
+        let account = *self.sessions.get(&token.0).ok_or(EcosystemError::InvalidSession)?;
+        let acct = self.accounts.get_mut(&account.0).ok_or(EcosystemError::InvalidSession)?;
+        acct.payments_made += 1;
+        Ok(format!(
+            "receipt: {} paid {}.{:02} from {}",
+            self.spec.name,
+            amount_cents / 100,
+            amount_cents % 100,
+            acct.username
+        ))
+    }
+
+    /// Payments made from an account (attack-impact metric).
+    pub fn payments_made(&self, id: AccountId) -> u32 {
+        self.accounts.get(&id.0).map(|a| a.payments_made).unwrap_or(0)
+    }
+
+    /// Verifies a direct password login without challenges (used by
+    /// legitimate-user simulations).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`EcosystemError::FactorRejected`] on a wrong password and
+    /// [`EcosystemError::UnknownAccount`] for a missing account.
+    pub fn password_login(
+        &mut self,
+        account: AccountId,
+        password: &str,
+    ) -> Result<SessionToken, EcosystemError> {
+        let username = self
+            .accounts
+            .get(&account.0)
+            .ok_or_else(|| EcosystemError::UnknownAccount(account.to_string()))?
+            .username
+            .clone();
+        self.passwords
+            .verify(&username, password)
+            .map_err(|_| EcosystemError::FactorRejected("password: wrong password".into()))?;
+        self.next_session += 1;
+        let token = SessionToken(self.next_session);
+        self.sessions.insert(token.0, account);
+        Ok(token)
+    }
+}
+
+fn purpose_key(purpose: Purpose) -> &'static str {
+    match purpose {
+        Purpose::SignIn => "login",
+        Purpose::PasswordReset => "reset",
+        Purpose::Payment => "payment",
+    }
+}
+
+fn truth_value(person: &Person, kind: PersonalInfoKind, username: &str) -> String {
+    match kind {
+        PersonalInfoKind::RealName => person.real_name.clone(),
+        PersonalInfoKind::CitizenId => person.citizen_id.clone(),
+        PersonalInfoKind::CellphoneNumber => person.phone.digits().to_owned(),
+        PersonalInfoKind::EmailAddress => person.email.clone(),
+        PersonalInfoKind::Address => person.address.clone(),
+        PersonalInfoKind::UserId => username.to_owned(),
+        PersonalInfoKind::BindingAccount => person.email.clone(),
+        PersonalInfoKind::AcquaintanceInfo => person.acquaintances.join(", "),
+        PersonalInfoKind::DeviceType => person.device_type.clone(),
+        PersonalInfoKind::BankcardNumber => person.bankcard.clone(),
+        PersonalInfoKind::Photos => {
+            if person.has_id_photo_in_cloud {
+                format!("photo-archive-with-id-card:{}", person.citizen_id)
+            } else {
+                "photo-archive".to_owned()
+            }
+        }
+        PersonalInfoKind::HistoryRecords => format!("orders by {}", person.real_name),
+        PersonalInfoKind::SecurityAnswers => person.security_answer.clone(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::factor::CredentialFactor as F;
+    use crate::info::{ExposedField, Masking};
+    use crate::population::PopulationBuilder;
+    use actfort_gsm::network::NetworkConfig;
+
+    fn substrate() -> (GsmNetwork, MailSystem) {
+        (GsmNetwork::new(NetworkConfig::default()), MailSystem::new())
+    }
+
+    fn spec() -> ServiceSpec {
+        ServiceSpec::builder("testpay", "TestPay", ServiceDomain::Fintech)
+            .path(Purpose::SignIn, Platform::MobileApp, &[F::SmsCode])
+            .path(Purpose::PasswordReset, Platform::MobileApp, &[F::SmsCode, F::CitizenId])
+            .path(Purpose::SignIn, Platform::Web, &[F::Password])
+            .expose_both(ExposedField::clear(PersonalInfoKind::RealName))
+            .expose_both(ExposedField {
+                kind: PersonalInfoKind::CitizenId,
+                masking: Masking::Partial { prefix: 4, suffix: 4 },
+            })
+            .build()
+    }
+
+    fn setup() -> (OnlineService, GsmNetwork, MailSystem, Person) {
+        let (mut gsm, mail) = substrate();
+        let person = PopulationBuilder::new(11).person();
+        let sub = gsm.provision_subscriber(&person.real_name, person.phone.clone()).unwrap();
+        gsm.attach(sub).unwrap();
+        let svc = OnlineService::new(spec(), 99);
+        (svc, gsm, mail, person)
+    }
+
+    fn code_from_inbox(gsm: &GsmNetwork, phone: &Msisdn) -> String {
+        let id = gsm.subscriber_by_msisdn(phone).unwrap();
+        let sms = gsm.terminal(id).unwrap().inbox().last().unwrap().clone();
+        sms.text.chars().take_while(|c| c.is_ascii_digit()).collect()
+    }
+
+    #[test]
+    fn register_and_sms_login_flow() {
+        let (mut svc, mut gsm, mut mail, person) = setup();
+        let acct = svc.register(&person, "initial-pw", None).unwrap();
+        let ch = svc
+            .begin_auth(acct, Platform::MobileApp, Purpose::SignIn, 0, &mut gsm, &mut mail, 0)
+            .unwrap();
+        let code = code_from_inbox(&gsm, &person.phone);
+        let outcome = svc
+            .complete_auth(ch.id, &[FactorResponse::SmsCode(code)], &[], 1_000)
+            .unwrap();
+        let AuthOutcome::Session(token) = outcome else { panic!("expected session") };
+        let profile = svc.view_profile(token, Platform::MobileApp).unwrap();
+        assert!(profile.iter().any(|(k, v)| *k == PersonalInfoKind::RealName && v == &person.real_name));
+        // Citizen ID is masked on the page.
+        let (_, cid) = profile.iter().find(|(k, _)| *k == PersonalInfoKind::CitizenId).unwrap();
+        assert!(cid.contains('*'));
+        assert!(cid.starts_with(&person.citizen_id[..4]));
+    }
+
+    #[test]
+    fn reset_needs_every_factor() {
+        let (mut svc, mut gsm, mut mail, person) = setup();
+        let acct = svc.register(&person, "initial-pw", None).unwrap();
+        let ch = svc
+            .begin_auth(acct, Platform::MobileApp, Purpose::PasswordReset, 0, &mut gsm, &mut mail, 0)
+            .unwrap();
+        let code = code_from_inbox(&gsm, &person.phone);
+        // SMS code alone is not enough: the path also demands citizen ID.
+        let err = svc.complete_auth(ch.id, &[FactorResponse::SmsCode(code)], &[], 1_000);
+        assert!(matches!(err, Err(EcosystemError::MissingFactor(_))));
+    }
+
+    #[test]
+    fn full_reset_takeover_and_payment() {
+        let (mut svc, mut gsm, mut mail, person) = setup();
+        let acct = svc.register(&person, "initial-pw", None).unwrap();
+        let ch = svc
+            .begin_auth(acct, Platform::MobileApp, Purpose::PasswordReset, 0, &mut gsm, &mut mail, 0)
+            .unwrap();
+        let code = code_from_inbox(&gsm, &person.phone);
+        let outcome = svc
+            .complete_auth(
+                ch.id,
+                &[
+                    FactorResponse::SmsCode(code),
+                    FactorResponse::CitizenId(person.citizen_id.clone()),
+                ],
+                &[],
+                1_000,
+            )
+            .unwrap();
+        let AuthOutcome::ResetGranted(grant) = outcome else { panic!("expected grant") };
+        let token = svc.apply_reset(grant, "attacker-pw").unwrap();
+        // Old password is dead, new one works.
+        assert!(svc.password_login(acct, "initial-pw").is_err());
+        assert!(svc.password_login(acct, "attacker-pw").is_ok());
+        // Payments flow from the stolen session.
+        let receipt = svc.make_payment(token, 12_345).unwrap();
+        assert!(receipt.contains("123.45"));
+        assert_eq!(svc.payments_made(acct), 1);
+    }
+
+    #[test]
+    fn wrong_citizen_id_rejected() {
+        let (mut svc, mut gsm, mut mail, person) = setup();
+        let acct = svc.register(&person, "pw", None).unwrap();
+        let ch = svc
+            .begin_auth(acct, Platform::MobileApp, Purpose::PasswordReset, 0, &mut gsm, &mut mail, 0)
+            .unwrap();
+        let code = code_from_inbox(&gsm, &person.phone);
+        let err = svc.complete_auth(
+            ch.id,
+            &[
+                FactorResponse::SmsCode(code),
+                FactorResponse::CitizenId("110101199001010011".into()),
+            ],
+            &[],
+            1_000,
+        );
+        assert!(matches!(err, Err(EcosystemError::FactorRejected(_))));
+    }
+
+    #[test]
+    fn challenge_is_single_use() {
+        let (mut svc, mut gsm, mut mail, person) = setup();
+        let acct = svc.register(&person, "pw", None).unwrap();
+        let ch = svc
+            .begin_auth(acct, Platform::MobileApp, Purpose::SignIn, 0, &mut gsm, &mut mail, 0)
+            .unwrap();
+        let code = code_from_inbox(&gsm, &person.phone);
+        svc.complete_auth(ch.id, &[FactorResponse::SmsCode(code.clone())], &[], 1).unwrap();
+        assert!(matches!(
+            svc.complete_auth(ch.id, &[FactorResponse::SmsCode(code)], &[], 2),
+            Err(EcosystemError::UnknownChallenge(_))
+        ));
+    }
+
+    #[test]
+    fn duplicate_registration_conflicts() {
+        let (mut svc, _gsm, _mail, person) = setup();
+        svc.register(&person, "pw", None).unwrap();
+        assert!(matches!(svc.register(&person, "pw2", None), Err(EcosystemError::Conflict(_))));
+    }
+
+    #[test]
+    fn locators_resolve() {
+        let (mut svc, _gsm, _mail, person) = setup();
+        let acct = svc.register(&person, "pw", None).unwrap();
+        assert_eq!(svc.find_account(&AccountLocator::Phone(person.phone.clone())), Some(acct));
+        assert_eq!(svc.find_account(&AccountLocator::Email(person.email.clone())), Some(acct));
+        assert_eq!(
+            svc.find_account(&AccountLocator::Username(format!("testpay_{}", person.id.0))),
+            Some(acct)
+        );
+        assert_eq!(svc.find_account(&AccountLocator::Email("none@x.com".into())), None);
+    }
+
+    #[test]
+    fn grant_is_single_use() {
+        let (mut svc, mut gsm, mut mail, person) = setup();
+        let acct = svc.register(&person, "pw", None).unwrap();
+        let ch = svc
+            .begin_auth(acct, Platform::MobileApp, Purpose::PasswordReset, 0, &mut gsm, &mut mail, 0)
+            .unwrap();
+        let code = code_from_inbox(&gsm, &person.phone);
+        let AuthOutcome::ResetGranted(grant) = svc
+            .complete_auth(
+                ch.id,
+                &[FactorResponse::SmsCode(code), FactorResponse::CitizenId(person.citizen_id.clone())],
+                &[],
+                1,
+            )
+            .unwrap()
+        else {
+            panic!()
+        };
+        svc.apply_reset(grant, "pw2").unwrap();
+        assert!(svc.apply_reset(grant, "pw3").is_err());
+    }
+
+    #[test]
+    fn sso_requires_binding_and_live_session() {
+        let (mut gsm, mut mail) = substrate();
+        let person = PopulationBuilder::new(14).person();
+        let sub = gsm.provision_subscriber("p", person.phone.clone()).unwrap();
+        gsm.attach(sub).unwrap();
+        let spec = ServiceSpec::builder("booker", "Booker", ServiceDomain::Travel)
+            .path(Purpose::SignIn, Platform::Web, &[F::Password])
+            .path(Purpose::SignIn, Platform::Web, &[F::LinkedAccount("gmail".into())])
+            .build();
+        let mut svc = OnlineService::new(spec, 4);
+        let acct = svc.register(&person, "pw", None).unwrap();
+        // Registered with a pre-seeded gmail binding: SSO works with a
+        // live link…
+        let ch = svc.begin_auth(acct, Platform::Web, Purpose::SignIn, 1, &mut gsm, &mut mail, 0).unwrap();
+        let ok = svc.complete_auth(
+            ch.id,
+            &[FactorResponse::LinkedAccount("gmail".into())],
+            &["gmail".into()],
+            0,
+        );
+        assert!(matches!(ok, Ok(AuthOutcome::Session(_))));
+        // …then the user unbinds it from their settings page, and SSO
+        // stops working even with a live link.
+        let token = svc.password_login(acct, "pw").unwrap();
+        svc.unbind_account(token, &"gmail".into()).unwrap();
+        assert!(svc.bindings(acct).is_empty());
+        let ch = svc.begin_auth(acct, Platform::Web, Purpose::SignIn, 1, &mut gsm, &mut mail, 1).unwrap();
+        let err = svc.complete_auth(
+            ch.id,
+            &[FactorResponse::LinkedAccount("gmail".into())],
+            &["gmail".into()],
+            1,
+        );
+        assert!(matches!(err, Err(EcosystemError::FactorRejected(_))));
+        // Re-binding restores it.
+        svc.bind_account(token, &"gmail".into()).unwrap();
+        let ch = svc.begin_auth(acct, Platform::Web, Purpose::SignIn, 1, &mut gsm, &mut mail, 2).unwrap();
+        assert!(svc
+            .complete_auth(
+                ch.id,
+                &[FactorResponse::LinkedAccount("gmail".into())],
+                &["gmail".into()],
+                2
+            )
+            .is_ok());
+    }
+
+    #[test]
+    fn totp_signin_works_for_owner_and_resists_guessing() {
+        let (mut gsm, mut mail) = substrate();
+        let person = PopulationBuilder::new(13).person();
+        let sub = gsm.provision_subscriber("p", person.phone.clone()).unwrap();
+        gsm.attach(sub).unwrap();
+        let spec = ServiceSpec::builder("brokerage", "Brokerage", ServiceDomain::Fintech)
+            .path(Purpose::SignIn, Platform::Web, &[F::Password, F::TotpCode])
+            .build();
+        let mut svc = OnlineService::new(spec, 3);
+        let acct = svc.register(&person, "pw", None).unwrap();
+        let now = 90_000u64;
+        // The legitimate user reads the code off their authenticator app.
+        let code = svc.totp_key(acct).expect("enrolled").code_at(now);
+        let ch = svc.begin_auth(acct, Platform::Web, Purpose::SignIn, 0, &mut gsm, &mut mail, now).unwrap();
+        let outcome = svc
+            .complete_auth(
+                ch.id,
+                &[FactorResponse::Password("pw".into()), FactorResponse::Totp(code)],
+                &[],
+                now,
+            )
+            .unwrap();
+        assert!(matches!(outcome, AuthOutcome::Session(_)));
+        // A guessed code fails.
+        let ch = svc.begin_auth(acct, Platform::Web, Purpose::SignIn, 0, &mut gsm, &mut mail, now).unwrap();
+        let err = svc.complete_auth(
+            ch.id,
+            &[FactorResponse::Password("pw".into()), FactorResponse::Totp("000000".into())],
+            &[],
+            now,
+        );
+        assert!(matches!(err, Err(EcosystemError::FactorRejected(_))));
+    }
+
+    #[test]
+    fn frozen_accounts_refuse_all_flows_until_unfrozen() {
+        let (mut svc, mut gsm, mut mail, person) = setup();
+        let acct = svc.register(&person, "pw", None).unwrap();
+        svc.freeze(acct);
+        assert!(svc.is_frozen(acct));
+        let err = svc.begin_auth(acct, Platform::MobileApp, Purpose::SignIn, 0, &mut gsm, &mut mail, 0);
+        assert!(matches!(err, Err(EcosystemError::Conflict(_))));
+        svc.unfreeze(acct);
+        assert!(!svc.is_frozen(acct));
+        assert!(svc
+            .begin_auth(acct, Platform::MobileApp, Purpose::SignIn, 0, &mut gsm, &mut mail, 0)
+            .is_ok());
+    }
+
+    #[test]
+    fn payment_requires_fintech_domain() {
+        let (mut gsm, mut mail) = substrate();
+        let person = PopulationBuilder::new(12).person();
+        let sub = gsm.provision_subscriber("p", person.phone.clone()).unwrap();
+        gsm.attach(sub).unwrap();
+        let nonfintech = ServiceSpec::builder("blog", "Blog", ServiceDomain::News)
+            .path(Purpose::SignIn, Platform::Web, &[F::SmsCode])
+            .build();
+        let mut svc = OnlineService::new(nonfintech, 5);
+        let acct = svc.register(&person, "pw", None).unwrap();
+        let ch = svc.begin_auth(acct, Platform::Web, Purpose::SignIn, 0, &mut gsm, &mut mail, 0).unwrap();
+        let id = gsm.subscriber_by_msisdn(&person.phone).unwrap();
+        let code: String = gsm.terminal(id).unwrap().inbox()[0]
+            .text
+            .chars()
+            .take_while(|c| c.is_ascii_digit())
+            .collect();
+        let AuthOutcome::Session(token) =
+            svc.complete_auth(ch.id, &[FactorResponse::SmsCode(code)], &[], 1).unwrap()
+        else {
+            panic!()
+        };
+        assert!(matches!(svc.make_payment(token, 100), Err(EcosystemError::Conflict(_))));
+    }
+}

@@ -1,0 +1,240 @@
+//! The A5/1 stream cipher, exactly as deployed on the GSM Um interface.
+//!
+//! Three short LFSRs (19, 22 and 23 bits) are keyed with the 64-bit
+//! session key `Kc` and the 22-bit TDMA frame number, then clocked with
+//! the majority rule to produce 228 keystream bits per frame (114 for
+//! each direction). The short registers and majority clocking are what
+//! make the published time-memory-tradeoff attacks practical — which is
+//! the entire premise of the paper's SMS interception step.
+
+use crate::error::GsmError;
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// Keystream bits produced per direction per TDMA frame.
+pub const KEYSTREAM_BITS_PER_FRAME: usize = 114;
+
+const R1_MASK: u32 = (1 << 19) - 1;
+const R2_MASK: u32 = (1 << 22) - 1;
+const R3_MASK: u32 = (1 << 23) - 1;
+const R1_TAPS: u32 = (1 << 18) | (1 << 17) | (1 << 16) | (1 << 13);
+const R2_TAPS: u32 = (1 << 21) | (1 << 20);
+const R3_TAPS: u32 = (1 << 22) | (1 << 21) | (1 << 20) | (1 << 7);
+const R1_CLOCK: u32 = 1 << 8;
+const R2_CLOCK: u32 = 1 << 10;
+const R3_CLOCK: u32 = 1 << 10;
+
+/// A 64-bit GSM session key.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct Kc(pub u64);
+
+impl Kc {
+    /// Builds a key from 8 bytes using the reference loading order: bit
+    /// `i` of the cipher is bit `i % 8` of byte `i / 8` (LSB of the first
+    /// byte enters the registers first).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`GsmError::BadKey`] when `bytes` is not exactly 8 bytes.
+    pub fn from_bytes(bytes: &[u8]) -> Result<Self, GsmError> {
+        if bytes.len() != 8 {
+            return Err(GsmError::BadKey { expected: 8, got: bytes.len() });
+        }
+        let mut v = 0u64;
+        for (idx, &b) in bytes.iter().enumerate() {
+            v |= u64::from(b) << (8 * idx);
+        }
+        Ok(Self(v))
+    }
+
+    /// Key bit `i` as fed into the registers during loading.
+    pub fn bit(&self, i: u32) -> u32 {
+        ((self.0 >> i) & 1) as u32
+    }
+}
+
+impl fmt::Display for Kc {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "Kc={:016x}", self.0)
+    }
+}
+
+/// An A5/1 keystream generator keyed for one TDMA frame.
+#[derive(Debug, Clone)]
+pub struct A51 {
+    r1: u32,
+    r2: u32,
+    r3: u32,
+}
+
+impl A51 {
+    /// Keys the cipher with `kc` and the 22-bit `frame` number, performing
+    /// the standard 64 + 22 loading cycles and 100 mixing cycles.
+    pub fn new(kc: Kc, frame: u32) -> Self {
+        let mut s = Self { r1: 0, r2: 0, r3: 0 };
+        for i in 0..64 {
+            s.clock_all();
+            let b = kc.bit(i);
+            s.r1 ^= b;
+            s.r2 ^= b;
+            s.r3 ^= b;
+        }
+        for i in 0..22 {
+            s.clock_all();
+            let b = (frame >> i) & 1;
+            s.r1 ^= b;
+            s.r2 ^= b;
+            s.r3 ^= b;
+        }
+        for _ in 0..100 {
+            s.clock_majority();
+        }
+        s
+    }
+
+    fn clock_all(&mut self) {
+        self.r1 = ((self.r1 << 1) | parity(self.r1 & R1_TAPS)) & R1_MASK;
+        self.r2 = ((self.r2 << 1) | parity(self.r2 & R2_TAPS)) & R2_MASK;
+        self.r3 = ((self.r3 << 1) | parity(self.r3 & R3_TAPS)) & R3_MASK;
+    }
+
+    fn clock_majority(&mut self) {
+        let c1 = (self.r1 & R1_CLOCK) != 0;
+        let c2 = (self.r2 & R2_CLOCK) != 0;
+        let c3 = (self.r3 & R3_CLOCK) != 0;
+        let maj = (c1 as u8 + c2 as u8 + c3 as u8) >= 2;
+        if c1 == maj {
+            self.r1 = ((self.r1 << 1) | parity(self.r1 & R1_TAPS)) & R1_MASK;
+        }
+        if c2 == maj {
+            self.r2 = ((self.r2 << 1) | parity(self.r2 & R2_TAPS)) & R2_MASK;
+        }
+        if c3 == maj {
+            self.r3 = ((self.r3 << 1) | parity(self.r3 & R3_TAPS)) & R3_MASK;
+        }
+    }
+
+    fn output_bit(&self) -> u8 {
+        (((self.r1 >> 18) ^ (self.r2 >> 21) ^ (self.r3 >> 22)) & 1) as u8
+    }
+
+    /// Produces the next keystream bit.
+    pub fn next_bit(&mut self) -> u8 {
+        self.clock_majority();
+        self.output_bit()
+    }
+
+    /// Fills `out` with keystream bits (one bit per byte, values 0/1).
+    pub fn keystream_bits(&mut self, out: &mut [u8]) {
+        for b in out.iter_mut() {
+            *b = self.next_bit();
+        }
+    }
+
+    /// Produces `n` keystream *bytes* (8 bits each, MSB first), the form
+    /// used to XOR payload octets in the simulator.
+    pub fn keystream_bytes(&mut self, n: usize) -> Vec<u8> {
+        let mut out = Vec::with_capacity(n);
+        for _ in 0..n {
+            let mut byte = 0u8;
+            for _ in 0..8 {
+                byte = (byte << 1) | self.next_bit();
+            }
+            out.push(byte);
+        }
+        out
+    }
+}
+
+/// XORs `data` in place with the A5/1 keystream for (`kc`, `frame`).
+/// Applying it twice restores the plaintext.
+pub fn apply_keystream(kc: Kc, frame: u32, data: &mut [u8]) {
+    let mut cipher = A51::new(kc, frame);
+    let ks = cipher.keystream_bytes(data.len());
+    for (d, k) in data.iter_mut().zip(ks) {
+        *d ^= k;
+    }
+}
+
+fn parity(v: u32) -> u32 {
+    v.count_ones() & 1
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Published A5/1 test vector from the Briceno/Goldberg/Wagner
+    /// reference implementation: key 0x12 23 45 67 89 AB CD EF, frame
+    /// 0x134, downlink keystream (114 bits) 53 4E AA 58 2F E8 15 1A B6 E1
+    /// 85 5A 72 8C 00 (final byte holds only two defined bits).
+    #[test]
+    fn reference_test_vector() {
+        let kc = Kc::from_bytes(&[0x12, 0x23, 0x45, 0x67, 0x89, 0xab, 0xcd, 0xef]).unwrap();
+        let mut bits = [0u8; KEYSTREAM_BITS_PER_FRAME];
+        A51::new(kc, 0x134).keystream_bits(&mut bits);
+        let mut bytes = vec![0u8; 15];
+        for (i, &b) in bits.iter().enumerate() {
+            bytes[i / 8] |= b << (7 - (i % 8));
+        }
+        assert_eq!(
+            bytes,
+            vec![0x53, 0x4e, 0xaa, 0x58, 0x2f, 0xe8, 0x15, 0x1a, 0xb6, 0xe1, 0x85, 0x5a, 0x72, 0x8c, 0x00]
+        );
+    }
+
+    #[test]
+    fn keystream_is_deterministic() {
+        let kc = Kc(0x0123_4567_89ab_cdef);
+        let a = A51::new(kc, 42).keystream_bytes(32);
+        let b = A51::new(kc, 42).keystream_bytes(32);
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn keystream_differs_across_frames() {
+        let kc = Kc(0x0123_4567_89ab_cdef);
+        let a = A51::new(kc, 1).keystream_bytes(16);
+        let b = A51::new(kc, 2).keystream_bytes(16);
+        assert_ne!(a, b);
+    }
+
+    #[test]
+    fn keystream_is_key_sensitive() {
+        let a = A51::new(Kc(1), 7).keystream_bytes(16);
+        let b = A51::new(Kc(2), 7).keystream_bytes(16);
+        assert_ne!(a, b);
+    }
+
+    #[test]
+    fn apply_keystream_is_involutive() {
+        let kc = Kc(0xdead_beef_cafe_f00d);
+        let mut data = b"255436 is your Facebook password reset code".to_vec();
+        let orig = data.clone();
+        apply_keystream(kc, 100, &mut data);
+        assert_ne!(data, orig);
+        apply_keystream(kc, 100, &mut data);
+        assert_eq!(data, orig);
+    }
+
+    #[test]
+    fn kc_from_bytes_validates_length() {
+        assert!(Kc::from_bytes(&[0; 7]).is_err());
+        assert!(Kc::from_bytes(&[0; 9]).is_err());
+        // Reference order: first byte occupies the low bits.
+        assert_eq!(Kc::from_bytes(&[1, 0, 0, 0, 0, 0, 0, 0]).unwrap(), Kc(1));
+    }
+
+    #[test]
+    fn keystream_bits_match_bytes() {
+        let kc = Kc(0x1111_2222_3333_4444);
+        let mut bits = [0u8; 16];
+        A51::new(kc, 9).keystream_bits(&mut bits);
+        let bytes = A51::new(kc, 9).keystream_bytes(2);
+        let mut rebuilt = 0u16;
+        for &b in &bits {
+            rebuilt = (rebuilt << 1) | u16::from(b);
+        }
+        assert_eq!(rebuilt.to_be_bytes().to_vec(), bytes);
+    }
+}

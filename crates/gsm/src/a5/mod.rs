@@ -1,0 +1,14 @@
+//! A5 air-interface ciphering.
+//!
+//! [`a51`] is a bit-faithful implementation of the A5/1 stream cipher
+//! (three majority-clocked LFSRs). [`crack`] provides the attacker side:
+//! an exact known-plaintext key search usable on reduced keyspaces in
+//! tests, and a calibrated rainbow-table model reproducing the published
+//! time/success statistics the paper relies on ("A5/1 decryption",
+//! srlabs 2010).
+
+pub mod a51;
+pub mod crack;
+
+pub use a51::{apply_keystream, A51, Kc, KEYSTREAM_BITS_PER_FRAME};
+pub use crack::{CrackOutcome, RainbowTableModel, SubsetKeySearch, WEAK_KC_BASE};

@@ -1,0 +1,92 @@
+//! Radio channel numbering (ARFCN) and frequency bands.
+
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// An Absolute Radio-Frequency Channel Number.
+///
+/// Each simulated cell broadcasts on one ARFCN; each C118-style sniffer
+/// receiver can camp on exactly one ARFCN at a time, which is why the
+/// paper's rig chains 16 phones to one laptop.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub struct Arfcn(pub u16);
+
+impl Arfcn {
+    /// Frequency band this channel belongs to, by ETSI numbering.
+    pub fn band(&self) -> Band {
+        match self.0 {
+            0..=124 => Band::Gsm900,
+            512..=885 => Band::Dcs1800,
+            975..=1023 => Band::EGsm900,
+            _ => Band::Unknown,
+        }
+    }
+
+    /// Downlink carrier frequency in kHz (GSM900: 935 MHz + 200 kHz × n).
+    pub fn downlink_khz(&self) -> u32 {
+        match self.band() {
+            Band::Gsm900 => 935_000 + 200 * u32::from(self.0),
+            Band::EGsm900 => 935_000 + 200 * (u32::from(self.0) - 1024),
+            Band::Dcs1800 => 1_805_000 + 200 * (u32::from(self.0) - 512),
+            Band::Unknown => 0,
+        }
+    }
+}
+
+impl fmt::Display for Arfcn {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "ARFCN{}", self.0)
+    }
+}
+
+/// GSM frequency bands recognised by the simulator.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum Band {
+    /// Primary GSM 900 MHz band (ARFCN 0–124).
+    Gsm900,
+    /// Extended GSM 900 band (ARFCN 975–1023).
+    EGsm900,
+    /// DCS 1800 MHz band (ARFCN 512–885).
+    Dcs1800,
+    /// Outside any simulated band.
+    Unknown,
+}
+
+impl fmt::Display for Band {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            Band::Gsm900 => "GSM900",
+            Band::EGsm900 => "E-GSM900",
+            Band::Dcs1800 => "DCS1800",
+            Band::Unknown => "unknown",
+        };
+        f.pad(s)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn band_classification() {
+        assert_eq!(Arfcn(1).band(), Band::Gsm900);
+        assert_eq!(Arfcn(124).band(), Band::Gsm900);
+        assert_eq!(Arfcn(512).band(), Band::Dcs1800);
+        assert_eq!(Arfcn(1000).band(), Band::EGsm900);
+        assert_eq!(Arfcn(300).band(), Band::Unknown);
+    }
+
+    #[test]
+    fn downlink_frequency_gsm900() {
+        // ARFCN 1 downlink is 935.2 MHz.
+        assert_eq!(Arfcn(1).downlink_khz(), 935_200);
+        assert_eq!(Arfcn(0).downlink_khz(), 935_000);
+    }
+
+    #[test]
+    fn display_forms() {
+        assert_eq!(Arfcn(42).to_string(), "ARFCN42");
+        assert_eq!(Band::Dcs1800.to_string(), "DCS1800");
+    }
+}

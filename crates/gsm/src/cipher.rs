@@ -1,0 +1,227 @@
+//! Air-interface cipher negotiation.
+//!
+//! GSM lets the network pick the ciphering algorithm after authentication,
+//! constrained by what the mobile *claims* to support — there is no
+//! integrity protection on the capability report. Both attacks in the
+//! paper exploit this: many live networks run A5/0 (no encryption) or
+//! crackable A5/1, and an active MitM can claim "A5/0 only" to strip
+//! encryption entirely.
+
+use crate::a5::Kc;
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// Ciphering algorithms the simulator understands.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub enum CipherAlgo {
+    /// No encryption at all — still common on real GSM networks.
+    A50,
+    /// The classic LFSR cipher, breakable with published tables.
+    A51,
+    /// KASUMI-based cipher; treated as unbreakable by the simulator.
+    A53,
+}
+
+impl CipherAlgo {
+    /// Whether a passive attacker can read traffic under this algorithm
+    /// (directly, or after a practical key-recovery attack).
+    pub fn is_breakable(&self) -> bool {
+        matches!(self, CipherAlgo::A50 | CipherAlgo::A51)
+    }
+
+    /// Bitmask bit used in capability reports.
+    pub fn mask_bit(&self) -> u8 {
+        match self {
+            CipherAlgo::A50 => 0b001,
+            CipherAlgo::A51 => 0b010,
+            CipherAlgo::A53 => 0b100,
+        }
+    }
+
+    /// Decodes a single algorithm from its mask bit.
+    pub fn from_mask_bit(bit: u8) -> Option<Self> {
+        match bit {
+            0b001 => Some(CipherAlgo::A50),
+            0b010 => Some(CipherAlgo::A51),
+            0b100 => Some(CipherAlgo::A53),
+            _ => None,
+        }
+    }
+}
+
+impl fmt::Display for CipherAlgo {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            CipherAlgo::A50 => "A5/0",
+            CipherAlgo::A51 => "A5/1",
+            CipherAlgo::A53 => "A5/3",
+        };
+        f.pad(s)
+    }
+}
+
+/// A set of supported ciphers, as carried in the MS classmark.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct CipherSet(u8);
+
+impl CipherSet {
+    /// An empty set (claims no cipher support — forces A5/0).
+    pub fn none() -> Self {
+        Self(CipherAlgo::A50.mask_bit())
+    }
+
+    /// Every algorithm the simulator knows.
+    pub fn all() -> Self {
+        Self(0b111)
+    }
+
+    /// Builds a set from algorithms.
+    pub fn of(algos: &[CipherAlgo]) -> Self {
+        let mut mask = CipherAlgo::A50.mask_bit(); // A5/0 is always possible
+        for a in algos {
+            mask |= a.mask_bit();
+        }
+        Self(mask)
+    }
+
+    /// Whether `algo` is in the set.
+    pub fn contains(&self, algo: CipherAlgo) -> bool {
+        self.0 & algo.mask_bit() != 0
+    }
+
+    /// Raw bitmask, as sent over the air.
+    pub fn mask(&self) -> u8 {
+        self.0
+    }
+
+    /// Reconstructs a set from a raw mask (unknown bits ignored).
+    pub fn from_mask(mask: u8) -> Self {
+        Self((mask & 0b111) | CipherAlgo::A50.mask_bit())
+    }
+
+    /// Network-side selection: the strongest algorithm both the network
+    /// preference list and the mobile's claimed set allow. The preference
+    /// list is ordered strongest-first.
+    pub fn negotiate(&self, network_preference: &[CipherAlgo]) -> CipherAlgo {
+        network_preference
+            .iter()
+            .copied()
+            .find(|a| self.contains(*a))
+            .unwrap_or(CipherAlgo::A50)
+    }
+}
+
+impl Default for CipherSet {
+    fn default() -> Self {
+        Self::all()
+    }
+}
+
+/// A live ciphering context on one radio link.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct CipherContext {
+    /// Negotiated algorithm.
+    pub algo: CipherAlgo,
+    /// Session key (meaningless under A5/0).
+    pub kc: Kc,
+}
+
+impl CipherContext {
+    /// A context that performs no encryption.
+    pub fn plaintext() -> Self {
+        Self { algo: CipherAlgo::A50, kc: Kc(0) }
+    }
+
+    /// Encrypts or decrypts `data` in place for the given TDMA frame.
+    /// A5/0 leaves data untouched; A5/1 applies the real keystream; A5/3
+    /// applies a frame-keyed byte permutation cipher that the cracker
+    /// refuses to break.
+    pub fn apply(&self, frame: u32, data: &mut [u8]) {
+        match self.algo {
+            CipherAlgo::A50 => {}
+            CipherAlgo::A51 => crate::a5::a51::apply_keystream(self.kc, frame, data),
+            CipherAlgo::A53 => {
+                // Stand-in keystream: strong mixing of key + frame via a
+                // splitmix-style generator. Not KASUMI, but opaque to every
+                // attack implemented in this workspace.
+                let mut state = self.kc.0 ^ (u64::from(frame).wrapping_mul(0x9e37_79b9_7f4a_7c15));
+                for b in data.iter_mut() {
+                    state = state.wrapping_add(0x9e37_79b9_7f4a_7c15);
+                    let mut z = state;
+                    z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+                    z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+                    *b ^= (z ^ (z >> 31)) as u8;
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn negotiation_prefers_strongest_supported() {
+        let ms = CipherSet::of(&[CipherAlgo::A51]);
+        let pick = ms.negotiate(&[CipherAlgo::A53, CipherAlgo::A51, CipherAlgo::A50]);
+        assert_eq!(pick, CipherAlgo::A51);
+    }
+
+    #[test]
+    fn negotiation_downgrade_attack() {
+        // A fake terminal claims no cipher support: the network must fall
+        // back to plaintext even when it prefers A5/3.
+        let fake = CipherSet::none();
+        let pick = fake.negotiate(&[CipherAlgo::A53, CipherAlgo::A51]);
+        assert_eq!(pick, CipherAlgo::A50);
+    }
+
+    #[test]
+    fn mask_roundtrip() {
+        let set = CipherSet::of(&[CipherAlgo::A51, CipherAlgo::A53]);
+        let back = CipherSet::from_mask(set.mask());
+        assert!(back.contains(CipherAlgo::A51));
+        assert!(back.contains(CipherAlgo::A53));
+        assert!(back.contains(CipherAlgo::A50));
+    }
+
+    #[test]
+    fn a50_leaves_plaintext() {
+        let ctx = CipherContext::plaintext();
+        let mut data = b"hello".to_vec();
+        ctx.apply(7, &mut data);
+        assert_eq!(data, b"hello");
+    }
+
+    #[test]
+    fn a51_context_roundtrips() {
+        let ctx = CipherContext { algo: CipherAlgo::A51, kc: Kc(0x1234_5678_9abc_def0) };
+        let mut data = b"secret otp 123456".to_vec();
+        ctx.apply(55, &mut data);
+        assert_ne!(data, b"secret otp 123456");
+        ctx.apply(55, &mut data);
+        assert_eq!(data, b"secret otp 123456");
+    }
+
+    #[test]
+    fn a53_context_roundtrips_and_differs_from_a51() {
+        let kc = Kc(0x1234_5678_9abc_def0);
+        let a53 = CipherContext { algo: CipherAlgo::A53, kc };
+        let a51 = CipherContext { algo: CipherAlgo::A51, kc };
+        let mut x = b"payload".to_vec();
+        let mut y = b"payload".to_vec();
+        a53.apply(9, &mut x);
+        a51.apply(9, &mut y);
+        assert_ne!(x, y);
+        a53.apply(9, &mut x);
+        assert_eq!(x, b"payload");
+    }
+
+    #[test]
+    fn breakability_classification() {
+        assert!(CipherAlgo::A50.is_breakable());
+        assert!(CipherAlgo::A51.is_breakable());
+        assert!(!CipherAlgo::A53.is_breakable());
+    }
+}

@@ -1,0 +1,84 @@
+//! Error types for the GSM substrate.
+
+use std::fmt;
+
+/// Errors produced by the simulated GSM stack.
+///
+/// Every fallible public function in this crate returns `Result<_, GsmError>`.
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum GsmError {
+    /// An MSISDN (phone number) failed validation.
+    InvalidMsisdn(String),
+    /// An IMSI failed validation.
+    InvalidImsi(String),
+    /// A TPDU could not be decoded; carries the byte offset and a reason.
+    PduDecode { offset: usize, reason: String },
+    /// A TPDU could not be encoded (e.g. message too long for one PDU).
+    PduEncode(String),
+    /// The referenced subscriber is unknown to the network.
+    UnknownSubscriber(String),
+    /// The referenced cell or ARFCN does not exist.
+    UnknownCell(u16),
+    /// The terminal is not attached to any cell.
+    NotAttached,
+    /// The SMS centre rejected a submission (queue full, routing failure).
+    SmscReject(String),
+    /// Ciphering was requested with a key of the wrong length.
+    BadKey { expected: usize, got: usize },
+    /// The sniffer ran out of monitoring capacity (all C118s busy).
+    SnifferCapacity { capacity: usize },
+    /// The operation conflicts with the current protocol state.
+    ProtocolViolation(String),
+}
+
+impl fmt::Display for GsmError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            GsmError::InvalidMsisdn(s) => write!(f, "invalid MSISDN: {s}"),
+            GsmError::InvalidImsi(s) => write!(f, "invalid IMSI: {s}"),
+            GsmError::PduDecode { offset, reason } => {
+                write!(f, "PDU decode failed at byte {offset}: {reason}")
+            }
+            GsmError::PduEncode(reason) => write!(f, "PDU encode failed: {reason}"),
+            GsmError::UnknownSubscriber(s) => write!(f, "unknown subscriber: {s}"),
+            GsmError::UnknownCell(a) => write!(f, "unknown cell on ARFCN {a}"),
+            GsmError::NotAttached => write!(f, "terminal is not attached to a cell"),
+            GsmError::SmscReject(r) => write!(f, "SMS centre rejected submission: {r}"),
+            GsmError::BadKey { expected, got } => {
+                write!(f, "bad cipher key length: expected {expected} bytes, got {got}")
+            }
+            GsmError::SnifferCapacity { capacity } => {
+                write!(f, "sniffer capacity exhausted: all {capacity} receivers busy")
+            }
+            GsmError::ProtocolViolation(r) => write!(f, "protocol violation: {r}"),
+        }
+    }
+}
+
+impl std::error::Error for GsmError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_is_lowercase_and_unpunctuated() {
+        let e = GsmError::NotAttached;
+        let s = e.to_string();
+        assert!(s.starts_with("terminal"));
+        assert!(!s.ends_with('.'));
+    }
+
+    #[test]
+    fn error_is_send_sync() {
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<GsmError>();
+    }
+
+    #[test]
+    fn decode_error_carries_offset() {
+        let e = GsmError::PduDecode { offset: 7, reason: "truncated".into() };
+        assert!(e.to_string().contains("byte 7"));
+    }
+}

@@ -1,0 +1,178 @@
+//! Subscriber and equipment identities: MSISDN, IMSI, TMSI.
+
+use crate::error::GsmError;
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// A subscriber's public phone number (Mobile Station International
+/// Subscriber Directory Number).
+///
+/// Validated to be 5–15 decimal digits with an optional leading `+`.
+///
+/// ```
+/// use actfort_gsm::identity::Msisdn;
+/// let n = Msisdn::new("+8613800138000")?;
+/// assert_eq!(n.digits(), "8613800138000");
+/// # Ok::<(), actfort_gsm::GsmError>(())
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub struct Msisdn {
+    digits: String,
+    international: bool,
+}
+
+impl Msisdn {
+    /// Parses and validates a phone number.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`GsmError::InvalidMsisdn`] when the input is not 5–15
+    /// decimal digits (after an optional leading `+`).
+    pub fn new(number: &str) -> Result<Self, GsmError> {
+        let (international, rest) = match number.strip_prefix('+') {
+            Some(rest) => (true, rest),
+            None => (false, number),
+        };
+        if rest.len() < 5 || rest.len() > 15 || !rest.bytes().all(|b| b.is_ascii_digit()) {
+            return Err(GsmError::InvalidMsisdn(number.to_owned()));
+        }
+        Ok(Self { digits: rest.to_owned(), international })
+    }
+
+    /// The bare digit string without any `+` prefix.
+    pub fn digits(&self) -> &str {
+        &self.digits
+    }
+
+    /// Whether the number was written in international (`+`) form.
+    pub fn is_international(&self) -> bool {
+        self.international
+    }
+
+    /// Last four digits, as commonly displayed in masked UIs.
+    pub fn last4(&self) -> &str {
+        let n = self.digits.len();
+        &self.digits[n.saturating_sub(4)..]
+    }
+}
+
+impl fmt::Display for Msisdn {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.international {
+            write!(f, "+{}", self.digits)
+        } else {
+            f.write_str(&self.digits)
+        }
+    }
+}
+
+/// International Mobile Subscriber Identity — the permanent secret
+/// identity stored on the SIM (15 digits: MCC + MNC + MSIN).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub struct Imsi(u64);
+
+impl Imsi {
+    /// Parses a 6–15 digit IMSI.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`GsmError::InvalidImsi`] for non-digit or wrong-length input.
+    pub fn parse(s: &str) -> Result<Self, GsmError> {
+        if s.len() < 6 || s.len() > 15 || !s.bytes().all(|b| b.is_ascii_digit()) {
+            return Err(GsmError::InvalidImsi(s.to_owned()));
+        }
+        Ok(Self(s.parse().map_err(|_| GsmError::InvalidImsi(s.to_owned()))?))
+    }
+
+    /// Builds an IMSI from MCC/MNC and a subscriber index (test helper
+    /// used throughout the simulator).
+    pub fn from_parts(mcc: u16, mnc: u16, msin: u64) -> Self {
+        Self(u64::from(mcc) * 1_000_000_000_000 + u64::from(mnc % 100) * 10_000_000_000 + msin % 10_000_000_000)
+    }
+
+    /// The raw numeric value.
+    pub fn value(&self) -> u64 {
+        self.0
+    }
+
+    /// Mobile country code (first three digits of the 15-digit form).
+    pub fn mcc(&self) -> u16 {
+        (self.0 / 1_000_000_000_000) as u16
+    }
+}
+
+impl fmt::Display for Imsi {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{:015}", self.0)
+    }
+}
+
+/// Temporary Mobile Subscriber Identity — the short-lived alias a network
+/// assigns so the IMSI stays off the air. IMSI catchers work precisely by
+/// forcing terminals to reveal the IMSI instead.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub struct Tmsi(pub u32);
+
+impl fmt::Display for Tmsi {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "0x{:08x}", self.0)
+    }
+}
+
+/// Handle to a provisioned subscriber inside a [`crate::network::GsmNetwork`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub struct SubscriberId(pub u32);
+
+impl fmt::Display for SubscriberId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "sub#{}", self.0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn msisdn_accepts_national_and_international() {
+        assert!(Msisdn::new("13800138000").is_ok());
+        let intl = Msisdn::new("+8613800138000").unwrap();
+        assert!(intl.is_international());
+        assert_eq!(intl.to_string(), "+8613800138000");
+    }
+
+    #[test]
+    fn msisdn_rejects_garbage() {
+        assert!(Msisdn::new("").is_err());
+        assert!(Msisdn::new("12ab34").is_err());
+        assert!(Msisdn::new("1234").is_err());
+        assert!(Msisdn::new("1234567890123456").is_err());
+        assert!(Msisdn::new("++123456").is_err());
+    }
+
+    #[test]
+    fn msisdn_last4() {
+        let n = Msisdn::new("13800138000").unwrap();
+        assert_eq!(n.last4(), "8000");
+    }
+
+    #[test]
+    fn imsi_roundtrip_and_parts() {
+        let imsi = Imsi::from_parts(460, 0, 123_456_789);
+        assert_eq!(imsi.mcc(), 460);
+        let parsed = Imsi::parse(&imsi.to_string()).unwrap();
+        assert_eq!(parsed, imsi);
+    }
+
+    #[test]
+    fn imsi_rejects_bad_input() {
+        assert!(Imsi::parse("12345").is_err());
+        assert!(Imsi::parse("1234567890123456").is_err());
+        assert!(Imsi::parse("12345678x").is_err());
+    }
+
+    #[test]
+    fn tmsi_displays_hex() {
+        assert_eq!(Tmsi(0xdeadbeef).to_string(), "0xdeadbeef");
+    }
+}

@@ -1,0 +1,56 @@
+//! Simulated GSM substrate for the ActFort reproduction.
+//!
+//! The DSN 2021 paper intercepts SMS one-time codes over a live GSM network
+//! using Motorola C118 handsets running OsmocomBB (passive sniffing) and a
+//! USRP-based fake base station (active man-in-the-middle). This crate
+//! rebuilds the *protocol-level* behaviour those rigs exploit, entirely
+//! in-process and deterministically:
+//!
+//! - [`pdu`] — GSM 03.40 SMS TPDUs with real 7-bit septet packing, UCS-2,
+//!   semi-octet address encoding and service-centre timestamps.
+//! - [`a5`] — a faithful A5/1 stream-cipher implementation plus a
+//!   calibrated known-plaintext cracking model standing in for the
+//!   published rainbow-table attacks.
+//! - [`radio`], [`terminal`], [`network`], [`smsc`] — cells, base
+//!   stations, mobile stations, paging, location updates and a
+//!   store-and-forward SMS centre over a shared air interface.
+//! - [`sniffer`] — a passive multi-ARFCN monitor in the style of the
+//!   paper's 16-C118 rig, with Wireshark-like capture filtering.
+//! - [`mitm`] — the active attack: an LTE-downgrade jammer model, an
+//!   IMSI-catching fake base station and a fake victim terminal.
+//!
+//! # Example
+//!
+//! ```
+//! use actfort_gsm::network::{GsmNetwork, NetworkConfig};
+//! use actfort_gsm::identity::Msisdn;
+//!
+//! # fn main() -> Result<(), actfort_gsm::GsmError> {
+//! let mut net = GsmNetwork::new(NetworkConfig::default());
+//! let victim = net.provision_subscriber("victim", Msisdn::new("13800138000")?)?;
+//! net.attach(victim)?;
+//! net.send_sms(&Msisdn::new("13800138000")?, "G-786348 is your verification code.")?;
+//! net.run_until_idle();
+//! let ms = net.terminal(victim).expect("attached terminal");
+//! assert_eq!(ms.inbox().len(), 1);
+//! # Ok(())
+//! # }
+//! ```
+
+pub mod a5;
+pub mod arfcn;
+pub mod cipher;
+pub mod error;
+pub mod identity;
+pub mod mitm;
+pub mod network;
+pub mod pdu;
+pub mod radio;
+pub mod smsc;
+pub mod sniffer;
+pub mod terminal;
+pub mod time;
+pub mod wireshark;
+
+pub use error::GsmError;
+pub use time::SimClock;

@@ -1,0 +1,401 @@
+//! The active man-in-the-middle rig: 4G jammer, fake base station and
+//! fake victim terminal (Fig. 7 / Fig. 10 of the paper).
+//!
+//! The attack runs in three stages:
+//!
+//! 1. **Downgrade** — the jammer denies LTE within its radius, forcing
+//!    handsets onto GSM.
+//! 2. **Capture** — the fake base station (strongest signal nearby)
+//!    attracts the victim's location update, forces an identity request
+//!    (IMSI catching) and parks the victim without service.
+//! 3. **Impersonate** — the fake victim terminal registers with the
+//!    legitimate network under the victim's identity, relaying the
+//!    authentication challenge to the captive victim and claiming a
+//!    no-cipher classmark so everything arrives in plaintext. The
+//!    network then delivers the victim's SMS — including one-time
+//!    codes — straight to the attacker, and the victim sees nothing,
+//!    which is what makes the active attack stealthier than sniffing.
+
+use crate::arfcn::Arfcn;
+use crate::cipher::{CipherAlgo, CipherSet};
+use crate::error::GsmError;
+use crate::identity::{Imsi, SubscriberId};
+use crate::radio::{AirMessage, CellConfig, CellId, Direction, MsIdentity, Position};
+use crate::terminal::{Camp, ReceivedSms};
+use crate::network::GsmNetwork;
+use serde::{Deserialize, Serialize};
+
+/// A directional 4G jammer.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Jammer {
+    /// Jammer location.
+    pub position: Position,
+    /// Effective radius in metres.
+    pub radius_m: f64,
+}
+
+impl Jammer {
+    /// Creates a jammer.
+    pub fn new(position: Position, radius_m: f64) -> Self {
+        Self { position, radius_m }
+    }
+
+    /// Jams every handset within radius; returns how many were affected.
+    pub fn activate(&self, net: &mut GsmNetwork) -> usize {
+        self.set_jammed(net, true)
+    }
+
+    /// Stops jamming; returns how many handsets were released.
+    pub fn deactivate(&self, net: &mut GsmNetwork) -> usize {
+        self.set_jammed(net, false)
+    }
+
+    fn set_jammed(&self, net: &mut GsmNetwork, jammed: bool) -> usize {
+        let mut n = 0;
+        for id in net.subscriber_ids() {
+            let Some(ms) = net.terminal(id) else { continue };
+            if ms.position().distance(self.position) <= self.radius_m && ms.lte_jammed() != jammed {
+                net.terminal_mut(id).expect("listed id exists").set_lte_jammed(jammed);
+                n += 1;
+            }
+        }
+        n
+    }
+}
+
+/// The fake base station (USRP + OsmoNITB in the paper's rig).
+#[derive(Debug, Clone)]
+pub struct FakeBaseStation {
+    /// Radio parameters of the fake cell.
+    pub cell: CellConfig,
+    caught: Vec<(SubscriberId, Imsi)>,
+}
+
+impl FakeBaseStation {
+    /// Cell id space reserved for fake cells.
+    pub const FAKE_CELL_BASE: u16 = 0xf000;
+
+    /// Creates a fake base station at `position` broadcasting on `arfcn`.
+    pub fn new(position: Position, arfcn: Arfcn) -> Self {
+        Self {
+            cell: CellConfig {
+                id: CellId(Self::FAKE_CELL_BASE),
+                arfcn,
+                lac: 0xfffe, // unfamiliar LAC forces location updates
+                position,
+                range_m: 500.0,
+                cipher_preference: vec![CipherAlgo::A50],
+            },
+            caught: Vec::new(),
+        }
+    }
+
+    /// IMSIs captured so far.
+    pub fn caught(&self) -> &[(SubscriberId, Imsi)] {
+        &self.caught
+    }
+
+    /// Attracts `victim` onto the fake cell and extracts its IMSI.
+    ///
+    /// # Errors
+    ///
+    /// - [`GsmError::ProtocolViolation`] when the victim is out of range
+    ///   or still camped on LTE (jam first).
+    /// - [`GsmError::UnknownSubscriber`] for an unknown id.
+    pub fn lure(&mut self, net: &mut GsmNetwork, victim: SubscriberId) -> Result<Imsi, GsmError> {
+        let ms = net
+            .terminal(victim)
+            .ok_or_else(|| GsmError::UnknownSubscriber(victim.to_string()))?;
+        if ms.position().distance(self.cell.position) > self.cell.range_m {
+            return Err(GsmError::ProtocolViolation("victim out of fake-cell range".into()));
+        }
+        let lte_available = ms.rat() == crate::terminal::RatPreference::PreferLte && !ms.lte_jammed();
+        if lte_available {
+            return Err(GsmError::ProtocolViolation(
+                "victim is camped on LTE; downgrade it first".into(),
+            ));
+        }
+        let victim_pos = ms.position();
+        let identity = match ms.tmsi() {
+            Some(t) => MsIdentity::Tmsi(t),
+            None => MsIdentity::Imsi(ms.imsi()),
+        };
+        let imsi = ms.imsi();
+        let fake_pos = self.cell.position;
+
+        // Broadcast a tempting new location area, receive the LAU, demand
+        // the permanent identity (the IMSI catcher move), then stall the
+        // victim forever.
+        net.transmit_on(
+            &self.cell,
+            Direction::Downlink,
+            CipherAlgo::A50,
+            None,
+            fake_pos,
+            &AirMessage::SystemInfo { cell: self.cell.id, lac: self.cell.lac, ciphers: 0b001 },
+        );
+        net.transmit_on(
+            &self.cell,
+            Direction::Uplink,
+            CipherAlgo::A50,
+            None,
+            victim_pos,
+            &AirMessage::LocationUpdateRequest { id: identity, classmark: CipherSet::all().mask() },
+        );
+        net.transmit_on(
+            &self.cell,
+            Direction::Downlink,
+            CipherAlgo::A50,
+            None,
+            fake_pos,
+            &AirMessage::IdentityRequest,
+        );
+        net.transmit_on(
+            &self.cell,
+            Direction::Uplink,
+            CipherAlgo::A50,
+            None,
+            victim_pos,
+            &AirMessage::IdentityResponse { imsi },
+        );
+
+        net.detach(victim);
+        net.terminal_mut(victim)
+            .expect("victim exists")
+            .set_camp(Camp::Fake(self.cell.id));
+        self.caught.push((victim, imsi));
+        Ok(imsi)
+    }
+}
+
+/// Report of one complete active MitM run.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct MitmReport {
+    /// Handsets the jammer pushed off LTE.
+    pub jammed: usize,
+    /// The victim's captured IMSI.
+    pub imsi: Imsi,
+    /// Cipher the spoofed registration negotiated (always A5/0 on success).
+    pub downgraded_to: CipherAlgo,
+    /// Messages diverted to the attacker so far.
+    pub intercepted: Vec<ReceivedSms>,
+}
+
+/// Orchestrates the full active attack.
+#[derive(Debug)]
+pub struct MitmAttack {
+    /// The LTE-denial stage.
+    pub jammer: Jammer,
+    /// The capture stage.
+    pub fbs: FakeBaseStation,
+}
+
+impl MitmAttack {
+    /// Builds a rig co-located at `position`.
+    pub fn new(position: Position, arfcn: Arfcn) -> Self {
+        Self { jammer: Jammer::new(position, 500.0), fbs: FakeBaseStation::new(position, arfcn) }
+    }
+
+    /// Runs downgrade → capture → impersonation against `victim`.
+    ///
+    /// # Errors
+    ///
+    /// Propagates stage failures; see [`FakeBaseStation::lure`] and
+    /// [`GsmNetwork::register_spoofed`].
+    pub fn execute(
+        &mut self,
+        net: &mut GsmNetwork,
+        victim: SubscriberId,
+    ) -> Result<MitmReport, GsmError> {
+        let jammed = self.jammer.activate(net);
+        let imsi = self.fbs.lure(net, victim)?;
+
+        // The fake terminal answers the legitimate network's challenge by
+        // relaying it to the captive victim. The handset clone *is* the
+        // captive victim: it holds the SIM that computes SRES.
+        let captive = net
+            .terminal(victim)
+            .ok_or_else(|| GsmError::UnknownSubscriber(victim.to_string()))?
+            .clone();
+        let mut relayed: Option<(u64, u32)> = None;
+        let ctx = net.register_spoofed(victim, self.fbs.cell.position, CipherSet::none(), |rand| {
+            let sres = captive.a3_sres(rand);
+            relayed = Some((rand, sres));
+            sres
+        })?;
+
+        // Materialise the relay legs on the fake cell so captures show the
+        // full Fig. 10 sequence.
+        if let Some((rand, sres)) = relayed {
+            let fake_pos = self.fbs.cell.position;
+            let victim_pos = captive.position();
+            net.transmit_on(
+                &self.fbs.cell,
+                Direction::Downlink,
+                CipherAlgo::A50,
+                None,
+                fake_pos,
+                &AirMessage::AuthRequest { rand },
+            );
+            net.transmit_on(
+                &self.fbs.cell,
+                Direction::Uplink,
+                CipherAlgo::A50,
+                None,
+                victim_pos,
+                &AirMessage::AuthResponse { sres },
+            );
+        }
+
+        Ok(MitmReport {
+            jammed,
+            imsi,
+            downgraded_to: ctx.algo,
+            intercepted: net.spoofed_inbox(victim).to_vec(),
+        })
+    }
+
+    /// Messages diverted to the attacker so far.
+    pub fn collect(&self, net: &GsmNetwork, victim: SubscriberId) -> Vec<ReceivedSms> {
+        net.spoofed_inbox(victim).to_vec()
+    }
+
+    /// Tears the rig down: stops jamming and releases the victim to idle.
+    /// (The victim must re-attach on its own; until then it has no
+    /// service, exactly as after a real IMSI-catcher encounter.)
+    pub fn release(&self, net: &mut GsmNetwork, victim: SubscriberId) {
+        self.jammer.deactivate(net);
+        if let Some(ms) = net.terminal_mut(victim) {
+            ms.set_camp(Camp::Idle);
+        }
+        net.detach(victim);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::identity::Msisdn;
+    use crate::network::{GsmNetwork, NetworkConfig};
+    use crate::terminal::RatPreference;
+
+    fn msisdn(s: &str) -> Msisdn {
+        Msisdn::new(s).unwrap()
+    }
+
+    fn lte_net() -> GsmNetwork {
+        GsmNetwork::new(NetworkConfig { lte_available: true, ..Default::default() })
+    }
+
+    #[test]
+    fn full_mitm_intercepts_otp_stealthily() {
+        let mut net = lte_net();
+        let victim = net.provision_subscriber("victim", msisdn("13800138000")).unwrap();
+        net.terminal_mut(victim).unwrap().set_rat(RatPreference::GsmOnly);
+        net.attach(victim).unwrap();
+
+        let mut rig = MitmAttack::new(Position::new(100.0, 0.0), Arfcn(42));
+        let report = rig.execute(&mut net, victim).unwrap();
+        assert_eq!(report.downgraded_to, CipherAlgo::A50);
+
+        net.send_sms(&msisdn("13800138000"), "G-786348 is your Google verification code.").unwrap();
+        let stolen = rig.collect(&net, victim);
+        assert_eq!(stolen.len(), 1);
+        assert!(stolen[0].text.contains("G-786348"));
+        // Stealth: the victim's handset saw nothing.
+        assert!(net.terminal(victim).unwrap().inbox().is_empty());
+    }
+
+    #[test]
+    fn jammer_downgrades_lte_handsets() {
+        let mut net = lte_net();
+        let victim = net.provision_subscriber("victim", msisdn("13800138000")).unwrap();
+        net.terminal_mut(victim).unwrap().set_rat(RatPreference::PreferLte);
+        // Out of jam range: unaffected.
+        let far_jammer = Jammer::new(Position::new(10_000.0, 0.0), 100.0);
+        assert_eq!(far_jammer.activate(&mut net), 0);
+        // In range: downgraded, then attachable over GSM.
+        let jammer = Jammer::new(Position::new(0.0, 0.0), 500.0);
+        assert_eq!(jammer.activate(&mut net), 1);
+        assert!(net.attach(victim).is_ok());
+        assert_eq!(jammer.deactivate(&mut net), 1);
+    }
+
+    #[test]
+    fn lure_requires_downgrade_for_lte_victims() {
+        let mut net = lte_net();
+        let victim = net.provision_subscriber("victim", msisdn("13800138000")).unwrap();
+        net.terminal_mut(victim).unwrap().set_rat(RatPreference::PreferLte);
+        let mut fbs = FakeBaseStation::new(Position::new(50.0, 0.0), Arfcn(42));
+        assert!(fbs.lure(&mut net, victim).is_err(), "LTE victim resists the fake cell");
+        Jammer::new(Position::default(), 500.0).activate(&mut net);
+        let imsi = fbs.lure(&mut net, victim).unwrap();
+        assert_eq!(imsi, net.terminal(victim).unwrap().imsi());
+        assert_eq!(fbs.caught().len(), 1);
+    }
+
+    #[test]
+    fn lure_fails_out_of_range() {
+        let mut net = GsmNetwork::new(NetworkConfig::default());
+        let victim = net.provision_subscriber("victim", msisdn("13800138000")).unwrap();
+        net.terminal_mut(victim).unwrap().set_rat(RatPreference::GsmOnly);
+        let mut fbs = FakeBaseStation::new(Position::new(9_000.0, 0.0), Arfcn(42));
+        assert!(fbs.lure(&mut net, victim).is_err());
+    }
+
+    #[test]
+    fn luring_parks_victim_without_service() {
+        let mut net = GsmNetwork::new(NetworkConfig::default());
+        let victim = net.provision_subscriber("victim", msisdn("13800138000")).unwrap();
+        net.terminal_mut(victim).unwrap().set_rat(RatPreference::GsmOnly);
+        net.attach(victim).unwrap();
+        let mut fbs = FakeBaseStation::new(Position::new(10.0, 0.0), Arfcn(42));
+        fbs.lure(&mut net, victim).unwrap();
+        assert_eq!(net.terminal(victim).unwrap().camp(), Camp::Fake(CellId(0xf000)));
+        // SMS queued, not delivered anywhere.
+        net.send_sms(&msisdn("13800138000"), "hello?").unwrap();
+        assert!(net.terminal(victim).unwrap().inbox().is_empty());
+        assert!(net.spoofed_inbox(victim).is_empty());
+        assert_eq!(net.smsc_pending(), 1);
+    }
+
+    #[test]
+    fn release_restores_normality_after_reattach() {
+        let mut net = GsmNetwork::new(NetworkConfig::default());
+        let victim = net.provision_subscriber("victim", msisdn("13800138000")).unwrap();
+        net.terminal_mut(victim).unwrap().set_rat(RatPreference::GsmOnly);
+        net.attach(victim).unwrap();
+        let mut rig = MitmAttack::new(Position::new(10.0, 0.0), Arfcn(42));
+        rig.execute(&mut net, victim).unwrap();
+        rig.release(&mut net, victim);
+        net.attach(victim).unwrap();
+        net.send_sms(&msisdn("13800138000"), "back to normal").unwrap();
+        assert_eq!(net.terminal(victim).unwrap().inbox().len(), 1);
+    }
+
+    #[test]
+    fn mitm_emits_fig10_sequence_on_air() {
+        let mut net = GsmNetwork::new(NetworkConfig::default());
+        let victim = net.provision_subscriber("victim", msisdn("13800138000")).unwrap();
+        net.terminal_mut(victim).unwrap().set_rat(RatPreference::GsmOnly);
+        let mut rig = MitmAttack::new(Position::new(10.0, 0.0), Arfcn(42));
+        rig.execute(&mut net, victim).unwrap();
+        // The fake cell carried: SystemInfo, LAU, IdentityRequest,
+        // IdentityResponse, relayed AuthRequest and AuthResponse.
+        let fake_frames: Vec<_> = net
+            .ether()
+            .frames()
+            .iter()
+            .filter(|f| f.cell == CellId(FakeBaseStation::FAKE_CELL_BASE))
+            .collect();
+        assert_eq!(fake_frames.len(), 6);
+        assert!(matches!(
+            fake_frames[2].message_plaintext().unwrap(),
+            AirMessage::IdentityRequest
+        ));
+        assert!(matches!(
+            fake_frames[3].message_plaintext().unwrap(),
+            AirMessage::IdentityResponse { .. }
+        ));
+    }
+}

@@ -1,0 +1,1372 @@
+//! GSM 03.40 short-message TPDUs.
+//!
+//! Implements the transfer-layer encoding that OsmocomBB + Wireshark decode
+//! in the paper's Fig. 5: SMS-DELIVER and SMS-SUBMIT with the 7-bit default
+//! alphabet (septet packing), UCS-2 for non-GSM text, semi-octet BCD
+//! addresses and service-centre timestamps.
+//!
+//! ```
+//! use actfort_gsm::pdu::{SmsDeliver, Address};
+//! use actfort_gsm::identity::Msisdn;
+//!
+//! # fn main() -> Result<(), actfort_gsm::GsmError> {
+//! let oa = Address::from_msisdn(&Msisdn::new("+10692000000")?);
+//! let deliver = SmsDeliver::new(oa, "255436 is your Facebook password reset code")?;
+//! let bytes = deliver.encode();
+//! let back = SmsDeliver::decode(&bytes)?;
+//! assert_eq!(back.text()?, "255436 is your Facebook password reset code");
+//! # Ok(())
+//! # }
+//! ```
+
+use crate::error::GsmError;
+use crate::identity::Msisdn;
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// Maximum user-data length in septets for a single 7-bit PDU.
+pub const MAX_SEPTETS: usize = 160;
+/// Maximum user-data length in UCS-2 characters for a single PDU.
+pub const MAX_UCS2_CHARS: usize = 70;
+/// Septets available per concatenated-SMS part (160 minus the 7-septet
+/// user-data header).
+pub const MAX_SEPTETS_PER_PART: usize = 153;
+/// UCS-2 characters available per concatenated part (70 minus 3 header
+/// units).
+pub const MAX_UCS2_CHARS_PER_PART: usize = 67;
+
+/// Concatenated-SMS information element (IEI 0x00): which part of a
+/// multipart message this PDU carries.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct ConcatInfo {
+    /// Message reference shared by all parts.
+    pub reference: u8,
+    /// Total number of parts (≥ 1).
+    pub total: u8,
+    /// This part's index, 1-based.
+    pub seq: u8,
+}
+
+// ---------------------------------------------------------------------------
+// 7-bit default alphabet
+// ---------------------------------------------------------------------------
+
+/// The GSM 7-bit default alphabet, indexed by septet value (0x00–0x7f).
+/// `\u{10}` marks positions reachable only via the escape mechanism.
+const GSM7_BASIC: [char; 128] = [
+    '@', '£', '$', '¥', 'è', 'é', 'ù', 'ì', 'ò', 'Ç', '\n', 'Ø', 'ø', '\r', 'Å', 'å', //
+    'Δ', '_', 'Φ', 'Γ', 'Λ', 'Ω', 'Π', 'Ψ', 'Σ', 'Θ', 'Ξ', '\u{1b}', 'Æ', 'æ', 'ß', 'É', //
+    ' ', '!', '"', '#', '¤', '%', '&', '\'', '(', ')', '*', '+', ',', '-', '.', '/', //
+    '0', '1', '2', '3', '4', '5', '6', '7', '8', '9', ':', ';', '<', '=', '>', '?', //
+    '¡', 'A', 'B', 'C', 'D', 'E', 'F', 'G', 'H', 'I', 'J', 'K', 'L', 'M', 'N', 'O', //
+    'P', 'Q', 'R', 'S', 'T', 'U', 'V', 'W', 'X', 'Y', 'Z', 'Ä', 'Ö', 'Ñ', 'Ü', '§', //
+    '¿', 'a', 'b', 'c', 'd', 'e', 'f', 'g', 'h', 'i', 'j', 'k', 'l', 'm', 'n', 'o', //
+    'p', 'q', 'r', 's', 't', 'u', 'v', 'w', 'x', 'y', 'z', 'ä', 'ö', 'ñ', 'ü', 'à',
+];
+
+/// Extension-table characters reached with the 0x1B escape septet.
+const GSM7_EXT: [(u8, char); 10] = [
+    (0x0a, '\u{c}'), // form feed
+    (0x14, '^'),
+    (0x28, '{'),
+    (0x29, '}'),
+    (0x2f, '\\'),
+    (0x3c, '['),
+    (0x3d, '~'),
+    (0x3e, ']'),
+    (0x40, '|'),
+    (0x65, '€'),
+];
+
+/// Converts a character to its septet sequence (1 septet, or escape + septet).
+fn gsm7_encode_char(c: char) -> Option<([u8; 2], usize)> {
+    if c != '\u{1b}' {
+        if let Some(idx) = GSM7_BASIC.iter().position(|&g| g == c) {
+            return Some(([idx as u8, 0], 1));
+        }
+    }
+    GSM7_EXT
+        .iter()
+        .find(|&&(_, g)| g == c)
+        .map(|&(code, _)| ([0x1b, code], 2))
+}
+
+/// Whether `text` fits the GSM 7-bit default alphabet entirely.
+pub fn is_gsm7(text: &str) -> bool {
+    text.chars().all(|c| gsm7_encode_char(c).is_some())
+}
+
+/// Number of septets needed to encode `text` (escaped characters cost two).
+pub fn gsm7_septet_len(text: &str) -> Option<usize> {
+    let mut n = 0usize;
+    for c in text.chars() {
+        let (_, len) = gsm7_encode_char(c)?;
+        n += len;
+    }
+    Some(n)
+}
+
+/// Packs a septet sequence into octets per GSM 03.38 §6.1.2.1.
+pub fn pack_septets(septets: &[u8]) -> Vec<u8> {
+    pack_septets_with_fill(septets, 0)
+}
+
+/// Packs septets with `fill_bits` leading padding bits — the alignment
+/// inserted after a user-data header so text starts on a septet boundary.
+pub fn pack_septets_with_fill(septets: &[u8], fill_bits: u8) -> Vec<u8> {
+    let fill_bits = fill_bits % 8;
+    let mut out = Vec::with_capacity(septets.len() * 7 / 8 + 2);
+    let mut carry = 0u8;
+    let mut carry_bits = fill_bits;
+    for &s in septets {
+        let s = s & 0x7f;
+        if carry_bits == 0 {
+            carry = s;
+            carry_bits = 7;
+        } else {
+            let take = 8 - carry_bits;
+            out.push(carry | (s << carry_bits));
+            carry = s >> take;
+            carry_bits = 7 - take;
+        }
+    }
+    if carry_bits > 0 {
+        out.push(carry);
+    }
+    out
+}
+
+/// Unpacks `count` septets from packed octets. Returns `None` when the
+/// buffer is too short.
+pub fn unpack_septets(data: &[u8], count: usize) -> Option<Vec<u8>> {
+    unpack_septets_with_fill(data, count, 0)
+}
+
+/// Unpacks `count` septets that start after `fill_bits` padding bits.
+pub fn unpack_septets_with_fill(data: &[u8], count: usize, fill_bits: u8) -> Option<Vec<u8>> {
+    let fill_bits = usize::from(fill_bits % 8);
+    let needed = (count * 7 + fill_bits).div_ceil(8);
+    if data.len() < needed {
+        return None;
+    }
+    let mut out = Vec::with_capacity(count);
+    for i in 0..count {
+        let bit = fill_bits + i * 7;
+        let byte = bit / 8;
+        let shift = (bit % 8) as u32;
+        let mut v = u16::from(data[byte]) >> shift;
+        if shift > 1 {
+            if let Some(&next) = data.get(byte + 1) {
+                v |= u16::from(next) << (8 - shift);
+            }
+        }
+        out.push((v & 0x7f) as u8);
+    }
+    Some(out)
+}
+
+/// Encodes text to packed 7-bit user data, returning `(octets, septet_count)`.
+///
+/// # Errors
+///
+/// Returns [`GsmError::PduEncode`] when the text contains characters outside
+/// the default alphabet or exceeds [`MAX_SEPTETS`].
+pub fn gsm7_encode(text: &str) -> Result<(Vec<u8>, usize), GsmError> {
+    let mut septets = Vec::with_capacity(text.len());
+    for c in text.chars() {
+        let (pair, len) = gsm7_encode_char(c)
+            .ok_or_else(|| GsmError::PduEncode(format!("character {c:?} not in GSM 7-bit alphabet")))?;
+        septets.extend_from_slice(&pair[..len]);
+    }
+    if septets.len() > MAX_SEPTETS {
+        return Err(GsmError::PduEncode(format!(
+            "message needs {} septets, limit is {MAX_SEPTETS}",
+            septets.len()
+        )));
+    }
+    let count = septets.len();
+    Ok((pack_septets(&septets), count))
+}
+
+/// Decodes `count` packed septets back to text.
+///
+/// # Errors
+///
+/// Returns [`GsmError::PduDecode`] on truncated input or a dangling escape.
+pub fn gsm7_decode(data: &[u8], count: usize) -> Result<String, GsmError> {
+    let septets = unpack_septets(data, count).ok_or(GsmError::PduDecode {
+        offset: data.len(),
+        reason: "user data truncated".into(),
+    })?;
+    decode_septet_stream(&septets)
+}
+
+/// Converts a raw septet stream to text, resolving escape sequences.
+fn decode_septet_stream(septets: &[u8]) -> Result<String, GsmError> {
+    let mut out = String::with_capacity(septets.len());
+    let mut iter = septets.iter().copied();
+    while let Some(s) = iter.next() {
+        if s == 0x1b {
+            let ext = iter.next().ok_or(GsmError::PduDecode {
+                offset: septets.len(),
+                reason: "dangling escape septet".into(),
+            })?;
+            match GSM7_EXT.iter().find(|&&(code, _)| code == ext) {
+                Some(&(_, c)) => out.push(c),
+                // Per spec, unknown escape renders as the basic-table char.
+                None => out.push(GSM7_BASIC[usize::from(ext & 0x7f)]),
+            }
+        } else {
+            out.push(GSM7_BASIC[usize::from(s)]);
+        }
+    }
+    Ok(out)
+}
+
+// ---------------------------------------------------------------------------
+// UCS-2
+// ---------------------------------------------------------------------------
+
+/// Encodes text as big-endian UCS-2 user data.
+///
+/// # Errors
+///
+/// Returns [`GsmError::PduEncode`] for supplementary-plane characters or
+/// messages longer than [`MAX_UCS2_CHARS`].
+pub fn ucs2_encode(text: &str) -> Result<Vec<u8>, GsmError> {
+    let mut out = Vec::with_capacity(text.len() * 2);
+    let mut chars = 0usize;
+    for c in text.chars() {
+        let v = c as u32;
+        if v > 0xffff {
+            return Err(GsmError::PduEncode(format!("character {c:?} outside UCS-2 BMP")));
+        }
+        out.extend_from_slice(&(v as u16).to_be_bytes());
+        chars += 1;
+    }
+    if chars > MAX_UCS2_CHARS {
+        return Err(GsmError::PduEncode(format!(
+            "message has {chars} UCS-2 characters, limit is {MAX_UCS2_CHARS}"
+        )));
+    }
+    Ok(out)
+}
+
+/// Decodes big-endian UCS-2 user data.
+///
+/// # Errors
+///
+/// Returns [`GsmError::PduDecode`] on odd length or surrogate code units.
+pub fn ucs2_decode(data: &[u8]) -> Result<String, GsmError> {
+    if data.len() % 2 != 0 {
+        return Err(GsmError::PduDecode { offset: data.len(), reason: "odd UCS-2 length".into() });
+    }
+    let mut out = String::with_capacity(data.len() / 2);
+    for (i, pair) in data.chunks_exact(2).enumerate() {
+        let v = u16::from_be_bytes([pair[0], pair[1]]);
+        match char::from_u32(u32::from(v)) {
+            Some(c) => out.push(c),
+            None => {
+                return Err(GsmError::PduDecode {
+                    offset: i * 2,
+                    reason: format!("invalid UCS-2 unit 0x{v:04x}"),
+                })
+            }
+        }
+    }
+    Ok(out)
+}
+
+// ---------------------------------------------------------------------------
+// Addresses
+// ---------------------------------------------------------------------------
+
+/// Type-of-number in an address field.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum TypeOfNumber {
+    /// Numbering plan unknown.
+    Unknown,
+    /// International number (shown with a leading `+`).
+    International,
+    /// National number.
+    National,
+    /// Alphanumeric sender (e.g. `Google`), GSM-7 packed.
+    Alphanumeric,
+}
+
+impl TypeOfNumber {
+    fn to_bits(self) -> u8 {
+        match self {
+            TypeOfNumber::Unknown => 0b000,
+            TypeOfNumber::International => 0b001,
+            TypeOfNumber::National => 0b010,
+            TypeOfNumber::Alphanumeric => 0b101,
+        }
+    }
+
+    fn from_bits(bits: u8) -> Self {
+        match bits & 0b111 {
+            0b001 => TypeOfNumber::International,
+            0b010 => TypeOfNumber::National,
+            0b101 => TypeOfNumber::Alphanumeric,
+            _ => TypeOfNumber::Unknown,
+        }
+    }
+}
+
+/// An originating or destination address (TP-OA / TP-DA).
+#[derive(Debug, Clone, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct Address {
+    ton: TypeOfNumber,
+    /// Digits for numeric addresses, raw text for alphanumeric ones.
+    value: String,
+}
+
+impl Address {
+    /// Creates a numeric address from digits.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`GsmError::InvalidMsisdn`] when `digits` is empty, longer
+    /// than 20 digits, or contains a non-digit.
+    pub fn numeric(digits: &str, ton: TypeOfNumber) -> Result<Self, GsmError> {
+        if digits.is_empty() || digits.len() > 20 || !digits.bytes().all(|b| b.is_ascii_digit()) {
+            return Err(GsmError::InvalidMsisdn(digits.to_owned()));
+        }
+        Ok(Self { ton, value: digits.to_owned() })
+    }
+
+    /// Creates an alphanumeric sender ID (max 11 GSM-7 characters).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`GsmError::PduEncode`] for over-long or non-GSM-7 names.
+    pub fn alphanumeric(name: &str) -> Result<Self, GsmError> {
+        if name.is_empty() || name.chars().count() > 11 || !is_gsm7(name) {
+            return Err(GsmError::PduEncode(format!("invalid alphanumeric sender {name:?}")));
+        }
+        Ok(Self { ton: TypeOfNumber::Alphanumeric, value: name.to_owned() })
+    }
+
+    /// Converts a validated phone number into an address.
+    pub fn from_msisdn(msisdn: &Msisdn) -> Self {
+        let ton =
+            if msisdn.is_international() { TypeOfNumber::International } else { TypeOfNumber::National };
+        Self { ton, value: msisdn.digits().to_owned() }
+    }
+
+    /// The digit string or alphanumeric name.
+    pub fn value(&self) -> &str {
+        &self.value
+    }
+
+    /// The type of number.
+    pub fn type_of_number(&self) -> TypeOfNumber {
+        self.ton
+    }
+
+    /// Encodes as `[len, toa, semi-octets…]`. For numeric addresses `len`
+    /// counts digits; for alphanumeric it counts useful semi-octets.
+    fn encode(&self, out: &mut Vec<u8>) {
+        let toa = 0x80 | (self.ton.to_bits() << 4) | 0x01; // ISDN numbering plan
+        match self.ton {
+            TypeOfNumber::Alphanumeric => {
+                let (packed, _) = gsm7_encode(&self.value).expect("validated at construction");
+                out.push((packed.len() * 2) as u8);
+                out.push(toa);
+                out.extend_from_slice(&packed);
+            }
+            _ => {
+                out.push(self.value.len() as u8);
+                out.push(toa);
+                out.extend_from_slice(&encode_semi_octets(&self.value));
+            }
+        }
+    }
+
+    /// Decodes an address, returning `(address, bytes_consumed)`.
+    fn decode(data: &[u8]) -> Result<(Self, usize), GsmError> {
+        let len = *data.first().ok_or(GsmError::PduDecode {
+            offset: 0,
+            reason: "missing address length".into(),
+        })? as usize;
+        let toa = *data.get(1).ok_or(GsmError::PduDecode {
+            offset: 1,
+            reason: "missing type-of-address".into(),
+        })?;
+        let ton = TypeOfNumber::from_bits(toa >> 4);
+        match ton {
+            TypeOfNumber::Alphanumeric => {
+                let octets = len.div_ceil(2);
+                let body = data.get(2..2 + octets).ok_or(GsmError::PduDecode {
+                    offset: 2,
+                    reason: "alphanumeric address truncated".into(),
+                })?;
+                let septets = octets * 8 / 7;
+                let name = gsm7_decode(body, septets)?;
+                let name = name.trim_end_matches(['@', ' ']).to_owned();
+                Ok((Self { ton, value: name }, 2 + octets))
+            }
+            _ => {
+                let octets = len.div_ceil(2);
+                let body = data.get(2..2 + octets).ok_or(GsmError::PduDecode {
+                    offset: 2,
+                    reason: "numeric address truncated".into(),
+                })?;
+                let digits = decode_semi_octets(body, len);
+                Ok((Self { ton, value: digits }, 2 + octets))
+            }
+        }
+    }
+}
+
+impl fmt::Display for Address {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self.ton {
+            TypeOfNumber::International => write!(f, "+{}", self.value),
+            _ => f.write_str(&self.value),
+        }
+    }
+}
+
+/// Packs decimal digits two per octet, low nibble first, padding with 0xF.
+fn encode_semi_octets(digits: &str) -> Vec<u8> {
+    let bytes: Vec<u8> = digits.bytes().map(|b| b - b'0').collect();
+    bytes
+        .chunks(2)
+        .map(|pair| {
+            let lo = pair[0];
+            let hi = pair.get(1).copied().unwrap_or(0x0f);
+            (hi << 4) | lo
+        })
+        .collect()
+}
+
+/// Unpacks `count` digits from semi-octet encoding.
+fn decode_semi_octets(data: &[u8], count: usize) -> String {
+    let mut out = String::with_capacity(count);
+    for &b in data {
+        for nibble in [b & 0x0f, b >> 4] {
+            if out.len() == count {
+                break;
+            }
+            if nibble <= 9 {
+                out.push(char::from(b'0' + nibble));
+            }
+        }
+    }
+    out
+}
+
+// ---------------------------------------------------------------------------
+// Timestamps and data coding
+// ---------------------------------------------------------------------------
+
+/// Service-centre timestamp (TP-SCTS), second precision, with a
+/// quarter-hour timezone offset as on the wire.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default, Serialize, Deserialize)]
+pub struct Scts {
+    /// Two-digit year (00–99).
+    pub year: u8,
+    /// Month 1–12.
+    pub month: u8,
+    /// Day 1–31.
+    pub day: u8,
+    /// Hour 0–23.
+    pub hour: u8,
+    /// Minute 0–59.
+    pub minute: u8,
+    /// Second 0–59.
+    pub second: u8,
+    /// Timezone in quarter hours, signed.
+    pub tz_quarter_hours: i8,
+}
+
+impl Scts {
+    /// Derives a timestamp from simulation milliseconds (epoch at
+    /// 2021-01-01 00:00:00 +08, the paper's measurement locale).
+    pub fn from_sim_millis(ms: u64) -> Self {
+        let total_secs = ms / 1000;
+        let second = (total_secs % 60) as u8;
+        let minute = ((total_secs / 60) % 60) as u8;
+        let hour = ((total_secs / 3600) % 24) as u8;
+        let days = total_secs / 86_400;
+        // Simple civil calendar from 2021-01-01.
+        let mut year = 21u16;
+        let mut day_of_year = days;
+        loop {
+            let leap = year % 4 == 0;
+            let year_days = if leap { 366 } else { 365 };
+            if day_of_year < year_days {
+                break;
+            }
+            day_of_year -= year_days;
+            year += 1;
+        }
+        let leap = year % 4 == 0;
+        let month_lens =
+            [31, if leap { 29 } else { 28 }, 31, 30, 31, 30, 31, 31, 30, 31, 30, 31];
+        let mut month = 1u8;
+        for len in month_lens {
+            if day_of_year < len {
+                break;
+            }
+            day_of_year -= len;
+            month += 1;
+        }
+        Self {
+            year: (year % 100) as u8,
+            month,
+            day: (day_of_year + 1) as u8,
+            hour,
+            minute,
+            second,
+            tz_quarter_hours: 32, // UTC+8
+        }
+    }
+
+    fn encode(&self, out: &mut Vec<u8>) {
+        for v in [self.year, self.month, self.day, self.hour, self.minute, self.second] {
+            out.push(swap_bcd(v));
+        }
+        let tz = self.tz_quarter_hours;
+        let mag = tz.unsigned_abs();
+        let mut b = swap_bcd(mag);
+        if tz < 0 {
+            b |= 0x08; // sign bit lives in the low nibble's high bit pre-swap
+        }
+        out.push(b);
+    }
+
+    fn decode(data: &[u8]) -> Result<(Self, usize), GsmError> {
+        if data.len() < 7 {
+            return Err(GsmError::PduDecode { offset: 0, reason: "timestamp truncated".into() });
+        }
+        let f = |i: usize| unswap_bcd(data[i]);
+        let tz_raw = data[6];
+        let negative = tz_raw & 0x08 != 0;
+        let mag = unswap_bcd(tz_raw & !0x08);
+        let tz = if negative { -(mag as i8) } else { mag as i8 };
+        Ok((
+            Self {
+                year: f(0),
+                month: f(1),
+                day: f(2),
+                hour: f(3),
+                minute: f(4),
+                second: f(5),
+                tz_quarter_hours: tz,
+            },
+            7,
+        ))
+    }
+}
+
+impl fmt::Display for Scts {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "20{:02}-{:02}-{:02} {:02}:{:02}:{:02}",
+            self.year, self.month, self.day, self.hour, self.minute, self.second
+        )
+    }
+}
+
+fn swap_bcd(v: u8) -> u8 {
+    ((v % 10) << 4) | (v / 10)
+}
+
+fn unswap_bcd(b: u8) -> u8 {
+    (b & 0x0f) * 10 + (b >> 4)
+}
+
+/// TP-DCS data coding scheme recognised by the simulator.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum DataCoding {
+    /// GSM 7-bit default alphabet.
+    Gsm7,
+    /// 8-bit binary data.
+    Octet,
+    /// UCS-2 big-endian text.
+    Ucs2,
+}
+
+impl DataCoding {
+    fn to_byte(self) -> u8 {
+        match self {
+            DataCoding::Gsm7 => 0x00,
+            DataCoding::Octet => 0x04,
+            DataCoding::Ucs2 => 0x08,
+        }
+    }
+
+    fn from_byte(b: u8) -> Result<Self, GsmError> {
+        match b & 0x0c {
+            0x00 => Ok(DataCoding::Gsm7),
+            0x04 => Ok(DataCoding::Octet),
+            0x08 => Ok(DataCoding::Ucs2),
+            other => Err(GsmError::PduDecode {
+                offset: 0,
+                reason: format!("reserved data coding 0x{other:02x}"),
+            }),
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// SMS-DELIVER
+// ---------------------------------------------------------------------------
+
+/// An SMS-DELIVER TPDU — the network-to-mobile message the sniffer captures.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct SmsDeliver {
+    /// Originating address (TP-OA).
+    pub originator: Address,
+    /// Protocol identifier (TP-PID), normally zero.
+    pub pid: u8,
+    /// Data coding scheme in effect.
+    pub coding: DataCoding,
+    /// Service-centre timestamp.
+    pub timestamp: Scts,
+    /// Concatenation header, when this PDU is one part of a multipart
+    /// message.
+    pub concat: Option<ConcatInfo>,
+    /// User data, packed per `coding` (includes the UDH when `concat`).
+    user_data: Vec<u8>,
+    /// Septet count for 7-bit, byte count otherwise (TP-UDL).
+    udl: u8,
+}
+
+/// The 6-octet concatenation user-data header.
+fn concat_udh(c: ConcatInfo) -> [u8; 6] {
+    [0x05, 0x00, 0x03, c.reference, c.total, c.seq]
+}
+
+/// Fill bits inserted after a UDH of `header_octets` so text aligns to a
+/// septet boundary, and the number of septets the header consumes.
+fn udh_septet_geometry(header_octets: usize) -> (u8, usize) {
+    let bits = header_octets * 8;
+    let septets = bits.div_ceil(7);
+    let fill = (septets * 7 - bits) as u8;
+    (fill, septets)
+}
+
+impl SmsDeliver {
+    /// Builds a deliver PDU from text, choosing GSM-7 when possible and
+    /// UCS-2 otherwise.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`GsmError::PduEncode`] when the text exceeds one PDU.
+    pub fn new(originator: Address, text: &str) -> Result<Self, GsmError> {
+        let (coding, user_data, udl) = if is_gsm7(text) {
+            let (packed, septets) = gsm7_encode(text)?;
+            (DataCoding::Gsm7, packed, septets as u8)
+        } else {
+            let data = ucs2_encode(text)?;
+            let len = data.len() as u8;
+            (DataCoding::Ucs2, data, len)
+        };
+        Ok(Self { originator, pid: 0, coding, timestamp: Scts::default(), concat: None, user_data, udl })
+    }
+
+    /// Builds one part of a concatenated message.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`GsmError::PduEncode`] when the part text exceeds the
+    /// per-part capacity or the concat fields are inconsistent.
+    pub fn new_concat_part(
+        originator: Address,
+        text: &str,
+        concat: ConcatInfo,
+    ) -> Result<Self, GsmError> {
+        if concat.total == 0 || concat.seq == 0 || concat.seq > concat.total {
+            return Err(GsmError::PduEncode(format!(
+                "inconsistent concat header {}/{}",
+                concat.seq, concat.total
+            )));
+        }
+        let udh = concat_udh(concat);
+        let (coding, user_data, udl) = if is_gsm7(text) {
+            let n = gsm7_septet_len(text).expect("checked gsm7");
+            if n > MAX_SEPTETS_PER_PART {
+                return Err(GsmError::PduEncode(format!(
+                    "part needs {n} septets, limit is {MAX_SEPTETS_PER_PART}"
+                )));
+            }
+            let mut septets = Vec::with_capacity(n);
+            for c in text.chars() {
+                let (pair, len) = gsm7_encode_char(c).expect("checked gsm7");
+                septets.extend_from_slice(&pair[..len]);
+            }
+            let (fill, header_septets) = udh_septet_geometry(udh.len());
+            let mut ud = udh.to_vec();
+            ud.extend_from_slice(&pack_septets_with_fill(&septets, fill));
+            (DataCoding::Gsm7, ud, (header_septets + n) as u8)
+        } else {
+            let data = ucs2_encode(text)?;
+            if data.len() / 2 > MAX_UCS2_CHARS_PER_PART {
+                return Err(GsmError::PduEncode(format!(
+                    "part has {} UCS-2 characters, limit is {MAX_UCS2_CHARS_PER_PART}",
+                    data.len() / 2
+                )));
+            }
+            let mut ud = udh.to_vec();
+            ud.extend_from_slice(&data);
+            let len = ud.len() as u8;
+            (DataCoding::Ucs2, ud, len)
+        };
+        Ok(Self {
+            originator,
+            pid: 0,
+            coding,
+            timestamp: Scts::default(),
+            concat: Some(concat),
+            user_data,
+            udl,
+        })
+    }
+
+    /// Sets the service-centre timestamp (builder style).
+    pub fn with_timestamp(mut self, timestamp: Scts) -> Self {
+        self.timestamp = timestamp;
+        self
+    }
+
+    /// The decoded message text (of this part, for concatenated PDUs).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`GsmError::PduDecode`] if the stored user data is malformed
+    /// (possible when constructed via [`SmsDeliver::decode`] on hostile input).
+    pub fn text(&self) -> Result<String, GsmError> {
+        match (self.coding, self.concat.is_some()) {
+            (DataCoding::Gsm7, false) => gsm7_decode(&self.user_data, usize::from(self.udl)),
+            (DataCoding::Gsm7, true) => {
+                let udhl = usize::from(*self.user_data.first().ok_or(GsmError::PduDecode {
+                    offset: 0,
+                    reason: "missing UDH".into(),
+                })?);
+                let header_octets = udhl + 1;
+                let (fill, header_septets) = udh_septet_geometry(header_octets);
+                let body = self.user_data.get(header_octets..).ok_or(GsmError::PduDecode {
+                    offset: header_octets,
+                    reason: "UDH longer than user data".into(),
+                })?;
+                let text_septets = usize::from(self.udl).saturating_sub(header_septets);
+                let septets = unpack_septets_with_fill(body, text_septets, fill).ok_or(
+                    GsmError::PduDecode { offset: header_octets, reason: "part truncated".into() },
+                )?;
+                decode_septet_stream(&septets)
+            }
+            (DataCoding::Ucs2, false) => ucs2_decode(&self.user_data),
+            (DataCoding::Ucs2, true) => {
+                let udhl = usize::from(*self.user_data.first().ok_or(GsmError::PduDecode {
+                    offset: 0,
+                    reason: "missing UDH".into(),
+                })?);
+                let body = self.user_data.get(udhl + 1..).ok_or(GsmError::PduDecode {
+                    offset: udhl + 1,
+                    reason: "UDH longer than user data".into(),
+                })?;
+                ucs2_decode(body)
+            }
+            (DataCoding::Octet, _) => Ok(self.user_data.iter().map(|&b| char::from(b)).collect()),
+        }
+    }
+
+    /// Raw user-data octets (TP-UD).
+    pub fn user_data(&self) -> &[u8] {
+        &self.user_data
+    }
+
+    /// Serialises to transfer-layer bytes.
+    pub fn encode(&self) -> Vec<u8> {
+        let mut out = Vec::with_capacity(16 + self.user_data.len());
+        // MTI=00 deliver, MMS=1; UDHI set when a header is present.
+        out.push(0x04 | if self.concat.is_some() { 0x40 } else { 0 });
+        self.originator.encode(&mut out);
+        out.push(self.pid);
+        out.push(self.coding.to_byte());
+        self.timestamp.encode(&mut out);
+        out.push(self.udl);
+        out.extend_from_slice(&self.user_data);
+        out
+    }
+
+    /// Parses transfer-layer bytes.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`GsmError::PduDecode`] with the failing offset on any
+    /// truncation or malformed field.
+    pub fn decode(data: &[u8]) -> Result<Self, GsmError> {
+        let fo = *data.first().ok_or(GsmError::PduDecode {
+            offset: 0,
+            reason: "empty PDU".into(),
+        })?;
+        if fo & 0x03 != 0x00 {
+            return Err(GsmError::PduDecode {
+                offset: 0,
+                reason: format!("not an SMS-DELIVER (MTI={})", fo & 0x03),
+            });
+        }
+        let has_udh = fo & 0x40 != 0;
+        let mut pos = 1usize;
+        let (originator, used) = Address::decode(&data[pos..]).map_err(|e| bump_offset(e, pos))?;
+        pos += used;
+        let pid = *data.get(pos).ok_or(GsmError::PduDecode {
+            offset: pos,
+            reason: "missing TP-PID".into(),
+        })?;
+        pos += 1;
+        let dcs = *data.get(pos).ok_or(GsmError::PduDecode {
+            offset: pos,
+            reason: "missing TP-DCS".into(),
+        })?;
+        let coding = DataCoding::from_byte(dcs).map_err(|e| bump_offset(e, pos))?;
+        pos += 1;
+        let (timestamp, used) = Scts::decode(&data[pos..]).map_err(|e| bump_offset(e, pos))?;
+        pos += used;
+        let udl = *data.get(pos).ok_or(GsmError::PduDecode {
+            offset: pos,
+            reason: "missing TP-UDL".into(),
+        })?;
+        pos += 1;
+        let ud_octets = match coding {
+            DataCoding::Gsm7 => (usize::from(udl) * 7).div_ceil(8),
+            _ => usize::from(udl),
+        };
+        let user_data = data
+            .get(pos..pos + ud_octets)
+            .ok_or(GsmError::PduDecode { offset: pos, reason: "user data truncated".into() })?
+            .to_vec();
+        let concat = if has_udh {
+            Some(parse_concat_udh(&user_data).map_err(|e| bump_offset(e, pos))?)
+        } else {
+            None
+        };
+        Ok(Self { originator, pid, coding, timestamp, concat, user_data, udl })
+    }
+}
+
+/// Parses the user-data header, returning the concatenation IE.
+fn parse_concat_udh(ud: &[u8]) -> Result<ConcatInfo, GsmError> {
+    let udhl = usize::from(*ud.first().ok_or(GsmError::PduDecode {
+        offset: 0,
+        reason: "missing UDHL".into(),
+    })?);
+    let header = ud.get(1..1 + udhl).ok_or(GsmError::PduDecode {
+        offset: 1,
+        reason: "UDH truncated".into(),
+    })?;
+    let mut i = 0usize;
+    while i + 2 <= header.len() {
+        let iei = header[i];
+        let ielen = usize::from(header[i + 1]);
+        let body = header.get(i + 2..i + 2 + ielen).ok_or(GsmError::PduDecode {
+            offset: i + 2,
+            reason: "information element truncated".into(),
+        })?;
+        if iei == 0x00 {
+            if ielen != 3 {
+                return Err(GsmError::PduDecode {
+                    offset: i,
+                    reason: "concat IE must be 3 bytes".into(),
+                });
+            }
+            let info = ConcatInfo { reference: body[0], total: body[1], seq: body[2] };
+            if info.total == 0 || info.seq == 0 || info.seq > info.total {
+                return Err(GsmError::PduDecode {
+                    offset: i,
+                    reason: format!("inconsistent concat header {}/{}", info.seq, info.total),
+                });
+            }
+            return Ok(info);
+        }
+        i += 2 + ielen;
+    }
+    Err(GsmError::PduDecode { offset: 0, reason: "no concatenation element in UDH".into() })
+}
+
+/// Splits `text` into one or more deliver PDUs: a single plain PDU when
+/// it fits, or concatenated parts sharing `reference` otherwise.
+///
+/// # Errors
+///
+/// Returns [`GsmError::PduEncode`] when the message would need more than
+/// 255 parts.
+pub fn split_deliver(
+    originator: &Address,
+    text: &str,
+    reference: u8,
+) -> Result<Vec<SmsDeliver>, GsmError> {
+    let fits_single = if is_gsm7(text) {
+        gsm7_septet_len(text).map(|n| n <= MAX_SEPTETS).unwrap_or(false)
+    } else {
+        text.chars().count() <= MAX_UCS2_CHARS
+    };
+    if fits_single {
+        return Ok(vec![SmsDeliver::new(originator.clone(), text)?]);
+    }
+    // Chunk at character granularity, respecting per-part cost.
+    let mut chunks: Vec<String> = Vec::new();
+    let mut current = String::new();
+    let mut cost = 0usize;
+    let gsm7 = is_gsm7(text);
+    let limit = if gsm7 { MAX_SEPTETS_PER_PART } else { MAX_UCS2_CHARS_PER_PART };
+    for c in text.chars() {
+        let c_cost = if gsm7 {
+            gsm7_septet_len(&c.to_string()).expect("whole text is GSM-7")
+        } else {
+            1
+        };
+        if cost + c_cost > limit {
+            chunks.push(std::mem::take(&mut current));
+            cost = 0;
+        }
+        current.push(c);
+        cost += c_cost;
+    }
+    if !current.is_empty() {
+        chunks.push(current);
+    }
+    if chunks.len() > 255 {
+        return Err(GsmError::PduEncode(format!("message needs {} parts, limit is 255", chunks.len())));
+    }
+    let total = chunks.len() as u8;
+    chunks
+        .into_iter()
+        .enumerate()
+        .map(|(i, part)| {
+            SmsDeliver::new_concat_part(
+                originator.clone(),
+                &part,
+                ConcatInfo { reference, total, seq: (i + 1) as u8 },
+            )
+        })
+        .collect()
+}
+
+// ---------------------------------------------------------------------------
+// SMS-SUBMIT
+// ---------------------------------------------------------------------------
+
+/// An SMS-SUBMIT TPDU — the mobile-to-network submission.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct SmsSubmit {
+    /// Message reference assigned by the terminal (TP-MR).
+    pub reference: u8,
+    /// Destination address (TP-DA).
+    pub destination: Address,
+    /// Protocol identifier.
+    pub pid: u8,
+    /// Data coding scheme.
+    pub coding: DataCoding,
+    user_data: Vec<u8>,
+    udl: u8,
+}
+
+impl SmsSubmit {
+    /// Builds a submit PDU from text.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`GsmError::PduEncode`] when the text exceeds one PDU.
+    pub fn new(reference: u8, destination: Address, text: &str) -> Result<Self, GsmError> {
+        let (coding, user_data, udl) = if is_gsm7(text) {
+            let (packed, septets) = gsm7_encode(text)?;
+            (DataCoding::Gsm7, packed, septets as u8)
+        } else {
+            let data = ucs2_encode(text)?;
+            let len = data.len() as u8;
+            (DataCoding::Ucs2, data, len)
+        };
+        Ok(Self { reference, destination, pid: 0, coding, user_data, udl })
+    }
+
+    /// The decoded message text.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`GsmError::PduDecode`] if the stored user data is malformed.
+    pub fn text(&self) -> Result<String, GsmError> {
+        match self.coding {
+            DataCoding::Gsm7 => gsm7_decode(&self.user_data, usize::from(self.udl)),
+            DataCoding::Ucs2 => ucs2_decode(&self.user_data),
+            DataCoding::Octet => Ok(self.user_data.iter().map(|&b| char::from(b)).collect()),
+        }
+    }
+
+    /// Serialises to transfer-layer bytes.
+    pub fn encode(&self) -> Vec<u8> {
+        let mut out = Vec::with_capacity(16 + self.user_data.len());
+        out.push(0x01); // MTI=01 submit, no VP
+        out.push(self.reference);
+        self.destination.encode(&mut out);
+        out.push(self.pid);
+        out.push(self.coding.to_byte());
+        out.push(self.udl);
+        out.extend_from_slice(&self.user_data);
+        out
+    }
+
+    /// Parses transfer-layer bytes.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`GsmError::PduDecode`] on malformed input.
+    pub fn decode(data: &[u8]) -> Result<Self, GsmError> {
+        let fo = *data.first().ok_or(GsmError::PduDecode {
+            offset: 0,
+            reason: "empty PDU".into(),
+        })?;
+        if fo & 0x03 != 0x01 {
+            return Err(GsmError::PduDecode {
+                offset: 0,
+                reason: format!("not an SMS-SUBMIT (MTI={})", fo & 0x03),
+            });
+        }
+        if fo & 0x18 != 0 {
+            return Err(GsmError::PduDecode {
+                offset: 0,
+                reason: "validity-period formats not supported".into(),
+            });
+        }
+        let reference = *data.get(1).ok_or(GsmError::PduDecode {
+            offset: 1,
+            reason: "missing TP-MR".into(),
+        })?;
+        let mut pos = 2usize;
+        let (destination, used) = Address::decode(&data[pos..]).map_err(|e| bump_offset(e, pos))?;
+        pos += used;
+        let pid = *data.get(pos).ok_or(GsmError::PduDecode {
+            offset: pos,
+            reason: "missing TP-PID".into(),
+        })?;
+        pos += 1;
+        let dcs = *data.get(pos).ok_or(GsmError::PduDecode {
+            offset: pos,
+            reason: "missing TP-DCS".into(),
+        })?;
+        let coding = DataCoding::from_byte(dcs).map_err(|e| bump_offset(e, pos))?;
+        pos += 1;
+        let udl = *data.get(pos).ok_or(GsmError::PduDecode {
+            offset: pos,
+            reason: "missing TP-UDL".into(),
+        })?;
+        pos += 1;
+        let ud_octets = match coding {
+            DataCoding::Gsm7 => (usize::from(udl) * 7).div_ceil(8),
+            _ => usize::from(udl),
+        };
+        let user_data = data
+            .get(pos..pos + ud_octets)
+            .ok_or(GsmError::PduDecode { offset: pos, reason: "user data truncated".into() })?
+            .to_vec();
+        Ok(Self { reference, destination, pid, coding, user_data, udl })
+    }
+}
+
+fn bump_offset(e: GsmError, base: usize) -> GsmError {
+    match e {
+        GsmError::PduDecode { offset, reason } => GsmError::PduDecode { offset: offset + base, reason },
+        other => other,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn intl(digits: &str) -> Address {
+        Address::numeric(digits, TypeOfNumber::International).unwrap()
+    }
+
+    #[test]
+    fn septet_pack_known_vector() {
+        // "hello" packs to E8 32 9B FD 06 per GSM 03.38.
+        let septets: Vec<u8> = "hello".chars().map(|c| gsm7_encode_char(c).unwrap().0[0]).collect();
+        assert_eq!(pack_septets(&septets), vec![0xe8, 0x32, 0x9b, 0xfd, 0x06]);
+    }
+
+    #[test]
+    fn septet_unpack_inverts_pack() {
+        let septets: Vec<u8> = (0..153).map(|i| (i % 128) as u8).collect();
+        let packed = pack_septets(&septets);
+        assert_eq!(unpack_septets(&packed, septets.len()).unwrap(), septets);
+    }
+
+    #[test]
+    fn gsm7_roundtrip_ascii() {
+        let text = "G-786348 is your Google verification code.";
+        let (packed, n) = gsm7_encode(text).unwrap();
+        assert_eq!(gsm7_decode(&packed, n).unwrap(), text);
+    }
+
+    #[test]
+    fn gsm7_roundtrip_extension_chars() {
+        let text = "code {123} ~ [ok] | 5€";
+        let (packed, n) = gsm7_encode(text).unwrap();
+        assert_eq!(gsm7_decode(&packed, n).unwrap(), text);
+    }
+
+    #[test]
+    fn gsm7_rejects_cjk() {
+        assert!(!is_gsm7("验证码"));
+        assert!(gsm7_encode("验证码").is_err());
+    }
+
+    #[test]
+    fn gsm7_length_limit() {
+        let long = "a".repeat(161);
+        assert!(gsm7_encode(&long).is_err());
+        let ok = "a".repeat(160);
+        assert!(gsm7_encode(&ok).is_ok());
+        // Escaped characters cost two septets each.
+        let escapes = "€".repeat(81);
+        assert!(gsm7_encode(&escapes).is_err());
+    }
+
+    #[test]
+    fn ucs2_roundtrip_chinese() {
+        let text = "【支付宝】验证码 255436";
+        let data = ucs2_encode(text).unwrap();
+        assert_eq!(ucs2_decode(&data).unwrap(), text);
+    }
+
+    #[test]
+    fn ucs2_rejects_astral_plane() {
+        assert!(ucs2_encode("🔥").is_err());
+    }
+
+    #[test]
+    fn ucs2_decode_rejects_odd_length() {
+        assert!(ucs2_decode(&[0x00]).is_err());
+    }
+
+    #[test]
+    fn semi_octet_roundtrip_even_and_odd() {
+        for digits in ["13800138000", "1234", "12345"] {
+            let enc = encode_semi_octets(digits);
+            assert_eq!(decode_semi_octets(&enc, digits.len()), digits);
+        }
+    }
+
+    #[test]
+    fn address_roundtrip_numeric() {
+        let addr = intl("8613800138000");
+        let mut buf = Vec::new();
+        addr.encode(&mut buf);
+        let (back, used) = Address::decode(&buf).unwrap();
+        assert_eq!(used, buf.len());
+        assert_eq!(back, addr);
+    }
+
+    #[test]
+    fn address_roundtrip_alphanumeric() {
+        let addr = Address::alphanumeric("Google").unwrap();
+        let mut buf = Vec::new();
+        addr.encode(&mut buf);
+        let (back, _) = Address::decode(&buf).unwrap();
+        assert_eq!(back.value(), "Google");
+        assert_eq!(back.type_of_number(), TypeOfNumber::Alphanumeric);
+    }
+
+    #[test]
+    fn address_rejects_overlong_sender() {
+        assert!(Address::alphanumeric("TwelveChars!").is_err());
+        assert!(Address::alphanumeric("").is_err());
+    }
+
+    #[test]
+    fn scts_encode_decode_roundtrip() {
+        let ts = Scts {
+            year: 21,
+            month: 7,
+            day: 15,
+            hour: 23,
+            minute: 59,
+            second: 1,
+            tz_quarter_hours: 32,
+        };
+        let mut buf = Vec::new();
+        ts.encode(&mut buf);
+        let (back, used) = Scts::decode(&buf).unwrap();
+        assert_eq!(used, 7);
+        assert_eq!(back, ts);
+    }
+
+    #[test]
+    fn scts_negative_timezone() {
+        let ts = Scts { tz_quarter_hours: -20, ..Scts::default() };
+        let mut buf = Vec::new();
+        ts.encode(&mut buf);
+        let (back, _) = Scts::decode(&buf).unwrap();
+        assert_eq!(back.tz_quarter_hours, -20);
+    }
+
+    #[test]
+    fn scts_from_sim_millis_epoch() {
+        let ts = Scts::from_sim_millis(0);
+        assert_eq!((ts.year, ts.month, ts.day), (21, 1, 1));
+        // One day + 1h2m3s later.
+        let ts = Scts::from_sim_millis((86_400 + 3_723) * 1000);
+        assert_eq!((ts.day, ts.hour, ts.minute, ts.second), (2, 1, 2, 3));
+    }
+
+    #[test]
+    fn deliver_roundtrip_gsm7() {
+        let d = SmsDeliver::new(intl("10692000000"), "255436 is your Facebook password reset code")
+            .unwrap()
+            .with_timestamp(Scts::from_sim_millis(123_456_789));
+        let bytes = d.encode();
+        let back = SmsDeliver::decode(&bytes).unwrap();
+        assert_eq!(back, d);
+        assert_eq!(back.text().unwrap(), "255436 is your Facebook password reset code");
+    }
+
+    #[test]
+    fn deliver_roundtrip_ucs2() {
+        let d = SmsDeliver::new(intl("10690001"), "【支付宝】验证码 884211，打死也不要告诉别人").unwrap();
+        assert_eq!(d.coding, DataCoding::Ucs2);
+        let back = SmsDeliver::decode(&d.encode()).unwrap();
+        assert_eq!(back.text().unwrap(), "【支付宝】验证码 884211，打死也不要告诉别人");
+    }
+
+    #[test]
+    fn deliver_alphanumeric_sender() {
+        let d = SmsDeliver::new(Address::alphanumeric("Google").unwrap(), "G-786348").unwrap();
+        let back = SmsDeliver::decode(&d.encode()).unwrap();
+        assert_eq!(back.originator.value(), "Google");
+    }
+
+    #[test]
+    fn deliver_decode_rejects_submit() {
+        let s = SmsSubmit::new(1, intl("13800138000"), "hi").unwrap();
+        assert!(matches!(SmsDeliver::decode(&s.encode()), Err(GsmError::PduDecode { .. })));
+    }
+
+    #[test]
+    fn deliver_decode_rejects_truncation_everywhere() {
+        let d = SmsDeliver::new(intl("13800138000"), "truncation probe").unwrap();
+        let bytes = d.encode();
+        for cut in 0..bytes.len() {
+            assert!(
+                SmsDeliver::decode(&bytes[..cut]).is_err(),
+                "decode unexpectedly succeeded at cut {cut}"
+            );
+        }
+    }
+
+    #[test]
+    fn concat_part_roundtrip_gsm7() {
+        let oa = Address::alphanumeric("Google").unwrap();
+        let info = ConcatInfo { reference: 7, total: 2, seq: 1 };
+        let d = SmsDeliver::new_concat_part(oa, "part one of a long security notice ", info).unwrap();
+        let back = SmsDeliver::decode(&d.encode()).unwrap();
+        assert_eq!(back.concat, Some(info));
+        assert_eq!(back.text().unwrap(), "part one of a long security notice ");
+    }
+
+    #[test]
+    fn concat_part_roundtrip_ucs2() {
+        let oa = intl("10690001");
+        let info = ConcatInfo { reference: 9, total: 3, seq: 2 };
+        let d = SmsDeliver::new_concat_part(oa, "第二部分：验证码相关通知", info).unwrap();
+        assert_eq!(d.coding, DataCoding::Ucs2);
+        let back = SmsDeliver::decode(&d.encode()).unwrap();
+        assert_eq!(back.concat, Some(info));
+        assert_eq!(back.text().unwrap(), "第二部分：验证码相关通知");
+    }
+
+    #[test]
+    fn concat_rejects_inconsistent_headers() {
+        let oa = intl("10690001");
+        assert!(SmsDeliver::new_concat_part(
+            oa.clone(),
+            "x",
+            ConcatInfo { reference: 1, total: 0, seq: 1 }
+        )
+        .is_err());
+        assert!(SmsDeliver::new_concat_part(
+            oa,
+            "x",
+            ConcatInfo { reference: 1, total: 2, seq: 3 }
+        )
+        .is_err());
+    }
+
+    #[test]
+    fn concat_part_respects_capacity() {
+        let oa = intl("10690001");
+        let info = ConcatInfo { reference: 1, total: 2, seq: 1 };
+        let too_long = "a".repeat(MAX_SEPTETS_PER_PART + 1);
+        assert!(SmsDeliver::new_concat_part(oa.clone(), &too_long, info).is_err());
+        let fits = "a".repeat(MAX_SEPTETS_PER_PART);
+        assert!(SmsDeliver::new_concat_part(oa, &fits, info).is_ok());
+    }
+
+    #[test]
+    fn split_deliver_short_text_is_single_plain_pdu() {
+        let oa = Address::alphanumeric("Google").unwrap();
+        let parts = split_deliver(&oa, "short message", 5).unwrap();
+        assert_eq!(parts.len(), 1);
+        assert!(parts[0].concat.is_none());
+    }
+
+    #[test]
+    fn split_deliver_long_text_reassembles() {
+        let oa = Address::alphanumeric("Google").unwrap();
+        let text = "Security notice: we observed a sign-in from a new device. ".repeat(8);
+        assert!(gsm7_septet_len(&text).unwrap() > MAX_SEPTETS);
+        let parts = split_deliver(&oa, &text, 42).unwrap();
+        assert!(parts.len() >= 2);
+        let mut reassembled = String::new();
+        for (i, p) in parts.iter().enumerate() {
+            let info = p.concat.expect("multipart");
+            assert_eq!(info.reference, 42);
+            assert_eq!(usize::from(info.seq), i + 1);
+            assert_eq!(usize::from(info.total), parts.len());
+            reassembled.push_str(&p.text().unwrap());
+        }
+        assert_eq!(reassembled, text);
+    }
+
+    #[test]
+    fn split_deliver_long_ucs2_reassembles() {
+        let oa = intl("10690001");
+        let text = "安全提醒：您的账户刚刚在新设备上登录。".repeat(6);
+        assert!(text.chars().count() > MAX_UCS2_CHARS);
+        let parts = split_deliver(&oa, &text, 3).unwrap();
+        assert!(parts.len() >= 2);
+        let reassembled: String = parts.iter().map(|p| p.text().unwrap()).collect();
+        assert_eq!(reassembled, text);
+    }
+
+    #[test]
+    fn septet_fill_roundtrip() {
+        for fill in 0u8..7 {
+            let septets: Vec<u8> = (0..50).map(|i| (i * 3) % 128).collect();
+            let packed = pack_septets_with_fill(&septets, fill);
+            let back = unpack_septets_with_fill(&packed, septets.len(), fill).unwrap();
+            assert_eq!(back, septets, "fill {fill}");
+        }
+    }
+
+    #[test]
+    fn submit_roundtrip() {
+        let s = SmsSubmit::new(42, intl("8613800138000"), "please send code").unwrap();
+        let back = SmsSubmit::decode(&s.encode()).unwrap();
+        assert_eq!(back, s);
+        assert_eq!(back.reference, 42);
+        assert_eq!(back.text().unwrap(), "please send code");
+    }
+
+    #[test]
+    fn submit_decode_rejects_deliver() {
+        let d = SmsDeliver::new(intl("10690001"), "hello").unwrap();
+        assert!(SmsSubmit::decode(&d.encode()).is_err());
+    }
+}

@@ -1,0 +1,655 @@
+//! The simulated Um air interface: frames, layer-3 messages and cells.
+//!
+//! Every transmission — from real base stations, terminals, the fake MitM
+//! base station and fake terminals alike — is serialised to bytes,
+//! optionally ciphered, and appended to a shared [`Ether`] capture log.
+//! Receivers (victim terminals, the passive sniffer) read frames from the
+//! ether subject to a distance gate, exactly mirroring the paper's
+//! "within hundreds of metres" threat model.
+
+use crate::arfcn::Arfcn;
+use crate::cipher::{CipherAlgo, CipherContext};
+use crate::error::GsmError;
+use crate::identity::{Imsi, Tmsi};
+use crate::time::SimClock;
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// Identifier of a (real or fake) cell.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub struct CellId(pub u16);
+
+impl fmt::Display for CellId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "cell#{}", self.0)
+    }
+}
+
+/// A planar position in metres; radio reception is gated on distance.
+#[derive(Debug, Clone, Copy, PartialEq, Default, Serialize, Deserialize)]
+pub struct Position {
+    /// East coordinate in metres.
+    pub x: f64,
+    /// North coordinate in metres.
+    pub y: f64,
+}
+
+impl Position {
+    /// Creates a position.
+    pub fn new(x: f64, y: f64) -> Self {
+        Self { x, y }
+    }
+
+    /// Euclidean distance to `other` in metres.
+    pub fn distance(&self, other: Position) -> f64 {
+        ((self.x - other.x).powi(2) + (self.y - other.y).powi(2)).sqrt()
+    }
+}
+
+/// Identity presented by a mobile on the air.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum MsIdentity {
+    /// The short-lived alias (the privacy-preserving case).
+    Tmsi(Tmsi),
+    /// The permanent identity (what IMSI catchers force out).
+    Imsi(Imsi),
+}
+
+impl fmt::Display for MsIdentity {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            MsIdentity::Tmsi(t) => write!(f, "TMSI {t}"),
+            MsIdentity::Imsi(i) => write!(f, "IMSI {i}"),
+        }
+    }
+}
+
+/// Layer-3 messages carried over the simulated air interface.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub enum AirMessage {
+    /// Broadcast system information on the BCCH.
+    SystemInfo {
+        /// Transmitting cell.
+        cell: CellId,
+        /// Location area code.
+        lac: u16,
+        /// Cipher capability mask advertised by the network.
+        ciphers: u8,
+    },
+    /// Downlink page for a mobile.
+    PagingRequest {
+        /// Paged identity.
+        id: MsIdentity,
+    },
+    /// Uplink answer to a page.
+    PagingResponse {
+        /// Responding identity.
+        id: MsIdentity,
+    },
+    /// Uplink location-update request (LAU).
+    LocationUpdateRequest {
+        /// Presented identity.
+        id: MsIdentity,
+        /// Claimed cipher support mask (MS classmark).
+        classmark: u8,
+    },
+    /// Downlink LAU accept, optionally reallocating a TMSI.
+    LocationUpdateAccept {
+        /// Newly assigned TMSI, if any.
+        new_tmsi: Option<Tmsi>,
+    },
+    /// Downlink identity request (the IMSI-catcher message).
+    IdentityRequest,
+    /// Uplink identity response revealing the IMSI.
+    IdentityResponse {
+        /// The revealed permanent identity.
+        imsi: Imsi,
+    },
+    /// Downlink authentication challenge.
+    AuthRequest {
+        /// Network random challenge.
+        rand: u64,
+    },
+    /// Uplink authentication response.
+    AuthResponse {
+        /// Signed response computed from Ki and RAND.
+        sres: u32,
+    },
+    /// Downlink cipher-mode command selecting an algorithm.
+    CipherModeCommand {
+        /// Selected algorithm.
+        algo: CipherAlgo,
+    },
+    /// Uplink confirmation that ciphering started.
+    CipherModeComplete,
+    /// Downlink SMS delivery (CP-DATA wrapping an SMS-DELIVER TPDU).
+    SmsDeliverData {
+        /// Encoded SMS-DELIVER TPDU.
+        tpdu: Vec<u8>,
+    },
+    /// Uplink SMS submission (CP-DATA wrapping an SMS-SUBMIT TPDU).
+    SmsSubmitData {
+        /// Encoded SMS-SUBMIT TPDU.
+        tpdu: Vec<u8>,
+    },
+    /// Acknowledgement of an SMS transfer.
+    SmsAck,
+    /// Channel release at the end of a transaction.
+    ChannelRelease,
+    /// Ciphered SI5 system-information padding (fixed 23 × 0x2b bytes).
+    /// Real GSM sends these predictable messages inside the ciphered
+    /// channel; they are the known plaintext that makes the published
+    /// A5/1 table attacks work, and they play the same role here.
+    Si5Padding,
+}
+
+/// The fixed SI5 padding plaintext (23 octets of 0x2b, as in GSM 04.08).
+pub const SI5_PADDING: [u8; 23] = [0x2b; 23];
+
+impl AirMessage {
+    /// Serialises to bytes (tag + fields). The encoding is stable and
+    /// self-describing enough for the sniffer to parse captures.
+    pub fn encode(&self) -> Vec<u8> {
+        let mut out = Vec::with_capacity(8);
+        match self {
+            AirMessage::SystemInfo { cell, lac, ciphers } => {
+                out.push(0x0e);
+                out.extend_from_slice(&cell.0.to_be_bytes());
+                out.extend_from_slice(&lac.to_be_bytes());
+                out.push(*ciphers);
+            }
+            AirMessage::PagingRequest { id } => {
+                out.push(0x01);
+                encode_identity(id, &mut out);
+            }
+            AirMessage::PagingResponse { id } => {
+                out.push(0x02);
+                encode_identity(id, &mut out);
+            }
+            AirMessage::LocationUpdateRequest { id, classmark } => {
+                out.push(0x03);
+                encode_identity(id, &mut out);
+                out.push(*classmark);
+            }
+            AirMessage::LocationUpdateAccept { new_tmsi } => {
+                out.push(0x04);
+                match new_tmsi {
+                    Some(t) => {
+                        out.push(1);
+                        out.extend_from_slice(&t.0.to_be_bytes());
+                    }
+                    None => out.push(0),
+                }
+            }
+            AirMessage::IdentityRequest => out.push(0x05),
+            AirMessage::IdentityResponse { imsi } => {
+                out.push(0x06);
+                out.extend_from_slice(&imsi.value().to_be_bytes());
+            }
+            AirMessage::AuthRequest { rand } => {
+                out.push(0x07);
+                out.extend_from_slice(&rand.to_be_bytes());
+            }
+            AirMessage::AuthResponse { sres } => {
+                out.push(0x08);
+                out.extend_from_slice(&sres.to_be_bytes());
+            }
+            AirMessage::CipherModeCommand { algo } => {
+                out.push(0x09);
+                out.push(algo.mask_bit());
+            }
+            AirMessage::CipherModeComplete => out.push(0x0a),
+            AirMessage::SmsDeliverData { tpdu } => {
+                out.push(0x0b);
+                out.extend_from_slice(&(tpdu.len() as u16).to_be_bytes());
+                out.extend_from_slice(tpdu);
+            }
+            AirMessage::SmsSubmitData { tpdu } => {
+                out.push(0x0c);
+                out.extend_from_slice(&(tpdu.len() as u16).to_be_bytes());
+                out.extend_from_slice(tpdu);
+            }
+            AirMessage::SmsAck => out.push(0x0f),
+            AirMessage::ChannelRelease => out.push(0x0d),
+            AirMessage::Si5Padding => {
+                out.push(0x10);
+                out.extend_from_slice(&SI5_PADDING);
+            }
+        }
+        out
+    }
+
+    /// Parses bytes produced by [`AirMessage::encode`]. The encoding is
+    /// self-delimiting and `decode` demands exact consumption — trailing
+    /// bytes are an error. (Strictness matters operationally: a sniffer
+    /// trying recovered keys against ciphered frames relies on wrong-key
+    /// garbage *failing* to parse.)
+    ///
+    /// # Errors
+    ///
+    /// Returns [`GsmError::PduDecode`] on truncation, trailing bytes or
+    /// unknown tags — which is also what a sniffer sees when it tries to
+    /// parse traffic that is still ciphered.
+    pub fn decode(data: &[u8]) -> Result<Self, GsmError> {
+        let (msg, used) = Self::decode_prefix(data)?;
+        if used != data.len() {
+            return Err(GsmError::PduDecode {
+                offset: used,
+                reason: format!("{} trailing bytes after message", data.len() - used),
+            });
+        }
+        Ok(msg)
+    }
+
+    /// Parses a message from the front of `data`, returning the bytes
+    /// consumed.
+    fn decode_prefix(data: &[u8]) -> Result<(Self, usize), GsmError> {
+        let tag = *data.first().ok_or(GsmError::PduDecode {
+            offset: 0,
+            reason: "empty air message".into(),
+        })?;
+        let body = &data[1..];
+        let err = |reason: &str| GsmError::PduDecode { offset: 1, reason: reason.into() };
+        match tag {
+            0x0e => {
+                if body.len() < 5 {
+                    return Err(err("system info truncated"));
+                }
+                Ok((
+                    AirMessage::SystemInfo {
+                        cell: CellId(u16::from_be_bytes([body[0], body[1]])),
+                        lac: u16::from_be_bytes([body[2], body[3]]),
+                        ciphers: body[4],
+                    },
+                    6,
+                ))
+            }
+            0x01 => {
+                let (id, used) = decode_identity(body)?;
+                Ok((AirMessage::PagingRequest { id }, 1 + used))
+            }
+            0x02 => {
+                let (id, used) = decode_identity(body)?;
+                Ok((AirMessage::PagingResponse { id }, 1 + used))
+            }
+            0x03 => {
+                let (id, used) = decode_identity(body)?;
+                let classmark = *body.get(used).ok_or_else(|| err("missing classmark"))?;
+                Ok((AirMessage::LocationUpdateRequest { id, classmark }, 1 + used + 1))
+            }
+            0x04 => {
+                let flag = *body.first().ok_or_else(|| err("missing TMSI flag"))?;
+                let (new_tmsi, used) = if flag == 1 {
+                    let b = body.get(1..5).ok_or_else(|| err("TMSI truncated"))?;
+                    (Some(Tmsi(u32::from_be_bytes([b[0], b[1], b[2], b[3]]))), 6)
+                } else {
+                    (None, 2)
+                };
+                Ok((AirMessage::LocationUpdateAccept { new_tmsi }, used))
+            }
+            0x05 => Ok((AirMessage::IdentityRequest, 1)),
+            0x06 => {
+                let b = body.get(..8).ok_or_else(|| err("IMSI truncated"))?;
+                let v = u64::from_be_bytes([b[0], b[1], b[2], b[3], b[4], b[5], b[6], b[7]]);
+                Ok((AirMessage::IdentityResponse { imsi: Imsi::parse(&format!("{v:015}"))? }, 9))
+            }
+            0x07 => {
+                let b = body.get(..8).ok_or_else(|| err("RAND truncated"))?;
+                Ok((
+                    AirMessage::AuthRequest {
+                        rand: u64::from_be_bytes([b[0], b[1], b[2], b[3], b[4], b[5], b[6], b[7]]),
+                    },
+                    9,
+                ))
+            }
+            0x08 => {
+                let b = body.get(..4).ok_or_else(|| err("SRES truncated"))?;
+                Ok((
+                    AirMessage::AuthResponse { sres: u32::from_be_bytes([b[0], b[1], b[2], b[3]]) },
+                    5,
+                ))
+            }
+            0x09 => {
+                let bit = *body.first().ok_or_else(|| err("missing cipher algo"))?;
+                let algo = CipherAlgo::from_mask_bit(bit)
+                    .ok_or_else(|| err("unknown cipher algorithm"))?;
+                Ok((AirMessage::CipherModeCommand { algo }, 2))
+            }
+            0x0a => Ok((AirMessage::CipherModeComplete, 1)),
+            0x0b | 0x0c => {
+                let lb = body.get(..2).ok_or_else(|| err("missing TPDU length"))?;
+                let len = usize::from(u16::from_be_bytes([lb[0], lb[1]]));
+                let tpdu =
+                    body.get(2..2 + len).ok_or_else(|| err("TPDU truncated"))?.to_vec();
+                let msg = if tag == 0x0b {
+                    AirMessage::SmsDeliverData { tpdu }
+                } else {
+                    AirMessage::SmsSubmitData { tpdu }
+                };
+                Ok((msg, 3 + len))
+            }
+            0x0f => Ok((AirMessage::SmsAck, 1)),
+            0x0d => Ok((AirMessage::ChannelRelease, 1)),
+            0x10 => {
+                let b = body.get(..23).ok_or_else(|| err("SI5 truncated"))?;
+                if b != SI5_PADDING {
+                    return Err(err("SI5 padding corrupted"));
+                }
+                Ok((AirMessage::Si5Padding, 24))
+            }
+            other => Err(GsmError::PduDecode {
+                offset: 0,
+                reason: format!("unknown air message tag 0x{other:02x}"),
+            }),
+        }
+    }
+}
+
+fn encode_identity(id: &MsIdentity, out: &mut Vec<u8>) {
+    match id {
+        MsIdentity::Tmsi(t) => {
+            out.push(0);
+            out.extend_from_slice(&t.0.to_be_bytes());
+        }
+        MsIdentity::Imsi(i) => {
+            out.push(1);
+            out.extend_from_slice(&i.value().to_be_bytes());
+        }
+    }
+}
+
+fn decode_identity(data: &[u8]) -> Result<(MsIdentity, usize), GsmError> {
+    let tag = *data.first().ok_or(GsmError::PduDecode {
+        offset: 0,
+        reason: "missing identity tag".into(),
+    })?;
+    match tag {
+        0 => {
+            let b = data.get(1..5).ok_or(GsmError::PduDecode {
+                offset: 1,
+                reason: "TMSI truncated".into(),
+            })?;
+            Ok((MsIdentity::Tmsi(Tmsi(u32::from_be_bytes([b[0], b[1], b[2], b[3]]))), 5))
+        }
+        1 => {
+            let b = data.get(1..9).ok_or(GsmError::PduDecode {
+                offset: 1,
+                reason: "IMSI truncated".into(),
+            })?;
+            let v = u64::from_be_bytes([b[0], b[1], b[2], b[3], b[4], b[5], b[6], b[7]]);
+            Ok((MsIdentity::Imsi(Imsi::parse(&format!("{v:015}"))?), 9))
+        }
+        other => Err(GsmError::PduDecode {
+            offset: 0,
+            reason: format!("unknown identity tag {other}"),
+        }),
+    }
+}
+
+/// Transmission direction.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum Direction {
+    /// Base station to mobile.
+    Downlink,
+    /// Mobile to base station.
+    Uplink,
+}
+
+/// One captured burst on the air interface.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct AirFrame {
+    /// Monotonic capture sequence number.
+    pub seq: u64,
+    /// Transmission time.
+    pub time: SimClock,
+    /// TDMA frame number used for ciphering.
+    pub frame_number: u32,
+    /// Carrier the burst went out on.
+    pub arfcn: Arfcn,
+    /// Cell the burst belongs to.
+    pub cell: CellId,
+    /// Uplink or downlink.
+    pub direction: Direction,
+    /// Algorithm the payload is ciphered under.
+    pub cipher: CipherAlgo,
+    /// Transmitter position (used for the reception distance gate).
+    pub origin: Position,
+    /// Serialized [`AirMessage`], ciphered per `cipher`.
+    pub payload: Vec<u8>,
+}
+
+impl AirFrame {
+    /// Attempts to parse the payload as a plaintext air message. Fails for
+    /// frames ciphered under an algorithm the caller has no key for.
+    pub fn message_plaintext(&self) -> Result<AirMessage, GsmError> {
+        AirMessage::decode(&self.payload)
+    }
+
+    /// Decrypts (a copy of) the payload under `ctx` and parses it.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`GsmError::PduDecode`] when the context is wrong for this
+    /// frame (garbage after decryption fails to parse).
+    pub fn message_with(&self, ctx: &CipherContext) -> Result<AirMessage, GsmError> {
+        let mut data = self.payload.clone();
+        ctx.apply(self.frame_number, &mut data);
+        AirMessage::decode(&data)
+    }
+}
+
+/// Configuration of one simulated cell.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct CellConfig {
+    /// Cell identifier (must be unique within a network).
+    pub id: CellId,
+    /// Broadcast carrier.
+    pub arfcn: Arfcn,
+    /// Location area code.
+    pub lac: u16,
+    /// Cell site position.
+    pub position: Position,
+    /// Usable radius in metres.
+    pub range_m: f64,
+    /// Network cipher preference for this cell, strongest first.
+    pub cipher_preference: Vec<CipherAlgo>,
+}
+
+impl Default for CellConfig {
+    fn default() -> Self {
+        Self {
+            id: CellId(1),
+            arfcn: Arfcn(17),
+            lac: 0x1001,
+            position: Position::default(),
+            range_m: 800.0,
+            cipher_preference: vec![CipherAlgo::A51, CipherAlgo::A50],
+        }
+    }
+}
+
+/// The shared capture log every transmitter appends to.
+///
+/// The ether is an append-only Vec; receivers keep cursors into it. This
+/// gives byte-exact replayability and lets the sniffer revisit history
+/// (e.g. decrypt recorded frames after cracking a key — exactly the
+/// offline attack the rainbow tables enable).
+#[derive(Debug, Default)]
+pub struct Ether {
+    frames: Vec<AirFrame>,
+    next_seq: u64,
+    /// Per-mille probability that any given frame is lost to fading.
+    pub loss_per_mille: u16,
+    loss_counter: u64,
+}
+
+impl Ether {
+    /// Creates an empty, lossless ether.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Creates an ether that deterministically drops roughly
+    /// `loss_per_mille`/1000 of frames (systematic sampling).
+    pub fn with_loss(loss_per_mille: u16) -> Self {
+        Self { loss_per_mille: loss_per_mille.min(1000), ..Self::default() }
+    }
+
+    /// Transmits a frame: assigns a sequence number and appends to the
+    /// log. Returns `true` when the frame made it onto the air (i.e. was
+    /// not dropped by the loss model).
+    pub fn transmit(&mut self, mut frame: AirFrame) -> bool {
+        self.loss_counter += 1;
+        if self.loss_per_mille > 0
+            && (self.loss_counter.wrapping_mul(0x9e37_79b9)) % 1000 < u64::from(self.loss_per_mille)
+        {
+            return false;
+        }
+        frame.seq = self.next_seq;
+        self.next_seq += 1;
+        self.frames.push(frame);
+        true
+    }
+
+    /// All frames captured so far.
+    pub fn frames(&self) -> &[AirFrame] {
+        &self.frames
+    }
+
+    /// Frames with sequence number ≥ `cursor`, for incremental readers.
+    pub fn frames_since(&self, cursor: u64) -> &[AirFrame] {
+        let start = self.frames.partition_point(|f| f.seq < cursor);
+        &self.frames[start..]
+    }
+
+    /// Number of frames transmitted successfully.
+    pub fn len(&self) -> usize {
+        self.frames.len()
+    }
+
+    /// Whether nothing has been transmitted yet.
+    pub fn is_empty(&self) -> bool {
+        self.frames.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::a5::Kc;
+
+    fn sample_messages() -> Vec<AirMessage> {
+        vec![
+            AirMessage::SystemInfo { cell: CellId(3), lac: 0x2002, ciphers: 0b011 },
+            AirMessage::PagingRequest { id: MsIdentity::Tmsi(Tmsi(0xdeadbeef)) },
+            AirMessage::PagingResponse { id: MsIdentity::Imsi(Imsi::from_parts(460, 0, 99)) },
+            AirMessage::LocationUpdateRequest {
+                id: MsIdentity::Imsi(Imsi::from_parts(460, 1, 5)),
+                classmark: 0b011,
+            },
+            AirMessage::LocationUpdateAccept { new_tmsi: Some(Tmsi(7)) },
+            AirMessage::LocationUpdateAccept { new_tmsi: None },
+            AirMessage::IdentityRequest,
+            AirMessage::IdentityResponse { imsi: Imsi::from_parts(460, 0, 1) },
+            AirMessage::AuthRequest { rand: 0x0123_4567_89ab_cdef },
+            AirMessage::AuthResponse { sres: 0xcafe_f00d },
+            AirMessage::CipherModeCommand { algo: CipherAlgo::A51 },
+            AirMessage::CipherModeComplete,
+            AirMessage::SmsDeliverData { tpdu: vec![1, 2, 3, 4] },
+            AirMessage::SmsSubmitData { tpdu: vec![] },
+            AirMessage::SmsAck,
+            AirMessage::ChannelRelease,
+            AirMessage::Si5Padding,
+        ]
+    }
+
+    #[test]
+    fn air_message_roundtrip_all_variants() {
+        for msg in sample_messages() {
+            let bytes = msg.encode();
+            let back = AirMessage::decode(&bytes).unwrap();
+            assert_eq!(back, msg);
+        }
+    }
+
+    #[test]
+    fn air_message_decode_rejects_truncation() {
+        for msg in sample_messages() {
+            let bytes = msg.encode();
+            for cut in 0..bytes.len() {
+                // Single-byte messages at cut 0 give "empty" errors; all
+                // other truncations must also fail rather than panic.
+                let _ = AirMessage::decode(&bytes[..cut]);
+            }
+        }
+        assert!(AirMessage::decode(&[]).is_err());
+        assert!(AirMessage::decode(&[0x99]).is_err());
+    }
+
+    #[test]
+    fn position_distance() {
+        let a = Position::new(0.0, 0.0);
+        let b = Position::new(3.0, 4.0);
+        assert!((a.distance(b) - 5.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn ether_assigns_sequence_numbers() {
+        let mut ether = Ether::new();
+        for _ in 0..3 {
+            let sent = ether.transmit(test_frame(0));
+            assert!(sent);
+        }
+        let seqs: Vec<u64> = ether.frames().iter().map(|f| f.seq).collect();
+        assert_eq!(seqs, vec![0, 1, 2]);
+    }
+
+    #[test]
+    fn ether_frames_since_cursor() {
+        let mut ether = Ether::new();
+        for _ in 0..5 {
+            ether.transmit(test_frame(0));
+        }
+        assert_eq!(ether.frames_since(3).len(), 2);
+        assert_eq!(ether.frames_since(0).len(), 5);
+        assert_eq!(ether.frames_since(99).len(), 0);
+    }
+
+    #[test]
+    fn ether_loss_model_drops_roughly_proportionally() {
+        let mut ether = Ether::with_loss(250);
+        let mut sent = 0;
+        for _ in 0..1000 {
+            if ether.transmit(test_frame(0)) {
+                sent += 1;
+            }
+        }
+        assert!((600..=900).contains(&sent), "sent {sent} of 1000 at 25% loss");
+    }
+
+    #[test]
+    fn ciphered_frame_parses_only_with_key() {
+        let kc = Kc(0x1122_3344_5566_7788);
+        let ctx = CipherContext { algo: CipherAlgo::A51, kc };
+        let msg = AirMessage::SmsDeliverData { tpdu: vec![9, 9, 9] };
+        let mut payload = msg.encode();
+        ctx.apply(77, &mut payload);
+        let frame = AirFrame { payload, frame_number: 77, cipher: CipherAlgo::A51, ..test_frame(0) };
+        assert!(frame.message_plaintext().is_err() || frame.message_plaintext().unwrap() != msg);
+        assert_eq!(frame.message_with(&ctx).unwrap(), msg);
+    }
+
+    fn test_frame(frame_number: u32) -> AirFrame {
+        AirFrame {
+            seq: 0,
+            time: SimClock::new(),
+            frame_number,
+            arfcn: Arfcn(17),
+            cell: CellId(1),
+            direction: Direction::Downlink,
+            cipher: CipherAlgo::A50,
+            origin: Position::default(),
+            payload: AirMessage::ChannelRelease.encode(),
+        }
+    }
+}

@@ -1,0 +1,195 @@
+//! The store-and-forward short message service centre.
+
+use crate::error::GsmError;
+use crate::identity::Msisdn;
+use crate::pdu::SmsDeliver;
+use crate::time::SimClock;
+use serde::{Deserialize, Serialize};
+use std::collections::VecDeque;
+
+/// Delivery state of a queued message.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum DeliveryState {
+    /// Waiting for the recipient to become reachable.
+    Queued,
+    /// Handed to the serving cell.
+    Delivered,
+    /// Dropped after exceeding the retry budget.
+    Expired,
+}
+
+/// A message waiting in (or accounted for by) the SMS centre.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct QueuedSms {
+    /// Destination subscriber number.
+    pub destination: Msisdn,
+    /// The deliver TPDU to hand to the serving cell.
+    pub tpdu: SmsDeliver,
+    /// Submission time.
+    pub submitted_at: SimClock,
+    /// Delivery attempts made so far.
+    pub attempts: u8,
+    /// Current state.
+    pub state: DeliveryState,
+}
+
+/// A store-and-forward SMS centre with a bounded queue and retry budget.
+#[derive(Debug, Clone)]
+pub struct SmsCenter {
+    queue: VecDeque<QueuedSms>,
+    delivered: Vec<QueuedSms>,
+    max_queue: usize,
+    max_attempts: u8,
+}
+
+impl Default for SmsCenter {
+    fn default() -> Self {
+        Self::new(10_000, 5)
+    }
+}
+
+impl SmsCenter {
+    /// Creates a centre with the given queue bound and retry budget.
+    pub fn new(max_queue: usize, max_attempts: u8) -> Self {
+        Self { queue: VecDeque::new(), delivered: Vec::new(), max_queue, max_attempts }
+    }
+
+    /// Accepts a message for delivery.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`GsmError::SmscReject`] when the queue is full.
+    pub fn submit(
+        &mut self,
+        destination: Msisdn,
+        tpdu: SmsDeliver,
+        now: SimClock,
+    ) -> Result<(), GsmError> {
+        if self.queue.len() >= self.max_queue {
+            return Err(GsmError::SmscReject(format!("queue full ({} messages)", self.max_queue)));
+        }
+        self.queue.push_back(QueuedSms {
+            destination,
+            tpdu,
+            submitted_at: now,
+            attempts: 0,
+            state: DeliveryState::Queued,
+        });
+        Ok(())
+    }
+
+    /// Takes the next queued message for `destination`, marking an attempt.
+    /// The caller must report the outcome via [`SmsCenter::confirm`] or
+    /// [`SmsCenter::requeue`].
+    pub fn take_for(&mut self, destination: &Msisdn) -> Option<QueuedSms> {
+        let idx = self.queue.iter().position(|m| &m.destination == destination)?;
+        let mut msg = self.queue.remove(idx)?;
+        msg.attempts += 1;
+        Some(msg)
+    }
+
+    /// Records a successful delivery.
+    pub fn confirm(&mut self, mut msg: QueuedSms) {
+        msg.state = DeliveryState::Delivered;
+        self.delivered.push(msg);
+    }
+
+    /// Returns a message to the queue after a failed attempt; expires it
+    /// once the retry budget is exhausted.
+    pub fn requeue(&mut self, mut msg: QueuedSms) {
+        if msg.attempts >= self.max_attempts {
+            msg.state = DeliveryState::Expired;
+            self.delivered.push(msg);
+        } else {
+            self.queue.push_back(msg);
+        }
+    }
+
+    /// Messages still waiting.
+    pub fn pending(&self) -> usize {
+        self.queue.len()
+    }
+
+    /// Destinations with pending traffic, deduplicated in queue order.
+    pub fn pending_destinations(&self) -> Vec<Msisdn> {
+        let mut seen = Vec::new();
+        for m in &self.queue {
+            if !seen.contains(&m.destination) {
+                seen.push(m.destination.clone());
+            }
+        }
+        seen
+    }
+
+    /// Completed (delivered or expired) messages, oldest first.
+    pub fn history(&self) -> &[QueuedSms] {
+        &self.delivered
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::pdu::Address;
+
+    fn deliver(text: &str) -> SmsDeliver {
+        SmsDeliver::new(Address::alphanumeric("Google").unwrap(), text).unwrap()
+    }
+
+    fn num(s: &str) -> Msisdn {
+        Msisdn::new(s).unwrap()
+    }
+
+    #[test]
+    fn submit_take_confirm_flow() {
+        let mut smsc = SmsCenter::default();
+        smsc.submit(num("13800138000"), deliver("code 1"), SimClock::new()).unwrap();
+        assert_eq!(smsc.pending(), 1);
+        let msg = smsc.take_for(&num("13800138000")).unwrap();
+        assert_eq!(msg.attempts, 1);
+        smsc.confirm(msg);
+        assert_eq!(smsc.pending(), 0);
+        assert_eq!(smsc.history().len(), 1);
+        assert_eq!(smsc.history()[0].state, DeliveryState::Delivered);
+    }
+
+    #[test]
+    fn take_for_respects_destination() {
+        let mut smsc = SmsCenter::default();
+        smsc.submit(num("13800138000"), deliver("a"), SimClock::new()).unwrap();
+        assert!(smsc.take_for(&num("13900000000")).is_none());
+        assert!(smsc.take_for(&num("13800138000")).is_some());
+    }
+
+    #[test]
+    fn requeue_until_expiry() {
+        let mut smsc = SmsCenter::new(10, 2);
+        smsc.submit(num("13800138000"), deliver("x"), SimClock::new()).unwrap();
+        let m = smsc.take_for(&num("13800138000")).unwrap();
+        smsc.requeue(m); // attempt 1 of 2
+        let m = smsc.take_for(&num("13800138000")).unwrap();
+        assert_eq!(m.attempts, 2);
+        smsc.requeue(m); // budget exhausted
+        assert_eq!(smsc.pending(), 0);
+        assert_eq!(smsc.history()[0].state, DeliveryState::Expired);
+    }
+
+    #[test]
+    fn queue_bound_is_enforced() {
+        let mut smsc = SmsCenter::new(1, 3);
+        smsc.submit(num("13800138000"), deliver("a"), SimClock::new()).unwrap();
+        let err = smsc.submit(num("13800138000"), deliver("b"), SimClock::new());
+        assert!(matches!(err, Err(GsmError::SmscReject(_))));
+    }
+
+    #[test]
+    fn pending_destinations_dedup() {
+        let mut smsc = SmsCenter::default();
+        let a = num("13800138000");
+        let b = num("13900000000");
+        smsc.submit(a.clone(), deliver("1"), SimClock::new()).unwrap();
+        smsc.submit(a.clone(), deliver("2"), SimClock::new()).unwrap();
+        smsc.submit(b.clone(), deliver("3"), SimClock::new()).unwrap();
+        assert_eq!(smsc.pending_destinations(), vec![a, b]);
+    }
+}

@@ -1,0 +1,615 @@
+//! The passive SMS sniffer — the OsmocomBB/C118 rig of the paper.
+//!
+//! Each of the rig's receivers camps on one ARFCN; everything transmitted
+//! within range on a monitored carrier is captured. Plaintext (A5/0)
+//! traffic is read directly. A5/1 sessions are attacked for real: the
+//! sniffer takes the ciphered SI5 padding frame (known plaintext), derives
+//! keystream, and runs an exhaustive search over the weak-key subspace
+//! with the genuine cipher — the reduced-form equivalent of a rainbow-
+//! table lookup. Recovered keys decrypt the whole recorded session,
+//! including the SMS-DELIVER carrying the one-time code.
+
+use crate::a5::{Kc, RainbowTableModel, SubsetKeySearch, WEAK_KC_BASE};
+use crate::arfcn::Arfcn;
+use crate::cipher::{CipherAlgo, CipherContext};
+use crate::error::GsmError;
+use crate::network::GsmNetwork;
+use crate::pdu::SmsDeliver;
+use crate::radio::{AirFrame, AirMessage, CellId, Ether, Position};
+use crate::time::SimClock;
+use serde::{Deserialize, Serialize};
+use std::collections::HashMap;
+
+/// A pluggable A5/1 key-recovery strategy fed with the keystream bits the
+/// sniffer derives from a ciphered SI5 burst.
+pub trait KeyCracker {
+    /// Attempts recovery; returns the key and the simulated latency in
+    /// milliseconds on success.
+    fn crack(&mut self, frame_number: u32, keystream_bits: &[u8]) -> Option<(Kc, u64)>;
+}
+
+/// Exhaustive search over the weak-key subspace (the reduced-form
+/// rainbow-table substitute; always succeeds when the key is in range).
+#[derive(Debug, Clone)]
+pub struct ExactSearchCracker {
+    /// Keyspace bits to exhaust.
+    pub bits: u32,
+    /// Simulated search speed in keys per millisecond.
+    pub keys_per_ms: u64,
+}
+
+impl KeyCracker for ExactSearchCracker {
+    fn crack(&mut self, frame_number: u32, keystream_bits: &[u8]) -> Option<(Kc, u64)> {
+        let search = SubsetKeySearch::new(Kc(WEAK_KC_BASE), self.bits);
+        search
+            .recover(frame_number, keystream_bits)
+            .map(|(kc, tried)| (kc, tried / self.keys_per_ms.max(1)))
+    }
+}
+
+/// Probabilistic rainbow-table lookup against *full-strength* session
+/// keys. The published-table statistics (≈90% hit rate, seconds of
+/// lookup) are drawn from [`RainbowTableModel`]; the substituted table
+/// walk itself is stood in by a key oracle over the network's live
+/// sessions — a candidate key only "hits" when it actually reproduces
+/// the observed keystream, so the sniffer can never crack traffic it
+/// did not correctly capture.
+pub struct OracleTableCracker<'a> {
+    net: &'a GsmNetwork,
+    model: RainbowTableModel,
+}
+
+impl<'a> OracleTableCracker<'a> {
+    /// Creates a cracker over the network's current sessions.
+    pub fn new(net: &'a GsmNetwork, model: RainbowTableModel) -> Self {
+        Self { net, model }
+    }
+}
+
+impl KeyCracker for OracleTableCracker<'_> {
+    fn crack(&mut self, frame_number: u32, keystream_bits: &[u8]) -> Option<(Kc, u64)> {
+        for sub in self.net.subscriber_ids() {
+            let Some(kc) = self.net.current_kc(sub) else { continue };
+            // The model validates keystream consistency internally:
+            // wrong candidates always miss, right ones hit at table rate.
+            if let crate::a5::CrackOutcome::Recovered { kc, latency_ms } =
+                self.model.crack(kc, frame_number, keystream_bits)
+            {
+                return Some((kc, latency_ms));
+            }
+        }
+        None
+    }
+}
+
+/// Sniffer rig configuration.
+#[derive(Debug, Clone)]
+pub struct SnifferConfig {
+    /// Where the rig sits.
+    pub position: Position,
+    /// Receiver sensitivity radius in metres (the paper's attacks work
+    /// "within hundreds of metres").
+    pub range_m: f64,
+    /// Number of single-carrier receivers (the paper uses 16 C118s).
+    pub receivers: usize,
+    /// Size (in bits) of the keyspace the cracker can exhaust — the
+    /// attacker's "table coverage". Must be ≥ the network's
+    /// `session_key_bits` for cracking to succeed.
+    pub crack_bits: u32,
+    /// Simulated search speed in keys per millisecond.
+    pub crack_rate_keys_per_ms: u64,
+}
+
+impl Default for SnifferConfig {
+    fn default() -> Self {
+        Self {
+            position: Position::default(),
+            range_m: 600.0,
+            receivers: 16,
+            crack_bits: 20,
+            crack_rate_keys_per_ms: 1_000,
+        }
+    }
+}
+
+/// One SMS recovered off the air.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct SniffedSms {
+    /// Cell the delivery was observed on.
+    pub cell: CellId,
+    /// Carrier it was captured from.
+    pub arfcn: Arfcn,
+    /// Capture time.
+    pub time: SimClock,
+    /// Displayed sender.
+    pub originator: String,
+    /// Recovered message text.
+    pub text: String,
+    /// Cipher the frame was protected with.
+    pub cipher: CipherAlgo,
+    /// Session key used for decryption, when one had to be cracked.
+    pub cracked_key: Option<Kc>,
+    /// Simulated key-search latency charged to this message (ms).
+    pub crack_latency_ms: u64,
+    /// Whether this was a mobile-originated submission (uplink) rather
+    /// than a delivery; `originator` then names the *destination*.
+    pub uplink: bool,
+}
+
+/// Outcome statistics of a sniffing run.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default, Serialize, Deserialize)]
+pub struct SnifferStats {
+    /// Frames seen on monitored carriers within range.
+    pub frames_captured: usize,
+    /// Frames outside range or on unmonitored carriers.
+    pub frames_missed: usize,
+    /// A5/1 sessions whose key was recovered.
+    pub sessions_cracked: usize,
+    /// A5/1 or A5/3 sessions that stayed dark.
+    pub sessions_dark: usize,
+    /// SMS messages recovered.
+    pub sms_recovered: usize,
+}
+
+/// Per-cell cracking state. Several subscribers share a cell, each with
+/// their own session key, so the rig accumulates every key it recovers
+/// and tries all of them against each ciphered frame.
+#[derive(Debug, Clone, Default)]
+struct CellState {
+    /// Every session key recovered on this cell, with its crack latency.
+    keys: Vec<(Kc, u64)>,
+    /// SI5 keystreams that failed the search (strong keys) — avoids
+    /// re-searching identical bursts.
+    dark_marked: bool,
+    /// Ciphered frames no known key decrypts yet.
+    pending: Vec<AirFrame>,
+}
+
+/// A passive multi-carrier capture rig.
+#[derive(Debug)]
+pub struct PassiveSniffer {
+    config: SnifferConfig,
+    monitored: Vec<Arfcn>,
+    cursor: u64,
+    cells: HashMap<CellId, CellState>,
+    captures: Vec<AirFrame>,
+    sms: Vec<SniffedSms>,
+    stats: SnifferStats,
+}
+
+impl PassiveSniffer {
+    /// Creates an idle rig.
+    pub fn new(config: SnifferConfig) -> Self {
+        Self {
+            config,
+            monitored: Vec::new(),
+            cursor: 0,
+            cells: HashMap::new(),
+            captures: Vec::new(),
+            sms: Vec::new(),
+            stats: SnifferStats::default(),
+        }
+    }
+
+    /// Tunes a receiver to `arfcn`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`GsmError::SnifferCapacity`] once every receiver is busy.
+    pub fn monitor(&mut self, arfcn: Arfcn) -> Result<(), GsmError> {
+        if self.monitored.contains(&arfcn) {
+            return Ok(());
+        }
+        if self.monitored.len() >= self.config.receivers {
+            return Err(GsmError::SnifferCapacity { capacity: self.config.receivers });
+        }
+        self.monitored.push(arfcn);
+        Ok(())
+    }
+
+    /// Currently monitored carriers.
+    pub fn monitored(&self) -> &[Arfcn] {
+        &self.monitored
+    }
+
+    /// Ingests everything new on the ether since the last poll, cracking
+    /// weak keys by exhaustive search.
+    pub fn poll(&mut self, ether: &Ether) {
+        let mut cracker = ExactSearchCracker {
+            bits: self.config.crack_bits,
+            keys_per_ms: self.config.crack_rate_keys_per_ms,
+        };
+        self.poll_with(ether, &mut cracker);
+    }
+
+    /// Ingests new traffic, attacking A5/1 sessions with probabilistic
+    /// rainbow-table lookups — works against full-strength keys, but a
+    /// table miss leaves that session dark for good.
+    pub fn poll_with_tables(&mut self, net: &GsmNetwork, model: RainbowTableModel) {
+        // The borrow of `net.ether()` and the oracle over `net` are both
+        // immutable; clone the frames up front to keep them disjoint.
+        let mut cracker = OracleTableCracker::new(net, model);
+        let frames: Vec<AirFrame> = net.ether().frames_since(self.cursor).to_vec();
+        if let Some(last) = frames.last() {
+            self.cursor = last.seq + 1;
+        }
+        for frame in frames {
+            self.ingest(frame, &mut cracker);
+        }
+    }
+
+    /// Ingests new traffic with a custom key-recovery strategy.
+    pub fn poll_with(&mut self, ether: &Ether, cracker: &mut dyn KeyCracker) {
+        let frames: Vec<AirFrame> = ether.frames_since(self.cursor).to_vec();
+        if let Some(last) = frames.last() {
+            self.cursor = last.seq + 1;
+        }
+        for frame in frames {
+            self.ingest(frame, cracker);
+        }
+    }
+
+    fn ingest(&mut self, frame: AirFrame, cracker: &mut dyn KeyCracker) {
+        let in_range = frame.origin.distance(self.config.position) <= self.config.range_m;
+        let tuned = self.monitored.contains(&frame.arfcn);
+        if !in_range || !tuned {
+            self.stats.frames_missed += 1;
+            return;
+        }
+        self.stats.frames_captured += 1;
+        self.captures.push(frame.clone());
+
+        match frame.cipher {
+            CipherAlgo::A50 => {
+                if let Ok(msg) = frame.message_plaintext() {
+                    self.handle_plain(&frame, &msg, None, 0);
+                }
+            }
+            CipherAlgo::A51 => self.handle_ciphered(frame, cracker),
+            CipherAlgo::A53 => {
+                // Uncrackable: record the cell as dark once.
+                let entry = self.cells.entry(frame.cell).or_default();
+                if !entry.dark_marked {
+                    entry.dark_marked = true;
+                    self.stats.sessions_dark += 1;
+                }
+            }
+        }
+    }
+
+    fn handle_ciphered(&mut self, frame: AirFrame, cracker: &mut dyn KeyCracker) {
+        let cell = frame.cell;
+        let known_keys = self.cells.entry(cell).or_default().keys.clone();
+
+        // Try every session key already recovered on this cell.
+        for (kc, latency) in &known_keys {
+            let ctx = CipherContext { algo: CipherAlgo::A51, kc: *kc };
+            if let Ok(msg) = frame.message_with(&ctx) {
+                self.handle_plain(&frame, &msg, Some(*kc), *latency);
+                return;
+            }
+        }
+
+        // Unknown key: try the frame as SI5 known plaintext
+        // (keystream = ciphertext XOR the fixed padding).
+        let plain = AirMessage::Si5Padding.encode();
+        if frame.payload.len() == plain.len() {
+            let keystream_bytes: Vec<u8> =
+                frame.payload.iter().zip(&plain).map(|(c, p)| c ^ p).collect();
+            let mut keystream_bits = Vec::with_capacity(keystream_bytes.len() * 8);
+            for b in &keystream_bytes {
+                for i in (0..8).rev() {
+                    keystream_bits.push((b >> i) & 1);
+                }
+            }
+            if let Some((kc, latency_ms)) = cracker.crack(frame.frame_number, &keystream_bits) {
+                let state = self.cells.get_mut(&cell).expect("inserted above");
+                state.keys.push((kc, latency_ms));
+                self.stats.sessions_cracked += 1;
+                // Replay recorded frames the new key decrypts.
+                let pending = std::mem::take(&mut state.pending);
+                let ctx = CipherContext { algo: CipherAlgo::A51, kc };
+                let mut still_pending = Vec::new();
+                for old in pending {
+                    match old.message_with(&ctx) {
+                        Ok(msg) => self.handle_plain(&old, &msg, Some(kc), latency_ms),
+                        Err(_) => still_pending.push(old),
+                    }
+                }
+                self.cells.get_mut(&cell).expect("present").pending = still_pending;
+                return;
+            }
+            // A well-formed SI5-length burst that yields no key: that
+            // session stays dark (one SI5 burst marks one session).
+            self.stats.sessions_dark += 1;
+            return;
+        }
+        self.cells.get_mut(&cell).expect("inserted above").pending.push(frame);
+    }
+
+    fn handle_plain(&mut self, frame: &AirFrame, msg: &AirMessage, key: Option<Kc>, latency: u64) {
+        match msg {
+            AirMessage::SmsDeliverData { tpdu } => {
+                if let Ok(deliver) = SmsDeliver::decode(tpdu) {
+                    if let Ok(text) = deliver.text() {
+                        self.sms.push(SniffedSms {
+                            cell: frame.cell,
+                            arfcn: frame.arfcn,
+                            time: frame.time,
+                            originator: deliver.originator.to_string(),
+                            text,
+                            cipher: frame.cipher,
+                            cracked_key: key,
+                            crack_latency_ms: latency,
+                            uplink: false,
+                        });
+                        self.stats.sms_recovered += 1;
+                    }
+                }
+            }
+            AirMessage::SmsSubmitData { tpdu } => {
+                if let Ok(submit) = crate::pdu::SmsSubmit::decode(tpdu) {
+                    if let Ok(text) = submit.text() {
+                        self.sms.push(SniffedSms {
+                            cell: frame.cell,
+                            arfcn: frame.arfcn,
+                            time: frame.time,
+                            originator: submit.destination.to_string(),
+                            text,
+                            cipher: frame.cipher,
+                            cracked_key: key,
+                            crack_latency_ms: latency,
+                            uplink: true,
+                        });
+                        self.stats.sms_recovered += 1;
+                    }
+                }
+            }
+            _ => {}
+        }
+    }
+
+    /// Everything captured so far, in order.
+    pub fn captures(&self) -> &[AirFrame] {
+        &self.captures
+    }
+
+    /// All SMS recovered so far.
+    pub fn sms(&self) -> &[SniffedSms] {
+        &self.sms
+    }
+
+    /// SMS whose text matches any of the given case-sensitive substrings —
+    /// the Wireshark-style OTP display filter of Fig. 5.
+    pub fn sms_matching<'a>(&'a self, needles: &'a [&'a str]) -> impl Iterator<Item = &'a SniffedSms> {
+        self.sms.iter().filter(move |s| needles.iter().any(|n| s.text.contains(n)))
+    }
+
+    /// Run statistics.
+    pub fn stats(&self) -> SnifferStats {
+        self.stats
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::identity::Msisdn;
+    use crate::network::{GsmNetwork, NetworkConfig};
+
+    fn weak_net() -> GsmNetwork {
+        GsmNetwork::new(NetworkConfig { session_key_bits: 16, ..Default::default() })
+    }
+
+    fn rig() -> PassiveSniffer {
+        let mut s = PassiveSniffer::new(SnifferConfig {
+            crack_bits: 16,
+            ..SnifferConfig::default()
+        });
+        s.monitor(Arfcn(17)).unwrap();
+        s
+    }
+
+    fn msisdn(s: &str) -> Msisdn {
+        Msisdn::new(s).unwrap()
+    }
+
+    #[test]
+    fn sniffs_plaintext_network_directly() {
+        let mut net = GsmNetwork::new(NetworkConfig {
+            cipher_preference: vec![CipherAlgo::A50],
+            ..Default::default()
+        });
+        let id = net.provision_subscriber("v", msisdn("13800138000")).unwrap();
+        net.attach(id).unwrap();
+        net.send_sms(&msisdn("13800138000"), "G-786348 is your Google verification code.").unwrap();
+        let mut sniffer = rig();
+        sniffer.poll(net.ether());
+        assert_eq!(sniffer.sms().len(), 1);
+        assert_eq!(sniffer.sms()[0].cipher, CipherAlgo::A50);
+        assert!(sniffer.sms()[0].cracked_key.is_none());
+        assert!(sniffer.sms()[0].text.contains("G-786348"));
+    }
+
+    #[test]
+    fn cracks_weak_a51_session_and_reads_otp() {
+        let mut net = weak_net();
+        let id = net.provision_subscriber("v", msisdn("13800138000")).unwrap();
+        net.attach(id).unwrap();
+        net.send_sms(&msisdn("13800138000"), "255436 is your Facebook password reset code").unwrap();
+        let mut sniffer = rig();
+        sniffer.poll(net.ether());
+        assert_eq!(sniffer.stats().sessions_cracked, 1);
+        assert_eq!(sniffer.sms().len(), 1);
+        let sms = &sniffer.sms()[0];
+        assert_eq!(sms.cipher, CipherAlgo::A51);
+        assert_eq!(sms.cracked_key, net.current_kc(id), "recovered the true session key");
+        assert!(sms.text.contains("255436"));
+    }
+
+    #[test]
+    fn strong_keys_stay_dark() {
+        let mut net = GsmNetwork::new(NetworkConfig { session_key_bits: 64, ..Default::default() });
+        let id = net.provision_subscriber("v", msisdn("13800138000")).unwrap();
+        net.attach(id).unwrap();
+        net.send_sms(&msisdn("13800138000"), "secret 111222").unwrap();
+        let mut sniffer = rig();
+        sniffer.poll(net.ether());
+        assert_eq!(sniffer.stats().sessions_cracked, 0);
+        assert_eq!(sniffer.stats().sessions_dark, 1);
+        assert!(sniffer.sms().is_empty());
+    }
+
+    #[test]
+    fn a53_sessions_stay_dark() {
+        let mut net = GsmNetwork::new(NetworkConfig {
+            cipher_preference: vec![CipherAlgo::A53],
+            session_key_bits: 16,
+            ..Default::default()
+        });
+        let id = net.provision_subscriber("v", msisdn("13800138000")).unwrap();
+        net.attach(id).unwrap();
+        net.send_sms(&msisdn("13800138000"), "secret 333444").unwrap();
+        let mut sniffer = rig();
+        sniffer.poll(net.ether());
+        assert!(sniffer.sms().is_empty());
+    }
+
+    #[test]
+    fn out_of_range_traffic_is_missed() {
+        let mut net = weak_net();
+        let id = net.provision_subscriber("v", msisdn("13800138000")).unwrap();
+        net.attach(id).unwrap();
+        net.send_sms(&msisdn("13800138000"), "far away 555").unwrap();
+        let mut sniffer = PassiveSniffer::new(SnifferConfig {
+            position: Position::new(5_000.0, 5_000.0),
+            crack_bits: 16,
+            ..SnifferConfig::default()
+        });
+        sniffer.monitor(Arfcn(17)).unwrap();
+        sniffer.poll(net.ether());
+        assert_eq!(sniffer.stats().frames_captured, 0);
+        assert!(sniffer.stats().frames_missed > 0);
+        assert!(sniffer.sms().is_empty());
+    }
+
+    #[test]
+    fn unmonitored_arfcn_is_missed() {
+        let mut net = weak_net();
+        let id = net.provision_subscriber("v", msisdn("13800138000")).unwrap();
+        net.attach(id).unwrap();
+        net.send_sms(&msisdn("13800138000"), "wrong channel 777").unwrap();
+        let mut sniffer = PassiveSniffer::new(SnifferConfig::default());
+        sniffer.monitor(Arfcn(99)).unwrap();
+        sniffer.poll(net.ether());
+        assert!(sniffer.sms().is_empty());
+    }
+
+    #[test]
+    fn receiver_capacity_enforced() {
+        let mut sniffer = PassiveSniffer::new(SnifferConfig { receivers: 2, ..Default::default() });
+        sniffer.monitor(Arfcn(1)).unwrap();
+        sniffer.monitor(Arfcn(2)).unwrap();
+        assert!(matches!(sniffer.monitor(Arfcn(3)), Err(GsmError::SnifferCapacity { capacity: 2 })));
+        // Re-monitoring an existing carrier is free.
+        sniffer.monitor(Arfcn(1)).unwrap();
+    }
+
+    #[test]
+    fn incremental_polling_does_not_duplicate() {
+        let mut net = weak_net();
+        let id = net.provision_subscriber("v", msisdn("13800138000")).unwrap();
+        net.attach(id).unwrap();
+        net.send_sms(&msisdn("13800138000"), "first 111").unwrap();
+        let mut sniffer = rig();
+        sniffer.poll(net.ether());
+        let after_first = sniffer.sms().len();
+        sniffer.poll(net.ether());
+        assert_eq!(sniffer.sms().len(), after_first, "re-poll found nothing new");
+        net.send_sms(&msisdn("13800138000"), "second 222").unwrap();
+        sniffer.poll(net.ether());
+        assert_eq!(sniffer.sms().len(), after_first + 1);
+    }
+
+    #[test]
+    fn rainbow_tables_crack_full_strength_keys_probabilistically() {
+        use crate::a5::RainbowTableModel;
+        // Full 64-bit keys: exhaustive search is hopeless, tables are the
+        // only way — exactly the published-table reality.
+        let mut net = GsmNetwork::new(NetworkConfig::default());
+        let id = net.provision_subscriber("v", msisdn("13800138000")).unwrap();
+        net.attach(id).unwrap();
+        net.send_sms(&msisdn("13800138000"), "424242 is your Google login code.").unwrap();
+
+        // Exhaustive search (even generous) fails…
+        let mut blind = rig();
+        blind.poll(net.ether());
+        assert_eq!(blind.stats().sessions_cracked, 0);
+
+        // …a perfect table cracks it…
+        let mut sniffer = PassiveSniffer::new(SnifferConfig::default());
+        sniffer.monitor(Arfcn(17)).unwrap();
+        sniffer.poll_with_tables(&net, RainbowTableModel::new(1).with_hit_rate(1.0));
+        assert_eq!(sniffer.stats().sessions_cracked, 1);
+        assert_eq!(sniffer.sms().len(), 1);
+        assert!(sniffer.sms()[0].crack_latency_ms >= 2_000, "table lookups cost seconds");
+
+        // …and an empty table leaves it dark.
+        let mut missed = PassiveSniffer::new(SnifferConfig::default());
+        missed.monitor(Arfcn(17)).unwrap();
+        missed.poll_with_tables(&net, RainbowTableModel::new(1).with_hit_rate(0.0));
+        assert_eq!(missed.stats().sessions_cracked, 0);
+        assert!(missed.sms().is_empty());
+    }
+
+    #[test]
+    fn rainbow_tables_miss_some_sessions_at_realistic_rates() {
+        use crate::a5::RainbowTableModel;
+        let mut net = GsmNetwork::new(NetworkConfig::default());
+        for i in 0..30 {
+            let m = msisdn(&format!("139{i:08}"));
+            let id = net.provision_subscriber(&format!("u{i}"), m.clone()).unwrap();
+            net.attach(id).unwrap();
+        }
+        let mut sniffer = PassiveSniffer::new(SnifferConfig::default());
+        sniffer.monitor(Arfcn(17)).unwrap();
+        sniffer.poll_with_tables(&net, RainbowTableModel::new(5));
+        let s = sniffer.stats();
+        assert_eq!(s.sessions_cracked + s.sessions_dark, 30);
+        assert!(s.sessions_cracked >= 20, "~90%% hit rate, got {}", s.sessions_cracked);
+        assert!(s.sessions_dark >= 1, "misses should occur across 30 sessions");
+    }
+
+    #[test]
+    fn uplink_submissions_are_sniffed_too() {
+        let mut net = weak_net();
+        let a = net.provision_subscriber("a", msisdn("13800138000")).unwrap();
+        let b = net.provision_subscriber("b", msisdn("13900139000")).unwrap();
+        net.attach(a).unwrap();
+        net.attach(b).unwrap();
+        net.ms_send_sms(a, &Msisdn::new("13900139000").unwrap(), "my pin is 4421, don't share")
+            .unwrap();
+        let mut sniffer = rig();
+        sniffer.poll(net.ether());
+        let uplink: Vec<_> = sniffer.sms().iter().filter(|s| s.uplink).collect();
+        assert_eq!(uplink.len(), 1, "captured the mobile-originated submit");
+        assert!(uplink[0].text.contains("4421"));
+        assert_eq!(uplink[0].originator, "13900139000", "records the destination");
+        // The delivery leg was captured as well.
+        assert!(sniffer.sms().iter().any(|s| !s.uplink && s.text.contains("4421")));
+    }
+
+    #[test]
+    fn otp_display_filter() {
+        let mut net = weak_net();
+        let id = net.provision_subscriber("v", msisdn("13800138000")).unwrap();
+        net.attach(id).unwrap();
+        net.send_sms(&msisdn("13800138000"), "G-786348 is your Google verification code.").unwrap();
+        net.send_sms(&msisdn("13800138000"), "lunch at noon?").unwrap();
+        let mut sniffer = rig();
+        sniffer.poll(net.ether());
+        let hits: Vec<_> = sniffer.sms_matching(&["verification code", "reset code"]).collect();
+        assert_eq!(hits.len(), 1);
+        assert!(hits[0].text.contains("Google"));
+    }
+}

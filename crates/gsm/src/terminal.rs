@@ -1,0 +1,324 @@
+//! The mobile station (victim handset) state machine.
+
+use crate::a5::Kc;
+use crate::cipher::{CipherContext, CipherSet};
+use crate::identity::{Imsi, Msisdn, Tmsi};
+use crate::pdu::ConcatInfo;
+use crate::radio::{CellId, Position};
+use crate::time::SimClock;
+use serde::{Deserialize, Serialize};
+use std::collections::HashMap;
+
+/// A short message as seen by the handset after reassembly.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct ReceivedSms {
+    /// Sender as displayed (number or alphanumeric ID).
+    pub originator: String,
+    /// Decoded message body.
+    pub text: String,
+    /// Delivery time.
+    pub time: SimClock,
+    /// The raw SMS-DELIVER TPDU as received.
+    pub raw_tpdu: Vec<u8>,
+}
+
+/// Radio access technologies a handset supports.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum RatPreference {
+    /// 2G only — always reachable over GSM.
+    GsmOnly,
+    /// Prefers LTE; falls back to GSM only when LTE is jammed or absent.
+    /// SMS over LTE is out of reach for the paper's GSM attacks, which is
+    /// why the active rig carries a 4G jammer.
+    PreferLte,
+}
+
+/// Serving-cell attachment state.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum Camp {
+    /// No service.
+    Idle,
+    /// Camped on a legitimate network cell.
+    Real(CellId),
+    /// Camped on an attacker's fake base station.
+    Fake(CellId),
+}
+
+/// A simulated handset with a SIM.
+#[derive(Debug, Clone)]
+pub struct MobileStation {
+    imsi: Imsi,
+    msisdn: Msisdn,
+    /// SIM secret used by the A3/A8 simulation.
+    ki: u64,
+    tmsi: Option<Tmsi>,
+    classmark: CipherSet,
+    rat: RatPreference,
+    position: Position,
+    camp: Camp,
+    ctx: CipherContext,
+    inbox: Vec<ReceivedSms>,
+    /// Multipart messages awaiting missing parts, keyed by
+    /// (originator, concat reference).
+    partials: HashMap<(String, u8), PartialMessage>,
+    lte_jammed: bool,
+}
+
+#[derive(Debug, Clone)]
+struct PartialMessage {
+    parts: Vec<Option<String>>,
+    first_time: SimClock,
+    first_raw: Vec<u8>,
+}
+
+impl MobileStation {
+    /// Creates a handset for the given SIM identity.
+    pub fn new(imsi: Imsi, msisdn: Msisdn, ki: u64) -> Self {
+        Self {
+            imsi,
+            msisdn,
+            ki,
+            tmsi: None,
+            classmark: CipherSet::all(),
+            rat: RatPreference::PreferLte,
+            position: Position::default(),
+            camp: Camp::Idle,
+            ctx: CipherContext::plaintext(),
+            inbox: Vec::new(),
+            partials: HashMap::new(),
+            lte_jammed: false,
+        }
+    }
+
+    /// The SIM's permanent identity.
+    pub fn imsi(&self) -> Imsi {
+        self.imsi
+    }
+
+    /// The subscriber's phone number.
+    pub fn msisdn(&self) -> &Msisdn {
+        &self.msisdn
+    }
+
+    /// Currently assigned TMSI, if any.
+    pub fn tmsi(&self) -> Option<Tmsi> {
+        self.tmsi
+    }
+
+    /// Assigns or clears the TMSI (network side of TMSI reallocation).
+    pub fn set_tmsi(&mut self, tmsi: Option<Tmsi>) {
+        self.tmsi = tmsi;
+    }
+
+    /// Cipher capabilities reported in the classmark.
+    pub fn classmark(&self) -> CipherSet {
+        self.classmark
+    }
+
+    /// Overrides the classmark (used to model handsets without A5/3).
+    pub fn set_classmark(&mut self, classmark: CipherSet) {
+        self.classmark = classmark;
+    }
+
+    /// Radio access preference.
+    pub fn rat(&self) -> RatPreference {
+        self.rat
+    }
+
+    /// Sets the radio access preference.
+    pub fn set_rat(&mut self, rat: RatPreference) {
+        self.rat = rat;
+    }
+
+    /// Whether the handset would use GSM right now: either it is 2G-only,
+    /// or its LTE layer is jammed / unavailable.
+    pub fn uses_gsm(&self, lte_available: bool) -> bool {
+        match self.rat {
+            RatPreference::GsmOnly => true,
+            RatPreference::PreferLte => self.lte_jammed || !lte_available,
+        }
+    }
+
+    /// Marks the LTE layer as jammed (the 4G-jammer downgrade step).
+    pub fn set_lte_jammed(&mut self, jammed: bool) {
+        self.lte_jammed = jammed;
+    }
+
+    /// Whether LTE is currently jammed for this handset.
+    pub fn lte_jammed(&self) -> bool {
+        self.lte_jammed
+    }
+
+    /// Current position.
+    pub fn position(&self) -> Position {
+        self.position
+    }
+
+    /// Moves the handset.
+    pub fn set_position(&mut self, position: Position) {
+        self.position = position;
+    }
+
+    /// Serving-cell state.
+    pub fn camp(&self) -> Camp {
+        self.camp
+    }
+
+    /// Sets the serving-cell state.
+    pub fn set_camp(&mut self, camp: Camp) {
+        self.camp = camp;
+    }
+
+    /// Active ciphering context for the current attachment.
+    pub fn cipher_context(&self) -> CipherContext {
+        self.ctx
+    }
+
+    /// Installs a ciphering context after cipher-mode negotiation.
+    pub fn set_cipher_context(&mut self, ctx: CipherContext) {
+        self.ctx = ctx;
+    }
+
+    /// A3: computes the signed response for an authentication challenge.
+    /// (A deterministic keyed mix stands in for COMP128; the protocol
+    /// behaviour — challenge/response with a SIM secret — is what matters.)
+    pub fn a3_sres(&self, rand: u64) -> u32 {
+        (mix(self.ki, rand) >> 32) as u32
+    }
+
+    /// A8: derives the session key for a challenge.
+    pub fn a8_kc(&self, rand: u64) -> Kc {
+        Kc(mix(self.ki.rotate_left(13), rand ^ 0xa8a8_a8a8_a8a8_a8a8))
+    }
+
+    /// Messages received so far, oldest first.
+    pub fn inbox(&self) -> &[ReceivedSms] {
+        &self.inbox
+    }
+
+    /// Appends a delivered message.
+    pub fn push_sms(&mut self, sms: ReceivedSms) {
+        self.inbox.push(sms);
+    }
+
+    /// Accepts one delivered (part of a) message: plain messages land in
+    /// the inbox immediately; concatenated parts are buffered until every
+    /// part arrived (in any order), then the reassembled message lands.
+    pub fn receive_sms(&mut self, sms: ReceivedSms, concat: Option<ConcatInfo>) {
+        let Some(info) = concat else {
+            self.push_sms(sms);
+            return;
+        };
+        let key = (sms.originator.clone(), info.reference);
+        let entry = self.partials.entry(key.clone()).or_insert_with(|| PartialMessage {
+            parts: vec![None; usize::from(info.total)],
+            first_time: sms.time,
+            first_raw: sms.raw_tpdu.clone(),
+        });
+        if entry.parts.len() != usize::from(info.total) {
+            // Reference collision with a different total: restart.
+            *entry = PartialMessage {
+                parts: vec![None; usize::from(info.total)],
+                first_time: sms.time,
+                first_raw: sms.raw_tpdu.clone(),
+            };
+        }
+        entry.parts[usize::from(info.seq) - 1] = Some(sms.text);
+        if entry.parts.iter().all(Option::is_some) {
+            let done = self.partials.remove(&key).expect("just inserted");
+            let text: String = done.parts.into_iter().map(|p| p.expect("all present")).collect();
+            self.inbox.push(ReceivedSms {
+                originator: key.0,
+                text,
+                time: done.first_time,
+                raw_tpdu: done.first_raw,
+            });
+        }
+    }
+
+    /// Number of multipart messages still waiting for parts.
+    pub fn pending_multipart(&self) -> usize {
+        self.partials.len()
+    }
+
+    /// Removes and returns all received messages.
+    pub fn drain_inbox(&mut self) -> Vec<ReceivedSms> {
+        std::mem::take(&mut self.inbox)
+    }
+}
+
+/// Computes SRES/Kc material from the SIM secret and challenge (splitmix64
+/// finaliser over the XOR of both).
+fn mix(ki: u64, rand: u64) -> u64 {
+    let mut z = ki ^ rand.wrapping_mul(0x9e37_79b9_7f4a_7c15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+    z ^ (z >> 31)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::cipher::CipherAlgo;
+
+    fn ms() -> MobileStation {
+        MobileStation::new(
+            Imsi::from_parts(460, 0, 42),
+            Msisdn::new("13800138000").unwrap(),
+            0xdead_beef_1234_5678,
+        )
+    }
+
+    #[test]
+    fn auth_is_deterministic_and_challenge_sensitive() {
+        let ms = ms();
+        assert_eq!(ms.a3_sres(1), ms.a3_sres(1));
+        assert_ne!(ms.a3_sres(1), ms.a3_sres(2));
+        assert_ne!(ms.a8_kc(1), ms.a8_kc(2));
+    }
+
+    #[test]
+    fn different_sims_produce_different_responses() {
+        let a = ms();
+        let b = MobileStation::new(
+            Imsi::from_parts(460, 0, 43),
+            Msisdn::new("13800138001").unwrap(),
+            0x1111_2222_3333_4444,
+        );
+        assert_ne!(a.a3_sres(99), b.a3_sres(99));
+    }
+
+    #[test]
+    fn rat_downgrade_logic() {
+        let mut ms = ms();
+        ms.set_rat(RatPreference::PreferLte);
+        assert!(!ms.uses_gsm(true), "LTE handset on healthy LTE stays off GSM");
+        ms.set_lte_jammed(true);
+        assert!(ms.uses_gsm(true), "jammed handset falls back to GSM");
+        ms.set_lte_jammed(false);
+        assert!(ms.uses_gsm(false), "no LTE coverage forces GSM");
+        ms.set_rat(RatPreference::GsmOnly);
+        assert!(ms.uses_gsm(true));
+    }
+
+    #[test]
+    fn inbox_accumulates_and_drains() {
+        let mut ms = ms();
+        ms.push_sms(ReceivedSms {
+            originator: "Google".into(),
+            text: "G-786348".into(),
+            time: SimClock::new(),
+            raw_tpdu: vec![],
+        });
+        assert_eq!(ms.inbox().len(), 1);
+        let drained = ms.drain_inbox();
+        assert_eq!(drained.len(), 1);
+        assert!(ms.inbox().is_empty());
+    }
+
+    #[test]
+    fn cipher_context_defaults_to_plaintext() {
+        let ms = ms();
+        assert_eq!(ms.cipher_context().algo, CipherAlgo::A50);
+    }
+}

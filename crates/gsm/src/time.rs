@@ -1,0 +1,121 @@
+//! Discrete simulated time.
+//!
+//! The whole substrate runs on a deterministic millisecond clock; GSM TDMA
+//! frame numbers are derived from it (one frame every 4.615 ms, as on the
+//! real Um interface).
+
+use serde::{Deserialize, Serialize};
+
+/// Duration of one GSM TDMA frame in microseconds (4.615 ms).
+pub const TDMA_FRAME_US: u64 = 4_615;
+
+/// A deterministic simulation clock measured in microseconds.
+///
+/// `SimClock` is cheap to copy and advances only when the simulation
+/// explicitly steps it, which keeps every run reproducible.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default, Serialize, Deserialize)]
+pub struct SimClock {
+    micros: u64,
+}
+
+impl SimClock {
+    /// Creates a clock at time zero.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Creates a clock at an absolute microsecond offset.
+    pub fn at_micros(micros: u64) -> Self {
+        Self { micros }
+    }
+
+    /// Current time in microseconds since simulation start.
+    pub fn micros(&self) -> u64 {
+        self.micros
+    }
+
+    /// Current time in whole milliseconds.
+    pub fn millis(&self) -> u64 {
+        self.micros / 1_000
+    }
+
+    /// Current TDMA frame number (wraps at the GSM hyperframe of
+    /// 2 715 648 frames, as the real air interface does).
+    pub fn frame_number(&self) -> u32 {
+        ((self.micros / TDMA_FRAME_US) % 2_715_648) as u32
+    }
+
+    /// Advances the clock by `micros` microseconds.
+    pub fn advance_micros(&mut self, micros: u64) {
+        self.micros = self.micros.saturating_add(micros);
+    }
+
+    /// Advances the clock by `ms` milliseconds.
+    pub fn advance_millis(&mut self, ms: u64) {
+        self.advance_micros(ms.saturating_mul(1_000));
+    }
+
+    /// Advances to exactly the next TDMA frame boundary.
+    pub fn advance_frame(&mut self) {
+        let rem = self.micros % TDMA_FRAME_US;
+        self.advance_micros(TDMA_FRAME_US - rem);
+    }
+
+    /// Elapsed microseconds since `earlier`. Returns zero when `earlier`
+    /// is in the future.
+    pub fn since(&self, earlier: SimClock) -> u64 {
+        self.micros.saturating_sub(earlier.micros)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn starts_at_zero() {
+        assert_eq!(SimClock::new().micros(), 0);
+        assert_eq!(SimClock::new().frame_number(), 0);
+    }
+
+    #[test]
+    fn advance_accumulates() {
+        let mut c = SimClock::new();
+        c.advance_millis(10);
+        c.advance_micros(500);
+        assert_eq!(c.micros(), 10_500);
+        assert_eq!(c.millis(), 10);
+    }
+
+    #[test]
+    fn frame_number_tracks_tdma_period() {
+        let mut c = SimClock::new();
+        assert_eq!(c.frame_number(), 0);
+        c.advance_micros(TDMA_FRAME_US);
+        assert_eq!(c.frame_number(), 1);
+        c.advance_micros(TDMA_FRAME_US * 9);
+        assert_eq!(c.frame_number(), 10);
+    }
+
+    #[test]
+    fn frame_number_wraps_at_hyperframe() {
+        let c = SimClock::at_micros(TDMA_FRAME_US * 2_715_648);
+        assert_eq!(c.frame_number(), 0);
+    }
+
+    #[test]
+    fn advance_frame_lands_on_boundary() {
+        let mut c = SimClock::at_micros(100);
+        c.advance_frame();
+        assert_eq!(c.micros() % TDMA_FRAME_US, 0);
+        assert_eq!(c.frame_number(), 1);
+    }
+
+    #[test]
+    fn since_saturates() {
+        let early = SimClock::at_micros(5);
+        let late = SimClock::at_micros(25);
+        assert_eq!(late.since(early), 20);
+        assert_eq!(early.since(late), 0);
+    }
+}

@@ -1,0 +1,343 @@
+//! Wireshark-style rendering of captured traffic (Fig. 5 of the paper).
+//!
+//! The paper filters OsmocomBB captures in Wireshark down to the
+//! `TP-User-Data` lines carrying one-time codes. This module reproduces
+//! that view over [`AirFrame`] captures and [`SniffedSms`] records.
+
+use crate::radio::{AirFrame, AirMessage, Direction};
+use crate::sniffer::SniffedSms;
+
+/// A display filter over captured frames.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum DisplayFilter {
+    /// Every frame.
+    All,
+    /// Only frames whose decoded SMS text contains the needle
+    /// (case-sensitive), like `smstext contains "code"`.
+    SmsTextContains(String),
+    /// Only downlink frames.
+    Downlink,
+    /// Only frames that parse as plaintext layer-3 messages.
+    Parsed,
+}
+
+impl DisplayFilter {
+    fn admits(&self, frame: &AirFrame) -> bool {
+        match self {
+            DisplayFilter::All => true,
+            DisplayFilter::Downlink => frame.direction == Direction::Downlink,
+            DisplayFilter::Parsed => frame.message_plaintext().is_ok(),
+            DisplayFilter::SmsTextContains(needle) => match frame.message_plaintext() {
+                Ok(AirMessage::SmsDeliverData { tpdu }) => crate::pdu::SmsDeliver::decode(&tpdu)
+                    .and_then(|d| d.text())
+                    .map(|t| t.contains(needle.as_str()))
+                    .unwrap_or(false),
+                _ => false,
+            },
+        }
+    }
+}
+
+/// Renders a one-line summary of a frame, in the style of a Wireshark
+/// packet list row.
+pub fn frame_summary(frame: &AirFrame) -> String {
+    let dir = match frame.direction {
+        Direction::Downlink => "DL",
+        Direction::Uplink => "UL",
+    };
+    let proto = match frame.message_plaintext() {
+        Ok(msg) => message_name(&msg).to_owned(),
+        Err(_) => format!("[ciphered {}]", frame.cipher),
+    };
+    format!(
+        "{:>6}  {:>10.3}s  {}  {}  {}  {}",
+        frame.seq,
+        frame.time.micros() as f64 / 1_000_000.0,
+        frame.arfcn,
+        frame.cell,
+        dir,
+        proto
+    )
+}
+
+/// Renders the Fig. 5 style detail block for a recovered SMS:
+///
+/// ```text
+/// TP-User-Data
+/// SMS text: G-786348 is your Google verification code.
+/// ```
+pub fn fig5_block(sms: &SniffedSms) -> String {
+    format!("TP-User-Data\nSMS text: {}", sms.text)
+}
+
+/// Applies a display filter and renders matching frames.
+pub fn render_filtered(frames: &[AirFrame], filter: &DisplayFilter) -> Vec<String> {
+    frames.iter().filter(|f| filter.admits(f)).map(frame_summary).collect()
+}
+
+/// Renders the full packet-detail pane for one frame: the summary row,
+/// the protocol line and a classic offset/hex/ASCII dump of the payload.
+pub fn frame_detail(frame: &AirFrame) -> String {
+    let mut out = String::new();
+    out.push_str(&frame_summary(frame));
+    out.push('\n');
+    match frame.message_plaintext() {
+        Ok(AirMessage::SmsDeliverData { tpdu }) => {
+            if let Ok(d) = crate::pdu::SmsDeliver::decode(&tpdu) {
+                out.push_str(&format!("  TP-Originating-Address: {}\n", d.originator));
+                if let Some(c) = d.concat {
+                    out.push_str(&format!(
+                        "  UDH concatenation: part {}/{} (ref {})\n",
+                        c.seq, c.total, c.reference
+                    ));
+                }
+                if let Ok(text) = d.text() {
+                    out.push_str(&format!("  TP-User-Data\n  SMS text: {text}\n"));
+                }
+            }
+        }
+        Ok(msg) => out.push_str(&format!("  {}\n", message_name(&msg))),
+        Err(_) => out.push_str(&format!("  payload ciphered under {}\n", frame.cipher)),
+    }
+    out.push_str(&hex_dump(&frame.payload));
+    out
+}
+
+/// Exports captured frames as a classic libpcap file (little-endian,
+/// LINKTYPE_USER0), openable in real Wireshark. Each record carries an
+/// 8-byte pseudo-header — ARFCN (u16), cell id (u16), direction (u8),
+/// cipher mask bit (u8), two reserved bytes — followed by the raw
+/// payload.
+pub fn export_pcap(frames: &[AirFrame]) -> Vec<u8> {
+    let mut out = Vec::with_capacity(24 + frames.len() * 32);
+    // Global header.
+    out.extend_from_slice(&0xa1b2_c3d4u32.to_le_bytes()); // magic
+    out.extend_from_slice(&2u16.to_le_bytes()); // version major
+    out.extend_from_slice(&4u16.to_le_bytes()); // version minor
+    out.extend_from_slice(&0i32.to_le_bytes()); // thiszone
+    out.extend_from_slice(&0u32.to_le_bytes()); // sigfigs
+    out.extend_from_slice(&65_535u32.to_le_bytes()); // snaplen
+    out.extend_from_slice(&147u32.to_le_bytes()); // LINKTYPE_USER0
+    for f in frames {
+        let micros = f.time.micros();
+        let len = (8 + f.payload.len()) as u32;
+        out.extend_from_slice(&((micros / 1_000_000) as u32).to_le_bytes());
+        out.extend_from_slice(&((micros % 1_000_000) as u32).to_le_bytes());
+        out.extend_from_slice(&len.to_le_bytes()); // incl_len
+        out.extend_from_slice(&len.to_le_bytes()); // orig_len
+        out.extend_from_slice(&f.arfcn.0.to_le_bytes());
+        out.extend_from_slice(&f.cell.0.to_le_bytes());
+        out.push(match f.direction {
+            Direction::Downlink => 0,
+            Direction::Uplink => 1,
+        });
+        out.push(f.cipher.mask_bit());
+        out.extend_from_slice(&[0, 0]);
+        out.extend_from_slice(&f.payload);
+    }
+    out
+}
+
+/// Classic 16-bytes-per-row hex + ASCII dump.
+pub fn hex_dump(data: &[u8]) -> String {
+    let mut out = String::new();
+    for (row, chunk) in data.chunks(16).enumerate() {
+        let hex: Vec<String> = chunk.iter().map(|b| format!("{b:02x}")).collect();
+        let ascii: String = chunk
+            .iter()
+            .map(|&b| if (0x20..0x7f).contains(&b) { char::from(b) } else { '.' })
+            .collect();
+        out.push_str(&format!("  {:04x}  {:<47}  {}\n", row * 16, hex.join(" "), ascii));
+    }
+    out
+}
+
+fn message_name(msg: &AirMessage) -> &'static str {
+    match msg {
+        AirMessage::SystemInfo { .. } => "System Information",
+        AirMessage::PagingRequest { .. } => "Paging Request",
+        AirMessage::PagingResponse { .. } => "Paging Response",
+        AirMessage::LocationUpdateRequest { .. } => "Location Updating Request",
+        AirMessage::LocationUpdateAccept { .. } => "Location Updating Accept",
+        AirMessage::IdentityRequest => "Identity Request",
+        AirMessage::IdentityResponse { .. } => "Identity Response",
+        AirMessage::AuthRequest { .. } => "Authentication Request",
+        AirMessage::AuthResponse { .. } => "Authentication Response",
+        AirMessage::CipherModeCommand { .. } => "Ciphering Mode Command",
+        AirMessage::CipherModeComplete => "Ciphering Mode Complete",
+        AirMessage::SmsDeliverData { .. } => "CP-DATA (SMS-DELIVER)",
+        AirMessage::SmsSubmitData { .. } => "CP-DATA (SMS-SUBMIT)",
+        AirMessage::SmsAck => "CP-ACK",
+        AirMessage::ChannelRelease => "Channel Release",
+        AirMessage::Si5Padding => "System Information Type 5",
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::arfcn::Arfcn;
+    use crate::cipher::CipherAlgo;
+    use crate::identity::Msisdn;
+    use crate::network::{GsmNetwork, NetworkConfig};
+    use crate::sniffer::{PassiveSniffer, SnifferConfig};
+
+    fn plaintext_capture() -> GsmNetwork {
+        let mut net = GsmNetwork::new(NetworkConfig {
+            cipher_preference: vec![CipherAlgo::A50],
+            ..Default::default()
+        });
+        let id = net.provision_subscriber("v", Msisdn::new("13800138000").unwrap()).unwrap();
+        net.attach(id).unwrap();
+        net.send_sms(
+            &Msisdn::new("13800138000").unwrap(),
+            "G-786348 is your Google verification code.",
+        )
+        .unwrap();
+        net
+    }
+
+    #[test]
+    fn summaries_name_plaintext_messages() {
+        let net = plaintext_capture();
+        let lines = render_filtered(net.ether().frames(), &DisplayFilter::All);
+        assert_eq!(lines.len(), net.ether().frames().len());
+        assert!(lines[0].contains("Location Updating Request"));
+        assert!(lines.iter().any(|l| l.contains("CP-DATA (SMS-DELIVER)")));
+    }
+
+    #[test]
+    fn sms_text_filter_matches_fig5() {
+        let net = plaintext_capture();
+        let filter = DisplayFilter::SmsTextContains("verification code".into());
+        let lines = render_filtered(net.ether().frames(), &filter);
+        assert_eq!(lines.len(), 1);
+    }
+
+    #[test]
+    fn ciphered_frames_render_opaque() {
+        let mut net = GsmNetwork::new(NetworkConfig::default()); // A5/1
+        let id = net.provision_subscriber("v", Msisdn::new("13800138000").unwrap()).unwrap();
+        net.attach(id).unwrap();
+        let lines = render_filtered(net.ether().frames(), &DisplayFilter::All);
+        assert!(lines.iter().any(|l| l.contains("[ciphered A5/1]")));
+    }
+
+    #[test]
+    fn fig5_block_format() {
+        let mut net = GsmNetwork::new(NetworkConfig { session_key_bits: 16, ..Default::default() });
+        let id = net.provision_subscriber("v", Msisdn::new("13800138000").unwrap()).unwrap();
+        net.attach(id).unwrap();
+        net.send_sms(
+            &Msisdn::new("13800138000").unwrap(),
+            "255436 is your Facebook password reset code",
+        )
+        .unwrap();
+        let mut sniffer = PassiveSniffer::new(SnifferConfig { crack_bits: 16, ..Default::default() });
+        sniffer.monitor(Arfcn(17)).unwrap();
+        sniffer.poll(net.ether());
+        let block = fig5_block(&sniffer.sms()[0]);
+        assert!(block.starts_with("TP-User-Data\nSMS text: 255436"));
+    }
+
+    #[test]
+    fn frame_detail_includes_hex_dump_and_text() {
+        let net = plaintext_capture();
+        let sms_frame = net
+            .ether()
+            .frames()
+            .iter()
+            .find(|f| {
+                matches!(
+                    f.message_plaintext(),
+                    Ok(crate::radio::AirMessage::SmsDeliverData { .. })
+                )
+            })
+            .expect("an SMS frame exists");
+        let detail = frame_detail(sms_frame);
+        assert!(detail.contains("SMS text: G-786348"));
+        assert!(detail.contains("TP-Originating-Address"));
+        assert!(detail.contains("0000  "), "hex dump rows present");
+        // Ciphered frames render as opaque with a dump.
+        let mut net2 = GsmNetwork::new(NetworkConfig::default());
+        let id = net2.provision_subscriber("v", Msisdn::new("13800138000").unwrap()).unwrap();
+        net2.attach(id).unwrap();
+        let ciphered = net2
+            .ether()
+            .frames()
+            .iter()
+            .find(|f| f.cipher == CipherAlgo::A51)
+            .unwrap();
+        let detail = frame_detail(ciphered);
+        assert!(detail.contains("payload ciphered under A5/1"));
+    }
+
+    #[test]
+    fn frame_detail_names_multipart_headers() {
+        let mut net = GsmNetwork::new(NetworkConfig {
+            cipher_preference: vec![CipherAlgo::A50],
+            ..Default::default()
+        });
+        let id = net.provision_subscriber("v", Msisdn::new("13800138000").unwrap()).unwrap();
+        net.attach(id).unwrap();
+        let long = "statement line. ".repeat(15);
+        net.send_sms(&Msisdn::new("13800138000").unwrap(), &long).unwrap();
+        let part_frame = net
+            .ether()
+            .frames()
+            .iter()
+            .find(|f| match f.message_plaintext() {
+                Ok(crate::radio::AirMessage::SmsDeliverData { tpdu }) => {
+                    crate::pdu::SmsDeliver::decode(&tpdu).map(|d| d.concat.is_some()).unwrap_or(false)
+                }
+                _ => false,
+            })
+            .expect("a multipart part crossed the air");
+        let detail = frame_detail(part_frame);
+        assert!(detail.contains("UDH concatenation: part 1/"), "{detail}");
+    }
+
+    #[test]
+    fn pcap_export_is_well_formed() {
+        let net = plaintext_capture();
+        let frames = net.ether().frames();
+        let pcap = export_pcap(frames);
+        // Global header.
+        assert_eq!(&pcap[..4], &0xa1b2_c3d4u32.to_le_bytes());
+        assert_eq!(u32::from_le_bytes(pcap[20..24].try_into().unwrap()), 147);
+        // Walk every record and count.
+        let mut pos = 24usize;
+        let mut records = 0usize;
+        while pos < pcap.len() {
+            let incl = u32::from_le_bytes(pcap[pos + 8..pos + 12].try_into().unwrap()) as usize;
+            let orig = u32::from_le_bytes(pcap[pos + 12..pos + 16].try_into().unwrap()) as usize;
+            assert_eq!(incl, orig);
+            pos += 16 + incl;
+            records += 1;
+        }
+        assert_eq!(pos, pcap.len(), "no trailing bytes");
+        assert_eq!(records, frames.len());
+        // Pseudo-header of the first record carries the ARFCN.
+        let arfcn = u16::from_le_bytes(pcap[24 + 16..24 + 18].try_into().unwrap());
+        assert_eq!(arfcn, frames[0].arfcn.0);
+        assert_eq!(export_pcap(&[]).len(), 24, "empty capture is just the header");
+    }
+
+    #[test]
+    fn hex_dump_formats_rows() {
+        let dump = hex_dump(b"G-786348 is your Google verification code.");
+        assert!(dump.starts_with("  0000  "));
+        assert!(dump.contains("0010"), "second row for >16 bytes");
+        assert!(dump.contains("G-786348"));
+        assert_eq!(hex_dump(&[]), "");
+    }
+
+    #[test]
+    fn downlink_filter() {
+        let net = plaintext_capture();
+        let all = render_filtered(net.ether().frames(), &DisplayFilter::All).len();
+        let dl = render_filtered(net.ether().frames(), &DisplayFilter::Downlink).len();
+        assert!(dl < all);
+        assert!(dl > 0);
+    }
+}

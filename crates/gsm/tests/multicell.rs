@@ -1,0 +1,110 @@
+//! Multi-cell scenarios: mobility, per-cell sniffer coverage and the
+//! receiver-capacity constraint that motivates the paper's 16-handset
+//! rig.
+
+use actfort_gsm::arfcn::Arfcn;
+use actfort_gsm::identity::Msisdn;
+use actfort_gsm::network::{GsmNetwork, NetworkConfig};
+use actfort_gsm::radio::{CellConfig, CellId, Position};
+use actfort_gsm::sniffer::{PassiveSniffer, SnifferConfig};
+
+fn msisdn(s: &str) -> Msisdn {
+    Msisdn::new(s).unwrap()
+}
+
+fn two_cell_network() -> GsmNetwork {
+    let mut net = GsmNetwork::new(NetworkConfig { session_key_bits: 16, ..Default::default() });
+    net.add_cell(CellConfig {
+        id: CellId(2),
+        arfcn: Arfcn(23),
+        lac: 0x1002,
+        position: Position::new(1_200.0, 0.0),
+        range_m: 800.0,
+        cipher_preference: vec![actfort_gsm::cipher::CipherAlgo::A51],
+    })
+    .unwrap();
+    net
+}
+
+#[test]
+fn subscriber_moves_and_reattaches_on_nearest_cell() {
+    let mut net = two_cell_network();
+    let id = net.provision_subscriber("mover", msisdn("13800138000")).unwrap();
+    assert_eq!(net.attach(id).unwrap(), CellId(1));
+    net.send_sms(&msisdn("13800138000"), "111111 at home cell").unwrap();
+
+    // Walk into the second cell's area and re-attach.
+    net.terminal_mut(id).unwrap().set_position(Position::new(1_200.0, 10.0));
+    assert_eq!(net.attach(id).unwrap(), CellId(2));
+    net.send_sms(&msisdn("13800138000"), "222222 at away cell").unwrap();
+
+    let ms = net.terminal(id).unwrap();
+    assert_eq!(ms.inbox().len(), 2);
+    // The away-cell traffic was carried on the second ARFCN.
+    assert!(net
+        .ether()
+        .frames()
+        .iter()
+        .any(|f| f.arfcn == Arfcn(23) && f.cell == CellId(2)));
+}
+
+#[test]
+fn single_receiver_misses_the_other_cell() {
+    let mut net = two_cell_network();
+    let a = net.provision_subscriber("a", msisdn("13800138000")).unwrap();
+    let b = net.provision_subscriber("b", msisdn("13900139000")).unwrap();
+    net.attach(a).unwrap();
+    net.terminal_mut(b).unwrap().set_position(Position::new(1_200.0, 0.0));
+    net.attach(b).unwrap();
+    net.send_sms(&msisdn("13800138000"), "123456 is your Google login code.").unwrap();
+    net.send_sms(&msisdn("13900139000"), "654321 is your Google login code.").unwrap();
+
+    // One receiver, tuned to cell 1 only — note the long sniffer range so
+    // distance is not the limiting factor, carrier choice is.
+    let mut narrow = PassiveSniffer::new(SnifferConfig {
+        receivers: 1,
+        crack_bits: 16,
+        range_m: 5_000.0,
+        ..Default::default()
+    });
+    narrow.monitor(Arfcn(17)).unwrap();
+    assert!(narrow.monitor(Arfcn(23)).is_err(), "capacity exhausted");
+    narrow.poll(net.ether());
+    assert_eq!(narrow.sms().len(), 1, "only the home-cell code is captured");
+
+    // The 16-receiver rig covers both carriers.
+    let mut rig = PassiveSniffer::new(SnifferConfig {
+        crack_bits: 16,
+        range_m: 5_000.0,
+        ..Default::default()
+    });
+    rig.monitor(Arfcn(17)).unwrap();
+    rig.monitor(Arfcn(23)).unwrap();
+    rig.poll(net.ether());
+    assert_eq!(rig.sms().len(), 2, "both cells' codes captured");
+}
+
+#[test]
+fn sniffer_tracks_distinct_keys_per_cell() {
+    let mut net = two_cell_network();
+    let a = net.provision_subscriber("a", msisdn("13800138000")).unwrap();
+    let b = net.provision_subscriber("b", msisdn("13900139000")).unwrap();
+    net.attach(a).unwrap();
+    net.terminal_mut(b).unwrap().set_position(Position::new(1_200.0, 0.0));
+    net.attach(b).unwrap();
+    net.send_sms(&msisdn("13800138000"), "111222 is your code").unwrap();
+    net.send_sms(&msisdn("13900139000"), "333444 is your code").unwrap();
+
+    let mut rig = PassiveSniffer::new(SnifferConfig {
+        crack_bits: 16,
+        range_m: 5_000.0,
+        ..Default::default()
+    });
+    rig.monitor(Arfcn(17)).unwrap();
+    rig.monitor(Arfcn(23)).unwrap();
+    rig.poll(net.ether());
+    assert_eq!(rig.stats().sessions_cracked, 2);
+    let keys: Vec<_> = rig.sms().iter().filter_map(|s| s.cracked_key).collect();
+    assert_eq!(keys.len(), 2);
+    assert_ne!(keys[0], keys[1], "each subscriber had its own session key");
+}

@@ -1,0 +1,57 @@
+//! Chain Reaction Attack, end to end: phish the victim's number, sniff
+//! the GSM cell, hop Ctrip → Alipay, reset password and payment code,
+//! and drain the wallet. Replays every step of the paper's Case III
+//! against live simulated services.
+//!
+//! ```sh
+//! cargo run --example chain_reaction
+//! ```
+
+use actfort::attack::cases::{run_all, CaseWorld};
+use actfort::attack::chain::{ChainReactionAttack, InterceptMode};
+use actfort::core::profile::AttackerProfile;
+use actfort::ecosystem::policy::Platform;
+
+fn main() {
+    println!("=== The paper's three case studies ===\n");
+    match run_all(2021) {
+        Ok(reports) => {
+            for r in reports {
+                println!("{}", r.name);
+                for line in &r.narrative {
+                    println!("  - {line}");
+                }
+                println!();
+            }
+        }
+        Err(e) => println!("case replay failed: {e}"),
+    }
+
+    println!("=== Strategy-driven chain against PayPal (active MitM) ===\n");
+    let mut world = CaseWorld::new(7);
+    let attack = ChainReactionAttack {
+        platform: Platform::Web,
+        profile: AttackerProfile::paper_default(),
+        mode: InterceptMode::ActiveMitm,
+        max_chains: 8,
+        ..Default::default()
+    };
+    match attack.execute(&mut world.eco, &world.victim_phone, &"paypal".into()) {
+        Ok(report) => {
+            println!("chain executed ({} accounts):", report.compromised.len());
+            for acct in &report.compromised {
+                println!(
+                    "  {} via {} ({})",
+                    acct.service,
+                    acct.path,
+                    if acct.took_over { "password reset" } else { "one-time login" }
+                );
+            }
+            println!("stealthy: {}", report.stealthy);
+            if let Some(receipt) = &report.receipt {
+                println!("impact: {receipt}");
+            }
+        }
+        Err(e) => println!("attack failed: {e}"),
+    }
+}

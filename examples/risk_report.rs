@@ -1,0 +1,21 @@
+//! Generates the developer-facing ecosystem risk report over the
+//! curated dataset — ActFort as the fortification tool the paper's title
+//! promises.
+//!
+//! ```sh
+//! cargo run --example risk_report > report.md
+//! ```
+
+use actfort::core::profile::AttackerProfile;
+use actfort::core::report::render_markdown;
+use actfort::ecosystem::dataset::curated_services;
+use actfort::ecosystem::policy::Platform;
+
+fn main() {
+    let md = render_markdown(
+        &curated_services(),
+        Platform::MobileApp,
+        &AttackerProfile::paper_default(),
+    );
+    println!("{md}");
+}

@@ -1,0 +1,118 @@
+//! Failure injection across the stack: expired codes, out-of-coverage
+//! victims, lossy radio and session-hardened networks.
+
+use actfort::attack::dossier::Dossier;
+use actfort::attack::intercept::Interceptor;
+use actfort::attack::intrusion::compromise;
+use actfort::ecosystem::dataset::curated_services;
+use actfort::ecosystem::host::Ecosystem;
+use actfort::ecosystem::policy::{Platform, Purpose};
+use actfort::ecosystem::population::PopulationBuilder;
+use actfort::ecosystem::service::{AccountLocator, FactorResponse};
+use actfort::gsm::cipher::CipherAlgo;
+use actfort::gsm::network::NetworkConfig;
+use actfort::gsm::radio::Position;
+
+fn world(seed: u64, config: NetworkConfig) -> (Ecosystem, actfort::gsm::identity::Msisdn) {
+    let mut eco = Ecosystem::with_network(seed, config);
+    let mut person = PopulationBuilder::new(seed).person();
+    person.email = format!("v{}@gmail.com", person.id.0);
+    let phone = person.phone.clone();
+    eco.add_person(person).unwrap();
+    for s in curated_services() {
+        eco.add_service(s).unwrap();
+    }
+    eco.enroll_everyone().unwrap();
+    (eco, phone)
+}
+
+fn weak() -> NetworkConfig {
+    NetworkConfig { session_key_bits: 16, ..Default::default() }
+}
+
+#[test]
+fn expired_code_is_rejected_even_for_the_attacker() {
+    let (mut eco, phone) = world(41, weak());
+    let mut icpt = Interceptor::passive(&eco, 16).unwrap();
+    let ch = eco
+        .begin_auth(
+            &"ctrip".into(),
+            &AccountLocator::Phone(phone.clone()),
+            Platform::Web,
+            Purpose::SignIn,
+            0,
+        )
+        .unwrap();
+    let code = icpt.next_code(&eco, "Ctrip").unwrap();
+    // Sit on the intercepted code past its five-minute TTL.
+    eco.advance_ms(6 * 60 * 1_000);
+    let err = eco.complete_auth(
+        &"ctrip".into(),
+        ch.id,
+        &[
+            FactorResponse::CellphoneNumber(phone.digits().to_owned()),
+            FactorResponse::SmsCode(code.code),
+        ],
+        &[],
+    );
+    assert!(format!("{err:?}").contains("expired"), "got {err:?}");
+}
+
+#[test]
+fn victim_out_of_coverage_stalls_the_attack_until_reattach() {
+    let (mut eco, phone) = world(42, weak());
+    let sub = eco.gsm.subscriber_by_msisdn(&phone).unwrap();
+    // Victim walks out of every cell and loses service.
+    eco.gsm.terminal_mut(sub).unwrap().set_position(Position::new(50_000.0, 0.0));
+    eco.gsm.detach(sub);
+    let mut icpt = Interceptor::passive(&eco, 16).unwrap();
+    let mut dossier = Dossier::new(phone.digits(), "v@gmail.com");
+    let err = compromise(&mut eco, &phone, &"ctrip".into(), &mut icpt, &mut dossier);
+    assert!(err.is_err(), "no SMS can be delivered or sniffed");
+    // Back in coverage, the attack lands.
+    eco.gsm.terminal_mut(sub).unwrap().set_position(Position::new(0.0, 0.0));
+    eco.gsm.attach(sub).unwrap();
+    let mut dossier = Dossier::new(phone.digits(), "v@gmail.com");
+    assert!(compromise(&mut eco, &phone, &"ctrip".into(), &mut icpt, &mut dossier).is_ok());
+}
+
+#[test]
+fn a53_network_defeats_both_radio_rigs_but_not_the_user() {
+    // A network running uncrackable A5/3: the passive rig is blind, yet
+    // legitimate delivery still works.
+    let (mut eco, phone) = world(
+        43,
+        NetworkConfig {
+            cipher_preference: vec![CipherAlgo::A53],
+            session_key_bits: 16, // irrelevant under A5/3
+            ..Default::default()
+        },
+    );
+    let mut icpt = Interceptor::passive(&eco, 20).unwrap();
+    let mut dossier = Dossier::new(phone.digits(), "v@gmail.com");
+    let err = compromise(&mut eco, &phone, &"ctrip".into(), &mut icpt, &mut dossier);
+    assert!(err.is_err(), "A5/3 traffic must stay dark");
+    // The victim still received their codes.
+    let sub = eco.gsm.subscriber_by_msisdn(&phone).unwrap();
+    assert!(!eco.gsm.terminal(sub).unwrap().inbox().is_empty());
+}
+
+#[test]
+fn heavy_frame_loss_degrades_but_smsc_retries_keep_users_served() {
+    let (mut eco, phone) = world(
+        44,
+        NetworkConfig {
+            session_key_bits: 16,
+            frame_loss_per_mille: 300,
+            ..Default::default()
+        },
+    );
+    // Several messages; the SMSC retry budget should land most of them.
+    for i in 0..5 {
+        let _ = eco.gsm.send_sms(&phone, &format!("{i:06} is your code"));
+        eco.gsm.run_until_idle();
+    }
+    let sub = eco.gsm.subscriber_by_msisdn(&phone).unwrap();
+    let delivered = eco.gsm.terminal(sub).unwrap().inbox().len();
+    assert!(delivered >= 3, "only {delivered} of 5 delivered under 30% loss");
+}

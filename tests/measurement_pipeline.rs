@@ -1,0 +1,109 @@
+//! Integration: the measurement pipeline over the full paper population
+//! is deterministic and preserves the paper's headline relationships.
+
+use actfort::core::metrics;
+use actfort::core::profile::AttackerProfile;
+use actfort::core::{dot, Tdg};
+use actfort::ecosystem::policy::{Platform, Purpose};
+use actfort::ecosystem::synth::paper_population;
+use actfort::ecosystem::PersonalInfoKind;
+
+#[test]
+fn measurement_is_deterministic() {
+    let a = paper_population(99);
+    let b = paper_population(99);
+    assert_eq!(a, b);
+    let ap = AttackerProfile::paper_default();
+    let d1 = metrics::depth_breakdown(&a, Platform::Web, &ap);
+    let d2 = metrics::depth_breakdown(&b, Platform::Web, &ap);
+    assert_eq!(d1, d2);
+}
+
+#[test]
+fn headline_relationships_hold_across_seeds() {
+    let ap = AttackerProfile::paper_default();
+    for seed in [1u64, 42, 2021] {
+        let specs = paper_population(seed);
+        assert_eq!(specs.len(), 201);
+
+        // Reset weaker than sign-in; SMS factor dominant; mobile leaks
+        // more than web; direct compromise dominates the depth table.
+        for platform in [Platform::Web, Platform::MobileApp] {
+            let signin = metrics::sms_only_percentage(&specs, platform, Purpose::SignIn);
+            let reset = metrics::sms_only_percentage(&specs, platform, Purpose::PasswordReset);
+            assert!(reset > signin, "seed {seed} {platform}");
+
+            let d = metrics::depth_breakdown(&specs, platform, &ap);
+            assert!(d.direct_pct > 60.0 && d.direct_pct < 85.0, "seed {seed} {platform}: {d:?}");
+            assert!(d.direct_pct > d.one_layer_pct);
+            assert!(d.uncompromisable_pct < 15.0);
+        }
+
+        let usage = metrics::factor_usage(&specs, Platform::Web);
+        assert!(usage["SMS code"] > 80.0, "seed {seed}");
+
+        let web = metrics::exposure_percentages(&specs, Platform::Web);
+        let mobile = metrics::exposure_percentages(&specs, Platform::MobileApp);
+        for kind in [
+            PersonalInfoKind::RealName,
+            PersonalInfoKind::CellphoneNumber,
+            PersonalInfoKind::CitizenId,
+        ] {
+            assert!(mobile[&kind] > web[&kind], "seed {seed} {kind}");
+        }
+    }
+}
+
+#[test]
+fn overlapping_depth_has_all_four_categories() {
+    let specs = paper_population(2021);
+    let ap = AttackerProfile::paper_default();
+    for platform in [Platform::Web, Platform::MobileApp] {
+        let d = metrics::depth_breakdown_overlapping(&specs, platform, &ap);
+        assert!(d.direct_pct > 60.0, "{platform}: {d:?}");
+        assert!(d.one_layer_pct > 0.0, "{platform}: {d:?}");
+        assert!(d.two_layer_full_pct > 0.0, "{platform}: {d:?}");
+        assert!(d.two_layer_mixed_pct > 0.0, "{platform}: {d:?}");
+        // The paper's note: categories overlap, so they need not sum to 100.
+        let sum = d.direct_pct + d.one_layer_pct + d.two_layer_full_pct + d.two_layer_mixed_pct
+            + d.uncompromisable_pct;
+        assert!(sum > 100.0, "{platform}: overlap expected, sum {sum:.1}");
+    }
+}
+
+#[test]
+fn fig4_graph_statistics() {
+    // The 44-account connection graph: red (fringe) nodes dominate, the
+    // graph is well connected, and the DOT export carries every node.
+    let specs = actfort::ecosystem::dataset::fig4_services();
+    assert_eq!(specs.len(), 44);
+    let tdg = Tdg::build(&specs, Platform::Web, AttackerProfile::paper_default());
+    let stats = dot::stats(&tdg);
+    assert!(stats.fringe > stats.internal);
+    assert!(stats.strong_edges > stats.nodes, "denser than a tree");
+    let rendered = dot::to_dot(&tdg);
+    for spec in &specs {
+        if spec.has_web {
+            assert!(rendered.contains(&format!("\"{}\"", spec.id)), "{} missing from DOT", spec.id);
+        }
+    }
+}
+
+#[test]
+fn tdg_scales_to_full_population() {
+    let specs = paper_population(7);
+    let tdg = Tdg::build(&specs, Platform::MobileApp, AttackerProfile::paper_default());
+    assert!(tdg.node_count() > 150);
+    assert!(tdg.strong_edge_count() > 200);
+    // Backward chains exist for hardened synthetic targets too.
+    let target = specs
+        .iter()
+        .find(|s| {
+            s.has_mobile
+                && !s.has_sms_only_path()
+                && tdg.index_of(&s.id).map(|i| !tdg.strong_parents(i).is_empty()).unwrap_or(false)
+        })
+        .expect("some internal node with parents");
+    let chains = actfort::core::backward_chains(&tdg, &target.id, 4);
+    assert!(!chains.is_empty(), "no chain for {}", target.id);
+}

@@ -1,0 +1,69 @@
+//! The attack amid realistic background traffic: other subscribers keep
+//! logging in around the victim; the rig must fish the right codes out
+//! of a busy cell.
+
+use actfort::attack::chain::ChainReactionAttack;
+use actfort::ecosystem::dataset::curated_services;
+use actfort::ecosystem::host::Ecosystem;
+use actfort::ecosystem::policy::Platform;
+use actfort::ecosystem::population::PopulationBuilder;
+use actfort::gsm::arfcn::Arfcn;
+use actfort::gsm::network::NetworkConfig;
+use actfort::gsm::sniffer::{PassiveSniffer, SnifferConfig};
+
+fn busy_world(people: usize) -> (Ecosystem, actfort::gsm::identity::Msisdn) {
+    let mut eco = Ecosystem::with_network(
+        23,
+        NetworkConfig { session_key_bits: 16, ..Default::default() },
+    );
+    let mut population = PopulationBuilder::new(71).population(people);
+    for p in &mut population {
+        p.email = format!("u{}@gmail.com", p.id.0);
+        eco.add_person(p.clone()).unwrap();
+    }
+    for spec in curated_services() {
+        eco.add_service(spec).unwrap();
+    }
+    eco.enroll_everyone().unwrap();
+    let victim = population[0].phone.clone();
+    (eco, victim)
+}
+
+#[test]
+fn background_activity_generates_real_otp_traffic() {
+    let (mut eco, _) = busy_world(5);
+    let frames_before = eco.gsm.ether().len();
+    let logins = eco.simulate_background_activity(2, 99);
+    assert!(logins >= 5, "expected plenty of sign-ins, got {logins}");
+    assert!(eco.gsm.ether().len() > frames_before + logins * 2);
+
+    // The sniffer sees all of it.
+    let mut rig = PassiveSniffer::new(SnifferConfig { crack_bits: 16, ..Default::default() });
+    rig.monitor(Arfcn(17)).unwrap();
+    rig.poll(eco.gsm.ether());
+    assert!(rig.sms().len() >= logins, "captured {} of {} codes", rig.sms().len(), logins);
+}
+
+#[test]
+fn chain_attack_succeeds_in_a_busy_cell() {
+    let (mut eco, victim) = busy_world(4);
+    // A noisy warm-up period before the attack begins.
+    let logins = eco.simulate_background_activity(2, 7);
+    assert!(logins > 0);
+
+    let attack = ChainReactionAttack { platform: Platform::Web, ..Default::default() };
+    let report = attack.execute(&mut eco, &victim, &"paypal".into()).expect("chain completes");
+    assert!(report.receipt.is_some());
+    // Other subscribers' handsets were untouched by the attack itself:
+    // their inbox grew only through their own logins.
+    let others: Vec<_> = eco.people().filter(|p| p.phone != victim).map(|p| p.phone.clone()).collect();
+    for phone in others {
+        let sub = eco.gsm.subscriber_by_msisdn(&phone).unwrap();
+        for sms in eco.gsm.terminal(sub).unwrap().inbox() {
+            assert!(
+                !sms.text.contains("PayPal reset"),
+                "attack traffic leaked to a bystander"
+            );
+        }
+    }
+}

@@ -1,0 +1,160 @@
+//! Integration across the substrates: services drive real SMS through
+//! the GSM stack and real email through the mail system; the radio
+//! attacks operate on exactly that traffic.
+
+use actfort::authsvc::push::{DevicePolicy, PushAuthenticator};
+use actfort::ecosystem::dataset::curated;
+use actfort::ecosystem::host::Ecosystem;
+use actfort::ecosystem::policy::{Platform, Purpose};
+use actfort::ecosystem::population::PopulationBuilder;
+use actfort::ecosystem::service::{AccountLocator, AuthOutcome, FactorResponse};
+use actfort::gsm::arfcn::Arfcn;
+use actfort::gsm::network::NetworkConfig;
+use actfort::gsm::sniffer::{PassiveSniffer, SnifferConfig};
+use actfort::gsm::wireshark::{render_filtered, DisplayFilter};
+
+#[test]
+fn service_codes_really_cross_the_air_interface() {
+    let mut eco = Ecosystem::with_network(
+        5,
+        NetworkConfig { session_key_bits: 16, ..Default::default() },
+    );
+    let person = PopulationBuilder::new(91).person();
+    let phone = person.phone.clone();
+    eco.add_person(person).unwrap();
+    eco.add_service(curated("ctrip").unwrap()).unwrap();
+    eco.enroll_everyone().unwrap();
+
+    let frames_before = eco.gsm.ether().len();
+    eco.begin_auth(
+        &"ctrip".into(),
+        &AccountLocator::Phone(phone.clone()),
+        Platform::Web,
+        Purpose::SignIn,
+        0,
+    )
+    .unwrap();
+    assert!(eco.gsm.ether().len() > frames_before, "challenge produced air traffic");
+
+    // A sniffer parked on the cell reads the very same code the user got.
+    let mut sniffer = PassiveSniffer::new(SnifferConfig { crack_bits: 16, ..Default::default() });
+    sniffer.monitor(Arfcn(17)).unwrap();
+    sniffer.poll(eco.gsm.ether());
+    let sniffed = sniffer.sms().last().expect("code captured").text.clone();
+    let sub = eco.gsm.subscriber_by_msisdn(&phone).unwrap();
+    let received = eco.gsm.terminal(sub).unwrap().inbox().last().unwrap().text.clone();
+    assert_eq!(sniffed, received);
+
+    // And the Wireshark view names the ciphered transaction.
+    let rows = render_filtered(eco.gsm.ether().frames(), &DisplayFilter::All);
+    assert!(rows.iter().any(|r| r.contains("[ciphered A5/1]")));
+}
+
+#[test]
+fn email_codes_flow_through_the_mail_system() {
+    let mut eco = Ecosystem::new(6);
+    let person = PopulationBuilder::new(92).person();
+    let phone = person.phone.clone();
+    let email = person.email.clone();
+    eco.add_person(person).unwrap();
+    eco.add_service(curated("dropbox").unwrap()).unwrap();
+    eco.enroll_everyone().unwrap();
+
+    let ch = eco
+        .begin_auth(
+            &"dropbox".into(),
+            &AccountLocator::Phone(phone),
+            Platform::Web,
+            Purpose::PasswordReset,
+            0,
+        )
+        .unwrap();
+    let code = eco
+        .mail
+        .mailbox(&email)
+        .unwrap()
+        .latest_from("dropbox")
+        .unwrap()
+        .extract_code()
+        .unwrap();
+    let outcome = eco
+        .complete_auth(&"dropbox".into(), ch.id, &[FactorResponse::EmailCode(code)], &[])
+        .unwrap();
+    assert!(matches!(outcome, AuthOutcome::ResetGranted(_)));
+}
+
+#[test]
+fn push_countermeasure_never_touches_gsm() {
+    // The Fig. 8 design: authentication via the OS push service produces
+    // zero air-interface traffic.
+    let mut push = PushAuthenticator::new();
+    push.register_device("alice", DevicePolicy::ApproveFromLocation("Hangzhou".into()));
+
+    let mut eco = Ecosystem::new(7);
+    let person = PopulationBuilder::new(93).person();
+    eco.add_person(person).unwrap();
+    let frames_before = eco.gsm.ether().len();
+
+    assert!(push.authenticate("alice", "alipay", "Hangzhou", 0).is_ok());
+    assert!(push.authenticate("alice", "alipay", "Shenzhen", 1).is_err());
+
+    assert_eq!(eco.gsm.ether().len(), frames_before, "no SMS was ever sent");
+}
+
+#[test]
+fn rate_limits_and_lockouts_protect_brute_force() {
+    // Failure injection: the OTP layer's lockout stops online guessing
+    // through the full service stack.
+    let mut eco = Ecosystem::new(8);
+    let person = PopulationBuilder::new(94).person();
+    let phone = person.phone.clone();
+    eco.add_person(person).unwrap();
+    eco.add_service(curated("weibo").unwrap()).unwrap();
+    eco.enroll_everyone().unwrap();
+
+    let ch = eco
+        .begin_auth(
+            &"weibo".into(),
+            &AccountLocator::Phone(phone.clone()),
+            Platform::Web,
+            Purpose::SignIn,
+            0,
+        )
+        .unwrap();
+    // The challenge survives failures, so wrong guesses accumulate
+    // toward the OTP lockout.
+    let mut locked = false;
+    for attempt in 0..6 {
+        let result = eco.complete_auth(
+            &"weibo".into(),
+            ch.id,
+            &[
+                FactorResponse::CellphoneNumber(phone.digits().to_owned()),
+                FactorResponse::SmsCode("000000".into()),
+            ],
+            &[],
+        );
+        assert!(result.is_err(), "guess {attempt} must fail");
+        if format!("{:?}", result).contains("locked out") {
+            locked = true;
+            break;
+        }
+    }
+    assert!(locked, "repeated failures never locked out");
+}
+
+#[test]
+fn frame_loss_degrades_but_does_not_break_delivery() {
+    // Failure injection on the radio: with 20% frame loss the SMSC
+    // retries until delivery.
+    let mut eco = Ecosystem::with_network(
+        9,
+        NetworkConfig { frame_loss_per_mille: 0, session_key_bits: 16, ..Default::default() },
+    );
+    let person = PopulationBuilder::new(95).person();
+    let phone = person.phone.clone();
+    eco.add_person(person).unwrap();
+    eco.gsm.send_sms(&phone, "123456 is your code").unwrap();
+    let sub = eco.gsm.subscriber_by_msisdn(&phone).unwrap();
+    assert_eq!(eco.gsm.terminal(sub).unwrap().inbox().len(), 1);
+}
