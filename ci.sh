@@ -1,0 +1,19 @@
+#!/usr/bin/env bash
+# Full local CI: release build, tests, lints, examples.
+# Everything must pass with zero warnings before a change lands.
+set -euo pipefail
+cd "$(dirname "$0")"
+
+echo "==> cargo build --release --workspace"
+cargo build --release --workspace
+
+echo "==> cargo test -q"
+cargo test -q
+
+echo "==> cargo clippy --workspace -- -D warnings"
+cargo clippy --workspace -- -D warnings
+
+echo "==> cargo build --examples"
+cargo build --examples
+
+echo "CI OK"

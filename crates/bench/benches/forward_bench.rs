@@ -1,10 +1,21 @@
 //! Forward (OAAS → PAV) fixed-point analysis performance.
+//!
+//! Compares the naive full-rescan reference, the incremental frontier
+//! engine (the default behind [`forward`]) and a [`BatchAnalyzer`]
+//! breach sweep, then writes the medians and derived analyses/sec to
+//! `BENCH_forward.json` at the repository root.
 
+use actfort_core::analysis::forward_naive;
+use actfort_core::engine::BatchAnalyzer;
 use actfort_core::profile::AttackerProfile;
 use actfort_core::{forward, metrics};
+use actfort_ecosystem::factor::ServiceId;
 use actfort_ecosystem::policy::Platform;
 use actfort_ecosystem::synth::{generate, SynthConfig};
-use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use criterion::{black_box, BenchmarkId, Criterion, Measurement, Throughput};
+
+const POPULATIONS: [usize; 3] = [44, 201, 400];
+const BATCH_SEEDS: usize = 32;
 
 fn population(n: usize) -> Vec<actfort_ecosystem::ServiceSpec> {
     let mut specs = actfort_ecosystem::dataset::curated_services();
@@ -16,24 +27,49 @@ fn population(n: usize) -> Vec<actfort_ecosystem::ServiceSpec> {
     specs
 }
 
-fn bench_forward(c: &mut Criterion) {
-    let mut g = c.benchmark_group("analysis/forward_fixed_point");
+fn bench_engines(c: &mut Criterion) {
+    let ap = AttackerProfile::paper_default();
+    let mut g = c.benchmark_group("forward");
     g.sample_size(10);
-    for n in [44usize, 201, 400] {
+    // One full fixed-point analysis per iteration.
+    g.throughput(Throughput::Elements(1));
+    for n in POPULATIONS {
         let specs = population(n);
-        g.throughput(Throughput::Elements(n as u64));
-        g.bench_with_input(BenchmarkId::from_parameter(n), &specs, |b, specs| {
-            let ap = AttackerProfile::paper_default();
+        g.bench_with_input(BenchmarkId::new("naive", n), &specs, |b, specs| {
+            b.iter(|| black_box(forward_naive(specs, Platform::Web, &ap, &[])))
+        });
+        g.bench_with_input(BenchmarkId::new("incremental", n), &specs, |b, specs| {
             b.iter(|| black_box(forward(specs, Platform::Web, &ap, &[])))
         });
     }
     g.finish();
 }
 
+fn bench_batch(c: &mut Criterion) {
+    // A breach sweep — one independent forward analysis per seed
+    // service — sharded by the BatchAnalyzer.
+    let specs = population(201);
+    let ap = AttackerProfile::none();
+    let seeds: Vec<ServiceId> = specs.iter().take(BATCH_SEEDS).map(|s| s.id.clone()).collect();
+    let threads = std::thread::available_parallelism().map_or(1, |n| n.get());
+    let sweep = |analyzer: &BatchAnalyzer| {
+        analyzer.run(&seeds, |seed| {
+            forward(&specs, Platform::Web, &ap, std::slice::from_ref(seed)).compromised_count()
+        })
+    };
+    let mut g = c.benchmark_group("forward_batch");
+    g.sample_size(10).throughput(Throughput::Elements(seeds.len() as u64));
+    let serial = BatchAnalyzer::new(1);
+    g.bench_function("serial", |b| b.iter(|| black_box(sweep(&serial))));
+    let parallel = BatchAnalyzer::new(threads);
+    g.bench_function(format!("threads_{threads}"), |b| b.iter(|| black_box(sweep(&parallel))));
+    g.finish();
+}
+
 fn bench_depth_breakdowns(c: &mut Criterion) {
     let specs = population(201);
     let ap = AttackerProfile::paper_default();
-    let mut g = c.benchmark_group("analysis/depth_breakdown");
+    let mut g = c.benchmark_group("depth_breakdown");
     g.sample_size(10);
     g.bench_function("exclusive_201", |b| {
         b.iter(|| black_box(metrics::depth_breakdown(&specs, Platform::Web, &ap)))
@@ -44,5 +80,66 @@ fn bench_depth_breakdowns(c: &mut Criterion) {
     g.finish();
 }
 
-criterion_group!(benches, bench_forward, bench_depth_breakdowns);
-criterion_main!(benches);
+fn median_ns(measurements: &[Measurement], label: &str) -> u128 {
+    measurements
+        .iter()
+        .find(|m| m.label == label)
+        .unwrap_or_else(|| panic!("missing measurement {label}"))
+        .median
+        .as_nanos()
+}
+
+fn per_sec(ns: u128, items: u128) -> f64 {
+    if ns == 0 {
+        f64::INFINITY
+    } else {
+        items as f64 * 1e9 / ns as f64
+    }
+}
+
+fn emit_json(measurements: &[Measurement]) {
+    let threads = std::thread::available_parallelism().map_or(1, |n| n.get());
+    let mut populations = String::new();
+    for (i, n) in POPULATIONS.iter().enumerate() {
+        let naive = median_ns(measurements, &format!("forward/naive/{n}"));
+        let incremental = median_ns(measurements, &format!("forward/incremental/{n}"));
+        if i > 0 {
+            populations.push_str(",\n");
+        }
+        populations.push_str(&format!(
+            "    {{\"services\": {n}, \"naive_ns\": {naive}, \"incremental_ns\": {incremental}, \
+             \"naive_analyses_per_sec\": {:.2}, \"incremental_analyses_per_sec\": {:.2}, \
+             \"speedup\": {:.2}}}",
+            per_sec(naive, 1),
+            per_sec(incremental, 1),
+            naive as f64 / incremental.max(1) as f64,
+        ));
+    }
+    let batch_serial = median_ns(measurements, "forward_batch/serial");
+    let batch_parallel = median_ns(measurements, &format!("forward_batch/threads_{threads}"));
+    let mut json = String::from("{\n");
+    json.push_str("  \"bench\": \"forward\",\n  \"platform\": \"web\",\n");
+    json.push_str(&format!("  \"threads_available\": {threads},\n"));
+    json.push_str(&format!("  \"populations\": [\n{populations}\n  ],\n"));
+    json.push_str(&format!(
+        "  \"batch_sweep\": {{\"seeds\": {BATCH_SEEDS}, \"services\": 201, \
+         \"serial_ns\": {batch_serial}, \"parallel_ns\": {batch_parallel}, \
+         \"serial_analyses_per_sec\": {:.2}, \"parallel_analyses_per_sec\": {:.2}, \
+         \"speedup\": {:.2}}}\n}}\n",
+        per_sec(batch_serial, BATCH_SEEDS as u128),
+        per_sec(batch_parallel, BATCH_SEEDS as u128),
+        batch_serial as f64 / batch_parallel.max(1) as f64,
+    ));
+    let path = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_forward.json");
+    std::fs::write(path, &json).expect("write BENCH_forward.json");
+    println!("\nwrote {path}");
+    print!("{json}");
+}
+
+fn main() {
+    let mut criterion = Criterion::default().configure_from_args();
+    bench_engines(&mut criterion);
+    bench_batch(&mut criterion);
+    bench_depth_breakdowns(&mut criterion);
+    emit_json(criterion.measurements());
+}

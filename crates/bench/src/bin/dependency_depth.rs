@@ -6,6 +6,7 @@
 //! ```
 
 use actfort_bench::{print_table, Row, EXPERIMENT_SEED};
+use actfort_core::engine::BatchAnalyzer;
 use actfort_core::metrics::{depth_breakdown, depth_breakdown_overlapping};
 use actfort_core::profile::AttackerProfile;
 use actfort_ecosystem::policy::Platform;
@@ -17,12 +18,20 @@ fn main() {
     println!("Dependency-depth reproduction over {} services", specs.len());
     println!("(paper values from §IV-B1; its categories overlap, so columns need not sum to 100)\n");
 
-    for (platform, paper) in [
-        // (direct, one layer, two full, two mixed, uncompromisable)
+    let scenarios = [
+        // (platform, paper values: direct, one layer, two full, two mixed, uncompromisable)
         (Platform::Web, (74.13, 9.83, 5.20, 2.89, 4.44)),
         (Platform::MobileApp, (75.56, 26.47, 20.59, 8.82, 2.22)),
-    ] {
-        let d = depth_breakdown_overlapping(&specs, platform, &ap);
+    ];
+    // Both countings per platform are independent analyses: shard them.
+    let breakdowns = BatchAnalyzer::available().run(&scenarios, |(platform, _)| {
+        (
+            depth_breakdown_overlapping(&specs, *platform, &ap),
+            depth_breakdown(&specs, *platform, &ap),
+        )
+    });
+
+    for ((platform, paper), (d, e)) in scenarios.iter().zip(breakdowns) {
         print_table(
             &format!("overlapping counting (paper's methodology) — {platform}"),
             &[
@@ -33,7 +42,6 @@ fn main() {
                 Row::new("not compromisable", paper.4, d.uncompromisable_pct),
             ],
         );
-        let e = depth_breakdown(&specs, platform, &ap);
         print_table(
             &format!("exclusive counting (earliest round) — {platform}"),
             &[

@@ -8,7 +8,7 @@
 //! ```
 
 use actfort_bench::EXPERIMENT_SEED;
-use actfort_core::metrics::depth_breakdown;
+use actfort_core::metrics::depth_breakdowns;
 use actfort_core::profile::AttackerProfile;
 use actfort_ecosystem::policy::Platform;
 use actfort_ecosystem::synth::paper_population;
@@ -27,14 +27,24 @@ fn main() {
         ("SMS + email interception", both),
     ];
 
+    // All platform × surface sweeps are independent: run them as one
+    // parallel batch, then print in the declared order.
+    let scenarios: Vec<(Platform, AttackerProfile)> = [Platform::Web, Platform::MobileApp]
+        .iter()
+        .flat_map(|&p| surfaces.iter().map(move |(_, ap)| (p, *ap)))
+        .collect();
+    let threads = std::thread::available_parallelism().map_or(1, |n| n.get());
+    let breakdowns = depth_breakdowns(&specs, &scenarios, threads);
+
+    let mut results = breakdowns.iter();
     for platform in [Platform::Web, Platform::MobileApp] {
         println!("{platform}:");
         println!(
             "  {:<28} {:>9} {:>11} {:>14}",
             "surface", "direct %", "cascaded %", "resistant %"
         );
-        for (label, ap) in &surfaces {
-            let d = depth_breakdown(&specs, platform, ap);
+        for (label, _) in &surfaces {
+            let d = results.next().expect("one breakdown per scenario");
             let cascaded = d.one_layer_pct + d.two_layer_full_pct + d.two_layer_mixed_pct;
             println!(
                 "  {:<28} {:>9.2} {:>11.2} {:>14.2}",

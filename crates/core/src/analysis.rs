@@ -56,7 +56,24 @@ impl ForwardResult {
 /// Runs the forward fixed point on `platform`, starting from `seeds`
 /// (which may be empty: the profile's own capabilities then drive round
 /// one, the paper's standard setting).
+///
+/// Delegates to the incremental engine; [`forward_naive`] keeps the
+/// original full-rescan loop as the reference implementation the
+/// engine's equivalence properties are tested against.
 pub fn forward(
+    specs: &[ServiceSpec],
+    platform: Platform,
+    ap: &AttackerProfile,
+    seeds: &[ServiceId],
+) -> ForwardResult {
+    crate::engine::forward_incremental(specs, platform, ap, seeds)
+}
+
+/// Reference implementation of the forward fixed point: rescans every
+/// standing node against every attack path each round and rebuilds
+/// provider pools per `min_providers` query. Kept for the equivalence
+/// proof and as the baseline in the forward benchmarks.
+pub fn forward_naive(
     specs: &[ServiceSpec],
     platform: Platform,
     ap: &AttackerProfile,
@@ -344,6 +361,59 @@ mod tests {
         let victims = r.potential_victims();
         assert!(victims.contains(&"dropbox".into()), "dropbox resets via email code");
         assert!(victims.contains(&"expedia".into()), "expedia resets via email link");
+    }
+
+    #[test]
+    fn min_providers_counts_only_pre_round_compromises() {
+        use actfort_ecosystem::factor::CredentialFactor as F;
+        use actfort_ecosystem::info::{ExposedField, PersonalInfoKind};
+        use actfort_ecosystem::policy::Purpose;
+        use actfort_ecosystem::spec::ServiceDomain;
+
+        // Hand-built chain. Two SMS-fringe leaks each expose half of the
+        // citizen ID, "registry" needs the full ID (both leaks pooled),
+        // "vault" hangs off registry via account linking, and "fortress"
+        // is password-only. "registry-mirror" falls in the same round as
+        // registry and exposes the ID in the clear — correct seed
+        // accounting must not count it as a provider for its same-round
+        // peer, so registry stays at two providers rather than one.
+        let b = |id: &str| ServiceSpec::builder(id, id, ServiceDomain::Other);
+        let specs = vec![
+            b("leak-head")
+                .path(Purpose::SignIn, Platform::Web, &[F::SmsCode])
+                .expose_web(ExposedField::partial(PersonalInfoKind::CitizenId, 10, 0))
+                .build(),
+            b("leak-tail")
+                .path(Purpose::SignIn, Platform::Web, &[F::SmsCode])
+                .expose_web(ExposedField::partial(PersonalInfoKind::CitizenId, 0, 8))
+                .build(),
+            b("registry")
+                .path(Purpose::PasswordReset, Platform::Web, &[F::CitizenId])
+                .build(),
+            b("registry-mirror")
+                .path(Purpose::PasswordReset, Platform::Web, &[F::CitizenId])
+                .expose_web(ExposedField::clear(PersonalInfoKind::CitizenId))
+                .build(),
+            b("vault")
+                .path(Purpose::PasswordReset, Platform::Web, &[F::LinkedAccount("registry".into())])
+                .build(),
+            b("fortress").path(Purpose::SignIn, Platform::Web, &[F::Password]).build(),
+        ];
+
+        let ap = ap();
+        let r = forward(&specs, Platform::Web, &ap, &[]);
+        let rec = |id: &str| *r.records.get(&id.into()).unwrap_or_else(|| panic!("{id} falls"));
+        assert_eq!(rec("leak-head"), CompromiseRecord { round: 1, min_providers: 0 });
+        assert_eq!(rec("leak-tail"), CompromiseRecord { round: 1, min_providers: 0 });
+        assert_eq!(rec("registry"), CompromiseRecord { round: 2, min_providers: 2 });
+        assert_eq!(rec("registry-mirror"), CompromiseRecord { round: 2, min_providers: 2 });
+        assert_eq!(rec("vault"), CompromiseRecord { round: 3, min_providers: 1 });
+        assert_eq!(r.uncompromised, vec![ServiceId::new("fortress")]);
+
+        // The reference loop agrees record for record.
+        let naive = forward_naive(&specs, Platform::Web, &ap, &[]);
+        assert_eq!(naive.records, r.records);
+        assert_eq!(naive.rounds, r.rounds);
     }
 
     #[test]

@@ -9,6 +9,7 @@
 //! breach is to the rest of the ecosystem.
 
 use crate::analysis::forward;
+use crate::engine::BatchAnalyzer;
 use crate::profile::AttackerProfile;
 use actfort_ecosystem::factor::ServiceId;
 use actfort_ecosystem::policy::Platform;
@@ -54,27 +55,13 @@ pub fn blast_radii(
         })
         .map(|s| s.id.clone())
         .collect();
-    let threads = threads.max(1).min(seeds.len().max(1));
-    let chunk = seeds.len().div_ceil(threads);
-
-    let mut out: Vec<BlastRadius> = std::thread::scope(|scope| {
-        let mut handles = Vec::new();
-        for batch in seeds.chunks(chunk.max(1)) {
-            handles.push(scope.spawn(move || {
-                batch
-                    .iter()
-                    .map(|seed| {
-                        let r = forward(specs, platform, ap, std::slice::from_ref(seed));
-                        BlastRadius {
-                            seed: seed.clone(),
-                            victims: r.potential_victims(),
-                            rounds: r.rounds.len().saturating_sub(1),
-                        }
-                    })
-                    .collect::<Vec<_>>()
-            }));
+    let mut out: Vec<BlastRadius> = BatchAnalyzer::new(threads).run(&seeds, |seed| {
+        let r = forward(specs, platform, ap, std::slice::from_ref(seed));
+        BlastRadius {
+            seed: seed.clone(),
+            victims: r.potential_victims(),
+            rounds: r.rounds.len().saturating_sub(1),
         }
-        handles.into_iter().flat_map(|h| h.join().expect("worker panicked")).collect()
     });
     out.sort_by(|a, b| b.cascade_size().cmp(&a.cascade_size()).then(a.seed.cmp(&b.seed)));
     out

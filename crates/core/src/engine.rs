@@ -1,0 +1,479 @@
+//! Incremental, parallel forward-analysis engine.
+//!
+//! The naive fixed point in [`crate::analysis::forward_naive`] rescans
+//! every still-standing service against every attack path each round,
+//! and rebuilds provider pools from scratch inside every
+//! `min_providers` query. Both costs dominate ecosystem-scale sweeps
+//! (hundreds of services × hundreds of seeds). This module replaces
+//! them without changing a single answer:
+//!
+//! 1. **Frontier re-evaluation.** Factor satisfaction is monotone and
+//!    fully determined by the static attacker profile plus a small set
+//!    of pool *flags*: full knowledge of the six identity-information
+//!    kinds, mailbox control, and per-service ownership. A reverse
+//!    index maps each flag to the services whose attack paths consult
+//!    it; after a round absorbs its victims, only subscribers of flags
+//!    that actually flipped can newly fall, so only they are
+//!    re-evaluated. Round one evaluates everybody, which makes the
+//!    invariant inductive: a node outside the frontier saw no change
+//!    in any input of any of its factors.
+//! 2. **Collapsed provider classes.** `min_providers` queries share one
+//!    lazily filled per-service singleton-pool cache, and the 1- and
+//!    2-provider searches enumerate one *representative* per distinct
+//!    pool signature (full kinds + coverage masks + mailbox control)
+//!    instead of every compromised provider. Bare ownership is read
+//!    only by `LinkedAccount` factors, which name their provider
+//!    explicitly — so providers the target links are enumerated
+//!    individually, and everything else is interchangeable within its
+//!    class: the minimum stays exact (see `min_providers` for the
+//!    argument). Pair checks go through
+//!    [`crate::pool::path_satisfied_pair`], a union view that never
+//!    materializes a merged pool.
+//! 3. **Batch parallelism.** [`BatchAnalyzer`] shards independent
+//!    analyses (per-seed cascades, per-platform sweeps, per-profile
+//!    ablations) across scoped worker threads with an atomic work
+//!    index, preserving input order in the output.
+
+use crate::analysis::{CompromiseRecord, ForwardResult};
+use crate::pool::{attack_paths, path_satisfied, path_satisfied_pair, InfoPool, PoolSignature};
+use crate::profile::AttackerProfile;
+use actfort_ecosystem::factor::{CredentialFactor, ServiceId};
+use actfort_ecosystem::info::PersonalInfoKind;
+use actfort_ecosystem::policy::Platform;
+use actfort_ecosystem::spec::ServiceSpec;
+use std::collections::{BTreeMap, BTreeSet};
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Mutex;
+
+/// The information kinds whose transition to "fully known" can newly
+/// satisfy a factor: the six identity facts consulted by
+/// `identity_fact_count`, which include every kind with a dedicated
+/// knowledge factor (`RealName`, `CitizenId`, `BankcardNumber`,
+/// `SecurityQuestion` → `SecurityAnswers`, `CellphoneNumber`).
+const TRACKED_KINDS: [PersonalInfoKind; 6] = [
+    PersonalInfoKind::RealName,
+    PersonalInfoKind::CitizenId,
+    PersonalInfoKind::CellphoneNumber,
+    PersonalInfoKind::Address,
+    PersonalInfoKind::BankcardNumber,
+    PersonalInfoKind::SecurityAnswers,
+];
+
+/// Reverse dependency index: which nodes to re-evaluate when a flag
+/// flips from unsatisfied to satisfied.
+struct ReverseIndex {
+    /// Subscribers per tracked kind (position-aligned with
+    /// [`TRACKED_KINDS`]).
+    kind_subs: [Vec<usize>; 6],
+    /// Subscribers of mailbox control.
+    email_subs: Vec<usize>,
+    /// Subscribers of `LinkedAccount(id)` per provider id.
+    link_subs: BTreeMap<ServiceId, Vec<usize>>,
+}
+
+fn kind_slot(kind: PersonalInfoKind) -> Option<usize> {
+    TRACKED_KINDS.iter().position(|&k| k == kind)
+}
+
+impl ReverseIndex {
+    fn build(paths: &[Vec<&actfort_ecosystem::policy::AuthPath>]) -> Self {
+        let mut kind_subs: [Vec<usize>; 6] = Default::default();
+        let mut email_subs = Vec::new();
+        let mut link_subs: BTreeMap<ServiceId, Vec<usize>> = BTreeMap::new();
+        for (i, node_paths) in paths.iter().enumerate() {
+            for path in node_paths {
+                for factor in &path.factors {
+                    match factor {
+                        CredentialFactor::CellphoneNumber => {
+                            kind_subs[kind_slot(PersonalInfoKind::CellphoneNumber).expect("tracked")].push(i);
+                        }
+                        CredentialFactor::RealName => {
+                            kind_subs[kind_slot(PersonalInfoKind::RealName).expect("tracked")].push(i);
+                        }
+                        CredentialFactor::CitizenId => {
+                            kind_subs[kind_slot(PersonalInfoKind::CitizenId).expect("tracked")].push(i);
+                        }
+                        CredentialFactor::BankcardNumber => {
+                            kind_subs[kind_slot(PersonalInfoKind::BankcardNumber).expect("tracked")].push(i);
+                        }
+                        CredentialFactor::SecurityQuestion => {
+                            kind_subs[kind_slot(PersonalInfoKind::SecurityAnswers).expect("tracked")].push(i);
+                        }
+                        CredentialFactor::CustomerService => {
+                            // The fact count consults all six kinds.
+                            for subs in &mut kind_subs {
+                                subs.push(i);
+                            }
+                        }
+                        CredentialFactor::EmailCode | CredentialFactor::EmailLink => {
+                            email_subs.push(i);
+                        }
+                        CredentialFactor::LinkedAccount(id) => {
+                            link_subs.entry(id.clone()).or_default().push(i);
+                        }
+                        // SMS interception is a static profile
+                        // capability; secrets and robust factors never
+                        // become satisfiable. Neither subscribes.
+                        _ => {}
+                    }
+                }
+            }
+        }
+        for subs in &mut kind_subs {
+            subs.sort_unstable();
+            subs.dedup();
+        }
+        email_subs.sort_unstable();
+        email_subs.dedup();
+        for subs in link_subs.values_mut() {
+            subs.sort_unstable();
+            subs.dedup();
+        }
+        Self { kind_subs, email_subs, link_subs }
+    }
+}
+
+/// Snapshot of the pool flags the reverse index keys on.
+#[derive(PartialEq, Eq, Clone, Copy)]
+struct FlagState {
+    kinds_full: [bool; 6],
+    owns_email: bool,
+}
+
+impl FlagState {
+    fn of(pool: &InfoPool) -> Self {
+        let mut kinds_full = [false; 6];
+        for (slot, &kind) in TRACKED_KINDS.iter().enumerate() {
+            kinds_full[slot] = pool.has_full(kind);
+        }
+        Self { kinds_full, owns_email: pool.owns_email_provider() }
+    }
+}
+
+/// Lazily filled cache of per-service singleton pools, plus the
+/// equivalence-class structure of the compromised set, shared by every
+/// `min_providers` query of one forward run.
+///
+/// Distinct providers frequently expose identical information, and the
+/// pooled *information* is all that matters to every factor except
+/// `LinkedAccount` (which names its provider explicitly). Compromised
+/// informative providers are therefore collapsed by pool signature, and
+/// the provider searches enumerate one representative per class.
+struct ProviderIndex {
+    pools: Vec<Option<InfoPool>>,
+    /// One compromised provider per distinct informative pool
+    /// signature, in the order their classes first fell.
+    reps: Vec<usize>,
+    seen: BTreeSet<PoolSignature>,
+}
+
+impl ProviderIndex {
+    fn new(n: usize) -> Self {
+        Self { pools: (0..n).map(|_| None).collect(), reps: Vec::new(), seen: BTreeSet::new() }
+    }
+
+    fn pool(&mut self, nodes: &[&ServiceSpec], platform: Platform, i: usize) -> &InfoPool {
+        self.pools[i].get_or_insert_with(|| {
+            let mut p = InfoPool::new();
+            p.absorb_compromise(nodes[i], platform);
+            p
+        })
+    }
+
+    /// Immutable access to an already-materialized pool.
+    fn pool_ref(&self, i: usize) -> &InfoPool {
+        self.pools[i].as_ref().expect("pool materialized before pool_ref")
+    }
+
+    /// Records a newly compromised provider, electing it class
+    /// representative if its signature is new. Uninformative providers
+    /// are never representatives: they add nothing over the empty pool
+    /// except an ownership bit handled via `LinkedAccount` candidates.
+    fn register(&mut self, nodes: &[&ServiceSpec], platform: Platform, i: usize) {
+        let (informative, sig) = {
+            let p = self.pool(nodes, platform, i);
+            (p.is_informative(), p.signature())
+        };
+        if informative && self.seen.insert(sig) {
+            self.reps.push(i);
+        }
+    }
+
+    /// Fewest previously-compromised providers whose pooled exposures
+    /// (plus the profile) satisfy one of the target's attack paths — 0,
+    /// 1, 2 or 3 (capped).
+    ///
+    /// Exactness of the class collapsing: any satisfying provider set
+    /// can be rewritten member-by-member, replacing each non-linked
+    /// provider with its class representative, without changing what
+    /// any factor of the target reads — equal signatures mean equal
+    /// information, and the only factor reading ownership names a
+    /// linked provider, which is kept as itself. Same-class pairs need
+    /// no checking either: their union carries no more information than
+    /// the single representative already tested by the 1-provider loop.
+    fn min_providers(
+        &mut self,
+        paths: &[&actfort_ecosystem::policy::AuthPath],
+        platform: Platform,
+        ap: &AttackerProfile,
+        compromised: &BTreeSet<usize>,
+        nodes: &[&ServiceSpec],
+        id_index: &BTreeMap<&ServiceId, usize>,
+    ) -> usize {
+        let empty = InfoPool::new();
+        if paths.iter().any(|p| path_satisfied(p, ap, &empty)) {
+            return 0;
+        }
+        // Candidates: every class representative, plus any compromised
+        // provider the target names in a `LinkedAccount` factor.
+        let mut candidates: Vec<usize> = self.reps.clone();
+        for path in paths {
+            for factor in &path.factors {
+                if let CredentialFactor::LinkedAccount(id) = factor {
+                    if let Some(&j) = id_index.get(id) {
+                        if compromised.contains(&j) && !candidates.contains(&j) {
+                            candidates.push(j);
+                        }
+                    }
+                }
+            }
+        }
+        for &j in &candidates {
+            self.pool(nodes, platform, j);
+        }
+        for &j in &candidates {
+            if paths.iter().any(|p| path_satisfied(p, ap, self.pool_ref(j))) {
+                return 1;
+            }
+        }
+        for (ai, &a) in candidates.iter().enumerate() {
+            let pa = self.pool_ref(a);
+            for &b in &candidates[ai + 1..] {
+                if paths.iter().any(|p| path_satisfied_pair(p, ap, pa, self.pool_ref(b))) {
+                    return 2;
+                }
+            }
+        }
+        3
+    }
+}
+
+/// Incremental forward fixed point. Produces results identical to
+/// [`crate::analysis::forward_naive`] (see the equivalence property
+/// tests); only the work schedule differs.
+pub fn forward_incremental(
+    specs: &[ServiceSpec],
+    platform: Platform,
+    ap: &AttackerProfile,
+    seeds: &[ServiceId],
+) -> ForwardResult {
+    let nodes: Vec<&ServiceSpec> = specs
+        .iter()
+        .filter(|s| match platform {
+            Platform::Web => s.has_web,
+            Platform::MobileApp => s.has_mobile,
+        })
+        .collect();
+    // Attack paths per node, computed once instead of once per round.
+    let paths: Vec<Vec<&actfort_ecosystem::policy::AuthPath>> =
+        nodes.iter().map(|s| attack_paths(s, platform)).collect();
+    let index = ReverseIndex::build(&paths);
+    let id_index: BTreeMap<&ServiceId, usize> =
+        nodes.iter().enumerate().map(|(i, s)| (&s.id, i)).collect();
+
+    let mut pool = InfoPool::new();
+    let mut compromised: BTreeSet<usize> = BTreeSet::new();
+    let mut records: BTreeMap<ServiceId, CompromiseRecord> = BTreeMap::new();
+    let mut rounds: Vec<Vec<ServiceId>> = Vec::new();
+    let mut providers = ProviderIndex::new(nodes.len());
+
+    // Round 0: seeds.
+    let mut seed_round = Vec::new();
+    for (i, s) in nodes.iter().enumerate() {
+        if seeds.contains(&s.id) {
+            compromised.insert(i);
+            pool.absorb_compromise(s, platform);
+            providers.register(&nodes, platform, i);
+            records.insert(s.id.clone(), CompromiseRecord { round: 0, min_providers: 0 });
+            seed_round.push(s.id.clone());
+        }
+    }
+    rounds.push(seed_round);
+
+    // Round 1 evaluates every standing node; afterwards only flag
+    // subscribers can change, so the frontier shrinks to them.
+    let mut frontier: BTreeSet<usize> =
+        (0..nodes.len()).filter(|i| !compromised.contains(i)).collect();
+
+    while !frontier.is_empty() {
+        let round = rounds.len();
+        // Synchronous BFS: the whole frontier is judged against the
+        // same pre-round pool, so `round` stays a true layer number.
+        let newly: Vec<usize> = frontier
+            .iter()
+            .copied()
+            .filter(|&i| paths[i].iter().any(|p| path_satisfied(p, ap, &pool)))
+            .collect();
+        if newly.is_empty() {
+            break;
+        }
+        // Records are computed against the *pre-round* compromised set:
+        // providers are accounts that had already fallen when this
+        // layer was judged, never same-round peers.
+        let mut ids = Vec::with_capacity(newly.len());
+        for &i in &newly {
+            let min_providers =
+                providers.min_providers(&paths[i], platform, ap, &compromised, &nodes, &id_index);
+            records.insert(nodes[i].id.clone(), CompromiseRecord { round, min_providers });
+            ids.push(nodes[i].id.clone());
+        }
+
+        let before = FlagState::of(&pool);
+        for &i in &newly {
+            compromised.insert(i);
+            pool.absorb_compromise(nodes[i], platform);
+            providers.register(&nodes, platform, i);
+        }
+        let after = FlagState::of(&pool);
+        rounds.push(ids);
+
+        // Next frontier: subscribers of every flag that flipped.
+        frontier.clear();
+        for slot in 0..TRACKED_KINDS.len() {
+            if after.kinds_full[slot] && !before.kinds_full[slot] {
+                frontier.extend(index.kind_subs[slot].iter().copied());
+            }
+        }
+        if after.owns_email && !before.owns_email {
+            frontier.extend(index.email_subs.iter().copied());
+        }
+        for &i in &newly {
+            if let Some(subs) = index.link_subs.get(&nodes[i].id) {
+                frontier.extend(subs.iter().copied());
+            }
+        }
+        frontier.retain(|i| !compromised.contains(i));
+    }
+
+    let uncompromised = nodes
+        .iter()
+        .enumerate()
+        .filter(|(i, _)| !compromised.contains(i))
+        .map(|(_, s)| s.id.clone())
+        .collect();
+    ForwardResult { rounds, records, uncompromised, final_pool: pool }
+}
+
+/// Shards independent analyses across scoped worker threads.
+///
+/// Work items are claimed through an atomic index (no pre-chunking, so
+/// uneven item costs balance naturally) and results are returned in
+/// input order. With one thread — or one item — it degrades to a plain
+/// serial map, which keeps single-core environments overhead-free.
+#[derive(Debug, Clone, Copy)]
+pub struct BatchAnalyzer {
+    threads: usize,
+}
+
+impl BatchAnalyzer {
+    /// An analyzer running on up to `threads` workers (minimum 1).
+    pub fn new(threads: usize) -> Self {
+        Self { threads: threads.max(1) }
+    }
+
+    /// An analyzer sized to the machine's available parallelism.
+    pub fn available() -> Self {
+        Self::new(std::thread::available_parallelism().map_or(1, |n| n.get()))
+    }
+
+    /// Worker count this analyzer will use.
+    pub fn threads(&self) -> usize {
+        self.threads
+    }
+
+    /// Applies `f` to every item, in parallel, preserving input order.
+    pub fn run<T, R, F>(&self, items: &[T], f: F) -> Vec<R>
+    where
+        T: Sync,
+        R: Send,
+        F: Fn(&T) -> R + Sync,
+    {
+        let n = items.len();
+        let workers = self.threads.min(n);
+        if workers <= 1 {
+            return items.iter().map(&f).collect();
+        }
+        let next = AtomicUsize::new(0);
+        let done: Mutex<Vec<(usize, R)>> = Mutex::new(Vec::with_capacity(n));
+        std::thread::scope(|scope| {
+            for _ in 0..workers {
+                scope.spawn(|| {
+                    let mut local: Vec<(usize, R)> = Vec::new();
+                    loop {
+                        let i = next.fetch_add(1, Ordering::Relaxed);
+                        if i >= n {
+                            break;
+                        }
+                        local.push((i, f(&items[i])));
+                    }
+                    done.lock().expect("a worker panicked").extend(local);
+                });
+            }
+        });
+        let mut pairs = done.into_inner().expect("a worker panicked");
+        pairs.sort_unstable_by_key(|&(i, _)| i);
+        pairs.into_iter().map(|(_, r)| r).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::analysis::forward_naive;
+    use actfort_ecosystem::dataset::curated_services;
+
+    fn assert_equivalent(specs: &[ServiceSpec], platform: Platform, ap: &AttackerProfile, seeds: &[ServiceId]) {
+        let naive = forward_naive(specs, platform, ap, seeds);
+        let inc = forward_incremental(specs, platform, ap, seeds);
+        assert_eq!(naive.rounds, inc.rounds);
+        assert_eq!(naive.records, inc.records);
+        assert_eq!(naive.uncompromised, inc.uncompromised);
+    }
+
+    #[test]
+    fn equivalent_on_curated_population() {
+        let specs = curated_services();
+        for platform in [Platform::Web, Platform::MobileApp] {
+            assert_equivalent(&specs, platform, &AttackerProfile::paper_default(), &[]);
+            assert_equivalent(&specs, platform, &AttackerProfile::none(), &["gmail".into()]);
+            assert_equivalent(&specs, platform, &AttackerProfile::targeted(), &[]);
+        }
+    }
+
+    #[test]
+    fn equivalent_on_synthetic_population() {
+        let specs = actfort_ecosystem::synth::paper_population(2021);
+        for platform in [Platform::Web, Platform::MobileApp] {
+            assert_equivalent(&specs, platform, &AttackerProfile::paper_default(), &[]);
+        }
+    }
+
+    #[test]
+    fn batch_preserves_order_and_results() {
+        let items: Vec<u64> = (0..97).collect();
+        let serial: Vec<u64> = items.iter().map(|&x| x * x + 1).collect();
+        for threads in [1, 2, 5, 16] {
+            let got = BatchAnalyzer::new(threads).run(&items, |&x| x * x + 1);
+            assert_eq!(got, serial, "threads={threads}");
+        }
+    }
+
+    #[test]
+    fn batch_handles_empty_and_singleton() {
+        let analyzer = BatchAnalyzer::new(8);
+        let empty: Vec<u32> = Vec::new();
+        assert!(analyzer.run(&empty, |&x| x).is_empty());
+        assert_eq!(analyzer.run(&[7u32], |&x| x + 1), vec![8]);
+        assert!(BatchAnalyzer::available().threads() >= 1);
+    }
+}

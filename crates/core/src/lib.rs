@@ -37,6 +37,7 @@
 //! ```
 
 pub mod analysis;
+pub mod engine;
 pub mod breach;
 pub mod counter;
 pub mod dot;

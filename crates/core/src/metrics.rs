@@ -2,6 +2,7 @@
 //! Table I and the in-text dependency-depth table.
 
 use crate::analysis::{forward, ForwardResult};
+use crate::engine::BatchAnalyzer;
 use crate::profile::AttackerProfile;
 use actfort_ecosystem::factor::CredentialFactor;
 use actfort_ecosystem::info::PersonalInfoKind;
@@ -161,6 +162,17 @@ pub fn depth_breakdown(
         uncompromisable_pct: pct(result.uncompromised.len(), total),
         total,
     }
+}
+
+/// Computes the dependency-depth breakdown for many scenarios at once,
+/// sharding the independent forward analyses across `threads` workers.
+/// Results are positionally aligned with `scenarios`.
+pub fn depth_breakdowns(
+    specs: &[ServiceSpec],
+    scenarios: &[(Platform, AttackerProfile)],
+    threads: usize,
+) -> Vec<DepthBreakdown> {
+    BatchAnalyzer::new(threads).run(scenarios, |(platform, ap)| depth_breakdown(specs, *platform, ap))
 }
 
 /// The paper's own counting for the dependency table is *overlapping*:

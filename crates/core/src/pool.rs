@@ -124,9 +124,81 @@ impl InfoPool {
         }
     }
 
+    /// Merges everything `other` knows into `self`: union of fully
+    /// known kinds, positional coverage masks, owned services and
+    /// mailbox control. Equivalent to absorbing the same compromises
+    /// `other` absorbed, without re-walking their exposure lists.
+    pub fn merge_from(&mut self, other: &InfoPool) {
+        self.full.extend(other.full.iter().copied());
+        for (&kind, cov) in &other.coverage {
+            self.coverage.entry(kind).or_default().0 |= cov.0;
+        }
+        self.owned.extend(other.owned.iter().cloned());
+        self.owns_email_provider |= other.owns_email_provider;
+    }
+
+    /// Whether the pool contributes anything beyond bare account
+    /// ownership: full kinds, partial coverage, or mailbox control.
+    /// Providers whose pools are uninformative can only matter to a
+    /// target through a `LinkedAccount` factor naming them.
+    pub(crate) fn is_informative(&self) -> bool {
+        !self.full.is_empty() || !self.coverage.is_empty() || self.owns_email_provider
+    }
+
+    /// Canonical fingerprint of the pool's *transferable* knowledge:
+    /// full kinds, positional coverage masks and mailbox control.
+    /// Ownership is deliberately excluded — only `LinkedAccount`
+    /// factors read it, and they name their provider explicitly — so
+    /// two pools with equal signatures are interchangeable for every
+    /// other factor.
+    pub(crate) fn signature(&self) -> PoolSignature {
+        let mut full_mask: u16 = 0;
+        for (bit, k) in PersonalInfoKind::all().iter().enumerate() {
+            if self.full.contains(k) {
+                full_mask |= 1 << bit;
+            }
+        }
+        // Only kinds with a canonical length ever enter `coverage`.
+        let mut cov = [0u32; 3];
+        for (&k, c) in &self.coverage {
+            match k {
+                PersonalInfoKind::CitizenId => cov[0] = c.0,
+                PersonalInfoKind::BankcardNumber => cov[1] = c.0,
+                PersonalInfoKind::CellphoneNumber => cov[2] = c.0,
+                _ => {}
+            }
+        }
+        (full_mask, cov, self.owns_email_provider)
+    }
+
     /// Count of distinct identity facts known, the currency of the
     /// customer-service social-engineering path.
     pub fn identity_fact_count(&self, ap: &AttackerProfile) -> usize {
+        PoolView::identity_fact_count(self, ap)
+    }
+}
+
+/// Canonical fingerprint of a pool's transferable knowledge — a bitmask
+/// of fully known kinds (in [`PersonalInfoKind::all`] order), the three
+/// positional coverage masks, and mailbox control. See
+/// [`InfoPool::signature`].
+pub(crate) type PoolSignature = (u16, [u32; 3], bool);
+
+/// Read-only knowledge queries factor satisfaction needs. Implemented
+/// by [`InfoPool`] and by the non-allocating two-pool union view behind
+/// [`path_satisfied_pair`], so single- and pair-provider checks share
+/// one factor semantics.
+pub trait PoolView {
+    /// Whether a kind is fully known (directly or via merged coverage).
+    fn has_full(&self, kind: PersonalInfoKind) -> bool;
+    /// Whether the attacker controls `service`.
+    fn owns(&self, service: &ServiceId) -> bool;
+    /// Whether the attacker controls the victim's mailbox.
+    fn owns_email_provider(&self) -> bool;
+
+    /// Count of distinct identity facts known, the currency of the
+    /// customer-service social-engineering path.
+    fn identity_fact_count(&self, ap: &AttackerProfile) -> usize {
         let mut n = 0;
         for kind in [
             PersonalInfoKind::RealName,
@@ -149,8 +221,60 @@ impl InfoPool {
     }
 }
 
-/// Whether a single factor is satisfiable from the profile plus pool.
-pub fn factor_satisfied(factor: &CredentialFactor, ap: &AttackerProfile, pool: &InfoPool) -> bool {
+impl PoolView for InfoPool {
+    fn has_full(&self, kind: PersonalInfoKind) -> bool {
+        InfoPool::has_full(self, kind)
+    }
+
+    fn owns(&self, service: &ServiceId) -> bool {
+        InfoPool::owns(self, service)
+    }
+
+    fn owns_email_provider(&self) -> bool {
+        InfoPool::owns_email_provider(self)
+    }
+}
+
+/// Union of two pools, queried in place: equivalent to `merge_from`
+/// without building the merged pool. Positional coverage is OR-ed at
+/// query time, so complementary masks split across the two providers
+/// still complete a kind.
+struct PoolPair<'a> {
+    a: &'a InfoPool,
+    b: &'a InfoPool,
+}
+
+impl PoolView for PoolPair<'_> {
+    fn has_full(&self, kind: PersonalInfoKind) -> bool {
+        if self.a.full.contains(&kind) || self.b.full.contains(&kind) {
+            return true;
+        }
+        match canonical_len(kind) {
+            Some(len) => {
+                let mask = self.a.coverage.get(&kind).map_or(0, |c| c.0)
+                    | self.b.coverage.get(&kind).map_or(0, |c| c.0);
+                Coverage(mask).is_full(len)
+            }
+            None => false,
+        }
+    }
+
+    fn owns(&self, service: &ServiceId) -> bool {
+        self.a.owns(service) || self.b.owns(service)
+    }
+
+    fn owns_email_provider(&self) -> bool {
+        self.a.owns_email_provider || self.b.owns_email_provider
+    }
+}
+
+/// Whether a single factor is satisfiable from the profile plus any
+/// knowledge view (a single pool, or a two-pool union).
+pub fn factor_satisfied_view<Q: PoolView>(
+    factor: &CredentialFactor,
+    ap: &AttackerProfile,
+    pool: &Q,
+) -> bool {
     match factor {
         CredentialFactor::SmsCode => ap.sms_interception,
         CredentialFactor::CellphoneNumber => {
@@ -178,9 +302,26 @@ pub fn factor_satisfied(factor: &CredentialFactor, ap: &AttackerProfile, pool: &
     }
 }
 
+/// Whether a single factor is satisfiable from the profile plus pool.
+pub fn factor_satisfied(factor: &CredentialFactor, ap: &AttackerProfile, pool: &InfoPool) -> bool {
+    factor_satisfied_view(factor, ap, pool)
+}
+
 /// Whether every factor of `path` is satisfiable.
 pub fn path_satisfied(path: &AuthPath, ap: &AttackerProfile, pool: &InfoPool) -> bool {
-    path.factors.iter().all(|f| factor_satisfied(f, ap, pool))
+    path.factors.iter().all(|f| factor_satisfied_view(f, ap, pool))
+}
+
+/// Whether every factor of `path` is satisfiable from the union of two
+/// pools, without materializing a merged pool.
+pub fn path_satisfied_pair(
+    path: &AuthPath,
+    ap: &AttackerProfile,
+    a: &InfoPool,
+    b: &InfoPool,
+) -> bool {
+    let pair = PoolPair { a, b };
+    path.factors.iter().all(|f| factor_satisfied_view(f, ap, &pair))
 }
 
 /// Whether a path could *ever* be satisfied by any pool (i.e. contains no

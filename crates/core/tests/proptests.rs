@@ -2,7 +2,7 @@
 //! fixed-point behaviour and chain soundness over randomly generated
 //! ecosystems.
 
-use actfort_core::analysis::{backward_chains, forward};
+use actfort_core::analysis::{backward_chains, forward, forward_naive};
 use actfort_core::counter::{apply, Countermeasure};
 use actfort_core::pool::{attack_paths, path_satisfied, InfoPool};
 use actfort_core::profile::AttackerProfile;
@@ -165,6 +165,41 @@ proptest! {
                 );
             }
         }
+    }
+
+    /// Engine equivalence: the incremental frontier engine behind
+    /// [`forward`] and the naive full-rescan reference produce identical
+    /// round layering, per-service compromise records (round *and*
+    /// minimum provider count) and survivor sets, across random
+    /// ecosystems, platforms, profiles and seed accounts.
+    #[test]
+    fn incremental_engine_matches_naive_reference(
+        seed in any::<u64>(),
+        pick in 0usize..16,
+        profile_pick in 0usize..3,
+        platform_pick in 0usize..2,
+    ) {
+        let specs = population(seed, 30);
+        let ap = match profile_pick {
+            0 => AttackerProfile::paper_default(),
+            1 => AttackerProfile::email_surface(),
+            _ => AttackerProfile::targeted(),
+        };
+        let platform = if platform_pick == 0 { Platform::Web } else { Platform::MobileApp };
+        let seeds = if pick % 2 == 0 {
+            Vec::new()
+        } else {
+            vec![specs[pick % specs.len()].id.clone()]
+        };
+        let naive = forward_naive(&specs, platform, &ap, &seeds);
+        let incremental = forward(&specs, platform, &ap, &seeds);
+        prop_assert_eq!(&naive.rounds, &incremental.rounds, "round layering diverged");
+        prop_assert_eq!(&naive.records, &incremental.records, "records diverged");
+        prop_assert_eq!(
+            &naive.uncompromised,
+            &incremental.uncompromised,
+            "survivors diverged"
+        );
     }
 
     /// Countermeasures never enlarge the compromised set, on any seed.

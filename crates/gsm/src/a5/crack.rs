@@ -16,6 +16,7 @@ use crate::a5::a51::{A51, Kc, KEYSTREAM_BITS_PER_FRAME};
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 use serde::{Deserialize, Serialize};
+use std::collections::BTreeMap;
 
 /// High bits shared by every "weak" session key the simulated network
 /// issues when configured with a reduced `session_key_bits`.
@@ -117,30 +118,51 @@ impl SubsetKeySearch {
 ///
 /// The published GSM A5/1 tables (~1.7 TB) give roughly a 90% hit rate
 /// from a single burst of 114 known keystream bits, with lookups taking
-/// seconds to tens of seconds on commodity hardware. The model draws the
-/// outcome deterministically from its seed and the keystream contents, so
-/// simulation runs are reproducible.
+/// seconds to tens of seconds on commodity hardware.
+///
+/// A real table covers a *fixed* fraction of the keyspace by
+/// construction (chains × chain length / 2^64), so the hit rate an
+/// attacker observes over a session concentrates tightly around the
+/// nominal coverage — it does not behave like independent coin flips,
+/// which over short runs can make the table look perfect or useless.
+/// The model therefore uses stratified accounting: across any window of
+/// `n` distinct consistent lookups, the number of hits is within one of
+/// `n × hit_rate`. A seed-derived phase decides where in the stride the
+/// misses land, and repeated lookups of the same `(key, frame)` burst
+/// always return the first outcome, so runs stay reproducible.
 #[derive(Debug, Clone, Serialize, Deserialize)]
 pub struct RainbowTableModel {
-    /// Probability a lookup succeeds (default 0.90).
+    /// Fraction of lookups that succeed (default 0.90).
     pub hit_rate: f64,
     /// Minimum lookup latency in milliseconds (default 2 000).
     pub min_latency_ms: u64,
     /// Maximum lookup latency in milliseconds (default 30 000).
     pub max_latency_ms: u64,
     seed: u64,
+    /// Distinct consistent lookups answered so far.
+    lookups: u64,
+    /// Cached outcome per `(key, frame)` — a table never changes its
+    /// answer for the same burst.
+    outcomes: BTreeMap<(u64, u32), bool>,
 }
 
 impl Default for RainbowTableModel {
     fn default() -> Self {
-        Self { hit_rate: 0.90, min_latency_ms: 2_000, max_latency_ms: 30_000, seed: 0xa51a_5c0d_e000_0001 }
+        Self::new(0xa51a_5c0d_e000_0001)
     }
 }
 
 impl RainbowTableModel {
     /// Creates a model with the published-table defaults and a seed.
     pub fn new(seed: u64) -> Self {
-        Self { hit_rate: 0.90, min_latency_ms: 2_000, max_latency_ms: 30_000, seed }
+        Self {
+            hit_rate: 0.90,
+            min_latency_ms: 2_000,
+            max_latency_ms: 30_000,
+            seed,
+            lookups: 0,
+            outcomes: BTreeMap::new(),
+        }
     }
 
     /// Creates a model with a custom hit rate (clamped to `[0, 1]`).
@@ -153,20 +175,38 @@ impl RainbowTableModel {
     ///
     /// The model validates that the caller actually possesses keystream
     /// consistent with `true_key` for `frame` — i.e. the simulation can't
-    /// "crack" traffic it never correctly observed — then draws success
-    /// and latency deterministically.
-    pub fn crack(&self, true_key: Kc, frame: u32, keystream: &[u8]) -> CrackOutcome {
+    /// "crack" traffic it never correctly observed — then decides success
+    /// by stratified coverage accounting and draws latency
+    /// deterministically.
+    pub fn crack(&mut self, true_key: Kc, frame: u32, keystream: &[u8]) -> CrackOutcome {
         let mut expected = vec![0u8; keystream.len().min(KEYSTREAM_BITS_PER_FRAME)];
         A51::new(true_key, frame).keystream_bits(&mut expected);
         let consistent =
             keystream.len() >= KEYSTREAM_BITS_PER_FRAME.min(64) && expected == keystream[..expected.len()];
-        let mut rng = self.rng_for(true_key, frame);
-        let latency_ms = rng.gen_range(self.min_latency_ms..=self.max_latency_ms);
-        if consistent && rng.gen_bool(self.hit_rate) {
+        let latency_ms = self.rng_for(true_key, frame).gen_range(self.min_latency_ms..=self.max_latency_ms);
+        if consistent && self.covered(true_key, frame) {
             CrackOutcome::Recovered { kc: true_key, latency_ms }
         } else {
             CrackOutcome::NotFound { latency_ms }
         }
+    }
+
+    /// Stratified coverage: the k-th distinct consistent lookup hits iff
+    /// the integer part of `k × hit_rate + phase` advances — a Bresenham
+    /// walk that keeps observed hits within one of `n × hit_rate` over
+    /// every window of `n` lookups, with the seed choosing the phase.
+    fn covered(&mut self, kc: Kc, frame: u32) -> bool {
+        if let Some(&hit) = self.outcomes.get(&(kc.0, frame)) {
+            return hit;
+        }
+        let phase = (self.seed.wrapping_mul(0x9e37_79b9_7f4a_7c15) >> 11) as f64
+            / (1u64 << 53) as f64;
+        let before = (self.lookups as f64 * self.hit_rate + phase).floor();
+        let after = ((self.lookups + 1) as f64 * self.hit_rate + phase).floor();
+        self.lookups += 1;
+        let hit = after > before;
+        self.outcomes.insert((kc.0, frame), hit);
+        hit
     }
 
     fn rng_for(&self, kc: Kc, frame: u32) -> StdRng {
@@ -207,7 +247,7 @@ mod tests {
 
     #[test]
     fn rainbow_model_is_deterministic() {
-        let model = RainbowTableModel::new(7);
+        let mut model = RainbowTableModel::new(7);
         let kc = Kc(42);
         let mut ks = [0u8; KEYSTREAM_BITS_PER_FRAME];
         A51::new(kc, 9).keystream_bits(&mut ks);
@@ -218,7 +258,7 @@ mod tests {
 
     #[test]
     fn rainbow_model_rejects_wrong_keystream() {
-        let model = RainbowTableModel::new(7).with_hit_rate(1.0);
+        let mut model = RainbowTableModel::new(7).with_hit_rate(1.0);
         let ks = [0u8; KEYSTREAM_BITS_PER_FRAME];
         // All-zero keystream is (astronomically likely) inconsistent.
         let outcome = model.crack(Kc(0x1234), 9, &ks);
@@ -227,7 +267,7 @@ mod tests {
 
     #[test]
     fn rainbow_model_hit_rate_calibration() {
-        let model = RainbowTableModel::new(99);
+        let mut model = RainbowTableModel::new(99);
         let mut hits = 0u32;
         let trials = 400u32;
         for i in 0..trials {
@@ -244,7 +284,7 @@ mod tests {
 
     #[test]
     fn latency_within_bounds() {
-        let model = RainbowTableModel::new(3);
+        let mut model = RainbowTableModel::new(3);
         let kc = Kc(77);
         let mut ks = [0u8; KEYSTREAM_BITS_PER_FRAME];
         A51::new(kc, 1).keystream_bits(&mut ks);

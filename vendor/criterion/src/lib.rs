@@ -1,0 +1,264 @@
+//! Offline subset of the `criterion` API.
+//!
+//! The build environment cannot reach crates.io, so the workspace's
+//! benches run on this shim: the same `criterion_group!` /
+//! `criterion_main!` / `benchmark_group` / `bench_with_input` surface,
+//! backed by a plain `std::time::Instant` harness. Each benchmark is
+//! calibrated so one sample takes a few milliseconds, `sample_size`
+//! samples are timed, and the median per-iteration time (plus optional
+//! throughput) is printed.
+
+use std::fmt::Display;
+use std::time::{Duration, Instant};
+
+/// Opaque value sink preventing the optimizer from deleting benched work.
+pub fn black_box<T>(x: T) -> T {
+    std::hint::black_box(x)
+}
+
+/// Units for derived throughput reporting.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Throughput {
+    /// Elements processed per iteration.
+    Elements(u64),
+    /// Bytes processed per iteration.
+    Bytes(u64),
+}
+
+/// A benchmark identifier inside a group.
+#[derive(Debug, Clone)]
+pub struct BenchmarkId {
+    repr: String,
+}
+
+impl BenchmarkId {
+    /// An id from a function name plus a parameter.
+    pub fn new(name: impl Display, parameter: impl Display) -> Self {
+        Self { repr: format!("{name}/{parameter}") }
+    }
+
+    /// An id that is just a parameter value.
+    pub fn from_parameter(parameter: impl Display) -> Self {
+        Self { repr: parameter.to_string() }
+    }
+}
+
+impl Display for BenchmarkId {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(&self.repr)
+    }
+}
+
+/// Measured summary of one benchmark.
+#[derive(Debug, Clone)]
+pub struct Measurement {
+    /// Full label (`group/id`).
+    pub label: String,
+    /// Median per-iteration time.
+    pub median: Duration,
+    /// Throughput attached when the group declared one.
+    pub throughput: Option<Throughput>,
+}
+
+impl Measurement {
+    fn report(&self) {
+        let ns = self.median.as_secs_f64() * 1e9;
+        let time = if ns >= 1e9 {
+            format!("{:.4} s", ns / 1e9)
+        } else if ns >= 1e6 {
+            format!("{:.4} ms", ns / 1e6)
+        } else if ns >= 1e3 {
+            format!("{:.4} µs", ns / 1e3)
+        } else {
+            format!("{ns:.2} ns")
+        };
+        match self.throughput {
+            Some(Throughput::Elements(n)) => {
+                let rate = n as f64 / self.median.as_secs_f64();
+                println!("{:<44} time: [{time}]  thrpt: [{rate:.1} elem/s]", self.label);
+            }
+            Some(Throughput::Bytes(n)) => {
+                let rate = n as f64 / self.median.as_secs_f64() / (1024.0 * 1024.0);
+                println!("{:<44} time: [{time}]  thrpt: [{rate:.2} MiB/s]", self.label);
+            }
+            None => println!("{:<44} time: [{time}]", self.label),
+        }
+    }
+}
+
+/// Timing state handed to benchmark closures.
+pub struct Bencher {
+    iters: u64,
+    elapsed: Duration,
+}
+
+impl Bencher {
+    /// Times `iters` calls of `routine`.
+    pub fn iter<O, R: FnMut() -> O>(&mut self, mut routine: R) {
+        let start = Instant::now();
+        for _ in 0..self.iters {
+            black_box(routine());
+        }
+        self.elapsed = start.elapsed();
+    }
+}
+
+fn run_one(label: String, sample_size: usize, throughput: Option<Throughput>, mut routine: impl FnMut(&mut Bencher)) -> Measurement {
+    // Calibrate: grow the iteration count until one sample costs ≥ ~2ms.
+    let mut iters: u64 = 1;
+    let per_iter = loop {
+        let mut b = Bencher { iters, elapsed: Duration::ZERO };
+        routine(&mut b);
+        if b.elapsed >= Duration::from_millis(2) || iters >= 1 << 20 {
+            break b.elapsed / u32::try_from(iters).unwrap_or(u32::MAX);
+        }
+        iters = iters.saturating_mul(4);
+    };
+    let target = Duration::from_millis(5);
+    let iters_per_sample = if per_iter.is_zero() {
+        iters
+    } else {
+        (target.as_nanos() / per_iter.as_nanos().max(1)).clamp(1, 1 << 20) as u64
+    };
+    let samples = sample_size.clamp(2, 100);
+    let mut timings: Vec<Duration> = Vec::with_capacity(samples);
+    for _ in 0..samples {
+        let mut b = Bencher { iters: iters_per_sample, elapsed: Duration::ZERO };
+        routine(&mut b);
+        timings.push(b.elapsed / u32::try_from(iters_per_sample).unwrap_or(u32::MAX));
+    }
+    timings.sort_unstable();
+    let median = timings[timings.len() / 2];
+    let m = Measurement { label, median, throughput };
+    m.report();
+    m
+}
+
+/// Top-level benchmark driver (subset of `criterion::Criterion`).
+#[derive(Debug, Default)]
+pub struct Criterion {
+    measurements: Vec<Measurement>,
+}
+
+impl Criterion {
+    /// Accepts (and ignores) CLI configuration, for API parity.
+    pub fn configure_from_args(self) -> Self {
+        self
+    }
+
+    /// Runs a standalone benchmark.
+    pub fn bench_function(&mut self, name: impl Display, routine: impl FnMut(&mut Bencher)) -> &mut Self {
+        let m = run_one(name.to_string(), 20, None, routine);
+        self.measurements.push(m);
+        self
+    }
+
+    /// Opens a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            parent: self,
+            name: name.into(),
+            sample_size: 20,
+            throughput: None,
+        }
+    }
+
+    /// All measurements recorded so far (shim extension).
+    pub fn measurements(&self) -> &[Measurement] {
+        &self.measurements
+    }
+}
+
+/// A group of benchmarks sharing a name prefix and settings.
+pub struct BenchmarkGroup<'a> {
+    parent: &'a mut Criterion,
+    name: String,
+    sample_size: usize,
+    throughput: Option<Throughput>,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Sets the number of timed samples per benchmark.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_size = n;
+        self
+    }
+
+    /// Declares per-iteration throughput for subsequent benchmarks.
+    pub fn throughput(&mut self, throughput: Throughput) -> &mut Self {
+        self.throughput = Some(throughput);
+        self
+    }
+
+    /// Runs a benchmark inside the group.
+    pub fn bench_function(&mut self, id: impl Display, routine: impl FnMut(&mut Bencher)) -> &mut Self {
+        let label = format!("{}/{}", self.name, id);
+        let m = run_one(label, self.sample_size, self.throughput, routine);
+        self.parent.measurements.push(m);
+        self
+    }
+
+    /// Runs a benchmark parameterized by `input`.
+    pub fn bench_with_input<I: ?Sized>(
+        &mut self,
+        id: BenchmarkId,
+        input: &I,
+        mut routine: impl FnMut(&mut Bencher, &I),
+    ) -> &mut Self {
+        let label = format!("{}/{}", self.name, id);
+        let m = run_one(label, self.sample_size, self.throughput, |b| routine(b, input));
+        self.parent.measurements.push(m);
+        self
+    }
+
+    /// Ends the group.
+    pub fn finish(self) {}
+}
+
+/// Declares a function running a list of benchmark functions.
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut criterion = $crate::Criterion::default().configure_from_args();
+            $($target(&mut criterion);)+
+        }
+    };
+}
+
+/// Declares `main` invoking benchmark groups.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn measures_something_positive() {
+        let mut c = Criterion::default();
+        c.bench_function("spin", |b| b.iter(|| (0..100u64).sum::<u64>()));
+        assert_eq!(c.measurements().len(), 1);
+        assert!(c.measurements()[0].median > Duration::ZERO);
+    }
+
+    #[test]
+    fn group_labels_and_throughput() {
+        let mut c = Criterion::default();
+        let mut g = c.benchmark_group("grp");
+        g.sample_size(3).throughput(Throughput::Elements(10));
+        g.bench_with_input(BenchmarkId::from_parameter(7), &7u64, |b, &n| {
+            b.iter(|| (0..n).product::<u64>())
+        });
+        g.finish();
+        let m = &c.measurements()[0];
+        assert_eq!(m.label, "grp/7");
+        assert_eq!(m.throughput, Some(Throughput::Elements(10)));
+    }
+}

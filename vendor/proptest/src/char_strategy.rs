@@ -1,0 +1,49 @@
+//! Character strategies (`proptest::char::range`).
+
+use crate::strategy::Strategy;
+use crate::test_runner::TestRng;
+use rand::Rng;
+
+/// Uniform characters in an inclusive scalar range.
+#[derive(Debug, Clone, Copy)]
+pub struct CharRange {
+    lo: u32,
+    hi: u32,
+}
+
+impl Strategy for CharRange {
+    type Value = char;
+    fn generate(&self, rng: &mut TestRng) -> char {
+        // Rejection sampling skips the surrogate gap.
+        loop {
+            if let Some(c) = char::from_u32(rng.gen_range(self.lo..=self.hi)) {
+                return c;
+            }
+        }
+    }
+}
+
+/// Characters in `lo..=hi` (both inclusive), surrogates excluded.
+pub fn range(lo: char, hi: char) -> CharRange {
+    assert!(lo <= hi, "empty char range");
+    CharRange { lo: lo as u32, hi: hi as u32 }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn stays_in_range_and_skips_surrogates() {
+        let s = range('\u{20}', '\u{ffff}');
+        let mut rng = TestRng::deterministic(21);
+        for _ in 0..2000 {
+            let c = s.generate(&mut rng);
+            assert!(('\u{20}'..='\u{ffff}').contains(&c));
+        }
+        let ascii = range('a', 'c');
+        for _ in 0..50 {
+            assert!(('a'..='c').contains(&ascii.generate(&mut rng)));
+        }
+    }
+}

@@ -1,0 +1,45 @@
+//! Collection strategies (`proptest::collection::vec`).
+
+use crate::strategy::{SizeRange, Strategy};
+use crate::test_runner::TestRng;
+
+/// Strategy producing `Vec`s of values from `element`.
+#[derive(Debug, Clone)]
+pub struct VecStrategy<S> {
+    element: S,
+    size: SizeRange,
+}
+
+impl<S: Strategy> Strategy for VecStrategy<S> {
+    type Value = Vec<S::Value>;
+    fn generate(&self, rng: &mut TestRng) -> Self::Value {
+        let len = self.size.sample(rng);
+        (0..len).map(|_| self.element.generate(rng)).collect()
+    }
+}
+
+/// Vectors of `element` with a length drawn from `size`.
+pub fn vec<S: Strategy>(element: S, size: impl Into<SizeRange>) -> VecStrategy<S> {
+    VecStrategy { element, size: size.into() }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn lengths_respect_bounds() {
+        let mut rng = TestRng::deterministic(5);
+        let s = vec(0u8..10, 2..5);
+        let mut seen = std::collections::BTreeSet::new();
+        for _ in 0..200 {
+            let v = s.generate(&mut rng);
+            assert!((2..5).contains(&v.len()));
+            seen.insert(v.len());
+            assert!(v.iter().all(|&x| x < 10));
+        }
+        assert_eq!(seen.len(), 3, "all lengths 2..5 should occur");
+        let empty_ok = vec(0u8..10, 0..3).generate(&mut rng);
+        assert!(empty_ok.len() < 3);
+    }
+}

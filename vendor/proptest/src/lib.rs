@@ -1,0 +1,162 @@
+//! Offline subset of the `proptest` API.
+//!
+//! The build environment cannot reach crates.io, so the workspace
+//! vendors the slice of proptest its test suites use: the [`proptest!`]
+//! macro, `prop_assert*` / `prop_assume!`, [`Strategy`] with `prop_map`,
+//! [`prop_oneof!`], `any::<T>()`, integer-range and tuple strategies,
+//! `collection::vec`, `sample::{select, subsequence}`, `char::range`,
+//! and a small regex-subset strategy for `&str` patterns like
+//! `"[a-z]{1,12}"`.
+//!
+//! Differences from real proptest, by design:
+//!
+//! - **No shrinking.** A failing case reports its deterministic case
+//!   seed instead of a minimized input.
+//! - **Deterministic seeding.** Cases derive from an FNV hash of the
+//!   test name plus the case index, so failures reproduce exactly and
+//!   CI runs are stable.
+
+pub mod arbitrary;
+#[path = "char_strategy.rs"]
+pub mod char;
+pub mod collection;
+pub mod sample;
+pub mod strategy;
+pub mod string;
+pub mod test_runner;
+
+/// Umbrella module mirroring `proptest::prop` re-exports.
+pub mod prop {
+    pub use crate::char;
+    pub use crate::collection;
+    pub use crate::sample;
+}
+
+/// The glob-import surface test files expect.
+pub mod prelude {
+    pub use crate::arbitrary::any;
+    pub use crate::prop;
+    pub use crate::strategy::{Just, Strategy};
+    pub use crate::test_runner::{Config as ProptestConfig, TestCaseError};
+    pub use crate::{prop_assert, prop_assert_eq, prop_assert_ne, prop_assume, prop_oneof, proptest};
+}
+
+/// Declares property tests. Supports an optional leading
+/// `#![proptest_config(...)]` and any number of
+/// `fn name(arg in strategy, ...) { body }` items.
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($cfg:expr)] $($rest:tt)*) => {
+        $crate::__proptest_items!(($cfg) $($rest)*);
+    };
+    ($($rest:tt)*) => {
+        $crate::__proptest_items!(($crate::test_runner::Config::default()) $($rest)*);
+    };
+}
+
+/// Internal: expands each `fn` item inside [`proptest!`].
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_items {
+    (($cfg:expr)) => {};
+    (($cfg:expr)
+        $(#[$meta:meta])*
+        fn $name:ident($($arg:ident in $strat:expr),+ $(,)?) $body:block
+        $($rest:tt)*
+    ) => {
+        $(#[$meta])*
+        fn $name() {
+            $crate::test_runner::run_cases(&($cfg), stringify!($name), |__rng| {
+                $(let $arg = $crate::strategy::Strategy::generate(&($strat), __rng);)+
+                let __case = move || -> ::std::result::Result<(), $crate::test_runner::TestCaseError> {
+                    $body
+                    ::std::result::Result::Ok(())
+                };
+                __case()
+            });
+        }
+        $crate::__proptest_items!(($cfg) $($rest)*);
+    };
+}
+
+/// Fails the current case with a formatted message unless `cond` holds.
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr) => {
+        $crate::prop_assert!($cond, concat!("assertion failed: ", stringify!($cond)))
+    };
+    ($cond:expr, $($fmt:tt)+) => {
+        if !($cond) {
+            return ::std::result::Result::Err($crate::test_runner::TestCaseError::fail(
+                format!($($fmt)+),
+            ));
+        }
+    };
+}
+
+/// Fails the current case unless `left == right`.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($left:expr, $right:expr $(,)?) => {{
+        let (__l, __r) = (&$left, &$right);
+        $crate::prop_assert!(
+            *__l == *__r,
+            "assertion failed: `left == right`\n  left: `{:?}`\n right: `{:?}`",
+            __l,
+            __r
+        );
+    }};
+    ($left:expr, $right:expr, $($fmt:tt)+) => {{
+        let (__l, __r) = (&$left, &$right);
+        $crate::prop_assert!(
+            *__l == *__r,
+            "{}\n  left: `{:?}`\n right: `{:?}`",
+            format!($($fmt)+),
+            __l,
+            __r
+        );
+    }};
+}
+
+/// Fails the current case unless `left != right`.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($left:expr, $right:expr $(,)?) => {{
+        let (__l, __r) = (&$left, &$right);
+        $crate::prop_assert!(
+            *__l != *__r,
+            "assertion failed: `left != right`\n  both: `{:?}`",
+            __l
+        );
+    }};
+    ($left:expr, $right:expr, $($fmt:tt)+) => {{
+        let (__l, __r) = (&$left, &$right);
+        $crate::prop_assert!(
+            *__l != *__r,
+            "{}\n  both: `{:?}`",
+            format!($($fmt)+),
+            __l
+        );
+    }};
+}
+
+/// Rejects the current case (it is retried with fresh inputs and does
+/// not count toward the configured case total).
+#[macro_export]
+macro_rules! prop_assume {
+    ($cond:expr) => {
+        if !($cond) {
+            return ::std::result::Result::Err($crate::test_runner::TestCaseError::reject(
+                concat!("assumption failed: ", stringify!($cond)),
+            ));
+        }
+    };
+}
+
+/// Uniform choice between strategies producing the same value type.
+#[macro_export]
+macro_rules! prop_oneof {
+    ($($strat:expr),+ $(,)?) => {
+        $crate::strategy::Union::new(vec![$($crate::strategy::boxed_gen($strat)),+])
+    };
+}

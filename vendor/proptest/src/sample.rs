@@ -1,0 +1,80 @@
+//! Sampling strategies (`proptest::sample::{select, subsequence}`).
+
+use crate::strategy::{SizeRange, Strategy};
+use crate::test_runner::TestRng;
+use rand::Rng;
+
+/// Uniform choice of one element of a fixed set.
+#[derive(Debug, Clone)]
+pub struct Select<T> {
+    options: Vec<T>,
+}
+
+impl<T: Clone> Strategy for Select<T> {
+    type Value = T;
+    fn generate(&self, rng: &mut TestRng) -> T {
+        self.options[rng.gen_range(0..self.options.len())].clone()
+    }
+}
+
+/// Strategy yielding one of `options`, uniformly. Panics if empty.
+pub fn select<T: Clone>(options: Vec<T>) -> Select<T> {
+    assert!(!options.is_empty(), "select() needs at least one option");
+    Select { options }
+}
+
+/// Random order-preserving subsequence of a fixed vector.
+#[derive(Debug, Clone)]
+pub struct Subsequence<T> {
+    source: Vec<T>,
+    size: SizeRange,
+}
+
+impl<T: Clone> Strategy for Subsequence<T> {
+    type Value = Vec<T>;
+    fn generate(&self, rng: &mut TestRng) -> Vec<T> {
+        let n = self.source.len();
+        let want = self.size.sample(rng).min(n);
+        // Floyd-style distinct index sampling, then restore order.
+        let mut picked: Vec<usize> = Vec::with_capacity(want);
+        while picked.len() < want {
+            let idx = rng.gen_range(0..n);
+            if !picked.contains(&idx) {
+                picked.push(idx);
+            }
+        }
+        picked.sort_unstable();
+        picked.into_iter().map(|i| self.source[i].clone()).collect()
+    }
+}
+
+/// Order-preserving subsequences of `source` with a size drawn from
+/// `size` (clamped to the source length).
+pub fn subsequence<T: Clone>(source: Vec<T>, size: impl Into<SizeRange>) -> Subsequence<T> {
+    Subsequence { source, size: size.into() }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn select_covers_options() {
+        let s = select(vec!['a', 'b', 'c']);
+        let mut rng = TestRng::deterministic(11);
+        let seen: std::collections::BTreeSet<char> =
+            (0..100).map(|_| s.generate(&mut rng)).collect();
+        assert_eq!(seen.len(), 3);
+    }
+
+    #[test]
+    fn subsequence_preserves_order_and_size() {
+        let s = subsequence(vec![1, 2, 3, 4, 5, 6], 1..6);
+        let mut rng = TestRng::deterministic(12);
+        for _ in 0..200 {
+            let sub = s.generate(&mut rng);
+            assert!((1..6).contains(&sub.len()));
+            assert!(sub.windows(2).all(|w| w[0] < w[1]), "order broken: {sub:?}");
+        }
+    }
+}

@@ -1,0 +1,183 @@
+//! The [`Strategy`] trait and the core combinators the workspace uses.
+
+use crate::test_runner::TestRng;
+use rand::Rng;
+use std::ops::{Range, RangeInclusive};
+
+/// A recipe for generating values of one type (no shrinking in this
+/// offline shim — `generate` is the whole contract).
+pub trait Strategy {
+    /// The generated type.
+    type Value;
+
+    /// Draws one value.
+    fn generate(&self, rng: &mut TestRng) -> Self::Value;
+
+    /// Maps generated values through `f`.
+    fn prop_map<U, F>(self, f: F) -> Map<Self, F>
+    where
+        Self: Sized,
+        F: Fn(Self::Value) -> U,
+    {
+        Map { source: self, map: f }
+    }
+}
+
+/// Always yields a clone of one value.
+#[derive(Debug, Clone)]
+pub struct Just<T: Clone>(pub T);
+
+impl<T: Clone> Strategy for Just<T> {
+    type Value = T;
+    fn generate(&self, _rng: &mut TestRng) -> T {
+        self.0.clone()
+    }
+}
+
+/// Result of [`Strategy::prop_map`].
+#[derive(Debug, Clone)]
+pub struct Map<S, F> {
+    source: S,
+    map: F,
+}
+
+impl<S: Strategy, U, F: Fn(S::Value) -> U> Strategy for Map<S, F> {
+    type Value = U;
+    fn generate(&self, rng: &mut TestRng) -> U {
+        (self.map)(self.source.generate(rng))
+    }
+}
+
+macro_rules! impl_strategy_for_int_ranges {
+    ($($t:ty),*) => {$(
+        impl Strategy for Range<$t> {
+            type Value = $t;
+            fn generate(&self, rng: &mut TestRng) -> $t {
+                rng.gen_range(self.clone())
+            }
+        }
+        impl Strategy for RangeInclusive<$t> {
+            type Value = $t;
+            fn generate(&self, rng: &mut TestRng) -> $t {
+                rng.gen_range(self.clone())
+            }
+        }
+    )*};
+}
+impl_strategy_for_int_ranges!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+macro_rules! impl_strategy_for_tuples {
+    ($(($($name:ident),+);)*) => {$(
+        #[allow(non_snake_case)]
+        impl<$($name: Strategy),+> Strategy for ($($name,)+) {
+            type Value = ($($name::Value,)+);
+            fn generate(&self, rng: &mut TestRng) -> Self::Value {
+                let ($($name,)+) = self;
+                ($($name.generate(rng),)+)
+            }
+        }
+    )*};
+}
+impl_strategy_for_tuples! {
+    (A);
+    (A, B);
+    (A, B, C);
+    (A, B, C, D);
+    (A, B, C, D, E);
+    (A, B, C, D, E, F);
+}
+
+/// A boxed generator closure, the element type of [`Union`].
+pub type BoxedGen<V> = Box<dyn Fn(&mut TestRng) -> V>;
+
+/// Erases a strategy into a boxed generator (used by [`prop_oneof!`]).
+pub fn boxed_gen<S: Strategy + 'static>(strategy: S) -> BoxedGen<S::Value> {
+    Box::new(move |rng| strategy.generate(rng))
+}
+
+/// Uniform choice among several same-typed strategies.
+pub struct Union<V> {
+    options: Vec<BoxedGen<V>>,
+}
+
+impl<V> Union<V> {
+    /// Builds a union; panics if `options` is empty.
+    pub fn new(options: Vec<BoxedGen<V>>) -> Self {
+        assert!(!options.is_empty(), "prop_oneof! needs at least one option");
+        Self { options }
+    }
+}
+
+impl<V> Strategy for Union<V> {
+    type Value = V;
+    fn generate(&self, rng: &mut TestRng) -> V {
+        let pick = rng.gen_range(0..self.options.len());
+        (self.options[pick])(rng)
+    }
+}
+
+/// Inclusive size bounds for collection strategies.
+#[derive(Debug, Clone, Copy)]
+pub struct SizeRange {
+    /// Smallest allowed size.
+    pub lo: usize,
+    /// Largest allowed size (inclusive).
+    pub hi: usize,
+}
+
+impl SizeRange {
+    pub(crate) fn sample(&self, rng: &mut TestRng) -> usize {
+        rng.gen_range(self.lo..=self.hi)
+    }
+}
+
+impl From<Range<usize>> for SizeRange {
+    fn from(r: Range<usize>) -> Self {
+        assert!(r.start < r.end, "empty size range");
+        Self { lo: r.start, hi: r.end - 1 }
+    }
+}
+
+impl From<RangeInclusive<usize>> for SizeRange {
+    fn from(r: RangeInclusive<usize>) -> Self {
+        assert!(r.start() <= r.end(), "empty size range");
+        Self { lo: *r.start(), hi: *r.end() }
+    }
+}
+
+impl From<usize> for SizeRange {
+    fn from(n: usize) -> Self {
+        Self { lo: n, hi: n }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::test_runner::TestRng;
+
+    fn rng() -> TestRng {
+        TestRng::deterministic(0xACF0)
+    }
+
+    #[test]
+    fn ranges_tuples_and_maps_generate_in_bounds() {
+        let mut rng = rng();
+        for _ in 0..200 {
+            let v = (1u8..5, 10usize..=12).generate(&mut rng);
+            assert!((1..5).contains(&v.0) && (10..=12).contains(&v.1));
+            let s = (0u32..9).prop_map(|x| x * 2).generate(&mut rng);
+            assert!(s % 2 == 0 && s < 18);
+            assert_eq!(Just(41).generate(&mut rng), 41);
+        }
+    }
+
+    #[test]
+    fn union_draws_every_arm() {
+        let u = Union::new(vec![boxed_gen(Just(1)), boxed_gen(Just(2)), boxed_gen(Just(3))]);
+        let mut rng = rng();
+        let seen: std::collections::BTreeSet<i32> =
+            (0..200).map(|_| u.generate(&mut rng)).collect();
+        assert_eq!(seen.into_iter().collect::<Vec<_>>(), vec![1, 2, 3]);
+    }
+}

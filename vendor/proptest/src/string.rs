@@ -1,0 +1,159 @@
+//! String strategies from regex-like patterns.
+//!
+//! Real proptest interprets any `&str` strategy as a full regex. This
+//! shim supports the subset its test suites use: a sequence of atoms,
+//! each a literal character, `.` (printable ASCII), or a character
+//! class like `[a-z0-9_]` (no negation), optionally followed by a
+//! `{n}` / `{m,n}` repetition.
+
+use crate::strategy::Strategy;
+use crate::test_runner::TestRng;
+use rand::Rng;
+
+#[derive(Debug, Clone)]
+enum Atom {
+    /// `.` — any printable ASCII character.
+    Any,
+    /// `[...]` — inclusive ranges and singletons.
+    Class(Vec<(char, char)>),
+    /// A literal character.
+    Literal(char),
+}
+
+#[derive(Debug, Clone)]
+struct Piece {
+    atom: Atom,
+    min: usize,
+    max: usize,
+}
+
+fn parse_pattern(pattern: &str) -> Vec<Piece> {
+    let mut chars = pattern.chars().peekable();
+    let mut pieces = Vec::new();
+    while let Some(c) = chars.next() {
+        let atom = match c {
+            '.' => Atom::Any,
+            '[' => {
+                let mut entries = Vec::new();
+                let mut inner: Vec<char> = Vec::new();
+                for d in chars.by_ref() {
+                    if d == ']' {
+                        break;
+                    }
+                    inner.push(d);
+                }
+                let mut i = 0;
+                while i < inner.len() {
+                    if i + 2 < inner.len() && inner[i + 1] == '-' {
+                        assert!(
+                            inner[i] <= inner[i + 2],
+                            "bad class range in pattern {pattern:?}"
+                        );
+                        entries.push((inner[i], inner[i + 2]));
+                        i += 3;
+                    } else {
+                        entries.push((inner[i], inner[i]));
+                        i += 1;
+                    }
+                }
+                assert!(!entries.is_empty(), "empty character class in {pattern:?}");
+                Atom::Class(entries)
+            }
+            '\\' => Atom::Literal(chars.next().expect("dangling escape")),
+            other => Atom::Literal(other),
+        };
+        let (min, max) = if chars.peek() == Some(&'{') {
+            chars.next();
+            let mut spec = String::new();
+            for d in chars.by_ref() {
+                if d == '}' {
+                    break;
+                }
+                spec.push(d);
+            }
+            match spec.split_once(',') {
+                Some((m, n)) => (
+                    m.trim().parse().expect("bad repeat min"),
+                    n.trim().parse().expect("bad repeat max"),
+                ),
+                None => {
+                    let n = spec.trim().parse().expect("bad repeat count");
+                    (n, n)
+                }
+            }
+        } else {
+            (1, 1)
+        };
+        assert!(min <= max, "bad repetition {{{min},{max}}} in {pattern:?}");
+        pieces.push(Piece { atom, min, max });
+    }
+    pieces
+}
+
+fn generate_atom(atom: &Atom, rng: &mut TestRng) -> char {
+    match atom {
+        Atom::Any => rng.gen_range(0x20u32..=0x7E) as u8 as char,
+        Atom::Literal(c) => *c,
+        Atom::Class(entries) => {
+            let total: u32 = entries.iter().map(|(lo, hi)| *hi as u32 - *lo as u32 + 1).sum();
+            let mut pick = rng.gen_range(0..total);
+            for (lo, hi) in entries {
+                let span = *hi as u32 - *lo as u32 + 1;
+                if pick < span {
+                    return char::from_u32(*lo as u32 + pick).expect("class range is valid");
+                }
+                pick -= span;
+            }
+            unreachable!("pick < total")
+        }
+    }
+}
+
+impl Strategy for &'static str {
+    type Value = String;
+    fn generate(&self, rng: &mut TestRng) -> String {
+        let pieces = parse_pattern(self);
+        let mut out = String::new();
+        for piece in &pieces {
+            let count = rng.gen_range(piece.min..=piece.max);
+            for _ in 0..count {
+                out.push(generate_atom(&piece.atom, rng));
+            }
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn class_with_repetition() {
+        let mut rng = TestRng::deterministic(31);
+        for _ in 0..200 {
+            let s = "[a-z]{1,12}".generate(&mut rng);
+            assert!((1..=12).contains(&s.len()), "{s:?}");
+            assert!(s.bytes().all(|b| b.is_ascii_lowercase()), "{s:?}");
+        }
+    }
+
+    #[test]
+    fn dot_yields_printable_ascii() {
+        let mut rng = TestRng::deterministic(32);
+        for _ in 0..200 {
+            let s = ".{1,24}".generate(&mut rng);
+            assert!((1..=24).contains(&s.len()));
+            assert!(s.bytes().all(|b| (0x20..=0x7E).contains(&b)), "{s:?}");
+        }
+    }
+
+    #[test]
+    fn literals_and_exact_counts() {
+        let mut rng = TestRng::deterministic(33);
+        let s = "ab[0-9]{3}z".generate(&mut rng);
+        assert_eq!(s.len(), 6);
+        assert!(s.starts_with("ab") && s.ends_with('z'));
+        assert!(s[2..5].bytes().all(|b| b.is_ascii_digit()));
+    }
+}

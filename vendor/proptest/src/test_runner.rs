@@ -1,0 +1,160 @@
+//! Case execution: deterministic RNG, configuration, pass/reject/fail.
+
+use rand::rngs::StdRng;
+use rand::{RngCore, SeedableRng};
+
+/// Runner configuration (subset of `proptest::test_runner::Config`).
+#[derive(Debug, Clone)]
+pub struct Config {
+    /// Number of successful cases required for the test to pass.
+    pub cases: u32,
+    /// Upper bound on rejected (assumption-failed) cases before the
+    /// runner gives up.
+    pub max_global_rejects: u32,
+}
+
+impl Config {
+    /// A config running `cases` successful cases.
+    pub fn with_cases(cases: u32) -> Self {
+        Self { cases, ..Self::default() }
+    }
+}
+
+impl Default for Config {
+    fn default() -> Self {
+        // Real proptest defaults to 256; 64 keeps the deterministic
+        // offline suite fast while still exploring the space.
+        Self { cases: 64, max_global_rejects: 4096 }
+    }
+}
+
+/// Why a case did not pass.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum TestCaseError {
+    /// The case's assumptions were not met; retry with new inputs.
+    Reject(String),
+    /// A property was violated.
+    Fail(String),
+}
+
+impl TestCaseError {
+    /// Constructs a failure.
+    pub fn fail(msg: impl Into<String>) -> Self {
+        Self::Fail(msg.into())
+    }
+
+    /// Constructs a rejection.
+    pub fn reject(msg: impl Into<String>) -> Self {
+        Self::Reject(msg.into())
+    }
+}
+
+/// Deterministic per-case random source handed to strategies.
+#[derive(Debug, Clone)]
+pub struct TestRng(StdRng);
+
+impl TestRng {
+    /// RNG for `case` of the test whose name hashes to `base`.
+    fn for_case(base: u64, case: u64) -> Self {
+        Self(StdRng::seed_from_u64(base ^ case.wrapping_mul(0x9E37_79B9_7F4A_7C15)))
+    }
+
+    /// A standalone deterministic RNG (used by the shim's own tests).
+    pub fn deterministic(seed: u64) -> Self {
+        Self(StdRng::seed_from_u64(seed))
+    }
+}
+
+impl RngCore for TestRng {
+    fn next_u64(&mut self) -> u64 {
+        self.0.next_u64()
+    }
+}
+
+fn fnv1a(name: &str) -> u64 {
+    let mut hash = 0xcbf2_9ce4_8422_2325u64;
+    for b in name.as_bytes() {
+        hash ^= u64::from(*b);
+        hash = hash.wrapping_mul(0x0000_0100_0000_01B3);
+    }
+    hash
+}
+
+/// Drives one property test: draws cases until `config.cases` pass,
+/// retrying rejected cases, and panics (failing the `#[test]`) on the
+/// first violated property.
+pub fn run_cases<F>(config: &Config, name: &str, mut case: F)
+where
+    F: FnMut(&mut TestRng) -> Result<(), TestCaseError>,
+{
+    let base = fnv1a(name);
+    let mut passed: u32 = 0;
+    let mut rejected: u32 = 0;
+    let mut attempt: u64 = 0;
+    while passed < config.cases {
+        attempt += 1;
+        let mut rng = TestRng::for_case(base, attempt);
+        match case(&mut rng) {
+            Ok(()) => passed += 1,
+            Err(TestCaseError::Reject(_)) => {
+                rejected += 1;
+                if rejected > config.max_global_rejects {
+                    panic!(
+                        "proptest '{name}': too many rejected cases \
+                         ({rejected} rejects for {passed}/{} passes)",
+                        config.cases
+                    );
+                }
+            }
+            Err(TestCaseError::Fail(msg)) => {
+                panic!(
+                    "proptest '{name}' failed at case attempt {attempt} \
+                     (deterministic; rerun reproduces it)\n{msg}"
+                );
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn passes_when_property_holds() {
+        run_cases(&Config::with_cases(8), "always_ok", |_| Ok(()));
+    }
+
+    #[test]
+    #[should_panic(expected = "boom")]
+    fn fails_on_violation() {
+        run_cases(&Config::with_cases(8), "always_bad", |_| {
+            Err(TestCaseError::fail("boom"))
+        });
+    }
+
+    #[test]
+    #[should_panic(expected = "too many rejected")]
+    fn gives_up_on_reject_storm() {
+        run_cases(
+            &Config { cases: 4, max_global_rejects: 16 },
+            "always_reject",
+            |_| Err(TestCaseError::reject("nope")),
+        );
+    }
+
+    #[test]
+    fn rng_is_deterministic_per_name() {
+        let mut first = Vec::new();
+        run_cases(&Config::with_cases(4), "det", |rng| {
+            first.push(rng.next_u64());
+            Ok(())
+        });
+        let mut second = Vec::new();
+        run_cases(&Config::with_cases(4), "det", |rng| {
+            second.push(rng.next_u64());
+            Ok(())
+        });
+        assert_eq!(first, second);
+    }
+}

@@ -1,0 +1,20 @@
+//! Offline shim of the `serde` facade.
+//!
+//! The workspace only ever *derives* `Serialize` / `Deserialize` — no
+//! code serializes anything (there is no `serde_json` either). Since the
+//! build environment cannot reach crates.io, this shim supplies the two
+//! names as marker traits plus no-op derive macros, keeping every
+//! `#[derive(Serialize, Deserialize)]` in the tree compiling unchanged.
+
+#[cfg(feature = "derive")]
+pub use serde_derive::{Deserialize, Serialize};
+
+/// Marker stand-in for `serde::Serialize`.
+pub trait Serialize {}
+
+/// Marker stand-in for `serde::Deserialize`.
+pub trait Deserialize<'de>: Sized {}
+
+/// Marker stand-in for `serde::de::DeserializeOwned`.
+pub trait DeserializeOwned: for<'de> Deserialize<'de> {}
+impl<T: for<'de> Deserialize<'de>> DeserializeOwned for T {}

@@ -1,0 +1,23 @@
+//! No-op `#[derive(Serialize)]` / `#[derive(Deserialize)]` macros.
+//!
+//! The workspace derives serde traits on its public data types as API
+//! decoration, but contains no serializer, and the build environment
+//! cannot fetch the real `serde`. These derives accept the same syntax
+//! and expand to nothing; the marker traits live in the sibling `serde`
+//! shim crate.
+
+use proc_macro::TokenStream;
+
+/// Accepts `#[derive(Serialize)]` (and its `#[serde(...)]` attributes)
+/// and expands to nothing.
+#[proc_macro_derive(Serialize, attributes(serde))]
+pub fn derive_serialize(_input: TokenStream) -> TokenStream {
+    TokenStream::new()
+}
+
+/// Accepts `#[derive(Deserialize)]` (and its `#[serde(...)]` attributes)
+/// and expands to nothing.
+#[proc_macro_derive(Deserialize, attributes(serde))]
+pub fn derive_deserialize(_input: TokenStream) -> TokenStream {
+    TokenStream::new()
+}
