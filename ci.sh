@@ -16,4 +16,11 @@ cargo clippy --workspace -- -D warnings
 echo "==> cargo build --examples"
 cargo build --examples
 
+echo "==> trace smoke: fig3 --trace + trace_check"
+trace_tmp="$(mktemp -d)"
+trap 'rm -rf "$trace_tmp"' EXIT
+cargo run --release -q -p actfort-bench --bin fig3 -- --trace "$trace_tmp/fig3.json" > /dev/null
+cargo run --release -q -p actfort-bench --bin trace_check -- "$trace_tmp/fig3.json" \
+    metrics.sms_only metrics.factor_usage metrics.multi_factor
+
 echo "CI OK"

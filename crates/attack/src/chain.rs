@@ -6,6 +6,7 @@ use crate::error::AttackError;
 use crate::intercept::Interceptor;
 use crate::intrusion::{compromise, CompromisedAccount};
 use actfort_core::analysis::AttackChain;
+use actfort_core::obs;
 use actfort_core::profile::AttackerProfile;
 use actfort_core::strategy::StrategyEngine;
 use actfort_ecosystem::factor::ServiceId;
@@ -119,15 +120,18 @@ impl ChainReactionAttack {
         victim_phone: &Msisdn,
         target: &ServiceId,
     ) -> Result<ChainReport, AttackError> {
+        let _span = obs::span("attack.execute");
         let specs: Vec<_> = eco.specs().into_iter().cloned().collect();
         let engine = StrategyEngine::new(specs, self.platform, self.profile);
         let chains = engine.attack_chains(target, self.max_chains);
         if chains.is_empty() {
             return Err(AttackError::NoChain(target.to_string()));
         }
+        obs::add("attack.chains_planned", chains.len() as u64);
 
         let mut last_err: Option<AttackError> = None;
         for chain in chains {
+            obs::add("attack.chains_attempted", 1);
             match self.execute_chain(eco, victim_phone, target, &chain) {
                 Ok(report) => return Ok(report),
                 // Once the victim noticed and froze everything, trying
@@ -146,6 +150,7 @@ impl ChainReactionAttack {
         target: &ServiceId,
         chain: &AttackChain,
     ) -> Result<ChainReport, AttackError> {
+        let _span = obs::span("attack.chain");
         let started_ms = eco.now_ms();
         let victim_email = eco
             .people()
@@ -176,9 +181,15 @@ impl ChainReactionAttack {
         let mut detection_rng =
             rand::rngs::StdRng::seed_from_u64(self.detection_seed ^ fxhash(victim_phone.digits()));
         let mut compromised = Vec::new();
-        for step in &chain.steps {
+        for (step_idx, step) in chain.steps.iter().enumerate() {
+            let step_no = (step_idx + 1).to_string();
             for service in &step.services {
+                obs::event(
+                    "attack.step",
+                    &[("step", &step_no), ("service", service.as_str())],
+                );
                 let acct = compromise(eco, victim_phone, service, &mut interceptor, &mut dossier)?;
+                obs::add("attack.accounts_compromised", 1);
                 compromised.push(acct);
                 // §V-A2 stealth caveat: visible interception leaves the
                 // OTP on the victim's handset; a vigilant victim freezes

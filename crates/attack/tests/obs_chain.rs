@@ -1,0 +1,95 @@
+//! Golden trace-snapshot test for a fixed-seed end-to-end Chain Reaction
+//! Attack: the observability snapshot — strategy counters, GSM pipeline
+//! counters, span tree, step-transition events — must be byte-identical
+//! across same-seed runs once wall-times are excluded.
+//!
+//! Flips the process-global recorder: own test binary, serialized via
+//! [`obs_lock`].
+
+use actfort_attack::chain::ChainReactionAttack;
+use actfort_core::obs;
+use actfort_ecosystem::dataset::curated_services;
+use actfort_ecosystem::host::Ecosystem;
+use actfort_ecosystem::policy::Platform;
+use actfort_ecosystem::population::PopulationBuilder;
+use actfort_gsm::identity::Msisdn;
+use actfort_gsm::network::NetworkConfig;
+use std::sync::{Mutex, MutexGuard};
+
+fn obs_lock() -> MutexGuard<'static, ()> {
+    static LOCK: Mutex<()> = Mutex::new(());
+    LOCK.lock().unwrap_or_else(std::sync::PoisonError::into_inner)
+}
+
+fn world() -> (Ecosystem, Msisdn) {
+    let mut eco =
+        Ecosystem::with_network(9, NetworkConfig { session_key_bits: 16, ..Default::default() });
+    let mut person = PopulationBuilder::new(31).person();
+    person.email = format!("victim{}@gmail.com", person.id.0);
+    let phone = person.phone.clone();
+    eco.add_person(person).unwrap();
+    for spec in curated_services() {
+        eco.add_service(spec).unwrap();
+    }
+    eco.enroll_everyone().unwrap();
+    (eco, phone)
+}
+
+fn traced_attack() -> (usize, obs::ObsSnapshot) {
+    let (mut eco, phone) = world();
+    obs::reset();
+    obs::set_enabled(true);
+    let attack = ChainReactionAttack { platform: Platform::Web, ..Default::default() };
+    let report = attack.execute(&mut eco, &phone, &"paypal".into()).expect("chain lands");
+    obs::set_enabled(false);
+    let snap = obs::snapshot();
+    obs::reset();
+    (report.compromised.len(), snap)
+}
+
+#[test]
+fn same_seed_chain_attacks_render_byte_identical_json() {
+    let _g = obs_lock();
+    let (n1, s1) = traced_attack();
+    let (n2, s2) = traced_attack();
+    assert_eq!(n1, n2, "chain outcome must be seed-deterministic");
+    let j1 = s1.to_json_deterministic();
+    assert_eq!(j1, s2.to_json_deterministic(), "snapshot JSON must be byte-identical");
+    obs::json::parse(&j1).expect("snapshot JSON parses");
+}
+
+#[test]
+fn chain_snapshot_pins_steps_and_pipeline_counters() {
+    let _g = obs_lock();
+    let (compromised, snap) = traced_attack();
+    let c = |name: &str| snap.counters.get(name).copied().unwrap_or(0);
+
+    // Strategy: at least one chain was planned and attempted. Failed
+    // attempts may compromise accounts before dying, so the counter can
+    // only exceed the winning report's list.
+    assert!(c("attack.chains_planned") >= 1);
+    assert!(c("attack.chains_attempted") >= 1);
+    assert!(c("attack.accounts_compromised") as usize >= compromised);
+    assert!(c("backward.partials_explored") > 0, "strategy ran the backward search");
+
+    // Span tree: execute wraps each chain attempt.
+    assert!(snap.spans.contains_key("attack.execute"));
+    assert!(snap.spans.contains_key("attack.execute/attack.chain"));
+
+    // One attack.step event per compromised account, in order, all under
+    // the chain span.
+    let steps: Vec<_> = snap.events.iter().filter(|e| e.name == "attack.step").collect();
+    assert!(steps.len() >= compromised, "every compromise attempt is journaled");
+    for e in &steps {
+        assert_eq!(e.span, "attack.execute/attack.chain");
+        assert!(e.fields.contains_key("step") && e.fields.contains_key("service"));
+    }
+    assert_eq!(snap.events_dropped, 0);
+
+    // GSM pipeline: the passive rig captured frames, cracked the weak
+    // session and recovered at least one OTP per interception.
+    assert!(c("gsm.network.sms_submitted") >= 1);
+    assert!(c("gsm.sniffer.frames_captured") > 0);
+    assert!(c("gsm.sniffer.sessions_cracked") >= 1);
+    assert!(c("gsm.sniffer.sms_recovered") >= 1);
+}

@@ -97,6 +97,37 @@ fn per_sec(ns: u128, items: u128) -> f64 {
     }
 }
 
+/// One instrumented 201-service analysis: where the incremental engine's
+/// wall time goes, from the obs span totals (evaluate / min_providers /
+/// absorb, summed across rounds).
+fn measure_phases() -> String {
+    use actfort_core::obs;
+    let specs = population(201);
+    let ap = AttackerProfile::paper_default();
+    obs::reset();
+    obs::set_enabled(true);
+    let _ = black_box(forward(&specs, Platform::Web, &ap, &[]));
+    obs::set_enabled(false);
+    let snap = obs::snapshot();
+    let total_of = |name: &str| {
+        snap.spans
+            .iter()
+            .filter(|(p, _)| p.split('/').next_back() == Some(name))
+            .map(|(_, s)| s.total_ns)
+            .sum::<u64>()
+    };
+    let result = format!(
+        "{{\"services\": 201, \"evaluate_ns\": {}, \"min_providers_ns\": {}, \
+         \"absorb_ns\": {}, \"run_total_ns\": {}}}",
+        total_of("evaluate"),
+        total_of("min_providers"),
+        total_of("absorb"),
+        total_of("forward.incremental"),
+    );
+    obs::reset();
+    result
+}
+
 fn emit_json(measurements: &[Measurement]) {
     let threads = std::thread::available_parallelism().map_or(1, |n| n.get());
     let mut populations = String::new();
@@ -121,6 +152,7 @@ fn emit_json(measurements: &[Measurement]) {
     json.push_str("  \"bench\": \"forward\",\n  \"platform\": \"web\",\n");
     json.push_str(&format!("  \"threads_available\": {threads},\n"));
     json.push_str(&format!("  \"populations\": [\n{populations}\n  ],\n"));
+    json.push_str(&format!("  \"phases\": {},\n", measure_phases()));
     json.push_str(&format!(
         "  \"batch_sweep\": {{\"seeds\": {BATCH_SEEDS}, \"services\": 201, \
          \"serial_ns\": {batch_serial}, \"parallel_ns\": {batch_parallel}, \

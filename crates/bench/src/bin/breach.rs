@@ -4,16 +4,17 @@
 //! information alone?
 //!
 //! ```sh
-//! cargo run -p actfort-bench --bin breach
+//! cargo run -p actfort-bench --bin breach [-- --trace trace.json]
 //! ```
 
-use actfort_bench::EXPERIMENT_SEED;
+use actfort_bench::{finish_trace, init_trace, EXPERIMENT_SEED};
 use actfort_core::breach::blast_radii;
 use actfort_core::profile::AttackerProfile;
 use actfort_ecosystem::policy::Platform;
 use actfort_ecosystem::synth::paper_population;
 
 fn main() {
+    let trace = init_trace();
     let specs = paper_population(EXPERIMENT_SEED);
     println!("breach blast radius over {} services (web)\n", specs.len());
 
@@ -34,4 +35,5 @@ fn main() {
     }
     println!("insight check: email providers should top the pure-breach ranking");
     println!("(the paper's \"emails are the gateway\" finding).");
+    finish_trace(trace.as_deref());
 }

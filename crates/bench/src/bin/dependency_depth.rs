@@ -2,10 +2,10 @@
 //! account can be compromised, by middle-layer structure.
 //!
 //! ```sh
-//! cargo run -p actfort-bench --bin dependency_depth
+//! cargo run -p actfort-bench --bin dependency_depth [-- --trace trace.json]
 //! ```
 
-use actfort_bench::{print_table, Row, EXPERIMENT_SEED};
+use actfort_bench::{finish_trace, init_trace, print_table, Row, EXPERIMENT_SEED};
 use actfort_core::engine::BatchAnalyzer;
 use actfort_core::metrics::{depth_breakdown, depth_breakdown_overlapping};
 use actfort_core::profile::AttackerProfile;
@@ -13,6 +13,7 @@ use actfort_ecosystem::policy::Platform;
 use actfort_ecosystem::synth::paper_population;
 
 fn main() {
+    let trace = init_trace();
     let specs = paper_population(EXPERIMENT_SEED);
     let ap = AttackerProfile::paper_default();
     println!("Dependency-depth reproduction over {} services", specs.len());
@@ -53,4 +54,5 @@ fn main() {
             ],
         );
     }
+    finish_trace(trace.as_deref());
 }

@@ -1,15 +1,16 @@
 //! Regenerates Fig. 3: the three authentication-process panels.
 //!
 //! ```sh
-//! cargo run -p actfort-bench --bin fig3
+//! cargo run -p actfort-bench --bin fig3 [-- --trace trace.json]
 //! ```
 
-use actfort_bench::{print_table, Row, EXPERIMENT_SEED};
+use actfort_bench::{finish_trace, init_trace, print_table, Row, EXPERIMENT_SEED};
 use actfort_core::metrics;
 use actfort_ecosystem::policy::{Platform, Purpose};
 use actfort_ecosystem::synth::paper_population;
 
 fn main() {
+    let trace = init_trace();
     let specs = paper_population(EXPERIMENT_SEED);
     println!("Fig. 3 reproduction over {} services\n", specs.len());
 
@@ -65,4 +66,5 @@ fn main() {
 
     println!("total authentication paths: {} (paper: 405, counted once per service;", metrics::total_paths(&specs));
     println!("ours counts per-platform variants separately)");
+    finish_trace(trace.as_deref());
 }

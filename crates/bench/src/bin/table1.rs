@@ -2,10 +2,10 @@
 //! accounts after log-in, web vs mobile.
 //!
 //! ```sh
-//! cargo run -p actfort-bench --bin table1
+//! cargo run -p actfort-bench --bin table1 [-- --trace trace.json]
 //! ```
 
-use actfort_bench::{print_table, Row, EXPERIMENT_SEED};
+use actfort_bench::{finish_trace, init_trace, print_table, Row, EXPERIMENT_SEED};
 use actfort_core::metrics;
 use actfort_ecosystem::info::PersonalInfoKind;
 use actfort_ecosystem::policy::Platform;
@@ -26,6 +26,7 @@ const PAPER: [(f64, f64); 9] = [
 ];
 
 fn main() {
+    let trace = init_trace();
     let specs = paper_population(EXPERIMENT_SEED);
     let web = metrics::exposure_percentages(&specs, Platform::Web);
     let mobile = metrics::exposure_percentages(&specs, Platform::MobileApp);
@@ -60,4 +61,5 @@ fn main() {
     for (label, ok) in checks {
         println!("  [{}] {label}", if ok { "ok" } else { "MISMATCH" });
     }
+    finish_trace(trace.as_deref());
 }

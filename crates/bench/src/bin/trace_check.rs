@@ -1,0 +1,40 @@
+//! Validates a `--trace` snapshot produced by the experiment binaries:
+//! the file must parse as JSON, expose the four snapshot sections, and
+//! contain every span name given on the command line as a *top-level*
+//! span (the root of at least one recorded span path).
+//!
+//! ```sh
+//! cargo run -p actfort-bench --bin fig3 -- --trace /tmp/fig3.json
+//! cargo run -p actfort-bench --bin trace_check -- /tmp/fig3.json \
+//!     metrics.sms_only metrics.factor_usage metrics.multi_factor
+//! ```
+//!
+//! Exits non-zero (panics) on any mismatch, so CI can chain it after a
+//! traced run.
+
+use actfort_core::obs::json;
+
+fn main() {
+    let mut args = std::env::args().skip(1);
+    let path = args.next().expect("usage: trace_check <trace.json> [expected-span ...]");
+    let expected: Vec<String> = args.collect();
+
+    let text = std::fs::read_to_string(&path).unwrap_or_else(|e| panic!("reading {path}: {e}"));
+    let doc = json::parse(&text).unwrap_or_else(|e| panic!("{path} is not valid JSON: {e}"));
+
+    for section in ["counters", "spans", "histograms", "events"] {
+        assert!(doc.get(section).is_some(), "{path} lacks the \"{section}\" section");
+    }
+    let spans = doc.get("spans").expect("checked above");
+    let roots: Vec<&str> =
+        spans.keys().iter().map(|path| path.split('/').next().expect("non-empty path")).collect();
+    for want in &expected {
+        assert!(
+            roots.contains(&want.as_str()),
+            "{path}: expected top-level span \"{want}\", have roots {roots:?}"
+        );
+    }
+    let span_count = spans.keys().len();
+    let counter_count = doc.get("counters").expect("checked").keys().len();
+    println!("{path}: ok ({counter_count} counters, {span_count} span paths, {} expected roots found)", expected.len());
+}

@@ -46,6 +46,41 @@ pub fn print_table(heading: &str, rows: &[Row]) {
 /// stays reproducible).
 pub const EXPERIMENT_SEED: u64 = 2021;
 
+/// Parses a `--trace <path>` (or `--trace=<path>`) flag from the
+/// process arguments and, when present, enables the global obs recorder
+/// so the run records counters, spans and events. Call
+/// [`finish_trace`] at the end of `main` to write the snapshot.
+///
+/// # Panics
+///
+/// Panics when `--trace` is given without a path.
+pub fn init_trace() -> Option<std::path::PathBuf> {
+    let mut args = std::env::args().skip(1);
+    let path = loop {
+        let arg = args.next()?;
+        if arg == "--trace" {
+            break args.next().expect("--trace requires a path").into();
+        }
+        if let Some(rest) = arg.strip_prefix("--trace=") {
+            break rest.into();
+        }
+    };
+    actfort_core::obs::reset();
+    actfort_core::obs::set_enabled(true);
+    Some(path)
+}
+
+/// Writes the obs snapshot gathered since [`init_trace`] to `path` as
+/// JSON (wall-times included) and disables the recorder. No-op when
+/// `path` is `None`, so `main` can call it unconditionally.
+pub fn finish_trace(path: Option<&std::path::Path>) {
+    let Some(path) = path else { return };
+    actfort_core::obs::set_enabled(false);
+    let json = actfort_core::obs::snapshot().to_json();
+    std::fs::write(path, json).unwrap_or_else(|e| panic!("writing trace {}: {e}", path.display()));
+    eprintln!("trace written to {}", path.display());
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

@@ -7,6 +7,7 @@
 //! given a target, walk full-capacity parents and merged couple groups
 //! until reaching phone+SMS-only nodes, returning the account chain.
 
+use crate::obs;
 use crate::pool::{attack_paths, path_satisfied, InfoPool};
 use crate::profile::AttackerProfile;
 use crate::tdg::Tdg;
@@ -28,7 +29,7 @@ pub struct CompromiseRecord {
 }
 
 /// Result of a forward (OAAS → PAV) analysis.
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct ForwardResult {
     /// Newly compromised ids per round; `rounds[0]` is the seed set.
     pub rounds: Vec<Vec<ServiceId>>,
@@ -53,20 +54,44 @@ impl ForwardResult {
     }
 }
 
+/// Population size (eligible services on the analysed platform) below
+/// which [`forward`] dispatches to the naive loop. `BENCH_forward.json`
+/// shows the incremental engine's index construction is pure overhead on
+/// small populations (0.54× at 44 services) while the frontier pays off
+/// from a couple hundred nodes up (7.4× at 201, 7.6× at 400); the
+/// crossover sits between those measurements. Both sides produce
+/// identical results (see the equivalence tests and
+/// `forward_crossover_is_result_invariant`).
+pub const NAIVE_CROSSOVER: usize = 50;
+
 /// Runs the forward fixed point on `platform`, starting from `seeds`
 /// (which may be empty: the profile's own capabilities then drive round
 /// one, the paper's standard setting).
 ///
-/// Delegates to the incremental engine; [`forward_naive`] keeps the
-/// original full-rescan loop as the reference implementation the
-/// engine's equivalence properties are tested against.
+/// Auto-selects the engine by population size: the naive full-rescan
+/// loop below [`NAIVE_CROSSOVER`] eligible services, the incremental
+/// frontier engine at or above it. The two are result-equivalent
+/// (property-tested); only the work schedule differs.
 pub fn forward(
     specs: &[ServiceSpec],
     platform: Platform,
     ap: &AttackerProfile,
     seeds: &[ServiceId],
 ) -> ForwardResult {
-    crate::engine::forward_incremental(specs, platform, ap, seeds)
+    let eligible = specs
+        .iter()
+        .filter(|s| match platform {
+            Platform::Web => s.has_web,
+            Platform::MobileApp => s.has_mobile,
+        })
+        .count();
+    if eligible < NAIVE_CROSSOVER {
+        obs::add("analysis.dispatch_naive", 1);
+        forward_naive(specs, platform, ap, seeds)
+    } else {
+        obs::add("analysis.dispatch_incremental", 1);
+        crate::engine::forward_incremental(specs, platform, ap, seeds)
+    }
 }
 
 /// Reference implementation of the forward fixed point: rescans every
@@ -79,6 +104,9 @@ pub fn forward_naive(
     ap: &AttackerProfile,
     seeds: &[ServiceId],
 ) -> ForwardResult {
+    let _span = obs::span("forward.naive");
+    let rounds_counter = obs::counter("naive.rounds");
+    let evaluated_counter = obs::counter("naive.nodes_evaluated");
     let nodes: Vec<&ServiceSpec> = specs
         .iter()
         .filter(|s| match platform {
@@ -106,6 +134,8 @@ pub fn forward_naive(
 
     loop {
         let round = rounds.len();
+        rounds_counter.inc();
+        evaluated_counter.add((nodes.len() - compromised.len()) as u64);
         // Evaluate all targets against the *same* pool (synchronous BFS),
         // so `round` is a true layer number.
         let mut newly: Vec<usize> = Vec::new();
@@ -213,6 +243,10 @@ impl AttackChain {
 /// query. Returns up to `max_chains` chains, shortest first. Every chain
 /// starts at fringe (phone+SMS-only) nodes.
 pub fn backward_chains(tdg: &Tdg, target: &ServiceId, max_chains: usize) -> Vec<AttackChain> {
+    let _span = obs::span("backward.chains");
+    let explored = obs::counter("backward.partials_explored");
+    let pruned_visited = obs::counter("backward.pruned_visited");
+    let pruned_budget = obs::counter("backward.pruned_budget");
     let Some(t) = tdg.index_of(target) else { return Vec::new() };
     let mut out: Vec<AttackChain> = Vec::new();
 
@@ -236,8 +270,10 @@ pub fn backward_chains(tdg: &Tdg, target: &ServiceId, max_chains: usize) -> Vec<
 
     while let Some(partial) = queue.pop_front() {
         if out.len() >= max_chains || partial.steps_rev.len() > 8 {
+            pruned_budget.inc();
             break;
         }
+        explored.inc();
         // Resolve the next unresolved node.
         let Some((&node, rest)) = partial.unresolved.split_first() else {
             // Everything resolved: chain complete.
@@ -265,6 +301,7 @@ pub fn backward_chains(tdg: &Tdg, target: &ServiceId, max_chains: usize) -> Vec<
         // Expand via full-capacity parents (shorter first) …
         for &parent in tdg.strong_parents(node) {
             if partial.visited.contains(&parent) {
+                pruned_visited.inc();
                 continue;
             }
             let mut next = partial.clone();
@@ -277,6 +314,7 @@ pub fn backward_chains(tdg: &Tdg, target: &ServiceId, max_chains: usize) -> Vec<
         // … then via merged couple groups.
         for couple in tdg.couples_for(node) {
             if couple.providers.iter().any(|p| partial.visited.contains(p)) {
+                pruned_visited.inc();
                 continue;
             }
             let mut next = partial.clone();
@@ -292,6 +330,7 @@ pub fn backward_chains(tdg: &Tdg, target: &ServiceId, max_chains: usize) -> Vec<
 
     out.sort_by_key(|c| (c.len(), c.accounts_touched()));
     out.truncate(max_chains);
+    obs::add("backward.chains_found", out.len() as u64);
     out
 }
 
@@ -414,6 +453,30 @@ mod tests {
         let naive = forward_naive(&specs, Platform::Web, &ap, &[]);
         assert_eq!(naive.records, r.records);
         assert_eq!(naive.rounds, r.rounds);
+    }
+
+    #[test]
+    fn forward_crossover_is_result_invariant() {
+        use actfort_ecosystem::synth::{generate, SynthConfig};
+        // Populations straddling NAIVE_CROSSOVER: whichever engine the
+        // dispatcher picks, results are identical field for field
+        // (rounds, records, uncompromised, final pool).
+        let ap = ap();
+        for n in [NAIVE_CROSSOVER - 1, NAIVE_CROSSOVER, NAIVE_CROSSOVER + 7] {
+            let mut specs = specs();
+            if n > specs.len() {
+                specs.extend(generate(n - specs.len(), 5, &SynthConfig::default()));
+            } else {
+                specs.truncate(n);
+            }
+            for platform in [Platform::Web, Platform::MobileApp] {
+                let naive = forward_naive(&specs, platform, &ap, &[]);
+                let incremental = crate::engine::forward_incremental(&specs, platform, &ap, &[]);
+                let auto = forward(&specs, platform, &ap, &[]);
+                assert_eq!(naive, incremental, "n={n} {platform}");
+                assert_eq!(auto, naive, "n={n} {platform} dispatch");
+            }
+        }
     }
 
     #[test]

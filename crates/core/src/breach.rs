@@ -47,6 +47,7 @@ pub fn blast_radii(
     ap: &AttackerProfile,
     threads: usize,
 ) -> Vec<BlastRadius> {
+    let _span = crate::obs::span("breach.blast_radii");
     let seeds: Vec<ServiceId> = specs
         .iter()
         .filter(|s| match platform {

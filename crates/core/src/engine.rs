@@ -35,6 +35,7 @@
 //!    index, preserving input order in the output.
 
 use crate::analysis::{CompromiseRecord, ForwardResult};
+use crate::obs;
 use crate::pool::{attack_paths, path_satisfied, path_satisfied_pair, InfoPool, PoolSignature};
 use crate::profile::AttackerProfile;
 use actfort_ecosystem::factor::{CredentialFactor, ServiceId};
@@ -133,6 +134,43 @@ impl ReverseIndex {
     }
 }
 
+/// Counter handles for one forward run, fetched once so the per-node
+/// loops increment bare atomics (see `core::obs`; everything is a no-op
+/// while the recorder is disabled).
+struct EngineStats {
+    rounds: obs::Counter,
+    evaluated: obs::Counter,
+    skipped: obs::Counter,
+    fell: obs::Counter,
+    class_reps: obs::Counter,
+    class_collapsed: obs::Counter,
+    minprov_queries: obs::Counter,
+}
+
+impl EngineStats {
+    fn fetch() -> Self {
+        Self {
+            rounds: obs::counter("engine.rounds"),
+            evaluated: obs::counter("engine.nodes_evaluated"),
+            skipped: obs::counter("engine.nodes_skipped"),
+            fell: obs::counter("engine.nodes_fell"),
+            class_reps: obs::counter("engine.provider_class_reps"),
+            class_collapsed: obs::counter("engine.provider_class_collapsed"),
+            minprov_queries: obs::counter("engine.min_provider_queries"),
+        }
+    }
+
+    /// Counts a [`ProviderIndex::register`] outcome: the collapse's hit
+    /// rate is `class_collapsed / (class_collapsed + class_reps)`.
+    fn observe_register(&self, outcome: Registered) {
+        match outcome {
+            Registered::NewClass => self.class_reps.inc(),
+            Registered::Collapsed => self.class_collapsed.inc(),
+            Registered::Uninformative => {}
+        }
+    }
+}
+
 /// Snapshot of the pool flags the reverse index keys on.
 #[derive(PartialEq, Eq, Clone, Copy)]
 struct FlagState {
@@ -167,6 +205,18 @@ struct ProviderIndex {
     seen: BTreeSet<PoolSignature>,
 }
 
+/// How [`ProviderIndex::register`] filed a newly compromised provider —
+/// the observable hit/miss outcome of the provider-class collapse.
+enum Registered {
+    /// First provider with this pool signature: elected representative.
+    NewClass,
+    /// Signature already represented: collapsed into the class (a cache
+    /// hit for every later `min_providers` enumeration).
+    Collapsed,
+    /// Nothing transferable in the pool: never a candidate.
+    Uninformative,
+}
+
 impl ProviderIndex {
     fn new(n: usize) -> Self {
         Self { pools: (0..n).map(|_| None).collect(), reps: Vec::new(), seen: BTreeSet::new() }
@@ -189,13 +239,18 @@ impl ProviderIndex {
     /// representative if its signature is new. Uninformative providers
     /// are never representatives: they add nothing over the empty pool
     /// except an ownership bit handled via `LinkedAccount` candidates.
-    fn register(&mut self, nodes: &[&ServiceSpec], platform: Platform, i: usize) {
+    fn register(&mut self, nodes: &[&ServiceSpec], platform: Platform, i: usize) -> Registered {
         let (informative, sig) = {
             let p = self.pool(nodes, platform, i);
             (p.is_informative(), p.signature())
         };
-        if informative && self.seen.insert(sig) {
+        if !informative {
+            Registered::Uninformative
+        } else if self.seen.insert(sig) {
             self.reps.push(i);
+            Registered::NewClass
+        } else {
+            Registered::Collapsed
         }
     }
 
@@ -267,6 +322,9 @@ pub fn forward_incremental(
     ap: &AttackerProfile,
     seeds: &[ServiceId],
 ) -> ForwardResult {
+    let _span = obs::span("forward.incremental");
+    let stats = EngineStats::fetch();
+    obs::add("engine.runs", 1);
     let nodes: Vec<&ServiceSpec> = specs
         .iter()
         .filter(|s| match platform {
@@ -293,7 +351,7 @@ pub fn forward_incremental(
         if seeds.contains(&s.id) {
             compromised.insert(i);
             pool.absorb_compromise(s, platform);
-            providers.register(&nodes, platform, i);
+            stats.observe_register(providers.register(&nodes, platform, i));
             records.insert(s.id.clone(), CompromiseRecord { round: 0, min_providers: 0 });
             seed_round.push(s.id.clone());
         }
@@ -307,32 +365,49 @@ pub fn forward_incremental(
 
     while !frontier.is_empty() {
         let round = rounds.len();
+        stats.rounds.inc();
+        stats.evaluated.add(frontier.len() as u64);
+        // Nodes the reverse index let this round skip: everything still
+        // standing that no flipped flag subscribes.
+        stats.skipped.add(((nodes.len() - compromised.len()) - frontier.len()) as u64);
+        obs::observe("engine.frontier_size", frontier.len() as u64);
         // Synchronous BFS: the whole frontier is judged against the
         // same pre-round pool, so `round` stays a true layer number.
-        let newly: Vec<usize> = frontier
-            .iter()
-            .copied()
-            .filter(|&i| paths[i].iter().any(|p| path_satisfied(p, ap, &pool)))
-            .collect();
+        let newly: Vec<usize> = {
+            let _eval = obs::span("evaluate");
+            frontier
+                .iter()
+                .copied()
+                .filter(|&i| paths[i].iter().any(|p| path_satisfied(p, ap, &pool)))
+                .collect()
+        };
         if newly.is_empty() {
             break;
         }
+        stats.fell.add(newly.len() as u64);
         // Records are computed against the *pre-round* compromised set:
         // providers are accounts that had already fallen when this
         // layer was judged, never same-round peers.
         let mut ids = Vec::with_capacity(newly.len());
-        for &i in &newly {
-            let min_providers =
-                providers.min_providers(&paths[i], platform, ap, &compromised, &nodes, &id_index);
-            records.insert(nodes[i].id.clone(), CompromiseRecord { round, min_providers });
-            ids.push(nodes[i].id.clone());
+        {
+            let _rec = obs::span("min_providers");
+            for &i in &newly {
+                stats.minprov_queries.inc();
+                let min_providers = providers
+                    .min_providers(&paths[i], platform, ap, &compromised, &nodes, &id_index);
+                records.insert(nodes[i].id.clone(), CompromiseRecord { round, min_providers });
+                ids.push(nodes[i].id.clone());
+            }
         }
 
         let before = FlagState::of(&pool);
-        for &i in &newly {
-            compromised.insert(i);
-            pool.absorb_compromise(nodes[i], platform);
-            providers.register(&nodes, platform, i);
+        {
+            let _abs = obs::span("absorb");
+            for &i in &newly {
+                compromised.insert(i);
+                pool.absorb_compromise(nodes[i], platform);
+                stats.observe_register(providers.register(&nodes, platform, i));
+            }
         }
         let after = FlagState::of(&pool);
         rounds.push(ids);
@@ -398,7 +473,10 @@ impl BatchAnalyzer {
         R: Send,
         F: Fn(&T) -> R + Sync,
     {
+        let _span = obs::span("batch.run");
         let n = items.len();
+        obs::add("engine.batch.runs", 1);
+        obs::add("engine.batch.items", n as u64);
         let workers = self.threads.min(n);
         if workers <= 1 {
             return items.iter().map(&f).collect();

@@ -17,7 +17,10 @@
 //! [`metrics`] reproduces the measurement statistics (Fig. 3, Table I,
 //! dependency depth), [`counter`] implements the §VII countermeasures
 //! with differential re-analysis, and [`dot`] exports Fig. 4-style
-//! graphs.
+//! graphs. [`obs`] is the zero-dependency observability layer every
+//! runtime crate reports through: counters, latency histograms,
+//! hierarchical spans and a bounded event journal behind one global
+//! recorder that is free when disabled (DESIGN.md §9).
 //!
 //! # Example
 //!
@@ -47,6 +50,12 @@ pub mod profile;
 pub mod report;
 pub mod strategy;
 pub mod tdg;
+
+/// The zero-dependency observability layer ([`actfort_obs`]), re-exported
+/// at its historical path. It lives in its own crate so the GSM substrate
+/// (a dependency of `actfort-ecosystem`, hence *beneath* this crate) can
+/// report through the same global recorder without a dependency cycle.
+pub use actfort_obs as obs;
 
 pub use analysis::{backward_chains, forward, AttackChain, ForwardResult};
 pub use counter::Countermeasure;

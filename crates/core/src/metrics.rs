@@ -3,6 +3,7 @@
 
 use crate::analysis::{forward, ForwardResult};
 use crate::engine::BatchAnalyzer;
+use crate::obs;
 use crate::profile::AttackerProfile;
 use actfort_ecosystem::factor::CredentialFactor;
 use actfort_ecosystem::info::PersonalInfoKind;
@@ -32,6 +33,7 @@ fn pct(num: usize, den: usize) -> f64 {
 /// Fig. 3 top panel: % of services whose (`purpose`) can be passed with
 /// phone + SMS code only, on `platform`.
 pub fn sms_only_percentage(specs: &[ServiceSpec], platform: Platform, purpose: Purpose) -> f64 {
+    let _span = obs::span("metrics.sms_only");
     let nodes = on_platform(specs, platform);
     let hits = nodes
         .iter()
@@ -43,6 +45,7 @@ pub fn sms_only_percentage(specs: &[ServiceSpec], platform: Platform, purpose: P
 /// Fig. 3 middle panel: % of services using each credential factor in at
 /// least one path on `platform`.
 pub fn factor_usage(specs: &[ServiceSpec], platform: Platform) -> BTreeMap<String, f64> {
+    let _span = obs::span("metrics.factor_usage");
     let nodes = on_platform(specs, platform);
     let mut counts: BTreeMap<String, usize> = BTreeMap::new();
     for s in &nodes {
@@ -72,6 +75,7 @@ fn factor_label(f: &CredentialFactor) -> String {
 /// Fig. 3 bottom panel: % of services with at least one multi-factor
 /// path on `platform`.
 pub fn multi_factor_percentage(specs: &[ServiceSpec], platform: Platform) -> f64 {
+    let _span = obs::span("metrics.multi_factor");
     let nodes = on_platform(specs, platform);
     let hits = nodes
         .iter()
@@ -104,6 +108,7 @@ pub fn exposure_percentages(
     specs: &[ServiceSpec],
     platform: Platform,
 ) -> BTreeMap<PersonalInfoKind, f64> {
+    let _span = obs::span("metrics.exposure");
     let nodes = on_platform(specs, platform);
     PersonalInfoKind::table1()
         .iter()
@@ -140,6 +145,7 @@ pub fn depth_breakdown(
     platform: Platform,
     ap: &AttackerProfile,
 ) -> DepthBreakdown {
+    let _span = obs::span("metrics.depth");
     let result: ForwardResult = forward(specs, platform, ap, &[]);
     let total = on_platform(specs, platform).len();
     let mut direct = 0;
@@ -189,6 +195,7 @@ pub fn depth_breakdown_overlapping(
     ap: &AttackerProfile,
 ) -> DepthBreakdown {
     use crate::pool::{attack_paths, path_satisfied, InfoPool};
+    let _span = obs::span("metrics.depth_overlapping");
     let result = forward(specs, platform, ap, &[]);
     let nodes: Vec<&ServiceSpec> = specs
         .iter()

@@ -48,7 +48,7 @@ impl Coverage {
 }
 
 /// The attacker's gathered knowledge at one point of an analysis.
-#[derive(Debug, Clone, Default)]
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
 pub struct InfoPool {
     full: BTreeSet<PersonalInfoKind>,
     coverage: BTreeMap<PersonalInfoKind, Coverage>,

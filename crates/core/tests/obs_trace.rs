@@ -1,0 +1,95 @@
+//! Golden trace-snapshot tests: a fixed-seed 201-service forward sweep
+//! must produce a *stable* ObsSnapshot — same-seed runs render
+//! byte-identical deterministic JSON, the span tree has a pinned shape,
+//! and the counters agree with the analysis result itself.
+//!
+//! These tests flip the process-global recorder, so they live in their
+//! own test binary and serialize through [`obs_lock`].
+
+use actfort_core::profile::AttackerProfile;
+use actfort_core::{forward, obs, ForwardResult};
+use actfort_ecosystem::policy::Platform;
+use actfort_ecosystem::synth::paper_population;
+use std::sync::{Mutex, MutexGuard};
+
+const SEED: u64 = 2021;
+
+fn obs_lock() -> MutexGuard<'static, ()> {
+    static LOCK: Mutex<()> = Mutex::new(());
+    LOCK.lock().unwrap_or_else(std::sync::PoisonError::into_inner)
+}
+
+/// One instrumented single-threaded sweep over the paper-scale
+/// population (201 services at this seed).
+fn traced_sweep() -> (ForwardResult, obs::ObsSnapshot) {
+    let specs = paper_population(SEED);
+    obs::reset();
+    obs::set_enabled(true);
+    let result = forward(&specs, Platform::Web, &AttackerProfile::paper_default(), &[]);
+    obs::set_enabled(false);
+    let snap = obs::snapshot();
+    obs::reset();
+    (result, snap)
+}
+
+#[test]
+fn same_seed_sweeps_render_byte_identical_json() {
+    let _g = obs_lock();
+    let (r1, s1) = traced_sweep();
+    let (r2, s2) = traced_sweep();
+    assert_eq!(r1, r2, "analysis result must be seed-deterministic");
+    let j1 = s1.to_json_deterministic();
+    let j2 = s2.to_json_deterministic();
+    assert_eq!(j1, j2, "deterministic snapshot JSON must be byte-identical");
+    assert!(!j1.contains("total_ns"), "wall-times are excluded");
+    obs::json::parse(&j1).expect("snapshot JSON parses");
+}
+
+#[test]
+fn sweep_span_tree_shape_is_pinned() {
+    let _g = obs_lock();
+    let (_, snap) = traced_sweep();
+    let paths: Vec<&str> = snap.spans.keys().map(String::as_str).collect();
+    assert_eq!(
+        paths,
+        vec![
+            "forward.incremental",
+            "forward.incremental/absorb",
+            "forward.incremental/evaluate",
+            "forward.incremental/min_providers",
+        ],
+        "span tree changed shape"
+    );
+}
+
+#[test]
+fn sweep_counters_agree_with_the_result() {
+    let _g = obs_lock();
+    let (result, snap) = traced_sweep();
+    let c = |name: &str| snap.counters.get(name).copied().unwrap_or(0);
+    let span_count =
+        |path: &str| snap.spans.get(path).map(|s| s.count).expect("span path present");
+
+    // 201 services is far past NAIVE_CROSSOVER: one incremental run.
+    assert_eq!(c("analysis.dispatch_incremental"), 1);
+    assert_eq!(c("analysis.dispatch_naive"), 0);
+    assert_eq!(c("engine.runs"), 1);
+    assert_eq!(span_count("forward.incremental"), 1);
+
+    // Every loop iteration opens one evaluate span and bumps the round
+    // counter; min_providers and absorb only run on productive rounds.
+    assert_eq!(span_count("forward.incremental/evaluate"), c("engine.rounds"));
+    assert_eq!(
+        span_count("forward.incremental/min_providers"),
+        span_count("forward.incremental/absorb")
+    );
+
+    // No seeds: every compromise record came from a productive round.
+    assert_eq!(c("engine.nodes_fell") as usize, result.records.len());
+    assert_eq!(c("engine.min_provider_queries"), c("engine.nodes_fell"));
+    assert!(c("engine.nodes_evaluated") >= c("engine.nodes_fell"));
+
+    // Frontier sizes were histogrammed once per round.
+    let frontier = snap.histograms.get("engine.frontier_size").expect("frontier histogram");
+    assert_eq!(frontier.count(), c("engine.rounds"));
+}

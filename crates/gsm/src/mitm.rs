@@ -23,6 +23,7 @@ use crate::identity::{Imsi, SubscriberId};
 use crate::radio::{AirMessage, CellConfig, CellId, Direction, MsIdentity, Position};
 use crate::terminal::{Camp, ReceivedSms};
 use crate::network::GsmNetwork;
+use actfort_obs as obs;
 use serde::{Deserialize, Serialize};
 
 /// A directional 4G jammer.
@@ -164,6 +165,7 @@ impl FakeBaseStation {
             .expect("victim exists")
             .set_camp(Camp::Fake(self.cell.id));
         self.caught.push((victim, imsi));
+        obs::add("gsm.mitm.imsi_caught", 1);
         Ok(imsi)
     }
 }
@@ -207,7 +209,10 @@ impl MitmAttack {
         net: &mut GsmNetwork,
         victim: SubscriberId,
     ) -> Result<MitmReport, GsmError> {
+        let _span = obs::span("gsm.mitm.execute");
+        obs::add("gsm.mitm.downgrade_attempts", 1);
         let jammed = self.jammer.activate(net);
+        obs::add("gsm.mitm.handsets_jammed", jammed as u64);
         let imsi = self.fbs.lure(net, victim)?;
 
         // The fake terminal answers the legitimate network's challenge by
@@ -223,6 +228,7 @@ impl MitmAttack {
             relayed = Some((rand, sres));
             sres
         })?;
+        obs::add("gsm.mitm.downgrades_succeeded", 1);
 
         // Materialise the relay legs on the fake cell so captures show the
         // full Fig. 10 sequence.

@@ -15,6 +15,7 @@ use crate::radio::{AirFrame, AirMessage, CellConfig, CellId, Direction, Ether, M
 use crate::smsc::SmsCenter;
 use crate::terminal::{Camp, MobileStation, ReceivedSms};
 use crate::time::SimClock;
+use actfort_obs as obs;
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 use std::collections::BTreeMap;
@@ -390,6 +391,7 @@ impl GsmNetwork {
         sub.ms.set_cipher_context(ctx);
         sub.attachment = Attachment::Real { cell: cell.id, ctx };
         sub.kc = Some(kc);
+        obs::add("gsm.network.attaches", 1);
         Ok(cell.id)
     }
 
@@ -510,6 +512,7 @@ impl GsmNetwork {
         let sub = self.subs.get_mut(&victim.0).expect("checked above");
         sub.attachment = Attachment::Spoofed { ctx };
         sub.kc = Some(kc);
+        obs::add("gsm.network.spoofed_registrations", 1);
         Ok(ctx)
     }
 
@@ -536,6 +539,7 @@ impl GsmNetwork {
         if self.subscriber_by_msisdn(to).is_none() {
             return Err(GsmError::UnknownSubscriber(to.to_string()));
         }
+        obs::add("gsm.network.sms_submitted", 1);
         self.next_concat_ref = self.next_concat_ref.wrapping_add(1);
         let parts = crate::pdu::split_deliver(&from, text, self.next_concat_ref)?;
         let ts = Scts::from_sim_millis(self.clock.millis());
@@ -732,6 +736,7 @@ impl GsmNetwork {
             &AirMessage::SmsAck,
         );
         // Store-and-forward toward the recipient.
+        obs::add("gsm.network.sms_mobile_originated", 1);
         self.send_sms_from(crate::pdu::Address::from_msisdn(&sender_msisdn), to, text)
     }
 

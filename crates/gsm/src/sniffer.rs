@@ -17,6 +17,7 @@ use crate::network::GsmNetwork;
 use crate::pdu::SmsDeliver;
 use crate::radio::{AirFrame, AirMessage, CellId, Ether, Position};
 use crate::time::SimClock;
+use actfort_obs as obs;
 use serde::{Deserialize, Serialize};
 use std::collections::HashMap;
 
@@ -254,9 +255,11 @@ impl PassiveSniffer {
         let tuned = self.monitored.contains(&frame.arfcn);
         if !in_range || !tuned {
             self.stats.frames_missed += 1;
+            obs::add("gsm.sniffer.frames_missed", 1);
             return;
         }
         self.stats.frames_captured += 1;
+        obs::add("gsm.sniffer.frames_captured", 1);
         self.captures.push(frame.clone());
 
         match frame.cipher {
@@ -272,6 +275,7 @@ impl PassiveSniffer {
                 if !entry.dark_marked {
                     entry.dark_marked = true;
                     self.stats.sessions_dark += 1;
+                    obs::add("gsm.sniffer.sessions_dark", 1);
                 }
             }
         }
@@ -306,6 +310,7 @@ impl PassiveSniffer {
                 let state = self.cells.get_mut(&cell).expect("inserted above");
                 state.keys.push((kc, latency_ms));
                 self.stats.sessions_cracked += 1;
+                obs::add("gsm.sniffer.sessions_cracked", 1);
                 // Replay recorded frames the new key decrypts.
                 let pending = std::mem::take(&mut state.pending);
                 let ctx = CipherContext { algo: CipherAlgo::A51, kc };
@@ -322,6 +327,7 @@ impl PassiveSniffer {
             // A well-formed SI5-length burst that yields no key: that
             // session stays dark (one SI5 burst marks one session).
             self.stats.sessions_dark += 1;
+            obs::add("gsm.sniffer.sessions_dark", 1);
             return;
         }
         self.cells.get_mut(&cell).expect("inserted above").pending.push(frame);
@@ -344,6 +350,7 @@ impl PassiveSniffer {
                             uplink: false,
                         });
                         self.stats.sms_recovered += 1;
+                        obs::add("gsm.sniffer.sms_recovered", 1);
                     }
                 }
             }
@@ -362,6 +369,7 @@ impl PassiveSniffer {
                             uplink: true,
                         });
                         self.stats.sms_recovered += 1;
+                        obs::add("gsm.sniffer.sms_recovered", 1);
                     }
                 }
             }

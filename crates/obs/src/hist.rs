@@ -1,0 +1,119 @@
+//! Fixed-bucket latency histograms with lock-free recording.
+//!
+//! Buckets are powers of two over nanoseconds: bucket `i` counts samples
+//! in `[2^i, 2^(i+1))` ns, with the first bucket absorbing everything
+//! below 2 ns and the last everything at or above ~4.3 s. Power-of-two
+//! edges make `record` a single leading-zeros instruction plus one
+//! relaxed `fetch_add` — cheap enough for per-frame and per-round hot
+//! paths — and need no configuration to cover the whole range the
+//! engine, the GSM pipeline and the attack runner ever see.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// Number of buckets: `log2` range covered, 1 ns to ~4.3 s.
+pub const BUCKETS: usize = 32;
+
+/// A fixed-bucket histogram of nanosecond samples.
+#[derive(Debug, Default)]
+pub struct Histogram {
+    buckets: [AtomicU64; BUCKETS],
+}
+
+/// Frozen view of a [`Histogram`] at snapshot time.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct HistogramSnapshot {
+    /// Count per power-of-two bucket.
+    pub buckets: [u64; BUCKETS],
+}
+
+impl Histogram {
+    /// An empty histogram.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Records one sample of `ns` nanoseconds.
+    pub fn record(&self, ns: u64) {
+        let idx = (63 - u64::leading_zeros(ns.max(1)) as usize).min(BUCKETS - 1);
+        self.buckets[idx].fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Total samples recorded.
+    pub fn count(&self) -> u64 {
+        self.buckets.iter().map(|b| b.load(Ordering::Relaxed)).sum()
+    }
+
+    /// Freezes the current bucket counts.
+    pub fn freeze(&self) -> HistogramSnapshot {
+        let mut buckets = [0u64; BUCKETS];
+        for (out, b) in buckets.iter_mut().zip(&self.buckets) {
+            *out = b.load(Ordering::Relaxed);
+        }
+        HistogramSnapshot { buckets }
+    }
+}
+
+impl HistogramSnapshot {
+    /// Total samples across all buckets.
+    pub fn count(&self) -> u64 {
+        self.buckets.iter().sum()
+    }
+
+    /// Inclusive lower edge of bucket `i` in nanoseconds.
+    pub fn lower_edge_ns(i: usize) -> u64 {
+        1u64 << i
+    }
+
+    /// Approximate quantile (0.0–1.0) by bucket upper edge; `None` when
+    /// empty.
+    pub fn quantile_ns(&self, q: f64) -> Option<u64> {
+        let total = self.count();
+        if total == 0 {
+            return None;
+        }
+        let rank = (q.clamp(0.0, 1.0) * total as f64).ceil().max(1.0) as u64;
+        let mut seen = 0;
+        for (i, &c) in self.buckets.iter().enumerate() {
+            seen += c;
+            if seen >= rank {
+                return Some(1u64 << (i + 1).min(63));
+            }
+        }
+        Some(u64::MAX)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn samples_land_in_power_of_two_buckets() {
+        let h = Histogram::new();
+        h.record(0); // clamped to 1 → bucket 0
+        h.record(1);
+        h.record(2);
+        h.record(3);
+        h.record(1024);
+        h.record(u64::MAX);
+        let s = h.freeze();
+        assert_eq!(s.buckets[0], 2, "0 and 1 share the first bucket");
+        assert_eq!(s.buckets[1], 2, "2 and 3 share [2,4)");
+        assert_eq!(s.buckets[10], 1);
+        assert_eq!(s.buckets[BUCKETS - 1], 1, "overflow clamps to the last bucket");
+        assert_eq!(s.count(), 6);
+    }
+
+    #[test]
+    fn quantiles_track_bucket_edges() {
+        let h = Histogram::new();
+        for _ in 0..99 {
+            h.record(100); // bucket 6: [64, 128)
+        }
+        h.record(1_000_000); // bucket 19
+        let s = h.freeze();
+        assert_eq!(s.quantile_ns(0.5), Some(128));
+        assert_eq!(s.quantile_ns(1.0), Some(1 << 20));
+        assert_eq!(Histogram::new().freeze().quantile_ns(0.5), None);
+    }
+}

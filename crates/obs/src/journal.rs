@@ -1,0 +1,106 @@
+//! Bounded structured event journal.
+//!
+//! Events are small `(name, fields)` records stamped with a sequence
+//! number and the recording thread's current span path. The journal is a
+//! hard-bounded vector: past capacity new events are counted as dropped
+//! rather than stored, so instrumentation can never grow memory without
+//! bound on long traffic-serving runs. Wall-clock time is deliberately
+//! *not* stored on events — sequence numbers give a total order within a
+//! thread, and the absence of timestamps is what lets same-seed runs
+//! emit byte-identical journals.
+
+use std::collections::BTreeMap;
+
+/// Default journal capacity.
+pub const DEFAULT_CAPACITY: usize = 4096;
+
+/// One recorded event.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Event {
+    /// Process-wide sequence number, in recording order.
+    pub seq: u64,
+    /// Span path active on the recording thread (empty at top level).
+    pub span: String,
+    /// Event name, dotted like counter names.
+    pub name: String,
+    /// Sorted key → value payload.
+    pub fields: BTreeMap<String, String>,
+}
+
+/// A bounded, append-only event buffer.
+#[derive(Debug)]
+pub struct Journal {
+    events: Vec<Event>,
+    capacity: usize,
+    next_seq: u64,
+    dropped: u64,
+}
+
+impl Journal {
+    /// An empty journal with the given capacity (const-initializable).
+    pub const fn new(capacity: usize) -> Self {
+        Self { events: Vec::new(), capacity, next_seq: 0, dropped: 0 }
+    }
+
+    /// Appends an event, or counts it dropped when full.
+    pub fn push(&mut self, span: String, name: &str, fields: &[(&str, &str)]) {
+        if self.events.len() >= self.capacity {
+            self.dropped += 1;
+            return;
+        }
+        let fields = fields.iter().map(|(k, v)| ((*k).to_owned(), (*v).to_owned())).collect();
+        self.events.push(Event { seq: self.next_seq, span, name: name.to_owned(), fields });
+        self.next_seq += 1;
+    }
+
+    /// Events recorded so far, in order.
+    pub fn events(&self) -> &[Event] {
+        &self.events
+    }
+
+    /// Events refused because the journal was full.
+    pub fn dropped(&self) -> u64 {
+        self.dropped
+    }
+
+    /// Replaces the capacity; only affects future pushes.
+    pub fn set_capacity(&mut self, capacity: usize) {
+        self.capacity = capacity;
+    }
+
+    /// Clears events and resets sequence numbering.
+    pub fn clear(&mut self) {
+        self.events.clear();
+        self.next_seq = 0;
+        self.dropped = 0;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bounded_capacity_counts_drops() {
+        let mut j = Journal::new(2);
+        j.push(String::new(), "a", &[]);
+        j.push("x/y".into(), "b", &[("k", "v")]);
+        j.push(String::new(), "c", &[]);
+        assert_eq!(j.events().len(), 2);
+        assert_eq!(j.dropped(), 1);
+        assert_eq!(j.events()[1].span, "x/y");
+        assert_eq!(j.events()[1].fields.get("k").map(String::as_str), Some("v"));
+        assert_eq!(j.events()[0].seq, 0);
+        assert_eq!(j.events()[1].seq, 1);
+    }
+
+    #[test]
+    fn clear_resets_sequencing() {
+        let mut j = Journal::new(8);
+        j.push(String::new(), "a", &[]);
+        j.clear();
+        assert!(j.events().is_empty());
+        j.push(String::new(), "b", &[]);
+        assert_eq!(j.events()[0].seq, 0);
+    }
+}

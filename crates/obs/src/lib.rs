@@ -1,0 +1,541 @@
+//! Zero-dependency observability for the analysis engine and the GSM
+//! pipeline.
+//!
+//! The paper's measurement study (Fig. 3, Table I, the §IV-B1 depth
+//! table) is telemetry over a whole account ecosystem; growing this
+//! reproduction toward production scale needs the same visibility *into
+//! itself*: how many nodes each engine round re-evaluates, how often the
+//! provider-class collapse hits, what the sniffer dropped, where a chain
+//! attack spent its time. This module provides that with nothing but
+//! `std`, in the spirit of the offline `vendor/` shims:
+//!
+//! - **Counters** ([`Counter`]) — named, process-global, lock-free
+//!   `AtomicU64` cells. Handles are cheap clones; increments are relaxed
+//!   `fetch_add`s gated on one relaxed load of the global enable flag.
+//! - **Latency histograms** ([`hist::Histogram`]) — fixed power-of-two
+//!   buckets over nanoseconds, recorded lock-free.
+//! - **Spans** ([`span`]) — RAII guards measuring monotonic
+//!   ([`Instant`]) durations, keyed by a `/`-joined hierarchical path
+//!   maintained per thread, aggregated into count + total time per path.
+//! - **Event journal** ([`journal::Journal`]) — a hard-bounded buffer of
+//!   structured `(name, fields)` records for step transitions; overflow
+//!   is counted, never allocated.
+//!
+//! Everything hangs off one global [`Recorder`] that starts *disabled*:
+//! every instrumentation call first reads one relaxed atomic bool and
+//! returns immediately when it is false, so the instrumented hot paths
+//! cost a branch per probe in the default configuration (see the
+//! `BENCH_forward.json` disabled-overhead comparison and DESIGN.md §9).
+//!
+//! [`ObsSnapshot`] freezes all four stores and renders them as JSON with
+//! the in-tree writer ([`json`]); [`ObsSnapshot::to_json_deterministic`]
+//! omits every wall-clock-derived field, which is what makes same-seed
+//! runs byte-identical and lets the trace-snapshot tests pin counter
+//! values and span-tree shape exactly.
+
+pub mod hist;
+pub mod journal;
+pub mod json;
+
+pub use hist::{Histogram, HistogramSnapshot};
+pub use journal::Event;
+
+use journal::Journal;
+use std::cell::RefCell;
+use std::collections::BTreeMap;
+use std::fmt::Write as _;
+use std::marker::PhantomData;
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
+use std::time::Instant;
+
+/// Aggregated statistics of one span path.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct SpanStat {
+    /// Times a span with this path closed.
+    pub count: u64,
+    /// Total monotonic nanoseconds across those closures.
+    pub total_ns: u64,
+}
+
+/// The global observability sink. One process-wide instance lives behind
+/// [`recorder`]; it is created disabled and fully const-initialized, so
+/// it costs nothing before first use.
+pub struct Recorder {
+    enabled: AtomicBool,
+    counters: Mutex<BTreeMap<&'static str, Arc<AtomicU64>>>,
+    histograms: Mutex<BTreeMap<&'static str, Arc<Histogram>>>,
+    spans: Mutex<BTreeMap<String, SpanStat>>,
+    journal: Mutex<Journal>,
+}
+
+static GLOBAL: Recorder = Recorder::new();
+
+thread_local! {
+    /// The recording thread's current span path ("a/b/c"; empty at top
+    /// level). Guards append on entry and truncate on drop.
+    static SPAN_PATH: RefCell<String> = const { RefCell::new(String::new()) };
+}
+
+/// The process-global recorder.
+pub fn recorder() -> &'static Recorder {
+    &GLOBAL
+}
+
+impl Recorder {
+    /// A disabled recorder with empty stores.
+    pub const fn new() -> Self {
+        Self {
+            enabled: AtomicBool::new(false),
+            counters: Mutex::new(BTreeMap::new()),
+            histograms: Mutex::new(BTreeMap::new()),
+            spans: Mutex::new(BTreeMap::new()),
+            journal: Mutex::new(Journal::new(journal::DEFAULT_CAPACITY)),
+        }
+    }
+
+    /// Whether recording is on.
+    pub fn is_enabled(&self) -> bool {
+        self.enabled.load(Ordering::Relaxed)
+    }
+
+    /// Turns recording on or off. Probes are gated on this flag at call
+    /// time; already-open spans still record on close.
+    pub fn set_enabled(&self, on: bool) {
+        self.enabled.store(on, Ordering::Relaxed);
+    }
+
+    /// Clears every store: counters, histograms, span statistics and the
+    /// journal (capacity is kept). Counter/histogram handles obtained
+    /// before a reset keep functioning but are detached — their cells no
+    /// longer appear in snapshots — so instrumentation should re-fetch
+    /// handles per unit of work, not cache them across resets.
+    pub fn reset(&self) {
+        self.counters.lock().expect("obs poisoned").clear();
+        self.histograms.lock().expect("obs poisoned").clear();
+        self.spans.lock().expect("obs poisoned").clear();
+        self.journal.lock().expect("obs poisoned").clear();
+    }
+
+    /// Returns (registering on first use) the counter named `name`.
+    pub fn counter(&self, name: &'static str) -> Counter {
+        let mut map = self.counters.lock().expect("obs poisoned");
+        Counter { cell: Arc::clone(map.entry(name).or_default()) }
+    }
+
+    /// Adds `delta` to the counter named `name` (registry lookup per
+    /// call — use [`Recorder::counter`] handles in loops).
+    pub fn add(&self, name: &'static str, delta: u64) {
+        if self.is_enabled() {
+            self.counter(name).cell.fetch_add(delta, Ordering::Relaxed);
+        }
+    }
+
+    /// Returns (registering on first use) the histogram named `name`.
+    pub fn histogram(&self, name: &'static str) -> Arc<Histogram> {
+        let mut map = self.histograms.lock().expect("obs poisoned");
+        Arc::clone(map.entry(name).or_insert_with(|| Arc::new(Histogram::new())))
+    }
+
+    /// Records a nanosecond sample into the histogram named `name`.
+    pub fn record_ns(&self, name: &'static str, ns: u64) {
+        if self.is_enabled() {
+            self.histogram(name).record(ns);
+        }
+    }
+
+    /// Opens a span named `name`, nested under the thread's current span
+    /// path. Returns an inert guard when disabled.
+    pub fn span(&self, name: &'static str) -> SpanGuard {
+        if !self.is_enabled() {
+            return SpanGuard { start: None, prev_len: 0, _not_send: PhantomData };
+        }
+        let prev_len = SPAN_PATH.with_borrow_mut(|path| {
+            let prev = path.len();
+            if !path.is_empty() {
+                path.push('/');
+            }
+            path.push_str(name);
+            prev
+        });
+        SpanGuard { start: Some(Instant::now()), prev_len, _not_send: PhantomData }
+    }
+
+    /// Records a structured event under the thread's current span path.
+    pub fn event(&self, name: &str, fields: &[(&str, &str)]) {
+        if !self.is_enabled() {
+            return;
+        }
+        let span = SPAN_PATH.with_borrow(|p| p.clone());
+        self.journal.lock().expect("obs poisoned").push(span, name, fields);
+    }
+
+    /// Replaces the journal capacity (existing events are kept).
+    pub fn set_journal_capacity(&self, capacity: usize) {
+        self.journal.lock().expect("obs poisoned").set_capacity(capacity);
+    }
+
+    /// Freezes every store into an [`ObsSnapshot`].
+    pub fn snapshot(&self) -> ObsSnapshot {
+        let counters = self
+            .counters
+            .lock()
+            .expect("obs poisoned")
+            .iter()
+            .map(|(&k, v)| (k.to_owned(), v.load(Ordering::Relaxed)))
+            .collect();
+        let histograms = self
+            .histograms
+            .lock()
+            .expect("obs poisoned")
+            .iter()
+            .map(|(&k, v)| (k.to_owned(), v.freeze()))
+            .collect();
+        let spans = self.spans.lock().expect("obs poisoned").clone();
+        let journal = self.journal.lock().expect("obs poisoned");
+        ObsSnapshot {
+            counters,
+            histograms,
+            spans,
+            events: journal.events().to_vec(),
+            events_dropped: journal.dropped(),
+        }
+    }
+
+    fn close_span(&self, path: &str, ns: u64) {
+        let mut spans = self.spans.lock().expect("obs poisoned");
+        let stat = spans.entry(path.to_owned()).or_default();
+        stat.count += 1;
+        stat.total_ns += ns;
+    }
+}
+
+impl Default for Recorder {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+/// Handle to one named counter cell. Cloning shares the cell.
+#[derive(Debug, Clone)]
+pub struct Counter {
+    cell: Arc<AtomicU64>,
+}
+
+impl Counter {
+    /// Adds `delta` when recording is enabled.
+    pub fn add(&self, delta: u64) {
+        if GLOBAL.is_enabled() {
+            self.cell.fetch_add(delta, Ordering::Relaxed);
+        }
+    }
+
+    /// Adds one when recording is enabled.
+    pub fn inc(&self) {
+        self.add(1);
+    }
+
+    /// Current value.
+    pub fn get(&self) -> u64 {
+        self.cell.load(Ordering::Relaxed)
+    }
+}
+
+/// RAII span: measures monotonic time from creation to drop and folds it
+/// into the global per-path statistics. Not `Send` — the hierarchical
+/// path lives in thread-local state and must close on its own thread.
+#[must_use = "a span records on drop; binding it to _ closes it immediately"]
+pub struct SpanGuard {
+    start: Option<Instant>,
+    prev_len: usize,
+    _not_send: PhantomData<*const ()>,
+}
+
+impl Drop for SpanGuard {
+    fn drop(&mut self) {
+        let Some(start) = self.start.take() else { return };
+        let ns = u64::try_from(start.elapsed().as_nanos()).unwrap_or(u64::MAX);
+        SPAN_PATH.with_borrow_mut(|path| {
+            GLOBAL.close_span(path, ns);
+            path.truncate(self.prev_len);
+        });
+    }
+}
+
+// ---- module-level convenience wrappers over the global recorder ----
+
+/// Whether the global recorder is on.
+pub fn enabled() -> bool {
+    GLOBAL.is_enabled()
+}
+
+/// Enables or disables the global recorder.
+pub fn set_enabled(on: bool) {
+    GLOBAL.set_enabled(on);
+}
+
+/// Clears the global recorder's stores.
+pub fn reset() {
+    GLOBAL.reset();
+}
+
+/// Counter handle from the global recorder.
+pub fn counter(name: &'static str) -> Counter {
+    GLOBAL.counter(name)
+}
+
+/// One-shot add on the global recorder.
+pub fn add(name: &'static str, delta: u64) {
+    GLOBAL.add(name, delta);
+}
+
+/// One-shot nanosecond sample on the global recorder.
+pub fn record_ns(name: &'static str, ns: u64) {
+    GLOBAL.record_ns(name, ns);
+}
+
+/// One-shot dimensionless sample (set sizes, frontier widths, …) on the
+/// global recorder — same power-of-two buckets, just not nanoseconds.
+pub fn observe(name: &'static str, value: u64) {
+    GLOBAL.record_ns(name, value);
+}
+
+/// Span guard from the global recorder.
+pub fn span(name: &'static str) -> SpanGuard {
+    GLOBAL.span(name)
+}
+
+/// Structured event on the global recorder.
+pub fn event(name: &str, fields: &[(&str, &str)]) {
+    GLOBAL.event(name, fields);
+}
+
+/// Snapshot of the global recorder.
+pub fn snapshot() -> ObsSnapshot {
+    GLOBAL.snapshot()
+}
+
+/// Frozen view of the recorder: counters, histograms, span statistics
+/// and the event journal at one instant.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ObsSnapshot {
+    /// Counter values by name.
+    pub counters: BTreeMap<String, u64>,
+    /// Histogram bucket counts by name.
+    pub histograms: BTreeMap<String, HistogramSnapshot>,
+    /// Span statistics by `/`-joined path.
+    pub spans: BTreeMap<String, SpanStat>,
+    /// Journal contents, in sequence order.
+    pub events: Vec<Event>,
+    /// Events the bounded journal refused.
+    pub events_dropped: u64,
+}
+
+impl ObsSnapshot {
+    /// Full JSON rendering, wall-clock-derived fields included (span
+    /// `total_ns`, histogram buckets and quantiles).
+    pub fn to_json(&self) -> String {
+        self.render(true)
+    }
+
+    /// Deterministic JSON rendering: every wall-clock-derived field is
+    /// omitted, so two same-seed runs produce byte-identical documents.
+    /// Counters, span paths and counts, histogram sample counts, events
+    /// and the drop count all remain.
+    pub fn to_json_deterministic(&self) -> String {
+        self.render(false)
+    }
+
+    fn render(&self, timing: bool) -> String {
+        let mut out = String::from("{\n  \"counters\": {");
+        for (i, (name, value)) in self.counters.iter().enumerate() {
+            out.push_str(if i == 0 { "\n" } else { ",\n" });
+            out.push_str("    ");
+            json::write_str(&mut out, name);
+            let _ = write!(out, ": {value}");
+        }
+        out.push_str(if self.counters.is_empty() { "},\n" } else { "\n  },\n" });
+
+        out.push_str("  \"spans\": {");
+        for (i, (path, stat)) in self.spans.iter().enumerate() {
+            out.push_str(if i == 0 { "\n" } else { ",\n" });
+            out.push_str("    ");
+            json::write_str(&mut out, path);
+            let _ = write!(out, ": {{\"count\": {}", stat.count);
+            if timing {
+                let _ = write!(out, ", \"total_ns\": {}", stat.total_ns);
+            }
+            out.push('}');
+        }
+        out.push_str(if self.spans.is_empty() { "},\n" } else { "\n  },\n" });
+
+        out.push_str("  \"histograms\": {");
+        for (i, (name, h)) in self.histograms.iter().enumerate() {
+            out.push_str(if i == 0 { "\n" } else { ",\n" });
+            out.push_str("    ");
+            json::write_str(&mut out, name);
+            let _ = write!(out, ": {{\"count\": {}", h.count());
+            if timing {
+                if let (Some(p50), Some(p99)) = (h.quantile_ns(0.5), h.quantile_ns(0.99)) {
+                    let _ = write!(out, ", \"p50_ns\": {p50}, \"p99_ns\": {p99}");
+                }
+                out.push_str(", \"buckets\": [");
+                let mut first = true;
+                for (b, &count) in h.buckets.iter().enumerate() {
+                    if count > 0 {
+                        if !first {
+                            out.push_str(", ");
+                        }
+                        first = false;
+                        let _ = write!(out, "[{}, {count}]", HistogramSnapshot::lower_edge_ns(b));
+                    }
+                }
+                out.push(']');
+            }
+            out.push('}');
+        }
+        out.push_str(if self.histograms.is_empty() { "},\n" } else { "\n  },\n" });
+
+        out.push_str("  \"events\": [");
+        for (i, e) in self.events.iter().enumerate() {
+            out.push_str(if i == 0 { "\n" } else { ",\n" });
+            let _ = write!(out, "    {{\"seq\": {}, \"span\": ", e.seq);
+            json::write_str(&mut out, &e.span);
+            out.push_str(", \"name\": ");
+            json::write_str(&mut out, &e.name);
+            out.push_str(", \"fields\": {");
+            for (j, (k, v)) in e.fields.iter().enumerate() {
+                if j > 0 {
+                    out.push_str(", ");
+                }
+                json::write_str(&mut out, k);
+                out.push_str(": ");
+                json::write_str(&mut out, v);
+            }
+            out.push_str("}}");
+        }
+        out.push_str(if self.events.is_empty() { "],\n" } else { "\n  ],\n" });
+
+        let _ = write!(out, "  \"events_dropped\": {}\n}}\n", self.events_dropped);
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Serializes tests that toggle the global recorder. Assertions below
+    /// only touch names unique to this module, so concurrent
+    /// instrumentation from other tests cannot fail them.
+    fn guard() -> std::sync::MutexGuard<'static, ()> {
+        static LOCK: Mutex<()> = Mutex::new(());
+        LOCK.lock().unwrap_or_else(std::sync::PoisonError::into_inner)
+    }
+
+    #[test]
+    fn disabled_recorder_records_nothing() {
+        let _g = guard();
+        set_enabled(false);
+        let c = counter("test.obs.unit.disabled");
+        c.inc();
+        add("test.obs.unit.disabled", 5);
+        record_ns("test.obs.unit.disabled_hist", 100);
+        {
+            let _s = span("test.obs.unit.disabled_span");
+        }
+        event("test.obs.unit.disabled_event", &[]);
+        let snap = snapshot();
+        assert_eq!(c.get(), 0);
+        assert_eq!(snap.counters.get("test.obs.unit.disabled"), Some(&0));
+        assert!(!snap.spans.contains_key("test.obs.unit.disabled_span"));
+        assert!(snap.events.iter().all(|e| e.name != "test.obs.unit.disabled_event"));
+    }
+
+    #[test]
+    fn counters_spans_and_events_record_when_enabled() {
+        let _g = guard();
+        set_enabled(true);
+        let c = counter("test.obs.unit.enabled");
+        let before = c.get();
+        c.add(3);
+        c.inc();
+        {
+            let _outer = span("test.obs.unit.outer");
+            let _inner = span("test.obs.unit.inner");
+            event("test.obs.unit.evt", &[("k", "v")]);
+        }
+        let snap = snapshot();
+        set_enabled(false);
+        assert_eq!(c.get(), before + 4);
+        let outer = snap.spans.get("test.obs.unit.outer").expect("outer span");
+        assert!(outer.count >= 1);
+        let inner =
+            snap.spans.get("test.obs.unit.outer/test.obs.unit.inner").expect("nested path");
+        assert!(inner.count >= 1);
+        let evt = snap.events.iter().rev().find(|e| e.name == "test.obs.unit.evt").expect("event");
+        assert_eq!(evt.span, "test.obs.unit.outer/test.obs.unit.inner");
+        assert_eq!(evt.fields.get("k").map(String::as_str), Some("v"));
+    }
+
+    #[test]
+    fn deterministic_json_omits_wall_times_and_parses() {
+        let _g = guard();
+        set_enabled(true);
+        {
+            let _s = span("test.obs.unit.json_span");
+            add("test.obs.unit.json_counter", 2);
+            record_ns("test.obs.unit.json_hist", 1_000);
+        }
+        let snap = snapshot();
+        set_enabled(false);
+        let full = snap.to_json();
+        let det = snap.to_json_deterministic();
+        assert!(full.contains("total_ns"));
+        assert!(!det.contains("total_ns"));
+        assert!(!det.contains("buckets"));
+        for doc in [&full, &det] {
+            let v = json::parse(doc).expect("snapshot JSON parses");
+            assert_eq!(
+                v.get("counters")
+                    .and_then(|c| c.get("test.obs.unit.json_counter"))
+                    .and_then(json::Json::as_num),
+                Some(2.0)
+            );
+            assert!(v
+                .get("spans")
+                .map(|s| s.keys().contains(&"test.obs.unit.json_span"))
+                .unwrap_or(false));
+        }
+    }
+
+    #[test]
+    fn span_paths_unwind_after_drop() {
+        let _g = guard();
+        set_enabled(true);
+        {
+            let _a = span("test.obs.unit.a");
+        }
+        {
+            let _b = span("test.obs.unit.b");
+        }
+        let snap = snapshot();
+        set_enabled(false);
+        // Sequential siblings must not nest under each other.
+        assert!(snap.spans.contains_key("test.obs.unit.b"));
+        assert!(!snap.spans.contains_key("test.obs.unit.a/test.obs.unit.b"));
+    }
+
+    #[test]
+    fn empty_snapshot_renders_valid_json() {
+        let snap = ObsSnapshot {
+            counters: BTreeMap::new(),
+            histograms: BTreeMap::new(),
+            spans: BTreeMap::new(),
+            events: Vec::new(),
+            events_dropped: 0,
+        };
+        let v = json::parse(&snap.to_json()).expect("parses");
+        assert_eq!(v.get("events_dropped").and_then(json::Json::as_num), Some(0.0));
+    }
+}
