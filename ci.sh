@@ -23,4 +23,7 @@ cargo run --release -q -p actfort-bench --bin fig3 -- --trace "$trace_tmp/fig3.j
 cargo run --release -q -p actfort-bench --bin trace_check -- "$trace_tmp/fig3.json" \
     metrics.sms_only metrics.factor_usage metrics.multi_factor
 
+echo "==> backward smoke: best-first engine ≡ naive reference"
+cargo run --release -q -p actfort-bench --bin backward_smoke
+
 echo "CI OK"

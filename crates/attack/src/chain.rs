@@ -123,7 +123,7 @@ impl ChainReactionAttack {
         let _span = obs::span("attack.execute");
         let specs: Vec<_> = eco.specs().into_iter().cloned().collect();
         let engine = StrategyEngine::new(specs, self.platform, self.profile);
-        let chains = engine.attack_chains(target, self.max_chains);
+        let chains = engine.backward_query(target, self.max_chains);
         if chains.is_empty() {
             return Err(AttackError::NoChain(target.to_string()));
         }

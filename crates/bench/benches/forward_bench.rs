@@ -1,14 +1,16 @@
-//! Forward (OAAS → PAV) fixed-point analysis performance.
+//! Forward (OAAS → PAV) fixed-point analysis performance, plus the
+//! backward-query sweep.
 //!
 //! Compares the naive full-rescan reference, the incremental frontier
-//! engine (the default behind [`forward`]) and a [`BatchAnalyzer`]
+//! engine (the default behind [`forward`]), the naive backward BFS
+//! against the best-first [`BackwardEngine`], and a [`BatchAnalyzer`]
 //! breach sweep, then writes the medians and derived analyses/sec to
 //! `BENCH_forward.json` at the repository root.
 
-use actfort_core::analysis::forward_naive;
-use actfort_core::engine::BatchAnalyzer;
+use actfort_core::analysis::{backward_chains_naive, forward_naive};
+use actfort_core::engine::{forward_incremental_unmemoized, BatchAnalyzer};
 use actfort_core::profile::AttackerProfile;
-use actfort_core::{forward, metrics};
+use actfort_core::{forward, metrics, BackwardEngine, Tdg};
 use actfort_ecosystem::factor::ServiceId;
 use actfort_ecosystem::policy::Platform;
 use actfort_ecosystem::synth::{generate, SynthConfig};
@@ -16,6 +18,10 @@ use criterion::{black_box, BenchmarkId, Criterion, Measurement, Throughput};
 
 const POPULATIONS: [usize; 3] = [44, 201, 400];
 const BATCH_SEEDS: usize = 32;
+/// Deterministic backward-query targets per population (spread by
+/// stride), and the chain budget each query asks for.
+const BACKWARD_TARGETS: usize = 8;
+const BACKWARD_MAX_CHAINS: usize = 8;
 
 fn population(n: usize) -> Vec<actfort_ecosystem::ServiceSpec> {
     let mut specs = actfort_ecosystem::dataset::curated_services();
@@ -45,13 +51,53 @@ fn bench_engines(c: &mut Criterion) {
     g.finish();
 }
 
+/// The per-population backward targets: `BACKWARD_TARGETS` service ids
+/// spread by stride, mirroring the equivalence proptest's probing.
+fn backward_targets(tdg: &Tdg) -> Vec<ServiceId> {
+    let nodes = tdg.specs().len();
+    let step = (nodes / BACKWARD_TARGETS).max(1);
+    (0..nodes).step_by(step).take(BACKWARD_TARGETS).map(|i| tdg.spec(i).id.clone()).collect()
+}
+
+fn bench_backward(c: &mut Criterion) {
+    let ap = AttackerProfile::paper_default;
+    let mut g = c.benchmark_group("backward");
+    g.sample_size(10);
+    g.throughput(Throughput::Elements(BACKWARD_TARGETS as u64));
+    for n in POPULATIONS {
+        let specs = population(n);
+        let tdg = Tdg::build(&specs, Platform::Web, ap());
+        let targets = backward_targets(&tdg);
+        g.bench_with_input(BenchmarkId::new("naive", n), &(), |b, ()| {
+            b.iter(|| {
+                for t in &targets {
+                    black_box(backward_chains_naive(&tdg, t, BACKWARD_MAX_CHAINS));
+                }
+            })
+        });
+        // The engine build (graph index + fringe-support fixed point) is
+        // charged inside the iteration: this is the full cost of serving
+        // a sweep of queries over one snapshot.
+        g.bench_with_input(BenchmarkId::new("engine", n), &(), |b, ()| {
+            b.iter(|| {
+                let engine = BackwardEngine::new(&tdg);
+                for t in &targets {
+                    black_box(engine.chains(t, BACKWARD_MAX_CHAINS));
+                }
+            })
+        });
+    }
+    g.finish();
+}
+
 fn bench_batch(c: &mut Criterion) {
     // A breach sweep — one independent forward analysis per seed
     // service — sharded by the BatchAnalyzer.
     let specs = population(201);
     let ap = AttackerProfile::none();
     let seeds: Vec<ServiceId> = specs.iter().take(BATCH_SEEDS).map(|s| s.id.clone()).collect();
-    let threads = std::thread::available_parallelism().map_or(1, |n| n.get());
+    // Honors the ACTFORT_THREADS override, like production callers.
+    let threads = BatchAnalyzer::default().threads();
     let sweep = |analyzer: &BatchAnalyzer| {
         analyzer.run(&seeds, |seed| {
             forward(&specs, Platform::Web, &ap, std::slice::from_ref(seed)).compromised_count()
@@ -61,7 +107,7 @@ fn bench_batch(c: &mut Criterion) {
     g.sample_size(10).throughput(Throughput::Elements(seeds.len() as u64));
     let serial = BatchAnalyzer::new(1);
     g.bench_function("serial", |b| b.iter(|| black_box(sweep(&serial))));
-    let parallel = BatchAnalyzer::new(threads);
+    let parallel = BatchAnalyzer::default();
     g.bench_function(format!("threads_{threads}"), |b| b.iter(|| black_box(sweep(&parallel))));
     g.finish();
 }
@@ -99,14 +145,25 @@ fn per_sec(ns: u128, items: u128) -> f64 {
 
 /// One instrumented 201-service analysis: where the incremental engine's
 /// wall time goes, from the obs span totals (evaluate / min_providers /
-/// absorb, summed across rounds).
-fn measure_phases() -> String {
+/// absorb, summed across rounds). With `memoized` off the pre-memo
+/// engine runs instead, so the JSON records the memo's before/after.
+fn measure_phases(memoized: bool) -> String {
     use actfort_core::obs;
     let specs = population(201);
     let ap = AttackerProfile::paper_default();
+    let run = |specs: &[actfort_ecosystem::ServiceSpec]| {
+        if memoized {
+            let _ = black_box(forward(specs, Platform::Web, &ap, &[]));
+        } else {
+            let _ = black_box(forward_incremental_unmemoized(specs, Platform::Web, &ap, &[]));
+        }
+    };
+    // Uninstrumented warm-up: this is a single-shot sample, so pay the
+    // cold-cache costs outside the measured run.
+    run(&specs);
     obs::reset();
     obs::set_enabled(true);
-    let _ = black_box(forward(&specs, Platform::Web, &ap, &[]));
+    run(&specs);
     obs::set_enabled(false);
     let snap = obs::snapshot();
     let total_of = |name: &str| {
@@ -116,20 +173,71 @@ fn measure_phases() -> String {
             .map(|(_, s)| s.total_ns)
             .sum::<u64>()
     };
+    let counter_of = |name: &str| snap.counters.get(name).copied().unwrap_or(0);
     let result = format!(
-        "{{\"services\": 201, \"evaluate_ns\": {}, \"min_providers_ns\": {}, \
-         \"absorb_ns\": {}, \"run_total_ns\": {}}}",
+        "{{\"services\": 201, \"memoized\": {memoized}, \"evaluate_ns\": {}, \
+         \"min_providers_ns\": {}, \"absorb_ns\": {}, \"run_total_ns\": {}, \
+         \"minprov_memo_hits\": {}, \"minprov_memo_misses\": {}}}",
         total_of("evaluate"),
         total_of("min_providers"),
         total_of("absorb"),
         total_of("forward.incremental"),
+        counter_of("engine.minprov_memo_hits"),
+        counter_of("engine.minprov_memo_misses"),
     );
     obs::reset();
     result
 }
 
+/// One instrumented backward sweep per population: naive vs engine span
+/// totals plus the engine's exploration counters, for the JSON section.
+fn measure_backward() -> String {
+    use actfort_core::obs;
+    let ap = AttackerProfile::paper_default;
+    let mut out = String::from("[\n");
+    for (i, n) in POPULATIONS.iter().enumerate() {
+        let specs = population(*n);
+        let tdg = Tdg::build(&specs, Platform::Web, ap());
+        let targets = backward_targets(&tdg);
+        obs::reset();
+        obs::set_enabled(true);
+        for t in &targets {
+            let _ = black_box(backward_chains_naive(&tdg, t, BACKWARD_MAX_CHAINS));
+        }
+        let engine = BackwardEngine::new(&tdg);
+        for t in &targets {
+            let _ = black_box(engine.chains(t, BACKWARD_MAX_CHAINS));
+        }
+        obs::set_enabled(false);
+        let snap = obs::snapshot();
+        let span_ns = |name: &str| snap.spans.get(name).map_or(0, |s| s.total_ns);
+        let counter_of = |name: &str| snap.counters.get(name).copied().unwrap_or(0);
+        if i > 0 {
+            out.push_str(",\n");
+        }
+        out.push_str(&format!(
+            "    {{\"services\": {n}, \"targets\": {BACKWARD_TARGETS}, \
+             \"max_chains\": {BACKWARD_MAX_CHAINS}, \"naive_ns\": {}, \
+             \"engine_build_ns\": {}, \"engine_query_ns\": {}, \
+             \"naive_partials\": {}, \"engine_partials\": {}, \
+             \"engine_memo_hits\": {}, \"engine_pruned_bound\": {}}}",
+            span_ns("backward.naive"),
+            span_ns("backward.build"),
+            span_ns("backward.chains"),
+            counter_of("backward.naive.partials_explored"),
+            counter_of("backward.partials_explored"),
+            counter_of("backward.memo_hits"),
+            counter_of("backward.pruned_bound"),
+        ));
+        obs::reset();
+    }
+    out.push_str("\n  ]");
+    out
+}
+
 fn emit_json(measurements: &[Measurement]) {
-    let threads = std::thread::available_parallelism().map_or(1, |n| n.get());
+    let threads_available = std::thread::available_parallelism().map_or(1, |n| n.get());
+    let threads = BatchAnalyzer::default().threads();
     let mut populations = String::new();
     for (i, n) in POPULATIONS.iter().enumerate() {
         let naive = median_ns(measurements, &format!("forward/naive/{n}"));
@@ -146,13 +254,34 @@ fn emit_json(measurements: &[Measurement]) {
             naive as f64 / incremental.max(1) as f64,
         ));
     }
+    let mut backward = String::new();
+    for (i, n) in POPULATIONS.iter().enumerate() {
+        let naive = median_ns(measurements, &format!("backward/naive/{n}"));
+        let engine = median_ns(measurements, &format!("backward/engine/{n}"));
+        if i > 0 {
+            backward.push_str(",\n");
+        }
+        backward.push_str(&format!(
+            "    {{\"services\": {n}, \"targets\": {BACKWARD_TARGETS}, \
+             \"naive_ns\": {naive}, \"engine_ns\": {engine}, \
+             \"naive_sweeps_per_sec\": {:.2}, \"engine_sweeps_per_sec\": {:.2}, \
+             \"speedup\": {:.2}}}",
+            per_sec(naive, 1),
+            per_sec(engine, 1),
+            naive as f64 / engine.max(1) as f64,
+        ));
+    }
     let batch_serial = median_ns(measurements, "forward_batch/serial");
     let batch_parallel = median_ns(measurements, &format!("forward_batch/threads_{threads}"));
     let mut json = String::from("{\n");
     json.push_str("  \"bench\": \"forward\",\n  \"platform\": \"web\",\n");
-    json.push_str(&format!("  \"threads_available\": {threads},\n"));
+    json.push_str(&format!("  \"threads_available\": {threads_available},\n"));
+    json.push_str(&format!("  \"threads_used\": {threads},\n"));
     json.push_str(&format!("  \"populations\": [\n{populations}\n  ],\n"));
-    json.push_str(&format!("  \"phases\": {},\n", measure_phases()));
+    json.push_str(&format!("  \"backward\": [\n{backward}\n  ],\n"));
+    json.push_str(&format!("  \"backward_instrumented\": {},\n", measure_backward()));
+    json.push_str(&format!("  \"phases\": {},\n", measure_phases(true)));
+    json.push_str(&format!("  \"phases_unmemoized\": {},\n", measure_phases(false)));
     json.push_str(&format!(
         "  \"batch_sweep\": {{\"seeds\": {BATCH_SEEDS}, \"services\": 201, \
          \"serial_ns\": {batch_serial}, \"parallel_ns\": {batch_parallel}, \
@@ -171,6 +300,7 @@ fn emit_json(measurements: &[Measurement]) {
 fn main() {
     let mut criterion = Criterion::default().configure_from_args();
     bench_engines(&mut criterion);
+    bench_backward(&mut criterion);
     bench_batch(&mut criterion);
     bench_depth_breakdowns(&mut criterion);
     emit_json(criterion.measurements());

@@ -1,0 +1,57 @@
+//! Backward-engine smoke run: sweeps the best-first [`BackwardEngine`]
+//! and the naive reference over the curated and synthetic populations,
+//! asserts they agree chain-for-chain, and prints the exploration
+//! counters. Exits non-zero on any divergence — wired into `ci.sh`.
+//!
+//! ```sh
+//! cargo run -p actfort-bench --bin backward_smoke
+//! ```
+
+use actfort_bench::EXPERIMENT_SEED;
+use actfort_core::analysis::backward_chains_naive;
+use actfort_core::profile::AttackerProfile;
+use actfort_core::{obs, BackwardEngine, Tdg};
+use actfort_ecosystem::dataset::curated_services;
+use actfort_ecosystem::policy::Platform;
+use actfort_ecosystem::spec::ServiceSpec;
+use actfort_ecosystem::synth::paper_population;
+
+const MAX_CHAINS: usize = 8;
+
+fn sweep(label: &str, specs: &[ServiceSpec], platform: Platform) {
+    let tdg = Tdg::build(specs, platform, AttackerProfile::paper_default());
+    let engine = BackwardEngine::new(&tdg);
+    let mut chains = 0usize;
+    let mut reachable = 0usize;
+    for i in 0..tdg.specs().len() {
+        let target = tdg.spec(i).id.clone();
+        let fast = engine.chains(&target, MAX_CHAINS);
+        let naive = backward_chains_naive(&tdg, &target, MAX_CHAINS);
+        assert_eq!(fast, naive, "{label}: engine and naive diverge on {target}");
+        chains += fast.len();
+        reachable += usize::from(!fast.is_empty());
+    }
+    let snap = obs::snapshot();
+    let counter_of = |name: &str| snap.counters.get(name).copied().unwrap_or(0);
+    println!(
+        "{label}: {} targets, {reachable} reachable, {chains} chains; \
+         engine partials {} vs naive {} (memo prunes {}, bound prunes {})",
+        tdg.specs().len(),
+        counter_of("backward.partials_explored"),
+        counter_of("backward.naive.partials_explored"),
+        counter_of("backward.memo_hits"),
+        counter_of("backward.pruned_bound"),
+    );
+    obs::reset();
+}
+
+fn main() {
+    obs::set_enabled(true);
+    for platform in [Platform::Web, Platform::MobileApp] {
+        sweep(&format!("curated/{platform:?}"), &curated_services(), platform);
+    }
+    let synth = paper_population(EXPERIMENT_SEED);
+    sweep("synthetic/Web", &synth, Platform::Web);
+    obs::set_enabled(false);
+    println!("backward smoke: engine ≡ naive on every target");
+}

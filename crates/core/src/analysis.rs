@@ -209,7 +209,7 @@ fn min_providers_for(
 
 /// One step of an attack chain: every listed service must be compromised
 /// (singletons are strong-edge steps; groups are merged couples).
-#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq, PartialOrd, Ord, Serialize, Deserialize)]
 pub struct ChainStep {
     /// Services compromised at this step.
     pub services: Vec<ServiceId>,
@@ -239,16 +239,86 @@ impl AttackChain {
     }
 }
 
+/// Maximum number of steps any backward chain may have. Partials past
+/// this budget are pruned (individually — see the regression test for
+/// the old queue-aborting behaviour).
+pub const MAX_CHAIN_STEPS: usize = 8;
+
+/// Hard ceiling on partial states either backward implementation
+/// *creates* before giving up on the remaining search space — bounding
+/// creations bounds queue/arena memory, not just iteration count. A
+/// safety valve for pathologically dense graphs, far past anything a
+/// real ecosystem produces; both implementations count a
+/// `pruned_budget` / `pruned_bound` tick when it fires.
+pub const MAX_BACKWARD_PARTIALS: usize = 1 << 20;
+
+/// Total deterministic order on chains: fewest steps, then fewest
+/// accounts touched, then step content (service-id lexicographic). This
+/// is the order `backward_chains` returns chains in, and the tie-break
+/// that makes `truncate(max_chains)` implementation-independent.
+pub(crate) fn chain_order(a: &AttackChain, b: &AttackChain) -> std::cmp::Ordering {
+    a.len()
+        .cmp(&b.len())
+        .then_with(|| a.accounts_touched().cmp(&b.accounts_touched()))
+        .then_with(|| a.steps.cmp(&b.steps))
+}
+
+/// Sorts chains into [`chain_order`], drops structurally identical
+/// duplicates, and truncates to `max_chains`. Shared by the naive
+/// reference and the best-first engine so both return byte-identical
+/// chain lists.
+pub(crate) fn canonicalize_chains(
+    mut chains: Vec<AttackChain>,
+    max_chains: usize,
+) -> Vec<AttackChain> {
+    chains.sort_by(chain_order);
+    let before = chains.len();
+    chains.dedup();
+    obs::add("backward.dedup_dropped", (before - chains.len()) as u64);
+    chains.truncate(max_chains);
+    chains
+}
+
 /// Finds attack chains to `target` over the TDG: the paper's backward
-/// query. Returns up to `max_chains` chains, shortest first. Every chain
-/// starts at fringe (phone+SMS-only) nodes.
+/// query. Returns up to `max_chains` chains in [`chain_order`]
+/// (shortest first). Every chain starts at fringe (phone+SMS-only)
+/// nodes.
+///
+/// Served by the best-first [`crate::backward::BackwardEngine`]; the
+/// clone-heavy BFS below is kept as [`backward_chains_naive`], the
+/// reference the equivalence property tests compare against. Callers
+/// issuing many queries over one graph should build the engine once via
+/// [`crate::backward::BackwardEngine::new`] instead.
 pub fn backward_chains(tdg: &Tdg, target: &ServiceId, max_chains: usize) -> Vec<AttackChain> {
-    let _span = obs::span("backward.chains");
-    let explored = obs::counter("backward.partials_explored");
-    let pruned_visited = obs::counter("backward.pruned_visited");
-    let pruned_budget = obs::counter("backward.pruned_budget");
-    let Some(t) = tdg.index_of(target) else { return Vec::new() };
+    crate::backward::BackwardEngine::new(tdg).chains(target, max_chains)
+}
+
+/// Reference implementation of the backward query: breadth-first over
+/// cloned partial chains. Kept for the equivalence proof (see
+/// `backward_props`) and as the baseline in the backward benchmarks.
+pub fn backward_chains_naive(tdg: &Tdg, target: &ServiceId, max_chains: usize) -> Vec<AttackChain> {
+    backward_chains_naive_bounded(tdg, target, max_chains).0
+}
+
+/// [`backward_chains_naive`], also reporting whether the enumeration was
+/// exhaustive (`true`) or cut short by [`MAX_BACKWARD_PARTIALS`]
+/// (`false`). The equivalence property tests skip non-exhaustive cases:
+/// where the budget fires is an implementation detail.
+pub fn backward_chains_naive_bounded(
+    tdg: &Tdg,
+    target: &ServiceId,
+    max_chains: usize,
+) -> (Vec<AttackChain>, bool) {
+    let _span = obs::span("backward.naive");
+    let explored = obs::counter("backward.naive.partials_explored");
+    let pruned_visited = obs::counter("backward.naive.pruned_visited");
+    let pruned_budget = obs::counter("backward.naive.pruned_budget");
+    let Some(t) = tdg.index_of(target) else { return (Vec::new(), true) };
+    if max_chains == 0 {
+        return (Vec::new(), true);
+    }
     let mut out: Vec<AttackChain> = Vec::new();
+    let mut exhaustive = true;
 
     // BFS over "option trees": each frontier entry is a partial chain
     // (list of steps toward the target, reversed at the end).
@@ -268,10 +338,17 @@ pub fn backward_chains(tdg: &Tdg, target: &ServiceId, max_chains: usize) -> Vec<
         visited: BTreeSet::from([t]),
     });
 
+    // Total partials ever created (queued), not merely popped: capping
+    // creations keeps the FIFO queue's memory bounded on dense graphs.
+    let mut created = 1usize;
     while let Some(partial) = queue.pop_front() {
-        if out.len() >= max_chains || partial.steps_rev.len() > 8 {
+        if partial.steps_rev.len() > MAX_CHAIN_STEPS {
+            // Over the step budget: prune this partial only. (An earlier
+            // version broke out of the whole loop here, silently dropping
+            // every shallower chain still enqueued behind it — see
+            // `depth_budget_prunes_partials_not_the_queue`.)
             pruned_budget.inc();
-            break;
+            continue;
         }
         explored.inc();
         // Resolve the next unresolved node.
@@ -292,6 +369,12 @@ pub fn backward_chains(tdg: &Tdg, target: &ServiceId, max_chains: usize) -> Vec<
 
         if tdg.is_fringe(node) {
             // This node needs no support; continue with the remainder.
+            if created >= MAX_BACKWARD_PARTIALS {
+                pruned_budget.inc();
+                exhaustive = false;
+                continue;
+            }
+            created += 1;
             let mut next = partial.clone();
             next.unresolved = rest;
             queue.push_back(next);
@@ -304,6 +387,12 @@ pub fn backward_chains(tdg: &Tdg, target: &ServiceId, max_chains: usize) -> Vec<
                 pruned_visited.inc();
                 continue;
             }
+            if created >= MAX_BACKWARD_PARTIALS {
+                pruned_budget.inc();
+                exhaustive = false;
+                continue;
+            }
+            created += 1;
             let mut next = partial.clone();
             next.visited.insert(parent);
             next.steps_rev.push(vec![parent]);
@@ -317,6 +406,12 @@ pub fn backward_chains(tdg: &Tdg, target: &ServiceId, max_chains: usize) -> Vec<
                 pruned_visited.inc();
                 continue;
             }
+            if created >= MAX_BACKWARD_PARTIALS {
+                pruned_budget.inc();
+                exhaustive = false;
+                continue;
+            }
+            created += 1;
             let mut next = partial.clone();
             for &p in &couple.providers {
                 next.visited.insert(p);
@@ -328,10 +423,9 @@ pub fn backward_chains(tdg: &Tdg, target: &ServiceId, max_chains: usize) -> Vec<
         }
     }
 
-    out.sort_by_key(|c| (c.len(), c.accounts_touched()));
-    out.truncate(max_chains);
-    obs::add("backward.chains_found", out.len() as u64);
-    out
+    let out = canonicalize_chains(out, max_chains);
+    obs::add("backward.naive.chains_found", out.len() as u64);
+    (out, exhaustive)
 }
 
 #[cfg(test)]
@@ -541,5 +635,110 @@ mod tests {
                 }
             }
         }
+    }
+
+    /// Regression: the depth-budget guard used to `break` out of the
+    /// whole BFS queue when the *front* partial exceeded
+    /// [`MAX_CHAIN_STEPS`], silently dropping every shallower chain
+    /// still enqueued behind it. This ecosystem is built so that two
+    /// 9-step dead-end branches reach the front of the FIFO queue while
+    /// the only real chain — exactly [`MAX_CHAIN_STEPS`] steps, with
+    /// fringe strips still pending — sits behind them.
+    #[test]
+    fn depth_budget_prunes_partials_not_the_queue() {
+        use actfort_ecosystem::factor::CredentialFactor as F;
+        use actfort_ecosystem::info::{ExposedField, PersonalInfoKind};
+        use actfort_ecosystem::policy::Purpose;
+        use actfort_ecosystem::spec::ServiceDomain;
+
+        let b = |id: &str| ServiceSpec::builder(id, id, ServiceDomain::Other);
+        let link = |id: &str, next: &str| {
+            b(id).path(Purpose::PasswordReset, Platform::Web, &[F::LinkedAccount(next.into())]).build()
+        };
+        let mut specs = Vec::new();
+        // Two deep dead-end branches: citadel ← deepN-0 ← … ← deepN-7,
+        // where deepN-7 is password-only (unreachable). The partial
+        // [citadel, deepN-0..7] has 9 steps and triggers the budget
+        // guard. Declared first so they sit at the lowest node indices
+        // and are expanded (and enqueued) ahead of the real chain.
+        for branch in ["deep1", "deep2"] {
+            for i in 0..7 {
+                specs.push(link(&format!("{branch}-{i}"), &format!("{branch}-{}", i + 1)));
+            }
+            specs.push(b(&format!("{branch}-7")).path(Purpose::SignIn, Platform::Web, &[F::Password]).build());
+        }
+        // The real chain: citadel ← relay0 ← … ← relay4 ← harvester,
+        // harvester needs the citizen ID jointly leaked by the two
+        // SMS-fringe nodes — exactly MAX_CHAIN_STEPS steps, and the two
+        // pending fringe strips keep it in the queue (at the same step
+        // count) while the 9-step dead ends reach the front.
+        for i in 0..4 {
+            specs.push(link(&format!("relay{i}"), &format!("relay{}", i + 1)));
+        }
+        specs.push(link("relay4", "harvester"));
+        specs.push(b("harvester").path(Purpose::PasswordReset, Platform::Web, &[F::CitizenId]).build());
+        specs.push(
+            b("leak-head")
+                .path(Purpose::SignIn, Platform::Web, &[F::SmsCode])
+                .expose_web(ExposedField::partial(PersonalInfoKind::CitizenId, 10, 0))
+                .build(),
+        );
+        specs.push(
+            b("leak-tail")
+                .path(Purpose::SignIn, Platform::Web, &[F::SmsCode])
+                .expose_web(ExposedField::partial(PersonalInfoKind::CitizenId, 0, 8))
+                .build(),
+        );
+        specs.push(
+            b("citadel")
+                .path(Purpose::PasswordReset, Platform::Web, &[F::LinkedAccount("deep1-0".into())])
+                .path(Purpose::PasswordReset, Platform::Web, &[F::LinkedAccount("deep2-0".into())])
+                .path(Purpose::PasswordReset, Platform::Web, &[F::LinkedAccount("relay0".into())])
+                .build(),
+        );
+
+        let g = Tdg::build(&specs, Platform::Web, ap());
+        let expected: Vec<Vec<ServiceId>> = vec![
+            vec!["leak-head".into(), "leak-tail".into()],
+            vec!["harvester".into()],
+            vec!["relay4".into()],
+            vec!["relay3".into()],
+            vec!["relay2".into()],
+            vec!["relay1".into()],
+            vec!["relay0".into()],
+            vec!["citadel".into()],
+        ];
+        for (label, chains) in [
+            ("naive", backward_chains_naive(&g, &"citadel".into(), 8)),
+            ("engine", backward_chains(&g, &"citadel".into(), 8)),
+        ] {
+            assert_eq!(chains.len(), 1, "{label}: the shallow chain must survive the deep dead ends");
+            let got: Vec<Vec<ServiceId>> =
+                chains[0].steps.iter().map(|s| s.services.clone()).collect();
+            assert_eq!(got, expected, "{label}");
+            assert_eq!(chains[0].len(), MAX_CHAIN_STEPS, "{label}: exactly at the budget");
+        }
+    }
+
+    #[test]
+    fn canonicalize_dedups_sorts_and_truncates() {
+        let chain = |groups: &[&[&str]]| AttackChain {
+            steps: groups
+                .iter()
+                .map(|g| ChainStep { services: g.iter().map(|&s| ServiceId::new(s)).collect() })
+                .collect(),
+        };
+        let two_step = chain(&[&["gmail"], &["paypal"]]);
+        let couple = chain(&[&["xiaozhu", "china-railway-12306"], &["alipay"]]);
+        let long = chain(&[&["gmail"], &["paypal"], &["ebay"]]);
+        // Duplicates of both shapes, inserted out of order.
+        let raw = vec![long.clone(), couple.clone(), two_step.clone(), couple.clone(), two_step.clone()];
+
+        let out = canonicalize_chains(raw.clone(), 8);
+        // Sorted by (len, accounts_touched, lexicographic), duplicates gone.
+        assert_eq!(out, vec![two_step.clone(), couple.clone(), long]);
+        // Truncation happens after dedup, so duplicates cannot crowd out
+        // distinct chains.
+        assert_eq!(canonicalize_chains(raw, 2), vec![two_step, couple]);
     }
 }

@@ -7,6 +7,24 @@
 use crate::tdg::Tdg;
 use std::fmt::Write as _;
 
+/// Escapes a string for use inside a double-quoted DOT identifier or
+/// label. Backslashes and quotes are escaped (a raw `"` would terminate
+/// the quoted id and corrupt the whole export); newlines become DOT's
+/// `\n` line-break escape.
+fn dot_escape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for c in s.chars() {
+        match c {
+            '\\' => out.push_str("\\\\"),
+            '"' => out.push_str("\\\""),
+            '\n' => out.push_str("\\n"),
+            '\r' => {}
+            _ => out.push(c),
+        }
+    }
+    out
+}
+
 /// Renders the graph as DOT.
 pub fn to_dot(tdg: &Tdg) -> String {
     let mut out = String::new();
@@ -19,14 +37,19 @@ pub fn to_dot(tdg: &Tdg) -> String {
         let _ = writeln!(
             out,
             "  \"{}\" [fillcolor=\"{}\", fontcolor=white, label=\"{}\"];",
-            spec.id,
+            dot_escape(spec.id.as_str()),
             color,
-            spec.name.replace('"', "'")
+            dot_escape(&spec.name)
         );
     }
     for child in 0..tdg.node_count() {
         for &parent in tdg.strong_parents(child) {
-            let _ = writeln!(out, "  \"{}\" -> \"{}\";", tdg.spec(parent).id, tdg.spec(child).id);
+            let _ = writeln!(
+                out,
+                "  \"{}\" -> \"{}\";",
+                dot_escape(tdg.spec(parent).id.as_str()),
+                dot_escape(tdg.spec(child).id.as_str())
+            );
         }
     }
     for couple in tdg.couples() {
@@ -34,8 +57,8 @@ pub fn to_dot(tdg: &Tdg) -> String {
             let _ = writeln!(
                 out,
                 "  \"{}\" -> \"{}\" [style=dashed];",
-                tdg.spec(p).id,
-                tdg.spec(couple.target).id
+                dot_escape(tdg.spec(p).id.as_str()),
+                dot_escape(tdg.spec(couple.target).id.as_str())
             );
         }
     }
@@ -88,6 +111,26 @@ mod tests {
         assert!(dot.contains("->"));
         // Every node id appears quoted.
         assert!(dot.contains("\"gmail\""));
+    }
+
+    #[test]
+    fn dot_escapes_hostile_ids_and_labels() {
+        use actfort_ecosystem::factor::CredentialFactor as F;
+        use actfort_ecosystem::policy::Purpose;
+        use actfort_ecosystem::spec::{ServiceDomain, ServiceSpec};
+        let spec = ServiceSpec::builder("evil\"id\\x", "Evil \"Corp\"\nLine2", ServiceDomain::Other)
+            .path(Purpose::PasswordReset, Platform::Web, &[F::SmsCode])
+            .build();
+        let tdg = Tdg::build(&[spec], Platform::Web, AttackerProfile::paper_default());
+        let dot = to_dot(&tdg);
+        assert!(dot.contains(r#""evil\"id\\x""#), "{dot}");
+        assert!(dot.contains(r#"label="Evil \"Corp\"\nLine2""#), "{dot}");
+        // No raw interior quote can terminate a quoted id early: every
+        // line still has an even number of unescaped quotes.
+        for line in dot.lines() {
+            let unescaped = line.replace("\\\\", "").replace("\\\"", "");
+            assert_eq!(unescaped.matches('"').count() % 2, 0, "unbalanced quotes: {line}");
+        }
     }
 
     #[test]

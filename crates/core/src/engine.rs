@@ -145,6 +145,8 @@ struct EngineStats {
     class_reps: obs::Counter,
     class_collapsed: obs::Counter,
     minprov_queries: obs::Counter,
+    minprov_memo_hits: obs::Counter,
+    minprov_memo_misses: obs::Counter,
 }
 
 impl EngineStats {
@@ -157,6 +159,8 @@ impl EngineStats {
             class_reps: obs::counter("engine.provider_class_reps"),
             class_collapsed: obs::counter("engine.provider_class_collapsed"),
             minprov_queries: obs::counter("engine.min_provider_queries"),
+            minprov_memo_hits: obs::counter("engine.minprov_memo_hits"),
+            minprov_memo_misses: obs::counter("engine.minprov_memo_misses"),
         }
     }
 
@@ -203,6 +207,19 @@ struct ProviderIndex {
     /// signature, in the order their classes first fell.
     reps: Vec<usize>,
     seen: BTreeSet<PoolSignature>,
+    /// Memoized `min_providers` answers, keyed by the target's
+    /// canonicalized path-factor lists plus the representative-set
+    /// generation (`reps.len()` — representatives only ever append, so
+    /// equal lengths mean the identical candidate set). Synthetic and
+    /// curated populations share a handful of path archetypes across
+    /// hundreds of services, and whole archetype cohorts fall in the
+    /// same round, so the expensive representative enumeration runs
+    /// once per (archetype, generation) instead of once per service.
+    /// Targets naming a `LinkedAccount` bypass the memo: their
+    /// candidate set is target-specific.
+    memo: BTreeMap<(Vec<Vec<CredentialFactor>>, usize), usize>,
+    memo_enabled: bool,
+    platform: Platform,
 }
 
 /// How [`ProviderIndex::register`] filed a newly compromised provider —
@@ -218,11 +235,19 @@ enum Registered {
 }
 
 impl ProviderIndex {
-    fn new(n: usize) -> Self {
-        Self { pools: (0..n).map(|_| None).collect(), reps: Vec::new(), seen: BTreeSet::new() }
+    fn new(n: usize, memo_enabled: bool, platform: Platform) -> Self {
+        Self {
+            pools: (0..n).map(|_| None).collect(),
+            reps: Vec::new(),
+            seen: BTreeSet::new(),
+            memo: BTreeMap::new(),
+            memo_enabled,
+            platform,
+        }
     }
 
-    fn pool(&mut self, nodes: &[&ServiceSpec], platform: Platform, i: usize) -> &InfoPool {
+    fn pool(&mut self, nodes: &[&ServiceSpec], i: usize) -> &InfoPool {
+        let platform = self.platform;
         self.pools[i].get_or_insert_with(|| {
             let mut p = InfoPool::new();
             p.absorb_compromise(nodes[i], platform);
@@ -239,9 +264,9 @@ impl ProviderIndex {
     /// representative if its signature is new. Uninformative providers
     /// are never representatives: they add nothing over the empty pool
     /// except an ownership bit handled via `LinkedAccount` candidates.
-    fn register(&mut self, nodes: &[&ServiceSpec], platform: Platform, i: usize) -> Registered {
+    fn register(&mut self, nodes: &[&ServiceSpec], i: usize) -> Registered {
         let (informative, sig) = {
-            let p = self.pool(nodes, platform, i);
+            let p = self.pool(nodes, i);
             (p.is_informative(), p.signature())
         };
         if !informative {
@@ -269,7 +294,45 @@ impl ProviderIndex {
     fn min_providers(
         &mut self,
         paths: &[&actfort_ecosystem::policy::AuthPath],
-        platform: Platform,
+        ap: &AttackerProfile,
+        compromised: &BTreeSet<usize>,
+        nodes: &[&ServiceSpec],
+        id_index: &BTreeMap<&ServiceId, usize>,
+        stats: &EngineStats,
+    ) -> usize {
+        // The answer is a function of (path factors, profile, candidate
+        // set). The profile is fixed per run and the candidate set is
+        // `reps` — unless a path names a `LinkedAccount`, which widens
+        // candidates target-specifically and bypasses the memo. Path
+        // order is irrelevant to a minimum, so the key sorts it.
+        let memo_key = if self.memo_enabled
+            && !paths.iter().any(|p| {
+                p.factors.iter().any(|f| matches!(f, CredentialFactor::LinkedAccount(_)))
+            }) {
+            let mut factor_lists: Vec<Vec<CredentialFactor>> =
+                paths.iter().map(|p| p.factors.clone()).collect();
+            factor_lists.sort();
+            let key = (factor_lists, self.reps.len());
+            if let Some(&hit) = self.memo.get(&key) {
+                stats.minprov_memo_hits.inc();
+                return hit;
+            }
+            stats.minprov_memo_misses.inc();
+            Some(key)
+        } else {
+            None
+        };
+        let answer = self.min_providers_uncached(paths, ap, compromised, nodes, id_index);
+        if let Some(key) = memo_key {
+            self.memo.insert(key, answer);
+        }
+        answer
+    }
+
+    /// The full representative enumeration behind [`Self::min_providers`].
+    fn min_providers_uncached(
+        &mut self,
+        paths: &[&actfort_ecosystem::policy::AuthPath],
         ap: &AttackerProfile,
         compromised: &BTreeSet<usize>,
         nodes: &[&ServiceSpec],
@@ -294,7 +357,7 @@ impl ProviderIndex {
             }
         }
         for &j in &candidates {
-            self.pool(nodes, platform, j);
+            self.pool(nodes, j);
         }
         for &j in &candidates {
             if paths.iter().any(|p| path_satisfied(p, ap, self.pool_ref(j))) {
@@ -322,6 +385,28 @@ pub fn forward_incremental(
     ap: &AttackerProfile,
     seeds: &[ServiceId],
 ) -> ForwardResult {
+    forward_incremental_impl(specs, platform, ap, seeds, true)
+}
+
+/// [`forward_incremental`] with the cross-round `min_providers` memo
+/// disabled — the pre-memo engine, kept for benchmarking the memo's
+/// effect and for the memo-equivalence tests.
+pub fn forward_incremental_unmemoized(
+    specs: &[ServiceSpec],
+    platform: Platform,
+    ap: &AttackerProfile,
+    seeds: &[ServiceId],
+) -> ForwardResult {
+    forward_incremental_impl(specs, platform, ap, seeds, false)
+}
+
+fn forward_incremental_impl(
+    specs: &[ServiceSpec],
+    platform: Platform,
+    ap: &AttackerProfile,
+    seeds: &[ServiceId],
+    memo_enabled: bool,
+) -> ForwardResult {
     let _span = obs::span("forward.incremental");
     let stats = EngineStats::fetch();
     obs::add("engine.runs", 1);
@@ -343,7 +428,7 @@ pub fn forward_incremental(
     let mut compromised: BTreeSet<usize> = BTreeSet::new();
     let mut records: BTreeMap<ServiceId, CompromiseRecord> = BTreeMap::new();
     let mut rounds: Vec<Vec<ServiceId>> = Vec::new();
-    let mut providers = ProviderIndex::new(nodes.len());
+    let mut providers = ProviderIndex::new(nodes.len(), memo_enabled, platform);
 
     // Round 0: seeds.
     let mut seed_round = Vec::new();
@@ -351,7 +436,7 @@ pub fn forward_incremental(
         if seeds.contains(&s.id) {
             compromised.insert(i);
             pool.absorb_compromise(s, platform);
-            stats.observe_register(providers.register(&nodes, platform, i));
+            stats.observe_register(providers.register(&nodes, i));
             records.insert(s.id.clone(), CompromiseRecord { round: 0, min_providers: 0 });
             seed_round.push(s.id.clone());
         }
@@ -393,8 +478,8 @@ pub fn forward_incremental(
             let _rec = obs::span("min_providers");
             for &i in &newly {
                 stats.minprov_queries.inc();
-                let min_providers = providers
-                    .min_providers(&paths[i], platform, ap, &compromised, &nodes, &id_index);
+                let min_providers =
+                    providers.min_providers(&paths[i], ap, &compromised, &nodes, &id_index, &stats);
                 records.insert(nodes[i].id.clone(), CompromiseRecord { round, min_providers });
                 ids.push(nodes[i].id.clone());
             }
@@ -406,7 +491,7 @@ pub fn forward_incremental(
             for &i in &newly {
                 compromised.insert(i);
                 pool.absorb_compromise(nodes[i], platform);
-                stats.observe_register(providers.register(&nodes, platform, i));
+                stats.observe_register(providers.register(&nodes, i));
             }
         }
         let after = FlagState::of(&pool);
@@ -448,6 +533,18 @@ pub fn forward_incremental(
 #[derive(Debug, Clone, Copy)]
 pub struct BatchAnalyzer {
     threads: usize,
+}
+
+impl Default for BatchAnalyzer {
+    /// [`Self::available`], unless the `ACTFORT_THREADS` environment
+    /// variable overrides the worker count. Values that fail to parse
+    /// as a positive integer fall back to the parallelism probe.
+    fn default() -> Self {
+        match std::env::var("ACTFORT_THREADS").ok().and_then(|v| v.trim().parse::<usize>().ok()) {
+            Some(n) if n >= 1 => Self::new(n),
+            _ => Self::available(),
+        }
+    }
 }
 
 impl BatchAnalyzer {
@@ -534,6 +631,52 @@ mod tests {
         for platform in [Platform::Web, Platform::MobileApp] {
             assert_equivalent(&specs, platform, &AttackerProfile::paper_default(), &[]);
         }
+    }
+
+    #[test]
+    fn memoized_and_unmemoized_engines_agree() {
+        let check = |specs: &[ServiceSpec], seeds: &[ServiceId]| {
+            for platform in [Platform::Web, Platform::MobileApp] {
+                let with = forward_incremental(specs, platform, &AttackerProfile::paper_default(), seeds);
+                let without =
+                    forward_incremental_unmemoized(specs, platform, &AttackerProfile::paper_default(), seeds);
+                assert_eq!(with.rounds, without.rounds);
+                assert_eq!(with.records, without.records);
+                assert_eq!(with.uncompromised, without.uncompromised);
+            }
+        };
+        check(&curated_services(), &[]);
+        check(&curated_services(), &["gmail".into()]);
+        check(&actfort_ecosystem::synth::paper_population(2021), &[]);
+    }
+
+    #[test]
+    fn minprov_memo_fires_on_synthetic_population() {
+        // The only lib test toggling the global recorder; integration
+        // test binaries that do so run in their own processes.
+        let specs = actfort_ecosystem::synth::paper_population(7);
+        let hits = obs::counter("engine.minprov_memo_hits");
+        let misses = obs::counter("engine.minprov_memo_misses");
+        let (h0, m0) = (hits.get(), misses.get());
+        obs::set_enabled(true);
+        forward_incremental(&specs, Platform::Web, &AttackerProfile::paper_default(), &[]);
+        obs::set_enabled(false);
+        assert!(hits.get() > h0, "archetype cohorts should share memo entries");
+        assert!(misses.get() > m0, "first member of each cohort misses");
+    }
+
+    #[test]
+    fn actfort_threads_env_overrides_default() {
+        // Serialized against other env-reading tests by running in one
+        // process-wide test binary; the variable is always restored.
+        std::env::set_var("ACTFORT_THREADS", "3");
+        assert_eq!(BatchAnalyzer::default().threads(), 3);
+        std::env::set_var("ACTFORT_THREADS", "not-a-number");
+        assert_eq!(BatchAnalyzer::default().threads(), BatchAnalyzer::available().threads());
+        std::env::set_var("ACTFORT_THREADS", "0");
+        assert_eq!(BatchAnalyzer::default().threads(), BatchAnalyzer::available().threads());
+        std::env::remove_var("ACTFORT_THREADS");
+        assert_eq!(BatchAnalyzer::default().threads(), BatchAnalyzer::available().threads());
     }
 
     #[test]

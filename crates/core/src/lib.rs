@@ -40,6 +40,7 @@
 //! ```
 
 pub mod analysis;
+pub mod backward;
 pub mod engine;
 pub mod breach;
 pub mod counter;
@@ -57,7 +58,8 @@ pub mod tdg;
 /// report through the same global recorder without a dependency cycle.
 pub use actfort_obs as obs;
 
-pub use analysis::{backward_chains, forward, AttackChain, ForwardResult};
+pub use analysis::{backward_chains, backward_chains_naive, forward, AttackChain, ForwardResult};
+pub use backward::BackwardEngine;
 pub use counter::Countermeasure;
 pub use pool::InfoPool;
 pub use profile::AttackerProfile;

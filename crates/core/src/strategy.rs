@@ -1,6 +1,7 @@
 //! The strategy engine — §III-E's two queries behind one API.
 
-use crate::analysis::{backward_chains, forward, AttackChain, ForwardResult};
+use crate::analysis::{forward, AttackChain, ForwardResult};
+use crate::backward::BackwardEngine;
 use crate::profile::AttackerProfile;
 use crate::tdg::Tdg;
 use actfort_ecosystem::factor::ServiceId;
@@ -15,13 +16,16 @@ pub struct StrategyEngine {
     platform: Platform,
     ap: AttackerProfile,
     tdg: Tdg,
+    backward: BackwardEngine,
 }
 
 impl StrategyEngine {
-    /// Builds the engine (constructing the TDG once).
+    /// Builds the engine (constructing the TDG and the backward query
+    /// engine — with its per-graph fringe-support memo — once).
     pub fn new(specs: Vec<ServiceSpec>, platform: Platform, ap: AttackerProfile) -> Self {
         let tdg = Tdg::build(&specs, platform, ap);
-        Self { specs, platform, ap, tdg }
+        let backward = BackwardEngine::new(&tdg);
+        Self { specs, platform, ap, tdg, backward }
     }
 
     /// The underlying dependency graph.
@@ -41,9 +45,16 @@ impl StrategyEngine {
     }
 
     /// Query 2 — backward: attack chains reaching `target` from
-    /// phone+SMS-only fringe nodes.
+    /// phone+SMS-only fringe nodes, best (shortest) first. Served by the
+    /// pre-built [`BackwardEngine`], so repeated queries over the same
+    /// snapshot reuse the graph index and fringe-support memo.
+    pub fn backward_query(&self, target: &ServiceId, max_chains: usize) -> Vec<AttackChain> {
+        self.backward.chains(target, max_chains)
+    }
+
+    /// Alias of [`Self::backward_query`] kept for the original API.
     pub fn attack_chains(&self, target: &ServiceId, max_chains: usize) -> Vec<AttackChain> {
-        backward_chains(&self.tdg, target, max_chains)
+        self.backward_query(target, max_chains)
     }
 
     /// The single best (shortest) chain for a target, if any.

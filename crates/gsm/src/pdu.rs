@@ -227,50 +227,74 @@ fn decode_septet_stream(septets: &[u8]) -> Result<String, GsmError> {
 // UCS-2
 // ---------------------------------------------------------------------------
 
-/// Encodes text as big-endian UCS-2 user data.
+/// Encodes text as big-endian UCS-2 user data. Supplementary-plane
+/// characters (emoji) are encoded as UTF-16 surrogate pairs — the
+/// UCS2-as-UTF16 convention real handsets follow — and cost two of the
+/// [`MAX_UCS2_CHARS`] code units. (An earlier version truncated them
+/// with `as u16`, silently corrupting the text.)
 ///
 /// # Errors
 ///
-/// Returns [`GsmError::PduEncode`] for supplementary-plane characters or
-/// messages longer than [`MAX_UCS2_CHARS`].
+/// Returns [`GsmError::PduEncode`] for messages longer than
+/// [`MAX_UCS2_CHARS`] UTF-16 code units.
 pub fn ucs2_encode(text: &str) -> Result<Vec<u8>, GsmError> {
     let mut out = Vec::with_capacity(text.len() * 2);
-    let mut chars = 0usize;
-    for c in text.chars() {
-        let v = c as u32;
-        if v > 0xffff {
-            return Err(GsmError::PduEncode(format!("character {c:?} outside UCS-2 BMP")));
-        }
-        out.extend_from_slice(&(v as u16).to_be_bytes());
-        chars += 1;
+    let mut units = 0usize;
+    for unit in text.encode_utf16() {
+        out.extend_from_slice(&unit.to_be_bytes());
+        units += 1;
     }
-    if chars > MAX_UCS2_CHARS {
+    if units > MAX_UCS2_CHARS {
         return Err(GsmError::PduEncode(format!(
-            "message has {chars} UCS-2 characters, limit is {MAX_UCS2_CHARS}"
+            "message has {units} UCS-2 code units, limit is {MAX_UCS2_CHARS}"
         )));
     }
     Ok(out)
 }
 
-/// Decodes big-endian UCS-2 user data.
+/// Decodes big-endian UCS-2 user data, combining UTF-16 surrogate pairs
+/// back into supplementary-plane characters.
 ///
 /// # Errors
 ///
-/// Returns [`GsmError::PduDecode`] on odd length or surrogate code units.
+/// Returns [`GsmError::PduDecode`] on odd length or an unpaired
+/// surrogate code unit (the offset names the failing byte).
 pub fn ucs2_decode(data: &[u8]) -> Result<String, GsmError> {
     if data.len() % 2 != 0 {
         return Err(GsmError::PduDecode { offset: data.len(), reason: "odd UCS-2 length".into() });
     }
-    let mut out = String::with_capacity(data.len() / 2);
-    for (i, pair) in data.chunks_exact(2).enumerate() {
-        let v = u16::from_be_bytes([pair[0], pair[1]]);
-        match char::from_u32(u32::from(v)) {
-            Some(c) => out.push(c),
-            None => {
+    let units: Vec<u16> =
+        data.chunks_exact(2).map(|pair| u16::from_be_bytes([pair[0], pair[1]])).collect();
+    let mut out = String::with_capacity(units.len());
+    let mut i = 0usize;
+    while i < units.len() {
+        let hi = units[i];
+        match hi {
+            0xd800..=0xdbff => {
+                let lo = units.get(i + 1).copied().ok_or(GsmError::PduDecode {
+                    offset: i * 2,
+                    reason: format!("unpaired high surrogate 0x{hi:04x}"),
+                })?;
+                if !(0xdc00..=0xdfff).contains(&lo) {
+                    return Err(GsmError::PduDecode {
+                        offset: i * 2,
+                        reason: format!("high surrogate 0x{hi:04x} not followed by a low surrogate"),
+                    });
+                }
+                let scalar =
+                    0x10000 + ((u32::from(hi) - 0xd800) << 10) + (u32::from(lo) - 0xdc00);
+                out.push(char::from_u32(scalar).expect("surrogate pair decodes to a scalar"));
+                i += 2;
+            }
+            0xdc00..=0xdfff => {
                 return Err(GsmError::PduDecode {
                     offset: i * 2,
-                    reason: format!("invalid UCS-2 unit 0x{v:04x}"),
-                })
+                    reason: format!("unpaired low surrogate 0x{hi:04x}"),
+                });
+            }
+            _ => {
+                out.push(char::from_u32(u32::from(hi)).expect("BMP non-surrogate is a scalar"));
+                i += 1;
             }
         }
     }
@@ -905,7 +929,7 @@ pub fn split_deliver(
     let fits_single = if is_gsm7(text) {
         gsm7_septet_len(text).map(|n| n <= MAX_SEPTETS).unwrap_or(false)
     } else {
-        text.chars().count() <= MAX_UCS2_CHARS
+        text.encode_utf16().count() <= MAX_UCS2_CHARS
     };
     if fits_single {
         return Ok(vec![SmsDeliver::new(originator.clone(), text)?]);
@@ -920,7 +944,8 @@ pub fn split_deliver(
         let c_cost = if gsm7 {
             gsm7_septet_len(&c.to_string()).expect("whole text is GSM-7")
         } else {
-            1
+            // Supplementary-plane characters occupy a surrogate pair.
+            c.len_utf16()
         };
         if cost + c_cost > limit {
             chunks.push(std::mem::take(&mut current));
@@ -1137,13 +1162,66 @@ mod tests {
     }
 
     #[test]
-    fn ucs2_rejects_astral_plane() {
-        assert!(ucs2_encode("🔥").is_err());
+    fn ucs2_roundtrip_astral_plane() {
+        // Supplementary-plane characters survive as surrogate pairs
+        // (the old encoder truncated them with `as u16`).
+        let text = "验证码 🔐 884211 💥";
+        let data = ucs2_encode(text).unwrap();
+        assert_eq!(data.len(), text.encode_utf16().count() * 2);
+        assert_eq!(ucs2_decode(&data).unwrap(), text);
+
+        // A lone emoji costs two code units on the wire.
+        assert_eq!(ucs2_encode("🔥").unwrap().len(), 4);
+        assert_eq!(ucs2_decode(&ucs2_encode("🔥").unwrap()).unwrap(), "🔥");
+    }
+
+    #[test]
+    fn ucs2_length_limit_counts_code_units() {
+        // 36 emoji = 72 UTF-16 units: over the 70-unit single-PDU cap.
+        assert!(ucs2_encode(&"🔥".repeat(35)).is_ok());
+        assert!(ucs2_encode(&"🔥".repeat(36)).is_err());
     }
 
     #[test]
     fn ucs2_decode_rejects_odd_length() {
         assert!(ucs2_decode(&[0x00]).is_err());
+    }
+
+    #[test]
+    fn ucs2_decode_rejects_unpaired_surrogates() {
+        // Lone high surrogate at the end.
+        let err = ucs2_decode(&[0xd8, 0x3d]).unwrap_err();
+        assert!(matches!(err, GsmError::PduDecode { offset: 0, .. }), "{err:?}");
+        // High surrogate followed by a BMP unit.
+        let err = ucs2_decode(&[0x00, 0x41, 0xd8, 0x3d, 0x00, 0x42]).unwrap_err();
+        assert!(matches!(err, GsmError::PduDecode { offset: 2, .. }), "{err:?}");
+        // Lone low surrogate.
+        let err = ucs2_decode(&[0xdc, 0x00]).unwrap_err();
+        assert!(matches!(err, GsmError::PduDecode { offset: 0, .. }), "{err:?}");
+    }
+
+    #[test]
+    fn deliver_roundtrip_emoji() {
+        let d = SmsDeliver::new(intl("10690001"), "【支付宝】🔐 验证码 884211").unwrap();
+        assert_eq!(d.coding, DataCoding::Ucs2);
+        let back = SmsDeliver::decode(&d.encode()).unwrap();
+        assert_eq!(back.text().unwrap(), "【支付宝】🔐 验证码 884211");
+    }
+
+    #[test]
+    fn split_deliver_emoji_text_reassembles_without_splitting_pairs() {
+        let oa = intl("10690001");
+        // 40 × (1 emoji + 2 BMP chars) = 160 UTF-16 units: multipart, and
+        // every chunk boundary must respect surrogate pairs.
+        let text = "🔥安全".repeat(40);
+        assert!(text.encode_utf16().count() > MAX_UCS2_CHARS);
+        let parts = split_deliver(&oa, &text, 11).unwrap();
+        assert!(parts.len() >= 2);
+        for p in &parts {
+            assert!(p.text().unwrap().chars().all(|c| "🔥安全".contains(c)));
+        }
+        let reassembled: String = parts.iter().map(|p| p.text().unwrap()).collect();
+        assert_eq!(reassembled, text);
     }
 
     #[test]
