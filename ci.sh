@@ -26,4 +26,9 @@ cargo run --release -q -p actfort-bench --bin trace_check -- "$trace_tmp/fig3.js
 echo "==> backward smoke: best-first engine ≡ naive reference"
 cargo run --release -q -p actfort-bench --bin backward_smoke
 
+echo "==> serve smoke: concurrent load + /metrics trace_check"
+cargo run --release -q -p actfort-bench --bin serve_smoke -- --metrics-out "$trace_tmp/serve_metrics.json"
+cargo run --release -q -p actfort-bench --bin trace_check -- "$trace_tmp/serve_metrics.json" \
+    serve.forward serve.backward
+
 echo "CI OK"

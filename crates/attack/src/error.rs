@@ -60,6 +60,45 @@ impl From<actfort_gsm::GsmError> for AttackError {
     }
 }
 
+impl AttackError {
+    /// Stable wire discriminant of this failure, from the 2300–2399
+    /// range `actfort_core::Error` reserves for the attack layer (see
+    /// the discriminant table in `actfort_core::error`). Codes are
+    /// never renumbered.
+    pub fn code(&self) -> u16 {
+        match self {
+            AttackError::NoViablePath(_) => 2301,
+            AttackError::InterceptionFailed(_) => 2302,
+            AttackError::NoChain(_) => 2303,
+            // Wrapped lower-layer failures keep *their* discriminant so
+            // the wire code survives the crossing.
+            AttackError::Ecosystem(e) => actfort_core::Error::from(e.clone()).code(),
+            AttackError::Gsm(e) => actfort_core::Error::from(e.clone()).code(),
+            AttackError::ReconFailed(_) => 2304,
+            AttackError::Detected(_) => 2305,
+        }
+    }
+}
+
+/// Funnels attack-layer failures into the unified core error: the attack
+/// engine sits *above* `actfort-core`, so it maps itself into
+/// [`actfort_core::Error::Upstream`] with its stable code assignments.
+impl From<AttackError> for actfort_core::Error {
+    fn from(e: AttackError) -> Self {
+        match e {
+            // Lower-layer failures unwrap to their named variant instead
+            // of flattening into an opaque upstream message.
+            AttackError::Ecosystem(inner) => inner.into(),
+            AttackError::Gsm(inner) => inner.into(),
+            other => actfort_core::Error::Upstream {
+                layer: "attack",
+                code: other.code(),
+                message: other.to_string(),
+            },
+        }
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -76,5 +115,17 @@ mod tests {
         let e = AttackError::Gsm(actfort_gsm::GsmError::NotAttached);
         assert!(e.source().is_some());
         assert!(e.to_string().contains("gsm"));
+    }
+
+    #[test]
+    fn maps_into_unified_core_error_with_stable_codes() {
+        let up = actfort_core::Error::from(AttackError::NoChain("alipay".into()));
+        assert_eq!(up.code(), 2303);
+        assert_eq!(up.kind(), "attack");
+        assert!(up.to_string().contains("alipay"));
+        // Wrapped lower-layer failures keep their own layer and code.
+        let gsm = actfort_core::Error::from(AttackError::Gsm(actfort_gsm::GsmError::NotAttached));
+        assert_eq!(gsm.kind(), "gsm");
+        assert_eq!(gsm.code(), 2207);
     }
 }

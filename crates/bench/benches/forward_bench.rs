@@ -7,11 +7,12 @@
 //! breach sweep, then writes the medians and derived analyses/sec to
 //! `BENCH_forward.json` at the repository root.
 
-use actfort_core::analysis::{backward_chains_naive, forward_naive};
-use actfort_core::engine::{forward_incremental_unmemoized, BatchAnalyzer};
+use actfort_core::engine::BatchAnalyzer;
 use actfort_core::profile::AttackerProfile;
-use actfort_core::{forward, metrics, BackwardEngine, Tdg};
+use actfort_core::query::{Analysis, Engine};
+use actfort_core::{metrics, BackwardEngine, ForwardResult, Tdg};
 use actfort_ecosystem::factor::ServiceId;
+use actfort_ecosystem::spec::ServiceSpec;
 use actfort_ecosystem::policy::Platform;
 use actfort_ecosystem::synth::{generate, SynthConfig};
 use criterion::{black_box, BenchmarkId, Criterion, Measurement, Throughput};
@@ -22,6 +23,37 @@ const BATCH_SEEDS: usize = 32;
 /// stride), and the chain budget each query asks for.
 const BACKWARD_TARGETS: usize = 8;
 const BACKWARD_MAX_CHAINS: usize = 8;
+
+fn forward(
+    specs: &[ServiceSpec],
+    platform: Platform,
+    ap: &AttackerProfile,
+    seeds: &[ServiceId],
+) -> ForwardResult {
+    Analysis::over(specs, platform, *ap).forward(seeds).run().expect("valid query")
+}
+
+fn forward_naive(
+    specs: &[ServiceSpec],
+    platform: Platform,
+    ap: &AttackerProfile,
+    seeds: &[ServiceId],
+) -> ForwardResult {
+    Analysis::over(specs, platform, *ap)
+        .forward(seeds)
+        .engine(Engine::Naive)
+        .run()
+        .expect("valid query")
+}
+
+fn backward_chains_naive(tdg: &Tdg, target: &ServiceId, max_chains: usize) -> Vec<actfort_core::AttackChain> {
+    Analysis::of(tdg)
+        .backward(target)
+        .max_chains(max_chains)
+        .engine(Engine::Naive)
+        .run()
+        .expect("valid query")
+}
 
 fn population(n: usize) -> Vec<actfort_ecosystem::ServiceSpec> {
     let mut specs = actfort_ecosystem::dataset::curated_services();
@@ -155,7 +187,14 @@ fn measure_phases(memoized: bool) -> String {
         if memoized {
             let _ = black_box(forward(specs, Platform::Web, &ap, &[]));
         } else {
-            let _ = black_box(forward_incremental_unmemoized(specs, Platform::Web, &ap, &[]));
+            let _ = black_box(
+                Analysis::over(specs, Platform::Web, ap)
+                    .forward(&[])
+                    .engine(Engine::Incremental)
+                    .memo(false)
+                    .run()
+                    .expect("valid query"),
+            );
         }
     };
     // Uninstrumented warm-up: this is a single-shot sample, so pay the

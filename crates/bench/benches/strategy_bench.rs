@@ -3,7 +3,7 @@
 
 use actfort_core::profile::AttackerProfile;
 use actfort_core::strategy::StrategyEngine;
-use actfort_core::{backward_chains, Tdg};
+use actfort_core::{Analysis, Tdg};
 use actfort_ecosystem::policy::Platform;
 use actfort_ecosystem::synth::paper_population;
 use criterion::{black_box, criterion_group, criterion_main, Criterion};
@@ -15,7 +15,15 @@ fn bench_backward(c: &mut Criterion) {
     g.sample_size(20);
     for target in ["paypal", "alipay", "union-bank"] {
         g.bench_function(target, |b| {
-            b.iter(|| black_box(backward_chains(&tdg, &target.into(), 8)))
+            b.iter(|| {
+                black_box(
+                    Analysis::of(&tdg)
+                        .backward(&target.into())
+                        .max_chains(8)
+                        .run()
+                        .expect("valid query"),
+                )
+            })
         });
     }
     g.finish();

@@ -8,8 +8,8 @@
 //! ```
 
 use actfort_bench::EXPERIMENT_SEED;
-use actfort_core::analysis::backward_chains_naive;
 use actfort_core::profile::AttackerProfile;
+use actfort_core::query::{Analysis, Engine};
 use actfort_core::{obs, BackwardEngine, Tdg};
 use actfort_ecosystem::dataset::curated_services;
 use actfort_ecosystem::policy::Platform;
@@ -26,7 +26,12 @@ fn sweep(label: &str, specs: &[ServiceSpec], platform: Platform) {
     for i in 0..tdg.specs().len() {
         let target = tdg.spec(i).id.clone();
         let fast = engine.chains(&target, MAX_CHAINS);
-        let naive = backward_chains_naive(&tdg, &target, MAX_CHAINS);
+        let naive = Analysis::of(&tdg)
+            .backward(&target)
+            .max_chains(MAX_CHAINS)
+            .engine(Engine::Naive)
+            .run()
+            .expect("valid query");
         assert_eq!(fast, naive, "{label}: engine and naive diverge on {target}");
         chains += fast.len();
         reachable += usize::from(!fast.is_empty());

@@ -1,0 +1,77 @@
+//! CI smoke test for `actfort-serve`: starts the server in-process on
+//! an ephemeral port over the curated dataset, drives concurrent
+//! forward/backward traffic through the shared `load` driver, checks
+//! the serving contract (all 200s, byte-identical bodies, measured
+//! cache hits) and writes the `/metrics` snapshot to `--metrics-out`
+//! for `trace_check` to validate.
+//!
+//! ```sh
+//! cargo run --release -p actfort-bench --bin serve_smoke -- --metrics-out /tmp/m.json
+//! ```
+
+use actfort_bench::load::{run, LoadPlan, Shot};
+use actfort_serve::{start, Client, ServerConfig};
+
+fn main() {
+    let mut metrics_out: Option<String> = None;
+    let mut args = std::env::args().skip(1);
+    while let Some(flag) = args.next() {
+        match flag.as_str() {
+            "--metrics-out" => {
+                metrics_out = Some(args.next().expect("--metrics-out requires a path"));
+            }
+            other => panic!("unknown flag {other:?}"),
+        }
+    }
+
+    actfort_core::obs::set_enabled(true);
+
+    let config = ServerConfig {
+        threads: Some(2),
+        queue_capacity: Some(64),
+        ..ServerConfig::default()
+    };
+    let handle = start(config).expect("server starts");
+    println!("serve_smoke: listening on {}", handle.addr());
+
+    let report = run(&LoadPlan {
+        addr: handle.addr(),
+        connections: 8,
+        requests_per_connection: 12,
+        shots: vec![
+            Shot::forward(&[]),
+            Shot::forward(&["gmail"]),
+            Shot::forward(&["gmail", "taobao"]),
+            Shot::backward("paypal", 4),
+            Shot::backward("taobao", 4),
+        ],
+    });
+    println!(
+        "serve_smoke: {} req, {} ok, {} shed, {} failed; {} hits / {} misses; byte-identical: {}",
+        report.requests,
+        report.ok,
+        report.shed,
+        report.failed,
+        report.cache_hits,
+        report.cache_misses,
+        report.byte_identical,
+    );
+    assert_eq!(report.ok, report.requests, "every smoke request must succeed");
+    assert!(report.byte_identical, "identical queries must serve identical bytes");
+    assert!(report.cache_hits > 0, "the forward cache must be hit under repetition");
+
+    let mut client = Client::connect(handle.addr()).expect("connect for metrics");
+    let metrics = client.get("/metrics").expect("fetch /metrics");
+    assert_eq!(metrics.status, 200, "/metrics must answer 200");
+    actfort_core::obs::json::parse(metrics.text())
+        .unwrap_or_else(|e| panic!("/metrics body is not valid JSON: {e}"));
+    if let Some(path) = metrics_out {
+        std::fs::write(&path, &metrics.body)
+            .unwrap_or_else(|e| panic!("writing {path}: {e}"));
+        println!("serve_smoke: /metrics written to {path}");
+    }
+    drop(client);
+
+    handle.shutdown();
+    println!("serve_smoke: OK");
+}

@@ -6,6 +6,8 @@
 //! the *shape* — orderings, dominant categories, rough magnitudes — is
 //! what EXPERIMENTS.md records.
 
+pub mod load;
+
 /// One comparison row.
 #[derive(Debug, Clone)]
 pub struct Row {

@@ -1,0 +1,236 @@
+//! Concurrent load driver for `actfort-serve`, shared by the `loadgen`
+//! bench bin and the `serve_smoke` CI bin.
+//!
+//! A [`LoadPlan`] names an address, a connection count and a request
+//! mix; [`run`] opens one keep-alive connection per thread, cycles each
+//! thread through the mix and folds every thread's observations into
+//! one [`LoadReport`]: throughput, latency quantiles, cache hit/miss
+//! split, shed (503) count and — the concurrency contract — whether
+//! every successful response to an identical request was
+//! byte-identical.
+
+use actfort_serve::Client;
+use std::collections::HashMap;
+use std::net::SocketAddr;
+use std::time::Instant;
+
+/// One request in the mix: endpoint path + JSON body.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub struct Shot {
+    /// Endpoint path (`/v1/forward`, `/v1/backward`).
+    pub path: String,
+    /// JSON body to POST.
+    pub body: String,
+}
+
+impl Shot {
+    /// A forward query over the given seed ids.
+    pub fn forward(seeds: &[&str]) -> Self {
+        let ids = seeds.iter().map(|s| format!("\"{s}\"")).collect::<Vec<_>>().join(",");
+        Self { path: "/v1/forward".to_owned(), body: format!("{{\"seeds\":[{ids}]}}") }
+    }
+
+    /// A backward query for the given target.
+    pub fn backward(target: &str, max_chains: usize) -> Self {
+        Self {
+            path: "/v1/backward".to_owned(),
+            body: format!("{{\"target\":\"{target}\",\"max_chains\":{max_chains}}}"),
+        }
+    }
+}
+
+/// What to fire at the server.
+#[derive(Debug, Clone)]
+pub struct LoadPlan {
+    /// Server address.
+    pub addr: SocketAddr,
+    /// Concurrent keep-alive connections (one thread each).
+    pub connections: usize,
+    /// Requests each connection issues.
+    pub requests_per_connection: usize,
+    /// The request mix; thread `t` starts at shot `t` and cycles, so
+    /// every shot is exercised by several threads concurrently.
+    pub shots: Vec<Shot>,
+}
+
+/// Aggregated observations from one [`run`].
+#[derive(Debug, Clone)]
+pub struct LoadReport {
+    /// Requests issued.
+    pub requests: usize,
+    /// `200` responses.
+    pub ok: usize,
+    /// `503` backpressure refusals.
+    pub shed: usize,
+    /// Any other status.
+    pub failed: usize,
+    /// `x-actfort-cache: hit` responses.
+    pub cache_hits: usize,
+    /// `x-actfort-cache: miss` responses.
+    pub cache_misses: usize,
+    /// Wall-clock duration of the whole run, nanoseconds.
+    pub wall_ns: u128,
+    /// Median per-request latency, nanoseconds.
+    pub p50_ns: u64,
+    /// 99th-percentile per-request latency, nanoseconds.
+    pub p99_ns: u64,
+    /// Whether all `200` bodies for each identical shot were equal.
+    pub byte_identical: bool,
+    /// Status and body of every response counted in `failed` (for
+    /// diagnosing unexpected statuses in harness assertions).
+    pub failures: Vec<(u16, String)>,
+}
+
+impl LoadReport {
+    /// Successful requests per second over the run's wall clock.
+    pub fn throughput_rps(&self) -> f64 {
+        if self.wall_ns == 0 {
+            return 0.0;
+        }
+        self.ok as f64 / (self.wall_ns as f64 / 1e9)
+    }
+
+    /// Cache hit rate over classified responses (0 when none).
+    pub fn hit_rate(&self) -> f64 {
+        let classified = self.cache_hits + self.cache_misses;
+        if classified == 0 {
+            0.0
+        } else {
+            self.cache_hits as f64 / classified as f64
+        }
+    }
+}
+
+struct ThreadObservations {
+    latencies_ns: Vec<u64>,
+    ok: usize,
+    shed: usize,
+    failed: usize,
+    cache_hits: usize,
+    cache_misses: usize,
+    bodies: HashMap<Shot, Vec<Vec<u8>>>,
+    failures: Vec<(u16, String)>,
+}
+
+/// Executes `plan` and aggregates the observations.
+///
+/// # Panics
+///
+/// Panics when a connection cannot be established or a request fails at
+/// the transport level — load runs are driven against servers the
+/// caller just started, so transport failures are harness bugs.
+pub fn run(plan: &LoadPlan) -> LoadReport {
+    let started = Instant::now();
+    let threads: Vec<_> = (0..plan.connections)
+        .map(|t| {
+            let addr = plan.addr;
+            let shots = plan.shots.clone();
+            let requests = plan.requests_per_connection;
+            std::thread::spawn(move || {
+                let mut client = Client::connect(addr).expect("connect to load target");
+                let mut obs = ThreadObservations {
+                    latencies_ns: Vec::with_capacity(requests),
+                    ok: 0,
+                    shed: 0,
+                    failed: 0,
+                    cache_hits: 0,
+                    cache_misses: 0,
+                    bodies: HashMap::new(),
+                    failures: Vec::new(),
+                };
+                for i in 0..requests {
+                    let shot = &shots[(t + i) % shots.len()];
+                    let req_started = Instant::now();
+                    let resp =
+                        client.post(&shot.path, shot.body.as_bytes()).expect("load request");
+                    let ns = u64::try_from(req_started.elapsed().as_nanos()).unwrap_or(u64::MAX);
+                    obs.latencies_ns.push(ns);
+                    match resp.status {
+                        200 => {
+                            obs.ok += 1;
+                            obs.bodies.entry(shot.clone()).or_default().push(resp.body.clone());
+                        }
+                        503 => obs.shed += 1,
+                        status => {
+                            obs.failed += 1;
+                            obs.failures.push((status, resp.text().to_owned()));
+                        }
+                    }
+                    match resp.header("x-actfort-cache") {
+                        Some("hit") => obs.cache_hits += 1,
+                        Some("miss") => obs.cache_misses += 1,
+                        _ => {}
+                    }
+                }
+                obs
+            })
+        })
+        .collect();
+
+    let mut latencies: Vec<u64> = Vec::new();
+    let mut report = LoadReport {
+        requests: plan.connections * plan.requests_per_connection,
+        ok: 0,
+        shed: 0,
+        failed: 0,
+        cache_hits: 0,
+        cache_misses: 0,
+        wall_ns: 0,
+        p50_ns: 0,
+        p99_ns: 0,
+        byte_identical: true,
+        failures: Vec::new(),
+    };
+    let mut reference: HashMap<Shot, Vec<u8>> = HashMap::new();
+    for thread in threads {
+        let obs = thread.join().expect("load thread");
+        report.ok += obs.ok;
+        report.shed += obs.shed;
+        report.failed += obs.failed;
+        report.cache_hits += obs.cache_hits;
+        report.cache_misses += obs.cache_misses;
+        report.failures.extend(obs.failures);
+        latencies.extend(obs.latencies_ns);
+        for (shot, bodies) in obs.bodies {
+            for body in bodies {
+                let canon = reference.entry(shot.clone()).or_insert_with(|| body.clone());
+                if *canon != body {
+                    report.byte_identical = false;
+                }
+            }
+        }
+    }
+    report.wall_ns = started.elapsed().as_nanos();
+    latencies.sort_unstable();
+    report.p50_ns = quantile(&latencies, 0.50);
+    report.p99_ns = quantile(&latencies, 0.99);
+    report
+}
+
+fn quantile(sorted: &[u64], q: f64) -> u64 {
+    if sorted.is_empty() {
+        return 0;
+    }
+    let idx = ((sorted.len() - 1) as f64 * q).round() as usize;
+    sorted[idx.min(sorted.len() - 1)]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn shots_render_valid_json() {
+        let f = Shot::forward(&["gmail", "taobao"]);
+        assert_eq!(f.body, r#"{"seeds":["gmail","taobao"]}"#);
+        let b = Shot::backward("alipay", 4);
+        assert_eq!(b.body, r#"{"target":"alipay","max_chains":4}"#);
+    }
+
+    #[test]
+    fn quantiles_clamp() {
+        assert_eq!(quantile(&[], 0.5), 0);
+        assert_eq!(quantile(&[7], 0.99), 7);
+        assert_eq!(quantile(&[1, 2, 3, 4], 0.5), 3);
+    }
+}

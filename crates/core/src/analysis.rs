@@ -72,7 +72,23 @@ pub const NAIVE_CROSSOVER: usize = 50;
 /// loop below [`NAIVE_CROSSOVER`] eligible services, the incremental
 /// frontier engine at or above it. The two are result-equivalent
 /// (property-tested); only the work schedule differs.
+#[deprecated(
+    since = "0.2.0",
+    note = "use the query facade: `Analysis::over(specs, platform, ap).forward(seeds).run()`"
+)]
 pub fn forward(
+    specs: &[ServiceSpec],
+    platform: Platform,
+    ap: &AttackerProfile,
+    seeds: &[ServiceId],
+) -> ForwardResult {
+    forward_auto(specs, platform, ap, seeds)
+}
+
+/// The [`crate::query::Engine::Auto`] dispatcher: the naive full-rescan
+/// loop below [`NAIVE_CROSSOVER`] eligible services, the incremental
+/// frontier engine at or above it.
+pub(crate) fn forward_auto(
     specs: &[ServiceSpec],
     platform: Platform,
     ap: &AttackerProfile,
@@ -87,10 +103,10 @@ pub fn forward(
         .count();
     if eligible < NAIVE_CROSSOVER {
         obs::add("analysis.dispatch_naive", 1);
-        forward_naive(specs, platform, ap, seeds)
+        forward_naive_impl(specs, platform, ap, seeds)
     } else {
         obs::add("analysis.dispatch_incremental", 1);
-        crate::engine::forward_incremental(specs, platform, ap, seeds)
+        crate::engine::forward_incremental_impl(specs, platform, ap, seeds, true)
     }
 }
 
@@ -98,7 +114,23 @@ pub fn forward(
 /// standing node against every attack path each round and rebuilds
 /// provider pools per `min_providers` query. Kept for the equivalence
 /// proof and as the baseline in the forward benchmarks.
+#[deprecated(
+    since = "0.2.0",
+    note = "use the query facade: \
+            `Analysis::over(specs, platform, ap).forward(seeds).engine(Engine::Naive).run()`"
+)]
 pub fn forward_naive(
+    specs: &[ServiceSpec],
+    platform: Platform,
+    ap: &AttackerProfile,
+    seeds: &[ServiceId],
+) -> ForwardResult {
+    forward_naive_impl(specs, platform, ap, seeds)
+}
+
+/// The naive full-rescan fixed point behind [`forward_naive`] and
+/// [`crate::query::Engine::Naive`].
+pub(crate) fn forward_naive_impl(
     specs: &[ServiceSpec],
     platform: Platform,
     ap: &AttackerProfile,
@@ -289,6 +321,10 @@ pub(crate) fn canonicalize_chains(
 /// reference the equivalence property tests compare against. Callers
 /// issuing many queries over one graph should build the engine once via
 /// [`crate::backward::BackwardEngine::new`] instead.
+#[deprecated(
+    since = "0.2.0",
+    note = "use the query facade: `Analysis::of(&tdg).backward(target).max_chains(k).run()`"
+)]
 pub fn backward_chains(tdg: &Tdg, target: &ServiceId, max_chains: usize) -> Vec<AttackChain> {
     crate::backward::BackwardEngine::new(tdg).chains(target, max_chains)
 }
@@ -296,18 +332,42 @@ pub fn backward_chains(tdg: &Tdg, target: &ServiceId, max_chains: usize) -> Vec<
 /// Reference implementation of the backward query: breadth-first over
 /// cloned partial chains. Kept for the equivalence proof (see
 /// `backward_props`) and as the baseline in the backward benchmarks.
+#[deprecated(
+    since = "0.2.0",
+    note = "use the query facade: \
+            `Analysis::of(&tdg).backward(target).engine(Engine::Naive).run()`"
+)]
 pub fn backward_chains_naive(tdg: &Tdg, target: &ServiceId, max_chains: usize) -> Vec<AttackChain> {
-    backward_chains_naive_bounded(tdg, target, max_chains).0
+    backward_chains_naive_budget(tdg, target, max_chains, MAX_BACKWARD_PARTIALS).0
 }
 
 /// [`backward_chains_naive`], also reporting whether the enumeration was
 /// exhaustive (`true`) or cut short by [`MAX_BACKWARD_PARTIALS`]
 /// (`false`). The equivalence property tests skip non-exhaustive cases:
 /// where the budget fires is an implementation detail.
+#[deprecated(
+    since = "0.2.0",
+    note = "use the query facade: \
+            `Analysis::of(&tdg).backward(target).engine(Engine::Naive).run_bounded()`"
+)]
 pub fn backward_chains_naive_bounded(
     tdg: &Tdg,
     target: &ServiceId,
     max_chains: usize,
+) -> (Vec<AttackChain>, bool) {
+    backward_chains_naive_budget(tdg, target, max_chains, MAX_BACKWARD_PARTIALS)
+}
+
+/// The naive backward BFS, parametrized on the partial-creation budget
+/// (the facade's `.budget(..)` knob; [`MAX_BACKWARD_PARTIALS`] restores
+/// the historical safety valve). Returns the canonical chain list and
+/// whether the enumeration was exhaustive (`false` when the budget cut
+/// the search short).
+pub(crate) fn backward_chains_naive_budget(
+    tdg: &Tdg,
+    target: &ServiceId,
+    max_chains: usize,
+    partial_budget: usize,
 ) -> (Vec<AttackChain>, bool) {
     let _span = obs::span("backward.naive");
     let explored = obs::counter("backward.naive.partials_explored");
@@ -369,7 +429,7 @@ pub fn backward_chains_naive_bounded(
 
         if tdg.is_fringe(node) {
             // This node needs no support; continue with the remainder.
-            if created >= MAX_BACKWARD_PARTIALS {
+            if created >= partial_budget {
                 pruned_budget.inc();
                 exhaustive = false;
                 continue;
@@ -387,7 +447,7 @@ pub fn backward_chains_naive_bounded(
                 pruned_visited.inc();
                 continue;
             }
-            if created >= MAX_BACKWARD_PARTIALS {
+            if created >= partial_budget {
                 pruned_budget.inc();
                 exhaustive = false;
                 continue;
@@ -406,7 +466,7 @@ pub fn backward_chains_naive_bounded(
                 pruned_visited.inc();
                 continue;
             }
-            if created >= MAX_BACKWARD_PARTIALS {
+            if created >= partial_budget {
                 pruned_budget.inc();
                 exhaustive = false;
                 continue;
@@ -431,6 +491,7 @@ pub fn backward_chains_naive_bounded(
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::query::{Analysis, Engine};
     use actfort_ecosystem::dataset::curated_services;
 
     fn specs() -> Vec<ServiceSpec> {
@@ -439,6 +500,43 @@ mod tests {
 
     fn ap() -> AttackerProfile {
         AttackerProfile::paper_default()
+    }
+
+    // Facade-backed shims under the historical names, so the behaviour
+    // tests below read unchanged while exercising the new entry point.
+    fn forward(
+        specs: &[ServiceSpec],
+        platform: Platform,
+        ap: &AttackerProfile,
+        seeds: &[ServiceId],
+    ) -> ForwardResult {
+        Analysis::over(specs, platform, *ap).forward(seeds).run().unwrap()
+    }
+
+    fn forward_naive(
+        specs: &[ServiceSpec],
+        platform: Platform,
+        ap: &AttackerProfile,
+        seeds: &[ServiceId],
+    ) -> ForwardResult {
+        Analysis::over(specs, platform, *ap).forward(seeds).engine(Engine::Naive).run().unwrap()
+    }
+
+    fn backward_chains(tdg: &Tdg, target: &ServiceId, max_chains: usize) -> Vec<AttackChain> {
+        Analysis::of(tdg).backward(target).max_chains(max_chains).run().unwrap()
+    }
+
+    fn backward_chains_naive(
+        tdg: &Tdg,
+        target: &ServiceId,
+        max_chains: usize,
+    ) -> Vec<AttackChain> {
+        Analysis::of(tdg)
+            .backward(target)
+            .max_chains(max_chains)
+            .engine(Engine::Naive)
+            .run()
+            .unwrap()
     }
 
     #[test]
@@ -565,7 +663,11 @@ mod tests {
             }
             for platform in [Platform::Web, Platform::MobileApp] {
                 let naive = forward_naive(&specs, platform, &ap, &[]);
-                let incremental = crate::engine::forward_incremental(&specs, platform, &ap, &[]);
+                let incremental = Analysis::over(&specs, platform, ap)
+                    .forward(&[])
+                    .engine(Engine::Incremental)
+                    .run()
+                    .unwrap();
                 let auto = forward(&specs, platform, &ap, &[]);
                 assert_eq!(naive, incremental, "n={n} {platform}");
                 assert_eq!(auto, naive, "n={n} {platform} dispatch");
@@ -617,7 +719,10 @@ mod tests {
     fn backward_chain_for_robust_target_is_empty() {
         let g = Tdg::build(&specs(), Platform::Web, ap());
         assert!(backward_chains(&g, &"union-bank".into(), 4).is_empty());
-        assert!(backward_chains(&g, &"nonexistent".into(), 4).is_empty());
+        // The facade rejects unknown targets instead of silently
+        // returning an empty list like the old free function.
+        let err = Analysis::of(&g).backward(&"nonexistent".into()).run().expect_err("unknown");
+        assert!(err.is_client_error());
     }
 
     #[test]

@@ -146,9 +146,24 @@ impl BackwardEngine {
     }
 
     /// The backward query: up to `max_chains` attack chains ending at
-    /// `target`, in [`crate::analysis::backward_chains`]' canonical
-    /// order (fewest steps, fewest accounts, then lexicographic).
+    /// `target`, in the canonical order (fewest steps, fewest accounts,
+    /// then lexicographic).
     pub fn chains(&self, target: &ServiceId, max_chains: usize) -> Vec<AttackChain> {
+        self.chains_bounded(target, max_chains, MAX_BACKWARD_PARTIALS).0
+    }
+
+    /// [`Self::chains`] with an explicit partial budget, also reporting
+    /// whether the search was exhaustive (`true`) or cut short by the
+    /// budget (`false`) — the facade's `.budget(..)` / deadline knob.
+    /// The budget caps both slab creations (memory) and heap pops
+    /// (time); step-depth prunes do not affect exhaustiveness, matching
+    /// the naive reference's semantics.
+    pub fn chains_bounded(
+        &self,
+        target: &ServiceId,
+        max_chains: usize,
+        partial_budget: usize,
+    ) -> (Vec<AttackChain>, bool) {
         let _span = obs::span("backward.chains");
         let explored = obs::counter("backward.partials_explored");
         let memo_hits = obs::counter("backward.memo_hits");
@@ -156,15 +171,15 @@ impl BackwardEngine {
         let pruned_visited = obs::counter("backward.pruned_visited");
 
         let Some(t) = self.ids.iter().position(|id| id == target) else {
-            return Vec::new();
+            return (Vec::new(), true);
         };
         if max_chains == 0 {
-            return Vec::new();
+            return (Vec::new(), true);
         }
         if !self.support[t] {
             // The memo already proves no chain exists.
             memo_hits.inc();
-            return Vec::new();
+            return (Vec::new(), true);
         }
 
         let words = self.ids.len().div_ceil(64);
@@ -192,6 +207,7 @@ impl BackwardEngine {
         // lexicographic tie-break is settled by canonicalize_chains.
         let mut cutoff: Option<(u16, u16)> = None;
         let mut popped = 0usize;
+        let mut exhaustive = true;
 
         while let Some(Reverse((steps, accounts, idx))) = heap.pop() {
             if let Some(c) = cutoff {
@@ -199,8 +215,9 @@ impl BackwardEngine {
                     break;
                 }
             }
-            if popped >= MAX_BACKWARD_PARTIALS {
+            if popped >= partial_budget {
                 pruned_bound.inc();
+                exhaustive = false;
                 break;
             }
             popped += 1;
@@ -250,6 +267,7 @@ impl BackwardEngine {
             let push_child = |arena: &mut Vec<StepNode>,
                                   slab: &mut Vec<Option<Partial>>,
                                   heap: &mut BinaryHeap<Reverse<(u16, u16, u32)>>,
+                                  exhaustive: &mut bool,
                                   group: Group,
                                   providers: &[u32]| {
                 let child_steps = steps + 1;
@@ -259,8 +277,9 @@ impl BackwardEngine {
                 }
                 // Same creation valve as the naive reference: capping
                 // the slab bounds memory, not just iteration count.
-                if slab.len() >= MAX_BACKWARD_PARTIALS {
+                if slab.len() >= partial_budget {
                     pruned_bound.inc();
+                    *exhaustive = false;
                     return;
                 }
                 let child_accounts = accounts + providers.len() as u16;
@@ -289,7 +308,14 @@ impl BackwardEngine {
                     memo_hits.inc();
                     continue;
                 }
-                push_child(&mut arena, &mut slab, &mut heap, Group::Single(parent), &[parent]);
+                push_child(
+                    &mut arena,
+                    &mut slab,
+                    &mut heap,
+                    &mut exhaustive,
+                    Group::Single(parent),
+                    &[parent],
+                );
             }
             // … then via merged couple groups.
             for (k, providers) in self.couples[node as usize].iter().enumerate() {
@@ -302,21 +328,21 @@ impl BackwardEngine {
                     continue;
                 }
                 let group = Group::Couple { node, k: k as u32 };
-                push_child(&mut arena, &mut slab, &mut heap, group, providers);
+                push_child(&mut arena, &mut slab, &mut heap, &mut exhaustive, group, providers);
             }
         }
 
         obs::add("backward.dedup_dropped", duplicates);
         let out = canonicalize_chains(out, max_chains);
         obs::add("backward.chains_found", out.len() as u64);
-        out
+        (out, exhaustive)
     }
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::analysis::backward_chains_naive;
+    use crate::analysis::backward_chains_naive_budget;
     use crate::profile::AttackerProfile;
     use actfort_ecosystem::dataset::curated_services;
     use actfort_ecosystem::policy::Platform;
@@ -335,7 +361,7 @@ mod tests {
                 for max_chains in [1, 3, 8] {
                     assert_eq!(
                         engine.chains(&id, max_chains),
-                        backward_chains_naive(&tdg, &id, max_chains),
+                        backward_chains_naive_budget(&tdg, &id, max_chains, MAX_BACKWARD_PARTIALS).0,
                         "{platform:?}/{id}/max_chains={max_chains}"
                     );
                 }

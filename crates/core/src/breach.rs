@@ -8,7 +8,7 @@
 //! leaked information alone. This ranks services by how dangerous their
 //! breach is to the rest of the ecosystem.
 
-use crate::analysis::forward;
+use crate::analysis::forward_auto;
 use crate::engine::BatchAnalyzer;
 use crate::profile::AttackerProfile;
 use actfort_ecosystem::factor::ServiceId;
@@ -57,7 +57,7 @@ pub fn blast_radii(
         .map(|s| s.id.clone())
         .collect();
     let mut out: Vec<BlastRadius> = BatchAnalyzer::new(threads).run(&seeds, |seed| {
-        let r = forward(specs, platform, ap, std::slice::from_ref(seed));
+        let r = forward_auto(specs, platform, ap, std::slice::from_ref(seed));
         BlastRadius {
             seed: seed.clone(),
             victims: r.potential_victims(),

@@ -377,8 +377,13 @@ impl ProviderIndex {
 }
 
 /// Incremental forward fixed point. Produces results identical to
-/// [`crate::analysis::forward_naive`] (see the equivalence property
-/// tests); only the work schedule differs.
+/// the naive reference (see the equivalence property tests); only the
+/// work schedule differs.
+#[deprecated(
+    since = "0.2.0",
+    note = "use the query facade: \
+            `Analysis::over(specs, platform, ap).forward(seeds).engine(Engine::Incremental).run()`"
+)]
 pub fn forward_incremental(
     specs: &[ServiceSpec],
     platform: Platform,
@@ -388,9 +393,14 @@ pub fn forward_incremental(
     forward_incremental_impl(specs, platform, ap, seeds, true)
 }
 
-/// [`forward_incremental`] with the cross-round `min_providers` memo
+/// The incremental engine with the cross-round `min_providers` memo
 /// disabled — the pre-memo engine, kept for benchmarking the memo's
 /// effect and for the memo-equivalence tests.
+#[deprecated(
+    since = "0.2.0",
+    note = "use the query facade: `Analysis::over(specs, platform, ap).forward(seeds)\
+            .engine(Engine::Incremental).memo(false).run()`"
+)]
 pub fn forward_incremental_unmemoized(
     specs: &[ServiceSpec],
     platform: Platform,
@@ -400,7 +410,7 @@ pub fn forward_incremental_unmemoized(
     forward_incremental_impl(specs, platform, ap, seeds, false)
 }
 
-fn forward_incremental_impl(
+pub(crate) fn forward_incremental_impl(
     specs: &[ServiceSpec],
     platform: Platform,
     ap: &AttackerProfile,
@@ -536,14 +546,15 @@ pub struct BatchAnalyzer {
 }
 
 impl Default for BatchAnalyzer {
-    /// [`Self::available`], unless the `ACTFORT_THREADS` environment
-    /// variable overrides the worker count. Values that fail to parse
-    /// as a positive integer fall back to the parallelism probe.
+    /// [`Self::from_env`], panicking on a malformed `ACTFORT_THREADS`.
+    ///
+    /// A setting like `ACTFORT_THREADS=0` used to fall through silently
+    /// to the parallelism probe, hiding the operator's typo until a
+    /// production box ran with the wrong worker count. `Default` has no
+    /// error channel, so it fails loudly instead; callers that can
+    /// propagate should use [`Self::from_env`] directly.
     fn default() -> Self {
-        match std::env::var("ACTFORT_THREADS").ok().and_then(|v| v.trim().parse::<usize>().ok()) {
-            Some(n) if n >= 1 => Self::new(n),
-            _ => Self::available(),
-        }
+        Self::from_env().unwrap_or_else(|e| panic!("{e}"))
     }
 }
 
@@ -551,6 +562,26 @@ impl BatchAnalyzer {
     /// An analyzer running on up to `threads` workers (minimum 1).
     pub fn new(threads: usize) -> Self {
         Self { threads: threads.max(1) }
+    }
+
+    /// [`Self::available`], unless the `ACTFORT_THREADS` environment
+    /// variable overrides the worker count. Unset (or empty) means the
+    /// parallelism probe; anything set but not a positive integer is
+    /// rejected with [`Error::Config`](crate::Error::Config) — a silent
+    /// fallback would mask operator typos.
+    pub fn from_env() -> Result<Self, crate::Error> {
+        match std::env::var("ACTFORT_THREADS") {
+            Err(_) => Ok(Self::available()),
+            Ok(raw) if raw.trim().is_empty() => Ok(Self::available()),
+            Ok(raw) => match raw.trim().parse::<usize>() {
+                Ok(n) if n >= 1 => Ok(Self::new(n)),
+                _ => Err(crate::Error::config(
+                    "ACTFORT_THREADS",
+                    raw,
+                    "a positive integer worker count (unset it for the parallelism probe)",
+                )),
+            },
+        }
     }
 
     /// An analyzer sized to the machine's available parallelism.
@@ -604,11 +635,20 @@ impl BatchAnalyzer {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::analysis::forward_naive;
+    use crate::analysis::forward_naive_impl;
     use actfort_ecosystem::dataset::curated_services;
 
+    fn forward_incremental(
+        specs: &[ServiceSpec],
+        platform: Platform,
+        ap: &AttackerProfile,
+        seeds: &[ServiceId],
+    ) -> ForwardResult {
+        forward_incremental_impl(specs, platform, ap, seeds, true)
+    }
+
     fn assert_equivalent(specs: &[ServiceSpec], platform: Platform, ap: &AttackerProfile, seeds: &[ServiceId]) {
-        let naive = forward_naive(specs, platform, ap, seeds);
+        let naive = forward_naive_impl(specs, platform, ap, seeds);
         let inc = forward_incremental(specs, platform, ap, seeds);
         assert_eq!(naive.rounds, inc.rounds);
         assert_eq!(naive.records, inc.records);
@@ -639,7 +679,7 @@ mod tests {
             for platform in [Platform::Web, Platform::MobileApp] {
                 let with = forward_incremental(specs, platform, &AttackerProfile::paper_default(), seeds);
                 let without =
-                    forward_incremental_unmemoized(specs, platform, &AttackerProfile::paper_default(), seeds);
+                    forward_incremental_impl(specs, platform, &AttackerProfile::paper_default(), seeds, false);
                 assert_eq!(with.rounds, without.rounds);
                 assert_eq!(with.records, without.records);
                 assert_eq!(with.uncompromised, without.uncompromised);
@@ -671,10 +711,31 @@ mod tests {
         // process-wide test binary; the variable is always restored.
         std::env::set_var("ACTFORT_THREADS", "3");
         assert_eq!(BatchAnalyzer::default().threads(), 3);
-        std::env::set_var("ACTFORT_THREADS", "not-a-number");
-        assert_eq!(BatchAnalyzer::default().threads(), BatchAnalyzer::available().threads());
-        std::env::set_var("ACTFORT_THREADS", "0");
-        assert_eq!(BatchAnalyzer::default().threads(), BatchAnalyzer::available().threads());
+        assert_eq!(BatchAnalyzer::from_env().unwrap().threads(), 3);
+        // Malformed values are rejected loudly, not silently probed
+        // around (the old behaviour masked operator typos).
+        for bad in ["not-a-number", "0", "-2"] {
+            std::env::set_var("ACTFORT_THREADS", bad);
+            let err = BatchAnalyzer::from_env().expect_err(bad);
+            assert_eq!(err.code(), crate::error::CODE_CONFIG, "{bad}");
+            assert!(err.is_client_error(), "{bad}");
+            assert!(err.to_string().contains("ACTFORT_THREADS"), "{bad}: {err}");
+        }
+        // `Default` has no error channel: it must propagate the
+        // rejection as a panic rather than swallow it. (Folded into this
+        // test because env-var tests in one binary must not run in
+        // parallel with each other.)
+        std::env::set_var("ACTFORT_THREADS", "banana");
+        let panic = std::panic::catch_unwind(BatchAnalyzer::default).expect_err("must panic");
+        let msg = panic
+            .downcast_ref::<String>()
+            .cloned()
+            .or_else(|| panic.downcast_ref::<&str>().map(|s| s.to_string()))
+            .unwrap_or_default();
+        assert!(msg.contains("ACTFORT_THREADS"), "panic message names the knob: {msg}");
+        // Unset and blank mean the parallelism probe.
+        std::env::set_var("ACTFORT_THREADS", "  ");
+        assert_eq!(BatchAnalyzer::from_env().unwrap().threads(), BatchAnalyzer::available().threads());
         std::env::remove_var("ACTFORT_THREADS");
         assert_eq!(BatchAnalyzer::default().threads(), BatchAnalyzer::available().threads());
     }

@@ -1,0 +1,253 @@
+//! The unified error type of the ActFort stack.
+//!
+//! Before this module every layer had its own error enum
+//! ([`EcosystemError`], [`AuthError`], [`GsmError`], and the attack
+//! engine's `AttackError` above this crate) and consumers that crossed
+//! layers — the CLI, the query server — had to invent ad-hoc `String`
+//! conversions. [`Error`] is the one type a public core API is allowed
+//! to fail with: every per-crate error converts into it via `From`, and
+//! every *leaf* failure owns a *stable numeric discriminant*
+//! ([`Error::code`]) plus a stable kind string ([`Error::kind`]) that
+//! wire protocols (the `actfort-serve` JSON error body) expose verbatim.
+//!
+//! Discriminant ranges, fixed forever (new codes may be added, existing
+//! ones never renumbered):
+//!
+//! | range | layer |
+//! |-------|-------|
+//! | 10–99 | core itself (configuration, query validation) |
+//! | 2000–2099 | ecosystem simulator |
+//! | 2100–2199 | authentication services |
+//! | 2200–2299 | GSM substrate |
+//! | 2300–2399 | attack engine (via [`Error::Upstream`]) |
+//!
+//! Crates *above* core (the attack engine) cannot appear as a named
+//! variant without a dependency cycle; they funnel through
+//! [`Error::Upstream`], keeping their own code assignments inside the
+//! reserved range. The `From<AttackError>` impl lives in
+//! `actfort-attack` (where the type is local).
+
+use actfort_authsvc::AuthError;
+use actfort_ecosystem::EcosystemError;
+use actfort_gsm::GsmError;
+use std::fmt;
+
+/// Discriminant of a malformed runtime configuration ([`Error::Config`]).
+pub const CODE_CONFIG: u16 = 10;
+/// Discriminant of an invalid query ([`Error::Query`]).
+pub const CODE_QUERY: u16 = 11;
+/// Discriminant of a query naming an unknown service ([`Error::UnknownService`]).
+pub const CODE_UNKNOWN_SERVICE: u16 = 12;
+
+/// The shared error type every public core API fails with.
+///
+/// See the module docs for the discriminant contract. The enum is
+/// `#[non_exhaustive]`: new variants may appear, so wire consumers
+/// should dispatch on [`Error::code`] / [`Error::kind`], not on the
+/// variant itself.
+#[derive(Debug, Clone, PartialEq)]
+#[non_exhaustive]
+pub enum Error {
+    /// A runtime configuration knob (environment variable, CLI flag)
+    /// failed validation.
+    Config {
+        /// The knob, e.g. `ACTFORT_THREADS`.
+        name: String,
+        /// The offending value, verbatim.
+        value: String,
+        /// What a valid value looks like.
+        reason: String,
+    },
+    /// A query was structurally invalid (bad parameter combination,
+    /// malformed body, out-of-range argument).
+    Query(String),
+    /// A query named a service id absent from the analysed snapshot.
+    UnknownService(String),
+    /// An ecosystem-simulator failure.
+    Ecosystem(EcosystemError),
+    /// An authentication-service failure.
+    Auth(AuthError),
+    /// A GSM-substrate failure.
+    Gsm(GsmError),
+    /// A failure raised by a layer *above* core (the attack engine),
+    /// carrying its own stable code from the range reserved for it.
+    Upstream {
+        /// The originating layer, e.g. `"attack"`.
+        layer: &'static str,
+        /// The stable discriminant assigned by that layer.
+        code: u16,
+        /// Rendered message.
+        message: String,
+    },
+}
+
+impl Error {
+    /// Convenience constructor for [`Error::Config`].
+    pub fn config(
+        name: impl Into<String>,
+        value: impl Into<String>,
+        reason: impl Into<String>,
+    ) -> Self {
+        Error::Config { name: name.into(), value: value.into(), reason: reason.into() }
+    }
+
+    /// The stable numeric discriminant of this failure. Wire protocols
+    /// expose this verbatim; values are never renumbered.
+    pub fn code(&self) -> u16 {
+        match self {
+            Error::Config { .. } => CODE_CONFIG,
+            Error::Query(_) => CODE_QUERY,
+            Error::UnknownService(_) => CODE_UNKNOWN_SERVICE,
+            Error::Ecosystem(e) => match e {
+                EcosystemError::UnknownService(_) => 2001,
+                EcosystemError::UnknownPerson(_) => 2002,
+                EcosystemError::UnknownAccount(_) => 2003,
+                EcosystemError::UnknownChallenge(_) => 2004,
+                EcosystemError::NoSuchPath { .. } => 2005,
+                EcosystemError::FactorRejected(_) => 2006,
+                EcosystemError::MissingFactor(_) => 2007,
+                EcosystemError::InvalidSession => 2008,
+                EcosystemError::Auth(_) => 2009,
+                EcosystemError::Gsm(_) => 2010,
+                EcosystemError::Conflict(_) => 2011,
+                // `EcosystemError` is non-exhaustive: future variants get
+                // the range's catch-all until assigned a code here.
+                _ => 2099,
+            },
+            Error::Auth(e) => match e {
+                AuthError::WrongCode => 2101,
+                AuthError::CodeExpired => 2102,
+                AuthError::NoCodeIssued => 2103,
+                AuthError::LockedOut { .. } => 2104,
+                AuthError::RateLimited { .. } => 2105,
+                AuthError::Unknown(_) => 2106,
+                AuthError::BadPassword => 2107,
+                AuthError::OriginMismatch { .. } => 2108,
+                AuthError::PushDenied => 2109,
+                AuthError::Delivery(_) => 2110,
+                _ => 2199,
+            },
+            Error::Gsm(e) => match e {
+                GsmError::InvalidMsisdn(_) => 2201,
+                GsmError::InvalidImsi(_) => 2202,
+                GsmError::PduDecode { .. } => 2203,
+                GsmError::PduEncode(_) => 2204,
+                GsmError::UnknownSubscriber(_) => 2205,
+                GsmError::UnknownCell(_) => 2206,
+                GsmError::NotAttached => 2207,
+                GsmError::SmscReject(_) => 2208,
+                GsmError::BadKey { .. } => 2209,
+                GsmError::SnifferCapacity { .. } => 2210,
+                GsmError::ProtocolViolation(_) => 2211,
+                _ => 2299,
+            },
+            Error::Upstream { code, .. } => *code,
+        }
+    }
+
+    /// The stable kind string of this failure's layer — the coarse
+    /// grouping wire protocols pair with [`Error::code`].
+    pub fn kind(&self) -> &'static str {
+        match self {
+            Error::Config { .. } => "config",
+            Error::Query(_) => "query",
+            Error::UnknownService(_) => "unknown_service",
+            Error::Ecosystem(_) => "ecosystem",
+            Error::Auth(_) => "auth",
+            Error::Gsm(_) => "gsm",
+            Error::Upstream { layer, .. } => layer,
+        }
+    }
+
+    /// Whether the failure is the caller's fault (bad query, bad
+    /// configuration) rather than the system's — the HTTP 4xx/5xx split.
+    pub fn is_client_error(&self) -> bool {
+        matches!(self, Error::Config { .. } | Error::Query(_) | Error::UnknownService(_))
+    }
+}
+
+impl fmt::Display for Error {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Error::Config { name, value, reason } => {
+                write!(f, "invalid {name}={value:?}: {reason}")
+            }
+            Error::Query(s) => write!(f, "invalid query: {s}"),
+            Error::UnknownService(s) => write!(f, "unknown service: {s}"),
+            Error::Ecosystem(e) => write!(f, "ecosystem: {e}"),
+            Error::Auth(e) => write!(f, "auth: {e}"),
+            Error::Gsm(e) => write!(f, "gsm: {e}"),
+            Error::Upstream { layer, message, .. } => write!(f, "{layer}: {message}"),
+        }
+    }
+}
+
+impl std::error::Error for Error {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            Error::Ecosystem(e) => Some(e),
+            Error::Auth(e) => Some(e),
+            Error::Gsm(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<EcosystemError> for Error {
+    fn from(e: EcosystemError) -> Self {
+        Error::Ecosystem(e)
+    }
+}
+
+impl From<AuthError> for Error {
+    fn from(e: AuthError) -> Self {
+        Error::Auth(e)
+    }
+}
+
+impl From<GsmError> for Error {
+    fn from(e: GsmError) -> Self {
+        Error::Gsm(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn error_is_send_sync() {
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<Error>();
+    }
+
+    #[test]
+    fn codes_are_stable_and_range_partitioned() {
+        assert_eq!(Error::config("ACTFORT_THREADS", "zero", "positive integer").code(), 10);
+        assert_eq!(Error::Query("bad".into()).code(), 11);
+        assert_eq!(Error::UnknownService("nope".into()).code(), 12);
+        assert_eq!(Error::from(EcosystemError::InvalidSession).code(), 2008);
+        assert_eq!(Error::from(AuthError::WrongCode).code(), 2101);
+        assert_eq!(Error::from(GsmError::NotAttached).code(), 2207);
+        let up = Error::Upstream { layer: "attack", code: 2301, message: "x".into() };
+        assert_eq!(up.code(), 2301);
+        assert_eq!(up.kind(), "attack");
+    }
+
+    #[test]
+    fn client_errors_are_the_4xx_class() {
+        assert!(Error::Query("q".into()).is_client_error());
+        assert!(Error::config("X", "y", "z").is_client_error());
+        assert!(Error::UnknownService("s".into()).is_client_error());
+        assert!(!Error::from(GsmError::NotAttached).is_client_error());
+    }
+
+    #[test]
+    fn display_and_source_chain() {
+        use std::error::Error as _;
+        let e = Error::from(EcosystemError::Auth(AuthError::WrongCode));
+        assert!(e.to_string().contains("ecosystem"));
+        assert!(e.source().is_some());
+        assert!(Error::Query("q".into()).source().is_none());
+    }
+}

@@ -22,21 +22,29 @@
 //! hierarchical spans and a bounded event journal behind one global
 //! recorder that is free when disabled (DESIGN.md §9).
 //!
+//! Every query goes through the [`query::Analysis`] facade; failures
+//! surface as the unified [`error::Error`] with stable wire
+//! discriminants (the contract `actfort-serve` exposes over HTTP).
+//!
 //! # Example
 //!
 //! ```
 //! use actfort_core::profile::AttackerProfile;
-//! use actfort_core::strategy::StrategyEngine;
+//! use actfort_core::query::Analysis;
 //! use actfort_ecosystem::dataset::curated_services;
 //! use actfort_ecosystem::policy::Platform;
 //!
-//! let engine = StrategyEngine::new(
-//!     curated_services(),
-//!     Platform::MobileApp,
-//!     AttackerProfile::paper_default(),
-//! );
-//! let chain = engine.best_chain(&"alipay".into()).expect("alipay is reachable");
-//! println!("{}", StrategyEngine::render_chain(&chain));
+//! let specs = curated_services();
+//! let ap = AttackerProfile::paper_default();
+//!
+//! // Forward: which accounts fall to the paper's default attacker?
+//! let result = Analysis::over(&specs, Platform::MobileApp, ap).forward(&[]).run().unwrap();
+//! assert!(result.compromised_count() > 0);
+//!
+//! // Backward: the best attack chain reaching Alipay.
+//! let tdg = actfort_core::Tdg::build(&specs, Platform::MobileApp, ap);
+//! let chains = Analysis::of(&tdg).backward(&"alipay".into()).max_chains(1).run().unwrap();
+//! println!("{} steps", chains[0].len());
 //! ```
 
 pub mod analysis;
@@ -45,9 +53,11 @@ pub mod engine;
 pub mod breach;
 pub mod counter;
 pub mod dot;
+pub mod error;
 pub mod metrics;
 pub mod pool;
 pub mod profile;
+pub mod query;
 pub mod report;
 pub mod strategy;
 pub mod tdg;
@@ -58,8 +68,12 @@ pub mod tdg;
 /// report through the same global recorder without a dependency cycle.
 pub use actfort_obs as obs;
 
-pub use analysis::{backward_chains, backward_chains_naive, forward, AttackChain, ForwardResult};
+#[allow(deprecated)]
+pub use analysis::{backward_chains, backward_chains_naive, forward};
+pub use analysis::{AttackChain, ForwardResult};
 pub use backward::BackwardEngine;
+pub use error::Error;
+pub use query::{Analysis, Engine};
 pub use counter::Countermeasure;
 pub use pool::InfoPool;
 pub use profile::AttackerProfile;

@@ -1,7 +1,7 @@
 //! Ecosystem measurement statistics — the numbers behind Fig. 3,
 //! Table I and the in-text dependency-depth table.
 
-use crate::analysis::{forward, ForwardResult};
+use crate::analysis::{forward_auto, ForwardResult};
 use crate::engine::BatchAnalyzer;
 use crate::obs;
 use crate::profile::AttackerProfile;
@@ -146,7 +146,7 @@ pub fn depth_breakdown(
     ap: &AttackerProfile,
 ) -> DepthBreakdown {
     let _span = obs::span("metrics.depth");
-    let result: ForwardResult = forward(specs, platform, ap, &[]);
+    let result: ForwardResult = forward_auto(specs, platform, ap, &[]);
     let total = on_platform(specs, platform).len();
     let mut direct = 0;
     let mut one_layer = 0;
@@ -196,7 +196,7 @@ pub fn depth_breakdown_overlapping(
 ) -> DepthBreakdown {
     use crate::pool::{attack_paths, path_satisfied, InfoPool};
     let _span = obs::span("metrics.depth_overlapping");
-    let result = forward(specs, platform, ap, &[]);
+    let result = forward_auto(specs, platform, ap, &[]);
     let nodes: Vec<&ServiceSpec> = specs
         .iter()
         .filter(|s| match platform {

@@ -1,0 +1,479 @@
+//! The unified query facade — one front door for every analysis.
+//!
+//! Historically each consumer picked one of seven free functions
+//! (`forward`, `forward_naive`, `forward_incremental`,
+//! `forward_incremental_unmemoized`, `backward_chains`,
+//! `backward_chains_naive`, `backward_chains_naive_bounded`), wiring
+//! engine choice, memoization and budgets positionally. [`Analysis`] is
+//! the single builder they all collapse into: pick a *source* (a built
+//! [`Tdg`] or raw specs), a *direction* (forward seeds or a backward
+//! target), then tune knobs and `run()`. Engine selection is explicit
+//! ([`Engine`]) with [`Engine::Auto`] reproducing the historical
+//! population-size dispatch bit for bit — including its `obs` counters,
+//! so golden traces are unchanged.
+//!
+//! ```
+//! use actfort_core::profile::AttackerProfile;
+//! use actfort_core::query::{Analysis, Engine};
+//! use actfort_core::tdg::Tdg;
+//! use actfort_ecosystem::dataset::curated_services;
+//! use actfort_ecosystem::policy::Platform;
+//!
+//! let specs = curated_services();
+//! let ap = AttackerProfile::paper_default();
+//!
+//! // Forward: who falls, starting from the attacker profile alone?
+//! let result = Analysis::over(&specs, Platform::Web, ap).forward(&[]).run().unwrap();
+//! assert!(result.compromised_count() > 0);
+//!
+//! // Backward: how do we reach Alipay? (Graph built once, reusable.)
+//! let tdg = Tdg::build(&specs, Platform::MobileApp, ap);
+//! let chains = Analysis::of(&tdg).backward(&"alipay".into()).max_chains(4).run().unwrap();
+//! assert!(!chains.is_empty());
+//!
+//! // Explicit engine selection replaces the implicit crossover.
+//! let naive = Analysis::over(&specs, Platform::Web, ap)
+//!     .forward(&[])
+//!     .engine(Engine::Naive)
+//!     .run()
+//!     .unwrap();
+//! assert_eq!(naive, result);
+//! ```
+//!
+//! Every `run()` returns `Result<_, `[`Error`]`>`: unknown service ids
+//! and malformed knobs surface as typed client errors instead of being
+//! silently ignored (the old free functions dropped unknown seeds and
+//! returned empty chain lists for unknown targets).
+
+use crate::analysis::{
+    backward_chains_naive_budget, forward_auto, forward_naive_impl, AttackChain, ForwardResult,
+    MAX_BACKWARD_PARTIALS,
+};
+use crate::backward::BackwardEngine;
+use crate::engine::{forward_incremental_impl, BatchAnalyzer};
+use crate::error::Error;
+use crate::obs;
+use crate::profile::AttackerProfile;
+use crate::tdg::Tdg;
+use actfort_ecosystem::factor::ServiceId;
+use actfort_ecosystem::policy::Platform;
+use actfort_ecosystem::spec::ServiceSpec;
+
+/// Which implementation serves a query. The facade makes the historical
+/// implicit dispatch explicit; results are engine-independent (property
+/// tested), only the work schedule differs.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum Engine {
+    /// Population-size dispatch: the naive loop below
+    /// [`crate::analysis::NAIVE_CROSSOVER`] eligible services, the
+    /// incremental / best-first engine at or above it. Identical to the
+    /// historical `forward` / `backward_chains` behaviour, `obs`
+    /// counters included.
+    #[default]
+    Auto,
+    /// The production engine: incremental frontier for forward, the
+    /// best-first arena engine for backward.
+    Incremental,
+    /// The reference implementation: full-rescan fixed point for
+    /// forward, clone-heavy BFS for backward. Kept for equivalence
+    /// proofs and baselines.
+    Naive,
+}
+
+/// Where a query reads its population from.
+enum Source<'a> {
+    /// A built dependency graph (snapshot); backward queries reuse its
+    /// adjacency directly.
+    Graph(&'a Tdg),
+    /// Raw service specs; backward queries build a graph on demand.
+    Raw { specs: &'a [ServiceSpec], platform: Platform, ap: AttackerProfile },
+}
+
+impl Source<'_> {
+    fn specs(&self) -> &[ServiceSpec] {
+        match self {
+            Source::Graph(tdg) => tdg.specs(),
+            Source::Raw { specs, .. } => specs,
+        }
+    }
+
+    fn platform(&self) -> Platform {
+        match self {
+            Source::Graph(tdg) => tdg.platform(),
+            Source::Raw { platform, .. } => *platform,
+        }
+    }
+
+    fn profile(&self) -> AttackerProfile {
+        match self {
+            Source::Graph(tdg) => tdg.attacker_profile(),
+            Source::Raw { ap, .. } => *ap,
+        }
+    }
+
+    /// Whether `id` names any service in the population (on any
+    /// platform — platform eligibility is the engines' concern).
+    fn knows(&self, id: &ServiceId) -> bool {
+        self.specs().iter().any(|s| &s.id == id)
+    }
+}
+
+/// The facade entry point: pick a source, then a direction.
+///
+/// See the [module docs](self) for the full tour.
+pub struct Analysis<'a> {
+    source: Source<'a>,
+}
+
+impl<'a> Analysis<'a> {
+    /// Analyse a built dependency graph. Backward queries reuse its
+    /// adjacency; forward queries run over its spec set, platform and
+    /// attacker profile.
+    pub fn of(tdg: &'a Tdg) -> Self {
+        Self { source: Source::Graph(tdg) }
+    }
+
+    /// Analyse raw service specs under `platform` and `ap` without
+    /// building a graph up front (backward queries build one on
+    /// demand).
+    pub fn over(specs: &'a [ServiceSpec], platform: Platform, ap: AttackerProfile) -> Self {
+        Self { source: Source::Raw { specs, platform, ap } }
+    }
+
+    /// A forward (OAAS → PAV) query seeded with `seeds` (empty means
+    /// the attacker profile alone drives round one — the paper's
+    /// standard setting).
+    pub fn forward(self, seeds: &'a [ServiceId]) -> ForwardQuery<'a> {
+        ForwardQuery {
+            source: self.source,
+            seeds,
+            engine: Engine::Auto,
+            memo: true,
+            threads: None,
+            trace: None,
+        }
+    }
+
+    /// A backward query for attack chains ending at `target`.
+    pub fn backward(self, target: &'a ServiceId) -> BackwardQuery<'a> {
+        BackwardQuery {
+            source: self.source,
+            target,
+            max_chains: 8,
+            budget: None,
+            engine: Engine::Auto,
+            via: None,
+            trace: None,
+        }
+    }
+}
+
+/// A configured forward query. Build with [`Analysis::forward`].
+pub struct ForwardQuery<'a> {
+    source: Source<'a>,
+    seeds: &'a [ServiceId],
+    engine: Engine,
+    memo: bool,
+    threads: Option<usize>,
+    trace: Option<&'static str>,
+}
+
+impl<'a> ForwardQuery<'a> {
+    /// Selects the implementation (default [`Engine::Auto`]).
+    pub fn engine(mut self, engine: Engine) -> Self {
+        self.engine = engine;
+        self
+    }
+
+    /// Toggles the incremental engine's cross-round `min_providers`
+    /// memo (default on; ignored by the naive engine, which has none).
+    pub fn memo(mut self, enabled: bool) -> Self {
+        self.memo = enabled;
+        self
+    }
+
+    /// Worker count for [`Self::run_each`] (default: the
+    /// `ACTFORT_THREADS` override or the parallelism probe, via
+    /// [`BatchAnalyzer::from_env`]).
+    pub fn threads(mut self, threads: usize) -> Self {
+        self.threads = Some(threads);
+        self
+    }
+
+    /// Wraps the run in an `obs` span named `label`, so it appears as
+    /// its own subtree in trace snapshots. (Span names are `'static`,
+    /// matching the `obs` recorder's interning contract.)
+    pub fn trace(mut self, label: &'static str) -> Self {
+        self.trace = Some(label);
+        self
+    }
+
+    fn validate(&self) -> Result<(), Error> {
+        if let Some(seed) = self.seeds.iter().find(|s| !self.source.knows(s)) {
+            return Err(Error::UnknownService(seed.to_string()));
+        }
+        Ok(())
+    }
+
+    fn dispatch(&self, seeds: &[ServiceId]) -> ForwardResult {
+        let (specs, platform) = (self.source.specs(), self.source.platform());
+        let ap = self.source.profile();
+        match self.engine {
+            Engine::Auto => forward_auto(specs, platform, &ap, seeds),
+            Engine::Naive => forward_naive_impl(specs, platform, &ap, seeds),
+            Engine::Incremental => {
+                forward_incremental_impl(specs, platform, &ap, seeds, self.memo)
+            }
+        }
+    }
+
+    /// Runs the query. Fails with [`Error::UnknownService`] if a seed
+    /// names a service absent from the population (the old free
+    /// functions silently ignored such seeds).
+    pub fn run(&self) -> Result<ForwardResult, Error> {
+        self.validate()?;
+        let _span = self.trace.map(obs::span);
+        Ok(self.dispatch(self.seeds))
+    }
+
+    /// Runs one analysis per seed set, sharded across the
+    /// [`BatchAnalyzer`] thread pool, results in input order. The seeds
+    /// given at [`Analysis::forward`] are prepended to every set.
+    pub fn run_each(&self, seed_sets: &[Vec<ServiceId>]) -> Result<Vec<ForwardResult>, Error> {
+        self.validate()?;
+        for set in seed_sets {
+            if let Some(seed) = set.iter().find(|s| !self.source.knows(s)) {
+                return Err(Error::UnknownService(seed.to_string()));
+            }
+        }
+        let analyzer = match self.threads {
+            Some(n) => BatchAnalyzer::new(n),
+            None => BatchAnalyzer::from_env()?,
+        };
+        let _span = self.trace.map(obs::span);
+        Ok(analyzer.run(seed_sets, |set| {
+            if self.seeds.is_empty() {
+                self.dispatch(set)
+            } else {
+                let mut all = self.seeds.to_vec();
+                all.extend(set.iter().cloned());
+                self.dispatch(&all)
+            }
+        }))
+    }
+}
+
+/// A configured backward query. Build with [`Analysis::backward`].
+pub struct BackwardQuery<'a> {
+    source: Source<'a>,
+    target: &'a ServiceId,
+    max_chains: usize,
+    budget: Option<usize>,
+    engine: Engine,
+    via: Option<&'a BackwardEngine>,
+    trace: Option<&'static str>,
+}
+
+impl<'a> BackwardQuery<'a> {
+    /// Maximum number of chains to return (default 8; 0 is allowed and
+    /// returns none).
+    pub fn max_chains(mut self, max_chains: usize) -> Self {
+        self.max_chains = max_chains;
+        self
+    }
+
+    /// Partial-state budget bounding the search's time and memory
+    /// (default [`MAX_BACKWARD_PARTIALS`]). When it fires,
+    /// [`Self::run_bounded`] reports the result as non-exhaustive —
+    /// this is the knob deadlines map onto.
+    pub fn budget(mut self, budget: usize) -> Self {
+        self.budget = Some(budget);
+        self
+    }
+
+    /// Selects the implementation (default [`Engine::Auto`], which for
+    /// backward queries is the best-first engine).
+    pub fn engine(mut self, engine: Engine) -> Self {
+        self.engine = engine;
+        self
+    }
+
+    /// Serves the query through a prebuilt [`BackwardEngine`] instead
+    /// of constructing one, amortizing graph flattening and the
+    /// fringe-support memo across queries. Implies
+    /// [`Engine::Incremental`].
+    pub fn via(mut self, engine: &'a BackwardEngine) -> Self {
+        self.via = Some(engine);
+        self
+    }
+
+    /// Wraps the run in an `obs` span named `label`.
+    pub fn trace(mut self, label: &'static str) -> Self {
+        self.trace = Some(label);
+        self
+    }
+
+    /// Runs the query, returning up to `max_chains` chains in canonical
+    /// order. Fails with [`Error::UnknownService`] for a target absent
+    /// from the population and [`Error::Query`] for a zero budget.
+    pub fn run(&self) -> Result<Vec<AttackChain>, Error> {
+        self.run_bounded().map(|(chains, _)| chains)
+    }
+
+    /// [`Self::run`], also reporting whether the search was exhaustive
+    /// (`false` means the partial budget cut it short and more chains
+    /// may exist).
+    pub fn run_bounded(&self) -> Result<(Vec<AttackChain>, bool), Error> {
+        if !self.source.knows(self.target) {
+            return Err(Error::UnknownService(self.target.to_string()));
+        }
+        if self.budget == Some(0) {
+            return Err(Error::Query("backward budget must be positive".into()));
+        }
+        let budget = self.budget.unwrap_or(MAX_BACKWARD_PARTIALS);
+        let _span = self.trace.map(obs::span);
+        if let Some(engine) = self.via {
+            return Ok(engine.chains_bounded(self.target, self.max_chains, budget));
+        }
+        match self.engine {
+            Engine::Naive => {
+                let owned;
+                let tdg = match &self.source {
+                    Source::Graph(tdg) => *tdg,
+                    Source::Raw { specs, platform, ap } => {
+                        owned = Tdg::build(specs, *platform, *ap);
+                        &owned
+                    }
+                };
+                Ok(backward_chains_naive_budget(tdg, self.target, self.max_chains, budget))
+            }
+            Engine::Auto | Engine::Incremental => {
+                let engine = match &self.source {
+                    Source::Graph(tdg) => BackwardEngine::new(tdg),
+                    Source::Raw { specs, platform, ap } => {
+                        BackwardEngine::new(&Tdg::build(specs, *platform, *ap))
+                    }
+                };
+                Ok(engine.chains_bounded(self.target, self.max_chains, budget))
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use actfort_ecosystem::dataset::curated_services;
+
+    fn ap() -> AttackerProfile {
+        AttackerProfile::paper_default()
+    }
+
+    #[test]
+    fn forward_rejects_unknown_seed() {
+        let specs = curated_services();
+        let err = Analysis::over(&specs, Platform::Web, ap())
+            .forward(&["not-a-service".into()])
+            .run()
+            .expect_err("unknown seed");
+        assert_eq!(err, Error::UnknownService("not-a-service".into()));
+        assert!(err.is_client_error());
+    }
+
+    #[test]
+    fn backward_rejects_unknown_target_and_zero_budget() {
+        let specs = curated_services();
+        let tdg = Tdg::build(&specs, Platform::Web, ap());
+        let err = Analysis::of(&tdg).backward(&"ghost".into()).run().expect_err("unknown target");
+        assert_eq!(err, Error::UnknownService("ghost".into()));
+        let err = Analysis::of(&tdg)
+            .backward(&"paypal".into())
+            .budget(0)
+            .run()
+            .expect_err("zero budget");
+        assert_eq!(err.code(), crate::error::CODE_QUERY);
+    }
+
+    #[test]
+    fn engines_agree_through_the_facade() {
+        let specs = curated_services();
+        for platform in [Platform::Web, Platform::MobileApp] {
+            let base = Analysis::over(&specs, platform, ap()).forward(&[]).run().unwrap();
+            for engine in [Engine::Auto, Engine::Incremental, Engine::Naive] {
+                let got = Analysis::over(&specs, platform, ap())
+                    .forward(&[])
+                    .engine(engine)
+                    .run()
+                    .unwrap();
+                assert_eq!(got, base, "{platform} {engine:?}");
+            }
+            let unmemoized = Analysis::over(&specs, platform, ap())
+                .forward(&[])
+                .engine(Engine::Incremental)
+                .memo(false)
+                .run()
+                .unwrap();
+            assert_eq!(unmemoized, base, "{platform} memo off");
+        }
+    }
+
+    #[test]
+    fn backward_engines_agree_and_via_reuses() {
+        let specs = curated_services();
+        let tdg = Tdg::build(&specs, Platform::MobileApp, ap());
+        let engine = BackwardEngine::new(&tdg);
+        let target: ServiceId = "alipay".into();
+        let best = Analysis::of(&tdg).backward(&target).max_chains(6).run().unwrap();
+        assert!(!best.is_empty());
+        let naive = Analysis::of(&tdg)
+            .backward(&target)
+            .max_chains(6)
+            .engine(Engine::Naive)
+            .run()
+            .unwrap();
+        assert_eq!(best, naive);
+        let via = Analysis::of(&tdg).backward(&target).max_chains(6).via(&engine).run().unwrap();
+        assert_eq!(best, via);
+        // Raw source builds the graph on demand and still agrees.
+        let raw = Analysis::over(&specs, Platform::MobileApp, ap())
+            .backward(&target)
+            .max_chains(6)
+            .run()
+            .unwrap();
+        assert_eq!(best, raw);
+    }
+
+    #[test]
+    fn tiny_budget_reports_non_exhaustive() {
+        let specs = curated_services();
+        let tdg = Tdg::build(&specs, Platform::Web, ap());
+        let (chains, exhaustive) =
+            Analysis::of(&tdg).backward(&"paypal".into()).budget(2).run_bounded().unwrap();
+        assert!(!exhaustive, "budget 2 cannot finish paypal's search");
+        // The default budget finishes and finds strictly more.
+        let (full, exhaustive) =
+            Analysis::of(&tdg).backward(&"paypal".into()).run_bounded().unwrap();
+        assert!(exhaustive);
+        assert!(full.len() >= chains.len());
+    }
+
+    #[test]
+    fn run_each_matches_individual_runs() {
+        let specs = curated_services();
+        let sets: Vec<Vec<ServiceId>> =
+            vec![vec![], vec!["gmail".into()], vec!["taobao".into(), "gmail".into()]];
+        let query = Analysis::over(&specs, Platform::Web, ap()).forward(&[]);
+        let batch = query.threads(2).run_each(&sets).unwrap();
+        assert_eq!(batch.len(), sets.len());
+        for (set, got) in sets.iter().zip(&batch) {
+            let solo = Analysis::over(&specs, Platform::Web, ap()).forward(set).run().unwrap();
+            assert_eq!(*got, solo);
+        }
+        // Unknown ids inside a set are rejected up front.
+        let err = Analysis::over(&specs, Platform::Web, ap())
+            .forward(&[])
+            .run_each(&[vec!["ghost".into()]])
+            .expect_err("unknown seed in set");
+        assert!(err.is_client_error());
+    }
+}

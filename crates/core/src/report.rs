@@ -2,7 +2,8 @@
 //! operator: how their account can fall, through whom, and which of the
 //! paper's countermeasures would help.
 
-use crate::analysis::{backward_chains, forward};
+use crate::analysis::forward_auto;
+use crate::backward::BackwardEngine;
 use crate::pool::attack_paths;
 use crate::profile::AttackerProfile;
 use crate::strategy::StrategyEngine;
@@ -62,7 +63,8 @@ pub struct RiskAssessment {
 /// Assesses every service on `platform`.
 pub fn assess(specs: &[ServiceSpec], platform: Platform, ap: &AttackerProfile) -> Vec<RiskAssessment> {
     let tdg = Tdg::build(specs, platform, *ap);
-    let fwd = forward(specs, platform, ap, &[]);
+    let backward = BackwardEngine::new(&tdg);
+    let fwd = forward_auto(specs, platform, ap, &[]);
     let mut out = Vec::with_capacity(tdg.node_count());
     for i in 0..tdg.node_count() {
         let spec = tdg.spec(i);
@@ -73,7 +75,8 @@ pub fn assess(specs: &[ServiceSpec], platform: Platform, ap: &AttackerProfile) -
             Some(_) => RiskLevel::Elevated,
             None => RiskLevel::Robust,
         };
-        let example_chain = backward_chains(&tdg, &spec.id, 1)
+        let example_chain = backward
+            .chains(&spec.id, 1)
             .into_iter()
             .next()
             .map(|c| StrategyEngine::render_chain(&c));

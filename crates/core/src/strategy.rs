@@ -1,6 +1,6 @@
 //! The strategy engine — §III-E's two queries behind one API.
 
-use crate::analysis::{forward, AttackChain, ForwardResult};
+use crate::analysis::{forward_auto, AttackChain, ForwardResult};
 use crate::backward::BackwardEngine;
 use crate::profile::AttackerProfile;
 use crate::tdg::Tdg;
@@ -41,7 +41,7 @@ impl StrategyEngine {
     /// Query 1 — forward: given already-compromised accounts (OAAS),
     /// return everything that falls (PAV).
     pub fn potential_victims(&self, seeds: &[ServiceId]) -> ForwardResult {
-        forward(&self.specs, self.platform, &self.ap, seeds)
+        forward_auto(&self.specs, self.platform, &self.ap, seeds)
     }
 
     /// Query 2 — backward: attack chains reaching `target` from

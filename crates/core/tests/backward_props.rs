@@ -13,14 +13,20 @@
 //! 4. no chain visits the same service twice;
 //! 5. every chain ends at the requested target.
 
-use actfort_core::analysis::{backward_chains, backward_chains_naive_bounded};
+use actfort_core::analysis::AttackChain;
 use actfort_core::backward::BackwardEngine;
 use actfort_core::profile::AttackerProfile;
+use actfort_core::query::{Analysis, Engine};
 use actfort_core::tdg::Tdg;
+use actfort_ecosystem::factor::ServiceId;
 use actfort_ecosystem::policy::Platform;
 use actfort_ecosystem::synth::{generate, SynthConfig};
 use proptest::prelude::*;
 use std::collections::BTreeSet;
+
+fn backward_chains(tdg: &Tdg, target: &ServiceId, max_chains: usize) -> Vec<AttackChain> {
+    Analysis::of(tdg).backward(target).max_chains(max_chains).run().expect("valid query")
+}
 
 proptest! {
     #[test]
@@ -42,6 +48,7 @@ proptest! {
         for t in (0..nodes).step_by(step) {
             let target_id = tdg.spec(t).id.clone();
             let chains = backward_chains(&tdg, &target_id, max_chains);
+
             prop_assert!(chains.len() <= max_chains, "returned {} > max_chains {max_chains}", chains.len());
 
             for chain in &chains {
@@ -111,7 +118,12 @@ proptest! {
         let step = (nodes / 5).max(1);
         for t in (0..nodes).step_by(step) {
             let target_id = tdg.spec(t).id.clone();
-            let (naive, exhaustive) = backward_chains_naive_bounded(&tdg, &target_id, max_chains);
+            let (naive, exhaustive) = Analysis::of(&tdg)
+                .backward(&target_id)
+                .max_chains(max_chains)
+                .engine(Engine::Naive)
+                .run_bounded()
+                .expect("valid query");
             prop_assume!(exhaustive);
             let fast = engine.chains(&target_id, max_chains);
             prop_assert_eq!(

@@ -1,0 +1,123 @@
+//! One equivalence test per deprecated free function: each thin wrapper
+//! must return exactly what the [`Analysis`] facade returns for the
+//! same query, so downstream code can migrate mechanically. These are
+//! the only sanctioned call sites of the deprecated API.
+#![allow(deprecated)]
+
+use actfort_core::analysis::{
+    backward_chains, backward_chains_naive, backward_chains_naive_bounded, forward, forward_naive,
+};
+use actfort_core::engine::{forward_incremental, forward_incremental_unmemoized};
+use actfort_core::profile::AttackerProfile;
+use actfort_core::query::{Analysis, Engine};
+use actfort_core::Tdg;
+use actfort_ecosystem::dataset::curated_services;
+use actfort_ecosystem::factor::ServiceId;
+use actfort_ecosystem::policy::Platform;
+use actfort_ecosystem::spec::ServiceSpec;
+use actfort_ecosystem::synth::{generate, SynthConfig};
+
+/// Curated cores plus synthetic tail: big enough (> NAIVE_CROSSOVER) to
+/// exercise the incremental side of the Auto dispatch too.
+fn population() -> Vec<ServiceSpec> {
+    let mut specs = curated_services();
+    specs.extend(generate(30, 11, &SynthConfig::default()));
+    specs
+}
+
+fn ap() -> AttackerProfile {
+    AttackerProfile::paper_default()
+}
+
+#[test]
+fn forward_wrapper_equals_facade() {
+    let specs = population();
+    for seeds in [vec![], vec![ServiceId::new("gmail")]] {
+        let old = forward(&specs, Platform::Web, &ap(), &seeds);
+        let new = Analysis::over(&specs, Platform::Web, ap()).forward(&seeds).run().unwrap();
+        assert_eq!(old, new);
+    }
+}
+
+#[test]
+fn forward_naive_wrapper_equals_facade() {
+    let specs = population();
+    let old = forward_naive(&specs, Platform::MobileApp, &ap(), &[]);
+    let new = Analysis::over(&specs, Platform::MobileApp, ap())
+        .forward(&[])
+        .engine(Engine::Naive)
+        .run()
+        .unwrap();
+    assert_eq!(old, new);
+}
+
+#[test]
+fn forward_incremental_wrapper_equals_facade() {
+    let specs = population();
+    let old = forward_incremental(&specs, Platform::Web, &ap(), &[]);
+    let new = Analysis::over(&specs, Platform::Web, ap())
+        .forward(&[])
+        .engine(Engine::Incremental)
+        .run()
+        .unwrap();
+    assert_eq!(old, new);
+}
+
+#[test]
+fn forward_incremental_unmemoized_wrapper_equals_facade() {
+    let specs = population();
+    let old = forward_incremental_unmemoized(&specs, Platform::Web, &ap(), &[]);
+    let new = Analysis::over(&specs, Platform::Web, ap())
+        .forward(&[])
+        .engine(Engine::Incremental)
+        .memo(false)
+        .run()
+        .unwrap();
+    assert_eq!(old, new);
+}
+
+#[test]
+fn backward_chains_wrapper_equals_facade() {
+    let specs = population();
+    let tdg = Tdg::build(&specs, Platform::Web, ap());
+    for target in ["paypal", "alipay", "dropbox"] {
+        let target = ServiceId::new(target);
+        let old = backward_chains(&tdg, &target, 6);
+        let new = Analysis::of(&tdg).backward(&target).max_chains(6).run().unwrap();
+        assert_eq!(old, new, "{target}");
+    }
+}
+
+#[test]
+fn backward_chains_naive_wrapper_equals_facade() {
+    let specs = curated_services();
+    let tdg = Tdg::build(&specs, Platform::MobileApp, ap());
+    for target in ["alipay", "taobao"] {
+        let target = ServiceId::new(target);
+        let old = backward_chains_naive(&tdg, &target, 5);
+        let new = Analysis::of(&tdg)
+            .backward(&target)
+            .max_chains(5)
+            .engine(Engine::Naive)
+            .run()
+            .unwrap();
+        assert_eq!(old, new, "{target}");
+    }
+}
+
+#[test]
+fn backward_chains_naive_bounded_wrapper_equals_facade() {
+    let specs = curated_services();
+    let tdg = Tdg::build(&specs, Platform::Web, ap());
+    let target = ServiceId::new("paypal");
+    let (old_chains, old_exhaustive) = backward_chains_naive_bounded(&tdg, &target, 8);
+    let (new_chains, new_exhaustive) = Analysis::of(&tdg)
+        .backward(&target)
+        .max_chains(8)
+        .engine(Engine::Naive)
+        .run_bounded()
+        .unwrap();
+    assert_eq!(old_chains, new_chains);
+    assert_eq!(old_exhaustive, new_exhaustive);
+    assert!(old_exhaustive, "curated population finishes within the default budget");
+}

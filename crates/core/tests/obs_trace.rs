@@ -7,7 +7,8 @@
 //! own test binary and serialize through [`obs_lock`].
 
 use actfort_core::profile::AttackerProfile;
-use actfort_core::{forward, obs, ForwardResult};
+use actfort_core::query::Analysis;
+use actfort_core::{obs, ForwardResult};
 use actfort_ecosystem::policy::Platform;
 use actfort_ecosystem::synth::paper_population;
 use std::sync::{Mutex, MutexGuard};
@@ -25,7 +26,10 @@ fn traced_sweep() -> (ForwardResult, obs::ObsSnapshot) {
     let specs = paper_population(SEED);
     obs::reset();
     obs::set_enabled(true);
-    let result = forward(&specs, Platform::Web, &AttackerProfile::paper_default(), &[]);
+    let result = Analysis::over(&specs, Platform::Web, AttackerProfile::paper_default())
+        .forward(&[])
+        .run()
+        .expect("valid query");
     obs::set_enabled(false);
     let snap = obs::snapshot();
     obs::reset();

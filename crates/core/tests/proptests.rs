@@ -2,11 +2,13 @@
 //! fixed-point behaviour and chain soundness over randomly generated
 //! ecosystems.
 
-use actfort_core::analysis::{backward_chains, forward, forward_naive};
+use actfort_core::analysis::{AttackChain, ForwardResult};
 use actfort_core::counter::{apply, Countermeasure};
 use actfort_core::pool::{attack_paths, path_satisfied, InfoPool};
 use actfort_core::profile::AttackerProfile;
+use actfort_core::query::{Analysis, Engine};
 use actfort_core::Tdg;
+use actfort_ecosystem::factor::ServiceId;
 use actfort_ecosystem::policy::Platform;
 use actfort_ecosystem::spec::ServiceSpec;
 use actfort_ecosystem::synth::{generate, SynthConfig};
@@ -18,6 +20,32 @@ fn population(seed: u64, n: usize) -> Vec<ServiceSpec> {
     specs.truncate(12);
     specs.extend(generate(n, seed, &SynthConfig::default()));
     specs
+}
+
+fn forward(
+    specs: &[ServiceSpec],
+    platform: Platform,
+    ap: &AttackerProfile,
+    seeds: &[ServiceId],
+) -> ForwardResult {
+    Analysis::over(specs, platform, *ap).forward(seeds).run().expect("valid query")
+}
+
+fn forward_naive(
+    specs: &[ServiceSpec],
+    platform: Platform,
+    ap: &AttackerProfile,
+    seeds: &[ServiceId],
+) -> ForwardResult {
+    Analysis::over(specs, platform, *ap)
+        .forward(seeds)
+        .engine(Engine::Naive)
+        .run()
+        .expect("valid query")
+}
+
+fn backward_chains(tdg: &Tdg, target: &ServiceId, max_chains: usize) -> Vec<AttackChain> {
+    Analysis::of(tdg).backward(target).max_chains(max_chains).run().expect("valid query")
 }
 
 proptest! {

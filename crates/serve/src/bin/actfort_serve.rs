@@ -1,0 +1,71 @@
+//! The `actfort_serve` binary: stands up the query service and blocks
+//! until a `POST /admin/shutdown` drains it.
+//!
+//! ```sh
+//! cargo run -p actfort-serve --bin actfort_serve -- \
+//!     --addr 127.0.0.1:8080 --dataset paper:2021 --platform web --threads 4
+//! ```
+
+use actfort_serve::{Dataset, ServerConfig};
+use actfort_ecosystem::policy::Platform;
+
+fn usage() -> ! {
+    eprintln!(
+        "usage: actfort_serve [--addr HOST:PORT] [--dataset curated|paper:<seed>]\n\
+         \x20                    [--platform web|mobile] [--threads N] [--queue N]"
+    );
+    std::process::exit(2);
+}
+
+fn main() {
+    let mut config = ServerConfig::default();
+    let mut args = std::env::args().skip(1);
+    while let Some(flag) = args.next() {
+        let mut value = || args.next().unwrap_or_else(|| usage());
+        match flag.as_str() {
+            "--addr" => config.addr = value(),
+            "--dataset" => {
+                config.dataset = Dataset::parse(&value()).unwrap_or_else(|e| {
+                    eprintln!("{e}");
+                    std::process::exit(2);
+                });
+            }
+            "--platform" => {
+                config.platform = match value().as_str() {
+                    "web" => Platform::Web,
+                    "mobile" => Platform::MobileApp,
+                    other => {
+                        eprintln!("unknown platform {other:?} (expected web|mobile)");
+                        std::process::exit(2);
+                    }
+                };
+            }
+            "--threads" => config.threads = Some(parse_count(&value())),
+            "--queue" => config.queue_capacity = Some(parse_count(&value())),
+            _ => usage(),
+        }
+    }
+
+    // The service is observable by default: /metrics serves the live
+    // obs snapshot.
+    actfort_core::obs::set_enabled(true);
+
+    let handle = actfort_serve::start(config).unwrap_or_else(|e| {
+        eprintln!("actfort_serve: {e}");
+        std::process::exit(1);
+    });
+    println!("actfort_serve listening on http://{}", handle.addr());
+    println!("POST /admin/shutdown to drain and exit");
+    handle.join();
+    println!("actfort_serve: drained");
+}
+
+fn parse_count(raw: &str) -> usize {
+    match raw.parse::<usize>() {
+        Ok(n) if n >= 1 => n,
+        _ => {
+            eprintln!("expected a positive integer, got {raw:?}");
+            std::process::exit(2);
+        }
+    }
+}

@@ -1,0 +1,139 @@
+//! Forward-result response cache.
+//!
+//! Values are fully rendered JSON bodies (`Arc<Vec<u8>>`), so a hit
+//! serves the *exact bytes* a miss rendered — byte-identity between the
+//! two paths is structural, not a property the renderer must re-earn.
+//! Keys embed the snapshot generation: a hot-swap implicitly invalidates
+//! every cached entry without touching the map (stale generations age
+//! out through the FIFO bound).
+
+use crate::obs_names;
+use actfort_core::obs;
+use actfort_ecosystem::factor::ServiceId;
+use std::collections::hash_map::Entry;
+use std::collections::{HashMap, VecDeque};
+use std::sync::{Arc, Mutex};
+
+/// Cache key: one forward query, fully canonicalized.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub struct CacheKey {
+    /// Snapshot generation the query ran against.
+    pub generation: u64,
+    /// Engine selector as its wire spelling (`"auto"`, …).
+    pub engine: &'static str,
+    /// Whether the incremental memo was enabled.
+    pub memo: bool,
+    /// Sorted, deduplicated seed ids joined by `\n`.
+    pub seeds: String,
+}
+
+impl CacheKey {
+    /// Builds a key from a raw seed list: seeds are sorted and
+    /// deduplicated, so every spelling of the same compromised set maps
+    /// to one entry.
+    pub fn new(generation: u64, engine: &'static str, memo: bool, seeds: &[ServiceId]) -> Self {
+        let mut ids: Vec<&str> = seeds.iter().map(|s| s.as_str()).collect();
+        ids.sort_unstable();
+        ids.dedup();
+        Self { generation, engine, memo, seeds: ids.join("\n") }
+    }
+}
+
+/// Bounded FIFO map from canonical forward queries to rendered bodies.
+pub struct ResponseCache {
+    inner: Mutex<CacheInner>,
+    capacity: usize,
+}
+
+struct CacheInner {
+    map: HashMap<CacheKey, Arc<Vec<u8>>>,
+    order: VecDeque<CacheKey>,
+}
+
+impl ResponseCache {
+    /// A cache holding at most `capacity` rendered bodies (minimum 1).
+    pub fn new(capacity: usize) -> Self {
+        Self {
+            inner: Mutex::new(CacheInner { map: HashMap::new(), order: VecDeque::new() }),
+            capacity: capacity.max(1),
+        }
+    }
+
+    /// Looks `key` up, recording an `obs` hit or miss either way.
+    pub fn get(&self, key: &CacheKey) -> Option<Arc<Vec<u8>>> {
+        let inner = self.inner.lock().expect("cache lock poisoned");
+        let found = inner.map.get(key).cloned();
+        match found {
+            Some(body) => {
+                obs::add(obs_names::CACHE_HITS, 1);
+                Some(body)
+            }
+            None => {
+                obs::add(obs_names::CACHE_MISSES, 1);
+                None
+            }
+        }
+    }
+
+    /// Inserts a rendered body, evicting the oldest entry when full.
+    /// Returns the cached body — the already-present one if another
+    /// worker raced this insert, so concurrent misses of the same query
+    /// still hand every caller identical bytes.
+    pub fn insert(&self, key: CacheKey, body: Arc<Vec<u8>>) -> Arc<Vec<u8>> {
+        let mut inner = self.inner.lock().expect("cache lock poisoned");
+        if inner.map.len() >= self.capacity && !inner.map.contains_key(&key) {
+            if let Some(oldest) = inner.order.pop_front() {
+                inner.map.remove(&oldest);
+            }
+        }
+        let cached = match inner.map.entry(key.clone()) {
+            Entry::Occupied(e) => Arc::clone(e.get()),
+            Entry::Vacant(e) => {
+                let cached = Arc::clone(e.insert(body));
+                inner.order.push_back(key);
+                cached
+            }
+        };
+        obs::observe(obs_names::CACHE_SIZE, inner.map.len() as u64);
+        cached
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn key(generation: u64, seeds: &[&str]) -> CacheKey {
+        let ids: Vec<ServiceId> = seeds.iter().map(|s| ServiceId::new(s)).collect();
+        CacheKey::new(generation, "auto", true, &ids)
+    }
+
+    #[test]
+    fn seed_order_and_duplicates_canonicalize() {
+        assert_eq!(key(1, &["b", "a", "b"]), key(1, &["a", "b"]));
+        assert_ne!(key(1, &["a"]), key(2, &["a"]));
+    }
+
+    #[test]
+    fn hit_returns_inserted_bytes_and_fifo_evicts() {
+        let cache = ResponseCache::new(2);
+        let body = Arc::new(b"{}".to_vec());
+        assert!(cache.get(&key(1, &["a"])).is_none());
+        cache.insert(key(1, &["a"]), Arc::clone(&body));
+        assert_eq!(cache.get(&key(1, &["a"])).as_deref(), Some(&*body));
+        cache.insert(key(1, &["b"]), Arc::new(b"1".to_vec()));
+        cache.insert(key(1, &["c"]), Arc::new(b"2".to_vec()));
+        // "a" was oldest and the capacity is 2.
+        assert!(cache.get(&key(1, &["a"])).is_none());
+        assert!(cache.get(&key(1, &["c"])).is_some());
+    }
+
+    #[test]
+    fn racing_insert_keeps_first_body() {
+        let cache = ResponseCache::new(4);
+        let first = cache.insert(key(1, &["a"]), Arc::new(b"first".to_vec()));
+        let second = cache.insert(key(1, &["a"]), Arc::new(b"second".to_vec()));
+        assert_eq!(first, second);
+        assert_eq!(&*second, b"first");
+    }
+}

@@ -1,0 +1,135 @@
+//! A small blocking HTTP/1.1 client for the serve wire protocol.
+//!
+//! Used by the integration tests, the `loadgen` bench driver and the
+//! `serve_smoke` CI bin; it speaks exactly the subset the server does
+//! (fixed-length bodies, keep-alive reuse) so one connection can carry
+//! a whole load-generation session.
+
+use std::io::{self, Read, Write};
+use std::net::{SocketAddr, TcpStream};
+use std::time::Duration;
+
+/// A response as the client sees it.
+#[derive(Debug, Clone)]
+pub struct ClientResponse {
+    /// HTTP status code.
+    pub status: u16,
+    /// Headers with lower-cased names.
+    pub headers: Vec<(String, String)>,
+    /// The body bytes.
+    pub body: Vec<u8>,
+}
+
+impl ClientResponse {
+    /// First value of header `name` (lower-case), if present.
+    pub fn header(&self, name: &str) -> Option<&str> {
+        self.headers.iter().find(|(k, _)| k == name).map(|(_, v)| v.as_str())
+    }
+
+    /// The body as UTF-8 (panics on invalid UTF-8 — server bodies are
+    /// always JSON text).
+    pub fn text(&self) -> &str {
+        std::str::from_utf8(&self.body).expect("server bodies are UTF-8 JSON")
+    }
+}
+
+/// One keep-alive connection to a server.
+pub struct Client {
+    stream: TcpStream,
+}
+
+impl Client {
+    /// Connects to `addr` with a generous I/O timeout.
+    ///
+    /// # Errors
+    ///
+    /// Propagates connect/configure failures.
+    pub fn connect(addr: SocketAddr) -> io::Result<Self> {
+        let stream = TcpStream::connect(addr)?;
+        stream.set_read_timeout(Some(Duration::from_secs(60)))?;
+        stream.set_nodelay(true)?;
+        Ok(Self { stream })
+    }
+
+    /// Issues a `GET`.
+    ///
+    /// # Errors
+    ///
+    /// Propagates I/O and framing failures.
+    pub fn get(&mut self, path: &str) -> io::Result<ClientResponse> {
+        self.request("GET", path, b"")
+    }
+
+    /// Issues a `POST` with a JSON body.
+    ///
+    /// # Errors
+    ///
+    /// Propagates I/O and framing failures.
+    pub fn post(&mut self, path: &str, body: &[u8]) -> io::Result<ClientResponse> {
+        self.request("POST", path, body)
+    }
+
+    fn request(&mut self, method: &str, path: &str, body: &[u8]) -> io::Result<ClientResponse> {
+        let head = format!(
+            "{method} {path} HTTP/1.1\r\nhost: actfort\r\ncontent-length: {}\r\n\r\n",
+            body.len()
+        );
+        self.stream.write_all(head.as_bytes())?;
+        self.stream.write_all(body)?;
+        self.stream.flush()?;
+        self.read_response()
+    }
+
+    fn read_response(&mut self) -> io::Result<ClientResponse> {
+        let mut raw = Vec::new();
+        let mut buf = [0u8; 4096];
+        let head_end = loop {
+            if let Some(pos) = raw.windows(4).position(|w| w == b"\r\n\r\n") {
+                break pos;
+            }
+            let n = self.stream.read(&mut buf)?;
+            if n == 0 {
+                return Err(io::Error::new(
+                    io::ErrorKind::UnexpectedEof,
+                    "connection closed before a full response head",
+                ));
+            }
+            raw.extend_from_slice(&buf[..n]);
+        };
+        let mut body = raw.split_off(head_end + 4);
+        let head = String::from_utf8(raw[..head_end].to_vec())
+            .map_err(|_| io::Error::new(io::ErrorKind::InvalidData, "non-UTF-8 response head"))?;
+        let mut lines = head.split("\r\n");
+        let status_line = lines.next().unwrap_or_default();
+        let status = status_line
+            .split_ascii_whitespace()
+            .nth(1)
+            .and_then(|s| s.parse::<u16>().ok())
+            .ok_or_else(|| {
+                io::Error::new(io::ErrorKind::InvalidData, format!("bad status line {status_line:?}"))
+            })?;
+        let headers: Vec<(String, String)> = lines
+            .filter_map(|line| line.split_once(':'))
+            .map(|(k, v)| (k.trim().to_ascii_lowercase(), v.trim().to_owned()))
+            .collect();
+        let content_length = headers
+            .iter()
+            .find(|(k, _)| k == "content-length")
+            .and_then(|(_, v)| v.parse::<usize>().ok())
+            .ok_or_else(|| {
+                io::Error::new(io::ErrorKind::InvalidData, "response lacks Content-Length")
+            })?;
+        while body.len() < content_length {
+            let n = self.stream.read(&mut buf)?;
+            if n == 0 {
+                return Err(io::Error::new(
+                    io::ErrorKind::UnexpectedEof,
+                    "connection closed mid-body",
+                ));
+            }
+            body.extend_from_slice(&buf[..n]);
+        }
+        body.truncate(content_length);
+        Ok(ClientResponse { status, headers, body })
+    }
+}

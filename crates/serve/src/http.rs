@@ -1,0 +1,307 @@
+//! Minimal HTTP/1.1 framing over blocking TCP streams.
+//!
+//! The workspace is offline, so the server carries its own reader and
+//! writer for the small protocol subset it speaks: request line +
+//! headers + optional `Content-Length` body, `keep-alive` connection
+//! reuse, and fixed-length responses. No chunked encoding, no TLS, no
+//! pipelining — one request is fully answered before the next is read.
+
+use std::io::{self, Read, Write};
+use std::net::TcpStream;
+use std::time::{Duration, Instant};
+
+/// Upper bound on the request head (request line + headers), bytes.
+pub const MAX_HEAD_BYTES: usize = 16 * 1024;
+/// Upper bound on a request body, bytes.
+pub const MAX_BODY_BYTES: usize = 1024 * 1024;
+/// How long a peer may stall *inside* a request before the read gives
+/// up. The per-read socket timeout is short (it doubles as the
+/// shutdown-polling cadence), so a request that straddles two TCP
+/// segments on a busy host must tolerate several of them.
+pub const MID_REQUEST_STALL: Duration = Duration::from_secs(5);
+
+/// A parsed HTTP request.
+#[derive(Debug, Clone)]
+pub struct Request {
+    /// Upper-cased method (`GET`, `POST`, …).
+    pub method: String,
+    /// Request target as sent (path only; no query parsing).
+    pub path: String,
+    /// Headers with lower-cased names, in arrival order.
+    pub headers: Vec<(String, String)>,
+    /// The body, exactly `Content-Length` bytes (empty when absent).
+    pub body: Vec<u8>,
+}
+
+impl Request {
+    /// First value of header `name` (lower-case), if present.
+    pub fn header(&self, name: &str) -> Option<&str> {
+        self.headers.iter().find(|(k, _)| k == name).map(|(_, v)| v.as_str())
+    }
+
+    /// Whether the client asked to close the connection after this
+    /// exchange (`Connection: close`).
+    pub fn wants_close(&self) -> bool {
+        self.header("connection").is_some_and(|v| v.eq_ignore_ascii_case("close"))
+    }
+}
+
+/// Why reading a request stopped.
+#[derive(Debug)]
+pub enum ReadOutcome {
+    /// A complete request.
+    Complete(Request),
+    /// The peer closed the connection before sending anything.
+    Closed,
+    /// The read timed out with no bytes consumed — the caller may poll
+    /// its shutdown flag and try again on the same stream.
+    IdleTimeout,
+    /// The peer sent something unparseable; the connection must close
+    /// after an error response.
+    Malformed(String),
+}
+
+/// Reads one request from `stream`.
+///
+/// A read timeout before *any* byte arrives surfaces as
+/// [`ReadOutcome::IdleTimeout`] so keep-alive connections can poll for
+/// shutdown; once inside a request, timeouts are retried until
+/// [`MID_REQUEST_STALL`] elapses without progress, and only then is the
+/// request malformed (the peer genuinely stalled inside a message).
+///
+/// # Errors
+///
+/// Propagates genuine I/O errors (reset, broken pipe, …).
+pub fn read_request(stream: &mut TcpStream) -> io::Result<ReadOutcome> {
+    let mut head = Vec::new();
+    let mut buf = [0u8; 4096];
+    let mut stall_started: Option<Instant> = None;
+    let head_end = loop {
+        if let Some(pos) = find_head_end(&head) {
+            break pos;
+        }
+        if head.len() > MAX_HEAD_BYTES {
+            return Ok(ReadOutcome::Malformed("request head too large".into()));
+        }
+        match stream.read(&mut buf) {
+            Ok(0) => {
+                return Ok(if head.is_empty() {
+                    ReadOutcome::Closed
+                } else {
+                    ReadOutcome::Malformed("connection closed mid-request".into())
+                });
+            }
+            Ok(n) => {
+                head.extend_from_slice(&buf[..n]);
+                stall_started = None;
+            }
+            Err(e) if is_timeout(&e) => {
+                if head.is_empty() {
+                    return Ok(ReadOutcome::IdleTimeout);
+                }
+                if stalled_too_long(&mut stall_started) {
+                    return Ok(ReadOutcome::Malformed("timed out mid-request".into()));
+                }
+            }
+            Err(e) => return Err(e),
+        }
+    };
+
+    let overflow = head.split_off(head_end + 4);
+    let head_text = match std::str::from_utf8(&head[..head_end]) {
+        Ok(t) => t,
+        Err(_) => return Ok(ReadOutcome::Malformed("request head is not UTF-8".into())),
+    };
+    let mut lines = head_text.split("\r\n");
+    let request_line = lines.next().unwrap_or_default();
+    let mut parts = request_line.split_ascii_whitespace();
+    let (Some(method), Some(path), Some(version)) = (parts.next(), parts.next(), parts.next())
+    else {
+        return Ok(ReadOutcome::Malformed(format!("bad request line {request_line:?}")));
+    };
+    if !version.starts_with("HTTP/1.") {
+        return Ok(ReadOutcome::Malformed(format!("unsupported version {version:?}")));
+    }
+    let mut headers = Vec::new();
+    for line in lines {
+        let Some((name, value)) = line.split_once(':') else {
+            return Ok(ReadOutcome::Malformed(format!("bad header line {line:?}")));
+        };
+        headers.push((name.trim().to_ascii_lowercase(), value.trim().to_owned()));
+    }
+
+    let content_length = headers
+        .iter()
+        .find(|(k, _)| k == "content-length")
+        .map(|(_, v)| v.parse::<usize>())
+        .transpose();
+    let content_length = match content_length {
+        Ok(len) => len.unwrap_or(0),
+        Err(_) => return Ok(ReadOutcome::Malformed("bad Content-Length".into())),
+    };
+    if content_length > MAX_BODY_BYTES {
+        return Ok(ReadOutcome::Malformed("request body too large".into()));
+    }
+
+    let mut body = overflow;
+    let mut stall_started: Option<Instant> = None;
+    while body.len() < content_length {
+        match stream.read(&mut buf) {
+            Ok(0) => return Ok(ReadOutcome::Malformed("connection closed mid-body".into())),
+            Ok(n) => {
+                body.extend_from_slice(&buf[..n]);
+                stall_started = None;
+            }
+            Err(e) if is_timeout(&e) => {
+                if stalled_too_long(&mut stall_started) {
+                    return Ok(ReadOutcome::Malformed("timed out mid-body".into()));
+                }
+            }
+            Err(e) => return Err(e),
+        }
+    }
+    body.truncate(content_length);
+
+    Ok(ReadOutcome::Complete(Request {
+        method: method.to_owned(),
+        path: path.to_owned(),
+        headers,
+        body,
+    }))
+}
+
+fn find_head_end(bytes: &[u8]) -> Option<usize> {
+    bytes.windows(4).position(|w| w == b"\r\n\r\n")
+}
+
+fn is_timeout(e: &io::Error) -> bool {
+    matches!(e.kind(), io::ErrorKind::WouldBlock | io::ErrorKind::TimedOut)
+}
+
+/// Tracks the start of a mid-request stall and reports whether it has
+/// exceeded [`MID_REQUEST_STALL`]. The caller resets the tracker to
+/// `None` whenever bytes arrive.
+fn stalled_too_long(since: &mut Option<Instant>) -> bool {
+    since.get_or_insert_with(Instant::now).elapsed() >= MID_REQUEST_STALL
+}
+
+/// An HTTP response ready to be written.
+#[derive(Debug, Clone)]
+pub struct Response {
+    /// Status code (200, 404, …).
+    pub status: u16,
+    /// Extra headers beyond the always-present `Content-Type`,
+    /// `Content-Length` and `Connection`.
+    pub headers: Vec<(&'static str, String)>,
+    /// The JSON body.
+    pub body: Vec<u8>,
+}
+
+impl Response {
+    /// A JSON response with the given status.
+    pub fn json(status: u16, body: impl Into<Vec<u8>>) -> Self {
+        Self { status, headers: Vec::new(), body: body.into() }
+    }
+
+    /// Adds a header.
+    #[must_use]
+    pub fn with_header(mut self, name: &'static str, value: impl Into<String>) -> Self {
+        self.headers.push((name, value.into()));
+        self
+    }
+
+    /// First value of extra header `name`, if present (test helper).
+    pub fn header(&self, name: &str) -> Option<&str> {
+        self.headers.iter().find(|(k, _)| *k == name).map(|(_, v)| v.as_str())
+    }
+}
+
+/// The standard reason phrase for the subset of codes the server emits.
+pub fn reason(status: u16) -> &'static str {
+    match status {
+        200 => "OK",
+        400 => "Bad Request",
+        404 => "Not Found",
+        405 => "Method Not Allowed",
+        500 => "Internal Server Error",
+        503 => "Service Unavailable",
+        _ => "Unknown",
+    }
+}
+
+/// Writes `response` to `stream`, flushing it. `close` controls the
+/// advertised `Connection` header.
+///
+/// # Errors
+///
+/// Propagates I/O errors from the socket.
+pub fn write_response(stream: &mut TcpStream, response: &Response, close: bool) -> io::Result<()> {
+    let mut head = format!(
+        "HTTP/1.1 {} {}\r\ncontent-type: application/json\r\ncontent-length: {}\r\nconnection: {}\r\n",
+        response.status,
+        reason(response.status),
+        response.body.len(),
+        if close { "close" } else { "keep-alive" },
+    );
+    for (name, value) in &response.headers {
+        head.push_str(name);
+        head.push_str(": ");
+        head.push_str(value);
+        head.push_str("\r\n");
+    }
+    head.push_str("\r\n");
+    stream.write_all(head.as_bytes())?;
+    stream.write_all(&response.body)?;
+    stream.flush()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::net::{TcpListener, TcpStream};
+
+    fn round_trip(raw: &[u8]) -> ReadOutcome {
+        let listener = TcpListener::bind("127.0.0.1:0").expect("bind");
+        let addr = listener.local_addr().expect("addr");
+        let raw = raw.to_vec();
+        let writer = std::thread::spawn(move || {
+            let mut s = TcpStream::connect(addr).expect("connect");
+            s.write_all(&raw).expect("write");
+            s.flush().expect("flush");
+            // Dropping the socket closes it; anything written is already
+            // buffered for the reader.
+        });
+        let (mut conn, _) = listener.accept().expect("accept");
+        let outcome = read_request(&mut conn).expect("io");
+        writer.join().expect("writer");
+        outcome
+    }
+
+    #[test]
+    fn parses_post_with_body() {
+        let raw = b"POST /v1/forward HTTP/1.1\r\ncontent-length: 4\r\nX-Extra: a\r\n\r\nbody";
+        match round_trip(raw) {
+            ReadOutcome::Complete(req) => {
+                assert_eq!(req.method, "POST");
+                assert_eq!(req.path, "/v1/forward");
+                assert_eq!(req.header("x-extra"), Some("a"));
+                assert_eq!(req.body, b"body");
+                assert!(!req.wants_close());
+            }
+            other => panic!("expected a request, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn rejects_bad_request_line_and_oversized_body() {
+        assert!(matches!(round_trip(b"NONSENSE\r\n\r\n"), ReadOutcome::Malformed(_)));
+        let huge = format!("POST / HTTP/1.1\r\ncontent-length: {}\r\n\r\n", MAX_BODY_BYTES + 1);
+        assert!(matches!(round_trip(huge.as_bytes()), ReadOutcome::Malformed(_)));
+        assert!(matches!(round_trip(b"GET / HTTP/2\r\n\r\n"), ReadOutcome::Malformed(_)));
+    }
+
+    #[test]
+    fn empty_connection_reads_as_closed() {
+        assert!(matches!(round_trip(b""), ReadOutcome::Closed));
+    }
+}

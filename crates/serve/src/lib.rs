@@ -1,0 +1,89 @@
+//! `actfort-serve` — a concurrent HTTP/JSON query service over the
+//! unified [`Analysis`](actfort_core::query::Analysis) facade.
+//!
+//! The paper's workload is a defender continuously asking forward
+//! ("given these breached accounts, who falls?") and backward ("how
+//! would an attacker reach this account?") questions as the ecosystem
+//! changes (§III-E). This crate turns the in-process analysis engines
+//! into a long-lived service that amortizes graph construction across
+//! queries, with nothing beyond `std` — matching the workspace's
+//! vendored-shim policy:
+//!
+//! - [`http`] — minimal HTTP/1.1 framing (request line + headers +
+//!   `Content-Length` bodies, keep-alive).
+//! - [`wire`] — the JSON protocol on `obs::json`: deterministic
+//!   rendering, stable error codes from
+//!   [`Error::code`](actfort_core::Error::code).
+//! - [`snapshot`] — `Arc`-shared immutable ecosystem generations with
+//!   atomic hot-swap (`POST /admin/reload`); a request serves entirely
+//!   from the generation it loaded first, so responses never tear.
+//! - [`cache`] — forward responses cached as rendered bytes, keyed on
+//!   the canonicalized seed set + engine + snapshot generation.
+//! - [`queue`] — a bounded work queue over a fixed worker pool (sized
+//!   like [`BatchAnalyzer`](actfort_core::engine::BatchAnalyzer));
+//!   when full the server sheds load with `503` + `Retry-After`.
+//! - [`server`] — accept loop, routing, deadlines (translated into the
+//!   backward engine's partial budget) and graceful drain-on-shutdown.
+//! - [`client`] — the matching blocking client used by tests, the
+//!   `loadgen` driver and CI smoke.
+//!
+//! # Endpoints
+//!
+//! | Method + path          | Purpose                                    |
+//! |------------------------|--------------------------------------------|
+//! | `GET /healthz`         | liveness + current generation              |
+//! | `GET /metrics`         | the global `obs` snapshot as JSON          |
+//! | `POST /v1/forward`     | forward analysis (cached)                  |
+//! | `POST /v1/backward`    | backward chains (deadline-aware)           |
+//! | `POST /admin/reload`   | hot-swap the dataset snapshot              |
+//! | `POST /admin/shutdown` | graceful drain                             |
+
+pub mod cache;
+pub mod client;
+pub mod http;
+pub mod queue;
+pub mod server;
+pub mod snapshot;
+pub mod wire;
+
+pub use client::{Client, ClientResponse};
+pub use server::{start, ServerConfig, ServerHandle};
+pub use snapshot::Dataset;
+
+/// Canonical `obs` metric names the server records, in one place so the
+/// bench driver, the tests and `/metrics` consumers never drift on
+/// spelling.
+pub mod obs_names {
+    /// Counter: requests fully parsed (any endpoint, any status).
+    pub const REQUESTS: &str = "serve.requests";
+    /// Counter: forward cache hits.
+    pub const CACHE_HITS: &str = "serve.cache.hits";
+    /// Counter: forward cache misses.
+    pub const CACHE_MISSES: &str = "serve.cache.misses";
+    /// Gauge (histogram of observed sizes): cache entry count.
+    pub const CACHE_SIZE: &str = "serve.cache.size";
+    /// Counter: jobs refused because the bounded queue was full.
+    pub const QUEUE_REJECTED: &str = "serve.queue.rejected";
+    /// Gauge (histogram of observed depths): pending jobs.
+    pub const QUEUE_DEPTH: &str = "serve.queue.depth";
+    /// Counter: backward searches cut short by a request deadline.
+    pub const DEADLINE_EXPIRED: &str = "serve.deadline.expired";
+    /// Counter: successful snapshot hot-swaps.
+    pub const RELOADS: &str = "serve.reloads";
+    /// Span: one forward analysis on a worker thread.
+    pub const FORWARD_SPAN: &str = "serve.forward";
+    /// Span: one backward analysis on a worker thread.
+    pub const BACKWARD_SPAN: &str = "serve.backward";
+    /// Histogram: `/v1/forward` wall latency (protocol + queue + run).
+    pub const FORWARD_LATENCY: &str = "serve.forward.latency_ns";
+    /// Histogram: `/v1/backward` wall latency.
+    pub const BACKWARD_LATENCY: &str = "serve.backward.latency_ns";
+    /// Histogram: `/healthz` wall latency.
+    pub const HEALTHZ_LATENCY: &str = "serve.healthz.latency_ns";
+    /// Histogram: `/metrics` wall latency.
+    pub const METRICS_LATENCY: &str = "serve.metrics.latency_ns";
+    /// Histogram: admin endpoint wall latency.
+    pub const ADMIN_LATENCY: &str = "serve.admin.latency_ns";
+    /// Histogram: 404/405 wall latency.
+    pub const OTHER_LATENCY: &str = "serve.other.latency_ns";
+}

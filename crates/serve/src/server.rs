@@ -1,0 +1,423 @@
+//! The concurrent query server: accept loop, connection handling,
+//! routing, and the lifecycle (start → serve → drain → join).
+//!
+//! Threading model: one accept thread polls a non-blocking listener and
+//! spawns a thread per connection; connection threads only do protocol
+//! work and block on a result channel while the bounded [`WorkQueue`]
+//! runs the CPU-bound analysis on its fixed worker pool. Responses are
+//! built from exactly one [`Snapshot`] loaded at request start, so a
+//! concurrent hot-swap can never tear a response.
+
+use crate::cache::{CacheKey, ResponseCache};
+use crate::http::{self, ReadOutcome, Request, Response};
+use crate::obs_names;
+use crate::queue::WorkQueue;
+use crate::snapshot::{Dataset, Snapshot, SnapshotStore};
+use crate::wire;
+use actfort_core::engine::BatchAnalyzer;
+use actfort_core::profile::AttackerProfile;
+use actfort_core::query::{Analysis, Engine};
+use actfort_core::{obs, Error};
+use actfort_ecosystem::policy::Platform;
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::{mpsc, Arc};
+use std::thread::JoinHandle;
+use std::time::{Duration, Instant};
+
+/// Wire discriminant for server-layer faults (bind failures, …); the
+/// 24xx block follows the per-crate ranges documented in
+/// `actfort_core::error`.
+pub const CODE_SERVE_IO: u16 = 2400;
+/// Wire discriminant for queue-full backpressure refusals.
+pub const CODE_SERVE_OVERLOADED: u16 = 2401;
+
+/// Server configuration. `Default` serves the curated dataset on an
+/// ephemeral localhost port with environment-probed worker sizing.
+#[derive(Debug, Clone)]
+pub struct ServerConfig {
+    /// Bind address (`127.0.0.1:0` picks an ephemeral port).
+    pub addr: String,
+    /// Initial dataset.
+    pub dataset: Dataset,
+    /// Platform the dependency graph is classified under.
+    pub platform: Platform,
+    /// Attacker profile the graph is classified against.
+    pub profile: AttackerProfile,
+    /// Analysis worker count; `None` follows
+    /// [`BatchAnalyzer::from_env`] (the `ACTFORT_THREADS` contract).
+    pub threads: Option<usize>,
+    /// Bounded queue capacity; `None` means four jobs per worker.
+    pub queue_capacity: Option<usize>,
+    /// Forward-response cache capacity (rendered bodies).
+    pub cache_capacity: usize,
+    /// Keep-alive read timeout; idle connections poll the shutdown flag
+    /// at this cadence.
+    pub read_timeout: Duration,
+    /// Deadline → partial-budget calibration
+    /// ([`wire::DEADLINE_PARTIALS_PER_MS`] by default).
+    pub deadline_partials_per_ms: usize,
+}
+
+impl Default for ServerConfig {
+    fn default() -> Self {
+        Self {
+            addr: "127.0.0.1:0".to_owned(),
+            dataset: Dataset::Curated,
+            platform: Platform::Web,
+            profile: AttackerProfile::paper_default(),
+            threads: None,
+            queue_capacity: None,
+            cache_capacity: 1024,
+            read_timeout: Duration::from_millis(25),
+            deadline_partials_per_ms: wire::DEADLINE_PARTIALS_PER_MS,
+        }
+    }
+}
+
+struct Shared {
+    store: SnapshotStore,
+    cache: ResponseCache,
+    queue: WorkQueue,
+    shutdown: AtomicBool,
+    read_timeout: Duration,
+    deadline_partials_per_ms: usize,
+}
+
+/// A running server. Dropping the handle shuts the server down.
+pub struct ServerHandle {
+    shared: Arc<Shared>,
+    addr: SocketAddr,
+    accept: Option<JoinHandle<()>>,
+}
+
+impl ServerHandle {
+    /// The bound address (resolves the ephemeral port).
+    pub fn addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// Requests shutdown and blocks until the accept loop, every
+    /// connection and the work queue have drained.
+    pub fn shutdown(mut self) {
+        self.stop();
+    }
+
+    /// Blocks until the server stops on its own (a `POST
+    /// /admin/shutdown` request).
+    pub fn join(mut self) {
+        if let Some(accept) = self.accept.take() {
+            accept.join().expect("accept thread panicked");
+        }
+        self.shared.queue.drain();
+    }
+
+    fn stop(&mut self) {
+        self.shared.shutdown.store(true, Ordering::SeqCst);
+        if let Some(accept) = self.accept.take() {
+            accept.join().expect("accept thread panicked");
+        }
+        self.shared.queue.drain();
+    }
+}
+
+impl Drop for ServerHandle {
+    fn drop(&mut self) {
+        self.stop();
+    }
+}
+
+/// Builds the initial snapshot, binds the listener and starts serving.
+///
+/// # Errors
+///
+/// [`Error::Config`] for a malformed `ACTFORT_THREADS`, or an
+/// [`Error::Upstream`] with [`CODE_SERVE_IO`] when the bind fails.
+pub fn start(config: ServerConfig) -> Result<ServerHandle, Error> {
+    let workers = match config.threads {
+        Some(n) => n.max(1),
+        None => BatchAnalyzer::from_env()?.threads(),
+    };
+    let queue_capacity = config.queue_capacity.unwrap_or(workers * 4);
+    let listener = TcpListener::bind(&config.addr).map_err(|e| Error::Upstream {
+        layer: "serve",
+        code: CODE_SERVE_IO,
+        message: format!("binding {}: {e}", config.addr),
+    })?;
+    let addr = listener.local_addr().map_err(|e| Error::Upstream {
+        layer: "serve",
+        code: CODE_SERVE_IO,
+        message: format!("resolving bound address: {e}"),
+    })?;
+    listener.set_nonblocking(true).map_err(|e| Error::Upstream {
+        layer: "serve",
+        code: CODE_SERVE_IO,
+        message: format!("setting nonblocking accept: {e}"),
+    })?;
+
+    let shared = Arc::new(Shared {
+        store: SnapshotStore::new(config.dataset, config.platform, config.profile),
+        cache: ResponseCache::new(config.cache_capacity),
+        queue: WorkQueue::new(workers, queue_capacity),
+        shutdown: AtomicBool::new(false),
+        read_timeout: config.read_timeout,
+        deadline_partials_per_ms: config.deadline_partials_per_ms.max(1),
+    });
+
+    let accept_shared = Arc::clone(&shared);
+    let accept = std::thread::Builder::new()
+        .name("actfort-serve-accept".to_owned())
+        .spawn(move || accept_loop(&listener, &accept_shared))
+        .expect("spawn accept thread");
+
+    Ok(ServerHandle { shared, addr, accept: Some(accept) })
+}
+
+fn accept_loop(listener: &TcpListener, shared: &Arc<Shared>) {
+    let mut connections: Vec<JoinHandle<()>> = Vec::new();
+    while !shared.shutdown.load(Ordering::SeqCst) {
+        match listener.accept() {
+            Ok((stream, _)) => {
+                let conn_shared = Arc::clone(shared);
+                let handle = std::thread::Builder::new()
+                    .name("actfort-serve-conn".to_owned())
+                    .spawn(move || connection_loop(stream, &conn_shared))
+                    .expect("spawn connection thread");
+                connections.push(handle);
+                connections.retain(|c| !c.is_finished());
+            }
+            Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => {
+                std::thread::sleep(Duration::from_millis(2));
+            }
+            Err(_) => std::thread::sleep(Duration::from_millis(2)),
+        }
+    }
+    for conn in connections {
+        let _ = conn.join();
+    }
+}
+
+fn connection_loop(mut stream: TcpStream, shared: &Arc<Shared>) {
+    if stream.set_read_timeout(Some(shared.read_timeout)).is_err() {
+        return;
+    }
+    loop {
+        if shared.shutdown.load(Ordering::SeqCst) {
+            return;
+        }
+        match http::read_request(&mut stream) {
+            Ok(ReadOutcome::IdleTimeout) => continue,
+            Ok(ReadOutcome::Closed) | Err(_) => return,
+            Ok(ReadOutcome::Malformed(msg)) => {
+                let (_, body) = wire::render_error(&Error::Query(msg));
+                let _ = http::write_response(&mut stream, &Response::json(400, body), true);
+                return;
+            }
+            Ok(ReadOutcome::Complete(request)) => {
+                obs::add(obs_names::REQUESTS, 1);
+                let response = route(shared, &request);
+                let close = request.wants_close() || shared.shutdown.load(Ordering::SeqCst);
+                if http::write_response(&mut stream, &response, close).is_err() || close {
+                    return;
+                }
+            }
+        }
+    }
+}
+
+/// Every route the server serves (used to split 404 from 405).
+const KNOWN_PATHS: [&str; 6] =
+    ["/healthz", "/metrics", "/v1/forward", "/v1/backward", "/admin/reload", "/admin/shutdown"];
+
+fn route(shared: &Arc<Shared>, request: &Request) -> Response {
+    let start = Instant::now();
+    let (histogram, response) = match (request.method.as_str(), request.path.as_str()) {
+        ("GET", "/healthz") => (obs_names::HEALTHZ_LATENCY, healthz(shared)),
+        ("GET", "/metrics") => (obs_names::METRICS_LATENCY, metrics()),
+        ("POST", "/v1/forward") => (obs_names::FORWARD_LATENCY, forward(shared, &request.body)),
+        ("POST", "/v1/backward") => (obs_names::BACKWARD_LATENCY, backward(shared, &request.body)),
+        ("POST", "/admin/reload") => (obs_names::ADMIN_LATENCY, reload(shared, &request.body)),
+        ("POST", "/admin/shutdown") => (obs_names::ADMIN_LATENCY, admin_shutdown(shared)),
+        (_, path) if KNOWN_PATHS.contains(&path) => (
+            obs_names::OTHER_LATENCY,
+            Response::json(
+                405,
+                br#"{"error":{"code":11,"kind":"query","message":"method not allowed"}}"#.to_vec(),
+            ),
+        ),
+        _ => (obs_names::OTHER_LATENCY, not_found(&request.path)),
+    };
+    let ns = u64::try_from(start.elapsed().as_nanos()).unwrap_or(u64::MAX);
+    obs::record_ns(histogram, ns);
+    response
+}
+
+fn error_response(err: &Error) -> Response {
+    let (status, body) = wire::render_error(err);
+    Response::json(status, body)
+}
+
+fn overloaded(depth: usize) -> Response {
+    let body = format!(
+        "{{\"error\":{{\"code\":{CODE_SERVE_OVERLOADED},\"kind\":\"overloaded\",\
+         \"message\":\"analysis queue full ({depth} pending); retry shortly\"}}}}"
+    );
+    Response::json(503, body.into_bytes()).with_header("retry-after", "1")
+}
+
+fn not_found(path: &str) -> Response {
+    let mut body = String::from("{\"error\":{\"code\":11,\"kind\":\"query\",\"message\":");
+    actfort_core::obs::json::write_str(&mut body, &format!("no such endpoint {path}"));
+    body.push_str("}}");
+    Response::json(404, body.into_bytes())
+}
+
+fn healthz(shared: &Arc<Shared>) -> Response {
+    let snapshot = shared.store.load();
+    let body = format!(
+        "{{\"status\":\"ok\",\"generation\":{},\"dataset\":\"{}\",\"services\":{}}}",
+        snapshot.generation,
+        snapshot.dataset.name(),
+        snapshot.specs.len()
+    );
+    Response::json(200, body.into_bytes())
+}
+
+fn metrics() -> Response {
+    Response::json(200, obs::snapshot().to_json().into_bytes())
+}
+
+/// Runs `job` on the worker pool and blocks for its rendered body.
+fn run_on_pool(
+    shared: &Arc<Shared>,
+    job: impl FnOnce(&Snapshot) -> Result<Vec<u8>, Error> + Send + 'static,
+    snapshot: Arc<Snapshot>,
+) -> Result<Result<Vec<u8>, Error>, Response> {
+    let (tx, rx) = mpsc::channel();
+    let submitted = shared.queue.submit(Box::new(move || {
+        let _ = tx.send(job(&snapshot));
+    }));
+    if let Err(full) = submitted {
+        return Err(overloaded(full.depth));
+    }
+    rx.recv().map_err(|_| {
+        error_response(&Error::Upstream {
+            layer: "serve",
+            code: CODE_SERVE_IO,
+            message: "analysis worker dropped the result channel".into(),
+        })
+    })
+}
+
+fn forward(shared: &Arc<Shared>, body: &[u8]) -> Response {
+    let request = match wire::parse_forward(body) {
+        Ok(r) => r,
+        Err(e) => return error_response(&e),
+    };
+    let snapshot = shared.store.load();
+    let key = CacheKey::new(
+        snapshot.generation,
+        wire::engine_name(request.engine),
+        request.memo,
+        &request.seeds,
+    );
+    if let Some(cached) = shared.cache.get(&key) {
+        return Response::json(200, cached.as_ref().clone()).with_header("x-actfort-cache", "hit");
+    }
+    let generation = snapshot.generation;
+    let outcome = run_on_pool(
+        shared,
+        move |snap| {
+            let _span = obs::span(obs_names::FORWARD_SPAN);
+            let result = Analysis::of(&snap.tdg)
+                .forward(&request.seeds)
+                .engine(request.engine)
+                .memo(request.memo)
+                .run()?;
+            Ok(wire::render_forward(generation, request.engine, &result))
+        },
+        Arc::clone(&snapshot),
+    );
+    match outcome {
+        Err(shed) => shed,
+        Ok(Err(e)) => error_response(&e),
+        Ok(Ok(rendered)) => {
+            // Serve the cache's canonical bytes so a racing miss of the
+            // same query returns the identical body.
+            let canonical = shared.cache.insert(key, Arc::new(rendered));
+            Response::json(200, canonical.as_ref().clone()).with_header("x-actfort-cache", "miss")
+        }
+    }
+}
+
+fn backward(shared: &Arc<Shared>, body: &[u8]) -> Response {
+    let request = match wire::parse_backward(body) {
+        Ok(r) => r,
+        Err(e) => return error_response(&e),
+    };
+    let snapshot = shared.store.load();
+    let generation = snapshot.generation;
+    let partials_per_ms = shared.deadline_partials_per_ms;
+    let outcome = run_on_pool(
+        shared,
+        move |snap| {
+            let _span = obs::span(obs_names::BACKWARD_SPAN);
+            let mut query = Analysis::of(&snap.tdg)
+                .backward(&request.target)
+                .max_chains(request.max_chains)
+                .engine(request.engine);
+            if request.engine != Engine::Naive {
+                // The snapshot's prewarmed engine amortizes graph
+                // flattening and the fringe-support memo.
+                query = query.via(&snap.backward);
+            }
+            if let Some(budget) = request.effective_budget(partials_per_ms) {
+                query = query.budget(budget);
+            }
+            let (chains, exhaustive) = query.run_bounded()?;
+            // Attribute the cut to the deadline only when the deadline
+            // supplied the budget (an explicit budget takes precedence).
+            if !exhaustive && request.budget.is_none() && request.deadline_ms.is_some() {
+                obs::add(obs_names::DEADLINE_EXPIRED, 1);
+            }
+            Ok(wire::render_backward(
+                generation,
+                request.engine,
+                &request.target,
+                &chains,
+                exhaustive,
+            ))
+        },
+        snapshot,
+    );
+    match outcome {
+        Err(shed) => shed,
+        Ok(Err(e)) => error_response(&e),
+        Ok(Ok(rendered)) => Response::json(200, rendered),
+    }
+}
+
+fn reload(shared: &Arc<Shared>, body: &[u8]) -> Response {
+    let request = match wire::parse_reload(body) {
+        Ok(r) => r,
+        Err(e) => return error_response(&e),
+    };
+    let dataset = match Dataset::parse(&request.dataset) {
+        Ok(d) => d,
+        Err(e) => return error_response(&e),
+    };
+    let snapshot = shared.store.reload(dataset);
+    obs::add(obs_names::RELOADS, 1);
+    let response_body = format!(
+        "{{\"generation\":{},\"dataset\":\"{}\",\"services\":{}}}",
+        snapshot.generation,
+        snapshot.dataset.name(),
+        snapshot.specs.len()
+    );
+    Response::json(200, response_body.into_bytes())
+}
+
+fn admin_shutdown(shared: &Arc<Shared>) -> Response {
+    shared.shutdown.store(true, Ordering::SeqCst);
+    Response::json(200, br#"{"status":"draining"}"#.to_vec())
+}

@@ -1,0 +1,343 @@
+//! The JSON wire protocol: request parsing and deterministic response
+//! rendering, built entirely on `obs::json` (the workspace's in-tree
+//! parser/writer — no external serializers).
+//!
+//! Rendering is deterministic by construction: record maps iterate in
+//! `BTreeMap` order, arrays preserve engine order, and no wall-clock
+//! value is ever written. Two runs of the same query against the same
+//! snapshot generation therefore produce *byte-identical* bodies — the
+//! property the response cache and the concurrency tests lean on.
+
+use actfort_core::analysis::{AttackChain, ForwardResult};
+use actfort_core::obs::json::{self, Json};
+use actfort_core::query::Engine;
+use actfort_core::Error;
+use actfort_ecosystem::factor::ServiceId;
+use std::fmt::Write as _;
+
+/// How many backward partial states a worker is assumed to explore per
+/// millisecond, used to translate a `deadline_ms` into the engine's
+/// partial budget. Deliberately conservative (measured throughput on
+/// the paper population is higher), so a deadline maps to a budget the
+/// search exhausts *within* the deadline, not after it.
+pub const DEADLINE_PARTIALS_PER_MS: usize = 2_000;
+
+/// A parsed `POST /v1/forward` body.
+#[derive(Debug, Clone)]
+pub struct ForwardRequest {
+    /// Seed accounts assumed already compromised (may be empty).
+    pub seeds: Vec<ServiceId>,
+    /// Engine selector.
+    pub engine: Engine,
+    /// Incremental-engine memo toggle.
+    pub memo: bool,
+}
+
+/// A parsed `POST /v1/backward` body.
+#[derive(Debug, Clone)]
+pub struct BackwardRequest {
+    /// The account to derive chains for.
+    pub target: ServiceId,
+    /// Maximum chains to return.
+    pub max_chains: usize,
+    /// Explicit partial budget, if given.
+    pub budget: Option<usize>,
+    /// Request deadline in milliseconds, if given.
+    pub deadline_ms: Option<u64>,
+    /// Engine selector.
+    pub engine: Engine,
+}
+
+impl BackwardRequest {
+    /// The partial budget the engine should run under: an explicit
+    /// `budget` wins; otherwise a `deadline_ms` is translated at
+    /// `partials_per_ms` (the server's calibration, default
+    /// [`DEADLINE_PARTIALS_PER_MS`]); otherwise `None` (engine
+    /// default).
+    pub fn effective_budget(&self, partials_per_ms: usize) -> Option<usize> {
+        self.budget.or_else(|| {
+            self.deadline_ms.map(|ms| {
+                (usize::try_from(ms).unwrap_or(usize::MAX))
+                    .saturating_mul(partials_per_ms)
+                    .max(1)
+            })
+        })
+    }
+}
+
+/// A parsed `POST /admin/reload` body.
+#[derive(Debug, Clone)]
+pub struct ReloadRequest {
+    /// Dataset spelling, handed to [`crate::snapshot::Dataset::parse`].
+    pub dataset: String,
+}
+
+fn parse_body(body: &[u8]) -> Result<Json, Error> {
+    let text = std::str::from_utf8(body)
+        .map_err(|_| Error::Query("request body is not UTF-8".into()))?;
+    if text.trim().is_empty() {
+        return Ok(Json::Obj(Default::default()));
+    }
+    json::parse(text).map_err(|e| Error::Query(format!("request body is not valid JSON: {e}")))
+}
+
+fn field_usize(doc: &Json, name: &str) -> Result<Option<usize>, Error> {
+    match doc.get(name) {
+        None | Some(Json::Null) => Ok(None),
+        Some(Json::Num(n)) if n.fract() == 0.0 && *n >= 0.0 && *n <= 2f64.powi(53) => {
+            Ok(Some(*n as usize))
+        }
+        Some(_) => Err(Error::Query(format!("\"{name}\" must be a non-negative integer"))),
+    }
+}
+
+fn field_bool(doc: &Json, name: &str, default: bool) -> Result<bool, Error> {
+    match doc.get(name) {
+        None | Some(Json::Null) => Ok(default),
+        Some(Json::Bool(b)) => Ok(*b),
+        Some(_) => Err(Error::Query(format!("\"{name}\" must be a boolean"))),
+    }
+}
+
+fn field_engine(doc: &Json) -> Result<Engine, Error> {
+    match doc.get("engine") {
+        None | Some(Json::Null) => Ok(Engine::Auto),
+        Some(Json::Str(s)) => match s.as_str() {
+            "auto" => Ok(Engine::Auto),
+            "incremental" => Ok(Engine::Incremental),
+            "naive" => Ok(Engine::Naive),
+            other => Err(Error::Query(format!(
+                "unknown engine {other:?} (expected \"auto\", \"incremental\" or \"naive\")"
+            ))),
+        },
+        Some(_) => Err(Error::Query("\"engine\" must be a string".into())),
+    }
+}
+
+/// The wire spelling of an engine selector (stable; part of the cache
+/// key).
+pub fn engine_name(engine: Engine) -> &'static str {
+    match engine {
+        Engine::Auto => "auto",
+        Engine::Incremental => "incremental",
+        Engine::Naive => "naive",
+    }
+}
+
+/// Parses a forward request body.
+///
+/// # Errors
+///
+/// [`Error::Query`] on malformed JSON or mistyped fields.
+pub fn parse_forward(body: &[u8]) -> Result<ForwardRequest, Error> {
+    let doc = parse_body(body)?;
+    let seeds = match doc.get("seeds") {
+        None | Some(Json::Null) => Vec::new(),
+        Some(Json::Arr(items)) => items
+            .iter()
+            .map(|item| match item {
+                Json::Str(s) => Ok(ServiceId::new(s)),
+                _ => Err(Error::Query("\"seeds\" must be an array of service ids".into())),
+            })
+            .collect::<Result<_, _>>()?,
+        Some(_) => return Err(Error::Query("\"seeds\" must be an array of service ids".into())),
+    };
+    Ok(ForwardRequest {
+        seeds,
+        engine: field_engine(&doc)?,
+        memo: field_bool(&doc, "memo", true)?,
+    })
+}
+
+/// Parses a backward request body.
+///
+/// # Errors
+///
+/// [`Error::Query`] on malformed JSON, mistyped fields or a missing
+/// target.
+pub fn parse_backward(body: &[u8]) -> Result<BackwardRequest, Error> {
+    let doc = parse_body(body)?;
+    let target = match doc.get("target") {
+        Some(Json::Str(s)) => ServiceId::new(s),
+        _ => return Err(Error::Query("\"target\" must be a service id string".into())),
+    };
+    Ok(BackwardRequest {
+        target,
+        max_chains: field_usize(&doc, "max_chains")?.unwrap_or(8),
+        budget: field_usize(&doc, "budget")?,
+        deadline_ms: field_usize(&doc, "deadline_ms")?.map(|n| n as u64),
+        engine: field_engine(&doc)?,
+    })
+}
+
+/// Parses a reload request body.
+///
+/// # Errors
+///
+/// [`Error::Query`] when `"dataset"` is absent or not a string.
+pub fn parse_reload(body: &[u8]) -> Result<ReloadRequest, Error> {
+    let doc = parse_body(body)?;
+    match doc.get("dataset") {
+        Some(Json::Str(s)) => Ok(ReloadRequest { dataset: s.clone() }),
+        _ => Err(Error::Query("\"dataset\" must be a string".into())),
+    }
+}
+
+fn write_id_array(out: &mut String, ids: &[ServiceId]) {
+    out.push('[');
+    for (i, id) in ids.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        json::write_str(out, id.as_str());
+    }
+    out.push(']');
+}
+
+/// Renders a forward result. Deterministic: same result + generation →
+/// same bytes.
+pub fn render_forward(
+    generation: u64,
+    engine: Engine,
+    result: &ForwardResult,
+) -> Vec<u8> {
+    let mut out = String::with_capacity(4096);
+    let _ = write!(
+        out,
+        "{{\"generation\":{generation},\"engine\":\"{}\",\"compromised\":{},",
+        engine_name(engine),
+        result.records.len()
+    );
+    out.push_str("\"rounds\":[");
+    for (i, round) in result.rounds.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        write_id_array(&mut out, round);
+    }
+    out.push_str("],\"records\":{");
+    for (i, (id, rec)) in result.records.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        json::write_str(&mut out, id.as_str());
+        let _ = write!(out, ":{{\"round\":{},\"min_providers\":{}}}", rec.round, rec.min_providers);
+    }
+    out.push_str("},\"uncompromised\":");
+    write_id_array(&mut out, &result.uncompromised);
+    out.push('}');
+    out.into_bytes()
+}
+
+/// Renders a backward result (chains as arrays of steps, each step an
+/// array of service ids). Deterministic.
+pub fn render_backward(
+    generation: u64,
+    engine: Engine,
+    target: &ServiceId,
+    chains: &[AttackChain],
+    exhaustive: bool,
+) -> Vec<u8> {
+    let mut out = String::with_capacity(1024);
+    let _ = write!(
+        out,
+        "{{\"generation\":{generation},\"engine\":\"{}\",\"target\":",
+        engine_name(engine)
+    );
+    json::write_str(&mut out, target.as_str());
+    let _ = write!(out, ",\"exhaustive\":{exhaustive},\"chains\":[");
+    for (i, chain) in chains.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        out.push('[');
+        for (j, step) in chain.steps.iter().enumerate() {
+            if j > 0 {
+                out.push(',');
+            }
+            write_id_array(&mut out, &step.services);
+        }
+        out.push(']');
+    }
+    out.push_str("]}");
+    out.into_bytes()
+}
+
+/// Maps a core error to its wire form: `(HTTP status, JSON body)`. The
+/// body carries the error's stable discriminant
+/// ([`Error::code`]) and kind so clients can match
+/// without parsing prose.
+pub fn render_error(err: &Error) -> (u16, Vec<u8>) {
+    let status = if err.is_client_error() { 400 } else { 500 };
+    let mut out = String::with_capacity(128);
+    let _ = write!(out, "{{\"error\":{{\"code\":{},\"kind\":\"{}\",\"message\":", err.code(), err.kind());
+    json::write_str(&mut out, &err.to_string());
+    out.push_str("}}");
+    (status, out.into_bytes())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn forward_request_parses_with_defaults_and_rejects_bad_types() {
+        let req = parse_forward(b"{}").expect("empty object");
+        assert!(req.seeds.is_empty());
+        assert_eq!(req.engine, Engine::Auto);
+        assert!(req.memo);
+
+        let req = parse_forward(br#"{"seeds":["gmail","taobao"],"engine":"naive","memo":false}"#)
+            .expect("full form");
+        assert_eq!(req.seeds.len(), 2);
+        assert_eq!(req.engine, Engine::Naive);
+        assert!(!req.memo);
+
+        assert!(parse_forward(br#"{"seeds":"gmail"}"#).is_err());
+        assert!(parse_forward(br#"{"engine":"warp"}"#).is_err());
+        assert!(parse_forward(b"not json").is_err());
+    }
+
+    #[test]
+    fn backward_request_budget_precedence() {
+        let req =
+            parse_backward(br#"{"target":"alipay","budget":100,"deadline_ms":1}"#).expect("parses");
+        assert_eq!(req.effective_budget(DEADLINE_PARTIALS_PER_MS), Some(100));
+        let req = parse_backward(br#"{"target":"alipay","deadline_ms":2}"#).expect("parses");
+        assert_eq!(
+            req.effective_budget(DEADLINE_PARTIALS_PER_MS),
+            Some(2 * DEADLINE_PARTIALS_PER_MS)
+        );
+        let req = parse_backward(br#"{"target":"alipay"}"#).expect("parses");
+        assert_eq!(req.effective_budget(DEADLINE_PARTIALS_PER_MS), None);
+        assert_eq!(req.max_chains, 8);
+        assert!(parse_backward(b"{}").is_err(), "target is mandatory");
+    }
+
+    #[test]
+    fn rendered_responses_parse_back() {
+        let result = ForwardResult {
+            rounds: vec![vec![], vec![ServiceId::new("a")]],
+            records: std::iter::once((
+                ServiceId::new("a"),
+                actfort_core::analysis::CompromiseRecord { round: 1, min_providers: 0 },
+            ))
+            .collect(),
+            uncompromised: vec![ServiceId::new("b")],
+            final_pool: actfort_core::pool::InfoPool::new(),
+        };
+        let body = render_forward(3, Engine::Auto, &result);
+        let doc = json::parse(std::str::from_utf8(&body).expect("utf-8")).expect("parses");
+        assert_eq!(doc.get("generation").and_then(Json::as_num), Some(3.0));
+        assert_eq!(doc.get("engine").and_then(Json::as_str), Some("auto"));
+
+        let body = render_backward(1, Engine::Naive, &ServiceId::new("x"), &[], true);
+        let doc = json::parse(std::str::from_utf8(&body).expect("utf-8")).expect("parses");
+        assert_eq!(doc.get("exhaustive"), Some(&Json::Bool(true)));
+
+        let (status, body) = render_error(&Error::UnknownService("ghost".into()));
+        assert_eq!(status, 400);
+        let doc = json::parse(std::str::from_utf8(&body).expect("utf-8")).expect("parses");
+        assert_eq!(doc.get("error").and_then(|e| e.get("code")).and_then(Json::as_num), Some(12.0));
+    }
+}

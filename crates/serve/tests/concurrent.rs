@@ -1,0 +1,340 @@
+//! Integration tests for the concurrent serving contract:
+//!
+//! 1. N threads issuing the same forward query all receive
+//!    byte-identical JSON bodies, and the cache-hit path returns bytes
+//!    equal to the miss path;
+//! 2. a snapshot hot-swap mid-stream never serves a torn response —
+//!    every body is internally consistent with the generation it names;
+//! 3. the bounded queue sheds load with `503` + `Retry-After` when
+//!    saturated;
+//! 4. deadlines cut long backward searches and the cut is visible at
+//!    `/metrics`;
+//! 5. wire errors carry the unified stable discriminants.
+//!
+//! The obs recorder is process-global, so tests that assert on metrics
+//! serialize behind one mutex.
+
+use actfort_core::obs::json::{self, Json};
+use actfort_serve::{start, Client, Dataset, ServerConfig};
+use std::sync::{Arc, Mutex, MutexGuard};
+
+/// Serializes tests: the obs recorder is global and several tests
+/// enable/reset it.
+fn lock() -> MutexGuard<'static, ()> {
+    static LOCK: Mutex<()> = Mutex::new(());
+    LOCK.lock().unwrap_or_else(std::sync::PoisonError::into_inner)
+}
+
+fn obs_reset_enabled() {
+    actfort_core::obs::reset();
+    actfort_core::obs::set_enabled(true);
+}
+
+#[test]
+fn concurrent_identical_queries_get_identical_bytes() {
+    let _g = lock();
+    obs_reset_enabled();
+    // Explicit sizing: the burst below must never trip backpressure,
+    // whatever this machine's core count probes to.
+    let config =
+        ServerConfig { threads: Some(4), queue_capacity: Some(64), ..ServerConfig::default() };
+    let handle = start(config).expect("server starts");
+    let addr = handle.addr();
+
+    const THREADS: usize = 8;
+    const PER_THREAD: usize = 4;
+    let body = br#"{"seeds":["gmail","taobao"]}"#;
+    let workers: Vec<_> = (0..THREADS)
+        .map(|_| {
+            std::thread::spawn(move || {
+                let mut client = Client::connect(addr).expect("connect");
+                (0..PER_THREAD)
+                    .map(|_| {
+                        let resp = client.post("/v1/forward", body).expect("request");
+                        assert_eq!(resp.status, 200, "{}", resp.text());
+                        let cache = resp.header("x-actfort-cache").expect("cache header").to_owned();
+                        (cache, resp.body)
+                    })
+                    .collect::<Vec<_>>()
+            })
+        })
+        .collect();
+
+    let mut hits = 0usize;
+    let mut misses = 0usize;
+    let mut bodies: Vec<Vec<u8>> = Vec::new();
+    for worker in workers {
+        for (cache, body) in worker.join().expect("worker") {
+            match cache.as_str() {
+                "hit" => hits += 1,
+                "miss" => misses += 1,
+                other => panic!("unexpected cache header {other:?}"),
+            }
+            bodies.push(body);
+        }
+    }
+    assert_eq!(hits + misses, THREADS * PER_THREAD);
+    assert!(misses >= 1, "first responder must miss");
+    assert!(hits >= 1, "32 identical queries must hit the cache");
+    let first = &bodies[0];
+    assert!(
+        bodies.iter().all(|b| b == first),
+        "hit and miss paths must serve byte-identical bodies"
+    );
+    handle.shutdown();
+    actfort_core::obs::set_enabled(false);
+}
+
+/// Parses a forward body and checks internal consistency against the
+/// population size its generation implies. Returns (generation, body).
+fn check_consistent(body: &[u8], size_of_generation: impl Fn(u64) -> usize) -> u64 {
+    let text = std::str::from_utf8(body).expect("utf-8");
+    let doc = json::parse(text).expect("valid JSON");
+    let generation = doc.get("generation").and_then(Json::as_num).expect("generation") as u64;
+    let records = match doc.get("records") {
+        Some(Json::Obj(m)) => m.len(),
+        other => panic!("records must be an object, got {other:?}"),
+    };
+    let uncompromised = match doc.get("uncompromised") {
+        Some(Json::Arr(items)) => items.len(),
+        other => panic!("uncompromised must be an array, got {other:?}"),
+    };
+    let expected = size_of_generation(generation);
+    assert_eq!(
+        records + uncompromised,
+        expected,
+        "torn response: generation {generation} should cover {expected} services"
+    );
+    generation
+}
+
+#[test]
+fn hot_swap_mid_stream_never_serves_a_torn_response() {
+    let _g = lock();
+    obs_reset_enabled();
+    let config =
+        ServerConfig { threads: Some(4), queue_capacity: Some(64), ..ServerConfig::default() };
+    let handle = start(config).expect("server starts");
+    let addr = handle.addr();
+    // A forward result covers exactly the platform-eligible services;
+    // compute each dataset's expected coverage out of band with the
+    // same facade the server uses.
+    let eligible = |dataset: Dataset| {
+        let specs = dataset.specs();
+        let result = actfort_core::Analysis::over(
+            &specs,
+            actfort_ecosystem::policy::Platform::Web,
+            actfort_core::profile::AttackerProfile::paper_default(),
+        )
+        .forward(&[])
+        .run()
+        .expect("reference run");
+        result.records.len() + result.uncompromised.len()
+    };
+    let curated_len = eligible(Dataset::Curated);
+    let paper_len = eligible(Dataset::Paper(3));
+    assert_ne!(curated_len, paper_len, "swap must change the population size");
+
+    // Generations alternate curated (odd) and paper (even): generation
+    // 1 is the boot snapshot, each reload bumps by one.
+    let size_of = move |generation: u64| {
+        if generation % 2 == 1 {
+            curated_len
+        } else {
+            paper_len
+        }
+    };
+
+    let stop = Arc::new(std::sync::atomic::AtomicBool::new(false));
+    let reloader = {
+        let stop = Arc::clone(&stop);
+        std::thread::spawn(move || {
+            let mut client = Client::connect(addr).expect("connect");
+            let mut next_is_paper = true;
+            let mut reloads = 0usize;
+            while !stop.load(std::sync::atomic::Ordering::SeqCst) {
+                let dataset = if next_is_paper { "paper:3" } else { "curated" };
+                next_is_paper = !next_is_paper;
+                let body = format!("{{\"dataset\":\"{dataset}\"}}");
+                let resp = client.post("/admin/reload", body.as_bytes()).expect("reload");
+                assert_eq!(resp.status, 200, "{}", resp.text());
+                reloads += 1;
+                std::thread::sleep(std::time::Duration::from_millis(2));
+            }
+            reloads
+        })
+    };
+
+    let readers: Vec<_> = (0..4)
+        .map(|_| {
+            std::thread::spawn(move || {
+                let mut client = Client::connect(addr).expect("connect");
+                let mut generations = std::collections::BTreeSet::new();
+                let mut by_generation: std::collections::BTreeMap<u64, Vec<u8>> = Default::default();
+                for _ in 0..40 {
+                    let resp = client.post("/v1/forward", b"{}").expect("request");
+                    assert_eq!(resp.status, 200, "{}", resp.text());
+                    let generation = check_consistent(&resp.body, size_of);
+                    generations.insert(generation);
+                    // Same generation ⇒ same bytes, even across swaps.
+                    let entry = by_generation.entry(generation).or_insert_with(|| resp.body.clone());
+                    assert_eq!(*entry, resp.body, "generation {generation} served two variants");
+                }
+                generations
+            })
+        })
+        .collect();
+
+    let mut observed = std::collections::BTreeSet::new();
+    for reader in readers {
+        observed.extend(reader.join().expect("reader"));
+    }
+    stop.store(true, std::sync::atomic::Ordering::SeqCst);
+    let reloads = reloader.join().expect("reloader");
+    assert!(reloads >= 2, "reloader must have swapped at least twice");
+    assert!(
+        observed.len() >= 2,
+        "readers should observe multiple generations, saw {observed:?}"
+    );
+    handle.shutdown();
+    actfort_core::obs::set_enabled(false);
+}
+
+#[test]
+fn saturated_queue_sheds_load_with_503() {
+    let _g = lock();
+    obs_reset_enabled();
+    let config = ServerConfig {
+        dataset: Dataset::Paper(2021),
+        threads: Some(1),
+        queue_capacity: Some(1),
+        ..ServerConfig::default()
+    };
+    let handle = start(config).expect("server starts");
+    let addr = handle.addr();
+
+    const BURST: usize = 10;
+    let mut saw_503 = false;
+    'attempts: for _attempt in 0..5 {
+        let workers: Vec<_> = (0..BURST)
+            .map(|i| {
+                std::thread::spawn(move || {
+                    let mut client = Client::connect(addr).expect("connect");
+                    // Distinct seeds + naive engine: every request is a
+                    // cache miss doing real work.
+                    let body = format!("{{\"seeds\":[],\"engine\":\"naive\",\"memo\":{}}}",
+                        i % 2 == 0);
+                    let resp = client.post("/v1/forward", body.as_bytes()).expect("request");
+                    (resp.status, resp.header("retry-after").map(str::to_owned))
+                })
+            })
+            .collect();
+        for worker in workers {
+            let (status, retry_after) = worker.join().expect("worker");
+            match status {
+                200 => {}
+                503 => {
+                    assert_eq!(retry_after.as_deref(), Some("1"), "503 must carry Retry-After");
+                    saw_503 = true;
+                }
+                other => panic!("unexpected status {other}"),
+            }
+        }
+        if saw_503 {
+            break 'attempts;
+        }
+    }
+    assert!(saw_503, "a 1-worker/1-slot queue must shed part of a {BURST}-wide burst");
+
+    // The refusals are visible on the metrics endpoint.
+    let mut client = Client::connect(addr).expect("connect");
+    let metrics = client.get("/metrics").expect("metrics");
+    let doc = json::parse(metrics.text()).expect("metrics JSON");
+    let rejected = doc
+        .get("counters")
+        .and_then(|c| c.get("serve.queue.rejected"))
+        .and_then(Json::as_num)
+        .unwrap_or(0.0);
+    assert!(rejected >= 1.0, "serve.queue.rejected must record the shed load");
+    handle.shutdown();
+    actfort_core::obs::set_enabled(false);
+}
+
+#[test]
+fn deadline_cuts_backward_search_and_shows_in_metrics() {
+    let _g = lock();
+    obs_reset_enabled();
+    // Calibrate 1 ms == 2 partial states so a 1 ms deadline cannot
+    // finish paypal's search on the curated graph.
+    let config = ServerConfig { deadline_partials_per_ms: 2, ..ServerConfig::default() };
+    let handle = start(config).expect("server starts");
+    let mut client = Client::connect(handle.addr()).expect("connect");
+
+    let resp = client
+        .post("/v1/backward", br#"{"target":"paypal","deadline_ms":1}"#)
+        .expect("request");
+    assert_eq!(resp.status, 200, "{}", resp.text());
+    let doc = json::parse(resp.text()).expect("JSON");
+    assert_eq!(doc.get("exhaustive"), Some(&Json::Bool(false)), "{}", resp.text());
+
+    // Without a deadline the same query is exhaustive and finds chains.
+    let resp = client.post("/v1/backward", br#"{"target":"paypal"}"#).expect("request");
+    let doc = json::parse(resp.text()).expect("JSON");
+    assert_eq!(doc.get("exhaustive"), Some(&Json::Bool(true)));
+    assert!(matches!(doc.get("chains"), Some(Json::Arr(chains)) if !chains.is_empty()));
+
+    let metrics = client.get("/metrics").expect("metrics");
+    let doc = json::parse(metrics.text()).expect("metrics JSON");
+    let expired = doc
+        .get("counters")
+        .and_then(|c| c.get("serve.deadline.expired"))
+        .and_then(Json::as_num)
+        .unwrap_or(0.0);
+    assert!(expired >= 1.0, "the deadline cut must be counted");
+    handle.shutdown();
+    actfort_core::obs::set_enabled(false);
+}
+
+#[test]
+fn wire_errors_carry_stable_codes_and_drain_is_graceful() {
+    let _g = lock();
+    obs_reset_enabled();
+    let handle = start(ServerConfig::default()).expect("server starts");
+    let mut client = Client::connect(handle.addr()).expect("connect");
+
+    // Unknown seed → 400 with the UnknownService discriminant.
+    let resp = client.post("/v1/forward", br#"{"seeds":["ghost"]}"#).expect("request");
+    assert_eq!(resp.status, 400);
+    let doc = json::parse(resp.text()).expect("JSON");
+    assert_eq!(
+        doc.get("error").and_then(|e| e.get("code")).and_then(Json::as_num),
+        Some(f64::from(actfort_core::error::CODE_UNKNOWN_SERVICE))
+    );
+
+    // Malformed JSON → 400 with the Query discriminant.
+    let resp = client.post("/v1/backward", b"{{{{").expect("request");
+    assert_eq!(resp.status, 400);
+    let doc = json::parse(resp.text()).expect("JSON");
+    assert_eq!(
+        doc.get("error").and_then(|e| e.get("code")).and_then(Json::as_num),
+        Some(f64::from(actfort_core::error::CODE_QUERY))
+    );
+
+    // Unknown endpoint → 404; known endpoint, wrong method → 405.
+    assert_eq!(client.get("/nope").expect("request").status, 404);
+    assert_eq!(client.get("/v1/forward").expect("request").status, 405);
+
+    // Health speaks.
+    let resp = client.get("/healthz").expect("request");
+    assert_eq!(resp.status, 200);
+    assert!(resp.text().contains("\"status\":\"ok\""));
+
+    // POST /admin/shutdown answers before draining; join() returning
+    // at all is the graceful-drain assertion (accept loop, connection
+    // threads and the work queue all wound down).
+    let resp = client.post("/admin/shutdown", b"").expect("request");
+    assert_eq!(resp.status, 200);
+    assert!(resp.text().contains("draining"));
+    handle.join();
+    actfort_core::obs::set_enabled(false);
+}

@@ -19,9 +19,12 @@
 //!   services ([`actfort_authsvc`]).
 //! - [`attack`] — the Chain Reaction Attack engine and case studies
 //!   ([`actfort_attack`]).
+//! - [`serve`] — the concurrent HTTP query service over the unified
+//!   query facade ([`actfort_serve`]).
 
 pub use actfort_attack as attack;
 pub use actfort_authsvc as authsvc;
 pub use actfort_core as core;
 pub use actfort_ecosystem as ecosystem;
 pub use actfort_gsm as gsm;
+pub use actfort_serve as serve;

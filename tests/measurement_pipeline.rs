@@ -104,6 +104,10 @@ fn tdg_scales_to_full_population() {
                 && tdg.index_of(&s.id).map(|i| !tdg.strong_parents(i).is_empty()).unwrap_or(false)
         })
         .expect("some internal node with parents");
-    let chains = actfort::core::backward_chains(&tdg, &target.id, 4);
+    let chains = actfort::core::Analysis::of(&tdg)
+        .backward(&target.id)
+        .max_chains(4)
+        .run()
+        .expect("valid query");
     assert!(!chains.is_empty(), "no chain for {}", target.id);
 }
