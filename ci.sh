@@ -26,6 +26,9 @@ cargo run --release -q -p actfort-bench --bin trace_check -- "$trace_tmp/fig3.js
 echo "==> backward smoke: best-first engine ≡ naive reference"
 cargo run --release -q -p actfort-bench --bin backward_smoke
 
+echo "==> batch smoke: shared-substrate sweep speedup (skips on <4 threads)"
+cargo run --release -q -p actfort-bench --bin batch_check
+
 echo "==> serve smoke: concurrent load + /metrics trace_check"
 cargo run --release -q -p actfort-bench --bin serve_smoke -- --metrics-out "$trace_tmp/serve_metrics.json"
 cargo run --release -q -p actfort-bench --bin trace_check -- "$trace_tmp/serve_metrics.json" \

@@ -24,13 +24,18 @@ const BATCH_SEEDS: usize = 32;
 const BACKWARD_TARGETS: usize = 8;
 const BACKWARD_MAX_CHAINS: usize = 8;
 
-fn forward(
+fn forward_with_engine(
     specs: &[ServiceSpec],
     platform: Platform,
     ap: &AttackerProfile,
     seeds: &[ServiceId],
+    engine: Engine,
 ) -> ForwardResult {
-    Analysis::over(specs, platform, *ap).forward(seeds).run().expect("valid query")
+    Analysis::over(specs, platform, *ap)
+        .forward(seeds)
+        .engine(engine)
+        .run()
+        .expect("valid query")
 }
 
 fn forward_naive(
@@ -39,11 +44,7 @@ fn forward_naive(
     ap: &AttackerProfile,
     seeds: &[ServiceId],
 ) -> ForwardResult {
-    Analysis::over(specs, platform, *ap)
-        .forward(seeds)
-        .engine(Engine::Naive)
-        .run()
-        .expect("valid query")
+    forward_with_engine(specs, platform, ap, seeds, Engine::Naive)
 }
 
 fn backward_chains_naive(tdg: &Tdg, target: &ServiceId, max_chains: usize) -> Vec<actfort_core::AttackChain> {
@@ -77,7 +78,22 @@ fn bench_engines(c: &mut Criterion) {
             b.iter(|| black_box(forward_naive(specs, Platform::Web, &ap, &[])))
         });
         g.bench_with_input(BenchmarkId::new("incremental", n), &specs, |b, specs| {
-            b.iter(|| black_box(forward(specs, Platform::Web, &ap, &[])))
+            b.iter(|| {
+                black_box(forward_with_engine(
+                    specs,
+                    Platform::Web,
+                    &ap,
+                    &[],
+                    Engine::Incremental,
+                ))
+            })
+        });
+        // The prepared substrate pays compilation *and* the run each
+        // iteration — the cold single-query cost, the worst case for it.
+        g.bench_with_input(BenchmarkId::new("prepared", n), &specs, |b, specs| {
+            b.iter(|| {
+                black_box(forward_with_engine(specs, Platform::Web, &ap, &[], Engine::Prepared))
+            })
         });
     }
     g.finish();
@@ -124,23 +140,32 @@ fn bench_backward(c: &mut Criterion) {
 
 fn bench_batch(c: &mut Criterion) {
     // A breach sweep — one independent forward analysis per seed
-    // service — sharded by the BatchAnalyzer.
+    // service — through the facade's shared-substrate batch path: the
+    // ecosystem is compiled once into the graph, every worker borrows
+    // it read-only and reuses one scratch buffer across its shard.
     let specs = population(201);
     let ap = AttackerProfile::none();
-    let seeds: Vec<ServiceId> = specs.iter().take(BATCH_SEEDS).map(|s| s.id.clone()).collect();
+    let tdg = Tdg::build(&specs, Platform::Web, ap);
+    // Seeds must name graph nodes: the graph is platform-filtered.
+    let sets: Vec<Vec<ServiceId>> =
+        (0..tdg.node_count()).take(BATCH_SEEDS).map(|i| vec![tdg.spec(i).id.clone()]).collect();
     // Honors the ACTFORT_THREADS override, like production callers.
     let threads = BatchAnalyzer::default().threads();
-    let sweep = |analyzer: &BatchAnalyzer| {
-        analyzer.run(&seeds, |seed| {
-            forward(&specs, Platform::Web, &ap, std::slice::from_ref(seed)).compromised_count()
-        })
+    let sweep = |n: usize| {
+        Analysis::of(&tdg)
+            .forward(&[])
+            .engine(Engine::Prepared)
+            .threads(n)
+            .run_each(&sets)
+            .expect("valid batch query")
+            .iter()
+            .map(ForwardResult::compromised_count)
+            .sum::<usize>()
     };
     let mut g = c.benchmark_group("forward_batch");
-    g.sample_size(10).throughput(Throughput::Elements(seeds.len() as u64));
-    let serial = BatchAnalyzer::new(1);
-    g.bench_function("serial", |b| b.iter(|| black_box(sweep(&serial))));
-    let parallel = BatchAnalyzer::default();
-    g.bench_function(format!("threads_{threads}"), |b| b.iter(|| black_box(sweep(&parallel))));
+    g.sample_size(10).throughput(Throughput::Elements(sets.len() as u64));
+    g.bench_function("serial", |b| b.iter(|| black_box(sweep(1))));
+    g.bench_function(format!("threads_{threads}"), |b| b.iter(|| black_box(sweep(threads))));
     g.finish();
 }
 
@@ -175,27 +200,25 @@ fn per_sec(ns: u128, items: u128) -> f64 {
     }
 }
 
-/// One instrumented 201-service analysis: where the incremental engine's
-/// wall time goes, from the obs span totals (evaluate / min_providers /
-/// absorb, summed across rounds). With `memoized` off the pre-memo
-/// engine runs instead, so the JSON records the memo's before/after.
+/// One instrumented 201-service analysis on the prepared substrate:
+/// where the wall time goes, split into the one-off compilation
+/// (`prepare_ns`) versus the run itself (`run_total_ns`, broken into
+/// the evaluate / min_providers / absorb span totals summed across
+/// rounds). With `memoized` off the pathset memo is disabled, so the
+/// JSON records the memo's before/after on the same engine.
 fn measure_phases(memoized: bool) -> String {
     use actfort_core::obs;
     let specs = population(201);
     let ap = AttackerProfile::paper_default();
     let run = |specs: &[actfort_ecosystem::ServiceSpec]| {
-        if memoized {
-            let _ = black_box(forward(specs, Platform::Web, &ap, &[]));
-        } else {
-            let _ = black_box(
-                Analysis::over(specs, Platform::Web, ap)
-                    .forward(&[])
-                    .engine(Engine::Incremental)
-                    .memo(false)
-                    .run()
-                    .expect("valid query"),
-            );
-        }
+        let _ = black_box(
+            Analysis::over(specs, Platform::Web, ap)
+                .forward(&[])
+                .engine(Engine::Prepared)
+                .memo(memoized)
+                .run()
+                .expect("valid query"),
+        );
     };
     // Uninstrumented warm-up: this is a single-shot sample, so pay the
     // cold-cache costs outside the measured run.
@@ -214,13 +237,15 @@ fn measure_phases(memoized: bool) -> String {
     };
     let counter_of = |name: &str| snap.counters.get(name).copied().unwrap_or(0);
     let result = format!(
-        "{{\"services\": 201, \"memoized\": {memoized}, \"evaluate_ns\": {}, \
+        "{{\"services\": 201, \"engine\": \"prepared\", \"memoized\": {memoized}, \
+         \"prepare_ns\": {}, \"evaluate_ns\": {}, \
          \"min_providers_ns\": {}, \"absorb_ns\": {}, \"run_total_ns\": {}, \
          \"minprov_memo_hits\": {}, \"minprov_memo_misses\": {}}}",
+        total_of("prepare"),
         total_of("evaluate"),
         total_of("min_providers"),
         total_of("absorb"),
-        total_of("forward.incremental"),
+        total_of("forward.prepared"),
         counter_of("engine.minprov_memo_hits"),
         counter_of("engine.minprov_memo_misses"),
     );
@@ -281,16 +306,21 @@ fn emit_json(measurements: &[Measurement]) {
     for (i, n) in POPULATIONS.iter().enumerate() {
         let naive = median_ns(measurements, &format!("forward/naive/{n}"));
         let incremental = median_ns(measurements, &format!("forward/incremental/{n}"));
+        let prepared = median_ns(measurements, &format!("forward/prepared/{n}"));
         if i > 0 {
             populations.push_str(",\n");
         }
         populations.push_str(&format!(
             "    {{\"services\": {n}, \"naive_ns\": {naive}, \"incremental_ns\": {incremental}, \
+             \"prepared_ns\": {prepared}, \
              \"naive_analyses_per_sec\": {:.2}, \"incremental_analyses_per_sec\": {:.2}, \
-             \"speedup\": {:.2}}}",
+             \"prepared_analyses_per_sec\": {:.2}, \
+             \"speedup\": {:.2}, \"prepared_speedup\": {:.2}}}",
             per_sec(naive, 1),
             per_sec(incremental, 1),
+            per_sec(prepared, 1),
             naive as f64 / incremental.max(1) as f64,
+            naive as f64 / prepared.max(1) as f64,
         ));
     }
     let mut backward = String::new();
@@ -323,6 +353,7 @@ fn emit_json(measurements: &[Measurement]) {
     json.push_str(&format!("  \"phases_unmemoized\": {},\n", measure_phases(false)));
     json.push_str(&format!(
         "  \"batch_sweep\": {{\"seeds\": {BATCH_SEEDS}, \"services\": 201, \
+         \"engine\": \"prepared\", \
          \"serial_ns\": {batch_serial}, \"parallel_ns\": {batch_parallel}, \
          \"serial_analyses_per_sec\": {:.2}, \"parallel_analyses_per_sec\": {:.2}, \
          \"speedup\": {:.2}}}\n}}\n",

@@ -98,6 +98,17 @@ fn main() {
     print_phase("backward", &backward);
     assert!(backward.failed == 0 && backward.shed == 0, "backward phase must be clean");
     assert!(backward.byte_identical, "identical backward queries must serve identical bytes");
+
+    // Worker-side latency attribution over the two measured phases:
+    // wall latency decomposes into queue-wait + compute + render (the
+    // remainder is protocol framing and channel overhead).
+    let attribution = capture_attribution();
+    println!(
+        "loadgen[attribution]: queue-wait p50 {} µs, compute p50 {} µs, render p50 {} µs",
+        attribution.queue_wait_p50_ns / 1_000,
+        attribution.compute_p50_ns / 1_000,
+        attribution.render_p50_ns / 1_000,
+    );
     handle.shutdown();
 
     // Saturation phase: a deliberately tiny service (one worker, one
@@ -151,7 +162,7 @@ fn main() {
     assert_eq!(saturation.failed, 0, "everything is either served or shed");
     tiny.shutdown();
 
-    let section = render_section(connections, &forward, &backward, &saturation);
+    let section = render_section(connections, &forward, &backward, &saturation, &attribution);
     splice_serve_section(&out, &section);
     println!("loadgen: \"serve\" section written to {out}");
 }
@@ -193,19 +204,57 @@ fn phase_json(report: &LoadReport) -> String {
     )
 }
 
+/// Worker-side quantiles of the three request phases the server
+/// attributes latency to (`serve.request.*_ns` histograms), read from
+/// the in-process `obs` recorder after the measured phases.
+struct Attribution {
+    queue_wait_p50_ns: u64,
+    queue_wait_p99_ns: u64,
+    compute_p50_ns: u64,
+    compute_p99_ns: u64,
+    render_p50_ns: u64,
+    render_p99_ns: u64,
+}
+
+fn capture_attribution() -> Attribution {
+    let snap = actfort_core::obs::snapshot();
+    let quantile = |name: &str, q: f64| {
+        snap.histograms.get(name).and_then(|h| h.quantile_ns(q)).unwrap_or(0)
+    };
+    use actfort_serve::obs_names::{COMPUTE_NS, QUEUE_WAIT_NS, RENDER_NS};
+    Attribution {
+        queue_wait_p50_ns: quantile(QUEUE_WAIT_NS, 0.50),
+        queue_wait_p99_ns: quantile(QUEUE_WAIT_NS, 0.99),
+        compute_p50_ns: quantile(COMPUTE_NS, 0.50),
+        compute_p99_ns: quantile(COMPUTE_NS, 0.99),
+        render_p50_ns: quantile(RENDER_NS, 0.50),
+        render_p99_ns: quantile(RENDER_NS, 0.99),
+    }
+}
+
 fn render_section(
     connections: usize,
     forward: &LoadReport,
     backward: &LoadReport,
     saturation: &LoadReport,
+    attribution: &Attribution,
 ) -> String {
     let mut s = String::new();
     let _ = write!(
         s,
         "{{\"connections\": {connections}, \"forward\": {}, \"backward\": {}, \
+         \"latency_attribution\": {{\"queue_wait_p50_ns\": {}, \"queue_wait_p99_ns\": {}, \
+         \"compute_p50_ns\": {}, \"compute_p99_ns\": {}, \
+         \"render_p50_ns\": {}, \"render_p99_ns\": {}}}, \
          \"saturation\": {{\"requests\": {}, \"ok\": {}, \"shed_503\": {}}}}}",
         phase_json(forward),
         phase_json(backward),
+        attribution.queue_wait_p50_ns,
+        attribution.queue_wait_p99_ns,
+        attribution.compute_p50_ns,
+        attribution.compute_p99_ns,
+        attribution.render_p50_ns,
+        attribution.render_p99_ns,
         saturation.requests,
         saturation.ok,
         saturation.shed,

@@ -86,8 +86,9 @@ pub fn forward(
 }
 
 /// The [`crate::query::Engine::Auto`] dispatcher: the naive full-rescan
-/// loop below [`NAIVE_CROSSOVER`] eligible services, the incremental
-/// frontier engine at or above it.
+/// loop below [`NAIVE_CROSSOVER`] eligible services, the prepared
+/// substrate ([`crate::Prepared`]) at or above it — compile once,
+/// bitset fixed point after.
 pub(crate) fn forward_auto(
     specs: &[ServiceSpec],
     platform: Platform,
@@ -105,8 +106,8 @@ pub(crate) fn forward_auto(
         obs::add("analysis.dispatch_naive", 1);
         forward_naive_impl(specs, platform, ap, seeds)
     } else {
-        obs::add("analysis.dispatch_incremental", 1);
-        crate::engine::forward_incremental_impl(specs, platform, ap, seeds, true)
+        obs::add("analysis.dispatch_prepared", 1);
+        crate::prepared::Prepared::new(specs, platform, *ap).forward(seeds, true)
     }
 }
 

@@ -75,6 +75,26 @@ fn set_bit(words: &mut [u64], i: u32) {
     words[(i >> 6) as usize] |= 1u64 << (i & 63);
 }
 
+/// Reusable per-query search state for [`BackwardEngine`]. Every
+/// [`BackwardEngine::chains_bounded_with`] call clears it first, so one
+/// scratch serves any number of queries (against any engine) — arena,
+/// slab and heap keep their high-water-mark allocations instead of
+/// reallocating per query.
+#[derive(Default)]
+pub struct BackwardScratch {
+    arena: Vec<StepNode>,
+    slab: Vec<Option<Partial>>,
+    heap: BinaryHeap<Reverse<(u16, u16, u32)>>,
+    seen: BTreeSet<Vec<ChainStep>>,
+}
+
+impl BackwardScratch {
+    /// An empty scratch; sized on first use.
+    pub fn new() -> Self {
+        Self::default()
+    }
+}
+
 /// The backward query engine over one TDG snapshot. Build once per
 /// graph ([`BackwardEngine::new`]) and reuse across targets: the
 /// fringe-support memo and the flattened adjacency are per-graph, not
@@ -164,6 +184,20 @@ impl BackwardEngine {
         max_chains: usize,
         partial_budget: usize,
     ) -> (Vec<AttackChain>, bool) {
+        self.chains_bounded_with(&mut BackwardScratch::new(), target, max_chains, partial_budget)
+    }
+
+    /// [`Self::chains_bounded`] reusing caller-owned scratch buffers —
+    /// the fast path for query loops (serve keeps one scratch per
+    /// worker). Behaviour is identical; only the allocations are
+    /// amortized.
+    pub fn chains_bounded_with(
+        &self,
+        scratch: &mut BackwardScratch,
+        target: &ServiceId,
+        max_chains: usize,
+        partial_budget: usize,
+    ) -> (Vec<AttackChain>, bool) {
         let _span = obs::span("backward.chains");
         let explored = obs::counter("backward.partials_explored");
         let memo_hits = obs::counter("backward.memo_hits");
@@ -183,12 +217,14 @@ impl BackwardEngine {
         }
 
         let words = self.ids.len().div_ceil(64);
-        let mut arena: Vec<StepNode> = Vec::new();
-        let mut slab: Vec<Option<Partial>> = Vec::new();
+        let BackwardScratch { arena, slab, heap, seen } = scratch;
+        arena.clear();
+        slab.clear();
         // Min-heap on (steps, accounts, slab index): the slab index is
         // allocation order, giving the FIFO tie-break that makes the
         // search deterministic.
-        let mut heap: BinaryHeap<Reverse<(u16, u16, u32)>> = BinaryHeap::new();
+        heap.clear();
+        seen.clear();
 
         arena.push(StepNode { group: Group::Single(t as u32), prev: NIL });
         let mut visited = vec![0u64; words];
@@ -196,7 +232,6 @@ impl BackwardEngine {
         slab.push(Some(Partial { tail: 0, unresolved: vec![t as u32], visited }));
         heap.push(Reverse((1, 1, 0)));
 
-        let mut seen: BTreeSet<Vec<ChainStep>> = BTreeSet::new();
         let mut out: Vec<AttackChain> = Vec::new();
         let mut duplicates = 0u64;
         // Once `max_chains` distinct chains exist, every chain the
@@ -309,9 +344,9 @@ impl BackwardEngine {
                     continue;
                 }
                 push_child(
-                    &mut arena,
-                    &mut slab,
-                    &mut heap,
+                    arena,
+                    slab,
+                    heap,
                     &mut exhaustive,
                     Group::Single(parent),
                     &[parent],
@@ -328,7 +363,7 @@ impl BackwardEngine {
                     continue;
                 }
                 let group = Group::Couple { node, k: k as u32 };
-                push_child(&mut arena, &mut slab, &mut heap, &mut exhaustive, group, providers);
+                push_child(arena, slab, heap, &mut exhaustive, group, providers);
             }
         }
 

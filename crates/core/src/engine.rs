@@ -601,26 +601,43 @@ impl BatchAnalyzer {
         R: Send,
         F: Fn(&T) -> R + Sync,
     {
+        self.run_with(items, || (), |(), item| f(item))
+    }
+
+    /// [`Self::run`] with per-worker state: `init` runs once per worker
+    /// (once total on the serial path) and each call of `f` gets that
+    /// worker's state mutably. This is the scratch-buffer fast path for
+    /// sweeps over a shared [`Prepared`](crate::Prepared) substrate —
+    /// one `ForwardScratch` per worker instead of per item.
+    pub fn run_with<T, R, S, I, F>(&self, items: &[T], init: I, f: F) -> Vec<R>
+    where
+        T: Sync,
+        R: Send,
+        I: Fn() -> S + Sync,
+        F: Fn(&mut S, &T) -> R + Sync,
+    {
         let _span = obs::span("batch.run");
         let n = items.len();
         obs::add("engine.batch.runs", 1);
         obs::add("engine.batch.items", n as u64);
         let workers = self.threads.min(n);
         if workers <= 1 {
-            return items.iter().map(&f).collect();
+            let mut state = init();
+            return items.iter().map(|item| f(&mut state, item)).collect();
         }
         let next = AtomicUsize::new(0);
         let done: Mutex<Vec<(usize, R)>> = Mutex::new(Vec::with_capacity(n));
         std::thread::scope(|scope| {
             for _ in 0..workers {
                 scope.spawn(|| {
+                    let mut state = init();
                     let mut local: Vec<(usize, R)> = Vec::new();
                     loop {
                         let i = next.fetch_add(1, Ordering::Relaxed);
                         if i >= n {
                             break;
                         }
-                        local.push((i, f(&items[i])));
+                        local.push((i, f(&mut state, &items[i])));
                     }
                     done.lock().expect("a worker panicked").extend(local);
                 });

@@ -56,6 +56,7 @@ pub mod dot;
 pub mod error;
 pub mod metrics;
 pub mod pool;
+pub mod prepared;
 pub mod profile;
 pub mod query;
 pub mod report;
@@ -73,6 +74,7 @@ pub use analysis::{backward_chains, backward_chains_naive, forward};
 pub use analysis::{AttackChain, ForwardResult};
 pub use backward::BackwardEngine;
 pub use error::Error;
+pub use prepared::{ForwardScratch, Prepared};
 pub use query::{Analysis, Engine};
 pub use counter::Countermeasure;
 pub use pool::InfoPool;

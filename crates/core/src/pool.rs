@@ -14,7 +14,7 @@ use actfort_ecosystem::spec::{ServiceDomain, ServiceSpec};
 use std::collections::{BTreeMap, BTreeSet};
 
 /// Canonical length of a maskable field, for positional merging.
-fn canonical_len(kind: PersonalInfoKind) -> Option<u32> {
+pub(crate) fn canonical_len(kind: PersonalInfoKind) -> Option<u32> {
     match kind {
         PersonalInfoKind::CitizenId => Some(18),
         PersonalInfoKind::BankcardNumber => Some(16),

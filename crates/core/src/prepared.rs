@@ -1,0 +1,916 @@
+//! The prepared analysis substrate: one compilation per
+//! `(population, platform, attacker-profile)`, many cheap analyses.
+//!
+//! The incremental engine in [`crate::engine`] already avoids the naive
+//! loop's full rescans, but it still pays a per-*run* tax that dominates
+//! batch sweeps: every `forward` call re-filters the spec list, rebuilds
+//! the reverse index, re-walks exposure lists into `InfoPool`s, and keys
+//! its `min_providers` memo on freshly cloned
+//! `Vec<Vec<CredentialFactor>>` lists compared `BTreeMap`-style. This
+//! module hoists all of that into [`Prepared`], built once and shared
+//! (immutably, hence freely across threads) by any number of analyses:
+//!
+//! - **Interned ids.** Platform-eligible services become dense `u32`
+//!   node ids; `compromised` / frontier / class-seen state are `u64`
+//!   word bitsets instead of `BTreeSet<usize>`.
+//! - **Compiled paths.** Every attack path is folded against the static
+//!   attacker profile into a [`CPath`]: a 6-bit required-kind mask over
+//!   [`TRACKED_KINDS`](crate::engine), a mailbox bit, a
+//!   customer-service bit and resolved link ids. Factors the profile
+//!   satisfies outright vanish; factors it can never satisfy (SMS
+//!   without interception, unresolvable links, robust factors) kill the
+//!   path at compile time. Path satisfaction at run time is three mask
+//!   tests and a popcount.
+//! - **Compiled providers.** Each node's singleton pool is flattened to
+//!   a [`Provider`]: direct-full bits, the three positional coverage
+//!   masks, mailbox control and an interned pool-signature class (the
+//!   provider-collapse equivalence class, precomputed instead of
+//!   re-hashed per run).
+//! - **Interned memo keys.** The cross-round `min_providers` memo is
+//!   keyed by a per-node *pathset id* — the interned, sorted list of
+//!   compiled path signatures — plus the representative-set generation.
+//!   A lookup is one array index and one integer compare; the old
+//!   engine cloned and ordered the factor lists on every query.
+//! - **Scratch reuse.** All mutable run state lives in
+//!   [`ForwardScratch`]; [`Prepared::forward_with`] clears and reuses
+//!   it, so a sweep of N seed sets allocates once, not N times.
+//!
+//! Results are byte-identical to [`crate::analysis::forward_naive`] and
+//! the incremental engine — pinned by the unit tests below and the
+//! property tests in `tests/proptests.rs`. The memo key is coarser than
+//! the old engine's (distinct factor lists that compile to the same
+//! `CPath`s share an entry), which is sound because the `min_providers`
+//! answer is a function of the compiled form: hit counts may improve,
+//! answers cannot change. See DESIGN.md §12.
+
+use crate::analysis::{CompromiseRecord, ForwardResult};
+use crate::obs;
+use crate::pool::{attack_paths, canonical_len, InfoPool, PoolSignature};
+use crate::profile::AttackerProfile;
+use actfort_ecosystem::factor::{CredentialFactor, ServiceId};
+use actfort_ecosystem::info::PersonalInfoKind;
+use actfort_ecosystem::policy::{AuthPath, Platform};
+use actfort_ecosystem::spec::ServiceSpec;
+use std::collections::BTreeMap;
+
+/// Tracked-kind bit positions, aligned with the engine's
+/// `TRACKED_KINDS` order: RealName, CitizenId, CellphoneNumber,
+/// Address, BankcardNumber, SecurityAnswers.
+const BIT_REAL_NAME: u8 = 1 << 0;
+const BIT_CITIZEN_ID: u8 = 1 << 1;
+const BIT_CELLPHONE: u8 = 1 << 2;
+const BIT_ADDRESS: u8 = 1 << 3;
+const BIT_BANKCARD: u8 = 1 << 4;
+const BIT_SECURITY: u8 = 1 << 5;
+
+/// Positions of the six tracked kinds inside the
+/// [`PersonalInfoKind::all`] ordering, used to project a pool
+/// signature's 13-kind full mask down to the 6 tracked bits.
+const TRACKED_IN_ALL: [usize; 6] = [0, 1, 2, 4, 9, 12];
+
+/// The kinds with positional coverage, in [`PoolSignature`] order, and
+/// the tracked bit each completes.
+const COV_KINDS: [PersonalInfoKind; 3] = [
+    PersonalInfoKind::CitizenId,
+    PersonalInfoKind::BankcardNumber,
+    PersonalInfoKind::CellphoneNumber,
+];
+const COV_BITS: [u8; 3] = [BIT_CITIZEN_ID, BIT_BANKCARD, BIT_CELLPHONE];
+
+/// Class id of an uninformative provider (never a representative).
+const CLASS_NONE: u32 = u32::MAX;
+
+/// Memo generation sentinel: slot never written.
+const GEN_NONE: u32 = u32::MAX;
+
+#[inline]
+fn bit(words: &[u64], i: u32) -> bool {
+    words[(i >> 6) as usize] & (1u64 << (i & 63)) != 0
+}
+
+#[inline]
+fn set_bit(words: &mut [u64], i: u32) {
+    words[(i >> 6) as usize] |= 1u64 << (i & 63);
+}
+
+/// Tracked bits completed by positional coverage: a coverage mask equal
+/// to the full canonical-length mask makes its kind fully known.
+#[inline]
+fn cov_complete_bits(cov: [u32; 3]) -> u8 {
+    let mut bits = 0u8;
+    for slot in 0..3 {
+        let len = canonical_len(COV_KINDS[slot]).expect("coverage kinds have canonical lengths");
+        if cov[slot] == (1u32 << len) - 1 {
+            bits |= COV_BITS[slot];
+        }
+    }
+    bits
+}
+
+/// Projects a pool signature's 13-kind full mask to the 6 tracked bits.
+#[inline]
+fn tracked_bits(full_mask: u16) -> u8 {
+    let mut bits = 0u8;
+    for (slot, &all_bit) in TRACKED_IN_ALL.iter().enumerate() {
+        if full_mask & (1 << all_bit) != 0 {
+            bits |= 1 << slot;
+        }
+    }
+    bits
+}
+
+/// One attack path compiled against the static attacker profile.
+/// Factors the profile satisfies are gone; what remains is exactly the
+/// run-time-variable residue of `factor_satisfied_view`.
+#[derive(Clone)]
+struct CPath {
+    /// Tracked kinds that must be fully known.
+    req: u8,
+    /// Needs mailbox control (an `EmailCode`/`EmailLink` the profile
+    /// cannot intercept).
+    needs_email: bool,
+    /// Needs the customer-service dossier (≥ 3 identity facts) and the
+    /// profile alone holds fewer than 3.
+    needs_cs: bool,
+    /// `LinkedAccount` providers, as node ids, all of which must be
+    /// owned.
+    links: Vec<u32>,
+}
+
+/// A node's singleton pool, flattened to the bits factor satisfaction
+/// actually reads.
+#[derive(Clone, Copy)]
+struct Provider {
+    /// Tracked kinds exposed fully (Photos-in-the-clear already folded
+    /// into CitizenId by `absorb_compromise`).
+    raw: u8,
+    /// Positional coverage masks, [`PoolSignature`] order.
+    cov: [u32; 3],
+    /// `raw` plus coverage-completed bits — the kinds this provider
+    /// alone makes fully known.
+    eff: u8,
+    /// Compromising this node grants mailbox control.
+    email: bool,
+    /// Interned pool-signature class, or [`CLASS_NONE`] when the pool
+    /// is uninformative (such providers only matter via `LinkedAccount`
+    /// factors naming them).
+    class: u32,
+}
+
+/// Per-node compiled form.
+struct Node {
+    /// Live compiled paths (paths the profile can never satisfy are
+    /// dropped — they can't satisfy, so they can't compromise).
+    live: Vec<CPath>,
+    /// Every resolvable `LinkedAccount` target across *all* attack
+    /// paths (dead ones included), in path-then-factor order — the
+    /// extra `min_providers` candidates beyond the class
+    /// representatives.
+    all_links: Vec<u32>,
+    /// Satisfiable by the profile alone (the `min_providers == 0`
+    /// case, a compile-time constant).
+    open: bool,
+    /// Interned pathset id for the `min_providers` memo; `None` when
+    /// any path names a `LinkedAccount` (candidate set is then
+    /// target-specific, bypassing the memo — same rule as the
+    /// incremental engine).
+    pathset: Option<u32>,
+}
+
+/// Counter handles for one prepared forward run; same names as the
+/// incremental engine, so dashboards and invariants carry over.
+struct Stats {
+    rounds: obs::Counter,
+    evaluated: obs::Counter,
+    skipped: obs::Counter,
+    fell: obs::Counter,
+    class_reps: obs::Counter,
+    class_collapsed: obs::Counter,
+    minprov_queries: obs::Counter,
+    minprov_memo_hits: obs::Counter,
+    minprov_memo_misses: obs::Counter,
+}
+
+impl Stats {
+    fn fetch() -> Self {
+        Self {
+            rounds: obs::counter("engine.rounds"),
+            evaluated: obs::counter("engine.nodes_evaluated"),
+            skipped: obs::counter("engine.nodes_skipped"),
+            fell: obs::counter("engine.nodes_fell"),
+            class_reps: obs::counter("engine.provider_class_reps"),
+            class_collapsed: obs::counter("engine.provider_class_collapsed"),
+            minprov_queries: obs::counter("engine.min_provider_queries"),
+            minprov_memo_hits: obs::counter("engine.minprov_memo_hits"),
+            minprov_memo_misses: obs::counter("engine.minprov_memo_misses"),
+        }
+    }
+}
+
+/// The attacker's variable knowledge during one run, as the compiled
+/// paths read it. Ownership lives in the `compromised` bitset (the
+/// absorbed node set *is* the owned set).
+#[derive(Default, Clone, Copy)]
+struct RunState {
+    raw: u8,
+    cov: [u32; 3],
+    eff: u8,
+    email: bool,
+}
+
+impl RunState {
+    #[inline]
+    fn absorb(&mut self, p: &Provider) {
+        self.raw |= p.raw;
+        for slot in 0..3 {
+            self.cov[slot] |= p.cov[slot];
+        }
+        self.email |= p.email;
+        self.eff = self.raw | cov_complete_bits(self.cov);
+    }
+}
+
+/// Reusable per-analysis mutable state. Create with
+/// [`Prepared::scratch`]; every [`Prepared::forward_with`] call clears
+/// and resizes it, so one scratch serves any number of runs (and any
+/// substrate).
+#[derive(Default)]
+pub struct ForwardScratch {
+    compromised: Vec<u64>,
+    frontier: Vec<u64>,
+    class_seen: Vec<u64>,
+    reps: Vec<u32>,
+    /// `min_providers` memo: one slot per pathset,
+    /// `(representative generation, answer)`.
+    memo: Vec<(u32, u8)>,
+    newly: Vec<u32>,
+    candidates: Vec<u32>,
+}
+
+impl ForwardScratch {
+    /// An empty scratch; [`Prepared::forward_with`] sizes it on use.
+    pub fn new() -> Self {
+        Self::default()
+    }
+}
+
+/// An ecosystem compiled for analysis: build once per
+/// `(population, platform, attacker-profile)` with [`Prepared::new`],
+/// then run any number of forward analyses against it — concurrently,
+/// via `Arc`, with one [`ForwardScratch`] per thread.
+pub struct Prepared {
+    platform: Platform,
+    ap: AttackerProfile,
+    /// Identity facts the profile knows without any compromise
+    /// (tracked bits).
+    ap_kinds: u8,
+    /// Platform-eligible specs, node-id order.
+    specs: Vec<ServiceSpec>,
+    providers: Vec<Provider>,
+    nodes: Vec<Node>,
+    /// Distinct informative pool-signature classes.
+    classes: usize,
+    /// Distinct interned pathsets (memo table size).
+    pathsets: usize,
+    /// Reverse index over *unresolved* atoms of live paths: nodes to
+    /// re-evaluate when a tracked kind becomes fully known…
+    kind_subs: [Vec<u32>; 6],
+    /// …when the mailbox falls…
+    email_subs: Vec<u32>,
+    /// …or when a specific provider is compromised (`link_subs[p]`).
+    link_subs: Vec<Vec<u32>>,
+}
+
+impl std::fmt::Debug for Prepared {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Prepared")
+            .field("platform", &self.platform)
+            .field("nodes", &self.nodes.len())
+            .field("classes", &self.classes)
+            .field("pathsets", &self.pathsets)
+            .finish_non_exhaustive()
+    }
+}
+
+impl Prepared {
+    /// Compiles `specs` (platform-filtered) against `ap`.
+    pub fn new(specs: &[ServiceSpec], platform: Platform, ap: AttackerProfile) -> Self {
+        let _span = obs::span("prepare");
+        obs::add("engine.prepares", 1);
+        let specs: Vec<ServiceSpec> = specs
+            .iter()
+            .filter(|s| match platform {
+                Platform::Web => s.has_web,
+                Platform::MobileApp => s.has_mobile,
+            })
+            .cloned()
+            .collect();
+        let n = specs.len();
+        let id_of: BTreeMap<&ServiceId, u32> =
+            specs.iter().enumerate().map(|(i, s)| (&s.id, i as u32)).collect();
+        debug_assert_eq!(id_of.len(), n, "service ids must be unique within a population");
+
+        let mut ap_kinds = 0u8;
+        if ap.social_engineering_db {
+            ap_kinds |= BIT_REAL_NAME | BIT_ADDRESS;
+        }
+        if ap.knows_phone_number {
+            ap_kinds |= BIT_CELLPHONE;
+        }
+        let cs_static = ap_kinds.count_ones() >= 3;
+
+        // Providers: flatten each node's singleton pool and intern its
+        // signature class.
+        let mut class_of: BTreeMap<PoolSignature, u32> = BTreeMap::new();
+        let providers: Vec<Provider> = specs
+            .iter()
+            .map(|s| {
+                let mut pool = InfoPool::new();
+                pool.absorb_compromise(s, platform);
+                let (full_mask, cov, email) = pool.signature();
+                let raw = tracked_bits(full_mask);
+                let class = if pool.is_informative() {
+                    let next = class_of.len() as u32;
+                    *class_of.entry((full_mask, cov, email)).or_insert(next)
+                } else {
+                    CLASS_NONE
+                };
+                Provider { raw, cov, eff: raw | cov_complete_bits(cov), email, class }
+            })
+            .collect();
+
+        // Nodes: compile paths, collect link candidates, intern pathsets.
+        let mut pathset_of: BTreeMap<Vec<(u8, bool, bool)>, u32> = BTreeMap::new();
+        let nodes: Vec<Node> = specs
+            .iter()
+            .map(|s| {
+                let paths = attack_paths(s, platform);
+                let any_link = paths.iter().any(|p| {
+                    p.factors.iter().any(|f| matches!(f, CredentialFactor::LinkedAccount(_)))
+                });
+                let mut all_links = Vec::new();
+                for p in &paths {
+                    for f in &p.factors {
+                        if let CredentialFactor::LinkedAccount(id) = f {
+                            if let Some(&j) = id_of.get(id) {
+                                all_links.push(j);
+                            }
+                        }
+                    }
+                }
+                let live: Vec<CPath> = paths
+                    .iter()
+                    .filter_map(|p| compile_path(p, &ap, cs_static, &id_of))
+                    .collect();
+                let open = live.iter().any(|cp| {
+                    cp.req == 0 && !cp.needs_email && !cp.needs_cs && cp.links.is_empty()
+                });
+                let pathset = if any_link {
+                    None
+                } else {
+                    let mut key: Vec<(u8, bool, bool)> =
+                        live.iter().map(|cp| (cp.req, cp.needs_email, cp.needs_cs)).collect();
+                    key.sort_unstable();
+                    let next = pathset_of.len() as u32;
+                    Some(*pathset_of.entry(key).or_insert(next))
+                };
+                Node { live, all_links, open, pathset }
+            })
+            .collect();
+
+        // Reverse index over the atoms that can still flip: a node is
+        // re-evaluated only when an unresolved input of one of its live
+        // paths changes. (The incremental engine subscribes every factor
+        // occurrence, resolved or not — sound but strictly larger
+        // frontiers.)
+        let mut kind_subs: [Vec<u32>; 6] = Default::default();
+        let mut email_subs: Vec<u32> = Vec::new();
+        let mut link_subs: Vec<Vec<u32>> = vec![Vec::new(); n];
+        for (i, node) in nodes.iter().enumerate() {
+            let i = i as u32;
+            for cp in &node.live {
+                for (slot, subs) in kind_subs.iter_mut().enumerate() {
+                    if cp.req & (1 << slot) != 0 {
+                        subs.push(i);
+                    }
+                }
+                if cp.needs_email {
+                    email_subs.push(i);
+                }
+                if cp.needs_cs {
+                    // The fact count reads all six tracked kinds.
+                    for subs in &mut kind_subs {
+                        subs.push(i);
+                    }
+                }
+                for &l in &cp.links {
+                    link_subs[l as usize].push(i);
+                }
+            }
+        }
+        for subs in &mut kind_subs {
+            subs.sort_unstable();
+            subs.dedup();
+        }
+        email_subs.sort_unstable();
+        email_subs.dedup();
+        for subs in &mut link_subs {
+            subs.sort_unstable();
+            subs.dedup();
+        }
+
+        Self {
+            platform,
+            ap,
+            ap_kinds,
+            specs,
+            providers,
+            nodes,
+            classes: class_of.len(),
+            pathsets: pathset_of.len(),
+            kind_subs,
+            email_subs,
+            link_subs,
+        }
+    }
+
+    /// The platform this substrate was compiled for.
+    pub fn platform(&self) -> Platform {
+        self.platform
+    }
+
+    /// The attacker profile this substrate was compiled against.
+    pub fn attacker_profile(&self) -> AttackerProfile {
+        self.ap
+    }
+
+    /// The platform-eligible specs, in node-id order.
+    pub fn specs(&self) -> &[ServiceSpec] {
+        &self.specs
+    }
+
+    /// Number of compiled nodes.
+    pub fn node_count(&self) -> usize {
+        self.specs.len()
+    }
+
+    /// A scratch sized for this substrate (any scratch works; this one
+    /// just avoids the first-run growth).
+    pub fn scratch(&self) -> ForwardScratch {
+        let mut s = ForwardScratch::new();
+        self.reset_scratch(&mut s);
+        s
+    }
+
+    /// The forward fixed point on this substrate, with a fresh scratch.
+    /// Result is byte-identical to `forward_naive` / the incremental
+    /// engine.
+    pub fn forward(&self, seeds: &[ServiceId], memo_enabled: bool) -> ForwardResult {
+        self.forward_with(&mut self.scratch(), seeds, memo_enabled)
+    }
+
+    fn reset_scratch(&self, s: &mut ForwardScratch) {
+        let words = self.nodes.len().div_ceil(64);
+        s.compromised.clear();
+        s.compromised.resize(words, 0);
+        s.frontier.clear();
+        s.frontier.resize(words, 0);
+        s.class_seen.clear();
+        s.class_seen.resize(self.classes.div_ceil(64), 0);
+        s.reps.clear();
+        s.memo.clear();
+        s.memo.resize(self.pathsets, (GEN_NONE, 0));
+        s.newly.clear();
+        s.candidates.clear();
+    }
+
+    /// [`Self::forward`] reusing caller-owned scratch buffers — the
+    /// batch-sweep fast path: one substrate shared via `Arc`, one
+    /// scratch per worker thread.
+    pub fn forward_with(
+        &self,
+        scratch: &mut ForwardScratch,
+        seeds: &[ServiceId],
+        memo_enabled: bool,
+    ) -> ForwardResult {
+        let _span = obs::span("forward.prepared");
+        let stats = Stats::fetch();
+        obs::add("engine.runs", 1);
+        self.reset_scratch(scratch);
+        let n = self.nodes.len();
+        let mut st = RunState::default();
+        let mut records: BTreeMap<ServiceId, CompromiseRecord> = BTreeMap::new();
+        let mut rounds: Vec<Vec<ServiceId>> = Vec::new();
+        let mut compromised_count = 0usize;
+
+        // Round 0: seeds.
+        let mut seed_round = Vec::new();
+        for (i, s) in self.specs.iter().enumerate() {
+            if seeds.contains(&s.id) {
+                set_bit(&mut scratch.compromised, i as u32);
+                compromised_count += 1;
+                st.absorb(&self.providers[i]);
+                register(&self.providers[i], i as u32, &mut scratch.class_seen, &mut scratch.reps, &stats);
+                records.insert(s.id.clone(), CompromiseRecord { round: 0, min_providers: 0 });
+                seed_round.push(s.id.clone());
+            }
+        }
+        rounds.push(seed_round);
+
+        // Round 1 evaluates every standing node; afterwards only
+        // subscribers of flipped flags can change.
+        for i in 0..n as u32 {
+            if !bit(&scratch.compromised, i) {
+                set_bit(&mut scratch.frontier, i);
+            }
+        }
+        let mut frontier_len = n - compromised_count;
+
+        while frontier_len > 0 {
+            let round = rounds.len();
+            stats.rounds.inc();
+            stats.evaluated.add(frontier_len as u64);
+            stats.skipped.add(((n - compromised_count) - frontier_len) as u64);
+            obs::observe("engine.frontier_size", frontier_len as u64);
+            // Synchronous BFS: the whole frontier is judged against the
+            // same pre-round state, so `round` stays a true layer number.
+            scratch.newly.clear();
+            {
+                let _eval = obs::span("evaluate");
+                for (w, &word) in scratch.frontier.iter().enumerate() {
+                    let mut m = word;
+                    while m != 0 {
+                        let i = (w as u32) << 6 | m.trailing_zeros();
+                        m &= m - 1;
+                        let sat = self.nodes[i as usize].live.iter().any(|cp| {
+                            cp.req & !st.eff == 0
+                                && (!cp.needs_email || st.email)
+                                && (!cp.needs_cs
+                                    || (self.ap_kinds | st.eff).count_ones() >= 3)
+                                && cp.links.iter().all(|&l| bit(&scratch.compromised, l))
+                        });
+                        if sat {
+                            scratch.newly.push(i);
+                        }
+                    }
+                }
+            }
+            if scratch.newly.is_empty() {
+                break;
+            }
+            stats.fell.add(scratch.newly.len() as u64);
+            // Records are computed against the *pre-round* compromised
+            // set: providers are accounts already fallen when this layer
+            // was judged, never same-round peers.
+            let mut ids = Vec::with_capacity(scratch.newly.len());
+            {
+                let _rec = obs::span("min_providers");
+                for k in 0..scratch.newly.len() {
+                    let i = scratch.newly[k];
+                    stats.minprov_queries.inc();
+                    let min_providers = self.min_providers(
+                        i,
+                        memo_enabled,
+                        &scratch.compromised,
+                        &scratch.reps,
+                        &mut scratch.memo,
+                        &mut scratch.candidates,
+                        &stats,
+                    );
+                    records
+                        .insert(self.specs[i as usize].id.clone(), CompromiseRecord { round, min_providers });
+                    ids.push(self.specs[i as usize].id.clone());
+                }
+            }
+
+            let (before_eff, before_email) = (st.eff, st.email);
+            {
+                let _abs = obs::span("absorb");
+                for k in 0..scratch.newly.len() {
+                    let i = scratch.newly[k];
+                    set_bit(&mut scratch.compromised, i);
+                    st.absorb(&self.providers[i as usize]);
+                    register(
+                        &self.providers[i as usize],
+                        i,
+                        &mut scratch.class_seen,
+                        &mut scratch.reps,
+                        &stats,
+                    );
+                }
+            }
+            compromised_count += scratch.newly.len();
+            rounds.push(ids);
+
+            // Next frontier: subscribers of every flag that flipped.
+            scratch.frontier.iter_mut().for_each(|w| *w = 0);
+            for slot in 0..6 {
+                if st.eff & (1 << slot) != 0 && before_eff & (1 << slot) == 0 {
+                    for &sub in &self.kind_subs[slot] {
+                        set_bit(&mut scratch.frontier, sub);
+                    }
+                }
+            }
+            if st.email && !before_email {
+                for &sub in &self.email_subs {
+                    set_bit(&mut scratch.frontier, sub);
+                }
+            }
+            for &i in &scratch.newly {
+                for &sub in &self.link_subs[i as usize] {
+                    set_bit(&mut scratch.frontier, sub);
+                }
+            }
+            frontier_len = 0;
+            for w in 0..scratch.frontier.len() {
+                scratch.frontier[w] &= !scratch.compromised[w];
+                frontier_len += scratch.frontier[w].count_ones() as usize;
+            }
+        }
+
+        let uncompromised = self
+            .specs
+            .iter()
+            .enumerate()
+            .filter(|(i, _)| !bit(&scratch.compromised, *i as u32))
+            .map(|(_, s)| s.id.clone())
+            .collect();
+        // The pool is rebuilt only at materialization: absorption is
+        // commutative and idempotent, so absorbing the compromised set
+        // in node order reproduces the round-order pool exactly.
+        let mut final_pool = InfoPool::new();
+        for (i, s) in self.specs.iter().enumerate() {
+            if bit(&scratch.compromised, i as u32) {
+                final_pool.absorb_compromise(s, self.platform);
+            }
+        }
+        ForwardResult { rounds, records, uncompromised, final_pool }
+    }
+
+    /// Fewest previously-compromised providers whose pooled exposures
+    /// (plus the profile) satisfy one of the node's live paths — 0, 1,
+    /// 2 or 3 (capped). Same enumeration as the incremental engine:
+    /// one candidate per informative pool-signature class, plus any
+    /// compromised provider the node links explicitly.
+    #[allow(clippy::too_many_arguments)]
+    fn min_providers(
+        &self,
+        node: u32,
+        memo_enabled: bool,
+        compromised: &[u64],
+        reps: &[u32],
+        memo: &mut [(u32, u8)],
+        candidates: &mut Vec<u32>,
+        stats: &Stats,
+    ) -> usize {
+        let nd = &self.nodes[node as usize];
+        let gen = reps.len() as u32;
+        let slot = if memo_enabled { nd.pathset } else { None };
+        if let Some(ps) = slot {
+            let (g, ans) = memo[ps as usize];
+            if g == gen {
+                stats.minprov_memo_hits.inc();
+                return ans as usize;
+            }
+            stats.minprov_memo_misses.inc();
+        }
+        let answer = self.min_providers_uncached(nd, compromised, reps, candidates);
+        if let Some(ps) = slot {
+            memo[ps as usize] = (gen, answer as u8);
+        }
+        answer
+    }
+
+    fn min_providers_uncached(
+        &self,
+        nd: &Node,
+        compromised: &[u64],
+        reps: &[u32],
+        candidates: &mut Vec<u32>,
+    ) -> usize {
+        if nd.open {
+            return 0;
+        }
+        candidates.clear();
+        candidates.extend_from_slice(reps);
+        for &l in &nd.all_links {
+            if bit(compromised, l) && !candidates.contains(&l) {
+                candidates.push(l);
+            }
+        }
+        for &j in candidates.iter() {
+            let p = &self.providers[j as usize];
+            let sat = nd.live.iter().any(|cp| {
+                cp.req & !p.eff == 0
+                    && (!cp.needs_email || p.email)
+                    && (!cp.needs_cs || (self.ap_kinds | p.eff).count_ones() >= 3)
+                    && cp.links.iter().all(|&l| l == j)
+            });
+            if sat {
+                return 1;
+            }
+        }
+        for (ai, &a) in candidates.iter().enumerate() {
+            let pa = &self.providers[a as usize];
+            for &b in &candidates[ai + 1..] {
+                let pb = &self.providers[b as usize];
+                let cov =
+                    [pa.cov[0] | pb.cov[0], pa.cov[1] | pb.cov[1], pa.cov[2] | pb.cov[2]];
+                let eff = (pa.raw | pb.raw) | cov_complete_bits(cov);
+                let email = pa.email || pb.email;
+                let sat = nd.live.iter().any(|cp| {
+                    cp.req & !eff == 0
+                        && (!cp.needs_email || email)
+                        && (!cp.needs_cs || (self.ap_kinds | eff).count_ones() >= 3)
+                        && cp.links.iter().all(|&l| l == a || l == b)
+                });
+                if sat {
+                    return 2;
+                }
+            }
+        }
+        3
+    }
+}
+
+/// Files a newly compromised provider into its signature class,
+/// electing it representative if the class is new — the compiled form
+/// of the incremental engine's `ProviderIndex::register`.
+#[inline]
+fn register(p: &Provider, i: u32, class_seen: &mut [u64], reps: &mut Vec<u32>, stats: &Stats) {
+    if p.class == CLASS_NONE {
+        return;
+    }
+    if bit(class_seen, p.class) {
+        stats.class_collapsed.inc();
+    } else {
+        set_bit(class_seen, p.class);
+        reps.push(i);
+        stats.class_reps.inc();
+    }
+}
+
+/// Folds one attack path against the static profile. `None` means the
+/// path can never be satisfied under this profile (equivalently: it is
+/// unsatisfied by every pool), so it is dropped from the live set.
+fn compile_path(
+    path: &AuthPath,
+    ap: &AttackerProfile,
+    cs_static: bool,
+    id_of: &BTreeMap<&ServiceId, u32>,
+) -> Option<CPath> {
+    use CredentialFactor as F;
+    let mut cp = CPath { req: 0, needs_email: false, needs_cs: false, links: Vec::new() };
+    for f in &path.factors {
+        match f {
+            F::SmsCode => {
+                if !ap.sms_interception {
+                    return None;
+                }
+            }
+            F::CellphoneNumber => {
+                if !ap.knows_phone_number {
+                    cp.req |= BIT_CELLPHONE;
+                }
+            }
+            F::EmailCode | F::EmailLink => {
+                if !ap.email_interception {
+                    cp.needs_email = true;
+                }
+            }
+            F::RealName => {
+                if !ap.social_engineering_db {
+                    cp.req |= BIT_REAL_NAME;
+                }
+            }
+            F::CitizenId => cp.req |= BIT_CITIZEN_ID,
+            F::BankcardNumber => cp.req |= BIT_BANKCARD,
+            F::SecurityQuestion => cp.req |= BIT_SECURITY,
+            F::CustomerService => {
+                if !cs_static {
+                    cp.needs_cs = true;
+                }
+            }
+            F::LinkedAccount(id) => match id_of.get(id) {
+                // A link to a node outside the platform-eligible
+                // population can never be owned: dead path.
+                Some(&j) => cp.links.push(j),
+                None => return None,
+            },
+            // Secrets and robust factors are never satisfiable by
+            // harvesting (and `attack_paths` already filters them);
+            // unknown future variants conservatively match
+            // `factor_satisfied_view`'s `_ => false`.
+            _ => return None,
+        }
+    }
+    Some(cp)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::analysis::forward_naive_impl;
+    use actfort_ecosystem::dataset::curated_services;
+
+    fn assert_equivalent(
+        specs: &[ServiceSpec],
+        platform: Platform,
+        ap: &AttackerProfile,
+        seeds: &[ServiceId],
+    ) {
+        let naive = forward_naive_impl(specs, platform, ap, seeds);
+        let prepared = Prepared::new(specs, platform, *ap);
+        for memo in [true, false] {
+            let got = prepared.forward(seeds, memo);
+            assert_eq!(naive, got, "{platform} memo={memo}");
+        }
+    }
+
+    #[test]
+    fn equivalent_on_curated_population() {
+        let specs = curated_services();
+        for platform in [Platform::Web, Platform::MobileApp] {
+            assert_equivalent(&specs, platform, &AttackerProfile::paper_default(), &[]);
+            assert_equivalent(&specs, platform, &AttackerProfile::none(), &["gmail".into()]);
+            assert_equivalent(&specs, platform, &AttackerProfile::targeted(), &[]);
+            assert_equivalent(&specs, platform, &AttackerProfile::email_surface(), &[]);
+        }
+    }
+
+    #[test]
+    fn equivalent_on_synthetic_population() {
+        let specs = actfort_ecosystem::synth::paper_population(2021);
+        for platform in [Platform::Web, Platform::MobileApp] {
+            assert_equivalent(&specs, platform, &AttackerProfile::paper_default(), &[]);
+        }
+    }
+
+    #[test]
+    fn scratch_reuse_is_state_free() {
+        // One substrate, one scratch, many seed sets: each run must
+        // match a fresh-scratch run exactly (no state bleeds through).
+        let specs = curated_services();
+        let prepared = Prepared::new(&specs, Platform::Web, AttackerProfile::paper_default());
+        let mut scratch = prepared.scratch();
+        let seed_sets: Vec<Vec<ServiceId>> = vec![
+            vec![],
+            vec!["gmail".into()],
+            vec!["taobao".into(), "gmail".into()],
+            vec![],
+        ];
+        for seeds in &seed_sets {
+            let reused = prepared.forward_with(&mut scratch, seeds, true);
+            let fresh = prepared.forward(seeds, true);
+            assert_eq!(reused, fresh, "seeds={seeds:?}");
+        }
+    }
+
+    #[test]
+    fn min_providers_accounting_matches_reference() {
+        // The hand-built ecosystem from the engine's pre-round
+        // accounting regression: partial-coverage pooling (2 providers),
+        // same-round peers not counted, link candidates beyond the
+        // class representatives.
+        use actfort_ecosystem::factor::CredentialFactor as F;
+        use actfort_ecosystem::info::{ExposedField, PersonalInfoKind};
+        use actfort_ecosystem::policy::Purpose;
+        use actfort_ecosystem::spec::ServiceDomain;
+
+        let b = |id: &str| ServiceSpec::builder(id, id, ServiceDomain::Other);
+        let specs = vec![
+            b("leak-head")
+                .path(Purpose::SignIn, Platform::Web, &[F::SmsCode])
+                .expose_web(ExposedField::partial(PersonalInfoKind::CitizenId, 10, 0))
+                .build(),
+            b("leak-tail")
+                .path(Purpose::SignIn, Platform::Web, &[F::SmsCode])
+                .expose_web(ExposedField::partial(PersonalInfoKind::CitizenId, 0, 8))
+                .build(),
+            b("registry").path(Purpose::PasswordReset, Platform::Web, &[F::CitizenId]).build(),
+            b("registry-mirror")
+                .path(Purpose::PasswordReset, Platform::Web, &[F::CitizenId])
+                .expose_web(ExposedField::clear(PersonalInfoKind::CitizenId))
+                .build(),
+            b("vault")
+                .path(Purpose::PasswordReset, Platform::Web, &[F::LinkedAccount("registry".into())])
+                .build(),
+            b("fortress").path(Purpose::SignIn, Platform::Web, &[F::Password]).build(),
+        ];
+        let ap = AttackerProfile::paper_default();
+        assert_equivalent(&specs, Platform::Web, &ap, &[]);
+        let r = Prepared::new(&specs, Platform::Web, ap).forward(&[], true);
+        let rec = |id: &str| *r.records.get(&id.into()).unwrap_or_else(|| panic!("{id} falls"));
+        assert_eq!(rec("registry"), CompromiseRecord { round: 2, min_providers: 2 });
+        assert_eq!(rec("vault"), CompromiseRecord { round: 3, min_providers: 1 });
+        assert_eq!(r.uncompromised, vec![ServiceId::new("fortress")]);
+    }
+
+    #[test]
+    fn substrate_is_platform_filtered() {
+        let specs = curated_services();
+        let web = Prepared::new(&specs, Platform::Web, AttackerProfile::paper_default());
+        assert!(web.specs().iter().all(|s| s.has_web));
+        assert!(web.node_count() < specs.len(), "mobile-only services are excluded");
+    }
+}

@@ -47,17 +47,37 @@
 
 use crate::analysis::{
     backward_chains_naive_budget, forward_auto, forward_naive_impl, AttackChain, ForwardResult,
-    MAX_BACKWARD_PARTIALS,
+    MAX_BACKWARD_PARTIALS, NAIVE_CROSSOVER,
 };
 use crate::backward::BackwardEngine;
 use crate::engine::{forward_incremental_impl, BatchAnalyzer};
 use crate::error::Error;
 use crate::obs;
+use crate::prepared::Prepared;
 use crate::profile::AttackerProfile;
 use crate::tdg::Tdg;
 use actfort_ecosystem::factor::ServiceId;
 use actfort_ecosystem::policy::Platform;
 use actfort_ecosystem::spec::ServiceSpec;
+
+/// Population size (eligible services) below which [`Engine::Auto`]
+/// serves *backward* queries with the naive BFS instead of the
+/// best-first engine — the backward mirror of [`NAIVE_CROSSOVER`].
+///
+/// `BENCH_forward.json` shows the engine's build + heap machinery is
+/// pure overhead on the measured small-to-mid graphs (0.72× vs naive at
+/// 44 services, 0.16× at the 201-service paper population) while the
+/// naive clone-per-partial BFS detonates on dense graphs (6.18 s vs
+/// 218 µs at 400). The blowup is driven by couple-file density, not
+/// node count alone — synthetic populations around 200–215 nodes
+/// already show 1000×+ naive regressions on dense targets — and the
+/// cost asymmetry is extreme: naive's win is microseconds, its loss is
+/// seconds. The crossover therefore hugs the largest population where
+/// naive's advantage is actually measured (201) rather than stretching
+/// toward the blowup region. Both sides produce identical chains when
+/// exhaustive (property-tested, and pinned across this boundary by the
+/// straddle regression test).
+pub const BACKWARD_CROSSOVER: usize = 210;
 
 /// Which implementation serves a query. The facade makes the historical
 /// implicit dispatch explicit; results are engine-independent (property
@@ -71,8 +91,15 @@ pub enum Engine {
     /// counters included.
     #[default]
     Auto,
-    /// The production engine: incremental frontier for forward, the
-    /// best-first arena engine for backward.
+    /// The interned analysis substrate ([`crate::Prepared`]): compile
+    /// the population once into bitset/integer-coded form, then run the
+    /// fixed point on scratch buffers. What [`Engine::Auto`] serves at
+    /// or above the crossover; explicit selection forces it even on
+    /// small populations. Backward queries treat it as
+    /// [`Engine::Incremental`].
+    Prepared,
+    /// The incremental frontier engine for forward, the best-first
+    /// arena engine for backward.
     Incremental,
     /// The reference implementation: full-rescan fixed point for
     /// forward, clone-heavy BFS for backward. Kept for equivalence
@@ -115,6 +142,22 @@ impl Source<'_> {
     /// platform — platform eligibility is the engines' concern).
     fn knows(&self, id: &ServiceId) -> bool {
         self.specs().iter().any(|s| &s.id == id)
+    }
+
+    /// Number of services eligible on the analysed platform — the input
+    /// to both crossover dispatches. (A graph source is already
+    /// platform-filtered.)
+    fn eligible(&self) -> usize {
+        match self {
+            Source::Graph(tdg) => tdg.node_count(),
+            Source::Raw { specs, platform, .. } => specs
+                .iter()
+                .filter(|s| match platform {
+                    Platform::Web => s.has_web,
+                    Platform::MobileApp => s.has_mobile,
+                })
+                .count(),
+        }
     }
 }
 
@@ -215,11 +258,36 @@ impl<'a> ForwardQuery<'a> {
         Ok(())
     }
 
+    /// Whether this query is served by the prepared substrate: forced
+    /// by [`Engine::Prepared`], picked by [`Engine::Auto`] at or above
+    /// the crossover.
+    fn uses_prepared(&self) -> bool {
+        match self.engine {
+            Engine::Prepared => true,
+            Engine::Auto => self.source.eligible() >= NAIVE_CROSSOVER,
+            Engine::Incremental | Engine::Naive => false,
+        }
+    }
+
+    /// Runs `f` against the substrate: a graph source already owns one
+    /// (built at [`Tdg::build`]); a raw source compiles it here.
+    fn with_substrate<R>(&self, f: impl FnOnce(&Prepared) -> R) -> R {
+        match &self.source {
+            Source::Graph(tdg) => f(tdg.prepared()),
+            Source::Raw { specs, platform, ap } => f(&Prepared::new(specs, *platform, *ap)),
+        }
+    }
+
     fn dispatch(&self, seeds: &[ServiceId]) -> ForwardResult {
         let (specs, platform) = (self.source.specs(), self.source.platform());
         let ap = self.source.profile();
         match self.engine {
+            Engine::Auto | Engine::Prepared if self.uses_prepared() => {
+                obs::add("analysis.dispatch_prepared", 1);
+                self.with_substrate(|p| p.forward(seeds, self.memo))
+            }
             Engine::Auto => forward_auto(specs, platform, &ap, seeds),
+            Engine::Prepared => unreachable!("Engine::Prepared always uses the substrate"),
             Engine::Naive => forward_naive_impl(specs, platform, &ap, seeds),
             Engine::Incremental => {
                 forward_incremental_impl(specs, platform, &ap, seeds, self.memo)
@@ -239,6 +307,12 @@ impl<'a> ForwardQuery<'a> {
     /// Runs one analysis per seed set, sharded across the
     /// [`BatchAnalyzer`] thread pool, results in input order. The seeds
     /// given at [`Analysis::forward`] are prepended to every set.
+    ///
+    /// When the prepared substrate serves the query, it is compiled
+    /// **once** (or borrowed from the graph source) and shared read-only
+    /// across all workers, each reusing one scratch buffer — the whole
+    /// point of preparation: the sweep parallelizes the fixed points,
+    /// not redundant index builds.
     pub fn run_each(&self, seed_sets: &[Vec<ServiceId>]) -> Result<Vec<ForwardResult>, Error> {
         self.validate()?;
         for set in seed_sets {
@@ -251,6 +325,24 @@ impl<'a> ForwardQuery<'a> {
             None => BatchAnalyzer::from_env()?,
         };
         let _span = self.trace.map(obs::span);
+        if self.uses_prepared() {
+            return Ok(self.with_substrate(|prepared| {
+                analyzer.run_with(
+                    seed_sets,
+                    || prepared.scratch(),
+                    |scratch, set| {
+                        obs::add("analysis.dispatch_prepared", 1);
+                        if self.seeds.is_empty() {
+                            prepared.forward_with(scratch, set, self.memo)
+                        } else {
+                            let mut all = self.seeds.to_vec();
+                            all.extend(set.iter().cloned());
+                            prepared.forward_with(scratch, &all, self.memo)
+                        }
+                    },
+                )
+            }));
+        }
         Ok(analyzer.run(seed_sets, |set| {
             if self.seeds.is_empty() {
                 self.dispatch(set)
@@ -335,7 +427,22 @@ impl<'a> BackwardQuery<'a> {
         if let Some(engine) = self.via {
             return Ok(engine.chains_bounded(self.target, self.max_chains, budget));
         }
-        match self.engine {
+        // Auto mirrors the forward crossover: naive BFS below
+        // [`BACKWARD_CROSSOVER`] eligible services (the best-first
+        // engine's build is pure overhead there), the arena engine at or
+        // above it (where the naive clone-per-partial BFS blows up).
+        let engine = match self.engine {
+            Engine::Auto if self.source.eligible() < BACKWARD_CROSSOVER => {
+                obs::add("analysis.backward_dispatch_naive", 1);
+                Engine::Naive
+            }
+            Engine::Auto => {
+                obs::add("analysis.backward_dispatch_engine", 1);
+                Engine::Incremental
+            }
+            explicit => explicit,
+        };
+        match engine {
             Engine::Naive => {
                 let owned;
                 let tdg = match &self.source {
@@ -347,7 +454,7 @@ impl<'a> BackwardQuery<'a> {
                 };
                 Ok(backward_chains_naive_budget(tdg, self.target, self.max_chains, budget))
             }
-            Engine::Auto | Engine::Incremental => {
+            Engine::Auto | Engine::Prepared | Engine::Incremental => {
                 let engine = match &self.source {
                     Source::Graph(tdg) => BackwardEngine::new(tdg),
                     Source::Raw { specs, platform, ap } => {
@@ -399,7 +506,7 @@ mod tests {
         let specs = curated_services();
         for platform in [Platform::Web, Platform::MobileApp] {
             let base = Analysis::over(&specs, platform, ap()).forward(&[]).run().unwrap();
-            for engine in [Engine::Auto, Engine::Incremental, Engine::Naive] {
+            for engine in [Engine::Auto, Engine::Prepared, Engine::Incremental, Engine::Naive] {
                 let got = Analysis::over(&specs, platform, ap())
                     .forward(&[])
                     .engine(engine)
@@ -441,6 +548,40 @@ mod tests {
             .run()
             .unwrap();
         assert_eq!(best, raw);
+    }
+
+    #[test]
+    fn backward_crossover_is_result_invariant() {
+        use actfort_ecosystem::synth::{generate, SynthConfig};
+        // Fixed-seed populations whose Web-eligible counts straddle
+        // BACKWARD_CROSSOVER: 185 (below → Auto serves naive), 210 and
+        // 220 (at/above → Auto serves the engine). Whichever side the
+        // dispatcher lands on, the chains are identical across all
+        // engines. The raw sizes are chosen so the naive BFS is cheap on
+        // every population (the blowup is density-dependent; these seeds
+        // are verified fast and `generate` is deterministic).
+        for (raw, eligible) in [(200usize, 185usize), (225, 210), (235, 220)] {
+            let specs = generate(raw, 5, &SynthConfig::default());
+            let tdg = Tdg::build(&specs, Platform::Web, ap());
+            assert_eq!(tdg.node_count(), eligible, "population drifted, re-pick test sizes");
+            let targets: Vec<ServiceId> = (0..eligible)
+                .step_by(eligible / 3)
+                .map(|i| tdg.spec(i).id.clone())
+                .collect();
+            for target in &targets {
+                let auto =
+                    Analysis::of(&tdg).backward(target).max_chains(4).run().unwrap();
+                for engine in [Engine::Incremental, Engine::Naive] {
+                    let explicit = Analysis::of(&tdg)
+                        .backward(target)
+                        .max_chains(4)
+                        .engine(engine)
+                        .run()
+                        .unwrap();
+                    assert_eq!(auto, explicit, "n={eligible} {target} {engine:?}");
+                }
+            }
+        }
     }
 
     #[test]

@@ -8,12 +8,14 @@
 //! the Couple File (Definitions 2–3).
 
 use crate::pool::{attack_paths, path_satisfied, InfoPool};
+use crate::prepared::Prepared;
 use crate::profile::AttackerProfile;
 use actfort_ecosystem::factor::ServiceId;
 use actfort_ecosystem::policy::Platform;
 use actfort_ecosystem::spec::ServiceSpec;
 use serde::{Deserialize, Serialize};
 use std::collections::BTreeSet;
+use std::sync::Arc;
 
 /// Maximum couple group size searched (the combinatorial cut-off).
 pub const MAX_COUPLE_SIZE: usize = 3;
@@ -30,10 +32,16 @@ pub struct CoupleEntry {
 }
 
 /// The dependency graph over one platform.
+///
+/// Owns the [`Prepared`] analysis substrate for its
+/// `(population, platform, profile)` triple — built once here, shared by
+/// every forward query routed through the graph (and by batch sweeps,
+/// via the `Arc`). The platform-filtered spec list lives inside the
+/// substrate; the graph no longer keeps its own copy.
 #[derive(Debug, Clone)]
 pub struct Tdg {
     platform: Platform,
-    specs: Vec<ServiceSpec>,
+    prepared: Arc<Prepared>,
     ap: AttackerProfile,
     fringe: Vec<bool>,
     /// `strong[child]` = parents with a strong-directivity edge to child.
@@ -70,14 +78,8 @@ fn contributes_partially(
 impl Tdg {
     /// Builds the TDG for every spec present on `platform`.
     pub fn build(specs: &[ServiceSpec], platform: Platform, ap: AttackerProfile) -> Self {
-        let specs: Vec<ServiceSpec> = specs
-            .iter()
-            .filter(|s| match platform {
-                Platform::Web => s.has_web,
-                Platform::MobileApp => s.has_mobile,
-            })
-            .cloned()
-            .collect();
+        let prepared = Arc::new(Prepared::new(specs, platform, ap));
+        let specs = prepared.specs();
         let n = specs.len();
         let empty_pool = InfoPool::new();
 
@@ -180,7 +182,7 @@ impl Tdg {
             strong[target] = parents.into_iter().collect();
         }
 
-        Self { platform, specs, ap, fringe, strong, couples }
+        Self { platform, prepared, ap, fringe, strong, couples }
     }
 
     /// The platform this graph describes.
@@ -195,22 +197,28 @@ impl Tdg {
 
     /// Number of nodes.
     pub fn node_count(&self) -> usize {
-        self.specs.len()
+        self.prepared.node_count()
     }
 
     /// The spec at a node index.
     pub fn spec(&self, index: usize) -> &ServiceSpec {
-        &self.specs[index]
+        &self.prepared.specs()[index]
     }
 
     /// All node specs.
     pub fn specs(&self) -> &[ServiceSpec] {
-        &self.specs
+        self.prepared.specs()
+    }
+
+    /// The prepared analysis substrate for this graph's population —
+    /// the forward fast path, shareable across threads.
+    pub fn prepared(&self) -> &Arc<Prepared> {
+        &self.prepared
     }
 
     /// Index of a service id.
     pub fn index_of(&self, id: &ServiceId) -> Option<usize> {
-        self.specs.iter().position(|s| &s.id == id)
+        self.specs().iter().position(|s| &s.id == id)
     }
 
     /// Whether the node falls to the attacker profile alone (red node in
@@ -221,7 +229,7 @@ impl Tdg {
 
     /// Indices of all fringe nodes.
     pub fn fringe_nodes(&self) -> Vec<usize> {
-        (0..self.specs.len()).filter(|&i| self.fringe[i]).collect()
+        (0..self.node_count()).filter(|&i| self.fringe[i]).collect()
     }
 
     /// Full-capacity parents of a node (strong-directivity edges in).
@@ -231,7 +239,7 @@ impl Tdg {
 
     /// Children a node is full-capacity parent of.
     pub fn strong_children(&self, index: usize) -> Vec<usize> {
-        (0..self.specs.len())
+        (0..self.node_count())
             .filter(|&c| self.strong[c].contains(&index))
             .collect()
     }

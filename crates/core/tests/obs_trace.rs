@@ -7,10 +7,11 @@
 //! own test binary and serialize through [`obs_lock`].
 
 use actfort_core::profile::AttackerProfile;
-use actfort_core::query::Analysis;
-use actfort_core::{obs, ForwardResult};
+use actfort_core::query::{Analysis, BACKWARD_CROSSOVER};
+use actfort_core::{obs, ForwardResult, Tdg};
+use actfort_ecosystem::dataset::curated_services;
 use actfort_ecosystem::policy::Platform;
-use actfort_ecosystem::synth::paper_population;
+use actfort_ecosystem::synth::{generate, paper_population, SynthConfig};
 use std::sync::{Mutex, MutexGuard};
 
 const SEED: u64 = 2021;
@@ -57,10 +58,11 @@ fn sweep_span_tree_shape_is_pinned() {
     assert_eq!(
         paths,
         vec![
-            "forward.incremental",
-            "forward.incremental/absorb",
-            "forward.incremental/evaluate",
-            "forward.incremental/min_providers",
+            "forward.prepared",
+            "forward.prepared/absorb",
+            "forward.prepared/evaluate",
+            "forward.prepared/min_providers",
+            "prepare",
         ],
         "span tree changed shape"
     );
@@ -74,18 +76,21 @@ fn sweep_counters_agree_with_the_result() {
     let span_count =
         |path: &str| snap.spans.get(path).map(|s| s.count).expect("span path present");
 
-    // 201 services is far past NAIVE_CROSSOVER: one incremental run.
-    assert_eq!(c("analysis.dispatch_incremental"), 1);
+    // 201 services is far past NAIVE_CROSSOVER: one substrate
+    // compilation, one prepared run.
+    assert_eq!(c("analysis.dispatch_prepared"), 1);
     assert_eq!(c("analysis.dispatch_naive"), 0);
+    assert_eq!(c("engine.prepares"), 1);
     assert_eq!(c("engine.runs"), 1);
-    assert_eq!(span_count("forward.incremental"), 1);
+    assert_eq!(span_count("prepare"), 1);
+    assert_eq!(span_count("forward.prepared"), 1);
 
     // Every loop iteration opens one evaluate span and bumps the round
     // counter; min_providers and absorb only run on productive rounds.
-    assert_eq!(span_count("forward.incremental/evaluate"), c("engine.rounds"));
+    assert_eq!(span_count("forward.prepared/evaluate"), c("engine.rounds"));
     assert_eq!(
-        span_count("forward.incremental/min_providers"),
-        span_count("forward.incremental/absorb")
+        span_count("forward.prepared/min_providers"),
+        span_count("forward.prepared/absorb")
     );
 
     // No seeds: every compromise record came from a productive round.
@@ -96,4 +101,53 @@ fn sweep_counters_agree_with_the_result() {
     // Frontier sizes were histogrammed once per round.
     let frontier = snap.histograms.get("engine.frontier_size").expect("frontier histogram");
     assert_eq!(frontier.count(), c("engine.rounds"));
+}
+
+#[test]
+fn backward_auto_dispatch_flips_at_the_crossover() {
+    let _g = obs_lock();
+    let count = |name: &str, f: &dyn Fn()| {
+        obs::reset();
+        obs::set_enabled(true);
+        f();
+        obs::set_enabled(false);
+        let n = obs::snapshot().counters.get(name).copied().unwrap_or(0);
+        obs::reset();
+        n
+    };
+    let ap = AttackerProfile::paper_default();
+
+    // Curated (44 eligible) is far below the crossover: naive side.
+    let specs = curated_services();
+    let below = Tdg::build(&specs, Platform::Web, ap);
+    assert!(below.node_count() < BACKWARD_CROSSOVER);
+    let n = count("analysis.backward_dispatch_naive", &|| {
+        Analysis::of(&below).backward(&"paypal".into()).run().unwrap();
+    });
+    assert_eq!(n, 1, "below the crossover Auto must dispatch the naive BFS");
+
+    // This fixed-seed synthetic population has 210 Web-eligible
+    // services — exactly at the crossover: engine side.
+    let specs = generate(225, 5, &SynthConfig::default());
+    let at = Tdg::build(&specs, Platform::Web, ap);
+    assert!(at.node_count() >= BACKWARD_CROSSOVER);
+    let target = at.spec(0).id.clone();
+    let n = count("analysis.backward_dispatch_engine", &|| {
+        Analysis::of(&at).backward(&target).run().unwrap();
+    });
+    assert_eq!(n, 1, "at the crossover Auto must dispatch the best-first engine");
+
+    // Explicit engines and `via` never touch the dispatch counters.
+    let engine = actfort_core::BackwardEngine::new(&below);
+    for counter in ["analysis.backward_dispatch_naive", "analysis.backward_dispatch_engine"] {
+        let n = count(counter, &|| {
+            Analysis::of(&below)
+                .backward(&"paypal".into())
+                .engine(actfort_core::Engine::Incremental)
+                .run()
+                .unwrap();
+            Analysis::of(&below).backward(&"paypal".into()).via(&engine).run().unwrap();
+        });
+        assert_eq!(n, 0, "{counter} must stay untouched by explicit/via routing");
+    }
 }

@@ -7,7 +7,7 @@ use actfort_core::counter::{apply, Countermeasure};
 use actfort_core::pool::{attack_paths, path_satisfied, InfoPool};
 use actfort_core::profile::AttackerProfile;
 use actfort_core::query::{Analysis, Engine};
-use actfort_core::Tdg;
+use actfort_core::{Prepared, Tdg};
 use actfort_ecosystem::factor::ServiceId;
 use actfort_ecosystem::policy::Platform;
 use actfort_ecosystem::spec::ServiceSpec;
@@ -228,6 +228,84 @@ proptest! {
             &incremental.uncompromised,
             "survivors diverged"
         );
+    }
+
+    /// Substrate equivalence: one [`Prepared`] compilation serves many
+    /// forward analyses through a single reused scratch, and every run —
+    /// memoized or not — is byte-identical to the naive full-rescan
+    /// reference on the same population, platform, profile and seeds.
+    /// Reusing one scratch across seed sets is the point: leftover state
+    /// from a previous run must never leak into the next.
+    #[test]
+    fn prepared_substrate_matches_naive_reference(
+        seed in any::<u64>(),
+        pick in 0usize..16,
+        profile_pick in 0usize..3,
+        platform_pick in 0usize..2,
+    ) {
+        let specs = population(seed, 30);
+        let ap = match profile_pick {
+            0 => AttackerProfile::paper_default(),
+            1 => AttackerProfile::email_surface(),
+            _ => AttackerProfile::targeted(),
+        };
+        let platform = if platform_pick == 0 { Platform::Web } else { Platform::MobileApp };
+        let prepared = Prepared::new(&specs, platform, ap);
+        let mut scratch = prepared.scratch();
+        let seed_sets: Vec<Vec<ServiceId>> = vec![
+            Vec::new(),
+            vec![specs[pick % specs.len()].id.clone()],
+            specs.iter().take(3).map(|s| s.id.clone()).collect(),
+        ];
+        for seeds in &seed_sets {
+            let naive = forward_naive(&specs, platform, &ap, seeds);
+            for memo in [true, false] {
+                let fast = prepared.forward_with(&mut scratch, seeds, memo);
+                prop_assert_eq!(
+                    &fast, &naive,
+                    "substrate diverged from naive (seeds {:?}, memo {})",
+                    seeds, memo
+                );
+            }
+        }
+    }
+
+    /// Backward equivalence through the substrate-backed graph: a `Tdg`
+    /// owns its compiled substrate, and dispatching `Engine::Prepared`
+    /// over it returns the exact chain list of the exhaustive naive
+    /// enumeration. Cases where naive hits its global partial budget are
+    /// skipped, as in `backward_props`.
+    #[test]
+    fn prepared_backward_matches_naive_reference(
+        seed in any::<u64>(),
+        max_chains in 1usize..6,
+    ) {
+        let specs = population(seed, 20);
+        let ap = AttackerProfile::paper_default();
+        let tdg = Tdg::build(&specs, Platform::Web, ap);
+        let nodes = tdg.node_count();
+        prop_assume!(nodes > 0);
+        for t in (0..nodes).step_by((nodes / 4).max(1)) {
+            let target = tdg.spec(t).id.clone();
+            let (naive, exhaustive) = Analysis::of(&tdg)
+                .backward(&target)
+                .max_chains(max_chains)
+                .engine(Engine::Naive)
+                .run_bounded()
+                .expect("valid query");
+            prop_assume!(exhaustive);
+            let fast = Analysis::of(&tdg)
+                .backward(&target)
+                .max_chains(max_chains)
+                .engine(Engine::Prepared)
+                .run()
+                .expect("valid query");
+            prop_assert_eq!(
+                fast, naive,
+                "prepared backward diverged for {} (max_chains {})",
+                target, max_chains
+            );
+        }
     }
 
     /// Countermeasures never enlarge the compromised set, on any seed.

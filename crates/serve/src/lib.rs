@@ -74,6 +74,18 @@ pub mod obs_names {
     pub const FORWARD_SPAN: &str = "serve.forward";
     /// Span: one backward analysis on a worker thread.
     pub const BACKWARD_SPAN: &str = "serve.backward";
+    /// Span (child of an endpoint span): the analysis run itself.
+    pub const COMPUTE_SPAN: &str = "compute";
+    /// Span (child of an endpoint span): rendering the response body.
+    pub const RENDER_SPAN: &str = "render";
+    /// Histogram: time an analysis job spent in the bounded queue
+    /// before a worker picked it up (enqueue → job start).
+    pub const QUEUE_WAIT_NS: &str = "serve.request.queue_wait_ns";
+    /// Histogram: analysis compute time on the worker (the engine run,
+    /// excluding rendering).
+    pub const COMPUTE_NS: &str = "serve.request.compute_ns";
+    /// Histogram: response-body render time on the worker.
+    pub const RENDER_NS: &str = "serve.request.render_ns";
     /// Histogram: `/v1/forward` wall latency (protocol + queue + run).
     pub const FORWARD_LATENCY: &str = "serve.forward.latency_ns";
     /// Histogram: `/v1/backward` wall latency.

@@ -247,9 +247,12 @@ fn route(shared: &Arc<Shared>, request: &Request) -> Response {
         ),
         _ => (obs_names::OTHER_LATENCY, not_found(&request.path)),
     };
-    let ns = u64::try_from(start.elapsed().as_nanos()).unwrap_or(u64::MAX);
-    obs::record_ns(histogram, ns);
+    obs::record_ns(histogram, elapsed_ns(start));
     response
+}
+
+fn elapsed_ns(since: Instant) -> u64 {
+    u64::try_from(since.elapsed().as_nanos()).unwrap_or(u64::MAX)
 }
 
 fn error_response(err: &Error) -> Response {
@@ -288,13 +291,18 @@ fn metrics() -> Response {
 }
 
 /// Runs `job` on the worker pool and blocks for its rendered body.
+/// The enqueue → job-start gap is recorded as
+/// [`obs_names::QUEUE_WAIT_NS`], so wall latency decomposes into
+/// queue-wait + compute + render (the handlers record the other two).
 fn run_on_pool(
     shared: &Arc<Shared>,
     job: impl FnOnce(&Snapshot) -> Result<Vec<u8>, Error> + Send + 'static,
     snapshot: Arc<Snapshot>,
 ) -> Result<Result<Vec<u8>, Error>, Response> {
     let (tx, rx) = mpsc::channel();
+    let enqueued = Instant::now();
     let submitted = shared.queue.submit(Box::new(move || {
+        obs::record_ns(obs_names::QUEUE_WAIT_NS, elapsed_ns(enqueued));
         let _ = tx.send(job(&snapshot));
     }));
     if let Err(full) = submitted {
@@ -329,12 +337,21 @@ fn forward(shared: &Arc<Shared>, body: &[u8]) -> Response {
         shared,
         move |snap| {
             let _span = obs::span(obs_names::FORWARD_SPAN);
-            let result = Analysis::of(&snap.tdg)
-                .forward(&request.seeds)
-                .engine(request.engine)
-                .memo(request.memo)
-                .run()?;
-            Ok(wire::render_forward(generation, request.engine, &result))
+            let compute_started = Instant::now();
+            let result = {
+                let _compute = obs::span(obs_names::COMPUTE_SPAN);
+                Analysis::of(&snap.tdg)
+                    .forward(&request.seeds)
+                    .engine(request.engine)
+                    .memo(request.memo)
+                    .run()?
+            };
+            obs::record_ns(obs_names::COMPUTE_NS, elapsed_ns(compute_started));
+            let render_started = Instant::now();
+            let _render = obs::span(obs_names::RENDER_SPAN);
+            let rendered = wire::render_forward(generation, request.engine, &result);
+            obs::record_ns(obs_names::RENDER_NS, elapsed_ns(render_started));
+            Ok(rendered)
         },
         Arc::clone(&snapshot),
     );
@@ -362,31 +379,40 @@ fn backward(shared: &Arc<Shared>, body: &[u8]) -> Response {
         shared,
         move |snap| {
             let _span = obs::span(obs_names::BACKWARD_SPAN);
-            let mut query = Analysis::of(&snap.tdg)
-                .backward(&request.target)
-                .max_chains(request.max_chains)
-                .engine(request.engine);
-            if request.engine != Engine::Naive {
-                // The snapshot's prewarmed engine amortizes graph
-                // flattening and the fringe-support memo.
-                query = query.via(&snap.backward);
-            }
-            if let Some(budget) = request.effective_budget(partials_per_ms) {
-                query = query.budget(budget);
-            }
-            let (chains, exhaustive) = query.run_bounded()?;
+            let compute_started = Instant::now();
+            let (chains, exhaustive) = {
+                let _compute = obs::span(obs_names::COMPUTE_SPAN);
+                let mut query = Analysis::of(&snap.tdg)
+                    .backward(&request.target)
+                    .max_chains(request.max_chains)
+                    .engine(request.engine);
+                if request.engine != Engine::Naive {
+                    // The snapshot's prewarmed engine amortizes graph
+                    // flattening and the fringe-support memo.
+                    query = query.via(&snap.backward);
+                }
+                if let Some(budget) = request.effective_budget(partials_per_ms) {
+                    query = query.budget(budget);
+                }
+                query.run_bounded()?
+            };
+            obs::record_ns(obs_names::COMPUTE_NS, elapsed_ns(compute_started));
             // Attribute the cut to the deadline only when the deadline
             // supplied the budget (an explicit budget takes precedence).
             if !exhaustive && request.budget.is_none() && request.deadline_ms.is_some() {
                 obs::add(obs_names::DEADLINE_EXPIRED, 1);
             }
-            Ok(wire::render_backward(
+            let render_started = Instant::now();
+            let _render = obs::span(obs_names::RENDER_SPAN);
+            let rendered = wire::render_backward(
                 generation,
                 request.engine,
                 &request.target,
                 &chains,
                 exhaustive,
-            ))
+            );
+            obs::record_ns(obs_names::RENDER_NS, elapsed_ns(render_started));
+            Ok(rendered)
         },
         snapshot,
     );

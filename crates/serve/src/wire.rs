@@ -104,10 +104,12 @@ fn field_engine(doc: &Json) -> Result<Engine, Error> {
         None | Some(Json::Null) => Ok(Engine::Auto),
         Some(Json::Str(s)) => match s.as_str() {
             "auto" => Ok(Engine::Auto),
+            "prepared" => Ok(Engine::Prepared),
             "incremental" => Ok(Engine::Incremental),
             "naive" => Ok(Engine::Naive),
             other => Err(Error::Query(format!(
-                "unknown engine {other:?} (expected \"auto\", \"incremental\" or \"naive\")"
+                "unknown engine {other:?} (expected \"auto\", \"prepared\", \"incremental\" or \
+                 \"naive\")"
             ))),
         },
         Some(_) => Err(Error::Query("\"engine\" must be a string".into())),
@@ -119,6 +121,7 @@ fn field_engine(doc: &Json) -> Result<Engine, Error> {
 pub fn engine_name(engine: Engine) -> &'static str {
     match engine {
         Engine::Auto => "auto",
+        Engine::Prepared => "prepared",
         Engine::Incremental => "incremental",
         Engine::Naive => "naive",
     }
@@ -292,6 +295,10 @@ mod tests {
         assert_eq!(req.seeds.len(), 2);
         assert_eq!(req.engine, Engine::Naive);
         assert!(!req.memo);
+
+        let req = parse_forward(br#"{"engine":"prepared"}"#).expect("prepared engine");
+        assert_eq!(req.engine, Engine::Prepared);
+        assert_eq!(engine_name(req.engine), "prepared");
 
         assert!(parse_forward(br#"{"seeds":"gmail"}"#).is_err());
         assert!(parse_forward(br#"{"engine":"warp"}"#).is_err());
