@@ -19,6 +19,7 @@ use std::fmt::Write as _;
 fn main() {
     let mut connections = 8usize;
     let mut out = String::from("BENCH_forward.json");
+    let mut max_p50_ms: Option<f64> = None;
     let mut args = std::env::args().skip(1);
     while let Some(flag) = args.next() {
         let mut value = || args.next().expect("flag requires a value");
@@ -28,6 +29,11 @@ fn main() {
                 assert!(connections >= 1, "--connections takes a positive integer");
             }
             "--out" => out = value(),
+            "--max-p50-ms" => {
+                // The CI latency gate: fail the run outright when the
+                // measured forward p50 regresses past the threshold.
+                max_p50_ms = Some(value().parse().expect("--max-p50-ms takes milliseconds"));
+            }
             other => panic!("unknown flag {other:?}"),
         }
     }
@@ -75,29 +81,73 @@ fn main() {
         addr: handle.addr(),
         connections,
         requests_per_connection: 40,
-        shots: forward_shots,
+        pipeline: 1,
+        shots: forward_shots.clone(),
     });
     print_phase("forward", &forward);
     assert!(forward.failed == 0 && forward.shed == 0, "forward phase must be clean");
     assert!(forward.byte_identical, "identical forward queries must serve identical bytes");
     assert!(forward.hit_rate() > 0.0, "the forward cache must be measurably hit");
+    if let Some(limit) = max_p50_ms {
+        let p50_ms = forward.p50_ns as f64 / 1e6;
+        assert!(
+            p50_ms < limit,
+            "latency gate: forward p50 {p50_ms:.3} ms exceeds the {limit} ms limit \
+             (the 44 ms thread-per-connection floor must not return)"
+        );
+        println!("loadgen: latency gate OK (p50 {p50_ms:.3} ms < {limit} ms)");
+    }
 
-    // Backward phase: chain queries for a spread of targets.
+    // Backward phase: chain queries for a spread of targets. Enough
+    // repetition that the rendered-body cache must carry the load —
+    // hit rate > 0.9 guards the backward cache lookup existing at all
+    // (it was silently absent once; see serve::cache).
     let backward_shots: Vec<Shot> = eligible
         .iter()
         .enumerate()
         .filter(|(i, _)| i % 25 == 0)
         .map(|(_, id)| Shot::backward(id.as_str(), 4))
         .collect();
+    // Warm each shot once sequentially so the measured phase sees the
+    // steady-state cache: without this, concurrent threads race the
+    // first compute of a shot and double-miss, and the hit rate
+    // measures scheduler timing instead of whether the backward cache
+    // lookup exists (a missing lookup still reads 0.0 here).
+    let mut warmer = actfort_serve::Client::connect(handle.addr()).expect("warm-up connect");
+    for shot in &backward_shots {
+        let resp = warmer.post(&shot.path, shot.body.as_bytes()).expect("warm-up request");
+        assert_eq!(resp.status, 200, "warm-up must succeed: {}", resp.text());
+    }
+    drop(warmer);
     let backward = run(&LoadPlan {
         addr: handle.addr(),
         connections,
-        requests_per_connection: 24,
+        requests_per_connection: 40,
+        pipeline: 1,
         shots: backward_shots,
     });
     print_phase("backward", &backward);
     assert!(backward.failed == 0 && backward.shed == 0, "backward phase must be clean");
     assert!(backward.byte_identical, "identical backward queries must serve identical bytes");
+    assert!(
+        backward.hit_rate() > 0.9,
+        "repeated backward queries must hit the rendered-body cache (got {:.3})",
+        backward.hit_rate()
+    );
+
+    // Pipelined phase: the same forward mix with 16 requests on the
+    // wire per round trip — the throughput ceiling once per-exchange
+    // round-trip time stops dominating.
+    let pipelined = run(&LoadPlan {
+        addr: handle.addr(),
+        connections,
+        requests_per_connection: 160,
+        pipeline: 16,
+        shots: forward_shots,
+    });
+    print_phase("pipelined", &pipelined);
+    assert!(pipelined.failed == 0 && pipelined.shed == 0, "pipelined phase must be clean");
+    assert!(pipelined.byte_identical, "pipelined responses must be byte-identical");
 
     // Worker-side latency attribution over the two measured phases:
     // wall latency decomposes into queue-wait + compute + render (the
@@ -134,6 +184,7 @@ fn main() {
         addr: tiny.addr(),
         connections: connections.max(12),
         requests_per_connection: 4,
+        pipeline: 1,
         shots: saturation_shots,
     });
     // The burst is timing-dependent in principle; retry until the queue
@@ -146,6 +197,7 @@ fn main() {
             addr: tiny.addr(),
             connections: connections.max(12),
             requests_per_connection: 4,
+            pipeline: 1,
             shots: (0..48)
                 .map(|i| Shot {
                     path: "/v1/forward".to_owned(),
@@ -162,7 +214,8 @@ fn main() {
     assert_eq!(saturation.failed, 0, "everything is either served or shed");
     tiny.shutdown();
 
-    let section = render_section(connections, &forward, &backward, &saturation, &attribution);
+    let section =
+        render_section(connections, &forward, &backward, &pipelined, &saturation, &attribution);
     splice_serve_section(&out, &section);
     println!("loadgen: \"serve\" section written to {out}");
 }
@@ -236,6 +289,7 @@ fn render_section(
     connections: usize,
     forward: &LoadReport,
     backward: &LoadReport,
+    pipelined: &LoadReport,
     saturation: &LoadReport,
     attribution: &Attribution,
 ) -> String {
@@ -243,12 +297,14 @@ fn render_section(
     let _ = write!(
         s,
         "{{\"connections\": {connections}, \"forward\": {}, \"backward\": {}, \
+         \"pipelined\": {}, \
          \"latency_attribution\": {{\"queue_wait_p50_ns\": {}, \"queue_wait_p99_ns\": {}, \
          \"compute_p50_ns\": {}, \"compute_p99_ns\": {}, \
          \"render_p50_ns\": {}, \"render_p99_ns\": {}}}, \
          \"saturation\": {{\"requests\": {}, \"ok\": {}, \"shed_503\": {}}}}}",
         phase_json(forward),
         phase_json(backward),
+        phase_json(pipelined),
         attribution.queue_wait_p50_ns,
         attribution.queue_wait_p99_ns,
         attribution.compute_p50_ns,

@@ -1,9 +1,11 @@
 //! CI smoke test for `actfort-serve`: starts the server in-process on
 //! an ephemeral port over the curated dataset, drives concurrent
-//! forward/backward traffic through the shared `load` driver, checks
-//! the serving contract (all 200s, byte-identical bodies, measured
-//! cache hits) and writes the `/metrics` snapshot to `--metrics-out`
-//! for `trace_check` to validate.
+//! forward/backward traffic through the shared `load` driver — a
+//! sequential keep-alive phase, then a pipelined phase whose responses
+//! must match the sequential golden bodies — checks the serving
+//! contract (all 200s, byte-identical bodies, measured cache hits) and
+//! writes the `/metrics` snapshot to `--metrics-out` for `trace_check`
+//! to validate.
 //!
 //! ```sh
 //! cargo run --release -p actfort-bench --bin serve_smoke -- --metrics-out /tmp/m.json
@@ -34,17 +36,22 @@ fn main() {
     let handle = start(config).expect("server starts");
     println!("serve_smoke: listening on {}", handle.addr());
 
+    let shots = vec![
+        Shot::forward(&[]),
+        Shot::forward(&["gmail"]),
+        Shot::forward(&["gmail", "taobao"]),
+        Shot::backward("paypal", 4),
+        Shot::backward("taobao", 4),
+    ];
+
+    // Phase 1: sequential keep-alive round trips (each connection
+    // serves 12 requests, so connection reuse is itself exercised).
     let report = run(&LoadPlan {
         addr: handle.addr(),
         connections: 8,
         requests_per_connection: 12,
-        shots: vec![
-            Shot::forward(&[]),
-            Shot::forward(&["gmail"]),
-            Shot::forward(&["gmail", "taobao"]),
-            Shot::backward("paypal", 4),
-            Shot::backward("taobao", 4),
-        ],
+        pipeline: 1,
+        shots: shots.clone(),
     });
     println!(
         "serve_smoke: {} req, {} ok, {} shed, {} failed; {} hits / {} misses; byte-identical: {}",
@@ -59,6 +66,47 @@ fn main() {
     assert_eq!(report.ok, report.requests, "every smoke request must succeed");
     assert!(report.byte_identical, "identical queries must serve identical bytes");
     assert!(report.cache_hits > 0, "the forward cache must be hit under repetition");
+    assert!(
+        report.cache_hits + report.cache_misses == report.requests,
+        "forward and backward responses must both carry the cache header"
+    );
+
+    // Golden bodies for the mix, fetched sequentially on one connection.
+    let mut golden_client = Client::connect(handle.addr()).expect("connect for golden");
+    let golden: Vec<Vec<u8>> = shots
+        .iter()
+        .map(|shot| {
+            let resp = golden_client.post(&shot.path, shot.body.as_bytes()).expect("golden");
+            assert_eq!(resp.status, 200, "{}", resp.text());
+            resp.body
+        })
+        .collect();
+
+    // Phase 2: the same mix pipelined 5-deep; every response must be
+    // byte-identical to its sequential golden, in order.
+    let pipelined = run(&LoadPlan {
+        addr: handle.addr(),
+        connections: 8,
+        requests_per_connection: 20,
+        pipeline: 5,
+        shots: shots.clone(),
+    });
+    println!(
+        "serve_smoke[pipelined]: {} req, {} ok, byte-identical: {}",
+        pipelined.requests, pipelined.ok, pipelined.byte_identical,
+    );
+    assert_eq!(pipelined.ok, pipelined.requests, "every pipelined request must succeed");
+    assert!(pipelined.byte_identical, "pipelined responses must be byte-identical");
+    let wire: Vec<(&str, &[u8])> =
+        shots.iter().map(|s| (s.path.as_str(), s.body.as_bytes())).collect();
+    let responses = golden_client.pipeline_post(&wire).expect("pipelined mix");
+    for (resp, want) in responses.iter().zip(&golden) {
+        assert_eq!(resp.status, 200, "{}", resp.text());
+        assert_eq!(
+            &resp.body, want,
+            "a pipelined response must match its sequential golden body"
+        );
+    }
 
     let mut client = Client::connect(handle.addr()).expect("connect for metrics");
     let metrics = client.get("/metrics").expect("fetch /metrics");

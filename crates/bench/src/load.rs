@@ -48,6 +48,11 @@ pub struct LoadPlan {
     pub connections: usize,
     /// Requests each connection issues.
     pub requests_per_connection: usize,
+    /// Pipeline depth: 1 issues strict request→response round trips;
+    /// `n > 1` writes `n` requests back-to-back before reading the `n`
+    /// responses (HTTP/1.1 pipelining). Under pipelining each request's
+    /// recorded latency is its batch's wall time — an upper bound.
+    pub pipeline: usize,
     /// The request mix; thread `t` starts at shot `t` and cycles, so
     /// every shot is exercised by several threads concurrently.
     pub shots: Vec<Shot>,
@@ -126,6 +131,7 @@ pub fn run(plan: &LoadPlan) -> LoadReport {
             let addr = plan.addr;
             let shots = plan.shots.clone();
             let requests = plan.requests_per_connection;
+            let pipeline = plan.pipeline.max(1);
             std::thread::spawn(move || {
                 let mut client = Client::connect(addr).expect("connect to load target");
                 let mut obs = ThreadObservations {
@@ -138,29 +144,47 @@ pub fn run(plan: &LoadPlan) -> LoadReport {
                     bodies: HashMap::new(),
                     failures: Vec::new(),
                 };
-                for i in 0..requests {
-                    let shot = &shots[(t + i) % shots.len()];
+                let mut issued = 0usize;
+                while issued < requests {
+                    let batch: Vec<&Shot> = (0..pipeline.min(requests - issued))
+                        .map(|j| &shots[(t + issued + j) % shots.len()])
+                        .collect();
                     let req_started = Instant::now();
-                    let resp =
-                        client.post(&shot.path, shot.body.as_bytes()).expect("load request");
+                    let responses = if batch.len() == 1 {
+                        vec![client
+                            .post(&batch[0].path, batch[0].body.as_bytes())
+                            .expect("load request")]
+                    } else {
+                        let wire: Vec<(&str, &[u8])> = batch
+                            .iter()
+                            .map(|shot| (shot.path.as_str(), shot.body.as_bytes()))
+                            .collect();
+                        client.pipeline_post(&wire).expect("pipelined load batch")
+                    };
                     let ns = u64::try_from(req_started.elapsed().as_nanos()).unwrap_or(u64::MAX);
-                    obs.latencies_ns.push(ns);
-                    match resp.status {
-                        200 => {
-                            obs.ok += 1;
-                            obs.bodies.entry(shot.clone()).or_default().push(resp.body.clone());
+                    for (shot, resp) in batch.iter().zip(&responses) {
+                        obs.latencies_ns.push(ns);
+                        match resp.status {
+                            200 => {
+                                obs.ok += 1;
+                                obs.bodies
+                                    .entry((*shot).clone())
+                                    .or_default()
+                                    .push(resp.body.clone());
+                            }
+                            503 => obs.shed += 1,
+                            status => {
+                                obs.failed += 1;
+                                obs.failures.push((status, resp.text().to_owned()));
+                            }
                         }
-                        503 => obs.shed += 1,
-                        status => {
-                            obs.failed += 1;
-                            obs.failures.push((status, resp.text().to_owned()));
+                        match resp.header("x-actfort-cache") {
+                            Some("hit") => obs.cache_hits += 1,
+                            Some("miss") => obs.cache_misses += 1,
+                            _ => {}
                         }
                     }
-                    match resp.header("x-actfort-cache") {
-                        Some("hit") => obs.cache_hits += 1,
-                        Some("miss") => obs.cache_misses += 1,
-                        _ => {}
-                    }
+                    issued += batch.len();
                 }
                 obs
             })

@@ -1,4 +1,4 @@
-//! Forward-result response cache.
+//! Rendered-body response cache for forward *and* backward queries.
 //!
 //! Values are fully rendered JSON bodies (`Arc<Vec<u8>>`), so a hit
 //! serves the *exact bytes* a miss rendered — byte-identity between the
@@ -6,6 +6,17 @@
 //! Keys embed the snapshot generation: a hot-swap implicitly invalidates
 //! every cached entry without touching the map (stale generations age
 //! out through the FIFO bound).
+//!
+//! **History note (the backward miss bug).** Until the reactor rewrite
+//! the key type could only spell a *forward* query — its payload was a
+//! canonicalized seed list — and the backward handler never consulted
+//! the cache at all, so repeated identical backward queries re-ran the
+//! whole chain search every time (0% hit rate vs 94% forward in
+//! `BENCH_forward.json`). The key now carries a query-kind discriminant
+//! plus a kind-specific canonical payload; backward lookups key on
+//! `(target, max_chains, effective budget)` so a deadline-derived
+//! budget caches identically to the equivalent explicit budget, and
+//! never collides with a differently-bounded search.
 
 use crate::obs_names;
 use actfort_core::obs;
@@ -14,32 +25,64 @@ use std::collections::hash_map::Entry;
 use std::collections::{HashMap, VecDeque};
 use std::sync::{Arc, Mutex};
 
-/// Cache key: one forward query, fully canonicalized.
+/// Cache key: one query, fully canonicalized.
 #[derive(Debug, Clone, PartialEq, Eq, Hash)]
 pub struct CacheKey {
     /// Snapshot generation the query ran against.
     pub generation: u64,
     /// Engine selector as its wire spelling (`"auto"`, …).
     pub engine: &'static str,
-    /// Whether the incremental memo was enabled.
-    pub memo: bool,
-    /// Sorted, deduplicated seed ids joined by `\n`.
-    pub seeds: String,
+    /// Query-kind discriminant (`"forward"` / `"backward"`), so the two
+    /// key spaces can never collide however their payloads are spelled.
+    pub kind: &'static str,
+    /// Kind-specific canonical payload (see constructors).
+    pub payload: String,
 }
 
 impl CacheKey {
-    /// Builds a key from a raw seed list: seeds are sorted and
-    /// deduplicated, so every spelling of the same compromised set maps
-    /// to one entry.
-    pub fn new(generation: u64, engine: &'static str, memo: bool, seeds: &[ServiceId]) -> Self {
+    /// Key for a forward query. Seeds are sorted and deduplicated, so
+    /// every spelling of the same compromised set maps to one entry;
+    /// the memo toggle is part of the payload because it selects a
+    /// different (byte-identical, but separately computed) code path.
+    pub fn forward(
+        generation: u64,
+        engine: &'static str,
+        memo: bool,
+        seeds: &[ServiceId],
+    ) -> Self {
         let mut ids: Vec<&str> = seeds.iter().map(|s| s.as_str()).collect();
         ids.sort_unstable();
         ids.dedup();
-        Self { generation, engine, memo, seeds: ids.join("\n") }
+        Self {
+            generation,
+            engine,
+            kind: "forward",
+            payload: format!("{}\n{}", memo, ids.join("\n")),
+        }
+    }
+
+    /// Key for a backward query: target, chain cap and the *effective*
+    /// partial budget (explicit budget, or the deadline translated at
+    /// the server's calibration — both spellings of the same bound hash
+    /// to the same entry; an unbounded search is its own entry).
+    pub fn backward(
+        generation: u64,
+        engine: &'static str,
+        target: &ServiceId,
+        max_chains: usize,
+        budget: Option<usize>,
+    ) -> Self {
+        let budget = budget.map_or_else(|| "none".to_owned(), |b| b.to_string());
+        Self {
+            generation,
+            engine,
+            kind: "backward",
+            payload: format!("{}\n{max_chains}\n{budget}", target.as_str()),
+        }
     }
 }
 
-/// Bounded FIFO map from canonical forward queries to rendered bodies.
+/// Bounded FIFO map from canonical queries to rendered bodies.
 pub struct ResponseCache {
     inner: Mutex<CacheInner>,
     capacity: usize,
@@ -105,13 +148,39 @@ mod tests {
 
     fn key(generation: u64, seeds: &[&str]) -> CacheKey {
         let ids: Vec<ServiceId> = seeds.iter().map(|s| ServiceId::new(s)).collect();
-        CacheKey::new(generation, "auto", true, &ids)
+        CacheKey::forward(generation, "auto", true, &ids)
     }
 
     #[test]
     fn seed_order_and_duplicates_canonicalize() {
         assert_eq!(key(1, &["b", "a", "b"]), key(1, &["a", "b"]));
         assert_ne!(key(1, &["a"]), key(2, &["a"]));
+    }
+
+    #[test]
+    fn backward_keys_separate_by_target_bound_and_budget() {
+        let t = ServiceId::new("paypal");
+        let base = CacheKey::backward(1, "auto", &t, 8, None);
+        assert_eq!(base, CacheKey::backward(1, "auto", &t, 8, None));
+        assert_ne!(base, CacheKey::backward(1, "auto", &t, 4, None));
+        assert_ne!(base, CacheKey::backward(1, "auto", &t, 8, Some(100)));
+        assert_ne!(base, CacheKey::backward(2, "auto", &t, 8, None));
+        assert_ne!(base, CacheKey::backward(1, "naive", &t, 8, None));
+        // An explicit budget and the same deadline-derived budget are
+        // the same entry.
+        assert_eq!(
+            CacheKey::backward(1, "auto", &t, 8, Some(2000)),
+            CacheKey::backward(1, "auto", &t, 8, Some(2000)),
+        );
+    }
+
+    #[test]
+    fn forward_and_backward_key_spaces_never_collide() {
+        // A hostile forward seed spelled like a backward payload still
+        // lands in a different key space thanks to the kind tag.
+        let forward = CacheKey::forward(1, "auto", true, &[ServiceId::new("x\n8\nnone")]);
+        let backward = CacheKey::backward(1, "auto", &ServiceId::new("x"), 8, None);
+        assert_ne!(forward, backward);
     }
 
     #[test]

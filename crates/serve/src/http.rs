@@ -1,23 +1,28 @@
-//! Minimal HTTP/1.1 framing over blocking TCP streams.
+//! Minimal HTTP/1.1 framing as *pure buffer transforms*.
 //!
-//! The workspace is offline, so the server carries its own reader and
-//! writer for the small protocol subset it speaks: request line +
-//! headers + optional `Content-Length` body, `keep-alive` connection
-//! reuse, and fixed-length responses. No chunked encoding, no TLS, no
-//! pipelining — one request is fully answered before the next is read.
+//! The workspace is offline, so the server carries its own parser and
+//! renderer for the small protocol subset it speaks: request line +
+//! headers + optional `Content-Length` body, keep-alive connection
+//! reuse and pipelining. Nothing in this module touches a socket: the
+//! reactor owns all I/O and feeds accumulated bytes through
+//! [`parse_request`], which either consumes one complete request from
+//! the front of the buffer or reports that more bytes are needed.
+//! Responses are rendered head+body into one contiguous buffer by
+//! [`render_response`], so a response always leaves in a single
+//! `write` — the two-syscall head/body split of the old blocking
+//! writer interacted with Nagle + delayed ACK to put a ~40 ms floor
+//! under every exchange.
 
-use std::io::{self, Read, Write};
-use std::net::TcpStream;
-use std::time::{Duration, Instant};
+use std::time::Duration;
 
 /// Upper bound on the request head (request line + headers), bytes.
 pub const MAX_HEAD_BYTES: usize = 16 * 1024;
 /// Upper bound on a request body, bytes.
 pub const MAX_BODY_BYTES: usize = 1024 * 1024;
-/// How long a peer may stall *inside* a request before the read gives
-/// up. The per-read socket timeout is short (it doubles as the
-/// shutdown-polling cadence), so a request that straddles two TCP
-/// segments on a busy host must tolerate several of them.
+/// How long a peer may stall *inside* a request (bytes of a message
+/// started but not finished) before the reactor gives up on the
+/// connection. Generous: a busy host fragmenting a request across TCP
+/// segments must never be misread as a slow-loris attack.
 pub const MID_REQUEST_STALL: Duration = Duration::from_secs(5);
 
 /// A parsed HTTP request.
@@ -40,92 +45,65 @@ impl Request {
     }
 
     /// Whether the client asked to close the connection after this
-    /// exchange (`Connection: close`).
+    /// exchange (`Connection: close`). Under pipelining this also stops
+    /// the server from parsing any later request on the connection.
     pub fn wants_close(&self) -> bool {
         self.header("connection").is_some_and(|v| v.eq_ignore_ascii_case("close"))
     }
 }
 
-/// Why reading a request stopped.
+/// Outcome of attempting to parse one request from the front of a
+/// connection's accumulated read buffer.
 #[derive(Debug)]
-pub enum ReadOutcome {
-    /// A complete request.
-    Complete(Request),
-    /// The peer closed the connection before sending anything.
-    Closed,
-    /// The read timed out with no bytes consumed — the caller may poll
-    /// its shutdown flag and try again on the same stream.
-    IdleTimeout,
+pub enum Parse {
+    /// The buffer does not yet hold a complete request; read more.
+    Partial,
+    /// One complete request, occupying the first `consumed` bytes of
+    /// the buffer (the remainder may hold pipelined successors).
+    Complete {
+        /// The parsed request.
+        request: Request,
+        /// Bytes of the buffer this request occupied.
+        consumed: usize,
+    },
     /// The peer sent something unparseable; the connection must close
     /// after an error response.
     Malformed(String),
 }
 
-/// Reads one request from `stream`.
-///
-/// A read timeout before *any* byte arrives surfaces as
-/// [`ReadOutcome::IdleTimeout`] so keep-alive connections can poll for
-/// shutdown; once inside a request, timeouts are retried until
-/// [`MID_REQUEST_STALL`] elapses without progress, and only then is the
-/// request malformed (the peer genuinely stalled inside a message).
-///
-/// # Errors
-///
-/// Propagates genuine I/O errors (reset, broken pipe, …).
-pub fn read_request(stream: &mut TcpStream) -> io::Result<ReadOutcome> {
-    let mut head = Vec::new();
-    let mut buf = [0u8; 4096];
-    let mut stall_started: Option<Instant> = None;
-    let head_end = loop {
-        if let Some(pos) = find_head_end(&head) {
-            break pos;
+/// Parses one request from the front of `buf` without consuming it —
+/// the caller drains `consumed` bytes on [`Parse::Complete`]. Safe to
+/// call repeatedly on a growing buffer: incomplete input is `Partial`
+/// until either a full request materializes or a bound
+/// ([`MAX_HEAD_BYTES`], [`MAX_BODY_BYTES`]) is exceeded.
+pub fn parse_request(buf: &[u8]) -> Parse {
+    let Some(head_end) = find_head_end(buf) else {
+        if buf.len() > MAX_HEAD_BYTES {
+            return Parse::Malformed("request head too large".into());
         }
-        if head.len() > MAX_HEAD_BYTES {
-            return Ok(ReadOutcome::Malformed("request head too large".into()));
-        }
-        match stream.read(&mut buf) {
-            Ok(0) => {
-                return Ok(if head.is_empty() {
-                    ReadOutcome::Closed
-                } else {
-                    ReadOutcome::Malformed("connection closed mid-request".into())
-                });
-            }
-            Ok(n) => {
-                head.extend_from_slice(&buf[..n]);
-                stall_started = None;
-            }
-            Err(e) if is_timeout(&e) => {
-                if head.is_empty() {
-                    return Ok(ReadOutcome::IdleTimeout);
-                }
-                if stalled_too_long(&mut stall_started) {
-                    return Ok(ReadOutcome::Malformed("timed out mid-request".into()));
-                }
-            }
-            Err(e) => return Err(e),
-        }
+        return Parse::Partial;
     };
-
-    let overflow = head.split_off(head_end + 4);
-    let head_text = match std::str::from_utf8(&head[..head_end]) {
+    if head_end > MAX_HEAD_BYTES {
+        return Parse::Malformed("request head too large".into());
+    }
+    let head_text = match std::str::from_utf8(&buf[..head_end]) {
         Ok(t) => t,
-        Err(_) => return Ok(ReadOutcome::Malformed("request head is not UTF-8".into())),
+        Err(_) => return Parse::Malformed("request head is not UTF-8".into()),
     };
     let mut lines = head_text.split("\r\n");
     let request_line = lines.next().unwrap_or_default();
     let mut parts = request_line.split_ascii_whitespace();
     let (Some(method), Some(path), Some(version)) = (parts.next(), parts.next(), parts.next())
     else {
-        return Ok(ReadOutcome::Malformed(format!("bad request line {request_line:?}")));
+        return Parse::Malformed(format!("bad request line {request_line:?}"));
     };
     if !version.starts_with("HTTP/1.") {
-        return Ok(ReadOutcome::Malformed(format!("unsupported version {version:?}")));
+        return Parse::Malformed(format!("unsupported version {version:?}"));
     }
     let mut headers = Vec::new();
     for line in lines {
         let Some((name, value)) = line.split_once(':') else {
-            return Ok(ReadOutcome::Malformed(format!("bad header line {line:?}")));
+            return Parse::Malformed(format!("bad header line {line:?}"));
         };
         headers.push((name.trim().to_ascii_lowercase(), value.trim().to_owned()));
     }
@@ -137,55 +115,32 @@ pub fn read_request(stream: &mut TcpStream) -> io::Result<ReadOutcome> {
         .transpose();
     let content_length = match content_length {
         Ok(len) => len.unwrap_or(0),
-        Err(_) => return Ok(ReadOutcome::Malformed("bad Content-Length".into())),
+        Err(_) => return Parse::Malformed("bad Content-Length".into()),
     };
     if content_length > MAX_BODY_BYTES {
-        return Ok(ReadOutcome::Malformed("request body too large".into()));
+        return Parse::Malformed("request body too large".into());
     }
 
-    let mut body = overflow;
-    let mut stall_started: Option<Instant> = None;
-    while body.len() < content_length {
-        match stream.read(&mut buf) {
-            Ok(0) => return Ok(ReadOutcome::Malformed("connection closed mid-body".into())),
-            Ok(n) => {
-                body.extend_from_slice(&buf[..n]);
-                stall_started = None;
-            }
-            Err(e) if is_timeout(&e) => {
-                if stalled_too_long(&mut stall_started) {
-                    return Ok(ReadOutcome::Malformed("timed out mid-body".into()));
-                }
-            }
-            Err(e) => return Err(e),
-        }
+    let body_start = head_end + 4;
+    if buf.len() < body_start + content_length {
+        return Parse::Partial;
     }
-    body.truncate(content_length);
-
-    Ok(ReadOutcome::Complete(Request {
-        method: method.to_owned(),
-        path: path.to_owned(),
-        headers,
-        body,
-    }))
+    Parse::Complete {
+        request: Request {
+            method: method.to_owned(),
+            path: path.to_owned(),
+            headers,
+            body: buf[body_start..body_start + content_length].to_vec(),
+        },
+        consumed: body_start + content_length,
+    }
 }
 
 fn find_head_end(bytes: &[u8]) -> Option<usize> {
     bytes.windows(4).position(|w| w == b"\r\n\r\n")
 }
 
-fn is_timeout(e: &io::Error) -> bool {
-    matches!(e.kind(), io::ErrorKind::WouldBlock | io::ErrorKind::TimedOut)
-}
-
-/// Tracks the start of a mid-request stall and reports whether it has
-/// exceeded [`MID_REQUEST_STALL`]. The caller resets the tracker to
-/// `None` whenever bytes arrive.
-fn stalled_too_long(since: &mut Option<Instant>) -> bool {
-    since.get_or_insert_with(Instant::now).elapsed() >= MID_REQUEST_STALL
-}
-
-/// An HTTP response ready to be written.
+/// An HTTP response ready to be rendered.
 #[derive(Debug, Clone)]
 pub struct Response {
     /// Status code (200, 404, …).
@@ -229,14 +184,13 @@ pub fn reason(status: u16) -> &'static str {
     }
 }
 
-/// Writes `response` to `stream`, flushing it. `close` controls the
-/// advertised `Connection` header.
-///
-/// # Errors
-///
-/// Propagates I/O errors from the socket.
-pub fn write_response(stream: &mut TcpStream, response: &Response, close: bool) -> io::Result<()> {
-    let mut head = format!(
+/// Appends the full wire form of `response` (head + body, one
+/// contiguous run of bytes) to `out`. `close` controls the advertised
+/// `Connection` header.
+pub fn render_response(response: &Response, close: bool, out: &mut Vec<u8>) {
+    use std::io::Write as _;
+    let _ = write!(
+        out,
         "HTTP/1.1 {} {}\r\ncontent-type: application/json\r\ncontent-length: {}\r\nconnection: {}\r\n",
         response.status,
         reason(response.status),
@@ -244,64 +198,107 @@ pub fn write_response(stream: &mut TcpStream, response: &Response, close: bool) 
         if close { "close" } else { "keep-alive" },
     );
     for (name, value) in &response.headers {
-        head.push_str(name);
-        head.push_str(": ");
-        head.push_str(value);
-        head.push_str("\r\n");
+        out.extend_from_slice(name.as_bytes());
+        out.extend_from_slice(b": ");
+        out.extend_from_slice(value.as_bytes());
+        out.extend_from_slice(b"\r\n");
     }
-    head.push_str("\r\n");
-    stream.write_all(head.as_bytes())?;
-    stream.write_all(&response.body)?;
-    stream.flush()
+    out.extend_from_slice(b"\r\n");
+    out.extend_from_slice(&response.body);
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
-    use std::net::{TcpListener, TcpStream};
-
-    fn round_trip(raw: &[u8]) -> ReadOutcome {
-        let listener = TcpListener::bind("127.0.0.1:0").expect("bind");
-        let addr = listener.local_addr().expect("addr");
-        let raw = raw.to_vec();
-        let writer = std::thread::spawn(move || {
-            let mut s = TcpStream::connect(addr).expect("connect");
-            s.write_all(&raw).expect("write");
-            s.flush().expect("flush");
-            // Dropping the socket closes it; anything written is already
-            // buffered for the reader.
-        });
-        let (mut conn, _) = listener.accept().expect("accept");
-        let outcome = read_request(&mut conn).expect("io");
-        writer.join().expect("writer");
-        outcome
-    }
 
     #[test]
-    fn parses_post_with_body() {
-        let raw = b"POST /v1/forward HTTP/1.1\r\ncontent-length: 4\r\nX-Extra: a\r\n\r\nbody";
-        match round_trip(raw) {
-            ReadOutcome::Complete(req) => {
-                assert_eq!(req.method, "POST");
-                assert_eq!(req.path, "/v1/forward");
-                assert_eq!(req.header("x-extra"), Some("a"));
-                assert_eq!(req.body, b"body");
-                assert!(!req.wants_close());
+    fn parses_post_with_body_and_reports_consumption() {
+        let raw = b"POST /v1/forward HTTP/1.1\r\ncontent-length: 4\r\nX-Extra: a\r\n\r\nbodyEXTRA";
+        match parse_request(raw) {
+            Parse::Complete { request, consumed } => {
+                assert_eq!(request.method, "POST");
+                assert_eq!(request.path, "/v1/forward");
+                assert_eq!(request.header("x-extra"), Some("a"));
+                assert_eq!(request.body, b"body");
+                assert!(!request.wants_close());
+                assert_eq!(consumed, raw.len() - "EXTRA".len());
             }
             other => panic!("expected a request, got {other:?}"),
         }
     }
 
     #[test]
-    fn rejects_bad_request_line_and_oversized_body() {
-        assert!(matches!(round_trip(b"NONSENSE\r\n\r\n"), ReadOutcome::Malformed(_)));
-        let huge = format!("POST / HTTP/1.1\r\ncontent-length: {}\r\n\r\n", MAX_BODY_BYTES + 1);
-        assert!(matches!(round_trip(huge.as_bytes()), ReadOutcome::Malformed(_)));
-        assert!(matches!(round_trip(b"GET / HTTP/2\r\n\r\n"), ReadOutcome::Malformed(_)));
+    fn pipelined_requests_parse_in_sequence() {
+        let raw: Vec<u8> = [
+            &b"POST /a HTTP/1.1\r\ncontent-length: 2\r\n\r\nxy"[..],
+            &b"GET /b HTTP/1.1\r\n\r\n"[..],
+        ]
+        .concat();
+        let Parse::Complete { request, consumed } = parse_request(&raw) else {
+            panic!("first request must parse");
+        };
+        assert_eq!(request.path, "/a");
+        assert_eq!(request.body, b"xy");
+        let Parse::Complete { request, consumed: second } = parse_request(&raw[consumed..]) else {
+            panic!("second request must parse");
+        };
+        assert_eq!(request.path, "/b");
+        assert!(request.body.is_empty());
+        assert_eq!(consumed + second, raw.len());
     }
 
     #[test]
-    fn empty_connection_reads_as_closed() {
-        assert!(matches!(round_trip(b""), ReadOutcome::Closed));
+    fn partial_input_asks_for_more_bytes() {
+        let full = b"POST / HTTP/1.1\r\ncontent-length: 5\r\n\r\nhello";
+        for cut in 0..full.len() {
+            assert!(
+                matches!(parse_request(&full[..cut]), Parse::Partial),
+                "prefix of {cut} bytes must be Partial"
+            );
+        }
+        assert!(matches!(parse_request(full), Parse::Complete { .. }));
+    }
+
+    #[test]
+    fn rejects_bad_request_line_oversized_head_and_body() {
+        assert!(matches!(parse_request(b"NONSENSE\r\n\r\n"), Parse::Malformed(_)));
+        assert!(matches!(parse_request(b"GET / HTTP/2\r\n\r\n"), Parse::Malformed(_)));
+        let huge_body =
+            format!("POST / HTTP/1.1\r\ncontent-length: {}\r\n\r\n", MAX_BODY_BYTES + 1);
+        assert!(matches!(parse_request(huge_body.as_bytes()), Parse::Malformed(_)));
+        assert!(matches!(
+            parse_request(b"POST / HTTP/1.1\r\ncontent-length: nope\r\n\r\n"),
+            Parse::Malformed(_)
+        ));
+        // A head that never terminates within the bound is refused even
+        // though no \r\n\r\n was seen.
+        let endless = vec![b'A'; MAX_HEAD_BYTES + 1];
+        assert!(matches!(parse_request(&endless), Parse::Malformed(_)));
+    }
+
+    #[test]
+    fn connection_close_is_honored_case_insensitively() {
+        let raw = b"GET / HTTP/1.1\r\nConnection: Close\r\n\r\n";
+        let Parse::Complete { request, .. } = parse_request(raw) else {
+            panic!("parses");
+        };
+        assert!(request.wants_close());
+    }
+
+    #[test]
+    fn render_emits_one_contiguous_head_and_body() {
+        let mut out = Vec::new();
+        let resp = Response::json(200, b"{}".to_vec()).with_header("x-actfort-cache", "hit");
+        render_response(&resp, false, &mut out);
+        let text = std::str::from_utf8(&out).expect("ascii");
+        assert!(text.starts_with("HTTP/1.1 200 OK\r\n"));
+        assert!(text.contains("content-length: 2\r\n"));
+        assert!(text.contains("connection: keep-alive\r\n"));
+        assert!(text.contains("x-actfort-cache: hit\r\n"));
+        assert!(text.ends_with("\r\n\r\n{}"));
+
+        let mut closed = Vec::new();
+        render_response(&Response::json(503, b"x".to_vec()), true, &mut closed);
+        assert!(std::str::from_utf8(&closed).expect("ascii").contains("connection: close\r\n"));
     }
 }

@@ -9,21 +9,29 @@
 //! queries, with nothing beyond `std` — matching the workspace's
 //! vendored-shim policy:
 //!
-//! - [`http`] — minimal HTTP/1.1 framing (request line + headers +
-//!   `Content-Length` bodies, keep-alive).
+//! - [`http`] — minimal HTTP/1.1 framing as pure buffer transforms
+//!   (request line + headers + `Content-Length` bodies, keep-alive,
+//!   pipelining).
+//! - [`reactor`] — the single-threaded epoll event loop that owns the
+//!   listener and every client socket: edge-triggered readiness,
+//!   per-connection state machines, an indexed timer wheel, classified
+//!   accept errors with exponential backoff, and a wakeup-fd completion
+//!   channel from the worker pool.
 //! - [`wire`] — the JSON protocol on `obs::json`: deterministic
 //!   rendering, stable error codes from
 //!   [`Error::code`](actfort_core::Error::code).
 //! - [`snapshot`] — `Arc`-shared immutable ecosystem generations with
 //!   atomic hot-swap (`POST /admin/reload`); a request serves entirely
 //!   from the generation it loaded first, so responses never tear.
-//! - [`cache`] — forward responses cached as rendered bytes, keyed on
-//!   the canonicalized seed set + engine + snapshot generation.
+//! - [`cache`] — forward *and* backward responses cached as rendered
+//!   bytes, keyed on the canonicalized query + engine + snapshot
+//!   generation.
 //! - [`queue`] — a bounded work queue over a fixed worker pool (sized
 //!   like [`BatchAnalyzer`](actfort_core::engine::BatchAnalyzer));
 //!   when full the server sheds load with `503` + `Retry-After`.
-//! - [`server`] — accept loop, routing, deadlines (translated into the
-//!   backward engine's partial budget) and graceful drain-on-shutdown.
+//! - [`server`] — routing on the reactor thread, deadlines (translated
+//!   into the backward engine's partial budget) and graceful
+//!   drain-on-shutdown that completes every accepted request.
 //! - [`client`] — the matching blocking client used by tests, the
 //!   `loadgen` driver and CI smoke.
 //!
@@ -42,6 +50,7 @@ pub mod cache;
 pub mod client;
 pub mod http;
 pub mod queue;
+pub mod reactor;
 pub mod server;
 pub mod snapshot;
 pub mod wire;
@@ -98,4 +107,32 @@ pub mod obs_names {
     pub const ADMIN_LATENCY: &str = "serve.admin.latency_ns";
     /// Histogram: 404/405 wall latency.
     pub const OTHER_LATENCY: &str = "serve.other.latency_ns";
+    /// Counter: reactor `epoll_wait` returns.
+    pub const REACTOR_POLLS: &str = "serve.reactor.polls";
+    /// Counter: wakeup-fd pokes observed (worker completions, shutdown).
+    pub const REACTOR_WAKEUPS: &str = "serve.reactor.wakeups";
+    /// Counter: completions that arrived for an already-closed
+    /// connection (or a reused token of a later generation) and were
+    /// discarded by the generation check.
+    pub const STALE_COMPLETIONS: &str = "serve.reactor.stale_completions";
+    /// Counter: connections accepted.
+    pub const CONN_ACCEPTED: &str = "serve.conn.accepted";
+    /// Counter: connections closed (any reason).
+    pub const CONN_CLOSED: &str = "serve.conn.closed";
+    /// Counter: connections closed by an idle/stall timeout.
+    pub const CONN_TIMEOUTS: &str = "serve.conn.timeouts";
+    /// Histogram: connection lifetime, accept → close.
+    pub const CONN_LIFETIME_NS: &str = "serve.conn.lifetime_ns";
+    /// Gauge (histogram of observed depths): pipelined requests in
+    /// flight on a connection at dispatch time.
+    pub const PIPELINE_DEPTH: &str = "serve.conn.pipeline_depth";
+    /// Histogram: request wall time, parse → response queued for write.
+    pub const REQUEST_WALL_NS: &str = "serve.request.wall_ns";
+    /// Counter: transient accept errors (retried immediately).
+    pub const ACCEPT_TRANSIENT: &str = "serve.accept.transient";
+    /// Counter: resource-exhaustion accept errors (EMFILE …, backed
+    /// off exponentially).
+    pub const ACCEPT_RESOURCE: &str = "serve.accept.resource";
+    /// Counter: unexpected accept errors (also backed off).
+    pub const ACCEPT_FATAL: &str = "serve.accept.fatal";
 }

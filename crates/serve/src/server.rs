@@ -1,27 +1,31 @@
-//! The concurrent query server: accept loop, connection handling,
-//! routing, and the lifecycle (start → serve → drain → join).
+//! Routing and lifecycle (start → serve → drain → join) on top of the
+//! [`reactor`](crate::reactor).
 //!
-//! Threading model: one accept thread polls a non-blocking listener and
-//! spawns a thread per connection; connection threads only do protocol
-//! work and block on a result channel while the bounded [`WorkQueue`]
-//! runs the CPU-bound analysis on its fixed worker pool. Responses are
-//! built from exactly one [`Snapshot`] loaded at request start, so a
-//! concurrent hot-swap can never tear a response.
+//! Threading model: one reactor thread owns the listener and every
+//! client socket ([`crate::reactor::Reactor`]); it parses requests and
+//! hands each one to [`Svc`], which answers cheap endpoints (health,
+//! metrics, admin, cache hits) inline on the reactor thread and pushes
+//! analysis work onto the bounded [`WorkQueue`]. Workers complete
+//! responses back through the reactor's wakeup fd, so no thread ever
+//! blocks on another request's compute. Responses are built from
+//! exactly one [`Snapshot`] loaded at request start, so a concurrent
+//! hot-swap can never tear a response.
 
 use crate::cache::{CacheKey, ResponseCache};
-use crate::http::{self, ReadOutcome, Request, Response};
+use crate::http::{self, Request, Response};
 use crate::obs_names;
 use crate::queue::WorkQueue;
-use crate::snapshot::{Dataset, Snapshot, SnapshotStore};
+use crate::reactor::{CompletionSender, Handler, Reactor, ReactorConfig, ResponseSlot};
+use crate::snapshot::{Dataset, SnapshotStore};
 use crate::wire;
 use actfort_core::engine::BatchAnalyzer;
 use actfort_core::profile::AttackerProfile;
 use actfort_core::query::{Analysis, Engine};
 use actfort_core::{obs, Error};
 use actfort_ecosystem::policy::Platform;
-use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::net::{SocketAddr, TcpListener};
 use std::sync::atomic::{AtomicBool, Ordering};
-use std::sync::{mpsc, Arc};
+use std::sync::{Arc, Mutex};
 use std::thread::JoinHandle;
 use std::time::{Duration, Instant};
 
@@ -49,11 +53,15 @@ pub struct ServerConfig {
     pub threads: Option<usize>,
     /// Bounded queue capacity; `None` means four jobs per worker.
     pub queue_capacity: Option<usize>,
-    /// Forward-response cache capacity (rendered bodies).
+    /// Response cache capacity (rendered bodies, forward + backward).
     pub cache_capacity: usize,
-    /// Keep-alive read timeout; idle connections poll the shutdown flag
-    /// at this cadence.
-    pub read_timeout: Duration,
+    /// How long an idle keep-alive connection is kept open.
+    pub idle_timeout: Duration,
+    /// How long a peer may stall mid-request (or with responses in
+    /// flight) before the connection is closed.
+    pub stall_timeout: Duration,
+    /// Maximum pipelined requests in flight per connection.
+    pub max_pipeline: usize,
     /// Deadline → partial-budget calibration
     /// ([`wire::DEADLINE_PARTIALS_PER_MS`] by default).
     pub deadline_partials_per_ms: usize,
@@ -69,7 +77,9 @@ impl Default for ServerConfig {
             threads: None,
             queue_capacity: None,
             cache_capacity: 1024,
-            read_timeout: Duration::from_millis(25),
+            idle_timeout: Duration::from_secs(60),
+            stall_timeout: http::MID_REQUEST_STALL,
+            max_pipeline: 32,
             deadline_partials_per_ms: wire::DEADLINE_PARTIALS_PER_MS,
         }
     }
@@ -79,8 +89,7 @@ struct Shared {
     store: SnapshotStore,
     cache: ResponseCache,
     queue: WorkQueue,
-    shutdown: AtomicBool,
-    read_timeout: Duration,
+    shutdown: Arc<AtomicBool>,
     deadline_partials_per_ms: usize,
 }
 
@@ -88,7 +97,8 @@ struct Shared {
 pub struct ServerHandle {
     shared: Arc<Shared>,
     addr: SocketAddr,
-    accept: Option<JoinHandle<()>>,
+    waker: CompletionSender,
+    reactor: Option<JoinHandle<()>>,
 }
 
 impl ServerHandle {
@@ -97,8 +107,8 @@ impl ServerHandle {
         self.addr
     }
 
-    /// Requests shutdown and blocks until the accept loop, every
-    /// connection and the work queue have drained.
+    /// Requests shutdown and blocks until the reactor has drained every
+    /// in-flight connection and the work queue is empty.
     pub fn shutdown(mut self) {
         self.stop();
     }
@@ -106,16 +116,17 @@ impl ServerHandle {
     /// Blocks until the server stops on its own (a `POST
     /// /admin/shutdown` request).
     pub fn join(mut self) {
-        if let Some(accept) = self.accept.take() {
-            accept.join().expect("accept thread panicked");
+        if let Some(reactor) = self.reactor.take() {
+            reactor.join().expect("reactor thread panicked");
         }
         self.shared.queue.drain();
     }
 
     fn stop(&mut self) {
         self.shared.shutdown.store(true, Ordering::SeqCst);
-        if let Some(accept) = self.accept.take() {
-            accept.join().expect("accept thread panicked");
+        self.waker.wake();
+        if let Some(reactor) = self.reactor.take() {
+            reactor.join().expect("reactor thread panicked");
         }
         self.shared.queue.drain();
     }
@@ -132,7 +143,8 @@ impl Drop for ServerHandle {
 /// # Errors
 ///
 /// [`Error::Config`] for a malformed `ACTFORT_THREADS`, or an
-/// [`Error::Upstream`] with [`CODE_SERVE_IO`] when the bind fails.
+/// [`Error::Upstream`] with [`CODE_SERVE_IO`] when the bind or reactor
+/// setup fails.
 pub fn start(config: ServerConfig) -> Result<ServerHandle, Error> {
     let workers = match config.threads {
         Some(n) => n.max(1),
@@ -149,106 +161,92 @@ pub fn start(config: ServerConfig) -> Result<ServerHandle, Error> {
         code: CODE_SERVE_IO,
         message: format!("resolving bound address: {e}"),
     })?;
-    listener.set_nonblocking(true).map_err(|e| Error::Upstream {
+
+    let shutdown = Arc::new(AtomicBool::new(false));
+    let reactor = Reactor::new(
+        listener,
+        ReactorConfig {
+            idle_timeout: config.idle_timeout,
+            stall_timeout: config.stall_timeout,
+            max_pipeline: config.max_pipeline.max(1),
+        },
+        Arc::clone(&shutdown),
+    )
+    .map_err(|e| Error::Upstream {
         layer: "serve",
         code: CODE_SERVE_IO,
-        message: format!("setting nonblocking accept: {e}"),
+        message: format!("initializing reactor: {e}"),
     })?;
+    let waker = reactor.waker();
 
     let shared = Arc::new(Shared {
         store: SnapshotStore::new(config.dataset, config.platform, config.profile),
         cache: ResponseCache::new(config.cache_capacity),
         queue: WorkQueue::new(workers, queue_capacity),
-        shutdown: AtomicBool::new(false),
-        read_timeout: config.read_timeout,
+        shutdown,
         deadline_partials_per_ms: config.deadline_partials_per_ms.max(1),
     });
 
-    let accept_shared = Arc::clone(&shared);
-    let accept = std::thread::Builder::new()
-        .name("actfort-serve-accept".to_owned())
-        .spawn(move || accept_loop(&listener, &accept_shared))
-        .expect("spawn accept thread");
+    let svc = Svc { shared: Arc::clone(&shared) };
+    let reactor_thread = std::thread::Builder::new()
+        .name("actfort-serve-reactor".to_owned())
+        .spawn(move || reactor.run(svc))
+        .expect("spawn reactor thread");
 
-    Ok(ServerHandle { shared, addr, accept: Some(accept) })
-}
-
-fn accept_loop(listener: &TcpListener, shared: &Arc<Shared>) {
-    let mut connections: Vec<JoinHandle<()>> = Vec::new();
-    while !shared.shutdown.load(Ordering::SeqCst) {
-        match listener.accept() {
-            Ok((stream, _)) => {
-                let conn_shared = Arc::clone(shared);
-                let handle = std::thread::Builder::new()
-                    .name("actfort-serve-conn".to_owned())
-                    .spawn(move || connection_loop(stream, &conn_shared))
-                    .expect("spawn connection thread");
-                connections.push(handle);
-                connections.retain(|c| !c.is_finished());
-            }
-            Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => {
-                std::thread::sleep(Duration::from_millis(2));
-            }
-            Err(_) => std::thread::sleep(Duration::from_millis(2)),
-        }
-    }
-    for conn in connections {
-        let _ = conn.join();
-    }
-}
-
-fn connection_loop(mut stream: TcpStream, shared: &Arc<Shared>) {
-    if stream.set_read_timeout(Some(shared.read_timeout)).is_err() {
-        return;
-    }
-    loop {
-        if shared.shutdown.load(Ordering::SeqCst) {
-            return;
-        }
-        match http::read_request(&mut stream) {
-            Ok(ReadOutcome::IdleTimeout) => continue,
-            Ok(ReadOutcome::Closed) | Err(_) => return,
-            Ok(ReadOutcome::Malformed(msg)) => {
-                let (_, body) = wire::render_error(&Error::Query(msg));
-                let _ = http::write_response(&mut stream, &Response::json(400, body), true);
-                return;
-            }
-            Ok(ReadOutcome::Complete(request)) => {
-                obs::add(obs_names::REQUESTS, 1);
-                let response = route(shared, &request);
-                let close = request.wants_close() || shared.shutdown.load(Ordering::SeqCst);
-                if http::write_response(&mut stream, &response, close).is_err() || close {
-                    return;
-                }
-            }
-        }
-    }
+    Ok(ServerHandle { shared, addr, waker, reactor: Some(reactor_thread) })
 }
 
 /// Every route the server serves (used to split 404 from 405).
 const KNOWN_PATHS: [&str; 6] =
     ["/healthz", "/metrics", "/v1/forward", "/v1/backward", "/admin/reload", "/admin/shutdown"];
 
-fn route(shared: &Arc<Shared>, request: &Request) -> Response {
-    let start = Instant::now();
-    let (histogram, response) = match (request.method.as_str(), request.path.as_str()) {
-        ("GET", "/healthz") => (obs_names::HEALTHZ_LATENCY, healthz(shared)),
-        ("GET", "/metrics") => (obs_names::METRICS_LATENCY, metrics()),
-        ("POST", "/v1/forward") => (obs_names::FORWARD_LATENCY, forward(shared, &request.body)),
-        ("POST", "/v1/backward") => (obs_names::BACKWARD_LATENCY, backward(shared, &request.body)),
-        ("POST", "/admin/reload") => (obs_names::ADMIN_LATENCY, reload(shared, &request.body)),
-        ("POST", "/admin/shutdown") => (obs_names::ADMIN_LATENCY, admin_shutdown(shared)),
-        (_, path) if KNOWN_PATHS.contains(&path) => (
-            obs_names::OTHER_LATENCY,
-            Response::json(
-                405,
-                br#"{"error":{"code":11,"kind":"query","message":"method not allowed"}}"#.to_vec(),
+/// The application half of the server: protocol-independent routing.
+/// Runs on the reactor thread; anything CPU-bound moves to the pool.
+struct Svc {
+    shared: Arc<Shared>,
+}
+
+impl Handler for Svc {
+    fn handle(&self, request: Request, slot: ResponseSlot) {
+        obs::add(obs_names::REQUESTS, 1);
+        let shared = &self.shared;
+        let start = Instant::now();
+        match (request.method.as_str(), request.path.as_str()) {
+            ("GET", "/healthz") => {
+                finish(obs_names::HEALTHZ_LATENCY, start, slot, healthz(shared));
+            }
+            ("GET", "/metrics") => finish(obs_names::METRICS_LATENCY, start, slot, metrics()),
+            ("POST", "/v1/forward") => forward(shared, &request.body, start, slot),
+            ("POST", "/v1/backward") => backward(shared, &request.body, start, slot),
+            ("POST", "/admin/reload") => {
+                finish(obs_names::ADMIN_LATENCY, start, slot, reload(shared, &request.body));
+            }
+            ("POST", "/admin/shutdown") => {
+                finish(obs_names::ADMIN_LATENCY, start, slot, admin_shutdown(shared));
+            }
+            (_, path) if KNOWN_PATHS.contains(&path) => finish(
+                obs_names::OTHER_LATENCY,
+                start,
+                slot,
+                Response::json(
+                    405,
+                    br#"{"error":{"code":11,"kind":"query","message":"method not allowed"}}"#
+                        .to_vec(),
+                ),
             ),
-        ),
-        _ => (obs_names::OTHER_LATENCY, not_found(&request.path)),
-    };
+            (_, path) => finish(obs_names::OTHER_LATENCY, start, slot, not_found(path)),
+        }
+    }
+
+    fn malformed(&self, message: &str) -> Response {
+        error_response(&Error::Query(message.to_owned()))
+    }
+}
+
+/// Records the endpoint's wall latency and completes the response.
+fn finish(histogram: &'static str, start: Instant, slot: ResponseSlot, response: Response) {
     obs::record_ns(histogram, elapsed_ns(start));
-    response
+    slot.fill(response);
 }
 
 fn elapsed_ns(since: Instant) -> u64 {
@@ -290,57 +288,60 @@ fn metrics() -> Response {
     Response::json(200, obs::snapshot().to_json().into_bytes())
 }
 
-/// Runs `job` on the worker pool and blocks for its rendered body.
-/// The enqueue → job-start gap is recorded as
-/// [`obs_names::QUEUE_WAIT_NS`], so wall latency decomposes into
-/// queue-wait + compute + render (the handlers record the other two).
-fn run_on_pool(
+/// Moves `job` (which owns the response slot) onto the worker pool,
+/// shedding with `503` + `Retry-After` when the bounded queue is full.
+/// The slot travels through a shared cell so a refused submission can
+/// still answer: [`WorkQueue::submit`] consumes the job either way, but
+/// only a queued one ever runs.
+fn submit_or_shed(
     shared: &Arc<Shared>,
-    job: impl FnOnce(&Snapshot) -> Result<Vec<u8>, Error> + Send + 'static,
-    snapshot: Arc<Snapshot>,
-) -> Result<Result<Vec<u8>, Error>, Response> {
-    let (tx, rx) = mpsc::channel();
+    histogram: &'static str,
+    start: Instant,
+    slot: ResponseSlot,
+    job: impl FnOnce(ResponseSlot) + Send + 'static,
+) {
+    let cell = Arc::new(Mutex::new(Some(slot)));
+    let job_cell = Arc::clone(&cell);
     let enqueued = Instant::now();
     let submitted = shared.queue.submit(Box::new(move || {
         obs::record_ns(obs_names::QUEUE_WAIT_NS, elapsed_ns(enqueued));
-        let _ = tx.send(job(&snapshot));
+        if let Some(slot) = job_cell.lock().expect("slot cell poisoned").take() {
+            job(slot);
+        }
     }));
     if let Err(full) = submitted {
-        return Err(overloaded(full.depth));
+        if let Some(slot) = cell.lock().expect("slot cell poisoned").take() {
+            finish(histogram, start, slot, overloaded(full.depth));
+        }
     }
-    rx.recv().map_err(|_| {
-        error_response(&Error::Upstream {
-            layer: "serve",
-            code: CODE_SERVE_IO,
-            message: "analysis worker dropped the result channel".into(),
-        })
-    })
 }
 
-fn forward(shared: &Arc<Shared>, body: &[u8]) -> Response {
+fn forward(shared: &Arc<Shared>, body: &[u8], start: Instant, slot: ResponseSlot) {
     let request = match wire::parse_forward(body) {
         Ok(r) => r,
-        Err(e) => return error_response(&e),
+        Err(e) => return finish(obs_names::FORWARD_LATENCY, start, slot, error_response(&e)),
     };
     let snapshot = shared.store.load();
-    let key = CacheKey::new(
+    let key = CacheKey::forward(
         snapshot.generation,
         wire::engine_name(request.engine),
         request.memo,
         &request.seeds,
     );
     if let Some(cached) = shared.cache.get(&key) {
-        return Response::json(200, cached.as_ref().clone()).with_header("x-actfort-cache", "hit");
+        let response =
+            Response::json(200, cached.as_ref().clone()).with_header("x-actfort-cache", "hit");
+        return finish(obs_names::FORWARD_LATENCY, start, slot, response);
     }
     let generation = snapshot.generation;
-    let outcome = run_on_pool(
-        shared,
-        move |snap| {
+    let job_shared = Arc::clone(shared);
+    submit_or_shed(shared, obs_names::FORWARD_LATENCY, start, slot, move |slot| {
+        let result = (|| {
             let _span = obs::span(obs_names::FORWARD_SPAN);
             let compute_started = Instant::now();
             let result = {
                 let _compute = obs::span(obs_names::COMPUTE_SPAN);
-                Analysis::of(&snap.tdg)
+                Analysis::of(&snapshot.tdg)
                     .forward(&request.seeds)
                     .engine(request.engine)
                     .memo(request.memo)
@@ -351,47 +352,63 @@ fn forward(shared: &Arc<Shared>, body: &[u8]) -> Response {
             let _render = obs::span(obs_names::RENDER_SPAN);
             let rendered = wire::render_forward(generation, request.engine, &result);
             obs::record_ns(obs_names::RENDER_NS, elapsed_ns(render_started));
-            Ok(rendered)
-        },
-        Arc::clone(&snapshot),
-    );
-    match outcome {
-        Err(shed) => shed,
-        Ok(Err(e)) => error_response(&e),
-        Ok(Ok(rendered)) => {
-            // Serve the cache's canonical bytes so a racing miss of the
-            // same query returns the identical body.
-            let canonical = shared.cache.insert(key, Arc::new(rendered));
-            Response::json(200, canonical.as_ref().clone()).with_header("x-actfort-cache", "miss")
-        }
-    }
+            Ok::<_, Error>(rendered)
+        })();
+        let response = match result {
+            Err(e) => error_response(&e),
+            Ok(rendered) => {
+                // Serve the cache's canonical bytes so a racing miss of
+                // the same query returns the identical body.
+                let canonical = job_shared.cache.insert(key, Arc::new(rendered));
+                Response::json(200, canonical.as_ref().clone())
+                    .with_header("x-actfort-cache", "miss")
+            }
+        };
+        finish(obs_names::FORWARD_LATENCY, start, slot, response);
+    });
 }
 
-fn backward(shared: &Arc<Shared>, body: &[u8]) -> Response {
+fn backward(shared: &Arc<Shared>, body: &[u8], start: Instant, slot: ResponseSlot) {
     let request = match wire::parse_backward(body) {
         Ok(r) => r,
-        Err(e) => return error_response(&e),
+        Err(e) => return finish(obs_names::BACKWARD_LATENCY, start, slot, error_response(&e)),
     };
     let snapshot = shared.store.load();
+    // The cache key carries the *effective* budget, so an explicit
+    // budget and the equivalent deadline-derived one share an entry —
+    // and repeated identical backward queries actually hit (the old
+    // handler skipped the cache entirely; see `cache.rs`).
+    let budget = request.effective_budget(shared.deadline_partials_per_ms);
+    let key = CacheKey::backward(
+        snapshot.generation,
+        wire::engine_name(request.engine),
+        &request.target,
+        request.max_chains,
+        budget,
+    );
+    if let Some(cached) = shared.cache.get(&key) {
+        let response =
+            Response::json(200, cached.as_ref().clone()).with_header("x-actfort-cache", "hit");
+        return finish(obs_names::BACKWARD_LATENCY, start, slot, response);
+    }
     let generation = snapshot.generation;
-    let partials_per_ms = shared.deadline_partials_per_ms;
-    let outcome = run_on_pool(
-        shared,
-        move |snap| {
+    let job_shared = Arc::clone(shared);
+    submit_or_shed(shared, obs_names::BACKWARD_LATENCY, start, slot, move |slot| {
+        let result = (|| {
             let _span = obs::span(obs_names::BACKWARD_SPAN);
             let compute_started = Instant::now();
             let (chains, exhaustive) = {
                 let _compute = obs::span(obs_names::COMPUTE_SPAN);
-                let mut query = Analysis::of(&snap.tdg)
+                let mut query = Analysis::of(&snapshot.tdg)
                     .backward(&request.target)
                     .max_chains(request.max_chains)
                     .engine(request.engine);
                 if request.engine != Engine::Naive {
                     // The snapshot's prewarmed engine amortizes graph
                     // flattening and the fringe-support memo.
-                    query = query.via(&snap.backward);
+                    query = query.via(&snapshot.backward);
                 }
-                if let Some(budget) = request.effective_budget(partials_per_ms) {
+                if let Some(budget) = budget {
                     query = query.budget(budget);
                 }
                 query.run_bounded()?
@@ -412,15 +429,18 @@ fn backward(shared: &Arc<Shared>, body: &[u8]) -> Response {
                 exhaustive,
             );
             obs::record_ns(obs_names::RENDER_NS, elapsed_ns(render_started));
-            Ok(rendered)
-        },
-        snapshot,
-    );
-    match outcome {
-        Err(shed) => shed,
-        Ok(Err(e)) => error_response(&e),
-        Ok(Ok(rendered)) => Response::json(200, rendered),
-    }
+            Ok::<_, Error>(rendered)
+        })();
+        let response = match result {
+            Err(e) => error_response(&e),
+            Ok(rendered) => {
+                let canonical = job_shared.cache.insert(key, Arc::new(rendered));
+                Response::json(200, canonical.as_ref().clone())
+                    .with_header("x-actfort-cache", "miss")
+            }
+        };
+        finish(obs_names::BACKWARD_LATENCY, start, slot, response);
+    });
 }
 
 fn reload(shared: &Arc<Shared>, body: &[u8]) -> Response {
@@ -444,6 +464,8 @@ fn reload(shared: &Arc<Shared>, body: &[u8]) -> Response {
 }
 
 fn admin_shutdown(shared: &Arc<Shared>) -> Response {
+    // The reactor re-checks the flag after completions apply, so the
+    // drain starts in the same loop iteration that writes this reply.
     shared.shutdown.store(true, Ordering::SeqCst);
     Response::json(200, br#"{"status":"draining"}"#.to_vec())
 }
