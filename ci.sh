@@ -38,4 +38,8 @@ echo "==> serve latency gate: loadgen forward p50 < 10 ms"
 cargo run --release -q -p actfort-bench --bin loadgen -- --connections 4 --max-p50-ms 10 \
     --out "$trace_tmp/bench_serve.json"
 
+echo "==> score throughput gate: 64-lane sweep >= 1M user-scores/min single-core"
+cargo run --release -q -p actfort-bench --bin score_sweep -- --users 65536 \
+    --min-scores-per-min 1000000 --out "$trace_tmp/bench_score.json"
+
 echo "CI OK"

@@ -216,7 +216,7 @@ fn main() {
 
     let section =
         render_section(connections, &forward, &backward, &pipelined, &saturation, &attribution);
-    splice_serve_section(&out, &section);
+    actfort_bench::splice_section(&out, "serve", &section);
     println!("loadgen: \"serve\" section written to {out}");
 }
 
@@ -316,24 +316,4 @@ fn render_section(
         saturation.shed,
     );
     s
-}
-
-/// Splices `  "serve": <section>` into the bench JSON as one line,
-/// replacing an existing `"serve"` line or appending before the final
-/// brace; the result is re-parsed to prove it is still valid JSON.
-fn splice_serve_section(path: &str, section: &str) {
-    let serve_line = format!("  \"serve\": {section}");
-    let text = std::fs::read_to_string(path)
-        .unwrap_or_else(|_| "{\n  \"bench\": \"forward\"\n}\n".to_owned());
-    let updated = if let Some(start) = text.find("\n  \"serve\":") {
-        let line_end = text[start + 1..].find('\n').map_or(text.len(), |i| start + 1 + i);
-        format!("{}{}{}", &text[..=start], serve_line, &text[line_end..])
-    } else {
-        let trimmed = text.trim_end();
-        let body = trimmed.strip_suffix('}').expect("bench JSON ends with }").trim_end();
-        format!("{body},\n{serve_line}\n}}\n")
-    };
-    actfort_core::obs::json::parse(&updated)
-        .unwrap_or_else(|e| panic!("spliced {path} is no longer valid JSON: {e}"));
-    std::fs::write(path, updated).unwrap_or_else(|e| panic!("writing {path}: {e}"));
 }

@@ -72,6 +72,36 @@ pub fn init_trace() -> Option<std::path::PathBuf> {
     Some(path)
 }
 
+/// Splices `  "<key>": <section>` into the bench JSON at `path` as one
+/// line, replacing an existing `"<key>"` line (preserving its trailing
+/// comma, so sections after it survive) or appending before the final
+/// brace; the result is re-parsed to prove it is still valid JSON.
+/// `section` must itself be single-line JSON. Shared by `loadgen` and
+/// `score_sweep` so neither splicer can corrupt the other's section.
+///
+/// # Panics
+///
+/// Panics when the file is not a `{ ... }` document or the splice
+/// result fails to parse.
+pub fn splice_section(path: &str, key: &str, section: &str) {
+    let line = format!("  \"{key}\": {section}");
+    let text = std::fs::read_to_string(path)
+        .unwrap_or_else(|_| "{\n  \"bench\": \"forward\"\n}\n".to_owned());
+    let marker = format!("\n  \"{key}\":");
+    let updated = if let Some(start) = text.find(&marker) {
+        let line_end = text[start + 1..].find('\n').map_or(text.len(), |i| start + 1 + i);
+        let comma = if text[..line_end].trim_end().ends_with(',') { "," } else { "" };
+        format!("{}{line}{comma}{}", &text[..=start], &text[line_end..])
+    } else {
+        let trimmed = text.trim_end();
+        let body = trimmed.strip_suffix('}').expect("bench JSON ends with }").trim_end();
+        format!("{body},\n{line}\n}}\n")
+    };
+    actfort_core::obs::json::parse(&updated)
+        .unwrap_or_else(|e| panic!("spliced {path} is no longer valid JSON: {e}"));
+    std::fs::write(path, updated).unwrap_or_else(|e| panic!("writing {path}: {e}"));
+}
+
 /// Writes the obs snapshot gathered since [`init_trace`] to `path` as
 /// JSON (wall-times included) and disables the recorder. No-op when
 /// `path` is `None`, so `main` can call it unconditionally.
@@ -93,5 +123,31 @@ mod tests {
         assert_eq!(r.paper, Some(1.0));
         let m = Row::measured_only("y", 3.0);
         assert_eq!(m.paper, None);
+    }
+
+    #[test]
+    fn splice_section_preserves_other_sections_and_commas() {
+        let dir = std::env::temp_dir().join(format!("actfort-splice-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).expect("temp dir");
+        let path = dir.join("bench.json");
+        let path = path.to_str().expect("utf-8 path");
+        std::fs::write(path, "{\n  \"bench\": \"forward\"\n}\n").expect("seed file");
+
+        // Append two sections, then overwrite the *first* one: the
+        // replacement must keep the comma that separates it from the
+        // second (the bug a serve-only splicer had when anything was
+        // appended after its section).
+        splice_section(path, "serve", r#"{"v": 1}"#);
+        splice_section(path, "score", r#"{"v": 2}"#);
+        splice_section(path, "serve", r#"{"v": 3}"#);
+        let text = std::fs::read_to_string(path).expect("read back");
+        let doc = actfort_core::obs::json::parse(&text).expect("valid JSON");
+        assert_eq!(doc.get("serve").and_then(|s| s.get("v")).and_then(|v| v.as_num()), Some(3.0));
+        assert_eq!(doc.get("score").and_then(|s| s.get("v")).and_then(|v| v.as_num()), Some(2.0));
+        // Overwriting the last section keeps it comma-free.
+        splice_section(path, "score", r#"{"v": 4}"#);
+        let text = std::fs::read_to_string(path).expect("read back");
+        assert!(text.trim_end().ends_with("\"score\": {\"v\": 4}\n}"), "unexpected tail: {text}");
+        std::fs::remove_dir_all(&dir).ok();
     }
 }

@@ -60,6 +60,7 @@ pub mod prepared;
 pub mod profile;
 pub mod query;
 pub mod report;
+pub mod score;
 pub mod strategy;
 pub mod tdg;
 
@@ -76,6 +77,7 @@ pub use backward::BackwardEngine;
 pub use error::Error;
 pub use prepared::{ForwardScratch, Prepared};
 pub use query::{Analysis, Engine};
+pub use score::{OverlayFactor, OverlayScratch, UserOverlay, UserProfile, UserScore};
 pub use counter::Countermeasure;
 pub use pool::InfoPool;
 pub use profile::AttackerProfile;

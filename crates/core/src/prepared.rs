@@ -47,6 +47,7 @@ use crate::analysis::{CompromiseRecord, ForwardResult};
 use crate::obs;
 use crate::pool::{attack_paths, canonical_len, InfoPool, PoolSignature};
 use crate::profile::AttackerProfile;
+use crate::score::{OverlayFactor, UserOverlay};
 use actfort_ecosystem::factor::{CredentialFactor, ServiceId};
 use actfort_ecosystem::info::PersonalInfoKind;
 use actfort_ecosystem::policy::{AuthPath, Platform};
@@ -75,7 +76,7 @@ const COV_KINDS: [PersonalInfoKind; 3] = [
     PersonalInfoKind::BankcardNumber,
     PersonalInfoKind::CellphoneNumber,
 ];
-const COV_BITS: [u8; 3] = [BIT_CITIZEN_ID, BIT_BANKCARD, BIT_CELLPHONE];
+pub(crate) const COV_BITS: [u8; 3] = [BIT_CITIZEN_ID, BIT_BANKCARD, BIT_CELLPHONE];
 
 /// Class id of an uninformative provider (never a representative).
 const CLASS_NONE: u32 = u32::MAX;
@@ -83,20 +84,25 @@ const CLASS_NONE: u32 = u32::MAX;
 /// Memo generation sentinel: slot never written.
 const GEN_NONE: u32 = u32::MAX;
 
+/// Canonical lengths of the three positionally-covered kinds, in
+/// [`PoolSignature`] slot order — the word layout of the lane engine's
+/// transposed coverage state (`crate::score`).
+pub(crate) const COV_LENS: [u32; 3] = [18, 16, 11];
+
 #[inline]
-fn bit(words: &[u64], i: u32) -> bool {
+pub(crate) fn bit(words: &[u64], i: u32) -> bool {
     words[(i >> 6) as usize] & (1u64 << (i & 63)) != 0
 }
 
 #[inline]
-fn set_bit(words: &mut [u64], i: u32) {
+pub(crate) fn set_bit(words: &mut [u64], i: u32) {
     words[(i >> 6) as usize] |= 1u64 << (i & 63);
 }
 
 /// Tracked bits completed by positional coverage: a coverage mask equal
 /// to the full canonical-length mask makes its kind fully known.
 #[inline]
-fn cov_complete_bits(cov: [u32; 3]) -> u8 {
+pub(crate) fn cov_complete_bits(cov: [u32; 3]) -> u8 {
     let mut bits = 0u8;
     for slot in 0..3 {
         let len = canonical_len(COV_KINDS[slot]).expect("coverage kinds have canonical lengths");
@@ -123,34 +129,42 @@ fn tracked_bits(full_mask: u16) -> u8 {
 /// Factors the profile satisfies are gone; what remains is exactly the
 /// run-time-variable residue of `factor_satisfied_view`.
 #[derive(Clone)]
-struct CPath {
+pub(crate) struct CPath {
     /// Tracked kinds that must be fully known.
-    req: u8,
+    pub(crate) req: u8,
     /// Needs mailbox control (an `EmailCode`/`EmailLink` the profile
     /// cannot intercept).
-    needs_email: bool,
+    pub(crate) needs_email: bool,
     /// Needs the customer-service dossier (≥ 3 identity facts) and the
     /// profile alone holds fewer than 3.
-    needs_cs: bool,
+    pub(crate) needs_cs: bool,
     /// `LinkedAccount` providers, as node ids, all of which must be
     /// owned.
-    links: Vec<u32>,
+    pub(crate) links: Vec<u32>,
+    /// [`crate::score::OverlayFactor`] mask over the path's *original*
+    /// factor kinds — including ones the attacker profile folded away —
+    /// so a per-user overlay can disable a path whose SMS/email step
+    /// the profile would otherwise intercept for free.
+    pub(crate) fmask: u16,
+    /// Index of `fmask` in [`Prepared::fmasks`]: lane batches compute
+    /// one activation word per *distinct* mask, not per path.
+    pub(crate) fmask_id: u32,
 }
 
 /// A node's singleton pool, flattened to the bits factor satisfaction
 /// actually reads.
 #[derive(Clone, Copy)]
-struct Provider {
+pub(crate) struct Provider {
     /// Tracked kinds exposed fully (Photos-in-the-clear already folded
     /// into CitizenId by `absorb_compromise`).
-    raw: u8,
+    pub(crate) raw: u8,
     /// Positional coverage masks, [`PoolSignature`] order.
-    cov: [u32; 3],
+    pub(crate) cov: [u32; 3],
     /// `raw` plus coverage-completed bits — the kinds this provider
     /// alone makes fully known.
-    eff: u8,
+    pub(crate) eff: u8,
     /// Compromising this node grants mailbox control.
-    email: bool,
+    pub(crate) email: bool,
     /// Interned pool-signature class, or [`CLASS_NONE`] when the pool
     /// is uninformative (such providers only matter via `LinkedAccount`
     /// factors naming them).
@@ -158,10 +172,10 @@ struct Provider {
 }
 
 /// Per-node compiled form.
-struct Node {
+pub(crate) struct Node {
     /// Live compiled paths (paths the profile can never satisfy are
     /// dropped — they can't satisfy, so they can't compromise).
-    live: Vec<CPath>,
+    pub(crate) live: Vec<CPath>,
     /// Every resolvable `LinkedAccount` target across *all* attack
     /// paths (dead ones included), in path-then-factor order — the
     /// extra `min_providers` candidates beyond the class
@@ -211,16 +225,16 @@ impl Stats {
 /// paths read it. Ownership lives in the `compromised` bitset (the
 /// absorbed node set *is* the owned set).
 #[derive(Default, Clone, Copy)]
-struct RunState {
-    raw: u8,
-    cov: [u32; 3],
-    eff: u8,
-    email: bool,
+pub(crate) struct RunState {
+    pub(crate) raw: u8,
+    pub(crate) cov: [u32; 3],
+    pub(crate) eff: u8,
+    pub(crate) email: bool,
 }
 
 impl RunState {
     #[inline]
-    fn absorb(&mut self, p: &Provider) {
+    pub(crate) fn absorb(&mut self, p: &Provider) {
         self.raw |= p.raw;
         for slot in 0..3 {
             self.cov[slot] |= p.cov[slot];
@@ -263,11 +277,18 @@ pub struct Prepared {
     ap: AttackerProfile,
     /// Identity facts the profile knows without any compromise
     /// (tracked bits).
-    ap_kinds: u8,
+    pub(crate) ap_kinds: u8,
     /// Platform-eligible specs, node-id order.
     specs: Vec<ServiceSpec>,
-    providers: Vec<Provider>,
-    nodes: Vec<Node>,
+    /// Owned name → node-id index (overlay construction resolves user
+    /// service lists against it without re-scanning the spec list).
+    pub(crate) ids: BTreeMap<ServiceId, u32>,
+    pub(crate) providers: Vec<Provider>,
+    pub(crate) nodes: Vec<Node>,
+    /// Distinct [`CPath::fmask`] values, indexed by [`CPath::fmask_id`]
+    /// — the lane engine precomputes one per-batch activation word per
+    /// entry (`crate::score`).
+    pub(crate) fmasks: Vec<u16>,
     /// Distinct informative pool-signature classes.
     classes: usize,
     /// Distinct interned pathsets (memo table size).
@@ -339,8 +360,10 @@ impl Prepared {
             })
             .collect();
 
-        // Nodes: compile paths, collect link candidates, intern pathsets.
+        // Nodes: compile paths, collect link candidates, intern
+        // pathsets and overlay-factor masks.
         let mut pathset_of: BTreeMap<Vec<(u8, bool, bool)>, u32> = BTreeMap::new();
+        let mut fmask_of: BTreeMap<u16, u32> = BTreeMap::new();
         let nodes: Vec<Node> = specs
             .iter()
             .map(|s| {
@@ -358,10 +381,14 @@ impl Prepared {
                         }
                     }
                 }
-                let live: Vec<CPath> = paths
+                let mut live: Vec<CPath> = paths
                     .iter()
                     .filter_map(|p| compile_path(p, &ap, cs_static, &id_of))
                     .collect();
+                for cp in &mut live {
+                    let next = fmask_of.len() as u32;
+                    cp.fmask_id = *fmask_of.entry(cp.fmask).or_insert(next);
+                }
                 let open = live.iter().any(|cp| {
                     cp.req == 0 && !cp.needs_email && !cp.needs_cs && cp.links.is_empty()
                 });
@@ -419,13 +446,22 @@ impl Prepared {
             subs.dedup();
         }
 
+        let mut fmasks = vec![0u16; fmask_of.len()];
+        for (mask, id) in &fmask_of {
+            fmasks[*id as usize] = *mask;
+        }
+
+        let ids: BTreeMap<ServiceId, u32> =
+            specs.iter().enumerate().map(|(i, s)| (s.id.clone(), i as u32)).collect();
         Self {
             platform,
             ap,
             ap_kinds,
             specs,
+            ids,
             providers,
             nodes,
+            fmasks,
             classes: class_of.len(),
             pathsets: pathset_of.len(),
             kind_subs,
@@ -493,7 +529,47 @@ impl Prepared {
         seeds: &[ServiceId],
         memo_enabled: bool,
     ) -> ForwardResult {
+        self.forward_inner(scratch, seeds, memo_enabled, None)
+    }
+
+    /// The forward fixed point restricted to one user's
+    /// [`UserOverlay`]: only *held* services can fall, and a path is
+    /// active only when every one of its original factor kinds is
+    /// *enabled* by the user. A full overlay (every service held, every
+    /// factor enabled) reproduces [`Self::forward`] exactly — pinned by
+    /// the scalar-degenerate regression tests.
+    ///
+    /// This is the one-user-at-a-time *reference* the 64-lane sweep in
+    /// [`crate::score`] is property-tested against. The cross-round
+    /// `min_providers` memo is bypassed: its pathset key does not see
+    /// which paths the overlay deactivated, so two nodes sharing a
+    /// pathset id may have different active subsets under the same
+    /// overlay.
+    pub fn forward_overlay(&self, overlay: &UserOverlay) -> ForwardResult {
+        self.forward_overlay_with(&mut self.scratch(), overlay)
+    }
+
+    /// [`Self::forward_overlay`] reusing caller-owned scratch buffers.
+    pub fn forward_overlay_with(
+        &self,
+        scratch: &mut ForwardScratch,
+        overlay: &UserOverlay,
+    ) -> ForwardResult {
+        self.forward_inner(scratch, &[], false, Some(overlay))
+    }
+
+    fn forward_inner(
+        &self,
+        scratch: &mut ForwardScratch,
+        seeds: &[ServiceId],
+        memo_enabled: bool,
+        overlay: Option<&UserOverlay>,
+    ) -> ForwardResult {
         let _span = obs::span("forward.prepared");
+        // All-ones when no overlay: `fmask & factors == fmask` is then
+        // vacuous and the plain forward path is bit-identical to before.
+        let factors = overlay.map_or(u16::MAX, |ov| ov.factors);
+        let memo_enabled = memo_enabled && overlay.is_none();
         let stats = Stats::fetch();
         obs::add("engine.runs", 1);
         self.reset_scratch(scratch);
@@ -517,14 +593,16 @@ impl Prepared {
         }
         rounds.push(seed_round);
 
-        // Round 1 evaluates every standing node; afterwards only
-        // subscribers of flipped flags can change.
+        // Round 1 evaluates every standing node (under an overlay, every
+        // standing *held* node); afterwards only subscribers of flipped
+        // flags can change.
         for i in 0..n as u32 {
-            if !bit(&scratch.compromised, i) {
+            if !bit(&scratch.compromised, i) && overlay.map_or(true, |ov| bit(&ov.held, i)) {
                 set_bit(&mut scratch.frontier, i);
             }
         }
-        let mut frontier_len = n - compromised_count;
+        let mut frontier_len =
+            scratch.frontier.iter().map(|w| w.count_ones() as usize).sum::<usize>();
 
         while frontier_len > 0 {
             let round = rounds.len();
@@ -543,7 +621,8 @@ impl Prepared {
                         let i = (w as u32) << 6 | m.trailing_zeros();
                         m &= m - 1;
                         let sat = self.nodes[i as usize].live.iter().any(|cp| {
-                            cp.req & !st.eff == 0
+                            cp.fmask & factors == cp.fmask
+                                && cp.req & !st.eff == 0
                                 && (!cp.needs_email || st.email)
                                 && (!cp.needs_cs
                                     || (self.ap_kinds | st.eff).count_ones() >= 3)
@@ -571,6 +650,7 @@ impl Prepared {
                     let min_providers = self.min_providers(
                         i,
                         memo_enabled,
+                        factors,
                         &scratch.compromised,
                         &scratch.reps,
                         &mut scratch.memo,
@@ -624,6 +704,9 @@ impl Prepared {
             frontier_len = 0;
             for w in 0..scratch.frontier.len() {
                 scratch.frontier[w] &= !scratch.compromised[w];
+                if let Some(ov) = overlay {
+                    scratch.frontier[w] &= ov.held[w];
+                }
                 frontier_len += scratch.frontier[w].count_ones() as usize;
             }
         }
@@ -657,6 +740,7 @@ impl Prepared {
         &self,
         node: u32,
         memo_enabled: bool,
+        factors: u16,
         compromised: &[u64],
         reps: &[u32],
         memo: &mut [(u32, u8)],
@@ -665,6 +749,9 @@ impl Prepared {
     ) -> usize {
         let nd = &self.nodes[node as usize];
         let gen = reps.len() as u32;
+        // `forward_inner` already forces `memo_enabled` off for overlay
+        // runs, keeping the pathset key sound (it cannot distinguish
+        // overlay-deactivated path subsets).
         let slot = if memo_enabled { nd.pathset } else { None };
         if let Some(ps) = slot {
             let (g, ans) = memo[ps as usize];
@@ -674,7 +761,7 @@ impl Prepared {
             }
             stats.minprov_memo_misses.inc();
         }
-        let answer = self.min_providers_uncached(nd, compromised, reps, candidates);
+        let answer = self.min_providers_uncached(nd, factors, compromised, reps, candidates);
         if let Some(ps) = slot {
             memo[ps as usize] = (gen, answer as u8);
         }
@@ -684,11 +771,22 @@ impl Prepared {
     fn min_providers_uncached(
         &self,
         nd: &Node,
+        factors: u16,
         compromised: &[u64],
         reps: &[u32],
         candidates: &mut Vec<u32>,
     ) -> usize {
-        if nd.open {
+        if factors == u16::MAX {
+            if nd.open {
+                return 0;
+            }
+        } else if nd.live.iter().any(|cp| {
+            cp.fmask & factors == cp.fmask
+                && cp.req == 0
+                && !cp.needs_email
+                && !cp.needs_cs
+                && cp.links.is_empty()
+        }) {
             return 0;
         }
         candidates.clear();
@@ -701,7 +799,8 @@ impl Prepared {
         for &j in candidates.iter() {
             let p = &self.providers[j as usize];
             let sat = nd.live.iter().any(|cp| {
-                cp.req & !p.eff == 0
+                cp.fmask & factors == cp.fmask
+                    && cp.req & !p.eff == 0
                     && (!cp.needs_email || p.email)
                     && (!cp.needs_cs || (self.ap_kinds | p.eff).count_ones() >= 3)
                     && cp.links.iter().all(|&l| l == j)
@@ -719,7 +818,8 @@ impl Prepared {
                 let eff = (pa.raw | pb.raw) | cov_complete_bits(cov);
                 let email = pa.email || pb.email;
                 let sat = nd.live.iter().any(|cp| {
-                    cp.req & !eff == 0
+                    cp.fmask & factors == cp.fmask
+                        && cp.req & !eff == 0
                         && (!cp.needs_email || email)
                         && (!cp.needs_cs || (self.ap_kinds | eff).count_ones() >= 3)
                         && cp.links.iter().all(|&l| l == a || l == b)
@@ -760,8 +860,19 @@ fn compile_path(
     id_of: &BTreeMap<&ServiceId, u32>,
 ) -> Option<CPath> {
     use CredentialFactor as F;
-    let mut cp = CPath { req: 0, needs_email: false, needs_cs: false, links: Vec::new() };
+    let mut cp = CPath {
+        req: 0,
+        needs_email: false,
+        needs_cs: false,
+        links: Vec::new(),
+        fmask: 0,
+        fmask_id: 0,
+    };
     for f in &path.factors {
+        // The overlay mask records the *original* factor kind before any
+        // profile folding: a path whose SMS step the profile intercepts
+        // for free must still die for a user who never enabled SMS.
+        cp.fmask |= OverlayFactor::of(f);
         match f {
             F::SmsCode => {
                 if !ap.sms_interception {

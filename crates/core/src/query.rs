@@ -55,6 +55,7 @@ use crate::error::Error;
 use crate::obs;
 use crate::prepared::Prepared;
 use crate::profile::AttackerProfile;
+use crate::score::{UserOverlay, UserProfile, UserScore};
 use crate::tdg::Tdg;
 use actfort_ecosystem::factor::ServiceId;
 use actfort_ecosystem::policy::Platform;
@@ -144,6 +145,17 @@ impl Source<'_> {
         self.specs().iter().any(|s| &s.id == id)
     }
 
+    /// Runs `f` against the prepared substrate: a graph source already
+    /// owns one (built at [`Tdg::build`]); a raw source compiles it
+    /// here — once per query, however many seeds sets or user profiles
+    /// the query covers.
+    fn with_substrate<R>(&self, f: impl FnOnce(&Prepared) -> R) -> R {
+        match self {
+            Source::Graph(tdg) => f(tdg.prepared()),
+            Source::Raw { specs, platform, ap } => f(&Prepared::new(specs, *platform, *ap)),
+        }
+    }
+
     /// Number of services eligible on the analysed platform — the input
     /// to both crossover dispatches. (A graph source is already
     /// platform-filtered.)
@@ -209,6 +221,14 @@ impl<'a> Analysis<'a> {
             trace: None,
         }
     }
+
+    /// A per-user scoring query over a batch of [`UserProfile`]s: each
+    /// user's concrete delta (services held, factors enabled) is scored
+    /// against the shared compiled base, which is prepared **once** for
+    /// the whole batch regardless of its size.
+    pub fn score_users(self, profiles: &'a [UserProfile]) -> ScoreQuery<'a> {
+        ScoreQuery { source: self.source, profiles, engine: Engine::Auto, trace: None }
+    }
 }
 
 /// A configured forward query. Build with [`Analysis::forward`].
@@ -269,13 +289,9 @@ impl<'a> ForwardQuery<'a> {
         }
     }
 
-    /// Runs `f` against the substrate: a graph source already owns one
-    /// (built at [`Tdg::build`]); a raw source compiles it here.
+    /// Runs `f` against the substrate (see [`Source::with_substrate`]).
     fn with_substrate<R>(&self, f: impl FnOnce(&Prepared) -> R) -> R {
-        match &self.source {
-            Source::Graph(tdg) => f(tdg.prepared()),
-            Source::Raw { specs, platform, ap } => f(&Prepared::new(specs, *platform, *ap)),
-        }
+        self.source.with_substrate(f)
     }
 
     fn dispatch(&self, seeds: &[ServiceId]) -> ForwardResult {
@@ -350,6 +366,75 @@ impl<'a> ForwardQuery<'a> {
                 let mut all = self.seeds.to_vec();
                 all.extend(set.iter().cloned());
                 self.dispatch(&all)
+            }
+        }))
+    }
+}
+
+/// A configured per-user scoring query. Build with
+/// [`Analysis::score_users`].
+///
+/// Both engines run on the prepared substrate (overlays only exist
+/// there); the knob selects the *schedule*: the 64-lane bit-parallel
+/// sweep ([`Engine::Prepared`], or [`Engine::Auto`] at/above the
+/// forward crossover) versus the scalar one-user-at-a-time reference
+/// loop ([`Engine::Naive`] / [`Engine::Incremental`], or Auto below
+/// it). Results are schedule-independent (property tested).
+pub struct ScoreQuery<'a> {
+    source: Source<'a>,
+    profiles: &'a [UserProfile],
+    engine: Engine,
+    trace: Option<&'static str>,
+}
+
+impl<'a> ScoreQuery<'a> {
+    /// Selects the schedule (default [`Engine::Auto`]).
+    pub fn engine(mut self, engine: Engine) -> Self {
+        self.engine = engine;
+        self
+    }
+
+    /// Wraps the run in an `obs` span named `label`.
+    pub fn trace(mut self, label: &'static str) -> Self {
+        self.trace = Some(label);
+        self
+    }
+
+    /// Whether the 64-lane sweep serves the batch (versus the scalar
+    /// reference loop). Mirrors the forward crossover: below it the
+    /// transpose overhead outweighs the lane win on tiny populations.
+    fn uses_lanes(&self) -> bool {
+        match self.engine {
+            Engine::Prepared => true,
+            Engine::Auto => self.source.eligible() >= NAIVE_CROSSOVER,
+            Engine::Incremental | Engine::Naive => false,
+        }
+    }
+
+    /// Runs the query, returning one [`UserScore`] per profile in input
+    /// order. Fails with [`Error::UnknownService`] if any profile holds
+    /// a service absent from the population.
+    pub fn run(&self) -> Result<Vec<UserScore>, Error> {
+        for profile in self.profiles {
+            if let Some(id) = profile.services.iter().find(|s| !self.source.knows(s)) {
+                return Err(Error::UnknownService(id.to_string()));
+            }
+        }
+        let _span = self.trace.map(obs::span);
+        Ok(self.source.with_substrate(|prepared| {
+            let overlays: Vec<UserOverlay> = self
+                .profiles
+                .iter()
+                .map(|u| prepared.overlay(&u.services, u.factors))
+                .collect();
+            if self.uses_lanes() {
+                obs::add("analysis.dispatch_score", 1);
+                let mut scratch = prepared.overlay_scratch();
+                prepared.score_users(&overlays, &mut scratch)
+            } else {
+                obs::add("analysis.dispatch_score_scalar", 1);
+                let mut scratch = prepared.scratch();
+                overlays.iter().map(|ov| prepared.score_one(ov, &mut scratch)).collect()
             }
         }))
     }
@@ -596,6 +681,62 @@ mod tests {
             Analysis::of(&tdg).backward(&"paypal".into()).run_bounded().unwrap();
         assert!(exhaustive);
         assert!(full.len() >= chains.len());
+    }
+
+    #[test]
+    fn score_rejects_unknown_service_and_schedules_agree() {
+        use crate::score::OverlayFactor;
+        let specs = curated_services();
+        let bad = vec![UserProfile::new(vec!["ghost".into()], OverlayFactor::ALL)];
+        let err = Analysis::over(&specs, Platform::Web, ap())
+            .score_users(&bad)
+            .run()
+            .expect_err("unknown service");
+        assert_eq!(err, Error::UnknownService("ghost".into()));
+        assert!(err.is_client_error());
+
+        // A mixed batch: empty, partial (no SMS), full.
+        let all: Vec<ServiceId> = specs.iter().map(|s| s.id.clone()).collect();
+        let profiles = vec![
+            UserProfile::new(vec![], OverlayFactor::ALL),
+            UserProfile::new(all.clone(), OverlayFactor::ALL & !OverlayFactor::SMS_CODE),
+            UserProfile::new(all, OverlayFactor::ALL),
+        ];
+        for platform in [Platform::Web, Platform::MobileApp] {
+            let lanes = Analysis::over(&specs, platform, ap())
+                .score_users(&profiles)
+                .engine(Engine::Prepared)
+                .run()
+                .unwrap();
+            let scalar = Analysis::over(&specs, platform, ap())
+                .score_users(&profiles)
+                .engine(Engine::Naive)
+                .run()
+                .unwrap();
+            assert_eq!(lanes, scalar, "{platform}");
+            assert_eq!(lanes[0], UserScore { blast_radius: 0, weakest_chain: 0 });
+            // The full-overlay user reproduces the plain forward result.
+            let forward =
+                Analysis::over(&specs, platform, ap()).forward(&[]).run().unwrap();
+            assert_eq!(lanes[2], UserScore::of(&forward), "{platform}");
+            // Graph source agrees with raw source (on the graph's own
+            // population — a built graph is already platform-filtered,
+            // so it rejects ids eligible only on the other platform).
+            let tdg = Tdg::build(&specs, platform, ap());
+            let graph_all: Vec<ServiceId> = tdg.specs().iter().map(|s| s.id.clone()).collect();
+            let graph_profiles = vec![
+                UserProfile::new(graph_all.clone(), OverlayFactor::ALL),
+                UserProfile::new(graph_all, OverlayFactor::ALL & !OverlayFactor::SMS_CODE),
+            ];
+            let via_graph = Analysis::of(&tdg).score_users(&graph_profiles).run().unwrap();
+            let via_raw = Analysis::over(&specs, platform, ap())
+                .score_users(&graph_profiles)
+                .run()
+                .unwrap();
+            assert_eq!(via_graph, via_raw, "{platform} graph source");
+            // Holding every eligible service is the full overlay.
+            assert_eq!(via_graph[0], lanes[2], "{platform} graph full overlay");
+        }
     }
 
     #[test]

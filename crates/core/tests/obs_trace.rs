@@ -104,6 +104,82 @@ fn sweep_counters_agree_with_the_result() {
 }
 
 #[test]
+fn score_batch_dispatches_once_and_never_reprepares_per_user() {
+    let _g = obs_lock();
+    let specs = paper_population(SEED);
+    let all: Vec<actfort_ecosystem::factor::ServiceId> =
+        specs.iter().map(|s| s.id.clone()).collect();
+    let profiles: Vec<actfort_core::UserProfile> = (0..150)
+        .map(|i| {
+            let mut held = all.clone();
+            held.truncate(all.len() - i % 7);
+            actfort_core::UserProfile::full(held)
+        })
+        .collect();
+
+    obs::reset();
+    obs::set_enabled(true);
+    let scores = Analysis::over(&specs, Platform::Web, AttackerProfile::paper_default())
+        .score_users(&profiles)
+        .run()
+        .expect("valid batch");
+    obs::set_enabled(false);
+    let snap = obs::snapshot();
+    obs::reset();
+    assert_eq!(scores.len(), 150);
+
+    let c = |name: &str| snap.counters.get(name).copied().unwrap_or(0);
+    // 201 services is past the crossover: Auto serves the lane engine,
+    // exactly once for the whole batch, and the substrate is compiled
+    // once — NOT once per user. (The prepare-per-user regression this
+    // pins would read 150 here.)
+    assert_eq!(c("analysis.dispatch_score"), 1);
+    assert_eq!(c("analysis.dispatch_score_scalar"), 0);
+    assert_eq!(c("analysis.dispatch_prepared"), 0, "score is not the forward path");
+    assert_eq!(c("engine.prepares"), 1, "one compilation per batch, not per user");
+    assert_eq!(snap.spans.get("prepare").map(|s| s.count), Some(1));
+
+    // 150 users = 3 lane sweeps (64 + 64 + 22); per-batch counters and
+    // the lane span agree.
+    assert_eq!(c("score.batches"), 3);
+    assert_eq!(c("score.users"), 150);
+    assert_eq!(snap.spans.get("score.lanes").map(|s| s.count), Some(3));
+    assert!(c("score.rounds") >= c("score.batches"), "every sweep runs at least one round");
+
+    // The scalar schedule flips the dispatch counter, still one prepare.
+    obs::reset();
+    obs::set_enabled(true);
+    Analysis::over(&specs, Platform::Web, AttackerProfile::paper_default())
+        .score_users(&profiles[..3])
+        .engine(actfort_core::Engine::Naive)
+        .run()
+        .expect("valid batch");
+    obs::set_enabled(false);
+    let snap = obs::snapshot();
+    obs::reset();
+    let c = |name: &str| snap.counters.get(name).copied().unwrap_or(0);
+    assert_eq!(c("analysis.dispatch_score"), 0);
+    assert_eq!(c("analysis.dispatch_score_scalar"), 1);
+    assert_eq!(c("engine.prepares"), 1, "scalar schedule also compiles once per batch");
+
+    // Below the crossover Auto picks the scalar schedule (transpose
+    // overhead dominates on tiny populations).
+    let curated = curated_services();
+    obs::reset();
+    obs::set_enabled(true);
+    Analysis::over(&curated, Platform::Web, AttackerProfile::paper_default())
+        .score_users(&[actfort_core::UserProfile::full(vec!["gmail".into()])])
+        .run()
+        .expect("valid batch");
+    obs::set_enabled(false);
+    let snap = obs::snapshot();
+    obs::reset();
+    let c = |name: &str| snap.counters.get(name).copied().unwrap_or(0);
+    assert_eq!(c("analysis.dispatch_score"), 0);
+    assert_eq!(c("analysis.dispatch_score_scalar"), 1);
+}
+
+#[test]
 fn backward_auto_dispatch_flips_at_the_crossover() {
     let _g = obs_lock();
     let count = |name: &str, f: &dyn Fn()| {

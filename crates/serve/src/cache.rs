@@ -20,6 +20,7 @@
 
 use crate::obs_names;
 use actfort_core::obs;
+use actfort_core::UserProfile;
 use actfort_ecosystem::factor::ServiceId;
 use std::collections::hash_map::Entry;
 use std::collections::{HashMap, VecDeque};
@@ -79,6 +80,29 @@ impl CacheKey {
             kind: "backward",
             payload: format!("{}\n{max_chains}\n{budget}", target.as_str()),
         }
+    }
+
+    /// Key for a score query: the canonical profile batch. *Within* a
+    /// profile, service order and duplicates are canonicalized (sorted,
+    /// deduped — same held-set, same entry); *across* profiles, batch
+    /// order is preserved, because the response's `scores` array is in
+    /// input order and a reordered batch is a different body.
+    pub fn score(generation: u64, engine: &'static str, profiles: &[UserProfile]) -> Self {
+        let mut payload = String::new();
+        for profile in profiles {
+            let mut ids: Vec<&str> = profile.services.iter().map(|s| s.as_str()).collect();
+            ids.sort_unstable();
+            ids.dedup();
+            payload.push_str(&format!("{:#06x}", profile.factors));
+            for id in ids {
+                payload.push('\n');
+                payload.push_str(id);
+            }
+            // Profile terminator: unambiguous because '\x1e' cannot
+            // appear in a factor mask spelling and ids are newline-led.
+            payload.push('\x1e');
+        }
+        Self { generation, engine, kind: "score", payload }
     }
 }
 
@@ -171,6 +195,33 @@ mod tests {
         assert_eq!(
             CacheKey::backward(1, "auto", &t, 8, Some(2000)),
             CacheKey::backward(1, "auto", &t, 8, Some(2000)),
+        );
+    }
+
+    #[test]
+    fn score_keys_canonicalize_within_profiles_but_preserve_batch_order() {
+        use actfort_core::OverlayFactor;
+        let p = |ids: &[&str], factors: u16| {
+            UserProfile::new(ids.iter().map(|s| ServiceId::new(s)).collect(), factors)
+        };
+        let base = CacheKey::score(1, "auto", &[p(&["a", "b"], OverlayFactor::ALL)]);
+        // Same held-set, different spelling: one entry.
+        assert_eq!(base, CacheKey::score(1, "auto", &[p(&["b", "a", "b"], OverlayFactor::ALL)]));
+        // Different factors, generation, engine or held-set: distinct.
+        assert_ne!(base, CacheKey::score(1, "auto", &[p(&["a", "b"], OverlayFactor::SMS_CODE)]));
+        assert_ne!(base, CacheKey::score(2, "auto", &[p(&["a", "b"], OverlayFactor::ALL)]));
+        assert_ne!(base, CacheKey::score(1, "naive", &[p(&["a", "b"], OverlayFactor::ALL)]));
+        assert_ne!(base, CacheKey::score(1, "auto", &[p(&["a"], OverlayFactor::ALL)]));
+        // Batch order is significant (scores come back in input order),
+        // and profile boundaries cannot be re-split: [a | b] != [a,b].
+        let ab = [p(&["a"], OverlayFactor::ALL), p(&["b"], OverlayFactor::ALL)];
+        let ba = [p(&["b"], OverlayFactor::ALL), p(&["a"], OverlayFactor::ALL)];
+        assert_ne!(CacheKey::score(1, "auto", &ab), CacheKey::score(1, "auto", &ba));
+        assert_ne!(CacheKey::score(1, "auto", &ab), base);
+        // And the score key space never collides with forward's.
+        assert_ne!(
+            CacheKey::score(1, "auto", &[]).kind,
+            CacheKey::forward(1, "auto", true, &[]).kind
         );
     }
 

@@ -43,6 +43,8 @@
 //! | `GET /metrics`         | the global `obs` snapshot as JSON          |
 //! | `POST /v1/forward`     | forward analysis (cached)                  |
 //! | `POST /v1/backward`    | backward chains (deadline-aware)           |
+//! | `POST /score`          | per-user overlay scoring, batched (cached; |
+//! |   (alias `/v1/score`)  | 64-lane bit-parallel sweep)                |
 //! | `POST /admin/reload`   | hot-swap the dataset snapshot              |
 //! | `POST /admin/shutdown` | graceful drain                             |
 
@@ -83,6 +85,8 @@ pub mod obs_names {
     pub const FORWARD_SPAN: &str = "serve.forward";
     /// Span: one backward analysis on a worker thread.
     pub const BACKWARD_SPAN: &str = "serve.backward";
+    /// Span: one per-user score batch on a worker thread.
+    pub const SCORE_SPAN: &str = "serve.score";
     /// Span (child of an endpoint span): the analysis run itself.
     pub const COMPUTE_SPAN: &str = "compute";
     /// Span (child of an endpoint span): rendering the response body.
@@ -99,6 +103,8 @@ pub mod obs_names {
     pub const FORWARD_LATENCY: &str = "serve.forward.latency_ns";
     /// Histogram: `/v1/backward` wall latency.
     pub const BACKWARD_LATENCY: &str = "serve.backward.latency_ns";
+    /// Histogram: `/score` wall latency.
+    pub const SCORE_LATENCY: &str = "serve.score.latency_ns";
     /// Histogram: `/healthz` wall latency.
     pub const HEALTHZ_LATENCY: &str = "serve.healthz.latency_ns";
     /// Histogram: `/metrics` wall latency.

@@ -197,8 +197,16 @@ pub fn start(config: ServerConfig) -> Result<ServerHandle, Error> {
 }
 
 /// Every route the server serves (used to split 404 from 405).
-const KNOWN_PATHS: [&str; 6] =
-    ["/healthz", "/metrics", "/v1/forward", "/v1/backward", "/admin/reload", "/admin/shutdown"];
+const KNOWN_PATHS: [&str; 8] = [
+    "/healthz",
+    "/metrics",
+    "/v1/forward",
+    "/v1/backward",
+    "/score",
+    "/v1/score",
+    "/admin/reload",
+    "/admin/shutdown",
+];
 
 /// The application half of the server: protocol-independent routing.
 /// Runs on the reactor thread; anything CPU-bound moves to the pool.
@@ -218,6 +226,7 @@ impl Handler for Svc {
             ("GET", "/metrics") => finish(obs_names::METRICS_LATENCY, start, slot, metrics()),
             ("POST", "/v1/forward") => forward(shared, &request.body, start, slot),
             ("POST", "/v1/backward") => backward(shared, &request.body, start, slot),
+            ("POST", "/score" | "/v1/score") => score(shared, &request.body, start, slot),
             ("POST", "/admin/reload") => {
                 finish(obs_names::ADMIN_LATENCY, start, slot, reload(shared, &request.body));
             }
@@ -440,6 +449,57 @@ fn backward(shared: &Arc<Shared>, body: &[u8], start: Instant, slot: ResponseSlo
             }
         };
         finish(obs_names::BACKWARD_LATENCY, start, slot, response);
+    });
+}
+
+fn score(shared: &Arc<Shared>, body: &[u8], start: Instant, slot: ResponseSlot) {
+    let request = match wire::parse_score(body) {
+        Ok(r) => r,
+        Err(e) => return finish(obs_names::SCORE_LATENCY, start, slot, error_response(&e)),
+    };
+    let snapshot = shared.store.load();
+    let key = CacheKey::score(
+        snapshot.generation,
+        wire::engine_name(request.engine),
+        &request.profiles,
+    );
+    if let Some(cached) = shared.cache.get(&key) {
+        let response =
+            Response::json(200, cached.as_ref().clone()).with_header("x-actfort-cache", "hit");
+        return finish(obs_names::SCORE_LATENCY, start, slot, response);
+    }
+    let generation = snapshot.generation;
+    let job_shared = Arc::clone(shared);
+    submit_or_shed(shared, obs_names::SCORE_LATENCY, start, slot, move |slot| {
+        let result = (|| {
+            let _span = obs::span(obs_names::SCORE_SPAN);
+            let compute_started = Instant::now();
+            let scores = {
+                let _compute = obs::span(obs_names::COMPUTE_SPAN);
+                // The graph source borrows the snapshot's prepared
+                // substrate — one compilation per generation, shared by
+                // every batch and every user in it.
+                Analysis::of(&snapshot.tdg)
+                    .score_users(&request.profiles)
+                    .engine(request.engine)
+                    .run()?
+            };
+            obs::record_ns(obs_names::COMPUTE_NS, elapsed_ns(compute_started));
+            let render_started = Instant::now();
+            let _render = obs::span(obs_names::RENDER_SPAN);
+            let rendered = wire::render_score(generation, request.engine, &scores);
+            obs::record_ns(obs_names::RENDER_NS, elapsed_ns(render_started));
+            Ok::<_, Error>(rendered)
+        })();
+        let response = match result {
+            Err(e) => error_response(&e),
+            Ok(rendered) => {
+                let canonical = job_shared.cache.insert(key, Arc::new(rendered));
+                Response::json(200, canonical.as_ref().clone())
+                    .with_header("x-actfort-cache", "miss")
+            }
+        };
+        finish(obs_names::SCORE_LATENCY, start, slot, response);
     });
 }
 

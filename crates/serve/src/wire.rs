@@ -11,7 +11,7 @@
 use actfort_core::analysis::{AttackChain, ForwardResult};
 use actfort_core::obs::json::{self, Json};
 use actfort_core::query::Engine;
-use actfort_core::Error;
+use actfort_core::{Error, OverlayFactor, UserProfile, UserScore};
 use actfort_ecosystem::factor::ServiceId;
 use std::fmt::Write as _;
 
@@ -63,6 +63,20 @@ impl BackwardRequest {
             })
         })
     }
+}
+
+/// Maximum profiles per `POST /score` batch — a request-shape bound
+/// (larger batches should page), not a throughput limit.
+pub const MAX_SCORE_PROFILES: usize = 4096;
+
+/// A parsed `POST /score` body.
+#[derive(Debug, Clone)]
+pub struct ScoreRequest {
+    /// One entry per user: services held + factor kinds enabled.
+    pub profiles: Vec<UserProfile>,
+    /// Engine selector (schedule knob — see
+    /// [`actfort_core::query::ScoreQuery`]).
+    pub engine: Engine,
 }
 
 /// A parsed `POST /admin/reload` body.
@@ -173,6 +187,90 @@ pub fn parse_backward(body: &[u8]) -> Result<BackwardRequest, Error> {
     })
 }
 
+fn parse_profile(item: &Json, index: usize) -> Result<UserProfile, Error> {
+    let Json::Obj(_) = item else {
+        return Err(Error::Query(format!("\"profiles\"[{index}] must be an object")));
+    };
+    let services = match item.get("services") {
+        Some(Json::Arr(items)) => items
+            .iter()
+            .map(|s| match s {
+                Json::Str(s) => Ok(ServiceId::new(s)),
+                _ => Err(Error::Query(format!(
+                    "\"profiles\"[{index}].services must be an array of service ids"
+                ))),
+            })
+            .collect::<Result<_, _>>()?,
+        _ => {
+            return Err(Error::Query(format!(
+                "\"profiles\"[{index}].services must be an array of service ids"
+            )))
+        }
+    };
+    // Factors default to "everything enabled" — the conservative read
+    // for a profile that only lists accounts.
+    let factors = match item.get("factors") {
+        None | Some(Json::Null) => OverlayFactor::ALL,
+        Some(Json::Arr(items)) => {
+            let mut mask = 0u16;
+            for f in items {
+                let Json::Str(name) = f else {
+                    return Err(Error::Query(format!(
+                        "\"profiles\"[{index}].factors must be an array of factor names"
+                    )));
+                };
+                mask |= OverlayFactor::parse(name).ok_or_else(|| {
+                    Error::Query(format!(
+                        "unknown factor {name:?} in \"profiles\"[{index}] (expected one of {})",
+                        OverlayFactor::NAMES
+                            .iter()
+                            .map(|(n, _)| format!("{n:?}"))
+                            .collect::<Vec<_>>()
+                            .join(", ")
+                    ))
+                })?;
+            }
+            mask
+        }
+        Some(_) => {
+            return Err(Error::Query(format!(
+                "\"profiles\"[{index}].factors must be an array of factor names"
+            )))
+        }
+    };
+    Ok(UserProfile::new(services, factors))
+}
+
+/// Parses a score request body:
+/// `{"profiles":[{"services":[...],"factors":[...]}],"engine":"auto"}`.
+/// Omitted `factors` means every overlay-controllable kind enabled.
+///
+/// # Errors
+///
+/// [`Error::Query`] on malformed JSON, a missing/mistyped `profiles`
+/// array, an unknown factor name, or a batch larger than
+/// [`MAX_SCORE_PROFILES`].
+pub fn parse_score(body: &[u8]) -> Result<ScoreRequest, Error> {
+    let doc = parse_body(body)?;
+    let profiles = match doc.get("profiles") {
+        Some(Json::Arr(items)) => {
+            if items.len() > MAX_SCORE_PROFILES {
+                return Err(Error::Query(format!(
+                    "\"profiles\" holds {} entries; the batch limit is {MAX_SCORE_PROFILES}",
+                    items.len()
+                )));
+            }
+            items
+                .iter()
+                .enumerate()
+                .map(|(i, item)| parse_profile(item, i))
+                .collect::<Result<Vec<_>, _>>()?
+        }
+        _ => return Err(Error::Query("\"profiles\" must be an array of profile objects".into())),
+    };
+    Ok(ScoreRequest { profiles, engine: field_engine(&doc)? })
+}
+
 /// Parses a reload request body.
 ///
 /// # Errors
@@ -266,6 +364,30 @@ pub fn render_backward(
     out.into_bytes()
 }
 
+/// Renders a score result: one `{blast_radius, weakest_chain}` object
+/// per user, input order. Deterministic.
+pub fn render_score(generation: u64, engine: Engine, scores: &[UserScore]) -> Vec<u8> {
+    let mut out = String::with_capacity(64 + scores.len() * 40);
+    let _ = write!(
+        out,
+        "{{\"generation\":{generation},\"engine\":\"{}\",\"users\":{},\"scores\":[",
+        engine_name(engine),
+        scores.len()
+    );
+    for (i, score) in scores.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        let _ = write!(
+            out,
+            "{{\"blast_radius\":{},\"weakest_chain\":{}}}",
+            score.blast_radius, score.weakest_chain
+        );
+    }
+    out.push_str("]}");
+    out.into_bytes()
+}
+
 /// Maps a core error to its wire form: `(HTTP status, JSON body)`. The
 /// body carries the error's stable discriminant
 /// ([`Error::code`]) and kind so clients can match
@@ -319,6 +441,59 @@ mod tests {
         assert_eq!(req.effective_budget(DEADLINE_PARTIALS_PER_MS), None);
         assert_eq!(req.max_chains, 8);
         assert!(parse_backward(b"{}").is_err(), "target is mandatory");
+    }
+
+    #[test]
+    fn score_request_parses_factors_and_rejects_malformed_batches() {
+        let req = parse_score(
+            br#"{"profiles":[{"services":["gmail","taobao"],"factors":["sms_code","email_code"]},
+                             {"services":[]}],"engine":"prepared"}"#,
+        )
+        .expect("full form");
+        assert_eq!(req.profiles.len(), 2);
+        assert_eq!(req.profiles[0].services.len(), 2);
+        assert_eq!(
+            req.profiles[0].factors,
+            OverlayFactor::SMS_CODE | OverlayFactor::EMAIL_CODE
+        );
+        // Omitted factors default to everything enabled.
+        assert_eq!(req.profiles[1].factors, OverlayFactor::ALL);
+        assert_eq!(req.engine, Engine::Prepared);
+
+        // Every wire spelling round-trips through parse_score.
+        for (name, bit) in OverlayFactor::NAMES {
+            let body = format!(r#"{{"profiles":[{{"services":[],"factors":["{name}"]}}]}}"#);
+            let req = parse_score(body.as_bytes()).expect(name);
+            assert_eq!(req.profiles[0].factors, bit, "{name}");
+        }
+
+        assert!(parse_score(b"{}").is_err(), "profiles is mandatory");
+        assert!(parse_score(br#"{"profiles":"x"}"#).is_err());
+        assert!(parse_score(br#"{"profiles":[{"services":"gmail"}]}"#).is_err());
+        assert!(parse_score(br#"{"profiles":[{"services":[],"factors":["warp"]}]}"#).is_err());
+        assert!(parse_score(br#"{"profiles":[{"services":[],"factors":"sms_code"}]}"#).is_err());
+        assert!(parse_score(br#"{"profiles":[42]}"#).is_err());
+        let oversized = format!(
+            r#"{{"profiles":[{}]}}"#,
+            vec![r#"{"services":[]}"#; MAX_SCORE_PROFILES + 1].join(",")
+        );
+        assert!(parse_score(oversized.as_bytes()).is_err(), "batch limit enforced");
+    }
+
+    #[test]
+    fn rendered_score_parses_back_in_input_order() {
+        let scores = [
+            UserScore { blast_radius: 7, weakest_chain: 3 },
+            UserScore { blast_radius: 0, weakest_chain: 0 },
+        ];
+        let body = render_score(5, Engine::Prepared, &scores);
+        let doc = json::parse(std::str::from_utf8(&body).expect("utf-8")).expect("parses");
+        assert_eq!(doc.get("generation").and_then(Json::as_num), Some(5.0));
+        assert_eq!(doc.get("engine").and_then(Json::as_str), Some("prepared"));
+        assert_eq!(doc.get("users").and_then(Json::as_num), Some(2.0));
+        let Some(Json::Arr(items)) = doc.get("scores") else { panic!("scores array") };
+        assert_eq!(items[0].get("blast_radius").and_then(Json::as_num), Some(7.0));
+        assert_eq!(items[1].get("weakest_chain").and_then(Json::as_num), Some(0.0));
     }
 
     #[test]
