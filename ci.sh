@@ -42,4 +42,8 @@ echo "==> score throughput gate: 64-lane sweep >= 1M user-scores/min single-core
 cargo run --release -q -p actfort-bench --bin score_sweep -- --users 65536 \
     --min-scores-per-min 1000000 --out "$trace_tmp/bench_score.json"
 
+echo "==> whatif gate: 16-subset patched sweep ≡ cold recompiles, 0 recompiles, warm < 50 ms"
+cargo run --release -q -p actfort-bench --bin whatif_sweep -- --max-sweep-ms 50 \
+    --out "$trace_tmp/bench_whatif.json"
+
 echo "CI OK"

@@ -6,16 +6,24 @@
 //! attack graph it removes.
 
 use crate::metrics::{depth_breakdown, DepthBreakdown};
+use crate::obs;
+use crate::prepared::{Prepared, SubstratePatch};
 use crate::profile::AttackerProfile;
 use actfort_ecosystem::factor::CredentialFactor;
 use actfort_ecosystem::info::{Masking, PersonalInfoKind};
 use actfort_ecosystem::policy::Platform;
 use actfort_ecosystem::spec::{ServiceDomain, ServiceSpec};
 use serde::{Deserialize, Serialize};
+use std::collections::BTreeSet;
 use std::fmt;
+use std::sync::{Arc, Mutex};
 
 /// The paper's proposed countermeasures.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+///
+/// The derived `Ord` is the canonical application order: countermeasure
+/// *sets* are order-insensitive because [`apply_all`] (and the patch
+/// layer) sort into this order before applying.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
 pub enum Countermeasure {
     /// "Cover unified digits on SSN and bankcard numbers": every service
     /// masks the same positions, so mask merging recovers nothing new.
@@ -33,7 +41,7 @@ pub enum Countermeasure {
 }
 
 impl Countermeasure {
-    /// All countermeasures, in presentation order.
+    /// All countermeasures, in presentation (= canonical) order.
     pub fn all() -> &'static [Countermeasure] {
         &[
             Countermeasure::UnifiedMasking,
@@ -42,6 +50,33 @@ impl Countermeasure {
             Countermeasure::BuiltInPush,
         ]
     }
+
+    /// Stable wire spelling, used by the serve layer and cache keys.
+    pub fn wire_name(self) -> &'static str {
+        match self {
+            Countermeasure::UnifiedMasking => "unified_masking",
+            Countermeasure::HardenEmail => "harden_email",
+            Countermeasure::FixAsymmetry => "fix_asymmetry",
+            Countermeasure::BuiltInPush => "built_in_push",
+        }
+    }
+
+    /// Parses a wire spelling; inverse of [`Self::wire_name`].
+    pub fn parse(text: &str) -> Option<Self> {
+        Countermeasure::all().iter().copied().find(|cm| cm.wire_name() == text)
+    }
+}
+
+/// The canonical form of a countermeasure *set*: sorted into
+/// [`Countermeasure`]'s `Ord` order, duplicates removed. Everything that
+/// consumes a set — [`apply_all`], the compiled patch layer, the serve
+/// cache keys — canonicalizes through here, so results and cache hits
+/// are functions of the set alone, never of spelling order.
+pub fn canonical_set(cms: &[Countermeasure]) -> Vec<Countermeasure> {
+    let mut set = cms.to_vec();
+    set.sort_unstable();
+    set.dedup();
+    set
 }
 
 impl fmt::Display for Countermeasure {
@@ -61,10 +96,14 @@ pub fn apply(specs: &[ServiceSpec], cm: Countermeasure) -> Vec<ServiceSpec> {
     specs.iter().map(|s| apply_one(s, cm)).collect()
 }
 
-/// Applies several countermeasures in order.
+/// Applies a countermeasure set. The set is canonicalized (sorted,
+/// deduplicated) first, so the result depends only on *which*
+/// countermeasures are in the set, not the order the caller listed them
+/// in — `[FixAsymmetry, UnifiedMasking]` and its reverse produce the
+/// same population (pinned by the permutation proptest).
 pub fn apply_all(specs: &[ServiceSpec], cms: &[Countermeasure]) -> Vec<ServiceSpec> {
     let mut out = specs.to_vec();
-    for &cm in cms {
+    for cm in canonical_set(cms) {
         out = apply(&out, cm);
     }
     out
@@ -76,18 +115,21 @@ fn apply_one(spec: &ServiceSpec, cm: Countermeasure) -> ServiceSpec {
         Countermeasure::UnifiedMasking => {
             let unify = |fields: &mut Vec<actfort_ecosystem::info::ExposedField>| {
                 for f in fields {
-                    match f.kind {
-                        PersonalInfoKind::CitizenId => {
-                            f.masking = Masking::Partial { prefix: 3, suffix: 2 }
-                        }
+                    let unified = match f.kind {
+                        PersonalInfoKind::CitizenId => Masking::Partial { prefix: 3, suffix: 2 },
                         PersonalInfoKind::BankcardNumber => {
-                            f.masking = Masking::Partial { prefix: 0, suffix: 4 }
+                            Masking::Partial { prefix: 0, suffix: 4 }
                         }
                         PersonalInfoKind::CellphoneNumber => {
-                            f.masking = Masking::Partial { prefix: 3, suffix: 2 }
+                            Masking::Partial { prefix: 3, suffix: 2 }
                         }
-                        _ => {}
-                    }
+                        _ => continue,
+                    };
+                    // Intersect with the existing mask: a field already
+                    // narrower than the unified scheme (or Hidden) stays
+                    // that way. A countermeasure may only *hide* digits,
+                    // never reveal ones a service had covered.
+                    f.masking = intersect_masking(f.masking, unified);
                 }
             };
             unify(&mut s.web_exposure);
@@ -157,10 +199,27 @@ fn apply_one(spec: &ServiceSpec, cm: Countermeasure) -> ServiceSpec {
         }
         Countermeasure::BuiltInPush => {
             for p in &mut s.paths {
+                let mut substituted = false;
                 for f in &mut p.factors {
                     if *f == CredentialFactor::SmsCode {
                         *f = CredentialFactor::PushApproval;
+                        substituted = true;
                     }
+                }
+                if substituted {
+                    // The substitution can collide with a PushApproval
+                    // the path already listed; keep the first occurrence
+                    // so factor-count thresholds see the factor once.
+                    let mut seen = false;
+                    p.factors.retain(|f| {
+                        if *f == CredentialFactor::PushApproval {
+                            if seen {
+                                return false;
+                            }
+                            seen = true;
+                        }
+                        true
+                    });
                 }
             }
         }
@@ -168,9 +227,111 @@ fn apply_one(spec: &ServiceSpec, cm: Countermeasure) -> ServiceSpec {
     s
 }
 
+/// Compiles countermeasure sets into [`SubstratePatch`]es against one
+/// shared base [`Prepared`], caching both the per-countermeasure blast
+/// radius and every compiled subset.
+///
+/// Construction walks the population once per countermeasure to learn
+/// which nodes each one actually rewrites (`apply_one(s, cm) != s`).
+/// After that, [`Patcher::patch`] costs only the union blast radius of
+/// the requested set: the touched specs are rewritten and recompiled
+/// against the base's interned id space ([`Prepared::compile_patch`]),
+/// everything else stays shared. With four countermeasures there are
+/// only sixteen subsets, so compiled patches are memoized for the life
+/// of the base — a `/whatif` sweep re-running a subset is a pure cache
+/// hit, and *no* full substrate recompile ever happens
+/// (`engine.prepares` stays flat; pinned by the whatif bench).
+///
+/// The union blast radius is exact, not a superset: `apply_one` is a
+/// per-spec transformation, so a node no single countermeasure in the
+/// set touches is a fixed point of every fold step and compiles to its
+/// base form.
+pub struct Patcher {
+    base: Arc<Prepared>,
+    /// Node ids each countermeasure rewrites, aligned with
+    /// [`Countermeasure::all`] order.
+    touched: Vec<Vec<u32>>,
+    /// Compiled patches by canonical subset mask (bit *i* = `all()[i]`).
+    cache: Mutex<Vec<Option<Arc<SubstratePatch>>>>,
+}
+
+impl Patcher {
+    /// Plans patches against `base`: one `apply_one` sweep per
+    /// countermeasure to find its blast radius, no compilation yet.
+    pub fn new(base: Arc<Prepared>) -> Self {
+        let _span = obs::span("patch.plan");
+        let touched: Vec<Vec<u32>> = Countermeasure::all()
+            .iter()
+            .map(|&cm| {
+                base.specs()
+                    .iter()
+                    .enumerate()
+                    .filter(|(_, s)| apply_one(s, cm) != **s)
+                    .map(|(i, _)| i as u32)
+                    .collect()
+            })
+            .collect();
+        let cache = Mutex::new(vec![None; 1 << Countermeasure::all().len()]);
+        Self { base, touched, cache }
+    }
+
+    /// The shared base substrate patches are compiled against.
+    pub fn base(&self) -> &Arc<Prepared> {
+        &self.base
+    }
+
+    /// The node ids `cm` rewrites on this base (its blast radius),
+    /// ascending.
+    pub fn touched_by(&self, cm: Countermeasure) -> &[u32] {
+        &self.touched[Self::index(cm)]
+    }
+
+    fn index(cm: Countermeasure) -> usize {
+        Countermeasure::all().iter().position(|&c| c == cm).expect("all() lists every variant")
+    }
+
+    /// The compiled patch for a countermeasure set (canonicalized, so
+    /// order and duplicates don't matter). First request per subset
+    /// compiles; repeats are cache hits. The empty set yields an empty
+    /// patch whose run reproduces the base exactly.
+    pub fn patch(&self, cms: &[Countermeasure]) -> Arc<SubstratePatch> {
+        let set = canonical_set(cms);
+        let mask = set.iter().fold(0usize, |m, &cm| m | (1 << Self::index(cm)));
+        if let Some(hit) = self.cache.lock().expect("patch cache poisoned")[mask].clone() {
+            obs::add("engine.patch_cache_hits", 1);
+            return hit;
+        }
+        let mut ids: BTreeSet<u32> = BTreeSet::new();
+        for &cm in &set {
+            ids.extend(&self.touched[Self::index(cm)]);
+        }
+        let rewrites: Vec<(u32, ServiceSpec)> = ids
+            .into_iter()
+            .map(|i| {
+                let mut s = self.base.specs()[i as usize].clone();
+                for &cm in &set {
+                    s = apply_one(&s, cm);
+                }
+                (i, s)
+            })
+            .collect();
+        let patch = Arc::new(self.base.compile_patch(&rewrites));
+        let mut slot = self.cache.lock().expect("patch cache poisoned");
+        // A racing compile of the same subset keeps the first one in.
+        if let Some(existing) = &slot[mask] {
+            return Arc::clone(existing);
+        }
+        slot[mask] = Some(Arc::clone(&patch));
+        patch
+    }
+}
+
 /// Positional intersection of two maskings: the result shows only the
-/// characters *both* maskings showed.
-fn intersect_masking(a: Masking, b: Masking) -> Masking {
+/// characters *both* maskings showed. This is a lattice meet (`Clear`
+/// is the identity, `Hidden` absorbs, `Partial` meets pointwise), which
+/// is what makes masking countermeasures monotone: `m` never reveals
+/// anything `a` hid iff `intersect_masking(m, a) == m`.
+pub fn intersect_masking(a: Masking, b: Masking) -> Masking {
     match (a, b) {
         (Masking::Clear, other) | (other, Masking::Clear) => other,
         (Masking::Hidden, _) | (_, Masking::Hidden) => Masking::Hidden,
@@ -279,6 +440,84 @@ mod tests {
                 assert!(!p.factors.contains(&CredentialFactor::SmsCode), "{}: {p}", s.id);
             }
         }
+    }
+
+    #[test]
+    fn built_in_push_never_duplicates_factors() {
+        use actfort_ecosystem::policy::{Platform, Purpose};
+        // A path that already lists PushApproval next to SmsCode: the
+        // substitution must collapse to a single PushApproval, not two
+        // (duplicates inflate factor-count thresholds).
+        let spec = ServiceSpec::builder("dup", "dup", ServiceDomain::Other)
+            .path(
+                Purpose::SignIn,
+                Platform::Web,
+                &[
+                    CredentialFactor::PushApproval,
+                    CredentialFactor::Password,
+                    CredentialFactor::SmsCode,
+                ],
+            )
+            .build();
+        let hardened = apply(&[spec], Countermeasure::BuiltInPush);
+        let factors = &hardened[0].paths[0].factors;
+        assert_eq!(
+            factors.iter().filter(|f| **f == CredentialFactor::PushApproval).count(),
+            1,
+            "duplicate PushApproval after substitution: {factors:?}"
+        );
+        assert!(factors.contains(&CredentialFactor::Password));
+        // A path with a genuine (pre-existing) repeated factor and no
+        // SmsCode is left alone: the dedup only cleans up collisions the
+        // substitution itself created.
+        let odd = ServiceSpec::builder("odd", "odd", ServiceDomain::Other)
+            .path(
+                Purpose::SignIn,
+                Platform::Web,
+                &[CredentialFactor::PushApproval, CredentialFactor::PushApproval],
+            )
+            .build();
+        let untouched = apply(&[odd], Countermeasure::BuiltInPush);
+        assert_eq!(untouched[0].paths[0].factors.len(), 2);
+    }
+
+    #[test]
+    fn unified_masking_never_reveals_hidden_digits() {
+        // A service that fully hides the citizen id: the "unified"
+        // Partial{3,2} scheme must not re-reveal its digits.
+        use actfort_ecosystem::info::ExposedField;
+        use actfort_ecosystem::policy::{Platform, Purpose};
+        let spec = ServiceSpec::builder("vaulted", "vaulted", ServiceDomain::Other)
+            .path(Purpose::SignIn, Platform::Web, &[CredentialFactor::Password])
+            .expose_web(ExposedField { kind: PersonalInfoKind::CitizenId, masking: Masking::Hidden })
+            .expose_web(ExposedField::partial(PersonalInfoKind::BankcardNumber, 0, 2))
+            .build();
+        let hardened = apply(&[spec], Countermeasure::UnifiedMasking);
+        let field = |kind| {
+            hardened[0].web_exposure.iter().find(|f| f.kind == kind).unwrap().masking
+        };
+        assert_eq!(field(PersonalInfoKind::CitizenId), Masking::Hidden);
+        // Already narrower than the unified suffix of 4: stays at 2.
+        assert_eq!(
+            field(PersonalInfoKind::BankcardNumber),
+            Masking::Partial { prefix: 0, suffix: 2 }
+        );
+    }
+
+    #[test]
+    fn apply_all_is_order_invariant_on_curated() {
+        let base = specs();
+        let canonical = apply_all(&base, Countermeasure::all());
+        let reversed: Vec<Countermeasure> =
+            Countermeasure::all().iter().rev().copied().collect();
+        assert_eq!(apply_all(&base, &reversed), canonical);
+        // Duplicates collapse.
+        let doubled =
+            [Countermeasure::BuiltInPush, Countermeasure::BuiltInPush, Countermeasure::UnifiedMasking];
+        assert_eq!(
+            apply_all(&base, &doubled),
+            apply_all(&base, &[Countermeasure::UnifiedMasking, Countermeasure::BuiltInPush])
+        );
     }
 
     #[test]

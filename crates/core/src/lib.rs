@@ -75,10 +75,10 @@ pub use analysis::{backward_chains, backward_chains_naive, forward};
 pub use analysis::{AttackChain, ForwardResult};
 pub use backward::BackwardEngine;
 pub use error::Error;
-pub use prepared::{ForwardScratch, Prepared};
-pub use query::{Analysis, Engine};
+pub use prepared::{ForwardScratch, Prepared, SubstratePatch};
+pub use query::{Analysis, Engine, WhatifReport};
 pub use score::{OverlayFactor, OverlayScratch, UserOverlay, UserProfile, UserScore};
-pub use counter::Countermeasure;
+pub use counter::{Countermeasure, Patcher};
 pub use pool::InfoPool;
 pub use profile::AttackerProfile;
 pub use strategy::StrategyEngine;

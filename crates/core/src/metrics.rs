@@ -148,6 +148,15 @@ pub fn depth_breakdown(
     let _span = obs::span("metrics.depth");
     let result: ForwardResult = forward_auto(specs, platform, ap, &[]);
     let total = on_platform(specs, platform).len();
+    breakdown_of(&result, total)
+}
+
+/// Classifies an already-computed forward result into the paper's depth
+/// categories over a population of `total` eligible services. This is
+/// the shared classifier behind [`depth_breakdown`] and the whatif
+/// patch path: both run it over their respective [`ForwardResult`]s, so
+/// identical results produce bit-identical breakdowns.
+pub fn breakdown_of(result: &ForwardResult, total: usize) -> DepthBreakdown {
     let mut direct = 0;
     let mut one_layer = 0;
     let mut two_full = 0;

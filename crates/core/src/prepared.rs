@@ -53,6 +53,10 @@ use actfort_ecosystem::info::PersonalInfoKind;
 use actfort_ecosystem::policy::{AuthPath, Platform};
 use actfort_ecosystem::spec::ServiceSpec;
 use std::collections::BTreeMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// Process-unique substrate identity source (see [`Prepared::stamp`]).
+static NEXT_STAMP: AtomicU64 = AtomicU64::new(1);
 
 /// Tracked-kind bit positions, aligned with the engine's
 /// `TRACKED_KINDS` order: RealName, CitizenId, CellphoneNumber,
@@ -191,6 +195,58 @@ pub(crate) struct Node {
     pathset: Option<u32>,
 }
 
+/// A compiled overlay patch against one specific [`Prepared`]: the
+/// recompiled state of the nodes a countermeasure set *touches* (its
+/// blast radius), with everything untouched read from the base at run
+/// time. This is the countermeasure analogue of the per-user
+/// [`UserOverlay`](crate::score::UserOverlay): the base substrate stays
+/// shared and immutable; the delta rides on top.
+///
+/// Built with [`Prepared::compile_patch`] (normally via
+/// [`crate::counter::Patcher`], which computes the blast radius), run
+/// with [`Prepared::forward_patched`]. Compilation cost is proportional
+/// to the touched-node count, not the population: interned class /
+/// pathset / fmask ids are resolved against the base's retained maps, so
+/// a patched provider whose pool signature the base already interned
+/// collapses into the same class as its untouched twins, and genuinely
+/// new signatures mint fresh ids appended past the base tables.
+pub struct SubstratePatch {
+    /// [`Prepared::stamp`] of the base this patch was compiled against.
+    base_stamp: u64,
+    /// Touched node ids, ascending.
+    touched: Vec<u32>,
+    /// Dense node-id → patch-slot lookup; `u32::MAX` means untouched
+    /// (read the base).
+    slot_of: Vec<u32>,
+    /// Recompiled per-touched-node state, slot order.
+    providers: Vec<Provider>,
+    nodes: Vec<Node>,
+    specs: Vec<ServiceSpec>,
+    /// Class / pathset id-space sizes including patch-minted ids
+    /// (scratch sizing; base ids stay valid, patch ids append).
+    classes: usize,
+    pathsets: usize,
+    /// Extra reverse-index subscriptions from touched nodes' recompiled
+    /// paths. The base keeps its (possibly stale) entries for those
+    /// nodes; over-subscription only ever costs a redundant
+    /// re-evaluation, never a missed one.
+    kind_subs: [Vec<u32>; 6],
+    email_subs: Vec<u32>,
+    link_subs: BTreeMap<u32, Vec<u32>>,
+}
+
+impl SubstratePatch {
+    /// Node ids this patch recompiles (the blast radius), ascending.
+    pub fn touched(&self) -> &[u32] {
+        &self.touched
+    }
+
+    /// [`Prepared::stamp`] of the base substrate this patch targets.
+    pub fn base_stamp(&self) -> u64 {
+        self.base_stamp
+    }
+}
+
 /// Counter handles for one prepared forward run; same names as the
 /// incremental engine, so dashboards and invariants carry over.
 struct Stats {
@@ -293,6 +349,19 @@ pub struct Prepared {
     classes: usize,
     /// Distinct interned pathsets (memo table size).
     pathsets: usize,
+    /// The interning maps behind `classes` / `pathsets` / `fmasks`,
+    /// retained after compilation so a [`SubstratePatch`] can re-intern
+    /// its recompiled nodes against the *same* id space: signatures the
+    /// base already saw reuse their ids (a patched provider collapses
+    /// into the same class as an identical untouched one), new
+    /// signatures mint fresh ids appended past the base counts.
+    class_of: BTreeMap<PoolSignature, u32>,
+    pathset_of: BTreeMap<Vec<(u8, bool, bool)>, u32>,
+    fmask_of: BTreeMap<u16, u32>,
+    /// Process-unique identity: patches record the stamp of the base
+    /// they were compiled against, and [`Prepared::forward_patched`]
+    /// refuses a patch stamped for a different substrate.
+    stamp: u64,
     /// Reverse index over *unresolved* atoms of live paths: nodes to
     /// re-evaluate when a tracked kind becomes fully known…
     kind_subs: [Vec<u32>; 6],
@@ -327,9 +396,9 @@ impl Prepared {
             .cloned()
             .collect();
         let n = specs.len();
-        let id_of: BTreeMap<&ServiceId, u32> =
-            specs.iter().enumerate().map(|(i, s)| (&s.id, i as u32)).collect();
-        debug_assert_eq!(id_of.len(), n, "service ids must be unique within a population");
+        let ids: BTreeMap<ServiceId, u32> =
+            specs.iter().enumerate().map(|(i, s)| (s.id.clone(), i as u32)).collect();
+        debug_assert_eq!(ids.len(), n, "service ids must be unique within a population");
 
         let mut ap_kinds = 0u8;
         if ap.social_engineering_db {
@@ -375,7 +444,7 @@ impl Prepared {
                 for p in &paths {
                     for f in &p.factors {
                         if let CredentialFactor::LinkedAccount(id) = f {
-                            if let Some(&j) = id_of.get(id) {
+                            if let Some(&j) = ids.get(id) {
                                 all_links.push(j);
                             }
                         }
@@ -383,7 +452,7 @@ impl Prepared {
                 }
                 let mut live: Vec<CPath> = paths
                     .iter()
-                    .filter_map(|p| compile_path(p, &ap, cs_static, &id_of))
+                    .filter_map(|p| compile_path(p, &ap, cs_static, &ids))
                     .collect();
                 for cp in &mut live {
                     let next = fmask_of.len() as u32;
@@ -451,8 +520,6 @@ impl Prepared {
             fmasks[*id as usize] = *mask;
         }
 
-        let ids: BTreeMap<ServiceId, u32> =
-            specs.iter().enumerate().map(|(i, s)| (s.id.clone(), i as u32)).collect();
         Self {
             platform,
             ap,
@@ -464,10 +531,20 @@ impl Prepared {
             fmasks,
             classes: class_of.len(),
             pathsets: pathset_of.len(),
+            class_of,
+            pathset_of,
+            fmask_of,
+            stamp: NEXT_STAMP.fetch_add(1, Ordering::Relaxed),
             kind_subs,
             email_subs,
             link_subs,
         }
+    }
+
+    /// Process-unique identity of this compilation (monotonic, never
+    /// reused within a process). [`SubstratePatch`]es are pinned to it.
+    pub fn stamp(&self) -> u64 {
+        self.stamp
     }
 
     /// The platform this substrate was compiled for.
@@ -494,7 +571,7 @@ impl Prepared {
     /// just avoids the first-run growth).
     pub fn scratch(&self) -> ForwardScratch {
         let mut s = ForwardScratch::new();
-        self.reset_scratch(&mut s);
+        self.reset_scratch(&mut s, None);
         s
     }
 
@@ -505,17 +582,21 @@ impl Prepared {
         self.forward_with(&mut self.scratch(), seeds, memo_enabled)
     }
 
-    fn reset_scratch(&self, s: &mut ForwardScratch) {
+    fn reset_scratch(&self, s: &mut ForwardScratch, patch: Option<&SubstratePatch>) {
+        let (classes, pathsets) = match patch {
+            Some(p) => (p.classes, p.pathsets),
+            None => (self.classes, self.pathsets),
+        };
         let words = self.nodes.len().div_ceil(64);
         s.compromised.clear();
         s.compromised.resize(words, 0);
         s.frontier.clear();
         s.frontier.resize(words, 0);
         s.class_seen.clear();
-        s.class_seen.resize(self.classes.div_ceil(64), 0);
+        s.class_seen.resize(classes.div_ceil(64), 0);
         s.reps.clear();
         s.memo.clear();
-        s.memo.resize(self.pathsets, (GEN_NONE, 0));
+        s.memo.resize(pathsets, (GEN_NONE, 0));
         s.newly.clear();
         s.candidates.clear();
     }
@@ -529,7 +610,228 @@ impl Prepared {
         seeds: &[ServiceId],
         memo_enabled: bool,
     ) -> ForwardResult {
-        self.forward_inner(scratch, seeds, memo_enabled, None)
+        self.forward_inner(scratch, seeds, memo_enabled, None, None)
+    }
+
+    /// Compiles a [`SubstratePatch`] from `rewrites`: `(node id,
+    /// replacement spec)` pairs covering exactly the nodes a
+    /// countermeasure set touches, in ascending id order. Each rewrite
+    /// is recompiled exactly the way [`Prepared::new`] compiled the
+    /// original — same pool flattening, same path folding against the
+    /// static profile — but interned against the base's retained maps,
+    /// so the patched run is byte-identical to a cold compile of the
+    /// rewritten population while costing only the blast radius.
+    ///
+    /// Replacement specs must keep their service id and platform flags
+    /// (countermeasures transform policies, never the population
+    /// membership); node ids and the link topology therefore stay valid.
+    pub fn compile_patch(&self, rewrites: &[(u32, ServiceSpec)]) -> SubstratePatch {
+        let _span = obs::span("patch.compile");
+        obs::add("engine.patches", 1);
+        obs::add("engine.patch_nodes", rewrites.len() as u64);
+        let cs_static = self.ap_kinds.count_ones() >= 3;
+        let mut touched = Vec::with_capacity(rewrites.len());
+        let mut slot_of = vec![u32::MAX; self.nodes.len()];
+        let mut providers = Vec::with_capacity(rewrites.len());
+        let mut nodes = Vec::with_capacity(rewrites.len());
+        let mut specs = Vec::with_capacity(rewrites.len());
+        // Patch-local interning: ids the base already minted are reused;
+        // new keys append past the base counts (shared across rewrites
+        // within this patch).
+        let mut new_classes: BTreeMap<PoolSignature, u32> = BTreeMap::new();
+        let mut new_pathsets: BTreeMap<Vec<(u8, bool, bool)>, u32> = BTreeMap::new();
+        let mut new_fmasks: BTreeMap<u16, u32> = BTreeMap::new();
+        let mut kind_subs: [Vec<u32>; 6] = Default::default();
+        let mut email_subs: Vec<u32> = Vec::new();
+        let mut link_subs: BTreeMap<u32, Vec<u32>> = BTreeMap::new();
+        for (slot, (i, s)) in rewrites.iter().enumerate() {
+            let i = *i;
+            debug_assert!(touched.last().map_or(true, |&prev| prev < i), "rewrites must ascend");
+            debug_assert_eq!(
+                s.id, self.specs[i as usize].id,
+                "a rewrite must replace the node's own spec"
+            );
+            touched.push(i);
+            slot_of[i as usize] = slot as u32;
+
+            let mut pool = InfoPool::new();
+            pool.absorb_compromise(s, self.platform);
+            let (full_mask, cov, email) = pool.signature();
+            let raw = tracked_bits(full_mask);
+            let class = if pool.is_informative() {
+                let sig = (full_mask, cov, email);
+                match self.class_of.get(&sig) {
+                    Some(&id) => id,
+                    None => {
+                        let next = (self.classes + new_classes.len()) as u32;
+                        *new_classes.entry(sig).or_insert(next)
+                    }
+                }
+            } else {
+                CLASS_NONE
+            };
+            providers.push(Provider { raw, cov, eff: raw | cov_complete_bits(cov), email, class });
+
+            let paths = attack_paths(s, self.platform);
+            let any_link = paths.iter().any(|p| {
+                p.factors.iter().any(|f| matches!(f, CredentialFactor::LinkedAccount(_)))
+            });
+            let mut all_links = Vec::new();
+            for p in &paths {
+                for f in &p.factors {
+                    if let CredentialFactor::LinkedAccount(id) = f {
+                        if let Some(&j) = self.ids.get(id) {
+                            all_links.push(j);
+                        }
+                    }
+                }
+            }
+            let mut live: Vec<CPath> = paths
+                .iter()
+                .filter_map(|p| compile_path(p, &self.ap, cs_static, &self.ids))
+                .collect();
+            for cp in &mut live {
+                cp.fmask_id = match self.fmask_of.get(&cp.fmask) {
+                    Some(&id) => id,
+                    None => {
+                        let next = (self.fmasks.len() + new_fmasks.len()) as u32;
+                        *new_fmasks.entry(cp.fmask).or_insert(next)
+                    }
+                };
+            }
+            let open = live
+                .iter()
+                .any(|cp| cp.req == 0 && !cp.needs_email && !cp.needs_cs && cp.links.is_empty());
+            let pathset = if any_link {
+                None
+            } else {
+                let mut key: Vec<(u8, bool, bool)> =
+                    live.iter().map(|cp| (cp.req, cp.needs_email, cp.needs_cs)).collect();
+                key.sort_unstable();
+                Some(match self.pathset_of.get(&key) {
+                    Some(&id) => id,
+                    None => {
+                        let next = (self.pathsets + new_pathsets.len()) as u32;
+                        *new_pathsets.entry(key).or_insert(next)
+                    }
+                })
+            };
+            // This node's recompiled paths may subscribe to atoms its
+            // original paths never read; record those subscriptions so
+            // the patched frontier sees them (mirrors `Prepared::new`).
+            for cp in &live {
+                for (kslot, subs) in kind_subs.iter_mut().enumerate() {
+                    if cp.req & (1 << kslot) != 0 {
+                        subs.push(i);
+                    }
+                }
+                if cp.needs_email {
+                    email_subs.push(i);
+                }
+                if cp.needs_cs {
+                    for subs in &mut kind_subs {
+                        subs.push(i);
+                    }
+                }
+                for &l in &cp.links {
+                    link_subs.entry(l).or_default().push(i);
+                }
+            }
+            nodes.push(Node { live, all_links, open, pathset });
+            specs.push(s.clone());
+        }
+        for subs in &mut kind_subs {
+            subs.sort_unstable();
+            subs.dedup();
+        }
+        email_subs.sort_unstable();
+        email_subs.dedup();
+        for subs in link_subs.values_mut() {
+            subs.sort_unstable();
+            subs.dedup();
+        }
+        SubstratePatch {
+            base_stamp: self.stamp,
+            touched,
+            slot_of,
+            providers,
+            nodes,
+            specs,
+            classes: self.classes + new_classes.len(),
+            pathsets: self.pathsets + new_pathsets.len(),
+            kind_subs,
+            email_subs,
+            link_subs,
+        }
+    }
+
+    /// The forward fixed point with `patch` overlaid on this substrate:
+    /// touched nodes read their recompiled state, everything else reads
+    /// the base. Byte-identical to compiling the patched population from
+    /// scratch and running [`Self::forward`] — pinned by the whatif
+    /// equivalence suite — at a cost proportional to the blast radius.
+    ///
+    /// # Panics
+    ///
+    /// If `patch` was compiled against a different substrate.
+    pub fn forward_patched(
+        &self,
+        patch: &SubstratePatch,
+        seeds: &[ServiceId],
+        memo_enabled: bool,
+    ) -> ForwardResult {
+        self.forward_patched_with(&mut self.scratch(), patch, seeds, memo_enabled)
+    }
+
+    /// [`Self::forward_patched`] reusing caller-owned scratch buffers.
+    pub fn forward_patched_with(
+        &self,
+        scratch: &mut ForwardScratch,
+        patch: &SubstratePatch,
+        seeds: &[ServiceId],
+        memo_enabled: bool,
+    ) -> ForwardResult {
+        assert_eq!(
+            patch.base_stamp, self.stamp,
+            "substrate patch applied to a substrate it was not compiled against"
+        );
+        self.forward_inner(scratch, seeds, memo_enabled, None, Some(patch))
+    }
+
+    /// The node to read for id `i` under an optional patch.
+    #[inline]
+    fn node_at<'s>(&'s self, patch: Option<&'s SubstratePatch>, i: u32) -> &'s Node {
+        if let Some(p) = patch {
+            let slot = p.slot_of[i as usize];
+            if slot != u32::MAX {
+                return &p.nodes[slot as usize];
+            }
+        }
+        &self.nodes[i as usize]
+    }
+
+    /// The provider to read for id `i` under an optional patch.
+    #[inline]
+    fn provider_at<'s>(&'s self, patch: Option<&'s SubstratePatch>, i: u32) -> &'s Provider {
+        if let Some(p) = patch {
+            let slot = p.slot_of[i as usize];
+            if slot != u32::MAX {
+                return &p.providers[slot as usize];
+            }
+        }
+        &self.providers[i as usize]
+    }
+
+    /// The spec to materialize for id `i` under an optional patch.
+    #[inline]
+    fn spec_at<'s>(&'s self, patch: Option<&'s SubstratePatch>, i: u32) -> &'s ServiceSpec {
+        if let Some(p) = patch {
+            let slot = p.slot_of[i as usize];
+            if slot != u32::MAX {
+                return &p.specs[slot as usize];
+            }
+        }
+        &self.specs[i as usize]
     }
 
     /// The forward fixed point restricted to one user's
@@ -555,7 +857,7 @@ impl Prepared {
         scratch: &mut ForwardScratch,
         overlay: &UserOverlay,
     ) -> ForwardResult {
-        self.forward_inner(scratch, &[], false, Some(overlay))
+        self.forward_inner(scratch, &[], false, Some(overlay), None)
     }
 
     fn forward_inner(
@@ -564,15 +866,17 @@ impl Prepared {
         seeds: &[ServiceId],
         memo_enabled: bool,
         overlay: Option<&UserOverlay>,
+        patch: Option<&SubstratePatch>,
     ) -> ForwardResult {
-        let _span = obs::span("forward.prepared");
+        let _span =
+            if patch.is_some() { obs::span("forward.patched") } else { obs::span("forward.prepared") };
         // All-ones when no overlay: `fmask & factors == fmask` is then
         // vacuous and the plain forward path is bit-identical to before.
         let factors = overlay.map_or(u16::MAX, |ov| ov.factors);
         let memo_enabled = memo_enabled && overlay.is_none();
         let stats = Stats::fetch();
         obs::add("engine.runs", 1);
-        self.reset_scratch(scratch);
+        self.reset_scratch(scratch, patch);
         let n = self.nodes.len();
         let mut st = RunState::default();
         let mut records: BTreeMap<ServiceId, CompromiseRecord> = BTreeMap::new();
@@ -585,8 +889,9 @@ impl Prepared {
             if seeds.contains(&s.id) {
                 set_bit(&mut scratch.compromised, i as u32);
                 compromised_count += 1;
-                st.absorb(&self.providers[i]);
-                register(&self.providers[i], i as u32, &mut scratch.class_seen, &mut scratch.reps, &stats);
+                let provider = self.provider_at(patch, i as u32);
+                st.absorb(provider);
+                register(provider, i as u32, &mut scratch.class_seen, &mut scratch.reps, &stats);
                 records.insert(s.id.clone(), CompromiseRecord { round: 0, min_providers: 0 });
                 seed_round.push(s.id.clone());
             }
@@ -620,7 +925,7 @@ impl Prepared {
                     while m != 0 {
                         let i = (w as u32) << 6 | m.trailing_zeros();
                         m &= m - 1;
-                        let sat = self.nodes[i as usize].live.iter().any(|cp| {
+                        let sat = self.node_at(patch, i).live.iter().any(|cp| {
                             cp.fmask & factors == cp.fmask
                                 && cp.req & !st.eff == 0
                                 && (!cp.needs_email || st.email)
@@ -651,6 +956,7 @@ impl Prepared {
                         i,
                         memo_enabled,
                         factors,
+                        patch,
                         &scratch.compromised,
                         &scratch.reps,
                         &mut scratch.memo,
@@ -669,25 +975,29 @@ impl Prepared {
                 for k in 0..scratch.newly.len() {
                     let i = scratch.newly[k];
                     set_bit(&mut scratch.compromised, i);
-                    st.absorb(&self.providers[i as usize]);
-                    register(
-                        &self.providers[i as usize],
-                        i,
-                        &mut scratch.class_seen,
-                        &mut scratch.reps,
-                        &stats,
-                    );
+                    let provider = self.provider_at(patch, i);
+                    st.absorb(provider);
+                    register(provider, i, &mut scratch.class_seen, &mut scratch.reps, &stats);
                 }
             }
             compromised_count += scratch.newly.len();
             rounds.push(ids);
 
             // Next frontier: subscribers of every flag that flipped.
+            // Under a patch both subscription sets are read: the base's
+            // (stale entries for touched nodes are harmless — they only
+            // re-evaluate) and the patch's extras for paths the rewrite
+            // introduced.
             scratch.frontier.iter_mut().for_each(|w| *w = 0);
             for slot in 0..6 {
                 if st.eff & (1 << slot) != 0 && before_eff & (1 << slot) == 0 {
                     for &sub in &self.kind_subs[slot] {
                         set_bit(&mut scratch.frontier, sub);
+                    }
+                    if let Some(p) = patch {
+                        for &sub in &p.kind_subs[slot] {
+                            set_bit(&mut scratch.frontier, sub);
+                        }
                     }
                 }
             }
@@ -695,10 +1005,20 @@ impl Prepared {
                 for &sub in &self.email_subs {
                     set_bit(&mut scratch.frontier, sub);
                 }
+                if let Some(p) = patch {
+                    for &sub in &p.email_subs {
+                        set_bit(&mut scratch.frontier, sub);
+                    }
+                }
             }
             for &i in &scratch.newly {
                 for &sub in &self.link_subs[i as usize] {
                     set_bit(&mut scratch.frontier, sub);
+                }
+                if let Some(subs) = patch.and_then(|p| p.link_subs.get(&i)) {
+                    for &sub in subs {
+                        set_bit(&mut scratch.frontier, sub);
+                    }
                 }
             }
             frontier_len = 0;
@@ -722,9 +1042,9 @@ impl Prepared {
         // commutative and idempotent, so absorbing the compromised set
         // in node order reproduces the round-order pool exactly.
         let mut final_pool = InfoPool::new();
-        for (i, s) in self.specs.iter().enumerate() {
+        for i in 0..self.specs.len() {
             if bit(&scratch.compromised, i as u32) {
-                final_pool.absorb_compromise(s, self.platform);
+                final_pool.absorb_compromise(self.spec_at(patch, i as u32), self.platform);
             }
         }
         ForwardResult { rounds, records, uncompromised, final_pool }
@@ -741,13 +1061,14 @@ impl Prepared {
         node: u32,
         memo_enabled: bool,
         factors: u16,
+        patch: Option<&SubstratePatch>,
         compromised: &[u64],
         reps: &[u32],
         memo: &mut [(u32, u8)],
         candidates: &mut Vec<u32>,
         stats: &Stats,
     ) -> usize {
-        let nd = &self.nodes[node as usize];
+        let nd = self.node_at(patch, node);
         let gen = reps.len() as u32;
         // `forward_inner` already forces `memo_enabled` off for overlay
         // runs, keeping the pathset key sound (it cannot distinguish
@@ -761,7 +1082,7 @@ impl Prepared {
             }
             stats.minprov_memo_misses.inc();
         }
-        let answer = self.min_providers_uncached(nd, factors, compromised, reps, candidates);
+        let answer = self.min_providers_uncached(nd, factors, patch, compromised, reps, candidates);
         if let Some(ps) = slot {
             memo[ps as usize] = (gen, answer as u8);
         }
@@ -772,6 +1093,7 @@ impl Prepared {
         &self,
         nd: &Node,
         factors: u16,
+        patch: Option<&SubstratePatch>,
         compromised: &[u64],
         reps: &[u32],
         candidates: &mut Vec<u32>,
@@ -797,7 +1119,7 @@ impl Prepared {
             }
         }
         for &j in candidates.iter() {
-            let p = &self.providers[j as usize];
+            let p = self.provider_at(patch, j);
             let sat = nd.live.iter().any(|cp| {
                 cp.fmask & factors == cp.fmask
                     && cp.req & !p.eff == 0
@@ -810,9 +1132,9 @@ impl Prepared {
             }
         }
         for (ai, &a) in candidates.iter().enumerate() {
-            let pa = &self.providers[a as usize];
+            let pa = self.provider_at(patch, a);
             for &b in &candidates[ai + 1..] {
-                let pb = &self.providers[b as usize];
+                let pb = self.provider_at(patch, b);
                 let cov =
                     [pa.cov[0] | pb.cov[0], pa.cov[1] | pb.cov[1], pa.cov[2] | pb.cov[2]];
                 let eff = (pa.raw | pb.raw) | cov_complete_bits(cov);
@@ -857,7 +1179,7 @@ fn compile_path(
     path: &AuthPath,
     ap: &AttackerProfile,
     cs_static: bool,
-    id_of: &BTreeMap<&ServiceId, u32>,
+    id_of: &BTreeMap<ServiceId, u32>,
 ) -> Option<CPath> {
     use CredentialFactor as F;
     let mut cp = CPath {

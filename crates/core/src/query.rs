@@ -50,8 +50,10 @@ use crate::analysis::{
     MAX_BACKWARD_PARTIALS, NAIVE_CROSSOVER,
 };
 use crate::backward::BackwardEngine;
+use crate::counter::{canonical_set, Countermeasure, Patcher};
 use crate::engine::{forward_incremental_impl, BatchAnalyzer};
 use crate::error::Error;
+use crate::metrics::{breakdown_of, DepthBreakdown};
 use crate::obs;
 use crate::prepared::Prepared;
 use crate::profile::AttackerProfile;
@@ -156,6 +158,17 @@ impl Source<'_> {
         }
     }
 
+    /// The substrate as a shareable handle: a graph source clones its
+    /// existing `Arc`, a raw source compiles one here.
+    fn substrate_arc(&self) -> std::sync::Arc<Prepared> {
+        match self {
+            Source::Graph(tdg) => std::sync::Arc::clone(tdg.prepared()),
+            Source::Raw { specs, platform, ap } => {
+                std::sync::Arc::new(Prepared::new(specs, *platform, *ap))
+            }
+        }
+    }
+
     /// Number of services eligible on the analysed platform — the input
     /// to both crossover dispatches. (A graph source is already
     /// platform-filtered.)
@@ -218,6 +231,23 @@ impl<'a> Analysis<'a> {
             budget: None,
             engine: Engine::Auto,
             via: None,
+            trace: None,
+        }
+    }
+
+    /// A countermeasure what-if query: the base population versus the
+    /// same population with `cms` applied, answered through the compiled
+    /// patch overlay ([`crate::counter::Patcher`]) instead of a full
+    /// recompile. Returns before/after depth breakdowns, the services
+    /// the set protects, and the backward chains it severs.
+    pub fn whatif(self, cms: &'a [Countermeasure]) -> WhatifQuery<'a> {
+        WhatifQuery {
+            source: self.source,
+            cms,
+            patcher: None,
+            backward_via: None,
+            chains_per_target: 2,
+            max_severed: 16,
             trace: None,
         }
     }
@@ -552,6 +582,158 @@ impl<'a> BackwardQuery<'a> {
     }
 }
 
+/// The answer of a what-if query: the population's depth breakdown
+/// before and after a countermeasure set, the services the set saves,
+/// and the base-graph attack chains it severs.
+#[derive(Debug, Clone, PartialEq, serde::Serialize)]
+pub struct WhatifReport {
+    /// The evaluated set in canonical (sorted, deduplicated) order —
+    /// the same set the patch cache keys on, whatever order the caller
+    /// passed.
+    pub countermeasures: Vec<Countermeasure>,
+    /// Human-readable name of the set (`"baseline"` when empty,
+    /// otherwise the countermeasures joined with `" + "`).
+    pub label: String,
+    /// Depth breakdown of the unmodified population.
+    pub before: DepthBreakdown,
+    /// Depth breakdown with the countermeasures applied (computed on
+    /// the patched substrate, not a recompile).
+    pub after: DepthBreakdown,
+    /// Services compromised before but not after, in id order.
+    pub protected: Vec<ServiceId>,
+    /// Base-graph attack chains into the protected services — the
+    /// concrete attacks this set severs. Bounded by
+    /// [`WhatifQuery::chains_per_target`] per service and
+    /// [`WhatifQuery::max_severed`] overall.
+    pub severed: Vec<AttackChain>,
+}
+
+/// A configured what-if query. Build with [`Analysis::whatif`].
+///
+/// The before side runs the plain prepared forward fixed point; the
+/// after side runs the same fixed point over a
+/// [`crate::SubstratePatch`] compiled by a [`Patcher`] — only the
+/// countermeasures' blast radius is recompiled, everything untouched
+/// (interning, memo keys, subscriptions) is reused from the base.
+pub struct WhatifQuery<'a> {
+    source: Source<'a>,
+    cms: &'a [Countermeasure],
+    patcher: Option<&'a Patcher>,
+    backward_via: Option<&'a BackwardEngine>,
+    chains_per_target: usize,
+    max_severed: usize,
+    trace: Option<&'static str>,
+}
+
+impl<'a> WhatifQuery<'a> {
+    /// Serves the query through a prebuilt [`Patcher`] instead of
+    /// constructing one, amortizing blast-radius planning and the
+    /// compiled-patch cache across queries (the sweep setting). The
+    /// patcher's base substrate answers the query; for a graph source
+    /// it must be the graph's own substrate (checked by stamp).
+    pub fn patcher(mut self, patcher: &'a Patcher) -> Self {
+        self.patcher = Some(patcher);
+        self
+    }
+
+    /// Serves the severed-chain lookups through a prebuilt
+    /// [`BackwardEngine`] instead of constructing one.
+    pub fn via(mut self, engine: &'a BackwardEngine) -> Self {
+        self.backward_via = Some(engine);
+        self
+    }
+
+    /// Maximum severed chains reported per protected service
+    /// (default 2; 0 disables chain collection).
+    pub fn chains_per_target(mut self, n: usize) -> Self {
+        self.chains_per_target = n;
+        self
+    }
+
+    /// Maximum severed chains reported overall (default 16; 0 disables
+    /// chain collection).
+    pub fn max_severed(mut self, n: usize) -> Self {
+        self.max_severed = n;
+        self
+    }
+
+    /// Wraps the run in an `obs` span named `label`.
+    pub fn trace(mut self, label: &'static str) -> Self {
+        self.trace = Some(label);
+        self
+    }
+
+    /// Runs the query. Fails with [`Error::Query`] if a provided
+    /// patcher was compiled against a different substrate than the
+    /// graph source's.
+    pub fn run(&self) -> Result<WhatifReport, Error> {
+        let _span = self.trace.map(obs::span);
+        let set = canonical_set(self.cms);
+        let owned_patcher;
+        let patcher = match self.patcher {
+            Some(p) => {
+                if let Source::Graph(tdg) = &self.source {
+                    if p.base().stamp() != tdg.prepared().stamp() {
+                        return Err(Error::Query(
+                            "patcher was compiled against a different substrate".into(),
+                        ));
+                    }
+                }
+                p
+            }
+            None => {
+                owned_patcher = Patcher::new(self.source.substrate_arc());
+                &owned_patcher
+            }
+        };
+        obs::add("analysis.dispatch_whatif", 1);
+        let base = patcher.base();
+        let total = base.node_count();
+        let before_result = base.forward(&[], true);
+        let patch = patcher.patch(&set);
+        let after_result = base.forward_patched(&patch, &[], true);
+        let before = breakdown_of(&before_result, total);
+        let after = breakdown_of(&after_result, total);
+        // BTreeMap keys iterate in id order, so `protected` is sorted.
+        let protected: Vec<ServiceId> = before_result
+            .records
+            .keys()
+            .filter(|id| !after_result.records.contains_key(*id))
+            .cloned()
+            .collect();
+        let mut severed = Vec::new();
+        if self.max_severed > 0 && self.chains_per_target > 0 && !protected.is_empty() {
+            let owned_engine;
+            let engine = match self.backward_via {
+                Some(e) => e,
+                None => {
+                    owned_engine = match &self.source {
+                        Source::Graph(tdg) => BackwardEngine::new(tdg),
+                        Source::Raw { specs, platform, ap } => {
+                            BackwardEngine::new(&Tdg::build(specs, *platform, *ap))
+                        }
+                    };
+                    &owned_engine
+                }
+            };
+            'targets: for target in &protected {
+                for chain in engine.chains(target, self.chains_per_target) {
+                    severed.push(chain);
+                    if severed.len() >= self.max_severed {
+                        break 'targets;
+                    }
+                }
+            }
+        }
+        let label = if set.is_empty() {
+            "baseline".to_owned()
+        } else {
+            set.iter().map(|cm| cm.to_string()).collect::<Vec<_>>().join(" + ")
+        };
+        Ok(WhatifReport { countermeasures: set, label, before, after, protected, severed })
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -737,6 +919,63 @@ mod tests {
             // Holding every eligible service is the full overlay.
             assert_eq!(via_graph[0], lanes[2], "{platform} graph full overlay");
         }
+    }
+
+    #[test]
+    fn whatif_matches_counter_evaluate() {
+        use crate::counter::{self, Patcher};
+        let specs = curated_services();
+        // Deliberately non-canonical order: BuiltInPush sorts last.
+        let cms = [Countermeasure::BuiltInPush, Countermeasure::UnifiedMasking];
+        for platform in [Platform::Web, Platform::MobileApp] {
+            let report = Analysis::over(&specs, platform, ap()).whatif(&cms).run().unwrap();
+            let reference = counter::evaluate(&specs, &cms, platform, &ap());
+            assert_eq!(report.before, reference.before, "{platform} before");
+            assert_eq!(report.after, reference.after, "{platform} after");
+            assert_eq!(
+                report.countermeasures,
+                vec![Countermeasure::UnifiedMasking, Countermeasure::BuiltInPush],
+                "canonical order"
+            );
+            // Every severed chain ends at a protected service (the
+            // chain's last step is the target itself).
+            for chain in &report.severed {
+                let last = chain.steps.last().expect("chains are non-empty");
+                assert!(
+                    last.services.iter().any(|id| report.protected.contains(id)),
+                    "{platform} {chain:?}"
+                );
+            }
+            // Graph source with a shared patcher + backward engine (the
+            // sweep configuration) answers identically.
+            let tdg = Tdg::build(&specs, platform, ap());
+            let patcher = Patcher::new(std::sync::Arc::clone(tdg.prepared()));
+            let engine = BackwardEngine::new(&tdg);
+            let shared = Analysis::of(&tdg)
+                .whatif(&cms)
+                .patcher(&patcher)
+                .via(&engine)
+                .run()
+                .unwrap();
+            assert_eq!(shared.before, report.before, "{platform}");
+            assert_eq!(shared.after, report.after, "{platform}");
+            assert_eq!(shared.protected, report.protected, "{platform}");
+        }
+    }
+
+    #[test]
+    fn whatif_rejects_patcher_from_another_substrate() {
+        use crate::counter::Patcher;
+        let specs = curated_services();
+        let tdg = Tdg::build(&specs, Platform::Web, ap());
+        let other = Tdg::build(&specs, Platform::MobileApp, ap());
+        let patcher = Patcher::new(std::sync::Arc::clone(other.prepared()));
+        let err = Analysis::of(&tdg)
+            .whatif(&[])
+            .patcher(&patcher)
+            .run()
+            .expect_err("stamp mismatch");
+        assert_eq!(err.code(), crate::error::CODE_QUERY);
     }
 
     #[test]

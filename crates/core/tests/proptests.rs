@@ -3,7 +3,7 @@
 //! ecosystems.
 
 use actfort_core::analysis::{AttackChain, ForwardResult};
-use actfort_core::counter::{apply, Countermeasure};
+use actfort_core::counter::{apply, apply_all, intersect_masking, Countermeasure};
 use actfort_core::pool::{attack_paths, path_satisfied, InfoPool};
 use actfort_core::profile::AttackerProfile;
 use actfort_core::query::{Analysis, Engine};
@@ -20,6 +20,23 @@ fn population(seed: u64, n: usize) -> Vec<ServiceSpec> {
     specs.truncate(12);
     specs.extend(generate(n, seed, &SynthConfig::default()));
     specs
+}
+
+/// All orderings of `items` (n ≤ 4 here, so at most 24).
+fn permutations(items: &[Countermeasure]) -> Vec<Vec<Countermeasure>> {
+    if items.len() <= 1 {
+        return vec![items.to_vec()];
+    }
+    let mut out = Vec::new();
+    for (i, &head) in items.iter().enumerate() {
+        let mut rest = items.to_vec();
+        rest.remove(i);
+        for mut tail in permutations(&rest) {
+            tail.insert(0, head);
+            out.push(tail);
+        }
+    }
+    out
 }
 
 fn forward(
@@ -305,6 +322,66 @@ proptest! {
                 "prepared backward diverged for {} (max_chains {})",
                 target, max_chains
             );
+        }
+    }
+
+    /// UnifiedMasking never *reveals*: on any synthetic ecosystem, every
+    /// exposed field after the countermeasure shows at most the
+    /// characters it showed before (the lattice condition
+    /// `intersect_masking(after, before) == after`). This pins the
+    /// historical reveal bug where the unified scheme *overwrote* a
+    /// service's stricter mask — e.g. a fully `Hidden` citizen ID was
+    /// widened to `Partial{3,2}`, handing mask-merging attackers digits
+    /// the service had never shown.
+    #[test]
+    fn unified_masking_never_reveals(seed in any::<u64>()) {
+        let specs = population(seed, 30);
+        let hardened = apply(&specs, Countermeasure::UnifiedMasking);
+        for (before, after) in specs.iter().zip(&hardened) {
+            // UnifiedMasking only rewrites maskings in place, so the
+            // field lists zip positionally.
+            let sides = [
+                (&before.web_exposure, &after.web_exposure),
+                (&before.mobile_exposure, &after.mobile_exposure),
+            ];
+            for (b_fields, a_fields) in sides {
+                prop_assert_eq!(b_fields.len(), a_fields.len());
+                for (b, a) in b_fields.iter().zip(a_fields) {
+                    prop_assert_eq!(b.kind, a.kind);
+                    prop_assert_eq!(
+                        intersect_masking(a.masking, b.masking), a.masking,
+                        "{} {:?}: {:?} -> {:?} reveals hidden characters",
+                        before.id, b.kind, b.masking, a.masking
+                    );
+                }
+            }
+        }
+    }
+
+    /// `apply_all` is order-invariant: every permutation of every
+    /// countermeasure subset produces the identical population. (The
+    /// set is canonicalized internally; this pins the historical
+    /// order-sensitivity where e.g. FixAsymmetry-then-HardenEmail and
+    /// the reverse disagreed on adversarial path structures.)
+    #[test]
+    fn apply_all_is_order_invariant(seed in any::<u64>()) {
+        let specs = population(seed, 25);
+        let all = Countermeasure::all();
+        for mask in 1u32..(1 << all.len()) {
+            let subset: Vec<Countermeasure> = all
+                .iter()
+                .enumerate()
+                .filter(|(i, _)| mask & (1 << i) != 0)
+                .map(|(_, cm)| *cm)
+                .collect();
+            let reference = apply_all(&specs, &subset);
+            for perm in permutations(&subset) {
+                prop_assert_eq!(
+                    &apply_all(&specs, &perm), &reference,
+                    "permutation {:?} diverged from {:?}",
+                    perm, subset
+                );
+            }
         }
     }
 

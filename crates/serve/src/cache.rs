@@ -19,8 +19,9 @@
 //! never collides with a differently-bounded search.
 
 use crate::obs_names;
+use actfort_core::counter::canonical_set;
 use actfort_core::obs;
-use actfort_core::UserProfile;
+use actfort_core::{Countermeasure, UserProfile};
 use actfort_ecosystem::factor::ServiceId;
 use std::collections::hash_map::Entry;
 use std::collections::{HashMap, VecDeque};
@@ -79,6 +80,29 @@ impl CacheKey {
             engine,
             kind: "backward",
             payload: format!("{}\n{max_chains}\n{budget}", target.as_str()),
+        }
+    }
+
+    /// Key for a whatif query: the canonical (sorted, deduplicated)
+    /// countermeasure set — every spelling order of the same set maps
+    /// to one entry, mirroring the evaluation itself, which
+    /// canonicalizes before patching — plus the sweep flag and the
+    /// severed-chain cap (both change the rendered body). Whatif always
+    /// runs on the patched prepared substrate, so the key carries no
+    /// engine selector.
+    pub fn whatif(
+        generation: u64,
+        cms: &[Countermeasure],
+        sweep: bool,
+        severed_chains: usize,
+    ) -> Self {
+        let names: Vec<&str> =
+            canonical_set(cms).into_iter().map(Countermeasure::wire_name).collect();
+        Self {
+            generation,
+            engine: "prepared",
+            kind: "whatif",
+            payload: format!("{sweep}\n{severed_chains}\n{}", names.join("\n")),
         }
     }
 
@@ -223,6 +247,25 @@ mod tests {
             CacheKey::score(1, "auto", &[]).kind,
             CacheKey::forward(1, "auto", true, &[]).kind
         );
+    }
+
+    #[test]
+    fn whatif_keys_canonicalize_the_set_and_separate_the_knobs() {
+        use Countermeasure::{BuiltInPush, UnifiedMasking};
+        let base = CacheKey::whatif(1, &[UnifiedMasking, BuiltInPush], false, 4);
+        // Spelling order and duplicates collapse to one entry.
+        assert_eq!(base, CacheKey::whatif(1, &[BuiltInPush, UnifiedMasking], false, 4));
+        assert_eq!(
+            base,
+            CacheKey::whatif(1, &[BuiltInPush, UnifiedMasking, BuiltInPush], false, 4)
+        );
+        // Set, generation, sweep flag and severed cap all separate.
+        assert_ne!(base, CacheKey::whatif(1, &[UnifiedMasking], false, 4));
+        assert_ne!(base, CacheKey::whatif(2, &[UnifiedMasking, BuiltInPush], false, 4));
+        assert_ne!(base, CacheKey::whatif(1, &[UnifiedMasking, BuiltInPush], true, 4));
+        assert_ne!(base, CacheKey::whatif(1, &[UnifiedMasking, BuiltInPush], false, 8));
+        // And the whatif key space never collides with the others.
+        assert_ne!(CacheKey::whatif(1, &[], false, 4).kind, key(1, &[]).kind);
     }
 
     #[test]

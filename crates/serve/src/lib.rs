@@ -45,6 +45,9 @@
 //! | `POST /v1/backward`    | backward chains (deadline-aware)           |
 //! | `POST /score`          | per-user overlay scoring, batched (cached; |
 //! |   (alias `/v1/score`)  | 64-lane bit-parallel sweep)                |
+//! | `POST /whatif`         | countermeasure what-if: one set, or the    |
+//! |   (alias `/v1/whatif`) | full 2⁴-subset sweep, on the delta-patched |
+//! |                        | substrate — no recompiles (cached)         |
 //! | `POST /admin/reload`   | hot-swap the dataset snapshot              |
 //! | `POST /admin/shutdown` | graceful drain                             |
 
@@ -87,6 +90,9 @@ pub mod obs_names {
     pub const BACKWARD_SPAN: &str = "serve.backward";
     /// Span: one per-user score batch on a worker thread.
     pub const SCORE_SPAN: &str = "serve.score";
+    /// Span: one countermeasure what-if evaluation (single set or the
+    /// full 16-subset sweep) on a worker thread.
+    pub const WHATIF_SPAN: &str = "serve.whatif";
     /// Span (child of an endpoint span): the analysis run itself.
     pub const COMPUTE_SPAN: &str = "compute";
     /// Span (child of an endpoint span): rendering the response body.
@@ -105,6 +111,8 @@ pub mod obs_names {
     pub const BACKWARD_LATENCY: &str = "serve.backward.latency_ns";
     /// Histogram: `/score` wall latency.
     pub const SCORE_LATENCY: &str = "serve.score.latency_ns";
+    /// Histogram: `/whatif` wall latency.
+    pub const WHATIF_LATENCY: &str = "serve.whatif.latency_ns";
     /// Histogram: `/healthz` wall latency.
     pub const HEALTHZ_LATENCY: &str = "serve.healthz.latency_ns";
     /// Histogram: `/metrics` wall latency.

@@ -197,13 +197,15 @@ pub fn start(config: ServerConfig) -> Result<ServerHandle, Error> {
 }
 
 /// Every route the server serves (used to split 404 from 405).
-const KNOWN_PATHS: [&str; 8] = [
+const KNOWN_PATHS: [&str; 10] = [
     "/healthz",
     "/metrics",
     "/v1/forward",
     "/v1/backward",
     "/score",
     "/v1/score",
+    "/whatif",
+    "/v1/whatif",
     "/admin/reload",
     "/admin/shutdown",
 ];
@@ -227,6 +229,7 @@ impl Handler for Svc {
             ("POST", "/v1/forward") => forward(shared, &request.body, start, slot),
             ("POST", "/v1/backward") => backward(shared, &request.body, start, slot),
             ("POST", "/score" | "/v1/score") => score(shared, &request.body, start, slot),
+            ("POST", "/whatif" | "/v1/whatif") => whatif(shared, &request.body, start, slot),
             ("POST", "/admin/reload") => {
                 finish(obs_names::ADMIN_LATENCY, start, slot, reload(shared, &request.body));
             }
@@ -500,6 +503,78 @@ fn score(shared: &Arc<Shared>, body: &[u8], start: Instant, slot: ResponseSlot) 
             }
         };
         finish(obs_names::SCORE_LATENCY, start, slot, response);
+    });
+}
+
+fn whatif(shared: &Arc<Shared>, body: &[u8], start: Instant, slot: ResponseSlot) {
+    let request = match wire::parse_whatif(body) {
+        Ok(r) => r,
+        Err(e) => return finish(obs_names::WHATIF_LATENCY, start, slot, error_response(&e)),
+    };
+    let snapshot = shared.store.load();
+    let key = CacheKey::whatif(
+        snapshot.generation,
+        &request.countermeasures,
+        request.sweep,
+        request.severed_chains,
+    );
+    if let Some(cached) = shared.cache.get(&key) {
+        let response =
+            Response::json(200, cached.as_ref().clone()).with_header("x-actfort-cache", "hit");
+        return finish(obs_names::WHATIF_LATENCY, start, slot, response);
+    }
+    let generation = snapshot.generation;
+    let job_shared = Arc::clone(shared);
+    submit_or_shed(shared, obs_names::WHATIF_LATENCY, start, slot, move |slot| {
+        let result = (|| {
+            let _span = obs::span(obs_names::WHATIF_SPAN);
+            let compute_started = Instant::now();
+            let reports = {
+                let _compute = obs::span(obs_names::COMPUTE_SPAN);
+                // Both modes route through the snapshot's shared patcher
+                // (compiled-patch cache) and prewarmed backward engine:
+                // nothing here ever recompiles the prepared substrate.
+                let evaluate = |set: &[actfort_core::Countermeasure]| {
+                    Analysis::of(&snapshot.tdg)
+                        .whatif(set)
+                        .patcher(&snapshot.patcher)
+                        .via(&snapshot.backward)
+                        .max_severed(request.severed_chains)
+                        .run()
+                };
+                if request.sweep {
+                    let all = actfort_core::Countermeasure::all();
+                    let mut reports = Vec::with_capacity(1 << all.len());
+                    for mask in 0u32..(1 << all.len()) {
+                        let set: Vec<actfort_core::Countermeasure> = all
+                            .iter()
+                            .enumerate()
+                            .filter(|(i, _)| mask & (1 << i) != 0)
+                            .map(|(_, cm)| *cm)
+                            .collect();
+                        reports.push(evaluate(&set)?);
+                    }
+                    reports
+                } else {
+                    vec![evaluate(&request.countermeasures)?]
+                }
+            };
+            obs::record_ns(obs_names::COMPUTE_NS, elapsed_ns(compute_started));
+            let render_started = Instant::now();
+            let _render = obs::span(obs_names::RENDER_SPAN);
+            let rendered = wire::render_whatif(generation, &reports);
+            obs::record_ns(obs_names::RENDER_NS, elapsed_ns(render_started));
+            Ok::<_, Error>(rendered)
+        })();
+        let response = match result {
+            Err(e) => error_response(&e),
+            Ok(rendered) => {
+                let canonical = job_shared.cache.insert(key, Arc::new(rendered));
+                Response::json(200, canonical.as_ref().clone())
+                    .with_header("x-actfort-cache", "miss")
+            }
+        };
+        finish(obs_names::WHATIF_LATENCY, start, slot, response);
     });
 }
 

@@ -10,7 +10,7 @@
 use actfort_core::backward::BackwardEngine;
 use actfort_core::profile::AttackerProfile;
 use actfort_core::tdg::Tdg;
-use actfort_core::Error;
+use actfort_core::{Error, Patcher};
 use actfort_ecosystem::dataset::curated_services;
 use actfort_ecosystem::policy::Platform;
 use actfort_ecosystem::spec::ServiceSpec;
@@ -83,6 +83,11 @@ pub struct Snapshot {
     /// facade's `via()` so graph flattening and the fringe-support memo
     /// amortize across requests.
     pub backward: BackwardEngine,
+    /// A countermeasure patcher over the graph's prepared substrate:
+    /// `/whatif` queries route through it so blast-radius planning and
+    /// the compiled-patch cache (all 16 subsets) amortize across
+    /// requests — no request ever recompiles the substrate.
+    pub patcher: Patcher,
 }
 
 impl Snapshot {
@@ -97,7 +102,8 @@ impl Snapshot {
         let specs = dataset.specs();
         let tdg = Tdg::build(&specs, platform, profile);
         let backward = BackwardEngine::new(&tdg);
-        Self { generation, dataset, platform, profile, specs, tdg, backward }
+        let patcher = Patcher::new(Arc::clone(tdg.prepared()));
+        Self { generation, dataset, platform, profile, specs, tdg, backward, patcher }
     }
 }
 
@@ -131,9 +137,17 @@ impl SnapshotStore {
     }
 
     /// Builds a new generation from `dataset` (platform and profile are
-    /// kept) and atomically publishes it. Returns the published
-    /// snapshot. In-flight requests keep their old `Arc` and finish on
+    /// kept) and atomically publishes it. Returns the snapshot now being
+    /// served. In-flight requests keep their old `Arc` and finish on
     /// the generation they started with.
+    ///
+    /// Generations are claimed *before* the (slow, lock-free) build, so
+    /// two concurrent reloads can finish out of claim order. The publish
+    /// is therefore conditional: a build only replaces the current
+    /// snapshot if its generation is strictly newer, keeping the served
+    /// generation monotonic — a slow build can never clobber a faster,
+    /// newer one (the documented invariant; regression-pinned below).
+    /// The loser returns the newer snapshot that beat it.
     pub fn reload(&self, dataset: Dataset) -> Arc<Snapshot> {
         let (platform, profile) = {
             let cur = self.current.read().expect("snapshot lock poisoned");
@@ -141,8 +155,11 @@ impl SnapshotStore {
         };
         let generation = self.next_generation.fetch_add(1, Ordering::Relaxed);
         let snapshot = Arc::new(Snapshot::build(dataset, platform, profile, generation));
-        *self.current.write().expect("snapshot lock poisoned") = Arc::clone(&snapshot);
-        snapshot
+        let mut cur = self.current.write().expect("snapshot lock poisoned");
+        if snapshot.generation > cur.generation {
+            *cur = Arc::clone(&snapshot);
+        }
+        Arc::clone(&cur)
     }
 }
 
@@ -176,5 +193,39 @@ mod tests {
         // The pre-reload handle still serves its own generation.
         assert_eq!(before.generation, 1);
         assert_eq!(before.specs.len(), after.specs.len());
+    }
+
+    #[test]
+    fn concurrent_reloads_never_regress_the_generation() {
+        // Two racing reloads: the first claims generation 2 but builds
+        // the slow 201-service paper population; the second claims 3 and
+        // publishes its fast curated build while 2 is still compiling.
+        // The old unconditional publish let the late generation-2 build
+        // clobber 3 (served generation went 3 → 2); the conditional
+        // publish keeps 3 no matter which build finishes first.
+        let store = Arc::new(SnapshotStore::new(
+            Dataset::Curated,
+            Platform::Web,
+            AttackerProfile::paper_default(),
+        ));
+        let slow = {
+            let store = Arc::clone(&store);
+            std::thread::spawn(move || store.reload(Dataset::Paper(2021)).generation)
+        };
+        // Give the slow reload time to claim its generation and enter
+        // the build before the fast one claims the next number.
+        std::thread::sleep(std::time::Duration::from_millis(50));
+        let fast = store.reload(Dataset::Curated);
+        let slow_returned = slow.join().expect("slow reload panicked");
+        // Whichever interleaving the scheduler picked, the served
+        // generation is the maximum ever claimed: under the old
+        // unconditional publish the late slow build clobbered it back to
+        // its stale claim. Both reloads were handed a snapshot no older
+        // than their own claim's winner.
+        assert_eq!(store.load().generation, 3);
+        assert!(fast.generation <= 3);
+        assert!(slow_returned == 2 || slow_returned == 3, "got generation {slow_returned}");
+        // A later reload keeps counting upward.
+        assert_eq!(store.reload(Dataset::Curated).generation, 4);
     }
 }

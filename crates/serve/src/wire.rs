@@ -9,9 +9,10 @@
 //! property the response cache and the concurrency tests lean on.
 
 use actfort_core::analysis::{AttackChain, ForwardResult};
+use actfort_core::metrics::DepthBreakdown;
 use actfort_core::obs::json::{self, Json};
 use actfort_core::query::Engine;
-use actfort_core::{Error, OverlayFactor, UserProfile, UserScore};
+use actfort_core::{Countermeasure, Error, OverlayFactor, UserProfile, UserScore, WhatifReport};
 use actfort_ecosystem::factor::ServiceId;
 use std::fmt::Write as _;
 
@@ -77,6 +78,23 @@ pub struct ScoreRequest {
     /// Engine selector (schedule knob — see
     /// [`actfort_core::query::ScoreQuery`]).
     pub engine: Engine,
+}
+
+/// Ceiling on `severed_chains` per `/whatif` request — a response-size
+/// bound (each chain is rendered in full), not a compute limit.
+pub const MAX_SEVERED_CHAINS: usize = 64;
+
+/// A parsed `POST /whatif` body.
+#[derive(Debug, Clone)]
+pub struct WhatifRequest {
+    /// The countermeasure set to evaluate (ignored-empty in sweep
+    /// mode; any spelling order — evaluation canonicalizes).
+    pub countermeasures: Vec<Countermeasure>,
+    /// Sweep mode: evaluate every subset of the countermeasure space
+    /// (2⁴ = 16 reports) in one request.
+    pub sweep: bool,
+    /// Maximum severed chains reported per evaluated set.
+    pub severed_chains: usize,
 }
 
 /// A parsed `POST /admin/reload` body.
@@ -271,6 +289,64 @@ pub fn parse_score(body: &[u8]) -> Result<ScoreRequest, Error> {
     Ok(ScoreRequest { profiles, engine: field_engine(&doc)? })
 }
 
+/// Parses a whatif request body:
+/// `{"countermeasures":["built_in_push",...],"sweep":false,"severed_chains":4}`.
+/// All fields are optional; an empty body evaluates the baseline
+/// (no-op) set.
+///
+/// # Errors
+///
+/// [`Error::Query`] on malformed JSON, an unknown countermeasure name,
+/// a `severed_chains` past [`MAX_SEVERED_CHAINS`], or `sweep` combined
+/// with an explicit countermeasure list (a sweep evaluates every
+/// subset; listing one is contradictory).
+pub fn parse_whatif(body: &[u8]) -> Result<WhatifRequest, Error> {
+    let doc = parse_body(body)?;
+    let countermeasures: Vec<Countermeasure> = match doc.get("countermeasures") {
+        None | Some(Json::Null) => Vec::new(),
+        Some(Json::Arr(items)) => items
+            .iter()
+            .map(|item| {
+                let Json::Str(name) = item else {
+                    return Err(Error::Query(
+                        "\"countermeasures\" must be an array of countermeasure names".into(),
+                    ));
+                };
+                Countermeasure::parse(name).ok_or_else(|| {
+                    Error::Query(format!(
+                        "unknown countermeasure {name:?} (expected one of {})",
+                        Countermeasure::all()
+                            .iter()
+                            .map(|cm| format!("{:?}", cm.wire_name()))
+                            .collect::<Vec<_>>()
+                            .join(", ")
+                    ))
+                })
+            })
+            .collect::<Result<_, _>>()?,
+        Some(_) => {
+            return Err(Error::Query(
+                "\"countermeasures\" must be an array of countermeasure names".into(),
+            ))
+        }
+    };
+    let sweep = field_bool(&doc, "sweep", false)?;
+    if sweep && !countermeasures.is_empty() {
+        return Err(Error::Query(
+            "\"sweep\" evaluates every countermeasure subset and cannot be combined with an \
+             explicit \"countermeasures\" list"
+                .into(),
+        ));
+    }
+    let severed_chains = field_usize(&doc, "severed_chains")?.unwrap_or(4);
+    if severed_chains > MAX_SEVERED_CHAINS {
+        return Err(Error::Query(format!(
+            "\"severed_chains\" is {severed_chains}; the limit is {MAX_SEVERED_CHAINS}"
+        )));
+    }
+    Ok(WhatifRequest { countermeasures, sweep, severed_chains })
+}
+
 /// Parses a reload request body.
 ///
 /// # Errors
@@ -346,21 +422,9 @@ pub fn render_backward(
         engine_name(engine)
     );
     json::write_str(&mut out, target.as_str());
-    let _ = write!(out, ",\"exhaustive\":{exhaustive},\"chains\":[");
-    for (i, chain) in chains.iter().enumerate() {
-        if i > 0 {
-            out.push(',');
-        }
-        out.push('[');
-        for (j, step) in chain.steps.iter().enumerate() {
-            if j > 0 {
-                out.push(',');
-            }
-            write_id_array(&mut out, &step.services);
-        }
-        out.push(']');
-    }
-    out.push_str("]}");
+    let _ = write!(out, ",\"exhaustive\":{exhaustive},\"chains\":");
+    write_chains(&mut out, chains);
+    out.push('}');
     out.into_bytes()
 }
 
@@ -383,6 +447,73 @@ pub fn render_score(generation: u64, engine: Engine, scores: &[UserScore]) -> Ve
             "{{\"blast_radius\":{},\"weakest_chain\":{}}}",
             score.blast_radius, score.weakest_chain
         );
+    }
+    out.push_str("]}");
+    out.into_bytes()
+}
+
+fn write_breakdown(out: &mut String, b: &DepthBreakdown) {
+    let _ = write!(
+        out,
+        "{{\"direct_pct\":{},\"one_layer_pct\":{},\"two_layer_full_pct\":{},\
+         \"two_layer_mixed_pct\":{},\"uncompromisable_pct\":{},\"total\":{}}}",
+        b.direct_pct,
+        b.one_layer_pct,
+        b.two_layer_full_pct,
+        b.two_layer_mixed_pct,
+        b.uncompromisable_pct,
+        b.total
+    );
+}
+
+fn write_chains(out: &mut String, chains: &[AttackChain]) {
+    out.push('[');
+    for (i, chain) in chains.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        out.push('[');
+        for (j, step) in chain.steps.iter().enumerate() {
+            if j > 0 {
+                out.push(',');
+            }
+            write_id_array(out, &step.services);
+        }
+        out.push(']');
+    }
+    out.push(']');
+}
+
+/// Renders a whatif response: one report per evaluated set (1 in
+/// single-set mode, 16 in sweep mode), uniform shape either way.
+/// Deterministic: breakdown percentages render through `f64`'s
+/// shortest round-trip `Display`, countermeasures are in canonical
+/// order, and chain/protected arrays preserve engine order.
+pub fn render_whatif(generation: u64, reports: &[WhatifReport]) -> Vec<u8> {
+    let mut out = String::with_capacity(1024 * reports.len().max(1));
+    let _ = write!(out, "{{\"generation\":{generation},\"reports\":[");
+    for (i, report) in reports.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        out.push_str("{\"countermeasures\":[");
+        for (j, cm) in report.countermeasures.iter().enumerate() {
+            if j > 0 {
+                out.push(',');
+            }
+            json::write_str(&mut out, cm.wire_name());
+        }
+        out.push_str("],\"label\":");
+        json::write_str(&mut out, &report.label);
+        out.push_str(",\"before\":");
+        write_breakdown(&mut out, &report.before);
+        out.push_str(",\"after\":");
+        write_breakdown(&mut out, &report.after);
+        out.push_str(",\"protected\":");
+        write_id_array(&mut out, &report.protected);
+        out.push_str(",\"severed\":");
+        write_chains(&mut out, &report.severed);
+        out.push('}');
     }
     out.push_str("]}");
     out.into_bytes()
@@ -478,6 +609,90 @@ mod tests {
             vec![r#"{"services":[]}"#; MAX_SCORE_PROFILES + 1].join(",")
         );
         assert!(parse_score(oversized.as_bytes()).is_err(), "batch limit enforced");
+    }
+
+    #[test]
+    fn whatif_request_parses_with_defaults_and_rejects_bad_shapes() {
+        let req = parse_whatif(b"{}").expect("empty object");
+        assert!(req.countermeasures.is_empty());
+        assert!(!req.sweep);
+        assert_eq!(req.severed_chains, 4);
+
+        let req = parse_whatif(
+            br#"{"countermeasures":["built_in_push","unified_masking"],"severed_chains":0}"#,
+        )
+        .expect("full form");
+        assert_eq!(
+            req.countermeasures,
+            vec![Countermeasure::BuiltInPush, Countermeasure::UnifiedMasking],
+            "parse preserves spelling order; canonicalization is evaluation's job"
+        );
+        assert_eq!(req.severed_chains, 0);
+
+        let req = parse_whatif(br#"{"sweep":true}"#).expect("sweep");
+        assert!(req.sweep);
+
+        // Every wire spelling round-trips.
+        for cm in Countermeasure::all() {
+            let body = format!(r#"{{"countermeasures":["{}"]}}"#, cm.wire_name());
+            let req = parse_whatif(body.as_bytes()).expect(cm.wire_name());
+            assert_eq!(req.countermeasures, vec![*cm]);
+        }
+
+        assert!(parse_whatif(br#"{"countermeasures":"built_in_push"}"#).is_err());
+        assert!(parse_whatif(br#"{"countermeasures":[42]}"#).is_err());
+        assert!(parse_whatif(br#"{"countermeasures":["warp_drive"]}"#).is_err());
+        assert!(parse_whatif(br#"{"sweep":"yes"}"#).is_err());
+        assert!(
+            parse_whatif(br#"{"sweep":true,"countermeasures":["built_in_push"]}"#).is_err(),
+            "sweep contradicts an explicit list"
+        );
+        let oversized = format!(r#"{{"severed_chains":{}}}"#, MAX_SEVERED_CHAINS + 1);
+        assert!(parse_whatif(oversized.as_bytes()).is_err(), "severed cap enforced");
+    }
+
+    #[test]
+    fn rendered_whatif_parses_back() {
+        let breakdown = DepthBreakdown {
+            direct_pct: 74.13,
+            one_layer_pct: 9.83,
+            two_layer_full_pct: 5.2,
+            two_layer_mixed_pct: 2.89,
+            uncompromisable_pct: 4.44,
+            total: 201,
+        };
+        let report = WhatifReport {
+            countermeasures: vec![Countermeasure::UnifiedMasking, Countermeasure::BuiltInPush],
+            label: "unified masking + built-in push authentication".to_owned(),
+            before: breakdown,
+            after: DepthBreakdown { direct_pct: 10.0, uncompromisable_pct: 50.0, ..breakdown },
+            protected: vec![ServiceId::new("alipay"), ServiceId::new("gmail")],
+            severed: vec![AttackChain { steps: vec![step(&["gmail"]), step(&["alipay"])] }],
+        };
+        let body = render_whatif(7, std::slice::from_ref(&report));
+        let doc = json::parse(std::str::from_utf8(&body).expect("utf-8")).expect("parses");
+        assert_eq!(doc.get("generation").and_then(Json::as_num), Some(7.0));
+        let Some(Json::Arr(reports)) = doc.get("reports") else { panic!("reports array") };
+        assert_eq!(reports.len(), 1);
+        let r = &reports[0];
+        let Some(Json::Arr(cms)) = r.get("countermeasures") else { panic!("cms array") };
+        assert_eq!(cms[0].as_str(), Some("unified_masking"));
+        assert_eq!(cms[1].as_str(), Some("built_in_push"));
+        assert_eq!(r.get("before").and_then(|b| b.get("direct_pct")).and_then(Json::as_num), Some(74.13));
+        assert_eq!(r.get("after").and_then(|b| b.get("direct_pct")).and_then(Json::as_num), Some(10.0));
+        assert_eq!(r.get("after").and_then(|b| b.get("total")).and_then(Json::as_num), Some(201.0));
+        let Some(Json::Arr(protected)) = r.get("protected") else { panic!("protected array") };
+        assert_eq!(protected.len(), 2);
+        let Some(Json::Arr(severed)) = r.get("severed") else { panic!("severed array") };
+        assert_eq!(severed.len(), 1);
+        // Rendering is deterministic: same input, same bytes.
+        assert_eq!(body, render_whatif(7, std::slice::from_ref(&report)));
+    }
+
+    fn step(ids: &[&str]) -> actfort_core::analysis::ChainStep {
+        actfort_core::analysis::ChainStep {
+            services: ids.iter().map(|s| ServiceId::new(s)).collect(),
+        }
     }
 
     #[test]
