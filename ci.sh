@@ -42,8 +42,12 @@ echo "==> score throughput gate: 64-lane sweep >= 1M user-scores/min single-core
 cargo run --release -q -p actfort-bench --bin score_sweep -- --users 65536 \
     --min-scores-per-min 1000000 --out "$trace_tmp/bench_score.json"
 
-echo "==> whatif gate: 16-subset patched sweep ≡ cold recompiles, 0 recompiles, warm < 50 ms"
+echo "==> whatif gate: every-subset patched sweep ≡ cold recompiles, 0 recompiles, warm < 50 ms"
 cargo run --release -q -p actfort-bench --bin whatif_sweep -- --max-sweep-ms 50 \
     --out "$trace_tmp/bench_whatif.json"
+
+echo "==> recovery gate: class-filtered forward <= 1.5x unfiltered, 0 substrate recompiles"
+cargo run --release -q -p actfort-bench --bin recovery_sweep -- --max-ratio 1.5 \
+    --out "$trace_tmp/bench_recovery.json"
 
 echo "CI OK"

@@ -8,11 +8,11 @@
 //! until reaching phone+SMS-only nodes, returning the account chain.
 
 use crate::obs;
-use crate::pool::{attack_paths, path_satisfied, InfoPool};
+use crate::pool::{attack_paths_in, path_satisfied, InfoPool};
 use crate::profile::AttackerProfile;
 use crate::tdg::Tdg;
 use actfort_ecosystem::factor::ServiceId;
-use actfort_ecosystem::policy::Platform;
+use actfort_ecosystem::policy::{EdgeClass, Platform};
 use actfort_ecosystem::spec::ServiceSpec;
 use serde::{Deserialize, Serialize};
 use std::collections::{BTreeMap, BTreeSet, VecDeque};
@@ -64,36 +64,17 @@ impl ForwardResult {
 /// `forward_crossover_is_result_invariant`).
 pub const NAIVE_CROSSOVER: usize = 50;
 
-/// Runs the forward fixed point on `platform`, starting from `seeds`
-/// (which may be empty: the profile's own capabilities then drive round
-/// one, the paper's standard setting).
-///
-/// Auto-selects the engine by population size: the naive full-rescan
-/// loop below [`NAIVE_CROSSOVER`] eligible services, the incremental
-/// frontier engine at or above it. The two are result-equivalent
-/// (property-tested); only the work schedule differs.
-#[deprecated(
-    since = "0.2.0",
-    note = "use the query facade: `Analysis::over(specs, platform, ap).forward(seeds).run()`"
-)]
-pub fn forward(
-    specs: &[ServiceSpec],
-    platform: Platform,
-    ap: &AttackerProfile,
-    seeds: &[ServiceId],
-) -> ForwardResult {
-    forward_auto(specs, platform, ap, seeds)
-}
-
 /// The [`crate::query::Engine::Auto`] dispatcher: the naive full-rescan
 /// loop below [`NAIVE_CROSSOVER`] eligible services, the prepared
 /// substrate ([`crate::Prepared`]) at or above it — compile once,
-/// bitset fixed point after.
+/// bitset fixed point after. `class` restricts which attack paths may
+/// fire (login-only, recovery-only, or all; see [`EdgeClass`]).
 pub(crate) fn forward_auto(
     specs: &[ServiceSpec],
     platform: Platform,
     ap: &AttackerProfile,
     seeds: &[ServiceId],
+    class: EdgeClass,
 ) -> ForwardResult {
     let eligible = specs
         .iter()
@@ -104,38 +85,24 @@ pub(crate) fn forward_auto(
         .count();
     if eligible < NAIVE_CROSSOVER {
         obs::add("analysis.dispatch_naive", 1);
-        forward_naive_impl(specs, platform, ap, seeds)
+        forward_naive_impl(specs, platform, ap, seeds, class)
     } else {
         obs::add("analysis.dispatch_prepared", 1);
-        crate::prepared::Prepared::new(specs, platform, *ap).forward(seeds, true)
+        crate::prepared::Prepared::new(specs, platform, *ap).forward_in(class, seeds, true)
     }
 }
 
-/// Reference implementation of the forward fixed point: rescans every
-/// standing node against every attack path each round and rebuilds
-/// provider pools per `min_providers` query. Kept for the equivalence
-/// proof and as the baseline in the forward benchmarks.
-#[deprecated(
-    since = "0.2.0",
-    note = "use the query facade: \
-            `Analysis::over(specs, platform, ap).forward(seeds).engine(Engine::Naive).run()`"
-)]
-pub fn forward_naive(
-    specs: &[ServiceSpec],
-    platform: Platform,
-    ap: &AttackerProfile,
-    seeds: &[ServiceId],
-) -> ForwardResult {
-    forward_naive_impl(specs, platform, ap, seeds)
-}
-
-/// The naive full-rescan fixed point behind [`forward_naive`] and
-/// [`crate::query::Engine::Naive`].
+/// The naive full-rescan fixed point behind
+/// [`crate::query::Engine::Naive`]: rescans every standing node against
+/// every class-admitted attack path each round and rebuilds provider
+/// pools per `min_providers` query. Kept for the equivalence proof and
+/// as the baseline in the forward benchmarks.
 pub(crate) fn forward_naive_impl(
     specs: &[ServiceSpec],
     platform: Platform,
     ap: &AttackerProfile,
     seeds: &[ServiceId],
+    class: EdgeClass,
 ) -> ForwardResult {
     let _span = obs::span("forward.naive");
     let rounds_counter = obs::counter("naive.rounds");
@@ -176,7 +143,7 @@ pub(crate) fn forward_naive_impl(
             if compromised.contains(&i) {
                 continue;
             }
-            if attack_paths(s, platform).iter().any(|p| path_satisfied(p, ap, &pool)) {
+            if attack_paths_in(s, platform, class).iter().any(|p| path_satisfied(p, ap, &pool)) {
                 newly.push(i);
             }
         }
@@ -185,7 +152,8 @@ pub(crate) fn forward_naive_impl(
         }
         let mut ids = Vec::with_capacity(newly.len());
         for &i in &newly {
-            let min_providers = min_providers_for(nodes[i], platform, ap, &compromised, &nodes);
+            let min_providers =
+                min_providers_for(nodes[i], platform, ap, &compromised, &nodes, class);
             records.insert(nodes[i].id.clone(), CompromiseRecord { round, min_providers });
             ids.push(nodes[i].id.clone());
         }
@@ -213,9 +181,10 @@ fn min_providers_for(
     ap: &AttackerProfile,
     compromised: &BTreeSet<usize>,
     nodes: &[&ServiceSpec],
+    class: EdgeClass,
 ) -> usize {
     let empty = InfoPool::new();
-    let paths = attack_paths(target, platform);
+    let paths = attack_paths_in(target, platform, class);
     if paths.iter().any(|p| path_satisfied(p, ap, &empty)) {
         return 0;
     }
@@ -287,7 +256,7 @@ pub const MAX_BACKWARD_PARTIALS: usize = 1 << 20;
 
 /// Total deterministic order on chains: fewest steps, then fewest
 /// accounts touched, then step content (service-id lexicographic). This
-/// is the order `backward_chains` returns chains in, and the tie-break
+/// is the order backward queries return chains in, and the tie-break
 /// that makes `truncate(max_chains)` implementation-independent.
 pub(crate) fn chain_order(a: &AttackChain, b: &AttackChain) -> std::cmp::Ordering {
     a.len()
@@ -312,63 +281,23 @@ pub(crate) fn canonicalize_chains(
     chains
 }
 
-/// Finds attack chains to `target` over the TDG: the paper's backward
-/// query. Returns up to `max_chains` chains in [`chain_order`]
-/// (shortest first). Every chain starts at fringe (phone+SMS-only)
-/// nodes.
-///
-/// Served by the best-first [`crate::backward::BackwardEngine`]; the
-/// clone-heavy BFS below is kept as [`backward_chains_naive`], the
-/// reference the equivalence property tests compare against. Callers
-/// issuing many queries over one graph should build the engine once via
-/// [`crate::backward::BackwardEngine::new`] instead.
-#[deprecated(
-    since = "0.2.0",
-    note = "use the query facade: `Analysis::of(&tdg).backward(target).max_chains(k).run()`"
-)]
-pub fn backward_chains(tdg: &Tdg, target: &ServiceId, max_chains: usize) -> Vec<AttackChain> {
-    crate::backward::BackwardEngine::new(tdg).chains(target, max_chains)
-}
-
-/// Reference implementation of the backward query: breadth-first over
-/// cloned partial chains. Kept for the equivalence proof (see
-/// `backward_props`) and as the baseline in the backward benchmarks.
-#[deprecated(
-    since = "0.2.0",
-    note = "use the query facade: \
-            `Analysis::of(&tdg).backward(target).engine(Engine::Naive).run()`"
-)]
-pub fn backward_chains_naive(tdg: &Tdg, target: &ServiceId, max_chains: usize) -> Vec<AttackChain> {
-    backward_chains_naive_budget(tdg, target, max_chains, MAX_BACKWARD_PARTIALS).0
-}
-
-/// [`backward_chains_naive`], also reporting whether the enumeration was
-/// exhaustive (`true`) or cut short by [`MAX_BACKWARD_PARTIALS`]
-/// (`false`). The equivalence property tests skip non-exhaustive cases:
-/// where the budget fires is an implementation detail.
-#[deprecated(
-    since = "0.2.0",
-    note = "use the query facade: \
-            `Analysis::of(&tdg).backward(target).engine(Engine::Naive).run_bounded()`"
-)]
-pub fn backward_chains_naive_bounded(
-    tdg: &Tdg,
-    target: &ServiceId,
-    max_chains: usize,
-) -> (Vec<AttackChain>, bool) {
-    backward_chains_naive_budget(tdg, target, max_chains, MAX_BACKWARD_PARTIALS)
-}
-
-/// The naive backward BFS, parametrized on the partial-creation budget
-/// (the facade's `.budget(..)` knob; [`MAX_BACKWARD_PARTIALS`] restores
-/// the historical safety valve). Returns the canonical chain list and
-/// whether the enumeration was exhaustive (`false` when the budget cut
-/// the search short).
+/// The naive backward BFS behind [`crate::query::Engine::Naive`]:
+/// breadth-first over cloned partial chains, parametrized on the
+/// partial-creation budget (the facade's `.budget(..)` knob;
+/// [`MAX_BACKWARD_PARTIALS`] restores the historical safety valve) and
+/// on the edge-class filter (`All` or `LoginOnly`; `RecoveryOnly` is
+/// answered by set difference at the facade). Returns the canonical
+/// chain list and whether the enumeration was exhaustive (`false` when
+/// the budget cut the search short). Kept for the equivalence proof
+/// (see `backward_props`) and as the baseline in the backward
+/// benchmarks; the production path is the best-first
+/// [`crate::backward::BackwardEngine`].
 pub(crate) fn backward_chains_naive_budget(
     tdg: &Tdg,
     target: &ServiceId,
     max_chains: usize,
     partial_budget: usize,
+    class: EdgeClass,
 ) -> (Vec<AttackChain>, bool) {
     let _span = obs::span("backward.naive");
     let explored = obs::counter("backward.naive.partials_explored");
@@ -428,7 +357,7 @@ pub(crate) fn backward_chains_naive_budget(
         };
         let rest: Vec<usize> = rest.to_vec();
 
-        if tdg.is_fringe(node) {
+        if tdg.is_fringe_in(node, class) {
             // This node needs no support; continue with the remainder.
             if created >= partial_budget {
                 pruned_budget.inc();
@@ -443,7 +372,7 @@ pub(crate) fn backward_chains_naive_budget(
         }
 
         // Expand via full-capacity parents (shorter first) …
-        for &parent in tdg.strong_parents(node) {
+        for parent in tdg.strong_parents_in(node, class) {
             if partial.visited.contains(&parent) {
                 pruned_visited.inc();
                 continue;
@@ -462,7 +391,7 @@ pub(crate) fn backward_chains_naive_budget(
             queue.push_back(next);
         }
         // … then via merged couple groups.
-        for couple in tdg.couples_for(node) {
+        for couple in tdg.couples_for_in(node, class) {
             if couple.providers.iter().any(|p| partial.visited.contains(p)) {
                 pruned_visited.inc();
                 continue;

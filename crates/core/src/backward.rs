@@ -1,7 +1,7 @@
 //! Best-first backward-query engine — the production implementation
-//! behind [`crate::analysis::backward_chains`].
+//! behind the query facade's backward path.
 //!
-//! The reference BFS ([`crate::analysis::backward_chains_naive`]) clones
+//! The reference BFS (`Engine::Naive` in the facade) clones
 //! a full `Partial` — step lists, unresolved stack, visited set — on
 //! every expansion, which is exponential in both time and allocation on
 //! dense graphs. This engine explores the same option tree but:
@@ -30,6 +30,7 @@ use crate::analysis::{
 use crate::obs;
 use crate::tdg::Tdg;
 use actfort_ecosystem::factor::ServiceId;
+use actfort_ecosystem::policy::EdgeClass;
 use std::cmp::Reverse;
 use std::collections::{BTreeSet, BinaryHeap};
 
@@ -95,13 +96,11 @@ impl BackwardScratch {
     }
 }
 
-/// The backward query engine over one TDG snapshot. Build once per
-/// graph ([`BackwardEngine::new`]) and reuse across targets: the
-/// fringe-support memo and the flattened adjacency are per-graph, not
-/// per-query.
+/// The flattened adjacency and fringe-support memo for one edge-class
+/// view of the TDG. The engine keeps one per materialised class so a
+/// single prewarmed engine serves both `All` and `LoginOnly` queries.
 #[derive(Debug)]
-pub struct BackwardEngine {
-    ids: Vec<ServiceId>,
+struct ClassGraph {
     fringe: Vec<bool>,
     /// `strong[child]` = full-capacity parents, ascending.
     strong: Vec<Vec<u32>>,
@@ -116,20 +115,18 @@ pub struct BackwardEngine {
     support: Vec<bool>,
 }
 
-impl BackwardEngine {
-    /// Builds the engine: flattens the TDG adjacency and resolves the
-    /// per-node fringe-support memo to its least fixed point.
-    pub fn new(tdg: &Tdg) -> Self {
-        let _span = obs::span("backward.build");
+impl ClassGraph {
+    fn build(tdg: &Tdg, class: EdgeClass) -> Self {
         let n = tdg.node_count();
-        let ids: Vec<ServiceId> = (0..n).map(|i| tdg.spec(i).id.clone()).collect();
-        let fringe: Vec<bool> = (0..n).map(|i| tdg.is_fringe(i)).collect();
+        let fringe: Vec<bool> = (0..n).map(|i| tdg.is_fringe_in(i, class)).collect();
         let strong: Vec<Vec<u32>> = (0..n)
-            .map(|i| tdg.strong_parents(i).iter().map(|&p| p as u32).collect())
+            .map(|i| tdg.strong_parents_in(i, class).map(|p| p as u32).collect())
             .collect();
         let mut couples: Vec<Vec<Vec<u32>>> = vec![Vec::new(); n];
         for entry in tdg.couples() {
-            couples[entry.target].push(entry.providers.iter().map(|&p| p as u32).collect());
+            if class == EdgeClass::All || entry.login {
+                couples[entry.target].push(entry.providers.iter().map(|&p| p as u32).collect());
+            }
         }
 
         let mut support = fringe.clone();
@@ -151,7 +148,47 @@ impl BackwardEngine {
             }
         }
 
-        Self { ids, fringe, strong, couples, support }
+        Self { fringe, strong, couples, support }
+    }
+}
+
+/// The two classes the engine materialises: `RecoveryOnly` chains are
+/// answered at the query facade as the canonical difference
+/// `All ∖ LoginOnly`, so no third graph exists.
+fn graph_index(class: EdgeClass) -> usize {
+    match class {
+        EdgeClass::All => 0,
+        EdgeClass::LoginOnly => 1,
+        EdgeClass::RecoveryOnly => {
+            panic!("RecoveryOnly is resolved as All ∖ LoginOnly at the query facade")
+        }
+    }
+}
+
+/// The backward query engine over one TDG snapshot. Build once per
+/// graph ([`BackwardEngine::new`]) and reuse across targets: the
+/// fringe-support memos and the flattened adjacencies (one per
+/// materialised edge class) are per-graph, not per-query.
+#[derive(Debug)]
+pub struct BackwardEngine {
+    ids: Vec<ServiceId>,
+    /// `[All, LoginOnly]` views of the same TDG.
+    graphs: [ClassGraph; 2],
+}
+
+impl BackwardEngine {
+    /// Builds the engine: flattens the TDG adjacency and resolves the
+    /// per-node fringe-support memo to its least fixed point, once for
+    /// the full graph and once for the login-only view.
+    pub fn new(tdg: &Tdg) -> Self {
+        let _span = obs::span("backward.build");
+        let n = tdg.node_count();
+        let ids: Vec<ServiceId> = (0..n).map(|i| tdg.spec(i).id.clone()).collect();
+        let graphs = [
+            ClassGraph::build(tdg, EdgeClass::All),
+            ClassGraph::build(tdg, EdgeClass::LoginOnly),
+        ];
+        Self { ids, graphs }
     }
 
     /// Number of graph nodes.
@@ -162,7 +199,11 @@ impl BackwardEngine {
     /// Whether any chain to `target` can exist at all (the fringe-support
     /// memo for its node). `false` short-circuits [`Self::chains`].
     pub fn is_reachable(&self, target: &ServiceId) -> bool {
-        self.ids.iter().position(|id| id == target).map(|t| self.support[t]).unwrap_or(false)
+        self.ids
+            .iter()
+            .position(|id| id == target)
+            .map(|t| self.graphs[0].support[t])
+            .unwrap_or(false)
     }
 
     /// The backward query: up to `max_chains` attack chains ending at
@@ -187,6 +228,24 @@ impl BackwardEngine {
         self.chains_bounded_with(&mut BackwardScratch::new(), target, max_chains, partial_budget)
     }
 
+    /// [`Self::chains_bounded`] under an edge-class filter (`All` or
+    /// `LoginOnly`; see [`graph_index`]).
+    pub fn chains_bounded_in(
+        &self,
+        target: &ServiceId,
+        max_chains: usize,
+        partial_budget: usize,
+        class: EdgeClass,
+    ) -> (Vec<AttackChain>, bool) {
+        self.chains_bounded_in_with(
+            &mut BackwardScratch::new(),
+            target,
+            max_chains,
+            partial_budget,
+            class,
+        )
+    }
+
     /// [`Self::chains_bounded`] reusing caller-owned scratch buffers —
     /// the fast path for query loops (serve keeps one scratch per
     /// worker). Behaviour is identical; only the allocations are
@@ -198,6 +257,20 @@ impl BackwardEngine {
         max_chains: usize,
         partial_budget: usize,
     ) -> (Vec<AttackChain>, bool) {
+        self.chains_bounded_in_with(scratch, target, max_chains, partial_budget, EdgeClass::All)
+    }
+
+    /// [`Self::chains_bounded_with`] under an edge-class filter — the
+    /// full-knob entry point behind the query facade.
+    pub fn chains_bounded_in_with(
+        &self,
+        scratch: &mut BackwardScratch,
+        target: &ServiceId,
+        max_chains: usize,
+        partial_budget: usize,
+        class: EdgeClass,
+    ) -> (Vec<AttackChain>, bool) {
+        let graph = &self.graphs[graph_index(class)];
         let _span = obs::span("backward.chains");
         let explored = obs::counter("backward.partials_explored");
         let memo_hits = obs::counter("backward.memo_hits");
@@ -210,7 +283,7 @@ impl BackwardEngine {
         if max_chains == 0 {
             return (Vec::new(), true);
         }
-        if !self.support[t] {
+        if !graph.support[t] {
             // The memo already proves no chain exists.
             memo_hits.inc();
             return (Vec::new(), true);
@@ -263,7 +336,7 @@ impl BackwardEngine {
             // no step (the naive loop spends one queue cycle per strip;
             // collapsing them is cost-neutral).
             while let Some(&node) = partial.unresolved.first() {
-                if !self.fringe[node as usize] {
+                if !graph.fringe[node as usize] {
                     break;
                 }
                 partial.unresolved.remove(0);
@@ -279,7 +352,7 @@ impl BackwardEngine {
                     let StepNode { group, prev } = arena[cursor as usize];
                     let services = match group {
                         Group::Single(p) => vec![self.ids[p as usize].clone()],
-                        Group::Couple { node, k } => self.couples[node as usize][k as usize]
+                        Group::Couple { node, k } => graph.couples[node as usize][k as usize]
                             .iter()
                             .map(|&p| self.ids[p as usize].clone())
                             .collect(),
@@ -333,12 +406,12 @@ impl BackwardEngine {
             };
 
             // Expand via full-capacity parents …
-            for &parent in &self.strong[node as usize] {
+            for &parent in &graph.strong[node as usize] {
                 if bit(&partial.visited, parent) {
                     pruned_visited.inc();
                     continue;
                 }
-                if !self.support[parent as usize] {
+                if !graph.support[parent as usize] {
                     // Memo: this subtree can never bottom out at fringe.
                     memo_hits.inc();
                     continue;
@@ -353,12 +426,12 @@ impl BackwardEngine {
                 );
             }
             // … then via merged couple groups.
-            for (k, providers) in self.couples[node as usize].iter().enumerate() {
+            for (k, providers) in graph.couples[node as usize].iter().enumerate() {
                 if providers.iter().any(|&p| bit(&partial.visited, p)) {
                     pruned_visited.inc();
                     continue;
                 }
-                if !providers.iter().all(|&p| self.support[p as usize]) {
+                if !providers.iter().all(|&p| graph.support[p as usize]) {
                     memo_hits.inc();
                     continue;
                 }
@@ -396,7 +469,8 @@ mod tests {
                 for max_chains in [1, 3, 8] {
                     assert_eq!(
                         engine.chains(&id, max_chains),
-                        backward_chains_naive_budget(&tdg, &id, max_chains, MAX_BACKWARD_PARTIALS).0,
+                        backward_chains_naive_budget(&tdg, &id, max_chains, MAX_BACKWARD_PARTIALS, EdgeClass::All)
+                            .0,
                         "{platform:?}/{id}/max_chains={max_chains}"
                     );
                 }
@@ -408,14 +482,22 @@ mod tests {
     fn support_memo_is_a_fixed_point() {
         let tdg = graph(Platform::Web);
         let engine = BackwardEngine::new(&tdg);
-        for v in 0..tdg.node_count() {
-            let expect = tdg.is_fringe(v)
-                || tdg.strong_parents(v).iter().any(|&p| engine.support[p])
-                || tdg
-                    .couples_for(v)
-                    .iter()
-                    .any(|c| c.providers.iter().all(|&p| engine.support[p]));
-            assert_eq!(engine.support[v], expect, "support[{}] not a fixed point", tdg.spec(v).id);
+        for (gi, class) in [(0, EdgeClass::All), (1, EdgeClass::LoginOnly)] {
+            let support = &engine.graphs[gi].support;
+            for v in 0..tdg.node_count() {
+                let expect = tdg.is_fringe_in(v, class)
+                    || tdg.strong_parents_in(v, class).any(|p| support[p])
+                    || tdg
+                        .couples_for_in(v, class)
+                        .iter()
+                        .any(|c| c.providers.iter().all(|&p| support[p]));
+                assert_eq!(
+                    support[v],
+                    expect,
+                    "{class:?} support[{}] not a fixed point",
+                    tdg.spec(v).id
+                );
+            }
         }
     }
 

@@ -57,7 +57,7 @@ pub fn blast_radii(
         .map(|s| s.id.clone())
         .collect();
     let mut out: Vec<BlastRadius> = BatchAnalyzer::new(threads).run(&seeds, |seed| {
-        let r = forward_auto(specs, platform, ap, std::slice::from_ref(seed));
+        let r = forward_auto(specs, platform, ap, std::slice::from_ref(seed), actfort_ecosystem::policy::EdgeClass::All);
         BlastRadius {
             seed: seed.clone(),
             victims: r.potential_victims(),

@@ -38,6 +38,12 @@ pub enum Countermeasure {
     /// §VII-A2 built-in authentication: SMS codes are replaced by
     /// OS-level push approvals that never cross GSM.
     BuiltInPush,
+    /// Passkey enrollment: every recovery-class flow that lacks a robust
+    /// factor additionally requires a passkey. This severs exactly the
+    /// recovery edges of the dependency graph — login-path flows are
+    /// untouched, so the `LoginOnly` view of the population is a fixed
+    /// point of this countermeasure.
+    PasskeyEnrollment,
 }
 
 impl Countermeasure {
@@ -48,6 +54,7 @@ impl Countermeasure {
             Countermeasure::HardenEmail,
             Countermeasure::FixAsymmetry,
             Countermeasure::BuiltInPush,
+            Countermeasure::PasskeyEnrollment,
         ]
     }
 
@@ -58,6 +65,7 @@ impl Countermeasure {
             Countermeasure::HardenEmail => "harden_email",
             Countermeasure::FixAsymmetry => "fix_asymmetry",
             Countermeasure::BuiltInPush => "built_in_push",
+            Countermeasure::PasskeyEnrollment => "passkey_enrollment",
         }
     }
 
@@ -86,6 +94,7 @@ impl fmt::Display for Countermeasure {
             Countermeasure::HardenEmail => "hardened email authentication",
             Countermeasure::FixAsymmetry => "web/mobile symmetry",
             Countermeasure::BuiltInPush => "built-in push authentication",
+            Countermeasure::PasskeyEnrollment => "passkey-gated recovery",
         };
         f.pad(s)
     }
@@ -158,7 +167,7 @@ fn apply_one(spec: &ServiceSpec, cm: Countermeasure) -> ServiceSpec {
                 // for manual redesign in a real deployment).
                 use actfort_ecosystem::policy::Purpose;
                 use std::collections::BTreeSet;
-                for purpose in [Purpose::SignIn, Purpose::PasswordReset, Purpose::Payment] {
+                for purpose in Purpose::all() {
                     let set_of = |platform: Platform| -> BTreeSet<Vec<CredentialFactor>> {
                         s.paths
                             .iter()
@@ -194,6 +203,13 @@ fn apply_one(spec: &ServiceSpec, cm: Countermeasure) -> ServiceSpec {
                             f.masking = joint;
                         }
                     }
+                }
+            }
+        }
+        Countermeasure::PasskeyEnrollment => {
+            for p in &mut s.paths {
+                if p.purpose.is_recovery() && !p.factors.iter().any(|f| f.is_robust()) {
+                    p.factors.push(CredentialFactor::Passkey);
                 }
             }
         }
@@ -236,9 +252,9 @@ fn apply_one(spec: &ServiceSpec, cm: Countermeasure) -> ServiceSpec {
 /// After that, [`Patcher::patch`] costs only the union blast radius of
 /// the requested set: the touched specs are rewritten and recompiled
 /// against the base's interned id space ([`Prepared::compile_patch`]),
-/// everything else stays shared. With four countermeasures there are
-/// only sixteen subsets, so compiled patches are memoized for the life
-/// of the base — a `/whatif` sweep re-running a subset is a pure cache
+/// everything else stays shared. The subset space is `2^|all()|`
+/// (thirty-two with five countermeasures), so compiled patches are
+/// memoized for the life of the base — a `/whatif` sweep re-running a subset is a pure cache
 /// hit, and *no* full substrate recompile ever happens
 /// (`engine.prepares` stays flat; pinned by the whatif bench).
 ///
@@ -502,6 +518,36 @@ mod tests {
             field(PersonalInfoKind::BankcardNumber),
             Masking::Partial { prefix: 0, suffix: 2 }
         );
+    }
+
+    #[test]
+    fn passkey_enrollment_gates_every_weak_recovery_path() {
+        let hardened = apply(&specs(), Countermeasure::PasskeyEnrollment);
+        for s in &hardened {
+            for p in &s.paths {
+                if p.purpose.is_recovery() {
+                    assert!(
+                        p.factors.iter().any(|f| f.is_robust()),
+                        "{}: recovery path still weak after passkey enrollment: {p}",
+                        s.id
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn passkey_enrollment_leaves_login_paths_untouched() {
+        let base = specs();
+        let hardened = apply(&base, Countermeasure::PasskeyEnrollment);
+        for (b, h) in base.iter().zip(&hardened) {
+            let login = |s: &ServiceSpec| -> Vec<_> {
+                s.paths.iter().filter(|p| !p.purpose.is_recovery()).cloned().collect()
+            };
+            assert_eq!(login(b), login(h), "{}: login paths changed", b.id);
+            assert_eq!(b.web_exposure, h.web_exposure);
+            assert_eq!(b.mobile_exposure, h.mobile_exposure);
+        }
     }
 
     #[test]

@@ -1,6 +1,6 @@
 //! Incremental, parallel forward-analysis engine.
 //!
-//! The naive fixed point in [`crate::analysis::forward_naive`] rescans
+//! The naive fixed point (`Engine::Naive` in the query facade) rescans
 //! every still-standing service against every attack path each round,
 //! and rebuilds provider pools from scratch inside every
 //! `min_providers` query. Both costs dominate ecosystem-scale sweeps
@@ -36,11 +36,11 @@
 
 use crate::analysis::{CompromiseRecord, ForwardResult};
 use crate::obs;
-use crate::pool::{attack_paths, path_satisfied, path_satisfied_pair, InfoPool, PoolSignature};
+use crate::pool::{attack_paths_in, path_satisfied, path_satisfied_pair, InfoPool, PoolSignature};
 use crate::profile::AttackerProfile;
 use actfort_ecosystem::factor::{CredentialFactor, ServiceId};
 use actfort_ecosystem::info::PersonalInfoKind;
-use actfort_ecosystem::policy::Platform;
+use actfort_ecosystem::policy::{EdgeClass, Platform};
 use actfort_ecosystem::spec::ServiceSpec;
 use std::collections::{BTreeMap, BTreeSet};
 use std::sync::atomic::{AtomicUsize, Ordering};
@@ -376,46 +376,19 @@ impl ProviderIndex {
     }
 }
 
-/// Incremental forward fixed point. Produces results identical to
-/// the naive reference (see the equivalence property tests); only the
-/// work schedule differs.
-#[deprecated(
-    since = "0.2.0",
-    note = "use the query facade: \
-            `Analysis::over(specs, platform, ap).forward(seeds).engine(Engine::Incremental).run()`"
-)]
-pub fn forward_incremental(
-    specs: &[ServiceSpec],
-    platform: Platform,
-    ap: &AttackerProfile,
-    seeds: &[ServiceId],
-) -> ForwardResult {
-    forward_incremental_impl(specs, platform, ap, seeds, true)
-}
-
-/// The incremental engine with the cross-round `min_providers` memo
-/// disabled — the pre-memo engine, kept for benchmarking the memo's
-/// effect and for the memo-equivalence tests.
-#[deprecated(
-    since = "0.2.0",
-    note = "use the query facade: `Analysis::over(specs, platform, ap).forward(seeds)\
-            .engine(Engine::Incremental).memo(false).run()`"
-)]
-pub fn forward_incremental_unmemoized(
-    specs: &[ServiceSpec],
-    platform: Platform,
-    ap: &AttackerProfile,
-    seeds: &[ServiceId],
-) -> ForwardResult {
-    forward_incremental_impl(specs, platform, ap, seeds, false)
-}
-
+/// Incremental forward fixed point — `Engine::Incremental` in the query
+/// facade. Produces results identical to the naive reference (see the
+/// equivalence property tests); only the work schedule differs. `class`
+/// filters which attack paths each node may fall through; the filtered
+/// path lists feed the reverse index and every `min_providers` query,
+/// so the whole run sees one consistent class view.
 pub(crate) fn forward_incremental_impl(
     specs: &[ServiceSpec],
     platform: Platform,
     ap: &AttackerProfile,
     seeds: &[ServiceId],
     memo_enabled: bool,
+    class: EdgeClass,
 ) -> ForwardResult {
     let _span = obs::span("forward.incremental");
     let stats = EngineStats::fetch();
@@ -429,7 +402,7 @@ pub(crate) fn forward_incremental_impl(
         .collect();
     // Attack paths per node, computed once instead of once per round.
     let paths: Vec<Vec<&actfort_ecosystem::policy::AuthPath>> =
-        nodes.iter().map(|s| attack_paths(s, platform)).collect();
+        nodes.iter().map(|s| attack_paths_in(s, platform, class)).collect();
     let index = ReverseIndex::build(&paths);
     let id_index: BTreeMap<&ServiceId, usize> =
         nodes.iter().enumerate().map(|(i, s)| (&s.id, i)).collect();
@@ -661,11 +634,11 @@ mod tests {
         ap: &AttackerProfile,
         seeds: &[ServiceId],
     ) -> ForwardResult {
-        forward_incremental_impl(specs, platform, ap, seeds, true)
+        forward_incremental_impl(specs, platform, ap, seeds, true, EdgeClass::All)
     }
 
     fn assert_equivalent(specs: &[ServiceSpec], platform: Platform, ap: &AttackerProfile, seeds: &[ServiceId]) {
-        let naive = forward_naive_impl(specs, platform, ap, seeds);
+        let naive = forward_naive_impl(specs, platform, ap, seeds, EdgeClass::All);
         let inc = forward_incremental(specs, platform, ap, seeds);
         assert_eq!(naive.rounds, inc.rounds);
         assert_eq!(naive.records, inc.records);
@@ -696,7 +669,7 @@ mod tests {
             for platform in [Platform::Web, Platform::MobileApp] {
                 let with = forward_incremental(specs, platform, &AttackerProfile::paper_default(), seeds);
                 let without =
-                    forward_incremental_impl(specs, platform, &AttackerProfile::paper_default(), seeds, false);
+                    forward_incremental_impl(specs, platform, &AttackerProfile::paper_default(), seeds, false, EdgeClass::All);
                 assert_eq!(with.rounds, without.rounds);
                 assert_eq!(with.records, without.records);
                 assert_eq!(with.uncompromised, without.uncompromised);

@@ -70,8 +70,7 @@ pub mod tdg;
 /// report through the same global recorder without a dependency cycle.
 pub use actfort_obs as obs;
 
-#[allow(deprecated)]
-pub use analysis::{backward_chains, backward_chains_naive, forward};
+pub use actfort_ecosystem::policy::EdgeClass;
 pub use analysis::{AttackChain, ForwardResult};
 pub use backward::BackwardEngine;
 pub use error::Error;

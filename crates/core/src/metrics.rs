@@ -146,7 +146,7 @@ pub fn depth_breakdown(
     ap: &AttackerProfile,
 ) -> DepthBreakdown {
     let _span = obs::span("metrics.depth");
-    let result: ForwardResult = forward_auto(specs, platform, ap, &[]);
+    let result: ForwardResult = forward_auto(specs, platform, ap, &[], actfort_ecosystem::policy::EdgeClass::All);
     let total = on_platform(specs, platform).len();
     breakdown_of(&result, total)
 }
@@ -205,7 +205,7 @@ pub fn depth_breakdown_overlapping(
 ) -> DepthBreakdown {
     use crate::pool::{attack_paths, path_satisfied, InfoPool};
     let _span = obs::span("metrics.depth_overlapping");
-    let result = forward_auto(specs, platform, ap, &[]);
+    let result = forward_auto(specs, platform, ap, &[], actfort_ecosystem::policy::EdgeClass::All);
     let nodes: Vec<&ServiceSpec> = specs
         .iter()
         .filter(|s| match platform {

@@ -9,7 +9,7 @@
 use crate::profile::AttackerProfile;
 use actfort_ecosystem::factor::{CredentialFactor, ServiceId};
 use actfort_ecosystem::info::{Masking, PersonalInfoKind};
-use actfort_ecosystem::policy::{AuthPath, Platform};
+use actfort_ecosystem::policy::{AuthPath, EdgeClass, Platform};
 use actfort_ecosystem::spec::{ServiceDomain, ServiceSpec};
 use std::collections::{BTreeMap, BTreeSet};
 
@@ -297,7 +297,8 @@ pub fn factor_satisfied_view<Q: PoolView>(
         | CredentialFactor::Biometric
         | CredentialFactor::U2fKey
         | CredentialFactor::DeviceCheck
-        | CredentialFactor::PushApproval => false,
+        | CredentialFactor::PushApproval
+        | CredentialFactor::Passkey => false,
         _ => false,
     }
 }
@@ -336,6 +337,7 @@ pub fn path_potentially_attackable(path: &AuthPath) -> bool {
                 | CredentialFactor::U2fKey
                 | CredentialFactor::DeviceCheck
                 | CredentialFactor::PushApproval
+                | CredentialFactor::Passkey
         )
     })
 }
@@ -344,9 +346,20 @@ pub fn path_potentially_attackable(path: &AuthPath) -> bool {
 /// reset or payment path free of robust/secret factors. Compromise via a
 /// sign-in path yields the page; via a reset path yields full takeover.
 pub fn attack_paths(spec: &ServiceSpec, platform: Platform) -> Vec<&AuthPath> {
+    attack_paths_in(spec, platform, EdgeClass::All)
+}
+
+/// [`attack_paths`] restricted to one edge class: only paths whose
+/// purpose the class admits. `EdgeClass::All` is exactly
+/// [`attack_paths`].
+pub fn attack_paths_in(
+    spec: &ServiceSpec,
+    platform: Platform,
+    class: EdgeClass,
+) -> Vec<&AuthPath> {
     spec.paths_on(platform)
         .into_iter()
-        .filter(|p| path_potentially_attackable(p))
+        .filter(|p| class.admits(p.purpose) && path_potentially_attackable(p))
         .collect()
 }
 

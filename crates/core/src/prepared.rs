@@ -50,7 +50,7 @@ use crate::profile::AttackerProfile;
 use crate::score::{OverlayFactor, UserOverlay};
 use actfort_ecosystem::factor::{CredentialFactor, ServiceId};
 use actfort_ecosystem::info::PersonalInfoKind;
-use actfort_ecosystem::policy::{AuthPath, Platform};
+use actfort_ecosystem::policy::{AuthPath, EdgeClass, Platform};
 use actfort_ecosystem::spec::ServiceSpec;
 use std::collections::BTreeMap;
 use std::sync::atomic::{AtomicU64, Ordering};
@@ -153,6 +153,22 @@ pub(crate) struct CPath {
     /// Index of `fmask` in [`Prepared::fmasks`]: lane batches compute
     /// one activation word per *distinct* mask, not per path.
     pub(crate) fmask_id: u32,
+    /// Edge-class tag: whether the source path's purpose is a recovery
+    /// flow ([`actfort_ecosystem::policy::Purpose::is_recovery`]).
+    /// Class-filtered queries test it with
+    /// [`EdgeClass::admits_recovery`]; under [`EdgeClass::All`] the test
+    /// is vacuous.
+    pub(crate) recovery: bool,
+}
+
+/// Index of a class in the per-node `[_; 3]` class-state arrays.
+#[inline]
+pub(crate) fn class_index(class: EdgeClass) -> usize {
+    match class {
+        EdgeClass::All => 0,
+        EdgeClass::LoginOnly => 1,
+        EdgeClass::RecoveryOnly => 2,
+    }
 }
 
 /// A node's singleton pool, flattened to the bits factor satisfaction
@@ -186,13 +202,19 @@ pub(crate) struct Node {
     /// representatives.
     all_links: Vec<u32>,
     /// Satisfiable by the profile alone (the `min_providers == 0`
-    /// case, a compile-time constant).
-    open: bool,
-    /// Interned pathset id for the `min_providers` memo; `None` when
-    /// any path names a `LinkedAccount` (candidate set is then
-    /// target-specific, bypassing the memo — same rule as the
-    /// incremental engine).
-    pathset: Option<u32>,
+    /// case, a compile-time constant), per edge class
+    /// ([`class_index`] order).
+    open: [bool; 3],
+    /// Interned pathset id for the `min_providers` memo, per edge
+    /// class; `None` when any class-admitted path names a
+    /// `LinkedAccount` (candidate set is then target-specific,
+    /// bypassing the memo — same rule as the incremental engine). The
+    /// memo stays sound per class because the key is the sorted
+    /// `(req, email, cs)` list of exactly the class-admitted live
+    /// paths: equal keys mean equal `min_providers` answers regardless
+    /// of which class produced them, so all three classes share one
+    /// interning map.
+    pathset: [Option<u32>; 3],
 }
 
 /// A compiled overlay patch against one specific [`Prepared`]: the
@@ -437,9 +459,6 @@ impl Prepared {
             .iter()
             .map(|s| {
                 let paths = attack_paths(s, platform);
-                let any_link = paths.iter().any(|p| {
-                    p.factors.iter().any(|f| matches!(f, CredentialFactor::LinkedAccount(_)))
-                });
                 let mut all_links = Vec::new();
                 for p in &paths {
                     for f in &p.factors {
@@ -458,18 +477,10 @@ impl Prepared {
                     let next = fmask_of.len() as u32;
                     cp.fmask_id = *fmask_of.entry(cp.fmask).or_insert(next);
                 }
-                let open = live.iter().any(|cp| {
-                    cp.req == 0 && !cp.needs_email && !cp.needs_cs && cp.links.is_empty()
-                });
-                let pathset = if any_link {
-                    None
-                } else {
-                    let mut key: Vec<(u8, bool, bool)> =
-                        live.iter().map(|cp| (cp.req, cp.needs_email, cp.needs_cs)).collect();
-                    key.sort_unstable();
+                let (open, pathset) = node_class_state(&paths, &live, |key| {
                     let next = pathset_of.len() as u32;
-                    Some(*pathset_of.entry(key).or_insert(next))
-                };
+                    *pathset_of.entry(key).or_insert(next)
+                });
                 Node { live, all_links, open, pathset }
             })
             .collect();
@@ -582,6 +593,29 @@ impl Prepared {
         self.forward_with(&mut self.scratch(), seeds, memo_enabled)
     }
 
+    /// [`Self::forward`] restricted to one edge class: only
+    /// class-admitted compiled paths can satisfy a node.
+    /// [`EdgeClass::All`] is byte-identical to [`Self::forward`].
+    pub fn forward_in(
+        &self,
+        class: EdgeClass,
+        seeds: &[ServiceId],
+        memo_enabled: bool,
+    ) -> ForwardResult {
+        self.forward_in_with(&mut self.scratch(), class, seeds, memo_enabled)
+    }
+
+    /// [`Self::forward_in`] reusing caller-owned scratch buffers.
+    pub fn forward_in_with(
+        &self,
+        scratch: &mut ForwardScratch,
+        class: EdgeClass,
+        seeds: &[ServiceId],
+        memo_enabled: bool,
+    ) -> ForwardResult {
+        self.forward_inner(scratch, seeds, memo_enabled, None, None, class)
+    }
+
     fn reset_scratch(&self, s: &mut ForwardScratch, patch: Option<&SubstratePatch>) {
         let (classes, pathsets) = match patch {
             Some(p) => (p.classes, p.pathsets),
@@ -610,7 +644,7 @@ impl Prepared {
         seeds: &[ServiceId],
         memo_enabled: bool,
     ) -> ForwardResult {
-        self.forward_inner(scratch, seeds, memo_enabled, None, None)
+        self.forward_inner(scratch, seeds, memo_enabled, None, None, EdgeClass::All)
     }
 
     /// Compiles a [`SubstratePatch`] from `rewrites`: `(node id,
@@ -673,9 +707,6 @@ impl Prepared {
             providers.push(Provider { raw, cov, eff: raw | cov_complete_bits(cov), email, class });
 
             let paths = attack_paths(s, self.platform);
-            let any_link = paths.iter().any(|p| {
-                p.factors.iter().any(|f| matches!(f, CredentialFactor::LinkedAccount(_)))
-            });
             let mut all_links = Vec::new();
             for p in &paths {
                 for f in &p.factors {
@@ -699,23 +730,15 @@ impl Prepared {
                     }
                 };
             }
-            let open = live
-                .iter()
-                .any(|cp| cp.req == 0 && !cp.needs_email && !cp.needs_cs && cp.links.is_empty());
-            let pathset = if any_link {
-                None
-            } else {
-                let mut key: Vec<(u8, bool, bool)> =
-                    live.iter().map(|cp| (cp.req, cp.needs_email, cp.needs_cs)).collect();
-                key.sort_unstable();
-                Some(match self.pathset_of.get(&key) {
+            let (open, pathset) = node_class_state(&paths, &live, |key| {
+                match self.pathset_of.get(&key) {
                     Some(&id) => id,
                     None => {
                         let next = (self.pathsets + new_pathsets.len()) as u32;
                         *new_pathsets.entry(key).or_insert(next)
                     }
-                })
-            };
+                }
+            });
             // This node's recompiled paths may subscribe to atoms its
             // original paths never read; record those subscriptions so
             // the patched frontier sees them (mirrors `Prepared::new`).
@@ -791,11 +814,23 @@ impl Prepared {
         seeds: &[ServiceId],
         memo_enabled: bool,
     ) -> ForwardResult {
+        self.forward_patched_in_with(scratch, patch, EdgeClass::All, seeds, memo_enabled)
+    }
+
+    /// [`Self::forward_patched_with`] restricted to one edge class.
+    pub fn forward_patched_in_with(
+        &self,
+        scratch: &mut ForwardScratch,
+        patch: &SubstratePatch,
+        class: EdgeClass,
+        seeds: &[ServiceId],
+        memo_enabled: bool,
+    ) -> ForwardResult {
         assert_eq!(
             patch.base_stamp, self.stamp,
             "substrate patch applied to a substrate it was not compiled against"
         );
-        self.forward_inner(scratch, seeds, memo_enabled, None, Some(patch))
+        self.forward_inner(scratch, seeds, memo_enabled, None, Some(patch), class)
     }
 
     /// The node to read for id `i` under an optional patch.
@@ -857,7 +892,18 @@ impl Prepared {
         scratch: &mut ForwardScratch,
         overlay: &UserOverlay,
     ) -> ForwardResult {
-        self.forward_inner(scratch, &[], false, Some(overlay), None)
+        self.forward_inner(scratch, &[], false, Some(overlay), None, EdgeClass::All)
+    }
+
+    /// [`Self::forward_overlay_with`] restricted to one edge class —
+    /// the scalar reference for class-filtered lane scoring.
+    pub fn forward_overlay_in_with(
+        &self,
+        scratch: &mut ForwardScratch,
+        overlay: &UserOverlay,
+        class: EdgeClass,
+    ) -> ForwardResult {
+        self.forward_inner(scratch, &[], false, Some(overlay), None, class)
     }
 
     fn forward_inner(
@@ -867,6 +913,7 @@ impl Prepared {
         memo_enabled: bool,
         overlay: Option<&UserOverlay>,
         patch: Option<&SubstratePatch>,
+        class: EdgeClass,
     ) -> ForwardResult {
         let _span =
             if patch.is_some() { obs::span("forward.patched") } else { obs::span("forward.prepared") };
@@ -926,7 +973,8 @@ impl Prepared {
                         let i = (w as u32) << 6 | m.trailing_zeros();
                         m &= m - 1;
                         let sat = self.node_at(patch, i).live.iter().any(|cp| {
-                            cp.fmask & factors == cp.fmask
+                            class.admits_recovery(cp.recovery)
+                                && cp.fmask & factors == cp.fmask
                                 && cp.req & !st.eff == 0
                                 && (!cp.needs_email || st.email)
                                 && (!cp.needs_cs
@@ -956,6 +1004,7 @@ impl Prepared {
                         i,
                         memo_enabled,
                         factors,
+                        class,
                         patch,
                         &scratch.compromised,
                         &scratch.reps,
@@ -1061,6 +1110,7 @@ impl Prepared {
         node: u32,
         memo_enabled: bool,
         factors: u16,
+        class: EdgeClass,
         patch: Option<&SubstratePatch>,
         compromised: &[u64],
         reps: &[u32],
@@ -1072,8 +1122,9 @@ impl Prepared {
         let gen = reps.len() as u32;
         // `forward_inner` already forces `memo_enabled` off for overlay
         // runs, keeping the pathset key sound (it cannot distinguish
-        // overlay-deactivated path subsets).
-        let slot = if memo_enabled { nd.pathset } else { None };
+        // overlay-deactivated path subsets). Class-filtered runs stay
+        // memoized through their own per-class pathset slot.
+        let slot = if memo_enabled { nd.pathset[class_index(class)] } else { None };
         if let Some(ps) = slot {
             let (g, ans) = memo[ps as usize];
             if g == gen {
@@ -1082,28 +1133,32 @@ impl Prepared {
             }
             stats.minprov_memo_misses.inc();
         }
-        let answer = self.min_providers_uncached(nd, factors, patch, compromised, reps, candidates);
+        let answer =
+            self.min_providers_uncached(nd, factors, class, patch, compromised, reps, candidates);
         if let Some(ps) = slot {
             memo[ps as usize] = (gen, answer as u8);
         }
         answer
     }
 
+    #[allow(clippy::too_many_arguments)]
     fn min_providers_uncached(
         &self,
         nd: &Node,
         factors: u16,
+        class: EdgeClass,
         patch: Option<&SubstratePatch>,
         compromised: &[u64],
         reps: &[u32],
         candidates: &mut Vec<u32>,
     ) -> usize {
         if factors == u16::MAX {
-            if nd.open {
+            if nd.open[class_index(class)] {
                 return 0;
             }
         } else if nd.live.iter().any(|cp| {
-            cp.fmask & factors == cp.fmask
+            class.admits_recovery(cp.recovery)
+                && cp.fmask & factors == cp.fmask
                 && cp.req == 0
                 && !cp.needs_email
                 && !cp.needs_cs
@@ -1121,7 +1176,8 @@ impl Prepared {
         for &j in candidates.iter() {
             let p = self.provider_at(patch, j);
             let sat = nd.live.iter().any(|cp| {
-                cp.fmask & factors == cp.fmask
+                class.admits_recovery(cp.recovery)
+                    && cp.fmask & factors == cp.fmask
                     && cp.req & !p.eff == 0
                     && (!cp.needs_email || p.email)
                     && (!cp.needs_cs || (self.ap_kinds | p.eff).count_ones() >= 3)
@@ -1140,7 +1196,8 @@ impl Prepared {
                 let eff = (pa.raw | pb.raw) | cov_complete_bits(cov);
                 let email = pa.email || pb.email;
                 let sat = nd.live.iter().any(|cp| {
-                    cp.fmask & factors == cp.fmask
+                    class.admits_recovery(cp.recovery)
+                        && cp.fmask & factors == cp.fmask
                         && cp.req & !eff == 0
                         && (!cp.needs_email || email)
                         && (!cp.needs_cs || (self.ap_kinds | eff).count_ones() >= 3)
@@ -1172,6 +1229,43 @@ fn register(p: &Provider, i: u32, class_seen: &mut [u64], reps: &mut Vec<u32>, s
     }
 }
 
+/// Computes a node's per-class open flags and `min_providers` memo
+/// pathset ids from its attack paths and compiled live set. `intern`
+/// maps a sorted `(req, email, cs)` key to its id (base or patch-local
+/// interning — the two construction sites differ only there).
+fn node_class_state(
+    paths: &[&AuthPath],
+    live: &[CPath],
+    mut intern: impl FnMut(Vec<(u8, bool, bool)>) -> u32,
+) -> ([bool; 3], [Option<u32>; 3]) {
+    let mut open = [false; 3];
+    let mut pathset = [None; 3];
+    for class in EdgeClass::all() {
+        let ci = class_index(class);
+        open[ci] = live.iter().any(|cp| {
+            class.admits_recovery(cp.recovery)
+                && cp.req == 0
+                && !cp.needs_email
+                && !cp.needs_cs
+                && cp.links.is_empty()
+        });
+        let any_link = paths.iter().any(|p| {
+            class.admits(p.purpose)
+                && p.factors.iter().any(|f| matches!(f, CredentialFactor::LinkedAccount(_)))
+        });
+        if !any_link {
+            let mut key: Vec<(u8, bool, bool)> = live
+                .iter()
+                .filter(|cp| class.admits_recovery(cp.recovery))
+                .map(|cp| (cp.req, cp.needs_email, cp.needs_cs))
+                .collect();
+            key.sort_unstable();
+            pathset[ci] = Some(intern(key));
+        }
+    }
+    (open, pathset)
+}
+
 /// Folds one attack path against the static profile. `None` means the
 /// path can never be satisfied under this profile (equivalently: it is
 /// unsatisfied by every pool), so it is dropped from the live set.
@@ -1189,6 +1283,7 @@ fn compile_path(
         links: Vec::new(),
         fmask: 0,
         fmask_id: 0,
+        recovery: path.purpose.is_recovery(),
     };
     for f in &path.factors {
         // The overlay mask records the *original* factor kind before any
@@ -1252,7 +1347,7 @@ mod tests {
         ap: &AttackerProfile,
         seeds: &[ServiceId],
     ) {
-        let naive = forward_naive_impl(specs, platform, ap, seeds);
+        let naive = forward_naive_impl(specs, platform, ap, seeds, EdgeClass::All);
         let prepared = Prepared::new(specs, platform, *ap);
         for memo in [true, false] {
             let got = prepared.forward(seeds, memo);

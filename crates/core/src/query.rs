@@ -4,13 +4,23 @@
 //! (`forward`, `forward_naive`, `forward_incremental`,
 //! `forward_incremental_unmemoized`, `backward_chains`,
 //! `backward_chains_naive`, `backward_chains_naive_bounded`), wiring
-//! engine choice, memoization and budgets positionally. [`Analysis`] is
-//! the single builder they all collapse into: pick a *source* (a built
-//! [`Tdg`] or raw specs), a *direction* (forward seeds or a backward
-//! target), then tune knobs and `run()`. Engine selection is explicit
-//! ([`Engine`]) with [`Engine::Auto`] reproducing the historical
-//! population-size dispatch bit for bit — including its `obs` counters,
-//! so golden traces are unchanged.
+//! engine choice, memoization and budgets positionally. Those wrappers
+//! are gone; [`Analysis`] is the single builder they all collapsed
+//! into: pick a *source* (a built [`Tdg`] or raw specs), a *direction*
+//! (forward seeds or a backward target), then tune knobs and `run()`.
+//! Engine selection is explicit ([`Engine`]) with [`Engine::Auto`]
+//! reproducing the historical population-size dispatch bit for bit —
+//! including its `obs` counters, so golden traces are unchanged.
+//!
+//! Every query accepts an [`EdgeClass`] filter (default
+//! [`EdgeClass::All`], which is byte-identical to the unfiltered
+//! behaviour). [`EdgeClass::LoginOnly`] hides recovery-class attack
+//! paths; [`EdgeClass::RecoveryOnly`] admits only them. Forward and
+//! score queries evaluate `RecoveryOnly` directly (the engines filter
+//! path satisfaction); backward queries answer it as the canonical set
+//! difference `chains(All) ∖ chains(LoginOnly)` — exactly the chains
+//! with no pure-login derivation, i.e. those needing at least one
+//! recovery edge.
 //!
 //! ```
 //! use actfort_core::profile::AttackerProfile;
@@ -60,7 +70,7 @@ use crate::profile::AttackerProfile;
 use crate::score::{UserOverlay, UserProfile, UserScore};
 use crate::tdg::Tdg;
 use actfort_ecosystem::factor::ServiceId;
-use actfort_ecosystem::policy::Platform;
+use actfort_ecosystem::policy::{EdgeClass, Platform};
 use actfort_ecosystem::spec::ServiceSpec;
 
 /// Population size (eligible services) below which [`Engine::Auto`]
@@ -218,6 +228,7 @@ impl<'a> Analysis<'a> {
             engine: Engine::Auto,
             memo: true,
             threads: None,
+            class: EdgeClass::All,
             trace: None,
         }
     }
@@ -231,6 +242,7 @@ impl<'a> Analysis<'a> {
             budget: None,
             engine: Engine::Auto,
             via: None,
+            class: EdgeClass::All,
             trace: None,
         }
     }
@@ -248,6 +260,7 @@ impl<'a> Analysis<'a> {
             backward_via: None,
             chains_per_target: 2,
             max_severed: 16,
+            class: EdgeClass::All,
             trace: None,
         }
     }
@@ -257,7 +270,13 @@ impl<'a> Analysis<'a> {
     /// against the shared compiled base, which is prepared **once** for
     /// the whole batch regardless of its size.
     pub fn score_users(self, profiles: &'a [UserProfile]) -> ScoreQuery<'a> {
-        ScoreQuery { source: self.source, profiles, engine: Engine::Auto, trace: None }
+        ScoreQuery {
+            source: self.source,
+            profiles,
+            engine: Engine::Auto,
+            class: EdgeClass::All,
+            trace: None,
+        }
     }
 }
 
@@ -268,6 +287,7 @@ pub struct ForwardQuery<'a> {
     engine: Engine,
     memo: bool,
     threads: Option<usize>,
+    class: EdgeClass,
     trace: Option<&'static str>,
 }
 
@@ -275,6 +295,17 @@ impl<'a> ForwardQuery<'a> {
     /// Selects the implementation (default [`Engine::Auto`]).
     pub fn engine(mut self, engine: Engine) -> Self {
         self.engine = engine;
+        self
+    }
+
+    /// Restricts which attack-path classes may fire (default
+    /// [`EdgeClass::All`], byte-identical to the unfiltered query).
+    /// `LoginOnly` hides recovery flows; `RecoveryOnly` admits only
+    /// them. The set difference `compromised(All) ∖
+    /// compromised(LoginOnly)` is "accounts that fall *only* through
+    /// recovery".
+    pub fn edge_class(mut self, class: EdgeClass) -> Self {
+        self.class = class;
         self
     }
 
@@ -330,13 +361,13 @@ impl<'a> ForwardQuery<'a> {
         match self.engine {
             Engine::Auto | Engine::Prepared if self.uses_prepared() => {
                 obs::add("analysis.dispatch_prepared", 1);
-                self.with_substrate(|p| p.forward(seeds, self.memo))
+                self.with_substrate(|p| p.forward_in(self.class, seeds, self.memo))
             }
-            Engine::Auto => forward_auto(specs, platform, &ap, seeds),
+            Engine::Auto => forward_auto(specs, platform, &ap, seeds, self.class),
             Engine::Prepared => unreachable!("Engine::Prepared always uses the substrate"),
-            Engine::Naive => forward_naive_impl(specs, platform, &ap, seeds),
+            Engine::Naive => forward_naive_impl(specs, platform, &ap, seeds, self.class),
             Engine::Incremental => {
-                forward_incremental_impl(specs, platform, &ap, seeds, self.memo)
+                forward_incremental_impl(specs, platform, &ap, seeds, self.memo, self.class)
             }
         }
     }
@@ -379,11 +410,11 @@ impl<'a> ForwardQuery<'a> {
                     |scratch, set| {
                         obs::add("analysis.dispatch_prepared", 1);
                         if self.seeds.is_empty() {
-                            prepared.forward_with(scratch, set, self.memo)
+                            prepared.forward_in_with(scratch, self.class, set, self.memo)
                         } else {
                             let mut all = self.seeds.to_vec();
                             all.extend(set.iter().cloned());
-                            prepared.forward_with(scratch, &all, self.memo)
+                            prepared.forward_in_with(scratch, self.class, &all, self.memo)
                         }
                     },
                 )
@@ -414,6 +445,7 @@ pub struct ScoreQuery<'a> {
     source: Source<'a>,
     profiles: &'a [UserProfile],
     engine: Engine,
+    class: EdgeClass,
     trace: Option<&'static str>,
 }
 
@@ -421,6 +453,13 @@ impl<'a> ScoreQuery<'a> {
     /// Selects the schedule (default [`Engine::Auto`]).
     pub fn engine(mut self, engine: Engine) -> Self {
         self.engine = engine;
+        self
+    }
+
+    /// Restricts which attack-path classes may fire during scoring
+    /// (default [`EdgeClass::All`]). Both schedules honour the filter.
+    pub fn edge_class(mut self, class: EdgeClass) -> Self {
+        self.class = class;
         self
     }
 
@@ -460,11 +499,14 @@ impl<'a> ScoreQuery<'a> {
             if self.uses_lanes() {
                 obs::add("analysis.dispatch_score", 1);
                 let mut scratch = prepared.overlay_scratch();
-                prepared.score_users(&overlays, &mut scratch)
+                prepared.score_users_in(&overlays, &mut scratch, self.class)
             } else {
                 obs::add("analysis.dispatch_score_scalar", 1);
                 let mut scratch = prepared.scratch();
-                overlays.iter().map(|ov| prepared.score_one(ov, &mut scratch)).collect()
+                overlays
+                    .iter()
+                    .map(|ov| prepared.score_one_in(ov, &mut scratch, self.class))
+                    .collect()
             }
         }))
     }
@@ -478,6 +520,7 @@ pub struct BackwardQuery<'a> {
     budget: Option<usize>,
     engine: Engine,
     via: Option<&'a BackwardEngine>,
+    class: EdgeClass,
     trace: Option<&'static str>,
 }
 
@@ -514,6 +557,17 @@ impl<'a> BackwardQuery<'a> {
         self
     }
 
+    /// Restricts which edge classes chains may traverse (default
+    /// [`EdgeClass::All`]). `LoginOnly` searches the login-only TDG
+    /// view; `RecoveryOnly` is answered as the canonical difference
+    /// `chains(All) ∖ chains(LoginOnly)` — the chains among the
+    /// unfiltered top-`max_chains` that have no pure-login derivation
+    /// and therefore need at least one recovery edge.
+    pub fn edge_class(mut self, class: EdgeClass) -> Self {
+        self.class = class;
+        self
+    }
+
     /// Wraps the run in an `obs` span named `label`.
     pub fn trace(mut self, label: &'static str) -> Self {
         self.trace = Some(label);
@@ -530,7 +584,26 @@ impl<'a> BackwardQuery<'a> {
     /// [`Self::run`], also reporting whether the search was exhaustive
     /// (`false` means the partial budget cut it short and more chains
     /// may exist).
+    ///
+    /// For [`EdgeClass::RecoveryOnly`] the difference is
+    /// truncation-consistent: login chains are a subset of all chains
+    /// under one global canonical order, so any login chain appearing
+    /// in the unfiltered top-`max_chains` ranks within the login-only
+    /// top-`max_chains` too — membership can be decided from the two
+    /// truncated lists alone.
     pub fn run_bounded(&self) -> Result<(Vec<AttackChain>, bool), Error> {
+        if self.class == EdgeClass::RecoveryOnly {
+            let (all, ex_all) = self.run_bounded_in(EdgeClass::All)?;
+            let (login, ex_login) = self.run_bounded_in(EdgeClass::LoginOnly)?;
+            let chains = all.into_iter().filter(|c| !login.contains(c)).collect();
+            return Ok((chains, ex_all && ex_login));
+        }
+        self.run_bounded_in(self.class)
+    }
+
+    /// The single-class search behind [`Self::run_bounded`]; accepts
+    /// only the two classes the engines materialise.
+    fn run_bounded_in(&self, class: EdgeClass) -> Result<(Vec<AttackChain>, bool), Error> {
         if !self.source.knows(self.target) {
             return Err(Error::UnknownService(self.target.to_string()));
         }
@@ -540,7 +613,7 @@ impl<'a> BackwardQuery<'a> {
         let budget = self.budget.unwrap_or(MAX_BACKWARD_PARTIALS);
         let _span = self.trace.map(obs::span);
         if let Some(engine) = self.via {
-            return Ok(engine.chains_bounded(self.target, self.max_chains, budget));
+            return Ok(engine.chains_bounded_in(self.target, self.max_chains, budget, class));
         }
         // Auto mirrors the forward crossover: naive BFS below
         // [`BACKWARD_CROSSOVER`] eligible services (the best-first
@@ -567,7 +640,7 @@ impl<'a> BackwardQuery<'a> {
                         &owned
                     }
                 };
-                Ok(backward_chains_naive_budget(tdg, self.target, self.max_chains, budget))
+                Ok(backward_chains_naive_budget(tdg, self.target, self.max_chains, budget, class))
             }
             Engine::Auto | Engine::Prepared | Engine::Incremental => {
                 let engine = match &self.source {
@@ -576,7 +649,7 @@ impl<'a> BackwardQuery<'a> {
                         BackwardEngine::new(&Tdg::build(specs, *platform, *ap))
                     }
                 };
-                Ok(engine.chains_bounded(self.target, self.max_chains, budget))
+                Ok(engine.chains_bounded_in(self.target, self.max_chains, budget, class))
             }
         }
     }
@@ -622,6 +695,7 @@ pub struct WhatifQuery<'a> {
     backward_via: Option<&'a BackwardEngine>,
     chains_per_target: usize,
     max_severed: usize,
+    class: EdgeClass,
     trace: Option<&'static str>,
 }
 
@@ -657,6 +731,17 @@ impl<'a> WhatifQuery<'a> {
         self
     }
 
+    /// Restricts both forward sides and the severed-chain lookups to an
+    /// edge class (default [`EdgeClass::All`]). Under
+    /// [`EdgeClass::RecoveryOnly`] the report answers "how much does
+    /// this set cut recovery-only compromise": the depth breakdowns
+    /// count only recovery-path falls, and every severed chain needs at
+    /// least one recovery edge.
+    pub fn edge_class(mut self, class: EdgeClass) -> Self {
+        self.class = class;
+        self
+    }
+
     /// Wraps the run in an `obs` span named `label`.
     pub fn trace(mut self, label: &'static str) -> Self {
         self.trace = Some(label);
@@ -689,9 +774,15 @@ impl<'a> WhatifQuery<'a> {
         obs::add("analysis.dispatch_whatif", 1);
         let base = patcher.base();
         let total = base.node_count();
-        let before_result = base.forward(&[], true);
+        let before_result = base.forward_in(self.class, &[], true);
         let patch = patcher.patch(&set);
-        let after_result = base.forward_patched(&patch, &[], true);
+        let after_result = base.forward_patched_in_with(
+            &mut base.scratch(),
+            &patch,
+            self.class,
+            &[],
+            true,
+        );
         let before = breakdown_of(&before_result, total);
         let after = breakdown_of(&after_result, total);
         // BTreeMap keys iterate in id order, so `protected` is sorted.
@@ -716,8 +807,41 @@ impl<'a> WhatifQuery<'a> {
                     &owned_engine
                 }
             };
+            let chains_for = |target: &ServiceId| -> Vec<AttackChain> {
+                match self.class {
+                    EdgeClass::RecoveryOnly => {
+                        let all = engine
+                            .chains_bounded_in(
+                                target,
+                                self.chains_per_target,
+                                MAX_BACKWARD_PARTIALS,
+                                EdgeClass::All,
+                            )
+                            .0;
+                        let login = engine
+                            .chains_bounded_in(
+                                target,
+                                self.chains_per_target,
+                                MAX_BACKWARD_PARTIALS,
+                                EdgeClass::LoginOnly,
+                            )
+                            .0;
+                        all.into_iter().filter(|c| !login.contains(c)).collect()
+                    }
+                    class => {
+                        engine
+                            .chains_bounded_in(
+                                target,
+                                self.chains_per_target,
+                                MAX_BACKWARD_PARTIALS,
+                                class,
+                            )
+                            .0
+                    }
+                }
+            };
             'targets: for target in &protected {
-                for chain in engine.chains(target, self.chains_per_target) {
+                for chain in chains_for(target) {
                     severed.push(chain);
                     if severed.len() >= self.max_severed {
                         break 'targets;

@@ -64,7 +64,7 @@ pub struct RiskAssessment {
 pub fn assess(specs: &[ServiceSpec], platform: Platform, ap: &AttackerProfile) -> Vec<RiskAssessment> {
     let tdg = Tdg::build(specs, platform, *ap);
     let backward = BackwardEngine::new(&tdg);
-    let fwd = forward_auto(specs, platform, ap, &[]);
+    let fwd = forward_auto(specs, platform, ap, &[], actfort_ecosystem::policy::EdgeClass::All);
     let mut out = Vec::with_capacity(tdg.node_count());
     for i in 0..tdg.node_count() {
         let spec = tdg.spec(i);

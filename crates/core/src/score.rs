@@ -48,6 +48,7 @@ use crate::analysis::ForwardResult;
 use crate::obs;
 use crate::prepared::{bit, set_bit, ForwardScratch, Prepared, COV_BITS, COV_LENS};
 use actfort_ecosystem::factor::{CredentialFactor, ServiceId};
+use actfort_ecosystem::policy::EdgeClass;
 
 /// Bit-per-factor-kind constants for [`UserOverlay::factors`] /
 /// [`UserProfile::factors`]: the set of credential factor kinds a user
@@ -303,6 +304,16 @@ impl Prepared {
         UserScore::of(&self.forward_overlay_with(scratch, overlay))
     }
 
+    /// [`Prepared::score_one`] restricted to one edge class.
+    pub fn score_one_in(
+        &self,
+        overlay: &UserOverlay,
+        scratch: &mut ForwardScratch,
+        class: EdgeClass,
+    ) -> UserScore {
+        UserScore::of(&self.forward_overlay_in_with(scratch, overlay, class))
+    }
+
     /// Scores a batch of users, 64 lanes per sweep, results in input
     /// order. Byte-identical to [`Prepared::score_one`] per user
     /// (property-tested, ragged batches included).
@@ -311,17 +322,34 @@ impl Prepared {
         overlays: &[UserOverlay],
         scratch: &mut OverlayScratch,
     ) -> Vec<UserScore> {
+        self.score_users_in(overlays, scratch, EdgeClass::All)
+    }
+
+    /// [`Prepared::score_users`] restricted to one edge class: paths
+    /// outside the class never activate in any lane.
+    pub fn score_users_in(
+        &self,
+        overlays: &[UserOverlay],
+        scratch: &mut OverlayScratch,
+        class: EdgeClass,
+    ) -> Vec<UserScore> {
         let mut out = Vec::with_capacity(overlays.len());
         for chunk in overlays.chunks(64) {
             let _span = obs::span("score.lanes");
             obs::add("score.batches", 1);
             obs::add("score.users", chunk.len() as u64);
-            self.score_chunk(chunk, scratch, &mut out);
+            self.score_chunk(chunk, scratch, &mut out, class);
         }
         out
     }
 
-    fn score_chunk(&self, chunk: &[UserOverlay], s: &mut OverlayScratch, out: &mut Vec<UserScore>) {
+    fn score_chunk(
+        &self,
+        chunk: &[UserOverlay],
+        s: &mut OverlayScratch,
+        out: &mut Vec<UserScore>,
+        class: EdgeClass,
+    ) {
         let n = self.node_count();
         let node_words = n.div_ceil(64);
         s.held.clear();
@@ -405,6 +433,9 @@ impl Prepared {
                 }
                 let mut sat = 0u64;
                 for cp in &node.live {
+                    if !class.admits_recovery(cp.recovery) {
+                        continue;
+                    }
                     let mut w = s.act[cp.fmask_id as usize] & standing & !sat;
                     if w == 0 {
                         continue;

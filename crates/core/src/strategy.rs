@@ -41,7 +41,7 @@ impl StrategyEngine {
     /// Query 1 — forward: given already-compromised accounts (OAAS),
     /// return everything that falls (PAV).
     pub fn potential_victims(&self, seeds: &[ServiceId]) -> ForwardResult {
-        forward_auto(&self.specs, self.platform, &self.ap, seeds)
+        forward_auto(&self.specs, self.platform, &self.ap, seeds, actfort_ecosystem::policy::EdgeClass::All)
     }
 
     /// Query 2 — backward: attack chains reaching `target` from

@@ -7,14 +7,14 @@
 //! jointly satisfying a path produce *weak-directivity edges* recorded in
 //! the Couple File (Definitions 2–3).
 
-use crate::pool::{attack_paths, path_satisfied, InfoPool};
+use crate::pool::{attack_paths, attack_paths_in, path_satisfied, InfoPool};
 use crate::prepared::Prepared;
 use crate::profile::AttackerProfile;
 use actfort_ecosystem::factor::ServiceId;
-use actfort_ecosystem::policy::Platform;
+use actfort_ecosystem::policy::{EdgeClass, Platform};
 use actfort_ecosystem::spec::ServiceSpec;
 use serde::{Deserialize, Serialize};
-use std::collections::BTreeSet;
+use std::collections::BTreeMap;
 use std::sync::Arc;
 
 /// Maximum couple group size searched (the combinatorial cut-off).
@@ -29,6 +29,11 @@ pub struct CoupleEntry {
     pub providers: Vec<usize>,
     /// The node they jointly unlock.
     pub target: usize,
+    /// Whether the couple jointly satisfies at least one *login-class*
+    /// path of the target (edges carrying only recovery-class paths are
+    /// invisible under [`EdgeClass::LoginOnly`]).
+    #[serde(default)]
+    pub login: bool,
 }
 
 /// The dependency graph over one platform.
@@ -44,8 +49,13 @@ pub struct Tdg {
     prepared: Arc<Prepared>,
     ap: AttackerProfile,
     fringe: Vec<bool>,
+    /// Fringe membership when only login-class paths count.
+    fringe_login: Vec<bool>,
     /// `strong[child]` = parents with a strong-directivity edge to child.
     strong: Vec<Vec<usize>>,
+    /// Parallel to `strong`: whether each edge satisfies a login-class
+    /// path (recovery-only edges carry `false`).
+    strong_login: Vec<Vec<bool>>,
     couples: Vec<CoupleEntry>,
 }
 
@@ -88,6 +98,14 @@ impl Tdg {
             .iter()
             .map(|s| attack_paths(s, platform).iter().any(|p| path_satisfied(p, &ap, &empty_pool)))
             .collect();
+        let fringe_login: Vec<bool> = specs
+            .iter()
+            .map(|s| {
+                attack_paths_in(s, platform, EdgeClass::LoginOnly)
+                    .iter()
+                    .any(|p| path_satisfied(p, &ap, &empty_pool))
+            })
+            .collect();
 
         // Single-provider pools, reused across all targets.
         let single_pools: Vec<InfoPool> = specs
@@ -100,6 +118,7 @@ impl Tdg {
             .collect();
 
         let mut strong: Vec<Vec<usize>> = vec![Vec::new(); n];
+        let mut strong_login: Vec<Vec<bool>> = vec![Vec::new(); n];
         let mut couples: Vec<CoupleEntry> = Vec::new();
 
         for target in 0..n {
@@ -111,15 +130,22 @@ impl Tdg {
             if paths.is_empty() {
                 continue;
             }
+            // Does a pool satisfy at least one *login-class* outstanding
+            // path? Edges failing this carry only recovery-class paths.
+            let login_sat = |pool: &InfoPool| {
+                paths
+                    .iter()
+                    .any(|p| !p.purpose.is_recovery() && path_satisfied(p, &ap, pool))
+            };
 
-            // Full-capacity parents.
-            let mut parents: BTreeSet<usize> = BTreeSet::new();
+            // Full-capacity parents, each tagged with its login bit.
+            let mut parents: BTreeMap<usize, bool> = BTreeMap::new();
             for (provider, pool) in single_pools.iter().enumerate() {
                 if provider == target {
                     continue;
                 }
                 if paths.iter().any(|p| path_satisfied(p, &ap, pool)) {
-                    parents.insert(provider);
+                    parents.insert(provider, login_sat(pool));
                 }
             }
 
@@ -128,7 +154,7 @@ impl Tdg {
             // satisfying it outright or by contributing partial (masked)
             // coverage of the needed information kind.
             let candidates: Vec<usize> = (0..n)
-                .filter(|&j| j != target && !parents.contains(&j))
+                .filter(|&j| j != target && !parents.contains_key(&j))
                 .filter(|&j| {
                     paths.iter().any(|p| {
                         p.factors.iter().any(|f| {
@@ -150,7 +176,8 @@ impl Tdg {
                     let mut pool = single_pools[a].clone();
                     pool.absorb_compromise(&specs[b], platform);
                     if paths.iter().any(|p| path_satisfied(p, &ap, &pool)) {
-                        couples.push(CoupleEntry { providers: vec![a, b], target });
+                        let login = login_sat(&pool);
+                        couples.push(CoupleEntry { providers: vec![a, b], target, login });
                         target_couples += 1;
                         if target_couples >= MAX_COUPLES_PER_TARGET {
                             break 'pairs;
@@ -168,7 +195,8 @@ impl Tdg {
                             pool.absorb_compromise(&specs[b], platform);
                             pool.absorb_compromise(&specs[c], platform);
                             if paths.iter().any(|p| path_satisfied(p, &ap, &pool)) {
-                                couples.push(CoupleEntry { providers: vec![a, b, c], target });
+                                let login = login_sat(&pool);
+                                couples.push(CoupleEntry { providers: vec![a, b, c], target, login });
                                 target_couples += 1;
                                 if target_couples >= MAX_COUPLES_PER_TARGET {
                                     break 'triples;
@@ -179,10 +207,11 @@ impl Tdg {
                 }
             }
 
-            strong[target] = parents.into_iter().collect();
+            strong[target] = parents.keys().copied().collect();
+            strong_login[target] = parents.values().copied().collect();
         }
 
-        Self { platform, prepared, ap, fringe, strong, couples }
+        Self { platform, prepared, ap, fringe, fringe_login, strong, strong_login, couples }
     }
 
     /// The platform this graph describes.
@@ -227,6 +256,21 @@ impl Tdg {
         self.fringe[index]
     }
 
+    /// Fringe membership under an edge-class filter.
+    ///
+    /// `RecoveryOnly` is not a graph the TDG materialises — recovery-only
+    /// reachability is answered at the query facade as the set difference
+    /// `All ∖ LoginOnly` — so only `All` and `LoginOnly` are accepted.
+    pub fn is_fringe_in(&self, index: usize, class: EdgeClass) -> bool {
+        match class {
+            EdgeClass::All => self.fringe[index],
+            EdgeClass::LoginOnly => self.fringe_login[index],
+            EdgeClass::RecoveryOnly => {
+                panic!("RecoveryOnly is resolved as All ∖ LoginOnly at the query facade")
+            }
+        }
+    }
+
     /// Indices of all fringe nodes.
     pub fn fringe_nodes(&self) -> Vec<usize> {
         (0..self.node_count()).filter(|&i| self.fringe[i]).collect()
@@ -235,6 +279,24 @@ impl Tdg {
     /// Full-capacity parents of a node (strong-directivity edges in).
     pub fn strong_parents(&self, index: usize) -> &[usize] {
         &self.strong[index]
+    }
+
+    /// Full-capacity parents visible under an edge-class filter (see
+    /// [`Tdg::is_fringe_in`] for why `RecoveryOnly` is rejected).
+    pub fn strong_parents_in(
+        &self,
+        index: usize,
+        class: EdgeClass,
+    ) -> impl Iterator<Item = usize> + '_ {
+        assert!(
+            class != EdgeClass::RecoveryOnly,
+            "RecoveryOnly is resolved as All ∖ LoginOnly at the query facade"
+        );
+        self.strong[index]
+            .iter()
+            .zip(&self.strong_login[index])
+            .filter(move |&(_, &login)| class == EdgeClass::All || login)
+            .map(|(&p, _)| p)
     }
 
     /// Children a node is full-capacity parent of.
@@ -257,6 +319,19 @@ impl Tdg {
     /// Couple entries unlocking a given target.
     pub fn couples_for(&self, target: usize) -> Vec<&CoupleEntry> {
         self.couples.iter().filter(|c| c.target == target).collect()
+    }
+
+    /// Couple entries unlocking a target under an edge-class filter (see
+    /// [`Tdg::is_fringe_in`] for why `RecoveryOnly` is rejected).
+    pub fn couples_for_in(&self, target: usize, class: EdgeClass) -> Vec<&CoupleEntry> {
+        assert!(
+            class != EdgeClass::RecoveryOnly,
+            "RecoveryOnly is resolved as All ∖ LoginOnly at the query facade"
+        );
+        self.couples
+            .iter()
+            .filter(|c| c.target == target && (class == EdgeClass::All || c.login))
+            .collect()
     }
 
     /// Whether `index` appears as a provider in any couple (making it a
@@ -376,5 +451,47 @@ mod tests {
         let g = tdg(Platform::Web);
         assert!(g.strong_edge_count() > 50, "edges: {}", g.strong_edge_count());
         assert!(!g.fringe_nodes().is_empty());
+    }
+
+    #[test]
+    fn class_all_accessors_match_unclassed_views() {
+        for platform in [Platform::Web, Platform::MobileApp] {
+            let g = tdg(platform);
+            for i in 0..g.node_count() {
+                assert_eq!(g.is_fringe(i), g.is_fringe_in(i, EdgeClass::All));
+                assert_eq!(
+                    g.strong_parents(i),
+                    g.strong_parents_in(i, EdgeClass::All).collect::<Vec<_>>()
+                );
+                assert_eq!(g.couples_for(i), g.couples_for_in(i, EdgeClass::All));
+            }
+        }
+    }
+
+    #[test]
+    fn login_only_views_are_subsets_of_all() {
+        let g = tdg(Platform::Web);
+        for i in 0..g.node_count() {
+            if g.is_fringe_in(i, EdgeClass::LoginOnly) {
+                assert!(g.is_fringe(i));
+            }
+            for p in g.strong_parents_in(i, EdgeClass::LoginOnly) {
+                assert!(g.strong_parents(i).contains(&p));
+            }
+        }
+    }
+
+    #[test]
+    fn paypal_gmail_edge_is_recovery_only() {
+        // Gmail unlocks PayPal via its password-reset flow; PayPal's
+        // sign-in needs the password itself, which Gmail does not expose.
+        // The edge therefore vanishes under LoginOnly.
+        let g = tdg(Platform::Web);
+        let gmail = g.index_of(&"gmail".into()).unwrap();
+        let paypal = g.index_of(&"paypal".into()).unwrap();
+        assert!(g.strong_parents(paypal).contains(&gmail));
+        assert!(!g
+            .strong_parents_in(paypal, EdgeClass::LoginOnly)
+            .any(|p| p == gmail));
     }
 }

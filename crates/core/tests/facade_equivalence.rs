@@ -1,16 +1,12 @@
-//! One equivalence test per deprecated free function: each thin wrapper
-//! must return exactly what the [`Analysis`] facade returns for the
-//! same query, so downstream code can migrate mechanically. These are
-//! the only sanctioned call sites of the deprecated API.
-#![allow(deprecated)]
+//! Engine-vs-engine equivalence through the [`Analysis`] facade: every
+//! explicit `Engine::...` selection must return exactly what the
+//! default (`Auto`) dispatch returns for the same query, and the
+//! [`EdgeClass`] filter must behave identically across engines — the
+//! filter is defined on the shared adjacency, not per-engine.
 
-use actfort_core::analysis::{
-    backward_chains, backward_chains_naive, backward_chains_naive_bounded, forward, forward_naive,
-};
-use actfort_core::engine::{forward_incremental, forward_incremental_unmemoized};
 use actfort_core::profile::AttackerProfile;
 use actfort_core::query::{Analysis, Engine};
-use actfort_core::Tdg;
+use actfort_core::{EdgeClass, Tdg};
 use actfort_ecosystem::dataset::curated_services;
 use actfort_ecosystem::factor::ServiceId;
 use actfort_ecosystem::policy::Platform;
@@ -30,94 +26,130 @@ fn ap() -> AttackerProfile {
 }
 
 #[test]
-fn forward_wrapper_equals_facade() {
+fn every_forward_engine_agrees_with_auto() {
     let specs = population();
     for seeds in [vec![], vec![ServiceId::new("gmail")]] {
-        let old = forward(&specs, Platform::Web, &ap(), &seeds);
-        let new = Analysis::over(&specs, Platform::Web, ap()).forward(&seeds).run().unwrap();
-        assert_eq!(old, new);
+        let auto = Analysis::over(&specs, Platform::Web, ap()).forward(&seeds).run().unwrap();
+        for engine in [Engine::Naive, Engine::Prepared, Engine::Incremental] {
+            let picked = Analysis::over(&specs, Platform::Web, ap())
+                .forward(&seeds)
+                .engine(engine)
+                .run()
+                .unwrap();
+            assert_eq!(auto, picked, "{engine:?} diverged from Auto");
+        }
     }
 }
 
 #[test]
-fn forward_naive_wrapper_equals_facade() {
+fn unmemoized_incremental_agrees_with_memoized() {
     let specs = population();
-    let old = forward_naive(&specs, Platform::MobileApp, &ap(), &[]);
-    let new = Analysis::over(&specs, Platform::MobileApp, ap())
-        .forward(&[])
-        .engine(Engine::Naive)
-        .run()
-        .unwrap();
-    assert_eq!(old, new);
-}
-
-#[test]
-fn forward_incremental_wrapper_equals_facade() {
-    let specs = population();
-    let old = forward_incremental(&specs, Platform::Web, &ap(), &[]);
-    let new = Analysis::over(&specs, Platform::Web, ap())
+    let memo = Analysis::over(&specs, Platform::Web, ap())
         .forward(&[])
         .engine(Engine::Incremental)
         .run()
         .unwrap();
-    assert_eq!(old, new);
-}
-
-#[test]
-fn forward_incremental_unmemoized_wrapper_equals_facade() {
-    let specs = population();
-    let old = forward_incremental_unmemoized(&specs, Platform::Web, &ap(), &[]);
-    let new = Analysis::over(&specs, Platform::Web, ap())
+    let unmemo = Analysis::over(&specs, Platform::Web, ap())
         .forward(&[])
         .engine(Engine::Incremental)
         .memo(false)
         .run()
         .unwrap();
-    assert_eq!(old, new);
+    assert_eq!(memo, unmemo);
 }
 
 #[test]
-fn backward_chains_wrapper_equals_facade() {
+fn explicit_all_filter_is_the_identity() {
+    let specs = population();
+    for platform in [Platform::Web, Platform::MobileApp] {
+        let default = Analysis::over(&specs, platform, ap()).forward(&[]).run().unwrap();
+        let explicit = Analysis::over(&specs, platform, ap())
+            .forward(&[])
+            .edge_class(EdgeClass::All)
+            .run()
+            .unwrap();
+        assert_eq!(default, explicit);
+    }
+}
+
+#[test]
+fn edge_class_filter_agrees_across_forward_engines() {
+    let specs = population();
+    for class in EdgeClass::all() {
+        let naive = Analysis::over(&specs, Platform::Web, ap())
+            .forward(&[])
+            .engine(Engine::Naive)
+            .edge_class(class)
+            .run()
+            .unwrap();
+        for engine in [Engine::Prepared, Engine::Incremental] {
+            let picked = Analysis::over(&specs, Platform::Web, ap())
+                .forward(&[])
+                .engine(engine)
+                .edge_class(class)
+                .run()
+                .unwrap();
+            assert_eq!(naive, picked, "{engine:?} diverged from naive under {class}");
+        }
+    }
+}
+
+#[test]
+fn backward_engine_agrees_with_naive_through_facade() {
     let specs = population();
     let tdg = Tdg::build(&specs, Platform::Web, ap());
     for target in ["paypal", "alipay", "dropbox"] {
         let target = ServiceId::new(target);
-        let old = backward_chains(&tdg, &target, 6);
-        let new = Analysis::of(&tdg).backward(&target).max_chains(6).run().unwrap();
-        assert_eq!(old, new, "{target}");
+        let auto = Analysis::of(&tdg).backward(&target).max_chains(6).run().unwrap();
+        let naive = Analysis::of(&tdg)
+            .backward(&target)
+            .max_chains(6)
+            .engine(Engine::Naive)
+            .run()
+            .unwrap();
+        assert_eq!(auto, naive, "{target}");
     }
 }
 
 #[test]
-fn backward_chains_naive_wrapper_equals_facade() {
+fn backward_edge_class_filter_agrees_across_engines() {
     let specs = curated_services();
     let tdg = Tdg::build(&specs, Platform::MobileApp, ap());
     for target in ["alipay", "taobao"] {
         let target = ServiceId::new(target);
-        let old = backward_chains_naive(&tdg, &target, 5);
-        let new = Analysis::of(&tdg)
-            .backward(&target)
-            .max_chains(5)
-            .engine(Engine::Naive)
-            .run()
-            .unwrap();
-        assert_eq!(old, new, "{target}");
+        for class in EdgeClass::all() {
+            let engine = Analysis::of(&tdg)
+                .backward(&target)
+                .max_chains(5)
+                .edge_class(class)
+                .run()
+                .unwrap();
+            let naive = Analysis::of(&tdg)
+                .backward(&target)
+                .max_chains(5)
+                .edge_class(class)
+                .engine(Engine::Naive)
+                .run()
+                .unwrap();
+            assert_eq!(engine, naive, "{target} under {class}");
+        }
     }
 }
 
 #[test]
-fn backward_chains_naive_bounded_wrapper_equals_facade() {
+fn bounded_backward_reports_exhaustive_on_curated() {
     let specs = curated_services();
     let tdg = Tdg::build(&specs, Platform::Web, ap());
     let target = ServiceId::new("paypal");
-    let (old_chains, old_exhaustive) = backward_chains_naive_bounded(&tdg, &target, 8);
-    let (new_chains, new_exhaustive) = Analysis::of(&tdg)
+    let (engine_chains, engine_exhaustive) =
+        Analysis::of(&tdg).backward(&target).max_chains(8).run_bounded().unwrap();
+    let (naive_chains, naive_exhaustive) = Analysis::of(&tdg)
         .backward(&target)
         .max_chains(8)
         .engine(Engine::Naive)
         .run_bounded()
         .unwrap();
-    assert_eq!(old_chains, new_chains);
-    assert_eq!(old_exhaustive, new_exhaustive);
-    assert!(old_exhaustive, "curated population finishes within the default budget");
+    assert_eq!(engine_chains, naive_chains);
+    assert_eq!(engine_exhaustive, naive_exhaustive);
+    assert!(engine_exhaustive, "curated population finishes within the default budget");
 }

@@ -1,0 +1,199 @@
+//! Property-based invariants of the recovery edge-class filter, over
+//! random synthetic ecosystems and the curated dataset.
+//!
+//! The spec being exercised: [`EdgeClass::LoginOnly`] admits only
+//! login-purpose attack paths, [`EdgeClass::RecoveryOnly`] only
+//! recovery-purpose ones, and a backward chain "uses a recovery edge"
+//! exactly when it has no pure-login derivation. Concretely:
+//!
+//! 1. the forward filter is monotone — each single-class compromised
+//!    set is a subset of the unfiltered one;
+//! 2. `EdgeClass::All` is the identity filter, forward and backward;
+//! 3. every recovery-only backward chain is a member of the unfiltered
+//!    chain set and absent from the *independently computed* (naive
+//!    engine) login-only chain set — i.e. it needs ≥ 1 recovery edge;
+//! 4. on the curated dataset the "falls only through recovery" set is
+//!    non-empty, and a passkey-enrollment what-if severs recovery
+//!    chains (the paper's countermeasure actually closes the surface
+//!    this filter exposes).
+
+use actfort_core::profile::AttackerProfile;
+use actfort_core::query::{Analysis, Engine};
+use actfort_core::{Countermeasure, EdgeClass, Tdg};
+use actfort_ecosystem::dataset::curated_services;
+use actfort_ecosystem::factor::ServiceId;
+use actfort_ecosystem::policy::Platform;
+use actfort_ecosystem::synth::{generate, SynthConfig};
+use proptest::prelude::*;
+use std::collections::BTreeSet;
+
+fn compromised(
+    specs: &[actfort_ecosystem::spec::ServiceSpec],
+    platform: Platform,
+    class: EdgeClass,
+) -> BTreeSet<ServiceId> {
+    Analysis::over(specs, platform, AttackerProfile::paper_default())
+        .forward(&[])
+        .edge_class(class)
+        .run()
+        .expect("valid query")
+        .records
+        .keys()
+        .cloned()
+        .collect()
+}
+
+proptest! {
+    #[test]
+    fn forward_class_filter_is_monotone_and_all_is_identity(
+        n in 10usize..70,
+        seed in 0u64..1_000,
+        platform_web in proptest::sample::select(vec![false, true]),
+    ) {
+        let specs = generate(n, seed, &SynthConfig::default());
+        let platform = if platform_web { Platform::Web } else { Platform::MobileApp };
+
+        let unfiltered = Analysis::over(&specs, platform, AttackerProfile::paper_default())
+            .forward(&[])
+            .run()
+            .expect("valid query");
+        let explicit_all = Analysis::over(&specs, platform, AttackerProfile::paper_default())
+            .forward(&[])
+            .edge_class(EdgeClass::All)
+            .run()
+            .expect("valid query");
+        prop_assert_eq!(&unfiltered, &explicit_all, "All must be the identity filter");
+
+        let all: BTreeSet<ServiceId> = unfiltered.records.keys().cloned().collect();
+        for class in [EdgeClass::LoginOnly, EdgeClass::RecoveryOnly] {
+            let filtered = compromised(&specs, platform, class);
+            prop_assert!(
+                filtered.is_subset(&all),
+                "{class} reached accounts the unfiltered run did not: {:?}",
+                filtered.difference(&all).collect::<Vec<_>>()
+            );
+        }
+    }
+
+    #[test]
+    fn recovery_only_chains_need_a_recovery_edge_and_stay_within_the_unfiltered_set(
+        n in 10usize..50,
+        seed in 0u64..1_000,
+        max_chains in 1usize..10,
+    ) {
+        let specs = generate(n, seed, &SynthConfig::default());
+        let ap = AttackerProfile::paper_default();
+        let tdg = Tdg::build(&specs, Platform::Web, ap);
+
+        let nodes = tdg.specs().len();
+        prop_assume!(nodes > 0);
+        let step = (nodes / 4).max(1);
+        for t in (0..nodes).step_by(step) {
+            let target = tdg.spec(t).id.clone();
+            let recovery = Analysis::of(&tdg)
+                .backward(&target)
+                .max_chains(max_chains)
+                .edge_class(EdgeClass::RecoveryOnly)
+                .run()
+                .expect("valid query");
+            // Reference sets from the naive engine — an implementation
+            // the filtered search shares no code with.
+            let all = Analysis::of(&tdg)
+                .backward(&target)
+                .max_chains(max_chains)
+                .engine(Engine::Naive)
+                .run()
+                .expect("valid query");
+            let login = Analysis::of(&tdg)
+                .backward(&target)
+                .max_chains(max_chains)
+                .edge_class(EdgeClass::LoginOnly)
+                .engine(Engine::Naive)
+                .run()
+                .expect("valid query");
+            for chain in &recovery {
+                prop_assert!(!chain.steps.is_empty());
+                prop_assert!(
+                    all.contains(chain),
+                    "{target}: recovery-only chain is not in the unfiltered set"
+                );
+                prop_assert!(
+                    !login.contains(chain),
+                    "{target}: recovery-only chain has a pure-login derivation"
+                );
+            }
+            // The explicit All filter is the identity here too.
+            let explicit_all = Analysis::of(&tdg)
+                .backward(&target)
+                .max_chains(max_chains)
+                .edge_class(EdgeClass::All)
+                .run()
+                .expect("valid query");
+            let unfiltered = Analysis::of(&tdg)
+                .backward(&target)
+                .max_chains(max_chains)
+                .run()
+                .expect("valid query");
+            prop_assert_eq!(explicit_all, unfiltered);
+        }
+    }
+}
+
+/// The recovery surface on the curated 44-service population is real:
+/// some accounts are compromisable through recovery flows only.
+#[test]
+fn curated_accounts_fall_only_through_recovery() {
+    let specs = curated_services();
+    for platform in [Platform::Web, Platform::MobileApp] {
+        let all = compromised(&specs, platform, EdgeClass::All);
+        let login = compromised(&specs, platform, EdgeClass::LoginOnly);
+        let recovery_only: Vec<&ServiceId> = all.difference(&login).collect();
+        assert!(
+            !recovery_only.is_empty(),
+            "{platform:?}: expected accounts that fall only through recovery flows"
+        );
+        // Each of them is reachable in the recovery-only view.
+        let recovery = compromised(&specs, platform, EdgeClass::RecoveryOnly);
+        for id in recovery_only {
+            assert!(
+                recovery.contains(id),
+                "{platform:?}: {id} falls only through recovery but the recovery-only view \
+                 misses it"
+            );
+        }
+    }
+}
+
+/// Passkey-gated recovery severs recovery-only compromise: the what-if
+/// report under [`EdgeClass::RecoveryOnly`] protects accounts and
+/// reports severed chains, each of which needs a recovery edge.
+#[test]
+fn passkey_enrollment_severs_recovery_chains_in_whatif() {
+    let specs = curated_services();
+    let tdg = Tdg::build(&specs, Platform::Web, AttackerProfile::paper_default());
+    let report = Analysis::of(&tdg)
+        .whatif(&[Countermeasure::PasskeyEnrollment])
+        .edge_class(EdgeClass::RecoveryOnly)
+        .run()
+        .expect("valid query");
+    assert!(
+        !report.protected.is_empty(),
+        "passkey enrollment must protect recovery-compromisable accounts"
+    );
+    assert!(
+        !report.severed.is_empty(),
+        "the report must surface the recovery chains it severed"
+    );
+    assert!(
+        report.after.uncompromisable_pct > report.before.uncompromisable_pct,
+        "the recovery-only breakdown must improve"
+    );
+
+    // And in the unfiltered view the countermeasure is a strict
+    // improvement as well (it only removes attack paths).
+    let unfiltered = Analysis::of(&tdg)
+        .whatif(&[Countermeasure::PasskeyEnrollment])
+        .run()
+        .expect("valid query");
+    assert!(unfiltered.after.uncompromisable_pct >= unfiltered.before.uncompromisable_pct);
+}

@@ -8,6 +8,14 @@
 //! SMS code", "Alipay's web and app ends differ" — that fact is encoded
 //! here verbatim; surrounding details are filled in with typical
 //! industry practice.
+//!
+//! Beyond the login-path columns, each profile carries a *recovery
+//! policy*: flows under the recovery-class purposes (`PasswordReset`,
+//! `RecoveryFallback`, `SupportReset`, `MfaDisable`). The added
+//! recovery flows are analysis-neutral for the unfiltered (`All`)
+//! view — each one either duplicates the factor set of an existing
+//! path under a recovery purpose or is gated behind a robust factor —
+//! so they only become visible when a query filters by edge class.
 
 use crate::factor::CredentialFactor as F;
 use crate::info::{ExposedField, PersonalInfoKind as K};
@@ -41,6 +49,9 @@ pub fn curated_services() -> Vec<ServiceSpec> {
                 .path_both(SignIn, &[F::Password])
                 .path_both(SignIn, &[F::CellphoneNumber, F::SmsCode])
                 .path_both(PasswordReset, &[F::CellphoneNumber, F::SmsCode])
+                // Recovery policy: the SMS fallback doubles as the
+                // lost-password recovery channel, same factor set.
+                .path_both(RecoveryFallback, &[F::CellphoneNumber, F::SmsCode])
                 .expose_both(clear(K::EmailAddress))
                 .expose_both(part(K::CellphoneNumber, 3, 4))
                 .expose_both(clear(K::BindingAccount))
@@ -58,6 +69,7 @@ pub fn curated_services() -> Vec<ServiceSpec> {
         ServiceSpec::builder("paypal", "PayPal", D::Fintech)
             .path_both(SignIn, &[F::Password])
             .path_both(PasswordReset, &[F::SmsCode, F::EmailCode])
+            .path_both(RecoveryFallback, &[F::SmsCode, F::EmailCode])
             .expose_both(clear(K::RealName))
             .expose_both(clear(K::EmailAddress))
             .expose_both(part(K::BankcardNumber, 0, 4))
@@ -79,6 +91,11 @@ pub fn curated_services() -> Vec<ServiceSpec> {
             .path(Payment, MobileApp, &[F::SmsCode, F::CitizenId])
             .path(PasswordReset, Web, &[F::SmsCode, F::BankcardNumber])
             .path(PasswordReset, Web, &[F::CustomerService])
+            // Recovery policy: support-channel reset mirrors the human
+            // customer-service flow; MFA disable reuses the weak
+            // SMS + citizen-ID combination the payment flow accepts.
+            .path(SupportReset, Web, &[F::CustomerService])
+            .path(MfaDisable, MobileApp, &[F::SmsCode, F::CitizenId])
             .expose_mobile(clear(K::RealName))
             .expose_web(part(K::RealName, 1, 0))
             .expose_both(part(K::CitizenId, 4, 4))
@@ -104,6 +121,7 @@ pub fn curated_services() -> Vec<ServiceSpec> {
             .mobile_only()
             .path(SignIn, MobileApp, &[F::Password, F::DeviceCheck])
             .path(PasswordReset, MobileApp, &[F::SmsCode, F::BankcardNumber, F::DeviceCheck])
+            .path(MfaDisable, MobileApp, &[F::SmsCode, F::BankcardNumber, F::DeviceCheck])
             .expose_mobile(clear(K::RealName))
             .expose_mobile(part(K::BankcardNumber, 0, 4))
             .build(),
@@ -115,6 +133,10 @@ pub fn curated_services() -> Vec<ServiceSpec> {
             .path(PasswordReset, Web, &[F::U2fKey, F::CitizenId, F::BankcardNumber])
             .path(SignIn, MobileApp, &[F::Password, F::Biometric])
             .path(PasswordReset, MobileApp, &[F::Biometric, F::BankcardNumber])
+            // Recovery policy: disabling MFA is gated behind the same
+            // robust factors as a reset — no weak recovery channel.
+            .path(MfaDisable, Web, &[F::U2fKey, F::CitizenId, F::BankcardNumber])
+            .path(MfaDisable, MobileApp, &[F::Biometric, F::BankcardNumber])
             .expose_both(part(K::RealName, 1, 0))
             .expose_both(part(K::BankcardNumber, 0, 4))
             .build(),
@@ -138,6 +160,7 @@ pub fn curated_services() -> Vec<ServiceSpec> {
             .path_both(SignIn, &[F::CellphoneNumber, F::SmsCode])
             .path_both(PasswordReset, &[F::CellphoneNumber, F::SmsCode])
             .path_both(PasswordReset, &[F::EmailCode])
+            .path_both(RecoveryFallback, &[F::EmailCode])
             .expose_both(clear(K::CitizenId))
             .expose_both(clear(K::RealName))
             .expose_both(part(K::CellphoneNumber, 3, 4))
@@ -182,6 +205,7 @@ pub fn curated_services() -> Vec<ServiceSpec> {
             .path_both(SignIn, &[F::LinkedAccount("gmail".into())])
             .path_both(PasswordReset, &[F::EmailLink])
             .path_both(PasswordReset, &[F::SmsCode])
+            .path_both(RecoveryFallback, &[F::SmsCode])
             .expose_both(clear(K::RealName))
             .expose_both(clear(K::Address))
             .expose_mobile(clear(K::DeviceType))
@@ -230,6 +254,8 @@ pub fn curated_services() -> Vec<ServiceSpec> {
             .path_both(SignIn, &[F::Password])
             .path_both(PasswordReset, &[F::EmailLink])
             .path_both(PasswordReset, &[F::SmsCode])
+            .path_both(RecoveryFallback, &[F::SmsCode])
+            .path_both(SupportReset, &[F::EmailLink])
             .expose_both(clear(K::Address))
             .expose_both(clear(K::RealName))
             .expose_both(part(K::BankcardNumber, 0, 4))
@@ -265,6 +291,7 @@ pub fn curated_services() -> Vec<ServiceSpec> {
             .path_both(SignIn, &[F::Password])
             .path_both(PasswordReset, &[F::EmailLink])
             .path_both(PasswordReset, &[F::SmsCode])
+            .path_both(RecoveryFallback, &[F::SmsCode])
             .expose_both(clear(K::AcquaintanceInfo))
             .expose_both(clear(K::DeviceType))
             .expose_both(clear(K::RealName))
@@ -276,6 +303,7 @@ pub fn curated_services() -> Vec<ServiceSpec> {
             .path_both(SignIn, &[F::Password])
             .path_both(PasswordReset, &[F::SmsCode])
             .path_both(PasswordReset, &[F::EmailLink])
+            .path_both(SupportReset, &[F::SmsCode])
             .expose_both(clear(K::RealName))
             .expose_both(clear(K::AcquaintanceInfo))
             .expose_both(part(K::EmailAddress, 2, 8))
@@ -306,6 +334,7 @@ pub fn curated_services() -> Vec<ServiceSpec> {
             .path_both(SignIn, &[F::Password])
             .path_both(PasswordReset, &[F::SmsCode])
             .path_both(PasswordReset, &[F::EmailCode])
+            .path_both(RecoveryFallback, &[F::EmailCode])
             .expose_both(clear(K::UserId))
             .expose_both(part(K::EmailAddress, 2, 6))
             .expose_both(part(K::CellphoneNumber, 0, 2))
@@ -336,6 +365,7 @@ pub fn curated_services() -> Vec<ServiceSpec> {
         ServiceSpec::builder("dropbox", "Dropbox", D::CloudStorage)
             .path_both(SignIn, &[F::Password])
             .path_both(PasswordReset, &[F::EmailCode])
+            .path_both(RecoveryFallback, &[F::EmailCode])
             .expose_both(clear(K::Photos))
             .expose_both(clear(K::EmailAddress))
             .expose_mobile(clear(K::DeviceType))
@@ -354,6 +384,7 @@ pub fn curated_services() -> Vec<ServiceSpec> {
         ServiceSpec::builder("icloud-drive", "iCloud Drive", D::CloudStorage)
             .path_both(SignIn, &[F::Password, F::DeviceCheck])
             .path_both(PasswordReset, &[F::DeviceCheck, F::SmsCode])
+            .path_both(MfaDisable, &[F::DeviceCheck, F::SmsCode])
             .expose_both(clear(K::Photos))
             .expose_both(clear(K::DeviceType))
             .build(),
@@ -429,6 +460,7 @@ pub fn curated_services() -> Vec<ServiceSpec> {
             .path_both(SignIn, &[F::Password])
             .path_both(PasswordReset, &[F::EmailLink])
             .path_both(PasswordReset, &[F::SmsCode])
+            .path_both(RecoveryFallback, &[F::SmsCode])
             .expose_both(part(K::BankcardNumber, 0, 4))
             .expose_both(clear(K::EmailAddress))
             .build(),
@@ -446,6 +478,9 @@ pub fn curated_services() -> Vec<ServiceSpec> {
         ServiceSpec::builder("github", "GitHub", D::Other)
             .path_both(SignIn, &[F::Password, F::U2fKey])
             .path_both(PasswordReset, &[F::EmailLink, F::U2fKey])
+            // Recovery policy: MFA can only be disabled with the key
+            // present — recovery is as robust as the login path.
+            .path_both(MfaDisable, &[F::EmailLink, F::U2fKey])
             .expose_both(clear(K::EmailAddress))
             .expose_both(clear(K::UserId))
             .build(),
@@ -471,6 +506,7 @@ pub fn curated_services() -> Vec<ServiceSpec> {
             .web_only()
             .path(SignIn, Web, &[F::Password, F::CitizenId, F::SmsCode])
             .path(PasswordReset, Web, &[F::CitizenId, F::RealName, F::SmsCode, F::Biometric])
+            .path(SupportReset, Web, &[F::CitizenId, F::RealName, F::SmsCode, F::Biometric])
             .expose_web(part(K::CitizenId, 6, 0))
             .expose_web(clear(K::RealName))
             .expose_web(clear(K::Address))
@@ -586,6 +622,56 @@ mod tests {
         let domains: BTreeSet<String> =
             curated_services().iter().map(|s| s.domain.to_string()).collect();
         assert!(domains.len() >= 8, "expected broad domain coverage, got {domains:?}");
+    }
+
+    #[test]
+    fn recovery_policy_columns_are_present() {
+        let all = curated_services();
+        let with = |purpose: Purpose| -> usize {
+            all.iter().filter(|s| s.paths.iter().any(|p| p.purpose == purpose)).count()
+        };
+        assert!(with(Purpose::RecoveryFallback) >= 10, "fallback flows sparse");
+        assert!(with(Purpose::SupportReset) >= 4, "support-reset flows sparse");
+        assert!(with(Purpose::MfaDisable) >= 4, "mfa-disable flows sparse");
+        // Every service still models a reset; counts stay at 44.
+        assert_eq!(all.len(), 44);
+    }
+
+    #[test]
+    fn added_recovery_flows_are_analysis_neutral() {
+        // Each flow under a *new* recovery purpose (everything beyond
+        // PasswordReset) either repeats the factor set of another path
+        // on the same platform or demands a robust factor — so the
+        // unfiltered dependency analysis cannot change.
+        for s in curated_services() {
+            for p in &s.paths {
+                if !p.purpose.is_recovery() || p.purpose == Purpose::PasswordReset {
+                    continue;
+                }
+                let duplicated = s.paths.iter().any(|q| {
+                    q.purpose != p.purpose && q.platform == p.platform && q.factors == p.factors
+                });
+                let robust = p.factors.iter().any(|f| f.is_robust());
+                assert!(
+                    duplicated || robust,
+                    "{}: recovery flow {p} could shift the unfiltered analysis",
+                    s.id
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn robust_nodes_gate_mfa_disable_behind_robust_factors() {
+        for id in ["union-bank", "github"] {
+            let s = curated(id).unwrap();
+            let disables: Vec<_> =
+                s.paths.iter().filter(|p| p.purpose == Purpose::MfaDisable).collect();
+            assert!(!disables.is_empty(), "{id} models an MFA-disable flow");
+            for p in disables {
+                assert!(p.factors.iter().any(|f| f.is_robust()), "{id}: weak MFA disable {p}");
+            }
+        }
     }
 
     #[test]

@@ -71,6 +71,10 @@ pub enum CredentialFactor {
     /// built-in-authentication countermeasure (§VII-A2). Never crosses
     /// GSM, so it cannot be intercepted.
     PushApproval,
+    /// WebAuthn passkey assertion bound to the origin — phishing- and
+    /// interception-resistant; the passkey-enrollment countermeasure
+    /// plants it on recovery paths to sever recovery edges.
+    Passkey,
 }
 
 impl CredentialFactor {
@@ -108,6 +112,7 @@ impl CredentialFactor {
                 | CredentialFactor::U2fKey
                 | CredentialFactor::DeviceCheck
                 | CredentialFactor::PushApproval
+                | CredentialFactor::Passkey
         )
     }
 }
@@ -131,6 +136,7 @@ impl fmt::Display for CredentialFactor {
             CredentialFactor::LinkedAccount(s) => write!(f, "linked account ({s})"),
             CredentialFactor::TotpCode => f.write_str("TOTP code"),
             CredentialFactor::PushApproval => f.write_str("push approval"),
+            CredentialFactor::Passkey => f.write_str("passkey"),
         }
     }
 }

@@ -52,5 +52,5 @@ pub use error::EcosystemError;
 pub use factor::{CredentialFactor, ServiceId};
 pub use host::Ecosystem;
 pub use info::PersonalInfoKind;
-pub use policy::{AuthPath, PathClass, Platform, Purpose};
-pub use spec::{ServiceDomain, ServiceSpec};
+pub use policy::{AuthPath, EdgeClass, PathClass, Platform, Purpose};
+pub use spec::{RecoveryPolicy, ServiceDomain, ServiceSpec};

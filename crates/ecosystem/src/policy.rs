@@ -19,6 +19,42 @@ pub enum Purpose {
     PasswordReset,
     /// Authorising a payment (resetting the payment code on Fintech apps).
     Payment,
+    /// SMS-or-email fallback when the primary second factor is
+    /// unavailable ("lost my phone" recovery).
+    RecoveryFallback,
+    /// Support-channel reset: a human agent restores access after an
+    /// identity interview.
+    SupportReset,
+    /// Disabling or unenrolling MFA on the account — Amft et al.'s
+    /// "We've Disabled MFA for You" flow.
+    MfaDisable,
+}
+
+impl Purpose {
+    /// Every purpose, in canonical (`Ord`) order.
+    pub fn all() -> [Purpose; 6] {
+        [
+            Purpose::SignIn,
+            Purpose::PasswordReset,
+            Purpose::Payment,
+            Purpose::RecoveryFallback,
+            Purpose::SupportReset,
+            Purpose::MfaDisable,
+        ]
+    }
+
+    /// Whether the purpose is a *recovery* flow — regaining access
+    /// rather than exercising it. Recovery paths form their own
+    /// directivity class in the TDG (see [`EdgeClass`]).
+    pub fn is_recovery(&self) -> bool {
+        matches!(
+            self,
+            Purpose::PasswordReset
+                | Purpose::RecoveryFallback
+                | Purpose::SupportReset
+                | Purpose::MfaDisable
+        )
+    }
 }
 
 impl fmt::Display for Purpose {
@@ -27,8 +63,75 @@ impl fmt::Display for Purpose {
             Purpose::SignIn => "sign-in",
             Purpose::PasswordReset => "password reset",
             Purpose::Payment => "payment",
+            Purpose::RecoveryFallback => "recovery fallback",
+            Purpose::SupportReset => "support reset",
+            Purpose::MfaDisable => "MFA disable",
         };
         f.pad(s)
+    }
+}
+
+/// Which directivity class of auth-path edges a query considers.
+///
+/// Every attack path is either a *login* edge (exercising access:
+/// sign-in, payment) or a *recovery* edge (regaining access: password
+/// reset, recovery fallback, support reset, MFA disable — see
+/// [`Purpose::is_recovery`]). Filtering a forward/backward/score/what-if
+/// query to one class answers questions like "which accounts fall
+/// *only* through recovery". `All` is the historical behaviour and the
+/// default everywhere.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub enum EdgeClass {
+    /// Every attackable path — the unfiltered historical behaviour.
+    #[default]
+    All,
+    /// Only login-class paths (sign-in, payment).
+    LoginOnly,
+    /// Only recovery-class paths (password reset, recovery fallback,
+    /// support reset, MFA disable).
+    RecoveryOnly,
+}
+
+impl EdgeClass {
+    /// Every class, in wire order.
+    pub fn all() -> [EdgeClass; 3] {
+        [EdgeClass::All, EdgeClass::LoginOnly, EdgeClass::RecoveryOnly]
+    }
+
+    /// Whether a path of this purpose passes the filter.
+    pub fn admits(self, purpose: Purpose) -> bool {
+        self.admits_recovery(purpose.is_recovery())
+    }
+
+    /// Whether a path with the given recovery-class bit passes the
+    /// filter (the compiled-path form: `CPath` caches
+    /// `purpose.is_recovery()` as a tag).
+    pub fn admits_recovery(self, is_recovery: bool) -> bool {
+        match self {
+            EdgeClass::All => true,
+            EdgeClass::LoginOnly => !is_recovery,
+            EdgeClass::RecoveryOnly => is_recovery,
+        }
+    }
+
+    /// The stable wire spelling (`edge_class` request field).
+    pub fn wire_name(self) -> &'static str {
+        match self {
+            EdgeClass::All => "all",
+            EdgeClass::LoginOnly => "login_only",
+            EdgeClass::RecoveryOnly => "recovery_only",
+        }
+    }
+
+    /// Parses a wire spelling.
+    pub fn parse(name: &str) -> Option<Self> {
+        Self::all().into_iter().find(|c| c.wire_name() == name)
+    }
+}
+
+impl fmt::Display for EdgeClass {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.pad(self.wire_name())
     }
 }
 

@@ -480,7 +480,13 @@ impl OnlineService {
                 self.sessions.insert(token.0, challenge.account);
                 Ok(AuthOutcome::Session(token))
             }
-            Purpose::PasswordReset => {
+            // Every recovery flow ends in a takeover-grade grant: the
+            // fallback and support channels restore credentials, and an
+            // MFA-disable leaves the account one password reset away.
+            Purpose::PasswordReset
+            | Purpose::RecoveryFallback
+            | Purpose::SupportReset
+            | Purpose::MfaDisable => {
                 self.next_grant += 1;
                 self.grants.insert(self.next_grant, challenge.account);
                 Ok(AuthOutcome::ResetGranted(ResetGrant {
@@ -620,7 +626,9 @@ impl OnlineService {
                     .verify(assertion, challenge.u2f_challenge)
                     .map_err(|e| rejected(&e.to_string()))
             }
-            CredentialFactor::DeviceCheck | CredentialFactor::PushApproval => {
+            CredentialFactor::DeviceCheck
+            | CredentialFactor::PushApproval
+            | CredentialFactor::Passkey => {
                 // Trusted-device binding: only the genuine person's device
                 // passes; modelled like biometrics.
                 let person = responses
@@ -808,6 +816,9 @@ fn purpose_key(purpose: Purpose) -> &'static str {
         Purpose::SignIn => "login",
         Purpose::PasswordReset => "reset",
         Purpose::Payment => "payment",
+        Purpose::RecoveryFallback => "recovery",
+        Purpose::SupportReset => "support",
+        Purpose::MfaDisable => "mfa-disable",
     }
 }
 

@@ -7,9 +7,29 @@
 
 use crate::factor::{CredentialFactor, ServiceId};
 use crate::info::{ExposedField, PersonalInfoKind};
-use crate::policy::{AuthPath, Platform, Purpose};
+use crate::policy::{AuthPath, EdgeClass, Platform, Purpose};
 use serde::{Deserialize, Serialize};
 use std::fmt;
+
+/// A service's recovery-policy columns: which recovery deployments it
+/// offers and how they are gated. Derived from the recovery-class
+/// authentication paths ([`Purpose::is_recovery`]) so the dataset keeps
+/// a single source of truth.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default, Serialize, Deserialize)]
+pub struct RecoveryPolicy {
+    /// A recovery path accepts an SMS code (SMS fallback).
+    pub sms_fallback: bool,
+    /// A recovery path accepts an email code or link (email fallback).
+    pub email_fallback: bool,
+    /// A recovery path goes through human support (customer service, or
+    /// an explicit support-reset flow).
+    pub support_reset: bool,
+    /// The service offers an MFA-disable flow.
+    pub mfa_disable: bool,
+    /// Every recovery path requires a robust factor — recovery is no
+    /// weaker than login.
+    pub robust_recovery: bool,
+}
 
 /// Business domain of a service (the paper splits its measurement by
 /// these).
@@ -105,6 +125,45 @@ impl ServiceSpec {
     /// All paths on a platform.
     pub fn paths_on(&self, platform: Platform) -> Vec<&AuthPath> {
         self.paths.iter().filter(|p| p.platform == platform).collect()
+    }
+
+    /// Paths on a platform in the given edge class.
+    pub fn paths_in(&self, platform: Platform, class: EdgeClass) -> Vec<&AuthPath> {
+        self.paths
+            .iter()
+            .filter(|p| p.platform == platform && class.admits(p.purpose))
+            .collect()
+    }
+
+    /// The service's recovery-policy columns, derived from its
+    /// recovery-class paths across both platforms.
+    pub fn recovery_policy(&self) -> RecoveryPolicy {
+        let mut policy = RecoveryPolicy { robust_recovery: true, ..RecoveryPolicy::default() };
+        let mut any = false;
+        for p in self.paths.iter().filter(|p| p.purpose.is_recovery()) {
+            any = true;
+            for f in &p.factors {
+                match f {
+                    CredentialFactor::SmsCode => policy.sms_fallback = true,
+                    CredentialFactor::EmailCode | CredentialFactor::EmailLink => {
+                        policy.email_fallback = true
+                    }
+                    CredentialFactor::CustomerService => policy.support_reset = true,
+                    _ => {}
+                }
+            }
+            if p.purpose == Purpose::SupportReset {
+                policy.support_reset = true;
+            }
+            if p.purpose == Purpose::MfaDisable {
+                policy.mfa_disable = true;
+            }
+            if !p.factors.iter().any(|f| f.is_robust()) {
+                policy.robust_recovery = false;
+            }
+        }
+        policy.robust_recovery &= any;
+        policy
     }
 
     /// Exposure list for a platform.

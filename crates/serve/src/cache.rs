@@ -21,7 +21,7 @@
 use crate::obs_names;
 use actfort_core::counter::canonical_set;
 use actfort_core::obs;
-use actfort_core::{Countermeasure, UserProfile};
+use actfort_core::{Countermeasure, EdgeClass, UserProfile};
 use actfort_ecosystem::factor::ServiceId;
 use std::collections::hash_map::Entry;
 use std::collections::{HashMap, VecDeque};
@@ -45,10 +45,13 @@ impl CacheKey {
     /// Key for a forward query. Seeds are sorted and deduplicated, so
     /// every spelling of the same compromised set maps to one entry;
     /// the memo toggle is part of the payload because it selects a
-    /// different (byte-identical, but separately computed) code path.
+    /// different (byte-identical, but separately computed) code path,
+    /// and the edge-class filter is because it selects a different
+    /// reachable set.
     pub fn forward(
         generation: u64,
         engine: &'static str,
+        class: EdgeClass,
         memo: bool,
         seeds: &[ServiceId],
     ) -> Self {
@@ -59,17 +62,19 @@ impl CacheKey {
             generation,
             engine,
             kind: "forward",
-            payload: format!("{}\n{}", memo, ids.join("\n")),
+            payload: format!("{}\n{}\n{}", class.wire_name(), memo, ids.join("\n")),
         }
     }
 
-    /// Key for a backward query: target, chain cap and the *effective*
-    /// partial budget (explicit budget, or the deadline translated at
-    /// the server's calibration — both spellings of the same bound hash
-    /// to the same entry; an unbounded search is its own entry).
+    /// Key for a backward query: target, edge-class filter, chain cap
+    /// and the *effective* partial budget (explicit budget, or the
+    /// deadline translated at the server's calibration — both spellings
+    /// of the same bound hash to the same entry; an unbounded search is
+    /// its own entry).
     pub fn backward(
         generation: u64,
         engine: &'static str,
+        class: EdgeClass,
         target: &ServiceId,
         max_chains: usize,
         budget: Option<usize>,
@@ -79,7 +84,7 @@ impl CacheKey {
             generation,
             engine,
             kind: "backward",
-            payload: format!("{}\n{max_chains}\n{budget}", target.as_str()),
+            payload: format!("{}\n{}\n{max_chains}\n{budget}", class.wire_name(), target.as_str()),
         }
     }
 
@@ -92,6 +97,7 @@ impl CacheKey {
     /// engine selector.
     pub fn whatif(
         generation: u64,
+        class: EdgeClass,
         cms: &[Countermeasure],
         sweep: bool,
         severed_chains: usize,
@@ -102,7 +108,11 @@ impl CacheKey {
             generation,
             engine: "prepared",
             kind: "whatif",
-            payload: format!("{sweep}\n{severed_chains}\n{}", names.join("\n")),
+            payload: format!(
+                "{}\n{sweep}\n{severed_chains}\n{}",
+                class.wire_name(),
+                names.join("\n")
+            ),
         }
     }
 
@@ -111,8 +121,15 @@ impl CacheKey {
     /// deduped — same held-set, same entry); *across* profiles, batch
     /// order is preserved, because the response's `scores` array is in
     /// input order and a reordered batch is a different body.
-    pub fn score(generation: u64, engine: &'static str, profiles: &[UserProfile]) -> Self {
+    pub fn score(
+        generation: u64,
+        engine: &'static str,
+        class: EdgeClass,
+        profiles: &[UserProfile],
+    ) -> Self {
         let mut payload = String::new();
+        payload.push_str(class.wire_name());
+        payload.push('\x1e');
         for profile in profiles {
             let mut ids: Vec<&str> = profile.services.iter().map(|s| s.as_str()).collect();
             ids.sort_unstable();
@@ -196,7 +213,7 @@ mod tests {
 
     fn key(generation: u64, seeds: &[&str]) -> CacheKey {
         let ids: Vec<ServiceId> = seeds.iter().map(|s| ServiceId::new(s)).collect();
-        CacheKey::forward(generation, "auto", true, &ids)
+        CacheKey::forward(generation, "auto", EdgeClass::All, true, &ids)
     }
 
     #[test]
@@ -206,19 +223,44 @@ mod tests {
     }
 
     #[test]
+    fn edge_class_separates_every_key_space() {
+        let ids = [ServiceId::new("a")];
+        let t = ServiceId::new("paypal");
+        let p = UserProfile::new(vec![ServiceId::new("a")], actfort_core::OverlayFactor::ALL);
+        for class in [EdgeClass::LoginOnly, EdgeClass::RecoveryOnly] {
+            assert_ne!(
+                CacheKey::forward(1, "auto", EdgeClass::All, true, &ids),
+                CacheKey::forward(1, "auto", class, true, &ids)
+            );
+            assert_ne!(
+                CacheKey::backward(1, "auto", EdgeClass::All, &t, 8, None),
+                CacheKey::backward(1, "auto", class, &t, 8, None)
+            );
+            assert_ne!(
+                CacheKey::whatif(1, EdgeClass::All, &[], false, 4),
+                CacheKey::whatif(1, class, &[], false, 4)
+            );
+            assert_ne!(
+                CacheKey::score(1, "auto", EdgeClass::All, std::slice::from_ref(&p)),
+                CacheKey::score(1, "auto", class, std::slice::from_ref(&p))
+            );
+        }
+    }
+
+    #[test]
     fn backward_keys_separate_by_target_bound_and_budget() {
         let t = ServiceId::new("paypal");
-        let base = CacheKey::backward(1, "auto", &t, 8, None);
-        assert_eq!(base, CacheKey::backward(1, "auto", &t, 8, None));
-        assert_ne!(base, CacheKey::backward(1, "auto", &t, 4, None));
-        assert_ne!(base, CacheKey::backward(1, "auto", &t, 8, Some(100)));
-        assert_ne!(base, CacheKey::backward(2, "auto", &t, 8, None));
-        assert_ne!(base, CacheKey::backward(1, "naive", &t, 8, None));
+        let base = CacheKey::backward(1, "auto", EdgeClass::All, &t, 8, None);
+        assert_eq!(base, CacheKey::backward(1, "auto", EdgeClass::All, &t, 8, None));
+        assert_ne!(base, CacheKey::backward(1, "auto", EdgeClass::All, &t, 4, None));
+        assert_ne!(base, CacheKey::backward(1, "auto", EdgeClass::All, &t, 8, Some(100)));
+        assert_ne!(base, CacheKey::backward(2, "auto", EdgeClass::All, &t, 8, None));
+        assert_ne!(base, CacheKey::backward(1, "naive", EdgeClass::All, &t, 8, None));
         // An explicit budget and the same deadline-derived budget are
         // the same entry.
         assert_eq!(
-            CacheKey::backward(1, "auto", &t, 8, Some(2000)),
-            CacheKey::backward(1, "auto", &t, 8, Some(2000)),
+            CacheKey::backward(1, "auto", EdgeClass::All, &t, 8, Some(2000)),
+            CacheKey::backward(1, "auto", EdgeClass::All, &t, 8, Some(2000)),
         );
     }
 
@@ -228,52 +270,61 @@ mod tests {
         let p = |ids: &[&str], factors: u16| {
             UserProfile::new(ids.iter().map(|s| ServiceId::new(s)).collect(), factors)
         };
-        let base = CacheKey::score(1, "auto", &[p(&["a", "b"], OverlayFactor::ALL)]);
+        let all = EdgeClass::All;
+        let base = CacheKey::score(1, "auto", all, &[p(&["a", "b"], OverlayFactor::ALL)]);
         // Same held-set, different spelling: one entry.
-        assert_eq!(base, CacheKey::score(1, "auto", &[p(&["b", "a", "b"], OverlayFactor::ALL)]));
+        assert_eq!(
+            base,
+            CacheKey::score(1, "auto", all, &[p(&["b", "a", "b"], OverlayFactor::ALL)])
+        );
         // Different factors, generation, engine or held-set: distinct.
-        assert_ne!(base, CacheKey::score(1, "auto", &[p(&["a", "b"], OverlayFactor::SMS_CODE)]));
-        assert_ne!(base, CacheKey::score(2, "auto", &[p(&["a", "b"], OverlayFactor::ALL)]));
-        assert_ne!(base, CacheKey::score(1, "naive", &[p(&["a", "b"], OverlayFactor::ALL)]));
-        assert_ne!(base, CacheKey::score(1, "auto", &[p(&["a"], OverlayFactor::ALL)]));
+        assert_ne!(
+            base,
+            CacheKey::score(1, "auto", all, &[p(&["a", "b"], OverlayFactor::SMS_CODE)])
+        );
+        assert_ne!(base, CacheKey::score(2, "auto", all, &[p(&["a", "b"], OverlayFactor::ALL)]));
+        assert_ne!(base, CacheKey::score(1, "naive", all, &[p(&["a", "b"], OverlayFactor::ALL)]));
+        assert_ne!(base, CacheKey::score(1, "auto", all, &[p(&["a"], OverlayFactor::ALL)]));
         // Batch order is significant (scores come back in input order),
         // and profile boundaries cannot be re-split: [a | b] != [a,b].
         let ab = [p(&["a"], OverlayFactor::ALL), p(&["b"], OverlayFactor::ALL)];
         let ba = [p(&["b"], OverlayFactor::ALL), p(&["a"], OverlayFactor::ALL)];
-        assert_ne!(CacheKey::score(1, "auto", &ab), CacheKey::score(1, "auto", &ba));
-        assert_ne!(CacheKey::score(1, "auto", &ab), base);
+        assert_ne!(CacheKey::score(1, "auto", all, &ab), CacheKey::score(1, "auto", all, &ba));
+        assert_ne!(CacheKey::score(1, "auto", all, &ab), base);
         // And the score key space never collides with forward's.
         assert_ne!(
-            CacheKey::score(1, "auto", &[]).kind,
-            CacheKey::forward(1, "auto", true, &[]).kind
+            CacheKey::score(1, "auto", all, &[]).kind,
+            CacheKey::forward(1, "auto", all, true, &[]).kind
         );
     }
 
     #[test]
     fn whatif_keys_canonicalize_the_set_and_separate_the_knobs() {
         use Countermeasure::{BuiltInPush, UnifiedMasking};
-        let base = CacheKey::whatif(1, &[UnifiedMasking, BuiltInPush], false, 4);
+        let all = EdgeClass::All;
+        let base = CacheKey::whatif(1, all, &[UnifiedMasking, BuiltInPush], false, 4);
         // Spelling order and duplicates collapse to one entry.
-        assert_eq!(base, CacheKey::whatif(1, &[BuiltInPush, UnifiedMasking], false, 4));
+        assert_eq!(base, CacheKey::whatif(1, all, &[BuiltInPush, UnifiedMasking], false, 4));
         assert_eq!(
             base,
-            CacheKey::whatif(1, &[BuiltInPush, UnifiedMasking, BuiltInPush], false, 4)
+            CacheKey::whatif(1, all, &[BuiltInPush, UnifiedMasking, BuiltInPush], false, 4)
         );
         // Set, generation, sweep flag and severed cap all separate.
-        assert_ne!(base, CacheKey::whatif(1, &[UnifiedMasking], false, 4));
-        assert_ne!(base, CacheKey::whatif(2, &[UnifiedMasking, BuiltInPush], false, 4));
-        assert_ne!(base, CacheKey::whatif(1, &[UnifiedMasking, BuiltInPush], true, 4));
-        assert_ne!(base, CacheKey::whatif(1, &[UnifiedMasking, BuiltInPush], false, 8));
+        assert_ne!(base, CacheKey::whatif(1, all, &[UnifiedMasking], false, 4));
+        assert_ne!(base, CacheKey::whatif(2, all, &[UnifiedMasking, BuiltInPush], false, 4));
+        assert_ne!(base, CacheKey::whatif(1, all, &[UnifiedMasking, BuiltInPush], true, 4));
+        assert_ne!(base, CacheKey::whatif(1, all, &[UnifiedMasking, BuiltInPush], false, 8));
         // And the whatif key space never collides with the others.
-        assert_ne!(CacheKey::whatif(1, &[], false, 4).kind, key(1, &[]).kind);
+        assert_ne!(CacheKey::whatif(1, all, &[], false, 4).kind, key(1, &[]).kind);
     }
 
     #[test]
     fn forward_and_backward_key_spaces_never_collide() {
         // A hostile forward seed spelled like a backward payload still
         // lands in a different key space thanks to the kind tag.
-        let forward = CacheKey::forward(1, "auto", true, &[ServiceId::new("x\n8\nnone")]);
-        let backward = CacheKey::backward(1, "auto", &ServiceId::new("x"), 8, None);
+        let forward =
+            CacheKey::forward(1, "auto", EdgeClass::All, true, &[ServiceId::new("x\n8\nnone")]);
+        let backward = CacheKey::backward(1, "auto", EdgeClass::All, &ServiceId::new("x"), 8, None);
         assert_ne!(forward, backward);
     }
 

@@ -61,7 +61,10 @@ pub mod snapshot;
 pub mod wire;
 
 pub use client::{Client, ClientResponse};
-pub use server::{start, ServerConfig, ServerHandle};
+pub use server::{
+    start, ServerConfig, ServerHandle, CODE_SERVE_IO, CODE_SERVE_OVERLOADED,
+    CODE_SERVE_UNKNOWN_VERSION,
+};
 pub use snapshot::Dataset;
 
 /// Canonical `obs` metric names the server records, in one place so the
@@ -91,7 +94,7 @@ pub mod obs_names {
     /// Span: one per-user score batch on a worker thread.
     pub const SCORE_SPAN: &str = "serve.score";
     /// Span: one countermeasure what-if evaluation (single set or the
-    /// full 16-subset sweep) on a worker thread.
+    /// full every-subset sweep) on a worker thread.
     pub const WHATIF_SPAN: &str = "serve.whatif";
     /// Span (child of an endpoint span): the analysis run itself.
     pub const COMPUTE_SPAN: &str = "compute";

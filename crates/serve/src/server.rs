@@ -35,6 +35,11 @@ use std::time::{Duration, Instant};
 pub const CODE_SERVE_IO: u16 = 2400;
 /// Wire discriminant for queue-full backpressure refusals.
 pub const CODE_SERVE_OVERLOADED: u16 = 2401;
+/// Wire discriminant for requests under an API version this server
+/// does not speak (`/v2/forward`, …). Distinct from a plain 404: the
+/// path would exist under `/v1`, so clients can detect a version skew
+/// rather than a typo.
+pub const CODE_SERVE_UNKNOWN_VERSION: u16 = 2402;
 
 /// Server configuration. `Default` serves the curated dataset on an
 /// ephemeral localhost port with environment-probed worker sizing.
@@ -196,19 +201,57 @@ pub fn start(config: ServerConfig) -> Result<ServerHandle, Error> {
     Ok(ServerHandle { shared, addr, waker, reactor: Some(reactor_thread) })
 }
 
-/// Every route the server serves (used to split 404 from 405).
-const KNOWN_PATHS: [&str; 10] = [
-    "/healthz",
-    "/metrics",
-    "/v1/forward",
-    "/v1/backward",
-    "/score",
-    "/v1/score",
-    "/whatif",
-    "/v1/whatif",
-    "/admin/reload",
-    "/admin/shutdown",
+/// One row of the route table: a method + path tail and the handler
+/// that serves it. `versioned` routes answer at both spellings —
+/// `/<tail>` and `/v1/<tail>` — so wire evolution has a place to land;
+/// infrastructure routes (`versioned: false`) exist only at their bare
+/// spelling (`/v1/healthz` is a 404, not an alias).
+struct Route {
+    method: &'static str,
+    tail: &'static str,
+    versioned: bool,
+    handler: fn(&Arc<Shared>, &Request, Instant, ResponseSlot),
+}
+
+/// The complete route table — adding an endpoint is one row here, and
+/// the 404/405/version split below follows from the table rather than
+/// from hand-maintained path lists.
+const ROUTES: [Route; 8] = [
+    Route { method: "GET", tail: "healthz", versioned: false, handler: healthz },
+    Route { method: "GET", tail: "metrics", versioned: false, handler: metrics },
+    Route { method: "POST", tail: "forward", versioned: true, handler: forward },
+    Route { method: "POST", tail: "backward", versioned: true, handler: backward },
+    Route { method: "POST", tail: "score", versioned: true, handler: score },
+    Route { method: "POST", tail: "whatif", versioned: true, handler: whatif },
+    Route { method: "POST", tail: "admin/reload", versioned: false, handler: reload },
+    Route { method: "POST", tail: "admin/shutdown", versioned: false, handler: admin_shutdown },
 ];
+
+/// A request path, split at its version prefix.
+enum PathVersion<'a> {
+    /// No version prefix: `/forward`, `/healthz`.
+    Bare(&'a str),
+    /// The version this server speaks: `/v1/forward`.
+    V1(&'a str),
+    /// A version-shaped prefix this server does not speak (`/v2/...`).
+    Unknown,
+}
+
+fn split_version(path: &str) -> PathVersion<'_> {
+    if let Some(tail) = path.strip_prefix("/v1/") {
+        return PathVersion::V1(tail);
+    }
+    // Version-shaped but not v1: "/v<digits>/...". Anything else under
+    // "/v" ("/version", "/v1" with no slash) is an ordinary bare path.
+    if let Some(rest) = path.strip_prefix("/v") {
+        if let Some((digits, _)) = rest.split_once('/') {
+            if !digits.is_empty() && digits.bytes().all(|b| b.is_ascii_digit()) {
+                return PathVersion::Unknown;
+            }
+        }
+    }
+    PathVersion::Bare(path.strip_prefix('/').unwrap_or(path))
+}
 
 /// The application half of the server: protocol-independent routing.
 /// Runs on the reactor thread; anything CPU-bound moves to the pool.
@@ -221,33 +264,35 @@ impl Handler for Svc {
         obs::add(obs_names::REQUESTS, 1);
         let shared = &self.shared;
         let start = Instant::now();
-        match (request.method.as_str(), request.path.as_str()) {
-            ("GET", "/healthz") => {
-                finish(obs_names::HEALTHZ_LATENCY, start, slot, healthz(shared));
+        let (tail, v1) = match split_version(&request.path) {
+            PathVersion::Unknown => {
+                return finish(
+                    obs_names::OTHER_LATENCY,
+                    start,
+                    slot,
+                    unknown_version(&request.path),
+                );
             }
-            ("GET", "/metrics") => finish(obs_names::METRICS_LATENCY, start, slot, metrics()),
-            ("POST", "/v1/forward") => forward(shared, &request.body, start, slot),
-            ("POST", "/v1/backward") => backward(shared, &request.body, start, slot),
-            ("POST", "/score" | "/v1/score") => score(shared, &request.body, start, slot),
-            ("POST", "/whatif" | "/v1/whatif") => whatif(shared, &request.body, start, slot),
-            ("POST", "/admin/reload") => {
-                finish(obs_names::ADMIN_LATENCY, start, slot, reload(shared, &request.body));
+            PathVersion::Bare(tail) => (tail, false),
+            PathVersion::V1(tail) => (tail, true),
+        };
+        let candidates = ROUTES.iter().filter(|r| r.tail == tail && (!v1 || r.versioned));
+        let mut tail_known = false;
+        for route in candidates {
+            if route.method == request.method {
+                return (route.handler)(shared, &request, start, slot);
             }
-            ("POST", "/admin/shutdown") => {
-                finish(obs_names::ADMIN_LATENCY, start, slot, admin_shutdown(shared));
-            }
-            (_, path) if KNOWN_PATHS.contains(&path) => finish(
-                obs_names::OTHER_LATENCY,
-                start,
-                slot,
-                Response::json(
-                    405,
-                    br#"{"error":{"code":11,"kind":"query","message":"method not allowed"}}"#
-                        .to_vec(),
-                ),
-            ),
-            (_, path) => finish(obs_names::OTHER_LATENCY, start, slot, not_found(path)),
+            tail_known = true;
         }
+        let response = if tail_known {
+            Response::json(
+                405,
+                br#"{"error":{"code":11,"kind":"query","message":"method not allowed"}}"#.to_vec(),
+            )
+        } else {
+            not_found(&request.path)
+        };
+        finish(obs_names::OTHER_LATENCY, start, slot, response);
     }
 
     fn malformed(&self, message: &str) -> Response {
@@ -285,7 +330,20 @@ fn not_found(path: &str) -> Response {
     Response::json(404, body.into_bytes())
 }
 
-fn healthz(shared: &Arc<Shared>) -> Response {
+fn unknown_version(path: &str) -> Response {
+    let mut body = format!(
+        "{{\"error\":{{\"code\":{CODE_SERVE_UNKNOWN_VERSION},\"kind\":\"unknown_version\",\
+         \"message\":"
+    );
+    actfort_core::obs::json::write_str(
+        &mut body,
+        &format!("unsupported API version in {path}; this server speaks /v1"),
+    );
+    body.push_str("}}");
+    Response::json(400, body.into_bytes())
+}
+
+fn healthz(shared: &Arc<Shared>, _request: &Request, start: Instant, slot: ResponseSlot) {
     let snapshot = shared.store.load();
     let body = format!(
         "{{\"status\":\"ok\",\"generation\":{},\"dataset\":\"{}\",\"services\":{}}}",
@@ -293,11 +351,12 @@ fn healthz(shared: &Arc<Shared>) -> Response {
         snapshot.dataset.name(),
         snapshot.specs.len()
     );
-    Response::json(200, body.into_bytes())
+    finish(obs_names::HEALTHZ_LATENCY, start, slot, Response::json(200, body.into_bytes()));
 }
 
-fn metrics() -> Response {
-    Response::json(200, obs::snapshot().to_json().into_bytes())
+fn metrics(_shared: &Arc<Shared>, _request: &Request, start: Instant, slot: ResponseSlot) {
+    let response = Response::json(200, obs::snapshot().to_json().into_bytes());
+    finish(obs_names::METRICS_LATENCY, start, slot, response);
 }
 
 /// Moves `job` (which owns the response slot) onto the worker pool,
@@ -328,15 +387,16 @@ fn submit_or_shed(
     }
 }
 
-fn forward(shared: &Arc<Shared>, body: &[u8], start: Instant, slot: ResponseSlot) {
-    let request = match wire::parse_forward(body) {
+fn forward(shared: &Arc<Shared>, request: &Request, start: Instant, slot: ResponseSlot) {
+    let request = match wire::parse_forward(&request.body) {
         Ok(r) => r,
         Err(e) => return finish(obs_names::FORWARD_LATENCY, start, slot, error_response(&e)),
     };
     let snapshot = shared.store.load();
     let key = CacheKey::forward(
         snapshot.generation,
-        wire::engine_name(request.engine),
+        wire::engine_name(request.common.engine),
+        request.common.edge_class,
         request.memo,
         &request.seeds,
     );
@@ -355,14 +415,15 @@ fn forward(shared: &Arc<Shared>, body: &[u8], start: Instant, slot: ResponseSlot
                 let _compute = obs::span(obs_names::COMPUTE_SPAN);
                 Analysis::of(&snapshot.tdg)
                     .forward(&request.seeds)
-                    .engine(request.engine)
+                    .engine(request.common.engine)
+                    .edge_class(request.common.edge_class)
                     .memo(request.memo)
                     .run()?
             };
             obs::record_ns(obs_names::COMPUTE_NS, elapsed_ns(compute_started));
             let render_started = Instant::now();
             let _render = obs::span(obs_names::RENDER_SPAN);
-            let rendered = wire::render_forward(generation, request.engine, &result);
+            let rendered = wire::render_forward(generation, request.common.engine, &result);
             obs::record_ns(obs_names::RENDER_NS, elapsed_ns(render_started));
             Ok::<_, Error>(rendered)
         })();
@@ -380,8 +441,8 @@ fn forward(shared: &Arc<Shared>, body: &[u8], start: Instant, slot: ResponseSlot
     });
 }
 
-fn backward(shared: &Arc<Shared>, body: &[u8], start: Instant, slot: ResponseSlot) {
-    let request = match wire::parse_backward(body) {
+fn backward(shared: &Arc<Shared>, request: &Request, start: Instant, slot: ResponseSlot) {
+    let request = match wire::parse_backward(&request.body) {
         Ok(r) => r,
         Err(e) => return finish(obs_names::BACKWARD_LATENCY, start, slot, error_response(&e)),
     };
@@ -390,10 +451,11 @@ fn backward(shared: &Arc<Shared>, body: &[u8], start: Instant, slot: ResponseSlo
     // budget and the equivalent deadline-derived one share an entry —
     // and repeated identical backward queries actually hit (the old
     // handler skipped the cache entirely; see `cache.rs`).
-    let budget = request.effective_budget(shared.deadline_partials_per_ms);
+    let budget = request.common.effective_budget(shared.deadline_partials_per_ms);
     let key = CacheKey::backward(
         snapshot.generation,
-        wire::engine_name(request.engine),
+        wire::engine_name(request.common.engine),
+        request.common.edge_class,
         &request.target,
         request.max_chains,
         budget,
@@ -414,8 +476,9 @@ fn backward(shared: &Arc<Shared>, body: &[u8], start: Instant, slot: ResponseSlo
                 let mut query = Analysis::of(&snapshot.tdg)
                     .backward(&request.target)
                     .max_chains(request.max_chains)
-                    .engine(request.engine);
-                if request.engine != Engine::Naive {
+                    .engine(request.common.engine)
+                    .edge_class(request.common.edge_class);
+                if request.common.engine != Engine::Naive {
                     // The snapshot's prewarmed engine amortizes graph
                     // flattening and the fringe-support memo.
                     query = query.via(&snapshot.backward);
@@ -428,14 +491,17 @@ fn backward(shared: &Arc<Shared>, body: &[u8], start: Instant, slot: ResponseSlo
             obs::record_ns(obs_names::COMPUTE_NS, elapsed_ns(compute_started));
             // Attribute the cut to the deadline only when the deadline
             // supplied the budget (an explicit budget takes precedence).
-            if !exhaustive && request.budget.is_none() && request.deadline_ms.is_some() {
+            if !exhaustive
+                && request.common.budget.is_none()
+                && request.common.deadline_ms.is_some()
+            {
                 obs::add(obs_names::DEADLINE_EXPIRED, 1);
             }
             let render_started = Instant::now();
             let _render = obs::span(obs_names::RENDER_SPAN);
             let rendered = wire::render_backward(
                 generation,
-                request.engine,
+                request.common.engine,
                 &request.target,
                 &chains,
                 exhaustive,
@@ -455,15 +521,16 @@ fn backward(shared: &Arc<Shared>, body: &[u8], start: Instant, slot: ResponseSlo
     });
 }
 
-fn score(shared: &Arc<Shared>, body: &[u8], start: Instant, slot: ResponseSlot) {
-    let request = match wire::parse_score(body) {
+fn score(shared: &Arc<Shared>, request: &Request, start: Instant, slot: ResponseSlot) {
+    let request = match wire::parse_score(&request.body) {
         Ok(r) => r,
         Err(e) => return finish(obs_names::SCORE_LATENCY, start, slot, error_response(&e)),
     };
     let snapshot = shared.store.load();
     let key = CacheKey::score(
         snapshot.generation,
-        wire::engine_name(request.engine),
+        wire::engine_name(request.common.engine),
+        request.common.edge_class,
         &request.profiles,
     );
     if let Some(cached) = shared.cache.get(&key) {
@@ -484,13 +551,14 @@ fn score(shared: &Arc<Shared>, body: &[u8], start: Instant, slot: ResponseSlot) 
                 // every batch and every user in it.
                 Analysis::of(&snapshot.tdg)
                     .score_users(&request.profiles)
-                    .engine(request.engine)
+                    .engine(request.common.engine)
+                    .edge_class(request.common.edge_class)
                     .run()?
             };
             obs::record_ns(obs_names::COMPUTE_NS, elapsed_ns(compute_started));
             let render_started = Instant::now();
             let _render = obs::span(obs_names::RENDER_SPAN);
-            let rendered = wire::render_score(generation, request.engine, &scores);
+            let rendered = wire::render_score(generation, request.common.engine, &scores);
             obs::record_ns(obs_names::RENDER_NS, elapsed_ns(render_started));
             Ok::<_, Error>(rendered)
         })();
@@ -506,14 +574,15 @@ fn score(shared: &Arc<Shared>, body: &[u8], start: Instant, slot: ResponseSlot) 
     });
 }
 
-fn whatif(shared: &Arc<Shared>, body: &[u8], start: Instant, slot: ResponseSlot) {
-    let request = match wire::parse_whatif(body) {
+fn whatif(shared: &Arc<Shared>, request: &Request, start: Instant, slot: ResponseSlot) {
+    let request = match wire::parse_whatif(&request.body) {
         Ok(r) => r,
         Err(e) => return finish(obs_names::WHATIF_LATENCY, start, slot, error_response(&e)),
     };
     let snapshot = shared.store.load();
     let key = CacheKey::whatif(
         snapshot.generation,
+        request.common.edge_class,
         &request.countermeasures,
         request.sweep,
         request.severed_chains,
@@ -539,6 +608,7 @@ fn whatif(shared: &Arc<Shared>, body: &[u8], start: Instant, slot: ResponseSlot)
                         .whatif(set)
                         .patcher(&snapshot.patcher)
                         .via(&snapshot.backward)
+                        .edge_class(request.common.edge_class)
                         .max_severed(request.severed_chains)
                         .run()
                 };
@@ -578,29 +648,33 @@ fn whatif(shared: &Arc<Shared>, body: &[u8], start: Instant, slot: ResponseSlot)
     });
 }
 
-fn reload(shared: &Arc<Shared>, body: &[u8]) -> Response {
-    let request = match wire::parse_reload(body) {
-        Ok(r) => r,
-        Err(e) => return error_response(&e),
-    };
-    let dataset = match Dataset::parse(&request.dataset) {
-        Ok(d) => d,
-        Err(e) => return error_response(&e),
-    };
-    let snapshot = shared.store.reload(dataset);
-    obs::add(obs_names::RELOADS, 1);
-    let response_body = format!(
-        "{{\"generation\":{},\"dataset\":\"{}\",\"services\":{}}}",
-        snapshot.generation,
-        snapshot.dataset.name(),
-        snapshot.specs.len()
-    );
-    Response::json(200, response_body.into_bytes())
+fn reload(shared: &Arc<Shared>, request: &Request, start: Instant, slot: ResponseSlot) {
+    let response = (|| {
+        let request = match wire::parse_reload(&request.body) {
+            Ok(r) => r,
+            Err(e) => return error_response(&e),
+        };
+        let dataset = match Dataset::parse(&request.dataset) {
+            Ok(d) => d,
+            Err(e) => return error_response(&e),
+        };
+        let snapshot = shared.store.reload(dataset);
+        obs::add(obs_names::RELOADS, 1);
+        let response_body = format!(
+            "{{\"generation\":{},\"dataset\":\"{}\",\"services\":{}}}",
+            snapshot.generation,
+            snapshot.dataset.name(),
+            snapshot.specs.len()
+        );
+        Response::json(200, response_body.into_bytes())
+    })();
+    finish(obs_names::ADMIN_LATENCY, start, slot, response);
 }
 
-fn admin_shutdown(shared: &Arc<Shared>) -> Response {
+fn admin_shutdown(shared: &Arc<Shared>, _request: &Request, start: Instant, slot: ResponseSlot) {
     // The reactor re-checks the flag after completions apply, so the
     // drain starts in the same loop iteration that writes this reply.
     shared.shutdown.store(true, Ordering::SeqCst);
-    Response::json(200, br#"{"status":"draining"}"#.to_vec())
+    let response = Response::json(200, br#"{"status":"draining"}"#.to_vec());
+    finish(obs_names::ADMIN_LATENCY, start, slot, response);
 }

@@ -85,7 +85,7 @@ pub struct Snapshot {
     pub backward: BackwardEngine,
     /// A countermeasure patcher over the graph's prepared substrate:
     /// `/whatif` queries route through it so blast-radius planning and
-    /// the compiled-patch cache (all 16 subsets) amortize across
+    /// the compiled-patch cache (every subset) amortize across
     /// requests — no request ever recompiles the substrate.
     pub patcher: Patcher,
 }

@@ -12,7 +12,9 @@ use actfort_core::analysis::{AttackChain, ForwardResult};
 use actfort_core::metrics::DepthBreakdown;
 use actfort_core::obs::json::{self, Json};
 use actfort_core::query::Engine;
-use actfort_core::{Countermeasure, Error, OverlayFactor, UserProfile, UserScore, WhatifReport};
+use actfort_core::{
+    Countermeasure, EdgeClass, Error, OverlayFactor, UserProfile, UserScore, WhatifReport,
+};
 use actfort_ecosystem::factor::ServiceId;
 use std::fmt::Write as _;
 
@@ -23,33 +25,25 @@ use std::fmt::Write as _;
 /// search exhausts *within* the deadline, not after it.
 pub const DEADLINE_PARTIALS_PER_MS: usize = 2_000;
 
-/// A parsed `POST /v1/forward` body.
+/// The request envelope every analysis endpoint shares: engine
+/// selection, edge-class filter and the deadline/budget bounds. Parsed
+/// exactly once per request (by `parse_common`); each endpoint's
+/// request struct embeds it, so a new envelope field reaches all four
+/// endpoints through one parser.
 #[derive(Debug, Clone)]
-pub struct ForwardRequest {
-    /// Seed accounts assumed already compromised (may be empty).
-    pub seeds: Vec<ServiceId>,
+pub struct RequestCommon {
     /// Engine selector.
     pub engine: Engine,
-    /// Incremental-engine memo toggle.
-    pub memo: bool,
-}
-
-/// A parsed `POST /v1/backward` body.
-#[derive(Debug, Clone)]
-pub struct BackwardRequest {
-    /// The account to derive chains for.
-    pub target: ServiceId,
-    /// Maximum chains to return.
-    pub max_chains: usize,
-    /// Explicit partial budget, if given.
+    /// Edge-class filter (`"all"` / `"login_only"` / `"recovery_only"`,
+    /// default all edges).
+    pub edge_class: EdgeClass,
+    /// Explicit partial budget, if given (backward search only).
     pub budget: Option<usize>,
     /// Request deadline in milliseconds, if given.
     pub deadline_ms: Option<u64>,
-    /// Engine selector.
-    pub engine: Engine,
 }
 
-impl BackwardRequest {
+impl RequestCommon {
     /// The partial budget the engine should run under: an explicit
     /// `budget` wins; otherwise a `deadline_ms` is translated at
     /// `partials_per_ms` (the server's calibration, default
@@ -66,35 +60,68 @@ impl BackwardRequest {
     }
 }
 
+fn parse_common(doc: &Json) -> Result<RequestCommon, Error> {
+    Ok(RequestCommon {
+        engine: field_engine(doc)?,
+        edge_class: field_edge_class(doc)?,
+        budget: field_usize(doc, "budget")?,
+        deadline_ms: field_usize(doc, "deadline_ms")?.map(|n| n as u64),
+    })
+}
+
+/// A parsed `POST /forward` (or `/v1/forward`) body.
+#[derive(Debug, Clone)]
+pub struct ForwardRequest {
+    /// Seed accounts assumed already compromised (may be empty).
+    pub seeds: Vec<ServiceId>,
+    /// Incremental-engine memo toggle.
+    pub memo: bool,
+    /// The shared request envelope.
+    pub common: RequestCommon,
+}
+
+/// A parsed `POST /backward` (or `/v1/backward`) body.
+#[derive(Debug, Clone)]
+pub struct BackwardRequest {
+    /// The account to derive chains for.
+    pub target: ServiceId,
+    /// Maximum chains to return.
+    pub max_chains: usize,
+    /// The shared request envelope (budget/deadline live here).
+    pub common: RequestCommon,
+}
+
 /// Maximum profiles per `POST /score` batch — a request-shape bound
 /// (larger batches should page), not a throughput limit.
 pub const MAX_SCORE_PROFILES: usize = 4096;
 
-/// A parsed `POST /score` body.
+/// A parsed `POST /score` (or `/v1/score`) body.
 #[derive(Debug, Clone)]
 pub struct ScoreRequest {
     /// One entry per user: services held + factor kinds enabled.
     pub profiles: Vec<UserProfile>,
-    /// Engine selector (schedule knob — see
-    /// [`actfort_core::query::ScoreQuery`]).
-    pub engine: Engine,
+    /// The shared request envelope (the engine field is a schedule knob
+    /// here — see [`actfort_core::query::ScoreQuery`]).
+    pub common: RequestCommon,
 }
 
 /// Ceiling on `severed_chains` per `/whatif` request — a response-size
 /// bound (each chain is rendered in full), not a compute limit.
 pub const MAX_SEVERED_CHAINS: usize = 64;
 
-/// A parsed `POST /whatif` body.
+/// A parsed `POST /whatif` (or `/v1/whatif`) body.
 #[derive(Debug, Clone)]
 pub struct WhatifRequest {
     /// The countermeasure set to evaluate (ignored-empty in sweep
     /// mode; any spelling order — evaluation canonicalizes).
     pub countermeasures: Vec<Countermeasure>,
     /// Sweep mode: evaluate every subset of the countermeasure space
-    /// (2⁴ = 16 reports) in one request.
+    /// (`2^|all()|` reports) in one request.
     pub sweep: bool,
     /// Maximum severed chains reported per evaluated set.
     pub severed_chains: usize,
+    /// The shared request envelope.
+    pub common: RequestCommon,
 }
 
 /// A parsed `POST /admin/reload` body.
@@ -148,6 +175,18 @@ fn field_engine(doc: &Json) -> Result<Engine, Error> {
     }
 }
 
+fn field_edge_class(doc: &Json) -> Result<EdgeClass, Error> {
+    match doc.get("edge_class") {
+        None | Some(Json::Null) => Ok(EdgeClass::All),
+        Some(Json::Str(s)) => EdgeClass::parse(s).ok_or_else(|| {
+            Error::Query(format!(
+                "unknown edge class {s:?} (expected \"all\", \"login_only\" or \"recovery_only\")"
+            ))
+        }),
+        Some(_) => Err(Error::Query("\"edge_class\" must be a string".into())),
+    }
+}
+
 /// The wire spelling of an engine selector (stable; part of the cache
 /// key).
 pub fn engine_name(engine: Engine) -> &'static str {
@@ -179,8 +218,8 @@ pub fn parse_forward(body: &[u8]) -> Result<ForwardRequest, Error> {
     };
     Ok(ForwardRequest {
         seeds,
-        engine: field_engine(&doc)?,
         memo: field_bool(&doc, "memo", true)?,
+        common: parse_common(&doc)?,
     })
 }
 
@@ -199,9 +238,7 @@ pub fn parse_backward(body: &[u8]) -> Result<BackwardRequest, Error> {
     Ok(BackwardRequest {
         target,
         max_chains: field_usize(&doc, "max_chains")?.unwrap_or(8),
-        budget: field_usize(&doc, "budget")?,
-        deadline_ms: field_usize(&doc, "deadline_ms")?.map(|n| n as u64),
-        engine: field_engine(&doc)?,
+        common: parse_common(&doc)?,
     })
 }
 
@@ -286,7 +323,7 @@ pub fn parse_score(body: &[u8]) -> Result<ScoreRequest, Error> {
         }
         _ => return Err(Error::Query("\"profiles\" must be an array of profile objects".into())),
     };
-    Ok(ScoreRequest { profiles, engine: field_engine(&doc)? })
+    Ok(ScoreRequest { profiles, common: parse_common(&doc)? })
 }
 
 /// Parses a whatif request body:
@@ -344,7 +381,7 @@ pub fn parse_whatif(body: &[u8]) -> Result<WhatifRequest, Error> {
             "\"severed_chains\" is {severed_chains}; the limit is {MAX_SEVERED_CHAINS}"
         )));
     }
-    Ok(WhatifRequest { countermeasures, sweep, severed_chains })
+    Ok(WhatifRequest { countermeasures, sweep, severed_chains, common: parse_common(&doc)? })
 }
 
 /// Parses a reload request body.
@@ -540,18 +577,19 @@ mod tests {
     fn forward_request_parses_with_defaults_and_rejects_bad_types() {
         let req = parse_forward(b"{}").expect("empty object");
         assert!(req.seeds.is_empty());
-        assert_eq!(req.engine, Engine::Auto);
+        assert_eq!(req.common.engine, Engine::Auto);
+        assert_eq!(req.common.edge_class, EdgeClass::All);
         assert!(req.memo);
 
         let req = parse_forward(br#"{"seeds":["gmail","taobao"],"engine":"naive","memo":false}"#)
             .expect("full form");
         assert_eq!(req.seeds.len(), 2);
-        assert_eq!(req.engine, Engine::Naive);
+        assert_eq!(req.common.engine, Engine::Naive);
         assert!(!req.memo);
 
         let req = parse_forward(br#"{"engine":"prepared"}"#).expect("prepared engine");
-        assert_eq!(req.engine, Engine::Prepared);
-        assert_eq!(engine_name(req.engine), "prepared");
+        assert_eq!(req.common.engine, Engine::Prepared);
+        assert_eq!(engine_name(req.common.engine), "prepared");
 
         assert!(parse_forward(br#"{"seeds":"gmail"}"#).is_err());
         assert!(parse_forward(br#"{"engine":"warp"}"#).is_err());
@@ -559,17 +597,40 @@ mod tests {
     }
 
     #[test]
+    fn edge_class_parses_on_every_endpoint_with_a_stable_error() {
+        // Every wire spelling round-trips, on every analysis endpoint.
+        for class in EdgeClass::all() {
+            let body = format!(r#"{{"edge_class":"{}"}}"#, class.wire_name());
+            assert_eq!(parse_forward(body.as_bytes()).expect("forward").common.edge_class, class);
+            assert_eq!(parse_whatif(body.as_bytes()).expect("whatif").common.edge_class, class);
+            let body = format!(r#"{{"target":"alipay","edge_class":"{}"}}"#, class.wire_name());
+            assert_eq!(parse_backward(body.as_bytes()).expect("backward").common.edge_class, class);
+            let body = format!(r#"{{"profiles":[],"edge_class":"{}"}}"#, class.wire_name());
+            assert_eq!(parse_score(body.as_bytes()).expect("score").common.edge_class, class);
+        }
+
+        let err = parse_forward(br#"{"edge_class":"sideways"}"#).expect_err("unknown class");
+        assert_eq!(err.code(), 11, "edge-class errors use the query discriminant");
+        assert_eq!(
+            err.to_string(),
+            "invalid query: unknown edge class \"sideways\" (expected \"all\", \"login_only\" \
+             or \"recovery_only\")"
+        );
+        assert!(parse_forward(br#"{"edge_class":7}"#).is_err());
+    }
+
+    #[test]
     fn backward_request_budget_precedence() {
         let req =
             parse_backward(br#"{"target":"alipay","budget":100,"deadline_ms":1}"#).expect("parses");
-        assert_eq!(req.effective_budget(DEADLINE_PARTIALS_PER_MS), Some(100));
+        assert_eq!(req.common.effective_budget(DEADLINE_PARTIALS_PER_MS), Some(100));
         let req = parse_backward(br#"{"target":"alipay","deadline_ms":2}"#).expect("parses");
         assert_eq!(
-            req.effective_budget(DEADLINE_PARTIALS_PER_MS),
+            req.common.effective_budget(DEADLINE_PARTIALS_PER_MS),
             Some(2 * DEADLINE_PARTIALS_PER_MS)
         );
         let req = parse_backward(br#"{"target":"alipay"}"#).expect("parses");
-        assert_eq!(req.effective_budget(DEADLINE_PARTIALS_PER_MS), None);
+        assert_eq!(req.common.effective_budget(DEADLINE_PARTIALS_PER_MS), None);
         assert_eq!(req.max_chains, 8);
         assert!(parse_backward(b"{}").is_err(), "target is mandatory");
     }
@@ -589,7 +650,7 @@ mod tests {
         );
         // Omitted factors default to everything enabled.
         assert_eq!(req.profiles[1].factors, OverlayFactor::ALL);
-        assert_eq!(req.engine, Engine::Prepared);
+        assert_eq!(req.common.engine, Engine::Prepared);
 
         // Every wire spelling round-trips through parse_score.
         for (name, bit) in OverlayFactor::NAMES {

@@ -1,0 +1,173 @@
+//! Integration tests for the versioned route table:
+//!
+//! 1. every analysis endpoint answers at both spellings (`/x` and
+//!    `/v1/x`) with identical bodies — the two are one route, not two;
+//! 2. infrastructure routes exist only bare (`/v1/healthz` is a 404);
+//! 3. a version-shaped prefix this server does not speak is a `400`
+//!    with the stable `CODE_SERVE_UNKNOWN_VERSION` discriminant and
+//!    `"unknown_version"` kind — distinct from a typo'd path's 404;
+//! 4. the shared `edge_class` envelope field parses on every endpoint,
+//!    rejects unknown spellings with the query discriminant, and a
+//!    `recovery_only` forward differs from the unfiltered one on the
+//!    curated dataset (the recovery surface is real, not a no-op
+//!    filter).
+//!
+//! The obs recorder is process-global, so tests serialize behind one
+//! mutex.
+
+use actfort_core::obs::json::{self, Json};
+use actfort_serve::{start, Client, ServerConfig, CODE_SERVE_UNKNOWN_VERSION};
+use std::sync::{Mutex, MutexGuard};
+
+fn lock() -> MutexGuard<'static, ()> {
+    static LOCK: Mutex<()> = Mutex::new(());
+    LOCK.lock().unwrap_or_else(std::sync::PoisonError::into_inner)
+}
+
+fn obs_reset_enabled() {
+    actfort_core::obs::reset();
+    actfort_core::obs::set_enabled(true);
+}
+
+fn error_field(resp: &actfort_serve::ClientResponse, field: &str) -> Json {
+    json::parse(resp.text())
+        .expect("error body parses")
+        .get("error")
+        .and_then(|e| e.get(field))
+        .cloned()
+        .expect("error field present")
+}
+
+#[test]
+fn every_analysis_endpoint_answers_at_both_spellings() {
+    let _g = lock();
+    obs_reset_enabled();
+    let handle = start(ServerConfig::default()).expect("server starts");
+    let mut client = Client::connect(handle.addr()).expect("connect");
+
+    for (tail, body) in [
+        ("forward", &br#"{"seeds":["gmail"]}"#[..]),
+        ("backward", br#"{"target":"alipay","max_chains":2}"#),
+        ("score", br#"{"profiles":[{"services":["gmail","taobao"]}]}"#),
+        ("whatif", br#"{"countermeasures":["built_in_push"]}"#),
+    ] {
+        let bare = client.post(&format!("/{tail}"), body).expect("bare spelling");
+        assert_eq!(bare.status, 200, "/{tail}: {}", bare.text());
+        let versioned = client.post(&format!("/v1/{tail}"), body).expect("v1 spelling");
+        assert_eq!(versioned.status, 200, "/v1/{tail}: {}", versioned.text());
+        // One route, one cache entry, identical bytes.
+        assert_eq!(bare.body, versioned.body, "/{tail} vs /v1/{tail}");
+        assert_eq!(versioned.header("x-actfort-cache"), Some("hit"), "/v1/{tail}");
+    }
+
+    // Infrastructure routes are deliberately unversioned.
+    assert_eq!(client.get("/healthz").expect("healthz").status, 200);
+    assert_eq!(client.get("/v1/healthz").expect("v1 healthz").status, 404);
+    assert_eq!(client.get("/v1/metrics").expect("v1 metrics").status, 404);
+
+    // Wrong method on either spelling is 405, not 404.
+    assert_eq!(client.get("/forward").expect("GET bare").status, 405);
+    assert_eq!(client.get("/v1/forward").expect("GET v1").status, 405);
+
+    handle.shutdown();
+    actfort_core::obs::set_enabled(false);
+}
+
+#[test]
+fn unknown_versions_reject_with_a_stable_discriminant() {
+    let _g = lock();
+    obs_reset_enabled();
+    let handle = start(ServerConfig::default()).expect("server starts");
+    let mut client = Client::connect(handle.addr()).expect("connect");
+
+    for path in ["/v2/forward", "/v0/healthz", "/v99/whatif"] {
+        let resp = client.post(path, b"{}").expect("request");
+        assert_eq!(resp.status, 400, "{path}: {}", resp.text());
+        assert_eq!(
+            error_field(&resp, "code").as_num(),
+            Some(f64::from(CODE_SERVE_UNKNOWN_VERSION)),
+            "{path}"
+        );
+        assert_eq!(error_field(&resp, "kind").as_str(), Some("unknown_version"), "{path}");
+    }
+    // Not version-shaped: ordinary 404s, untouched by the version split.
+    assert_eq!(client.post("/version", b"{}").expect("request").status, 404);
+    assert_eq!(client.post("/v1", b"{}").expect("request").status, 404);
+
+    handle.shutdown();
+    actfort_core::obs::set_enabled(false);
+}
+
+#[test]
+fn edge_class_filters_over_the_wire_and_rejects_unknown_spellings() {
+    let _g = lock();
+    obs_reset_enabled();
+    let handle = start(ServerConfig::default()).expect("server starts");
+    let mut client = Client::connect(handle.addr()).expect("connect");
+
+    let compromised = |resp: &actfort_serve::ClientResponse| {
+        json::parse(resp.text())
+            .expect("forward JSON")
+            .get("compromised")
+            .and_then(Json::as_num)
+            .expect("compromised count")
+    };
+
+    // An explicit "all" is the default spelled out: identical bytes.
+    let default = client.post("/forward", b"{}").expect("default");
+    assert_eq!(default.status, 200, "{}", default.text());
+    let all = client.post("/forward", br#"{"edge_class":"all"}"#).expect("all");
+    assert_eq!(default.body, all.body, "explicit all must be the identity");
+    assert_eq!(all.header("x-actfort-cache"), Some("hit"), "and share the cache entry");
+
+    // The login-only view drops recovery-reachable accounts, and the
+    // recovery-only view is non-empty on the curated dataset: some
+    // accounts fall *only* through recovery flows.
+    let login =
+        client.post("/forward", br#"{"edge_class":"login_only"}"#).expect("login_only");
+    assert_eq!(login.status, 200, "{}", login.text());
+    let recovery =
+        client.post("/forward", br#"{"edge_class":"recovery_only"}"#).expect("recovery_only");
+    assert_eq!(recovery.status, 200, "{}", recovery.text());
+    assert!(
+        compromised(&login) < compromised(&default),
+        "curated dataset must have recovery-reachable accounts"
+    );
+    assert!(
+        compromised(&recovery) > 0.0,
+        "curated dataset must have recovery-only falls"
+    );
+    assert_ne!(default.body, recovery.body);
+
+    // Every endpoint rejects an unknown class with the stable message.
+    for (path, body) in [
+        ("/forward", &br#"{"edge_class":"sideways"}"#[..]),
+        ("/backward", br#"{"target":"alipay","edge_class":"sideways"}"#),
+        ("/score", br#"{"profiles":[],"edge_class":"sideways"}"#),
+        ("/whatif", br#"{"edge_class":"sideways"}"#),
+    ] {
+        let resp = client.post(path, body).expect("request");
+        assert_eq!(resp.status, 400, "{path}: {}", resp.text());
+        assert_eq!(
+            error_field(&resp, "code").as_num(),
+            Some(f64::from(actfort_core::error::CODE_QUERY)),
+            "{path}"
+        );
+    }
+
+    // The filter reaches backward too: the recovery-only view excludes
+    // taobao's direct login chain, so its chain set differs from the
+    // full one.
+    let full = client
+        .post("/backward", br#"{"target":"taobao","max_chains":4}"#)
+        .expect("backward");
+    assert_eq!(full.status, 200, "{}", full.text());
+    let filtered = client
+        .post("/backward", br#"{"target":"taobao","max_chains":4,"edge_class":"recovery_only"}"#)
+        .expect("backward filtered");
+    assert_eq!(filtered.status, 200, "{}", filtered.text());
+    assert_ne!(full.body, filtered.body, "filter must reach the chain search");
+
+    handle.shutdown();
+    actfort_core::obs::set_enabled(false);
+}
