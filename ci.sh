@@ -50,4 +50,11 @@ echo "==> recovery gate: class-filtered forward <= 1.5x unfiltered, 0 substrate 
 cargo run --release -q -p actfort-bench --bin recovery_sweep -- --max-ratio 1.5 \
     --out "$trace_tmp/bench_recovery.json"
 
+echo "==> campaign gate: city-scale engine >= 10M frames/s single-core (skips on <4 threads)"
+cargo run --release -q -p actfort-bench --bin gsm_campaign -- --min-frames-per-sec 10000000 \
+    --out "$trace_tmp/BENCH_gsm.json" --trace "$trace_tmp/gsm_trace.json"
+cargo run --release -q -p actfort-bench --bin gsm_check -- "$trace_tmp/BENCH_gsm.json"
+cargo run --release -q -p actfort-bench --bin trace_check -- "$trace_tmp/gsm_trace.json" \
+    gsm.campaign.run campaign.assess
+
 echo "CI OK"

@@ -49,6 +49,7 @@
 
 pub mod analysis;
 pub mod backward;
+pub mod campaign;
 pub mod engine;
 pub mod breach;
 pub mod counter;

@@ -179,6 +179,74 @@ fn score_batch_dispatches_once_and_never_reprepares_per_user() {
     assert_eq!(c("analysis.dispatch_score_scalar"), 1);
 }
 
+/// One instrumented fixed-seed campaign (single shard, so every span
+/// lands on this thread) plus its ecosystem assessment.
+fn traced_campaign() -> (actfort_gsm::campaign::CampaignReport, obs::ObsSnapshot) {
+    let cfg = actfort_gsm::campaign::CampaignConfig {
+        subscribers: 120,
+        duration_s: 10,
+        grid_cols: 5,
+        grid_rows: 4,
+        sniffers: 3,
+        mitm_stations: 2,
+        ..Default::default()
+    };
+    let specs = curated_services();
+    obs::reset();
+    obs::set_enabled(true);
+    let report = actfort_gsm::campaign::run(&cfg);
+    actfort_core::campaign::assess(
+        &report,
+        &specs,
+        Platform::MobileApp,
+        AttackerProfile::paper_default(),
+    )
+    .expect("assessment over the generating population cannot name unknown services");
+    obs::set_enabled(false);
+    let snap = obs::snapshot();
+    obs::reset();
+    (report, snap)
+}
+
+#[test]
+fn campaign_span_tree_shape_is_pinned() {
+    let _g = obs_lock();
+    let (report, snap) = traced_campaign();
+    let paths: Vec<&str> = snap.spans.keys().map(String::as_str).collect();
+    assert_eq!(
+        paths,
+        vec![
+            "campaign.assess",
+            "campaign.assess/campaign.cascade",
+            "campaign.assess/campaign.cascade/forward.naive",
+            "campaign.assess/campaign.score",
+            "campaign.assess/campaign.score/forward.prepared",
+            "campaign.assess/campaign.score/forward.prepared/absorb",
+            "campaign.assess/campaign.score/forward.prepared/evaluate",
+            "campaign.assess/campaign.score/forward.prepared/min_providers",
+            "campaign.assess/campaign.score/prepare",
+            "gsm.campaign.run",
+        ],
+        "campaign span tree changed shape"
+    );
+
+    let c = |name: &str| snap.counters.get(name).copied().unwrap_or(0);
+    // The campaign's own counters agree with its report.
+    assert_eq!(c("gsm.campaign.frames"), report.totals.frames);
+    assert_eq!(c("gsm.campaign.interceptions"), report.interceptions.len() as u64);
+    assert_eq!(c("gsm.campaign.captures"), report.totals.captures);
+    // One victim batch, scored scalar below the crossover; one prepare
+    // for the whole batch (never per victim).
+    assert_eq!(c("campaign.victims_scored"), report.compromised.len() as u64);
+    assert_eq!(c("analysis.dispatch_score_scalar"), 1);
+    assert_eq!(c("engine.prepares"), 1, "one substrate compile for the victim batch");
+    assert_eq!(c("engine.runs"), report.compromised.len() as u64);
+
+    // Same seed, same trace: the deterministic JSON is byte-identical.
+    let (_, again) = traced_campaign();
+    assert_eq!(snap.to_json_deterministic(), again.to_json_deterministic());
+}
+
 #[test]
 fn backward_auto_dispatch_flips_at_the_crossover() {
     let _g = obs_lock();

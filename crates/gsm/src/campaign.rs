@@ -1,0 +1,512 @@
+//! City-scale interception campaigns over the discrete-event core.
+//!
+//! The protocol-level simulator ([`crate::network`]) is byte-faithful:
+//! every burst is encoded, ciphered and appended to the ether. That is
+//! the right tool for one sniffer near one victim, and three orders of
+//! magnitude too slow for the paper's ecosystem-scale claim — a fleet
+//! of sniffers and fake base stations blanketing a city of hundreds of
+//! cells and thousands of moving subscribers. The campaign engine keeps
+//! the *transaction structure* (attach, handover, paging, SMS transfer,
+//! spoofed registration) and drops the byte materialization: each
+//! protocol transaction bumps per-cell frame counters by the exact
+//! burst count the full simulator would emit, so throughput is counted
+//! in real frame equivalents while dispatch stays O(1) per event on the
+//! [`EventWheel`].
+//!
+//! ## Shard determinism
+//!
+//! Campaigns are embarrassingly parallel by construction: every
+//! subscriber carries an independent RNG stream (splitmix64 of the
+//! campaign seed and the subscriber id), never reads another
+//! subscriber's state, and the per-cell counters merge by commutative
+//! addition. Interceptions are sorted by `(time_us, subscriber)` at
+//! merge. Any partition of subscribers over shards therefore yields a
+//! byte-identical [`CampaignReport`] — pinned by tests across 1/2/8
+//! shards.
+//!
+//! ## Detection exposure
+//!
+//! A telco-side defender sees what the paper's countermeasures discuss:
+//! attach-rate outliers (capture/release churn near fake base stations)
+//! and paging-response outliers (captured victims are paged on their
+//! last real cell and never answer). Both detectors run over the merged
+//! per-cell counters and land in the report next to the compromise
+//! numbers.
+
+use crate::arfcn::Arfcn;
+use crate::radio::{CellConfig, CellId, Position};
+use crate::scheduler::EventWheel;
+use actfort_obs as obs;
+
+pub use crate::report::{Anomalies, CampaignReport, CellStats, Interception, InterceptKind, Totals};
+
+use crate::report::detect_anomalies;
+use crate::city::City;
+
+/// Frames in a full location-update transaction (LAU request, auth
+/// request/response, cipher command/complete, SI5, LAU accept) — what
+/// [`crate::network::GsmNetwork::attach`] emits.
+pub const ATTACH_FRAMES: u64 = 7;
+/// Frames in a handover (measurement report, command, access, complete).
+pub const HANDOVER_FRAMES: u64 = 4;
+/// Frames in a paging exchange (request + response).
+pub const PAGE_FRAMES: u64 = 2;
+/// Frames in an SMS delivery after paging (DELIVER + ack, ciphered).
+pub const SMS_FRAMES: u64 = 4;
+/// Frames in a spoofed (MitM) registration — same shape as an attach.
+pub const SPOOF_FRAMES: u64 = 7;
+/// Frames when an SMS is diverted to a spoofed registration (page on
+/// the real cell goes unanswered; deliver lands on the fake cell).
+pub const MITM_SMS_FRAMES: u64 = 3;
+
+/// Campaign shape: the synthetic city, its population and the attacker
+/// fleet. All fields are plain data so configs can be built inline.
+#[derive(Debug, Clone)]
+pub struct CampaignConfig {
+    /// Master seed; every subscriber derives an independent stream.
+    pub seed: u64,
+    /// Grid columns of the cell layout.
+    pub grid_cols: u32,
+    /// Grid rows of the cell layout.
+    pub grid_rows: u32,
+    /// Distance between neighbouring cell sites, metres.
+    pub cell_spacing_m: f64,
+    /// Cell radio range, metres.
+    pub cell_range_m: f64,
+    /// Population size.
+    pub subscribers: u32,
+    /// Simulated campaign duration, seconds.
+    pub duration_s: u32,
+    /// Mean per-subscriber interval between service SMS, milliseconds.
+    pub sms_interval_ms: u32,
+    /// Interval between mobility steps, milliseconds.
+    pub move_interval_ms: u32,
+    /// Pedestrian/vehicle speed, metres per second.
+    pub walk_speed_mps: f64,
+    /// Passive sniffer count (≤ 64), spread deterministically over the
+    /// city.
+    pub sniffers: u32,
+    /// Sniffer receive range, metres.
+    pub sniffer_range_m: f64,
+    /// Probability (per mille) that a sniffed delivery yields the key —
+    /// the rainbow-table hit rate.
+    pub crack_hit_per_mille: u16,
+    /// MitM fake base stations (≤ 64), spread over the city.
+    pub mitm_stations: u32,
+    /// Fake base station lure range, metres.
+    pub mitm_range_m: f64,
+}
+
+impl Default for CampaignConfig {
+    fn default() -> Self {
+        Self {
+            seed: 0x0ac7_f047,
+            grid_cols: 20,
+            grid_rows: 10,
+            cell_spacing_m: 900.0,
+            cell_range_m: 800.0,
+            subscribers: 2_000,
+            duration_s: 60,
+            sms_interval_ms: 1_000,
+            move_interval_ms: 2_000,
+            walk_speed_mps: 15.0,
+            sniffers: 8,
+            sniffer_range_m: 1_000.0,
+            crack_hit_per_mille: 220,
+            mitm_stations: 4,
+            mitm_range_m: 350.0,
+        }
+    }
+}
+
+impl CampaignConfig {
+    /// Number of cells in the grid.
+    pub fn cells(&self) -> u32 {
+        self.grid_cols * self.grid_rows
+    }
+
+    /// The grid as real [`CellConfig`]s — for driving the byte-faithful
+    /// simulator with the same layout (ARFCNs cycle, LAC tracks the
+    /// row).
+    pub fn cell_configs(&self) -> Vec<CellConfig> {
+        let mut out = Vec::with_capacity(self.cells() as usize);
+        for row in 0..self.grid_rows {
+            for col in 0..self.grid_cols {
+                let idx = row * self.grid_cols + col;
+                out.push(CellConfig {
+                    id: CellId((idx + 1) as u16),
+                    arfcn: Arfcn((idx % 124) as u16),
+                    lac: 0x1000 + row as u16,
+                    position: Position::new(
+                        f64::from(col) * self.cell_spacing_m,
+                        f64::from(row) * self.cell_spacing_m,
+                    ),
+                    range_m: self.cell_range_m,
+                    cipher_preference: vec![
+                        crate::cipher::CipherAlgo::A51,
+                        crate::cipher::CipherAlgo::A50,
+                    ],
+                });
+            }
+        }
+        out
+    }
+}
+
+/// Per-subscriber simulation state (shard-local).
+struct SubState {
+    /// Campaign-global subscriber id.
+    id: u32,
+    rng: u64,
+    pos: Position,
+    waypoint: Position,
+    /// Current real serving cell (last real cell while captured).
+    serving: u16,
+    /// The fake base station currently holding the handset, if any.
+    captured: Option<u8>,
+    /// Monotonic per-subscriber SMS counter (crack-draw salt).
+    sms_seq: u32,
+}
+
+/// Campaign events. Compact and `Copy`: the payload is a shard-local
+/// subscriber index.
+#[derive(Clone, Copy)]
+enum Ev {
+    Attach(u32),
+    Move(u32),
+    Sms(u32),
+}
+
+/// splitmix64 step.
+#[inline]
+pub(crate) fn next_u64(state: &mut u64) -> u64 {
+    *state = state.wrapping_add(0x9e37_79b9_7f4a_7c15);
+    let mut z = *state;
+    z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+    z ^ (z >> 31)
+}
+
+/// Uniform f64 in [0, 1).
+#[inline]
+pub(crate) fn next_f64(state: &mut u64) -> f64 {
+    (next_u64(state) >> 11) as f64 / (1u64 << 53) as f64
+}
+
+/// Stateless mix of two words (crack draws, stream seeding).
+#[inline]
+pub(crate) fn mix(a: u64, b: u64) -> u64 {
+    let mut z = a ^ b.wrapping_mul(0x9e37_79b9_7f4a_7c15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+    z ^ (z >> 31)
+}
+
+/// What one shard produces; merged commutatively.
+struct ShardOutcome {
+    totals: Totals,
+    per_cell: Vec<CellStats>,
+    interceptions: Vec<Interception>,
+}
+
+fn run_shard(cfg: &CampaignConfig, city: &City, shard: u32, shards: u32) -> ShardOutcome {
+    let end_us = u64::from(cfg.duration_s) * 1_000_000;
+    let mut wheel: EventWheel<Ev> = EventWheel::new();
+    let mut subs: Vec<SubState> = Vec::new();
+    for id in (shard..cfg.subscribers).step_by(shards as usize) {
+        let mut rng = mix(cfg.seed, u64::from(id)); // independent stream per subscriber
+        let pos = Position::new(next_f64(&mut rng) * city.width, next_f64(&mut rng) * city.height);
+        let waypoint =
+            Position::new(next_f64(&mut rng) * city.width, next_f64(&mut rng) * city.height);
+        let start_us = next_u64(&mut rng) % 1_000_000; // stagger attaches over the first second
+        let local = subs.len() as u32;
+        subs.push(SubState {
+            id,
+            rng,
+            pos,
+            waypoint,
+            serving: 0,
+            captured: None,
+            sms_seq: 0,
+        });
+        wheel.schedule(start_us, Ev::Attach(local));
+    }
+    let mut totals = Totals::default();
+    let mut per_cell = vec![CellStats::default(); (city.cols * city.rows) as usize];
+    let mut interceptions = Vec::new();
+    let move_step = u64::from(cfg.move_interval_ms) * 1_000;
+    let sms_mean = u64::from(cfg.sms_interval_ms) * 1_000;
+
+    while let Some((at, ev)) = wheel.pop() {
+        totals.events += 1;
+        match ev {
+            Ev::Attach(i) => {
+                let s = &mut subs[i as usize];
+                let cell = city.cell_at(s.pos);
+                s.serving = cell;
+                per_cell[cell as usize].attaches += 1;
+                per_cell[cell as usize].frames += ATTACH_FRAMES;
+                totals.attaches += 1;
+                totals.frames += ATTACH_FRAMES;
+                if let Some(st) = city.capturing_station(cell, s.pos, cfg.mitm_range_m) {
+                    s.captured = Some(st);
+                    totals.captures += 1;
+                    totals.frames += SPOOF_FRAMES;
+                    per_cell[cell as usize].frames += SPOOF_FRAMES;
+                }
+                // First mobility step and first SMS, phase-jittered.
+                let mv = at + move_step + next_u64(&mut s.rng) % move_step.max(1);
+                if mv < end_us {
+                    wheel.schedule(mv, Ev::Move(i));
+                }
+                let sm = at + 1 + next_u64(&mut s.rng) % (2 * sms_mean).max(1);
+                if sm < end_us {
+                    wheel.schedule(sm, Ev::Sms(i));
+                }
+            }
+            Ev::Move(i) => {
+                let s = &mut subs[i as usize];
+                // Step toward the waypoint; arrived → draw a new one.
+                let dx = s.waypoint.x - s.pos.x;
+                let dy = s.waypoint.y - s.pos.y;
+                let dist = (dx * dx + dy * dy).sqrt();
+                let step = cfg.walk_speed_mps * (move_step as f64 / 1_000_000.0);
+                if dist <= step {
+                    s.pos = s.waypoint;
+                    s.waypoint = Position::new(
+                        next_f64(&mut s.rng) * city.width,
+                        next_f64(&mut s.rng) * city.height,
+                    );
+                } else {
+                    s.pos = Position::new(s.pos.x + dx / dist * step, s.pos.y + dy / dist * step);
+                }
+                let cell = city.cell_at(s.pos);
+                let station = city.capturing_station(cell, s.pos, cfg.mitm_range_m);
+                match (s.captured, station) {
+                    (None, Some(st)) => {
+                        // Lured onto a fake cell: the real network keeps
+                        // believing the last serving cell.
+                        s.captured = Some(st);
+                        totals.captures += 1;
+                        totals.frames += SPOOF_FRAMES;
+                        per_cell[s.serving as usize].frames += SPOOF_FRAMES;
+                    }
+                    (Some(_), None) => {
+                        // Walked out of lure range: reattach for real.
+                        s.captured = None;
+                        s.serving = cell;
+                        per_cell[cell as usize].attaches += 1;
+                        per_cell[cell as usize].frames += ATTACH_FRAMES;
+                        totals.attaches += 1;
+                        totals.frames += ATTACH_FRAMES;
+                    }
+                    (None, None) if cell != s.serving => {
+                        per_cell[cell as usize].handovers += 1;
+                        per_cell[cell as usize].frames += HANDOVER_FRAMES;
+                        totals.handovers += 1;
+                        totals.frames += HANDOVER_FRAMES;
+                        s.serving = cell;
+                    }
+                    _ => {}
+                }
+                let mv = at + move_step;
+                if mv < end_us {
+                    wheel.schedule(mv, Ev::Move(i));
+                }
+            }
+            Ev::Sms(i) => {
+                let s = &mut subs[i as usize];
+                s.sms_seq += 1;
+                let cell = s.serving;
+                let stats = &mut per_cell[cell as usize];
+                stats.pages += 1;
+                if let Some(st) = s.captured {
+                    // Page goes unanswered on the real cell; delivery is
+                    // diverted to the spoofed registration.
+                    stats.frames += MITM_SMS_FRAMES;
+                    totals.frames += MITM_SMS_FRAMES;
+                    totals.sms_diverted += 1;
+                    interceptions.push(Interception {
+                        time_us: at,
+                        subscriber: s.id,
+                        cell,
+                        kind: InterceptKind::Mitm { station: st },
+                    });
+                } else {
+                    stats.page_responses += 1;
+                    stats.sms_delivered += 1;
+                    stats.frames += PAGE_FRAMES + SMS_FRAMES;
+                    totals.frames += PAGE_FRAMES + SMS_FRAMES;
+                    totals.sms_delivered += 1;
+                    let mask = city.cell_sniffers[cell as usize];
+                    if mask != 0 {
+                        // Deterministic crack draw, independent of shard
+                        // layout: salt = (subscriber, sms_seq).
+                        let draw = mix(
+                            cfg.seed ^ 0x0515_0515,
+                            (u64::from(s.id) << 32) | u64::from(s.sms_seq),
+                        );
+                        if (draw % 1_000) < u64::from(cfg.crack_hit_per_mille) {
+                            interceptions.push(Interception {
+                                time_us: at,
+                                subscriber: s.id,
+                                cell,
+                                kind: InterceptKind::Sniffed {
+                                    sniffer: mask.trailing_zeros() as u8,
+                                },
+                            });
+                            totals.sms_sniffed += 1;
+                        }
+                    }
+                }
+                let sm = at + 1 + next_u64(&mut s.rng) % (2 * sms_mean).max(1);
+                if sm < end_us {
+                    wheel.schedule(sm, Ev::Sms(i));
+                }
+            }
+        }
+    }
+    ShardOutcome { totals, per_cell, interceptions }
+}
+
+/// Runs the campaign on the calling thread (one shard).
+pub fn run(cfg: &CampaignConfig) -> CampaignReport {
+    run_sharded(cfg, 1)
+}
+
+/// Runs the campaign partitioned over `shards` worker threads and
+/// merges. The merged report is byte-identical for any shard count
+/// under the same config.
+pub fn run_sharded(cfg: &CampaignConfig, shards: u32) -> CampaignReport {
+    let _span = obs::span("gsm.campaign.run");
+    let shards = shards.max(1);
+    let city = City::build(cfg);
+    let outcomes: Vec<ShardOutcome> = if shards == 1 {
+        vec![run_shard(cfg, &city, 0, 1)]
+    } else {
+        std::thread::scope(|scope| {
+            let handles: Vec<_> = (0..shards)
+                .map(|k| {
+                    let city = &city;
+                    scope.spawn(move || run_shard(cfg, city, k, shards))
+                })
+                .collect();
+            handles.into_iter().map(|h| h.join().expect("shard worker panicked")).collect()
+        })
+    };
+
+    let mut totals = Totals::default();
+    let mut per_cell = vec![CellStats::default(); cfg.cells() as usize];
+    let mut interceptions = Vec::new();
+    for o in &outcomes {
+        totals.merge(&o.totals);
+        for (acc, c) in per_cell.iter_mut().zip(&o.per_cell) {
+            acc.merge(c);
+        }
+        interceptions.extend_from_slice(&o.interceptions);
+    }
+    interceptions.sort_unstable_by_key(|i| (i.time_us, i.subscriber));
+    let mut compromised: Vec<u32> = interceptions.iter().map(|i| i.subscriber).collect();
+    compromised.sort_unstable();
+    compromised.dedup();
+
+    let anomalies = detect_anomalies(&per_cell);
+    obs::add("gsm.campaign.frames", totals.frames);
+    obs::add("gsm.campaign.interceptions", interceptions.len() as u64);
+    obs::add("gsm.campaign.captures", totals.captures);
+
+    CampaignReport {
+        seed: cfg.seed,
+        cells: cfg.cells(),
+        subscribers: cfg.subscribers,
+        duration_s: cfg.duration_s,
+        totals,
+        compromised,
+        interceptions,
+        per_cell,
+        anomalies,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn small() -> CampaignConfig {
+        CampaignConfig {
+            subscribers: 200,
+            duration_s: 20,
+            grid_cols: 6,
+            grid_rows: 4,
+            sniffers: 3,
+            mitm_stations: 2,
+            ..CampaignConfig::default()
+        }
+    }
+
+    #[test]
+    fn campaign_produces_traffic_and_interceptions() {
+        let report = run(&small());
+        assert!(report.totals.frames > 10_000, "frames: {}", report.totals.frames);
+        assert!(report.totals.attaches >= 200, "everyone attaches at least once");
+        assert!(report.totals.sms_delivered > 0);
+        assert!(!report.interceptions.is_empty(), "the fleet intercepts something");
+        assert!(!report.compromised.is_empty());
+        // Interceptions are sorted and within the campaign window.
+        let end_us = u64::from(report.duration_s) * 1_000_000;
+        for w in report.interceptions.windows(2) {
+            assert!((w[0].time_us, w[0].subscriber) < (w[1].time_us, w[1].subscriber));
+        }
+        assert!(report.interceptions.iter().all(|i| i.time_us < end_us));
+    }
+
+    #[test]
+    fn report_is_identical_across_runs() {
+        let a = run(&small());
+        let b = run(&small());
+        assert_eq!(a.to_json(), b.to_json());
+    }
+
+    #[test]
+    fn report_is_byte_identical_across_shard_counts() {
+        let cfg = small();
+        let one = run_sharded(&cfg, 1).to_json();
+        let two = run_sharded(&cfg, 2).to_json();
+        let eight = run_sharded(&cfg, 8).to_json();
+        assert_eq!(one, two, "1 vs 2 shards");
+        assert_eq!(one, eight, "1 vs 8 shards");
+    }
+
+    #[test]
+    fn different_seeds_differ() {
+        let a = run(&small());
+        let b = run(&CampaignConfig { seed: 99, ..small() });
+        assert_ne!(a.to_json(), b.to_json());
+    }
+
+    #[test]
+    fn frame_totals_reconcile_with_per_cell() {
+        let report = run(&small());
+        let cell_frames: u64 = report.per_cell.iter().map(|c| c.frames).sum();
+        assert_eq!(cell_frames, report.totals.frames);
+        let pages: u64 = report.per_cell.iter().map(|c| c.pages).sum();
+        let responses: u64 = report.per_cell.iter().map(|c| c.page_responses).sum();
+        assert_eq!(pages, report.totals.sms_delivered + report.totals.sms_diverted);
+        assert_eq!(responses, report.totals.sms_delivered);
+    }
+
+    #[test]
+    fn mitm_presence_creates_paging_anomalies() {
+        // With stations and enough traffic, some cell shows unanswered
+        // pages; with no stations, none can.
+        let with = run(&CampaignConfig { subscribers: 500, ..small() });
+        let without = run(&CampaignConfig { mitm_stations: 0, subscribers: 500, ..small() });
+        assert!(without.anomalies.paging_response_outliers.is_empty());
+        assert!(
+            !with.anomalies.paging_response_outliers.is_empty(),
+            "captured victims should leave unanswered pages somewhere"
+        );
+        assert_eq!(without.totals.sms_diverted, 0);
+        assert_eq!(without.totals.captures, 0);
+    }
+}

@@ -1,0 +1,116 @@
+//! Cell inventory: an indexed directory of [`CellConfig`]s.
+//!
+//! The network used to keep cells in a bare `Vec` and linearly scan it
+//! for duplicate ids on every insert and for the serving cell on every
+//! attach — fine for three cells, quadratic poison for a city of
+//! hundreds. The directory keeps an id→slot index map alongside the
+//! dense cell array so duplicate checks and id lookups are O(log n)
+//! while iteration stays cache-friendly.
+
+use crate::error::GsmError;
+use crate::radio::{CellConfig, CellId, Position};
+use std::collections::BTreeMap;
+
+/// An indexed inventory of the network's cells.
+#[derive(Debug, Default)]
+pub struct CellDirectory {
+    cells: Vec<CellConfig>,
+    index: BTreeMap<CellId, usize>,
+}
+
+impl CellDirectory {
+    /// An empty directory.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Adds a cell.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`GsmError::ProtocolViolation`] on a duplicate cell id.
+    pub fn insert(&mut self, cell: CellConfig) -> Result<CellId, GsmError> {
+        let id = cell.id;
+        if self.index.contains_key(&id) {
+            return Err(GsmError::ProtocolViolation(format!("duplicate {id}")));
+        }
+        self.index.insert(id, self.cells.len());
+        self.cells.push(cell);
+        Ok(id)
+    }
+
+    /// Looks up a cell by id.
+    pub fn get(&self, id: CellId) -> Option<&CellConfig> {
+        self.index.get(&id).map(|&slot| &self.cells[slot])
+    }
+
+    /// All cells, in insertion order.
+    pub fn all(&self) -> &[CellConfig] {
+        &self.cells
+    }
+
+    /// The first cell added (the network's default cell).
+    pub fn first(&self) -> Option<&CellConfig> {
+        self.cells.first()
+    }
+
+    /// Number of cells.
+    pub fn len(&self) -> usize {
+        self.cells.len()
+    }
+
+    /// Whether the directory holds no cells.
+    pub fn is_empty(&self) -> bool {
+        self.cells.is_empty()
+    }
+
+    /// The best serving cell for a handset at `pos`: the nearest cell
+    /// whose range covers the position.
+    pub fn best_for(&self, pos: Position) -> Option<&CellConfig> {
+        self.cells
+            .iter()
+            .filter(|c| c.position.distance(pos) <= c.range_m)
+            .min_by(|a, b| {
+                a.position
+                    .distance(pos)
+                    .partial_cmp(&b.position.distance(pos))
+                    .expect("distances are finite")
+            })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn cell(id: u16, x: f64) -> CellConfig {
+        CellConfig { id: CellId(id), position: Position::new(x, 0.0), ..CellConfig::default() }
+    }
+
+    #[test]
+    fn duplicate_ids_rejected() {
+        let mut dir = CellDirectory::new();
+        dir.insert(cell(1, 0.0)).unwrap();
+        assert!(dir.insert(cell(1, 100.0)).is_err());
+        assert_eq!(dir.len(), 1);
+    }
+
+    #[test]
+    fn lookup_by_id() {
+        let mut dir = CellDirectory::new();
+        dir.insert(cell(7, 0.0)).unwrap();
+        dir.insert(cell(3, 500.0)).unwrap();
+        assert_eq!(dir.get(CellId(3)).unwrap().position.x, 500.0);
+        assert!(dir.get(CellId(9)).is_none());
+    }
+
+    #[test]
+    fn best_for_picks_nearest_covering_cell() {
+        let mut dir = CellDirectory::new();
+        dir.insert(cell(1, 0.0)).unwrap();
+        dir.insert(cell(2, 600.0)).unwrap();
+        assert_eq!(dir.best_for(Position::new(100.0, 0.0)).unwrap().id, CellId(1));
+        assert_eq!(dir.best_for(Position::new(500.0, 0.0)).unwrap().id, CellId(2));
+        assert!(dir.best_for(Position::new(10_000.0, 0.0)).is_none());
+    }
+}

@@ -1,0 +1,104 @@
+//! Precomputed synthetic-city geometry for the campaign engine:
+//! the cell grid, nearest-site lookup and per-cell attacker coverage
+//! masks (which sniffers hear a cell, which fake base stations can
+//! lure from it). Built once per campaign and shared read-only by
+//! every shard.
+
+use crate::campaign::{mix, next_f64, CampaignConfig};
+use crate::radio::Position;
+
+/// Precomputed city geometry shared read-only by every shard.
+pub(crate) struct City {
+    pub(crate) cols: u32,
+    pub(crate) rows: u32,
+    pub(crate) spacing: f64,
+    pub(crate) mitm: Vec<Position>,
+    /// Per-cell bitmask of sniffers whose range covers the cell site.
+    pub(crate) cell_sniffers: Vec<u64>,
+    /// Per-cell bitmask of fake base stations within lure range of the
+    /// cell site's neighbourhood.
+    pub(crate) cell_mitm: Vec<u64>,
+    pub(crate) width: f64,
+    pub(crate) height: f64,
+}
+
+impl City {
+    pub(crate) fn build(cfg: &CampaignConfig) -> Self {
+        let cells = cfg.cells() as usize;
+        let width = f64::from(cfg.grid_cols.saturating_sub(1)) * cfg.cell_spacing_m;
+        let height = f64::from(cfg.grid_rows.saturating_sub(1)) * cfg.cell_spacing_m;
+        // Spread attacker units deterministically along a low-discrepancy
+        // walk over the city rectangle, seeded from the campaign seed so
+        // layouts differ between seeds but never between runs.
+        let unit_positions = |count: u32, salt: u64| -> Vec<Position> {
+            let mut rng = mix(cfg.seed, salt);
+            (0..count.min(64))
+                .map(|_| {
+                    let x = next_f64(&mut rng) * width;
+                    let y = next_f64(&mut rng) * height;
+                    Position::new(x, y)
+                })
+                .collect()
+        };
+        let sniffers = unit_positions(cfg.sniffers, 0x5217);
+        let mitm = unit_positions(cfg.mitm_stations, 0x3713);
+        let mut cell_sniffers = vec![0u64; cells];
+        let mut cell_mitm = vec![0u64; cells];
+        for row in 0..cfg.grid_rows {
+            for col in 0..cfg.grid_cols {
+                let idx = (row * cfg.grid_cols + col) as usize;
+                let site = Position::new(
+                    f64::from(col) * cfg.cell_spacing_m,
+                    f64::from(row) * cfg.cell_spacing_m,
+                );
+                for (i, s) in sniffers.iter().enumerate() {
+                    if s.distance(site) <= cfg.sniffer_range_m {
+                        cell_sniffers[idx] |= 1 << i;
+                    }
+                }
+                for (i, m) in mitm.iter().enumerate() {
+                    // A station matters to a cell when its lure range
+                    // reaches anywhere a subscriber served by this cell
+                    // can stand (site + half the spacing).
+                    if m.distance(site) <= cfg.mitm_range_m + cfg.cell_spacing_m {
+                        cell_mitm[idx] |= 1 << i;
+                    }
+                }
+            }
+        }
+        Self {
+            cols: cfg.grid_cols,
+            rows: cfg.grid_rows,
+            spacing: cfg.cell_spacing_m,
+            mitm,
+            cell_sniffers,
+            cell_mitm,
+            width,
+            height,
+        }
+    }
+
+    /// Serving cell for a position: the nearest grid site, O(1).
+    #[inline]
+    pub(crate) fn cell_at(&self, pos: Position) -> u16 {
+        let col = ((pos.x / self.spacing) + 0.5).floor().max(0.0) as u32;
+        let row = ((pos.y / self.spacing) + 0.5).floor().max(0.0) as u32;
+        let col = col.min(self.cols - 1);
+        let row = row.min(self.rows - 1);
+        (row * self.cols + col) as u16
+    }
+
+    /// The fake base station holding a handset at `pos`, if any.
+    #[inline]
+    pub(crate) fn capturing_station(&self, cell: u16, pos: Position, range: f64) -> Option<u8> {
+        let mut mask = self.cell_mitm[cell as usize];
+        while mask != 0 {
+            let i = mask.trailing_zeros() as usize;
+            if self.mitm[i].distance(pos) <= range {
+                return Some(i as u8);
+            }
+            mask &= mask - 1;
+        }
+        None
+    }
+}

@@ -39,17 +39,24 @@
 
 pub mod a5;
 pub mod arfcn;
+pub mod campaign;
+pub mod cell;
 pub mod cipher;
+mod city;
 pub mod error;
 pub mod identity;
 pub mod mitm;
 pub mod network;
 pub mod pdu;
 pub mod radio;
+pub mod report;
+pub mod scheduler;
 pub mod smsc;
 pub mod sniffer;
+pub mod subscriber;
 pub mod terminal;
 pub mod time;
+pub mod transaction;
 pub mod wireshark;
 
 pub use error::GsmError;

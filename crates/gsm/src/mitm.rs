@@ -53,7 +53,8 @@ impl Jammer {
 
     fn set_jammed(&self, net: &mut GsmNetwork, jammed: bool) -> usize {
         let mut n = 0;
-        for id in net.subscriber_ids() {
+        let ids: Vec<_> = net.subscriber_ids().collect();
+        for id in ids {
             let Some(ms) = net.terminal(id) else { continue };
             if ms.position().distance(self.position) <= self.radius_m && ms.lte_jammed() != jammed {
                 net.terminal_mut(id).expect("listed id exists").set_lte_jammed(jammed);

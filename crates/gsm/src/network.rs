@@ -4,21 +4,32 @@
 //! The network drives complete protocol transactions (location update,
 //! authentication, cipher negotiation, SMS transfer) and emits every burst
 //! into the [`Ether`], so passive sniffers and the MitM rig observe
-//! byte-faithful traffic.
+//! byte-faithful traffic. Cell inventory and the subscriber base live in
+//! indexed directories ([`crate::cell`], [`crate::subscriber`]); delivery
+//! retries run through the discrete-event wheel in [`crate::scheduler`].
 
 use crate::a5::Kc;
-use crate::cipher::{CipherAlgo, CipherContext, CipherSet};
+use crate::cell::CellDirectory;
+use crate::cipher::CipherAlgo;
 use crate::error::GsmError;
-use crate::identity::{Imsi, Msisdn, SubscriberId, Tmsi};
-use crate::pdu::{Address, Scts, SmsDeliver};
-use crate::radio::{AirFrame, AirMessage, CellConfig, CellId, Direction, Ether, MsIdentity, Position};
+use crate::identity::{Imsi, Msisdn, SubscriberId};
+use crate::pdu::{Address, Scts};
+use crate::radio::{CellConfig, CellId, Ether};
+use crate::scheduler::{DrainReport, EventWheel};
 use crate::smsc::SmsCenter;
+use crate::subscriber::{Attachment, Subscriber, SubscriberDirectory};
 use crate::terminal::{Camp, MobileStation, ReceivedSms};
 use crate::time::SimClock;
 use actfort_obs as obs;
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
-use std::collections::BTreeMap;
+
+/// Default iteration budget for [`GsmNetwork::run_until_idle`] — far
+/// above any legitimate drain, low enough to stop a runaway chain.
+pub const DEFAULT_DRAIN_BUDGET: u64 = 100_000;
+
+/// Delay before the SMSC retries a failed delivery.
+const RETRY_INTERVAL_US: u64 = 250_000;
 
 /// Network-wide configuration.
 #[derive(Debug, Clone)]
@@ -42,6 +53,8 @@ pub struct NetworkConfig {
     /// recover them by exhaustive search over the real cipher — the
     /// reduced-form stand-in for rainbow-table coverage.
     pub session_key_bits: u32,
+    /// SMSC retry budget per message before it expires.
+    pub smsc_max_attempts: u8,
     /// RNG seed controlling challenges, keys and TMSIs.
     pub seed: u64,
 }
@@ -55,30 +68,17 @@ impl Default for NetworkConfig {
             page_by_imsi: false,
             frame_loss_per_mille: 0,
             session_key_bits: 64,
+            smsc_max_attempts: 5,
             seed: 0x0ac7_f047,
         }
     }
 }
 
-/// How a subscriber is currently reachable.
-#[derive(Debug, Clone, Copy, PartialEq)]
-enum Attachment {
-    None,
-    Real { cell: CellId, ctx: CipherContext },
-    /// An attacker's fake terminal registered under this identity; the
-    /// real handset is parked on a fake cell and receives nothing.
-    Spoofed { ctx: CipherContext },
-}
-
-#[derive(Debug)]
-struct Subscriber {
-    name: String,
-    ms: MobileStation,
-    attachment: Attachment,
-    /// Messages that a MitM registration diverted away from the victim.
-    spoofed_inbox: Vec<ReceivedSms>,
-    /// Session key currently installed network-side (None before auth).
-    kc: Option<Kc>,
+/// Events the network schedules on its own wheel.
+#[derive(Debug, Clone)]
+enum NetEvent {
+    /// Attempt delivery of the queue for one destination.
+    Deliver(Msisdn),
 }
 
 /// A complete simulated GSM network.
@@ -86,15 +86,15 @@ struct Subscriber {
 /// See the crate-level example for typical use.
 #[derive(Debug)]
 pub struct GsmNetwork {
-    config: NetworkConfig,
-    clock: SimClock,
-    ether: Ether,
-    cells: Vec<CellConfig>,
-    subs: BTreeMap<u32, Subscriber>,
-    smsc: SmsCenter,
-    rng: StdRng,
-    next_sub: u32,
-    next_tmsi: u32,
+    pub(crate) config: NetworkConfig,
+    pub(crate) clock: SimClock,
+    pub(crate) ether: Ether,
+    pub(crate) cells: CellDirectory,
+    pub(crate) subs: SubscriberDirectory,
+    pub(crate) smsc: SmsCenter,
+    wheel: EventWheel<NetEvent>,
+    pub(crate) rng: StdRng,
+    pub(crate) next_tmsi: u32,
     next_concat_ref: u8,
 }
 
@@ -107,15 +107,18 @@ impl GsmNetwork {
             cipher_preference: config.cipher_preference.clone(),
             ..CellConfig::default()
         };
+        let mut cells = CellDirectory::new();
+        cells.insert(default_cell).expect("first cell cannot collide");
+        let smsc = SmsCenter::new(10_000, config.smsc_max_attempts);
         Self {
             config,
             clock: SimClock::new(),
             ether,
-            cells: vec![default_cell],
-            subs: BTreeMap::new(),
-            smsc: SmsCenter::default(),
+            cells,
+            subs: SubscriberDirectory::new(),
+            smsc,
+            wheel: EventWheel::new(),
             rng,
-            next_sub: 0,
             next_tmsi: 0x0100_0000,
             next_concat_ref: 0,
         }
@@ -127,17 +130,12 @@ impl GsmNetwork {
     ///
     /// Returns [`GsmError::ProtocolViolation`] on a duplicate cell id.
     pub fn add_cell(&mut self, cell: CellConfig) -> Result<CellId, GsmError> {
-        if self.cells.iter().any(|c| c.id == cell.id) {
-            return Err(GsmError::ProtocolViolation(format!("duplicate {}", cell.id)));
-        }
-        let id = cell.id;
-        self.cells.push(cell);
-        Ok(id)
+        self.cells.insert(cell)
     }
 
     /// All configured cells.
     pub fn cells(&self) -> &[CellConfig] {
-        &self.cells
+        self.cells.all()
     }
 
     /// The shared air-interface capture log.
@@ -166,354 +164,61 @@ impl GsmNetwork {
         name: &str,
         msisdn: Msisdn,
     ) -> Result<SubscriberId, GsmError> {
-        if self.subs.values().any(|s| s.ms.msisdn() == &msisdn) {
+        if self.subs.contains_msisdn(&msisdn) {
             return Err(GsmError::ProtocolViolation(format!("{msisdn} already provisioned")));
         }
-        let id = self.next_sub;
-        self.next_sub += 1;
-        let imsi = Imsi::from_parts(460, 0, 1_000_000_000 + u64::from(id));
+        let imsi = Imsi::from_parts(460, 0, 1_000_000_000 + u64::from(self.subs.next_id()));
         let ki = self.rng.gen();
         let ms = MobileStation::new(imsi, msisdn, ki);
-        self.subs.insert(
-            id,
-            Subscriber {
-                name: name.to_owned(),
-                ms,
-                attachment: Attachment::None,
-                spoofed_inbox: Vec::new(),
-                kc: None,
-            },
-        );
-        Ok(SubscriberId(id))
+        Ok(self.subs.insert(Subscriber::new(name.to_owned(), ms)))
     }
 
-    /// All provisioned subscriber ids, in provisioning order.
-    pub fn subscriber_ids(&self) -> Vec<SubscriberId> {
-        self.subs.keys().map(|&k| SubscriberId(k)).collect()
+    /// All provisioned subscriber ids, in provisioning order. Borrows
+    /// the directory instead of allocating; collect when mutation is
+    /// needed mid-iteration.
+    pub fn subscriber_ids(&self) -> impl Iterator<Item = SubscriberId> + '_ {
+        self.subs.ids()
     }
 
-    /// Looks up a subscriber by phone number.
+    /// Looks up a subscriber by phone number (O(log n) via the index).
     pub fn subscriber_by_msisdn(&self, msisdn: &Msisdn) -> Option<SubscriberId> {
-        self.subs
-            .iter()
-            .find(|(_, s)| s.ms.msisdn() == msisdn)
-            .map(|(&id, _)| SubscriberId(id))
+        self.subs.by_msisdn(msisdn)
     }
 
     /// Human-readable name given at provisioning.
     pub fn subscriber_name(&self, id: SubscriberId) -> Option<&str> {
-        self.subs.get(&id.0).map(|s| s.name.as_str())
+        self.subs.get(id).map(|s| s.name.as_str())
     }
 
     /// Read access to a subscriber's handset.
     pub fn terminal(&self, id: SubscriberId) -> Option<&MobileStation> {
-        self.subs.get(&id.0).map(|s| &s.ms)
+        self.subs.get(id).map(|s| &s.ms)
     }
 
     /// Mutable access to a subscriber's handset (moving it, changing RAT
     /// preference or classmark, jamming its LTE layer).
     pub fn terminal_mut(&mut self, id: SubscriberId) -> Option<&mut MobileStation> {
-        self.subs.get_mut(&id.0).map(|s| &mut s.ms)
+        self.subs.get_mut(id).map(|s| &mut s.ms)
     }
 
     /// The session key currently installed for a subscriber, if any.
     /// (Test/oracle hook: the rainbow-table model validates recovered keys
     /// against this.)
     pub fn current_kc(&self, id: SubscriberId) -> Option<Kc> {
-        self.subs.get(&id.0).and_then(|s| s.kc)
+        self.subs.get(id).and_then(|s| s.kc)
     }
 
     /// Messages diverted by a spoofed (MitM) registration for `id`.
     pub fn spoofed_inbox(&self, id: SubscriberId) -> &[ReceivedSms] {
-        self.subs.get(&id.0).map(|s| s.spoofed_inbox.as_slice()).unwrap_or(&[])
-    }
-
-    /// Confines a session key to the configured weak-key subspace.
-    fn weaken(&self, kc: Kc) -> Kc {
-        let bits = self.config.session_key_bits.min(64);
-        if bits >= 64 {
-            return kc;
-        }
-        let mask = (1u64 << bits) - 1;
-        Kc((kc.0 & mask) | (crate::a5::WEAK_KC_BASE & !mask))
-    }
-
-    fn cell_for(&self, pos: Position) -> Option<&CellConfig> {
-        self.cells
-            .iter()
-            .filter(|c| c.position.distance(pos) <= c.range_m)
-            .min_by(|a, b| {
-                a.position
-                    .distance(pos)
-                    .partial_cmp(&b.position.distance(pos))
-                    .expect("distances are finite")
-            })
-    }
-
-    /// Transmits one burst; returns `false` when the loss model swallowed
-    /// it (the frame then reaches neither receivers nor sniffers).
-    fn transmit(
-        &mut self,
-        cell: &CellConfig,
-        direction: Direction,
-        cipher: CipherAlgo,
-        ctx: Option<&CipherContext>,
-        origin: Position,
-        msg: &AirMessage,
-    ) -> bool {
-        self.clock.advance_frame();
-        let frame_number = self.clock.frame_number();
-        let mut payload = msg.encode();
-        if let Some(ctx) = ctx {
-            ctx.apply(frame_number, &mut payload);
-        }
-        self.ether.transmit(AirFrame {
-            seq: 0,
-            time: self.clock,
-            frame_number,
-            arfcn: cell.arfcn,
-            cell: cell.id,
-            direction,
-            cipher,
-            origin,
-            payload,
-        })
-    }
-
-    /// Performs a full location update for `id` on the best covering cell:
-    /// LAU request, authentication, cipher-mode negotiation and TMSI
-    /// reallocation. On success the subscriber becomes reachable for SMS.
-    ///
-    /// # Errors
-    ///
-    /// - [`GsmError::UnknownSubscriber`] for an unknown id.
-    /// - [`GsmError::ProtocolViolation`] when the handset is out of every
-    ///   cell's range, or is camped on LTE (jam it first).
-    pub fn attach(&mut self, id: SubscriberId) -> Result<CellId, GsmError> {
-        let sub = self.subs.get(&id.0).ok_or_else(|| GsmError::UnknownSubscriber(id.to_string()))?;
-        if !sub.ms.uses_gsm(self.config.lte_available) {
-            return Err(GsmError::ProtocolViolation("handset is camped on LTE".into()));
-        }
-        let pos = sub.ms.position();
-        let cell = self
-            .cell_for(pos)
-            .cloned()
-            .ok_or_else(|| GsmError::ProtocolViolation("no cell covers the handset".into()))?;
-        let ms_pos = pos;
-        let bts_pos = cell.position;
-
-        // Uplink LAU request with current identity (TMSI if held).
-        let (identity, classmark) = {
-            let sub = self.subs.get(&id.0).expect("checked above");
-            let identity = match sub.ms.tmsi() {
-                Some(t) => MsIdentity::Tmsi(t),
-                None => MsIdentity::Imsi(sub.ms.imsi()),
-            };
-            (identity, sub.ms.classmark())
-        };
-        self.transmit(
-            &cell,
-            Direction::Uplink,
-            CipherAlgo::A50,
-            None,
-            ms_pos,
-            &AirMessage::LocationUpdateRequest { id: identity, classmark: classmark.mask() },
-        );
-
-        // Challenge-response authentication.
-        let rand: u64 = self.rng.gen();
-        self.transmit(
-            &cell,
-            Direction::Downlink,
-            CipherAlgo::A50,
-            None,
-            bts_pos,
-            &AirMessage::AuthRequest { rand },
-        );
-        let (sres, kc) = {
-            let sub = self.subs.get(&id.0).expect("checked above");
-            (sub.ms.a3_sres(rand), self.weaken(sub.ms.a8_kc(rand)))
-        };
-        self.transmit(
-            &cell,
-            Direction::Uplink,
-            CipherAlgo::A50,
-            None,
-            ms_pos,
-            &AirMessage::AuthResponse { sres },
-        );
-
-        // Cipher mode: strongest algorithm the classmark and the cell allow.
-        let algo = classmark.negotiate(&cell.cipher_preference);
-        self.transmit(
-            &cell,
-            Direction::Downlink,
-            CipherAlgo::A50,
-            None,
-            bts_pos,
-            &AirMessage::CipherModeCommand { algo },
-        );
-        let ctx = CipherContext { algo, kc };
-        self.transmit(
-            &cell,
-            Direction::Uplink,
-            algo,
-            Some(&ctx),
-            ms_pos,
-            &AirMessage::CipherModeComplete,
-        );
-
-        // Predictable SI5 padding inside the ciphered channel — the known
-        // plaintext real-world A5/1 cracking feeds on.
-        self.transmit(&cell, Direction::Downlink, algo, Some(&ctx), bts_pos, &AirMessage::Si5Padding);
-
-        // TMSI reallocation inside the ciphered channel.
-        let new_tmsi = if self.config.tmsi_reallocation {
-            self.next_tmsi += 1;
-            Some(Tmsi(self.next_tmsi))
-        } else {
-            None
-        };
-        self.transmit(
-            &cell,
-            Direction::Downlink,
-            algo,
-            Some(&ctx),
-            bts_pos,
-            &AirMessage::LocationUpdateAccept { new_tmsi },
-        );
-
-        let sub = self.subs.get_mut(&id.0).expect("checked above");
-        if let Some(t) = new_tmsi {
-            sub.ms.set_tmsi(Some(t));
-        }
-        sub.ms.set_camp(Camp::Real(cell.id));
-        sub.ms.set_cipher_context(ctx);
-        sub.attachment = Attachment::Real { cell: cell.id, ctx };
-        sub.kc = Some(kc);
-        obs::add("gsm.network.attaches", 1);
-        Ok(cell.id)
+        self.subs.get(id).map(|s| s.spoofed_inbox.as_slice()).unwrap_or(&[])
     }
 
     /// Detaches a subscriber (handset loses service).
     pub fn detach(&mut self, id: SubscriberId) {
-        if let Some(sub) = self.subs.get_mut(&id.0) {
+        if let Some(sub) = self.subs.get_mut(id) {
             sub.attachment = Attachment::None;
             sub.ms.set_camp(Camp::Idle);
         }
-    }
-
-    /// Registers an attacker-controlled fake terminal under the victim's
-    /// identity (Fig. 10 of the paper). `auth_relay` receives the network's
-    /// RAND and must return the victim's SRES — in the real attack the
-    /// fake base station relays the challenge to the captive victim.
-    ///
-    /// On success the victim's SMS traffic is diverted to the spoofed
-    /// registration (readable via [`GsmNetwork::spoofed_inbox`]) under the
-    /// negotiated cipher, which the attacker downgraded to A5/0 by
-    /// claiming an empty classmark.
-    ///
-    /// # Errors
-    ///
-    /// - [`GsmError::UnknownSubscriber`] for an unknown victim.
-    /// - [`GsmError::ProtocolViolation`] when the relayed SRES is wrong or
-    ///   the negotiated cipher is one the attacker cannot run (the spoof
-    ///   must force A5/0).
-    pub fn register_spoofed<F>(
-        &mut self,
-        victim: SubscriberId,
-        attacker_pos: Position,
-        classmark: CipherSet,
-        mut auth_relay: F,
-    ) -> Result<CipherContext, GsmError>
-    where
-        F: FnMut(u64) -> u32,
-    {
-        let sub = self
-            .subs
-            .get(&victim.0)
-            .ok_or_else(|| GsmError::UnknownSubscriber(victim.to_string()))?;
-        let imsi = sub.ms.imsi();
-        let cell = self
-            .cell_for(attacker_pos)
-            .cloned()
-            .ok_or_else(|| GsmError::ProtocolViolation("no cell covers the attacker".into()))?;
-        let bts_pos = cell.position;
-
-        self.transmit(
-            &cell,
-            Direction::Uplink,
-            CipherAlgo::A50,
-            None,
-            attacker_pos,
-            &AirMessage::LocationUpdateRequest {
-                id: MsIdentity::Imsi(imsi),
-                classmark: classmark.mask(),
-            },
-        );
-        let rand: u64 = self.rng.gen();
-        self.transmit(
-            &cell,
-            Direction::Downlink,
-            CipherAlgo::A50,
-            None,
-            bts_pos,
-            &AirMessage::AuthRequest { rand },
-        );
-        let relayed_sres = auth_relay(rand);
-        self.transmit(
-            &cell,
-            Direction::Uplink,
-            CipherAlgo::A50,
-            None,
-            attacker_pos,
-            &AirMessage::AuthResponse { sres: relayed_sres },
-        );
-        let (expected_sres, kc) = {
-            let sub = self.subs.get(&victim.0).expect("checked above");
-            (sub.ms.a3_sres(rand), self.weaken(sub.ms.a8_kc(rand)))
-        };
-        if relayed_sres != expected_sres {
-            return Err(GsmError::ProtocolViolation("authentication failed (bad SRES)".into()));
-        }
-        let algo = classmark.negotiate(&cell.cipher_preference);
-        self.transmit(
-            &cell,
-            Direction::Downlink,
-            CipherAlgo::A50,
-            None,
-            bts_pos,
-            &AirMessage::CipherModeCommand { algo },
-        );
-        if algo != CipherAlgo::A50 {
-            // The attacker does not hold Kc; only a successful downgrade
-            // to plaintext lets the spoofed registration proceed.
-            return Err(GsmError::ProtocolViolation(format!(
-                "network insisted on {algo}; spoofed registration impossible"
-            )));
-        }
-        let ctx = CipherContext::plaintext();
-        self.transmit(
-            &cell,
-            Direction::Uplink,
-            algo,
-            Some(&ctx),
-            attacker_pos,
-            &AirMessage::CipherModeComplete,
-        );
-        self.transmit(
-            &cell,
-            Direction::Downlink,
-            algo,
-            Some(&ctx),
-            bts_pos,
-            &AirMessage::LocationUpdateAccept { new_tmsi: None },
-        );
-        let sub = self.subs.get_mut(&victim.0).expect("checked above");
-        sub.attachment = Attachment::Spoofed { ctx };
-        sub.kc = Some(kc);
-        obs::add("gsm.network.spoofed_registrations", 1);
-        Ok(ctx)
     }
 
     /// Submits an SMS from a service shortcode to `to`, then attempts
@@ -550,13 +255,43 @@ impl GsmNetwork {
         Ok(())
     }
 
-    /// Delivers queued SMS to every reachable subscriber and advances the
-    /// clock past the resulting transactions.
-    pub fn run_until_idle(&mut self) {
-        self.deliver_pending();
-        self.clock.advance_millis(50);
+    /// Delivers queued SMS to every reachable subscriber by draining the
+    /// event wheel under the default iteration budget, then advances the
+    /// clock past the resulting transactions. Failed attempts are retried
+    /// on the wheel until the SMSC expires the message.
+    pub fn run_until_idle(&mut self) -> DrainReport {
+        self.run_until_idle_with(DEFAULT_DRAIN_BUDGET)
     }
 
+    /// [`GsmNetwork::run_until_idle`] with an explicit iteration budget.
+    /// The report's `exhausted` flag is set when the budget ran out with
+    /// events still queued — a self-rescheduling chain cannot hang the
+    /// caller.
+    pub fn run_until_idle_with(&mut self, budget: u64) -> DrainReport {
+        // Seed one delivery event per destination with pending traffic.
+        for dest in self.smsc.pending_destinations() {
+            self.wheel.schedule(self.clock.micros(), NetEvent::Deliver(dest));
+        }
+        let mut report = DrainReport::default();
+        while report.events_processed < budget {
+            let Some((at, event)) = self.wheel.pop() else { break };
+            if at > self.clock.micros() {
+                self.clock.advance_micros(at - self.clock.micros());
+            }
+            report.events_processed += 1;
+            match event {
+                NetEvent::Deliver(dest) => self.deliver_destination(&dest),
+            }
+            report.end_us = self.clock.micros();
+        }
+        report.residual = self.wheel.len();
+        report.exhausted = report.events_processed == budget && !self.wheel.is_empty();
+        self.clock.advance_millis(50);
+        report
+    }
+
+    /// One immediate delivery sweep over every pending destination (no
+    /// retry scheduling) — the fast path behind `send_sms`.
     fn deliver_pending(&mut self) {
         for dest in self.smsc.pending_destinations() {
             let Some(id) = self.subscriber_by_msisdn(&dest) else { continue };
@@ -572,465 +307,30 @@ impl GsmNetwork {
         }
     }
 
-    fn deliver_one(&mut self, id: SubscriberId, tpdu: &SmsDeliver) -> Result<(), GsmError> {
-        let sub = self.subs.get(&id.0).ok_or_else(|| GsmError::UnknownSubscriber(id.to_string()))?;
-        match sub.attachment {
-            Attachment::None => Err(GsmError::NotAttached),
-            Attachment::Real { cell, ctx } => {
-                let cell = self
-                    .cells
-                    .iter()
-                    .find(|c| c.id == cell)
-                    .cloned()
-                    .ok_or(GsmError::UnknownCell(cell.0))?;
-                let (identity, ms_pos) = {
-                    let sub = self.subs.get(&id.0).expect("checked above");
-                    let identity = if self.config.page_by_imsi {
-                        MsIdentity::Imsi(sub.ms.imsi())
-                    } else {
-                        match sub.ms.tmsi() {
-                            Some(t) => MsIdentity::Tmsi(t),
-                            None => MsIdentity::Imsi(sub.ms.imsi()),
-                        }
-                    };
-                    (identity, sub.ms.position())
-                };
-                let bts_pos = cell.position;
-                self.transmit(
-                    &cell,
-                    Direction::Downlink,
-                    CipherAlgo::A50,
-                    None,
-                    bts_pos,
-                    &AirMessage::PagingRequest { id: identity },
-                );
-                self.transmit(
-                    &cell,
-                    Direction::Uplink,
-                    CipherAlgo::A50,
-                    None,
-                    ms_pos,
-                    &AirMessage::PagingResponse { id: identity },
-                );
-                let landed = self.transmit(
-                    &cell,
-                    Direction::Downlink,
-                    ctx.algo,
-                    Some(&ctx),
-                    bts_pos,
-                    &AirMessage::SmsDeliverData { tpdu: tpdu.encode() },
-                );
-                if !landed {
-                    // The burst faded; the handset never acknowledges and
-                    // the SMSC will retry.
-                    return Err(GsmError::ProtocolViolation("delivery burst lost on the air".into()));
+    /// Drains the SMSC queue for one destination; a failed attempt leaves
+    /// the queue and schedules a retry unless the SMSC expired the
+    /// message.
+    fn deliver_destination(&mut self, dest: &Msisdn) {
+        let Some(id) = self.subscriber_by_msisdn(dest) else { return };
+        while let Some(msg) = self.smsc.take_for(dest) {
+            match self.deliver_one(id, &msg.tpdu) {
+                Ok(()) => self.smsc.confirm(msg),
+                Err(_) => {
+                    self.smsc.requeue(msg);
+                    if self.smsc.pending_for(dest) > 0 {
+                        self.wheel.schedule(
+                            self.clock.micros() + RETRY_INTERVAL_US,
+                            NetEvent::Deliver(dest.clone()),
+                        );
+                    }
+                    break;
                 }
-                self.transmit(
-                    &cell,
-                    Direction::Uplink,
-                    ctx.algo,
-                    Some(&ctx),
-                    ms_pos,
-                    &AirMessage::SmsAck,
-                );
-                let received = ReceivedSms {
-                    originator: tpdu.originator.to_string(),
-                    text: tpdu.text()?,
-                    time: self.clock,
-                    raw_tpdu: tpdu.encode(),
-                };
-                let sub = self.subs.get_mut(&id.0).expect("checked above");
-                sub.ms.receive_sms(received, tpdu.concat);
-                Ok(())
-            }
-            Attachment::Spoofed { ctx } => {
-                // Traffic goes to the attacker's registration; the cell is
-                // whichever covers the attacker — reuse the first cell for
-                // the transmission record.
-                let cell = self.cells.first().cloned().ok_or(GsmError::UnknownCell(0))?;
-                let bts_pos = cell.position;
-                let imsi = {
-                    let sub = self.subs.get(&id.0).expect("checked above");
-                    sub.ms.imsi()
-                };
-                self.transmit(
-                    &cell,
-                    Direction::Downlink,
-                    CipherAlgo::A50,
-                    None,
-                    bts_pos,
-                    &AirMessage::PagingRequest { id: MsIdentity::Imsi(imsi) },
-                );
-                self.transmit(
-                    &cell,
-                    Direction::Downlink,
-                    ctx.algo,
-                    Some(&ctx),
-                    bts_pos,
-                    &AirMessage::SmsDeliverData { tpdu: tpdu.encode() },
-                );
-                let received = ReceivedSms {
-                    originator: tpdu.originator.to_string(),
-                    text: tpdu.text()?,
-                    time: self.clock,
-                    raw_tpdu: tpdu.encode(),
-                };
-                let sub = self.subs.get_mut(&id.0).expect("checked above");
-                sub.spoofed_inbox.push(received);
-                Ok(())
             }
         }
-    }
-
-    /// Sends a person-to-person SMS from an attached subscriber's
-    /// handset: the SMS-SUBMIT crosses the air uplink (ciphered under the
-    /// sender's session), the SMSC stores it, and delivery to the
-    /// recipient proceeds as usual.
-    ///
-    /// # Errors
-    ///
-    /// - [`GsmError::NotAttached`] when the sender has no service.
-    /// - [`GsmError::UnknownSubscriber`] for sender or recipient.
-    /// - [`GsmError::PduEncode`] when the text needs more than one PDU
-    ///   (mobile-originated concatenation is not modelled).
-    pub fn ms_send_sms(
-        &mut self,
-        from: SubscriberId,
-        to: &Msisdn,
-        text: &str,
-    ) -> Result<(), GsmError> {
-        let sub = self
-            .subs
-            .get(&from.0)
-            .ok_or_else(|| GsmError::UnknownSubscriber(from.to_string()))?;
-        let Attachment::Real { cell, ctx } = sub.attachment else {
-            return Err(GsmError::NotAttached);
-        };
-        if self.subscriber_by_msisdn(to).is_none() {
-            return Err(GsmError::UnknownSubscriber(to.to_string()));
-        }
-        let sender_msisdn = sub.ms.msisdn().clone();
-        let ms_pos = sub.ms.position();
-        let cell = self
-            .cells
-            .iter()
-            .find(|c| c.id == cell)
-            .cloned()
-            .ok_or(GsmError::UnknownCell(cell.0))?;
-        let destination = crate::pdu::Address::from_msisdn(to);
-        let submit = crate::pdu::SmsSubmit::new(self.rng.gen(), destination, text)?;
-        self.transmit(
-            &cell,
-            Direction::Uplink,
-            ctx.algo,
-            Some(&ctx),
-            ms_pos,
-            &AirMessage::SmsSubmitData { tpdu: submit.encode() },
-        );
-        self.transmit(
-            &cell,
-            Direction::Downlink,
-            ctx.algo,
-            Some(&ctx),
-            cell.position,
-            &AirMessage::SmsAck,
-        );
-        // Store-and-forward toward the recipient.
-        obs::add("gsm.network.sms_mobile_originated", 1);
-        self.send_sms_from(crate::pdu::Address::from_msisdn(&sender_msisdn), to, text)
     }
 
     /// Pending (undelivered) messages in the SMS centre.
     pub fn smsc_pending(&self) -> usize {
         self.smsc.pending()
-    }
-
-    /// Transmits a frame on behalf of equipment that is *not* part of the
-    /// legitimate network — the fake base station and fake terminal of the
-    /// active MitM rig. The frame lands in the same ether all receivers
-    /// and sniffers read.
-    pub fn transmit_on(
-        &mut self,
-        cell: &CellConfig,
-        direction: Direction,
-        cipher: CipherAlgo,
-        ctx: Option<&CipherContext>,
-        origin: Position,
-        msg: &AirMessage,
-    ) {
-        self.transmit(cell, direction, cipher, ctx, origin, msg);
-    }
-}
-
-#[cfg(test)]
-mod tests {
-    use super::*;
-    use crate::terminal::RatPreference;
-
-    fn net() -> GsmNetwork {
-        GsmNetwork::new(NetworkConfig::default())
-    }
-
-    fn msisdn(s: &str) -> Msisdn {
-        Msisdn::new(s).unwrap()
-    }
-
-    #[test]
-    fn provision_attach_and_deliver() {
-        let mut net = net();
-        let id = net.provision_subscriber("alice", msisdn("13800138000")).unwrap();
-        net.attach(id).unwrap();
-        net.send_sms(&msisdn("13800138000"), "123456 is your code").unwrap();
-        let ms = net.terminal(id).unwrap();
-        assert_eq!(ms.inbox().len(), 1);
-        assert_eq!(ms.inbox()[0].text, "123456 is your code");
-    }
-
-    #[test]
-    fn duplicate_msisdn_rejected() {
-        let mut net = net();
-        net.provision_subscriber("a", msisdn("13800138000")).unwrap();
-        assert!(net.provision_subscriber("b", msisdn("13800138000")).is_err());
-    }
-
-    #[test]
-    fn sms_to_unknown_number_fails() {
-        let mut net = net();
-        assert!(matches!(
-            net.send_sms(&msisdn("19999999999"), "x"),
-            Err(GsmError::UnknownSubscriber(_))
-        ));
-    }
-
-    #[test]
-    fn sms_queues_until_attach() {
-        let mut net = net();
-        let id = net.provision_subscriber("alice", msisdn("13800138000")).unwrap();
-        net.send_sms(&msisdn("13800138000"), "early").unwrap();
-        assert_eq!(net.smsc_pending(), 1);
-        assert!(net.terminal(id).unwrap().inbox().is_empty());
-        net.attach(id).unwrap();
-        net.run_until_idle();
-        assert_eq!(net.smsc_pending(), 0);
-        assert_eq!(net.terminal(id).unwrap().inbox().len(), 1);
-    }
-
-    #[test]
-    fn attach_negotiates_a51_by_default() {
-        let mut net = net();
-        let id = net.provision_subscriber("alice", msisdn("13800138000")).unwrap();
-        net.attach(id).unwrap();
-        assert_eq!(net.terminal(id).unwrap().cipher_context().algo, CipherAlgo::A51);
-        assert!(net.current_kc(id).is_some());
-    }
-
-    #[test]
-    fn attach_fails_when_handset_on_lte() {
-        let mut net = GsmNetwork::new(NetworkConfig { lte_available: true, ..Default::default() });
-        let id = net.provision_subscriber("alice", msisdn("13800138000")).unwrap();
-        net.terminal_mut(id).unwrap().set_rat(RatPreference::PreferLte);
-        assert!(net.attach(id).is_err());
-        // Jamming LTE forces the GSM fallback.
-        net.terminal_mut(id).unwrap().set_lte_jammed(true);
-        assert!(net.attach(id).is_ok());
-    }
-
-    #[test]
-    fn attach_fails_out_of_coverage() {
-        let mut net = net();
-        let id = net.provision_subscriber("alice", msisdn("13800138000")).unwrap();
-        net.terminal_mut(id).unwrap().set_position(Position::new(10_000.0, 10_000.0));
-        assert!(net.attach(id).is_err());
-    }
-
-    #[test]
-    fn attach_emits_expected_transaction_on_air() {
-        let mut net = net();
-        let id = net.provision_subscriber("alice", msisdn("13800138000")).unwrap();
-        net.attach(id).unwrap();
-        let kinds: Vec<u8> =
-            net.ether().frames().iter().map(|f| f.payload.first().copied().unwrap_or(0)).collect();
-        // LAU request, auth request, auth response and cipher-mode command
-        // are all plaintext; the final three (cipher-mode complete, SI5
-        // padding, LAU accept) are ciphered, so their tags are opaque.
-        assert_eq!(kinds[0], 0x03);
-        assert_eq!(kinds[1], 0x07);
-        assert_eq!(kinds[2], 0x08);
-        assert_eq!(kinds[3], 0x09);
-        assert_eq!(net.ether().frames().len(), 7);
-    }
-
-    #[test]
-    fn tmsi_is_reallocated_on_attach() {
-        let mut net = net();
-        let id = net.provision_subscriber("alice", msisdn("13800138000")).unwrap();
-        assert!(net.terminal(id).unwrap().tmsi().is_none());
-        net.attach(id).unwrap();
-        let first = net.terminal(id).unwrap().tmsi().unwrap();
-        net.attach(id).unwrap();
-        let second = net.terminal(id).unwrap().tmsi().unwrap();
-        assert_ne!(first, second);
-    }
-
-    #[test]
-    fn delivered_sms_frames_are_ciphered_under_a51() {
-        let mut net = net();
-        let id = net.provision_subscriber("alice", msisdn("13800138000")).unwrap();
-        net.attach(id).unwrap();
-        let before = net.ether().frames().len();
-        net.send_sms(&msisdn("13800138000"), "sensitive otp 555666").unwrap();
-        let frames = &net.ether().frames()[before..];
-        let sms_frame = frames
-            .iter()
-            .find(|f| f.cipher == CipherAlgo::A51 && f.direction == Direction::Downlink)
-            .expect("ciphered downlink SMS frame");
-        // Without the key the payload must not parse as an SMS deliver.
-        let parsed = sms_frame.message_plaintext();
-        assert!(!matches!(parsed, Ok(AirMessage::SmsDeliverData { .. })));
-        // With the victim's context it parses fine.
-        let ctx = net.terminal(id).unwrap().cipher_context();
-        assert!(matches!(sms_frame.message_with(&ctx), Ok(AirMessage::SmsDeliverData { .. })));
-    }
-
-    #[test]
-    fn spoofed_registration_diverts_sms() {
-        let mut net = net();
-        let id = net.provision_subscriber("victim", msisdn("13800138000")).unwrap();
-        net.attach(id).unwrap();
-        // The attacker relays the victim's true SRES (fake BTS capture).
-        let victim_ms = net.terminal(id).unwrap().clone();
-        net.register_spoofed(id, Position::new(50.0, 0.0), CipherSet::none(), |rand| {
-            victim_ms.a3_sres(rand)
-        })
-        .unwrap();
-        net.send_sms(&msisdn("13800138000"), "OTP 999000").unwrap();
-        assert_eq!(net.spoofed_inbox(id).len(), 1, "attacker got the message");
-        assert_eq!(net.terminal(id).unwrap().inbox().len(), 0, "victim got nothing");
-        assert_eq!(net.spoofed_inbox(id)[0].text, "OTP 999000");
-    }
-
-    #[test]
-    fn spoofed_registration_rejects_wrong_sres() {
-        let mut net = net();
-        let id = net.provision_subscriber("victim", msisdn("13800138000")).unwrap();
-        let err = net.register_spoofed(id, Position::new(0.0, 0.0), CipherSet::none(), |_| 0xbad);
-        assert!(matches!(err, Err(GsmError::ProtocolViolation(_))));
-    }
-
-    #[test]
-    fn spoofed_registration_requires_downgrade() {
-        // If the network mandates A5/3 the spoof cannot complete.
-        let mut net = GsmNetwork::new(NetworkConfig {
-            cipher_preference: vec![CipherAlgo::A53],
-            ..Default::default()
-        });
-        let id = net.provision_subscriber("victim", msisdn("13800138000")).unwrap();
-        let victim_ms = net.terminal(id).unwrap().clone();
-        // Even claiming full support, the attacker has no Kc; and claiming
-        // none is refused by a network whose preference list lacks A5/0?
-        // Preference [A53] + classmark none negotiates A5/0 fallback, so
-        // configure preference to only offer A5/3 — negotiate() falls back
-        // to A50 by design, mirroring real networks that accept it. Spoof
-        // therefore succeeds only because the network tolerates A5/0:
-        let res = net.register_spoofed(id, Position::new(0.0, 0.0), CipherSet::none(), |rand| {
-            victim_ms.a3_sres(rand)
-        });
-        assert!(res.is_ok(), "downgrade-tolerant network accepts A5/0 spoof");
-        // A network that *refuses* A5/0 blocks the spoof: model by putting
-        // A5/3 first and having the attacker claim A5/3 support (it still
-        // lacks Kc, so the registration must fail).
-        let mut strict = GsmNetwork::new(NetworkConfig {
-            cipher_preference: vec![CipherAlgo::A53, CipherAlgo::A51],
-            ..Default::default()
-        });
-        let id2 = strict.provision_subscriber("victim2", msisdn("13900000000")).unwrap();
-        let ms2 = strict.terminal(id2).unwrap().clone();
-        let err = strict.register_spoofed(id2, Position::new(0.0, 0.0), CipherSet::all(), |rand| {
-            ms2.a3_sres(rand)
-        });
-        assert!(matches!(err, Err(GsmError::ProtocolViolation(_))));
-    }
-
-    #[test]
-    fn person_to_person_sms_flows_both_ways() {
-        let mut net = net();
-        let a = net.provision_subscriber("alice", msisdn("13800138000")).unwrap();
-        let b = net.provision_subscriber("bob", msisdn("13900139000")).unwrap();
-        net.attach(a).unwrap();
-        net.attach(b).unwrap();
-        net.ms_send_sms(a, &msisdn("13900139000"), "dinner at 8?").unwrap();
-        let bob = net.terminal(b).unwrap();
-        assert_eq!(bob.inbox().len(), 1);
-        assert_eq!(bob.inbox()[0].text, "dinner at 8?");
-        assert_eq!(bob.inbox()[0].originator, "13800138000");
-        // The uplink SMS-SUBMIT crossed the air ciphered.
-        assert!(net
-            .ether()
-            .frames()
-            .iter()
-            .any(|f| f.direction == Direction::Uplink && f.cipher == CipherAlgo::A51));
-    }
-
-    #[test]
-    fn ms_send_requires_attachment() {
-        let mut net = net();
-        let a = net.provision_subscriber("alice", msisdn("13800138000")).unwrap();
-        let _b = net.provision_subscriber("bob", msisdn("13900139000")).unwrap();
-        assert!(matches!(
-            net.ms_send_sms(a, &msisdn("13900139000"), "hi"),
-            Err(GsmError::NotAttached)
-        ));
-        net.attach(a).unwrap();
-        assert!(matches!(
-            net.ms_send_sms(a, &msisdn("19999999999"), "hi"),
-            Err(GsmError::UnknownSubscriber(_))
-        ));
-    }
-
-    #[test]
-    fn long_sms_is_split_and_reassembled() {
-        let mut net = net();
-        let id = net.provision_subscriber("alice", msisdn("13800138000")).unwrap();
-        net.attach(id).unwrap();
-        let text = "Your statement is ready. ".repeat(12); // > 160 septets
-        net.send_sms(&msisdn("13800138000"), &text).unwrap();
-        let ms = net.terminal(id).unwrap();
-        assert_eq!(ms.inbox().len(), 1, "parts reassembled into one message");
-        assert_eq!(ms.inbox()[0].text, text);
-        assert_eq!(ms.pending_multipart(), 0);
-        // More than one SMS-DELIVER frame crossed the air.
-        let deliver_frames = net
-            .ether()
-            .frames()
-            .iter()
-            .filter(|f| f.direction == Direction::Downlink && f.cipher == CipherAlgo::A51)
-            .count();
-        assert!(deliver_frames >= 2, "expected multiple ciphered parts, saw {deliver_frames}");
-    }
-
-    #[test]
-    fn interleaved_multipart_messages_reassemble_independently() {
-        let mut net = net();
-        let a = net.provision_subscriber("alice", msisdn("13800138000")).unwrap();
-        net.attach(a).unwrap();
-        let text1 = "AAAA ".repeat(40);
-        let text2 = "BBBB ".repeat(40);
-        net.send_sms(&msisdn("13800138000"), &text1).unwrap();
-        net.send_sms(&msisdn("13800138000"), &text2).unwrap();
-        let ms = net.terminal(a).unwrap();
-        assert_eq!(ms.inbox().len(), 2);
-        assert_eq!(ms.inbox()[0].text, text1);
-        assert_eq!(ms.inbox()[1].text, text2);
-    }
-
-    #[test]
-    fn detach_makes_subscriber_unreachable() {
-        let mut net = net();
-        let id = net.provision_subscriber("alice", msisdn("13800138000")).unwrap();
-        net.attach(id).unwrap();
-        net.detach(id);
-        net.send_sms(&msisdn("13800138000"), "late").unwrap();
-        assert!(net.terminal(id).unwrap().inbox().is_empty());
-        assert_eq!(net.smsc_pending(), 1);
     }
 }

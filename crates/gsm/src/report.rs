@@ -1,0 +1,222 @@
+//! Campaign result types: per-cell counters, interception records,
+//! merged totals, defender-side anomaly signals and the byte-stable
+//! [`CampaignReport`] rendering. The engine lives in
+//! [`crate::campaign`]; this module is pure data so the report can be
+//! consumed (and re-serialized deterministically) without pulling in
+//! the event loop.
+
+/// Per-cell activity counters; merged across shards by field-wise sum.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct CellStats {
+    /// Completed location updates.
+    pub attaches: u64,
+    /// Inbound handovers.
+    pub handovers: u64,
+    /// Paging requests sent.
+    pub pages: u64,
+    /// Paging responses heard.
+    pub page_responses: u64,
+    /// SMS delivered on this cell.
+    pub sms_delivered: u64,
+    /// Total air frames carried.
+    pub frames: u64,
+}
+
+impl CellStats {
+    pub(crate) fn merge(&mut self, other: &CellStats) {
+        self.attaches += other.attaches;
+        self.handovers += other.handovers;
+        self.pages += other.pages;
+        self.page_responses += other.page_responses;
+        self.sms_delivered += other.sms_delivered;
+        self.frames += other.frames;
+    }
+}
+
+/// How an SMS fell into the attacker's hands.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+pub enum InterceptKind {
+    /// A passive sniffer covering the serving cell cracked the session.
+    Sniffed {
+        /// Index of the sniffer in the fleet.
+        sniffer: u8,
+    },
+    /// The victim was parked on a fake base station; delivery was
+    /// diverted to the spoofed registration.
+    Mitm {
+        /// Index of the fake base station.
+        station: u8,
+    },
+}
+
+/// One captured SMS.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Interception {
+    /// Simulated capture time, microseconds.
+    pub time_us: u64,
+    /// Victim subscriber (campaign-global id).
+    pub subscriber: u32,
+    /// Cell index the traffic was associated with (the victim's real
+    /// serving cell, also for MitM diversions).
+    pub cell: u16,
+    /// Capture mechanism.
+    pub kind: InterceptKind,
+}
+
+/// Campaign-wide totals.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct Totals {
+    /// Events dispatched through the wheel.
+    pub events: u64,
+    /// Air frames accounted (the benchmark currency).
+    pub frames: u64,
+    /// Location updates completed.
+    pub attaches: u64,
+    /// Handovers completed.
+    pub handovers: u64,
+    /// SMS delivered (to real handsets).
+    pub sms_delivered: u64,
+    /// SMS captured by passive sniffers.
+    pub sms_sniffed: u64,
+    /// SMS diverted by fake base stations.
+    pub sms_diverted: u64,
+    /// Capture events (a subscriber lured onto a fake cell).
+    pub captures: u64,
+}
+
+impl Totals {
+    pub(crate) fn merge(&mut self, o: &Totals) {
+        self.events += o.events;
+        self.frames += o.frames;
+        self.attaches += o.attaches;
+        self.handovers += o.handovers;
+        self.sms_delivered += o.sms_delivered;
+        self.sms_sniffed += o.sms_sniffed;
+        self.sms_diverted += o.sms_diverted;
+        self.captures += o.captures;
+    }
+}
+
+/// Defender-side detection signals computed over the merged counters.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct Anomalies {
+    /// Cells whose attach count is a ≥3σ outlier above the city mean —
+    /// the capture/release churn signature around fake base stations.
+    pub attach_outliers: Vec<u16>,
+    /// Cells paging significantly more than they hear responses
+    /// (response ratio < 0.9 over ≥20 pages) — captured victims are
+    /// paged on their last real cell and never answer.
+    pub paging_response_outliers: Vec<u16>,
+}
+
+/// The merged result of a campaign run. Serialize with
+/// [`CampaignReport::to_json`] for a byte-stable artifact.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CampaignReport {
+    /// Seed the campaign ran under.
+    pub seed: u64,
+    /// Cells in the city.
+    pub cells: u32,
+    /// Population size.
+    pub subscribers: u32,
+    /// Simulated duration, seconds.
+    pub duration_s: u32,
+    /// Campaign-wide totals.
+    pub totals: Totals,
+    /// Distinct subscribers with at least one interception, ascending.
+    pub compromised: Vec<u32>,
+    /// Every captured SMS, sorted by `(time_us, subscriber)`.
+    pub interceptions: Vec<Interception>,
+    /// Per-cell counters, indexed by cell.
+    pub per_cell: Vec<CellStats>,
+    /// Detection exposure.
+    pub anomalies: Anomalies,
+}
+
+impl CampaignReport {
+    /// Deterministic JSON rendering: fixed key order, no whitespace
+    /// variation — byte-identical for equal reports.
+    pub fn to_json(&self) -> String {
+        let mut s = String::with_capacity(4096 + self.per_cell.len() * 96);
+        s.push_str(&format!(
+            "{{\"seed\":{},\"cells\":{},\"subscribers\":{},\"duration_s\":{},",
+            self.seed, self.cells, self.subscribers, self.duration_s
+        ));
+        let t = &self.totals;
+        s.push_str(&format!(
+            "\"totals\":{{\"events\":{},\"frames\":{},\"attaches\":{},\"handovers\":{},\"sms_delivered\":{},\"sms_sniffed\":{},\"sms_diverted\":{},\"captures\":{}}},",
+            t.events, t.frames, t.attaches, t.handovers, t.sms_delivered, t.sms_sniffed, t.sms_diverted, t.captures
+        ));
+        s.push_str("\"compromised\":[");
+        for (i, c) in self.compromised.iter().enumerate() {
+            if i > 0 {
+                s.push(',');
+            }
+            s.push_str(&c.to_string());
+        }
+        s.push_str("],\"interceptions\":[");
+        for (i, it) in self.interceptions.iter().enumerate() {
+            if i > 0 {
+                s.push(',');
+            }
+            let (kind, idx) = match it.kind {
+                InterceptKind::Sniffed { sniffer } => ("sniffed", sniffer),
+                InterceptKind::Mitm { station } => ("mitm", station),
+            };
+            s.push_str(&format!(
+                "{{\"time_us\":{},\"subscriber\":{},\"cell\":{},\"kind\":\"{kind}\",\"unit\":{idx}}}",
+                it.time_us, it.subscriber, it.cell
+            ));
+        }
+        s.push_str("],\"per_cell\":[");
+        for (i, c) in self.per_cell.iter().enumerate() {
+            if i > 0 {
+                s.push(',');
+            }
+            s.push_str(&format!(
+                "{{\"attaches\":{},\"handovers\":{},\"pages\":{},\"page_responses\":{},\"sms_delivered\":{},\"frames\":{}}}",
+                c.attaches, c.handovers, c.pages, c.page_responses, c.sms_delivered, c.frames
+            ));
+        }
+        s.push_str("],\"anomalies\":{\"attach_outliers\":[");
+        for (i, c) in self.anomalies.attach_outliers.iter().enumerate() {
+            if i > 0 {
+                s.push(',');
+            }
+            s.push_str(&c.to_string());
+        }
+        s.push_str("],\"paging_response_outliers\":[");
+        for (i, c) in self.anomalies.paging_response_outliers.iter().enumerate() {
+            if i > 0 {
+                s.push(',');
+            }
+            s.push_str(&c.to_string());
+        }
+        s.push_str("]}}");
+        s
+    }
+}
+
+/// Attach-rate and paging-response outlier detection over the merged
+/// per-cell counters.
+pub(crate) fn detect_anomalies(per_cell: &[CellStats]) -> Anomalies {
+    let n = per_cell.len().max(1) as f64;
+    let mean = per_cell.iter().map(|c| c.attaches as f64).sum::<f64>() / n;
+    let var = per_cell.iter().map(|c| (c.attaches as f64 - mean).powi(2)).sum::<f64>() / n;
+    let std = var.sqrt();
+    let mut attach_outliers = Vec::new();
+    if std > 0.0 {
+        for (i, c) in per_cell.iter().enumerate() {
+            if (c.attaches as f64 - mean) / std >= 3.0 {
+                attach_outliers.push(i as u16);
+            }
+        }
+    }
+    let mut paging_response_outliers = Vec::new();
+    for (i, c) in per_cell.iter().enumerate() {
+        if c.pages >= 20 && (c.page_responses as f64) < 0.9 * c.pages as f64 {
+            paging_response_outliers.push(i as u16);
+        }
+    }
+    Anomalies { attach_outliers, paging_response_outliers }
+}

@@ -110,6 +110,11 @@ impl SmsCenter {
         self.queue.len()
     }
 
+    /// Messages still waiting for one destination.
+    pub fn pending_for(&self, destination: &Msisdn) -> usize {
+        self.queue.iter().filter(|m| &m.destination == destination).count()
+    }
+
     /// Destinations with pending traffic, deduplicated in queue order.
     pub fn pending_destinations(&self) -> Vec<Msisdn> {
         let mut seen = Vec::new();

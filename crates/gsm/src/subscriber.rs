@@ -1,0 +1,153 @@
+//! Subscriber records (HLR-side state) and their indexed directory.
+//!
+//! Each record pairs the handset with the network's view of it: the
+//! current attachment, the installed session key and any traffic a
+//! MitM registration diverted. The directory maintains an MSISDN index
+//! so number lookups are O(log n) instead of a scan over the whole
+//! subscriber base.
+
+use crate::a5::Kc;
+use crate::cipher::CipherContext;
+use crate::identity::{Msisdn, SubscriberId};
+use crate::radio::CellId;
+use crate::terminal::{MobileStation, ReceivedSms};
+use std::collections::BTreeMap;
+
+/// How a subscriber is currently reachable.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum Attachment {
+    /// No service: traffic queues in the SMSC.
+    None,
+    /// Normally attached to a real cell under a negotiated cipher.
+    Real {
+        /// Serving cell.
+        cell: CellId,
+        /// Session cipher installed at attach.
+        ctx: CipherContext,
+    },
+    /// An attacker's fake terminal registered under this identity; the
+    /// real handset is parked on a fake cell and receives nothing.
+    Spoofed {
+        /// The (downgraded) cipher the spoofed registration runs.
+        ctx: CipherContext,
+    },
+}
+
+/// One provisioned subscriber: SIM + handset + network-side state.
+#[derive(Debug)]
+pub struct Subscriber {
+    /// Human-readable name given at provisioning.
+    pub name: String,
+    /// The handset.
+    pub ms: MobileStation,
+    /// Current reachability.
+    pub attachment: Attachment,
+    /// Messages that a MitM registration diverted away from the victim.
+    pub spoofed_inbox: Vec<ReceivedSms>,
+    /// Session key currently installed network-side (None before auth).
+    pub kc: Option<Kc>,
+}
+
+impl Subscriber {
+    /// A freshly provisioned, unattached subscriber.
+    pub fn new(name: String, ms: MobileStation) -> Self {
+        Self { name, ms, attachment: Attachment::None, spoofed_inbox: Vec::new(), kc: None }
+    }
+}
+
+/// The subscriber base with an MSISDN index.
+#[derive(Debug, Default)]
+pub struct SubscriberDirectory {
+    subs: BTreeMap<u32, Subscriber>,
+    by_msisdn: BTreeMap<Msisdn, u32>,
+    next_id: u32,
+}
+
+impl SubscriberDirectory {
+    /// An empty directory.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Number of provisioned subscribers.
+    pub fn len(&self) -> usize {
+        self.subs.len()
+    }
+
+    /// Whether nobody is provisioned.
+    pub fn is_empty(&self) -> bool {
+        self.subs.is_empty()
+    }
+
+    /// Whether `msisdn` is already provisioned.
+    pub fn contains_msisdn(&self, msisdn: &Msisdn) -> bool {
+        self.by_msisdn.contains_key(msisdn)
+    }
+
+    /// The id the next [`SubscriberDirectory::insert`] will assign.
+    pub fn next_id(&self) -> u32 {
+        self.next_id
+    }
+
+    /// Inserts a subscriber under the next free id. The caller must
+    /// have checked [`SubscriberDirectory::contains_msisdn`] first —
+    /// the index maps one number to one record.
+    pub fn insert(&mut self, sub: Subscriber) -> SubscriberId {
+        let id = self.next_id;
+        self.next_id += 1;
+        debug_assert!(!self.by_msisdn.contains_key(sub.ms.msisdn()), "msisdn already indexed");
+        self.by_msisdn.insert(sub.ms.msisdn().clone(), id);
+        self.subs.insert(id, sub);
+        SubscriberId(id)
+    }
+
+    /// Looks up a subscriber record.
+    pub fn get(&self, id: SubscriberId) -> Option<&Subscriber> {
+        self.subs.get(&id.0)
+    }
+
+    /// Mutable access to a subscriber record.
+    pub fn get_mut(&mut self, id: SubscriberId) -> Option<&mut Subscriber> {
+        self.subs.get_mut(&id.0)
+    }
+
+    /// Looks up a subscriber by phone number via the index.
+    pub fn by_msisdn(&self, msisdn: &Msisdn) -> Option<SubscriberId> {
+        self.by_msisdn.get(msisdn).copied().map(SubscriberId)
+    }
+
+    /// All subscriber ids in provisioning order, without allocating.
+    pub fn ids(&self) -> impl Iterator<Item = SubscriberId> + '_ {
+        self.subs.keys().map(|&k| SubscriberId(k))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::identity::Imsi;
+
+    fn sub(n: u64) -> Subscriber {
+        let msisdn = Msisdn::new(&format!("1380013{n:04}")).unwrap();
+        let imsi = Imsi::from_parts(460, 0, 1_000_000_000 + n);
+        Subscriber::new(format!("sub{n}"), MobileStation::new(imsi, msisdn, 7))
+    }
+
+    #[test]
+    fn msisdn_index_tracks_inserts() {
+        let mut dir = SubscriberDirectory::new();
+        let a = dir.insert(sub(1));
+        let b = dir.insert(sub(2));
+        assert_eq!(dir.by_msisdn(&Msisdn::new("13800130001").unwrap()), Some(a));
+        assert_eq!(dir.by_msisdn(&Msisdn::new("13800130002").unwrap()), Some(b));
+        assert_eq!(dir.by_msisdn(&Msisdn::new("13800139999").unwrap()), None);
+        assert!(dir.contains_msisdn(&Msisdn::new("13800130001").unwrap()));
+    }
+
+    #[test]
+    fn ids_iterate_in_provisioning_order() {
+        let mut dir = SubscriberDirectory::new();
+        let ids: Vec<SubscriberId> = (0..5).map(|n| dir.insert(sub(n))).collect();
+        assert_eq!(dir.ids().collect::<Vec<_>>(), ids);
+    }
+}

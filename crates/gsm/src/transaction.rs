@@ -1,0 +1,463 @@
+//! Protocol transaction drivers: the burst-by-burst GSM procedures
+//! ([`GsmNetwork::attach`], spoofed registration, paging + SMS
+//! delivery, mobile-originated SMS) that emit byte-faithful traffic
+//! into the ether. Split from `network.rs`, which keeps the state,
+//! directories and the event-wheel drain loop.
+
+use crate::a5::Kc;
+use crate::cipher::{CipherAlgo, CipherContext, CipherSet};
+use crate::error::GsmError;
+use crate::identity::{Msisdn, SubscriberId, Tmsi};
+use crate::network::GsmNetwork;
+use crate::pdu::SmsDeliver;
+use crate::radio::{AirFrame, AirMessage, CellConfig, CellId, Direction, MsIdentity, Position};
+use crate::subscriber::Attachment;
+use crate::terminal::{Camp, ReceivedSms};
+use actfort_obs as obs;
+use rand::Rng;
+
+impl GsmNetwork {
+    /// Confines a session key to the configured weak-key subspace.
+    fn weaken(&self, kc: Kc) -> Kc {
+        let bits = self.config.session_key_bits.min(64);
+        if bits >= 64 {
+            return kc;
+        }
+        let mask = (1u64 << bits) - 1;
+        Kc((kc.0 & mask) | (crate::a5::WEAK_KC_BASE & !mask))
+    }
+
+    /// Transmits one burst; returns `false` when the loss model swallowed
+    /// it (the frame then reaches neither receivers nor sniffers).
+    fn transmit(
+        &mut self,
+        cell: &CellConfig,
+        direction: Direction,
+        cipher: CipherAlgo,
+        ctx: Option<&CipherContext>,
+        origin: Position,
+        msg: &AirMessage,
+    ) -> bool {
+        self.clock.advance_frame();
+        let frame_number = self.clock.frame_number();
+        let mut payload = msg.encode();
+        if let Some(ctx) = ctx {
+            ctx.apply(frame_number, &mut payload);
+        }
+        self.ether.transmit(AirFrame {
+            seq: 0,
+            time: self.clock,
+            frame_number,
+            arfcn: cell.arfcn,
+            cell: cell.id,
+            direction,
+            cipher,
+            origin,
+            payload,
+        })
+    }
+
+    /// Performs a full location update for `id` on the best covering cell:
+    /// LAU request, authentication, cipher-mode negotiation and TMSI
+    /// reallocation. On success the subscriber becomes reachable for SMS.
+    ///
+    /// # Errors
+    ///
+    /// - [`GsmError::UnknownSubscriber`] for an unknown id.
+    /// - [`GsmError::ProtocolViolation`] when the handset is out of every
+    ///   cell's range, or is camped on LTE (jam it first).
+    pub fn attach(&mut self, id: SubscriberId) -> Result<CellId, GsmError> {
+        let sub = self.subs.get(id).ok_or_else(|| GsmError::UnknownSubscriber(id.to_string()))?;
+        if !sub.ms.uses_gsm(self.config.lte_available) {
+            return Err(GsmError::ProtocolViolation("handset is camped on LTE".into()));
+        }
+        let pos = sub.ms.position();
+        let cell = self
+            .cells
+            .best_for(pos)
+            .cloned()
+            .ok_or_else(|| GsmError::ProtocolViolation("no cell covers the handset".into()))?;
+        let ms_pos = pos;
+        let bts_pos = cell.position;
+
+        // Uplink LAU request with current identity (TMSI if held).
+        let (identity, classmark) = {
+            let sub = self.subs.get(id).expect("checked above");
+            let identity = match sub.ms.tmsi() {
+                Some(t) => MsIdentity::Tmsi(t),
+                None => MsIdentity::Imsi(sub.ms.imsi()),
+            };
+            (identity, sub.ms.classmark())
+        };
+        self.transmit(
+            &cell,
+            Direction::Uplink,
+            CipherAlgo::A50,
+            None,
+            ms_pos,
+            &AirMessage::LocationUpdateRequest { id: identity, classmark: classmark.mask() },
+        );
+
+        // Challenge-response authentication.
+        let rand: u64 = self.rng.gen();
+        self.transmit(
+            &cell,
+            Direction::Downlink,
+            CipherAlgo::A50,
+            None,
+            bts_pos,
+            &AirMessage::AuthRequest { rand },
+        );
+        let (sres, kc) = {
+            let sub = self.subs.get(id).expect("checked above");
+            (sub.ms.a3_sres(rand), self.weaken(sub.ms.a8_kc(rand)))
+        };
+        self.transmit(
+            &cell,
+            Direction::Uplink,
+            CipherAlgo::A50,
+            None,
+            ms_pos,
+            &AirMessage::AuthResponse { sres },
+        );
+
+        // Cipher mode: strongest algorithm the classmark and the cell allow.
+        let algo = classmark.negotiate(&cell.cipher_preference);
+        self.transmit(
+            &cell,
+            Direction::Downlink,
+            CipherAlgo::A50,
+            None,
+            bts_pos,
+            &AirMessage::CipherModeCommand { algo },
+        );
+        let ctx = CipherContext { algo, kc };
+        self.transmit(
+            &cell,
+            Direction::Uplink,
+            algo,
+            Some(&ctx),
+            ms_pos,
+            &AirMessage::CipherModeComplete,
+        );
+
+        // Predictable SI5 padding inside the ciphered channel — the known
+        // plaintext real-world A5/1 cracking feeds on.
+        self.transmit(&cell, Direction::Downlink, algo, Some(&ctx), bts_pos, &AirMessage::Si5Padding);
+
+        // TMSI reallocation inside the ciphered channel.
+        let new_tmsi = if self.config.tmsi_reallocation {
+            self.next_tmsi += 1;
+            Some(Tmsi(self.next_tmsi))
+        } else {
+            None
+        };
+        self.transmit(
+            &cell,
+            Direction::Downlink,
+            algo,
+            Some(&ctx),
+            bts_pos,
+            &AirMessage::LocationUpdateAccept { new_tmsi },
+        );
+
+        let sub = self.subs.get_mut(id).expect("checked above");
+        if let Some(t) = new_tmsi {
+            sub.ms.set_tmsi(Some(t));
+        }
+        sub.ms.set_camp(Camp::Real(cell.id));
+        sub.ms.set_cipher_context(ctx);
+        sub.attachment = Attachment::Real { cell: cell.id, ctx };
+        sub.kc = Some(kc);
+        obs::add("gsm.network.attaches", 1);
+        Ok(cell.id)
+    }
+
+    /// Registers an attacker-controlled fake terminal under the victim's
+    /// identity (Fig. 10 of the paper). `auth_relay` receives the network's
+    /// RAND and must return the victim's SRES — in the real attack the
+    /// fake base station relays the challenge to the captive victim.
+    ///
+    /// On success the victim's SMS traffic is diverted to the spoofed
+    /// registration (readable via [`GsmNetwork::spoofed_inbox`]) under the
+    /// negotiated cipher, which the attacker downgraded to A5/0 by
+    /// claiming an empty classmark.
+    ///
+    /// # Errors
+    ///
+    /// - [`GsmError::UnknownSubscriber`] for an unknown victim.
+    /// - [`GsmError::ProtocolViolation`] when the relayed SRES is wrong or
+    ///   the negotiated cipher is one the attacker cannot run (the spoof
+    ///   must force A5/0).
+    pub fn register_spoofed<F>(
+        &mut self,
+        victim: SubscriberId,
+        attacker_pos: Position,
+        classmark: CipherSet,
+        mut auth_relay: F,
+    ) -> Result<CipherContext, GsmError>
+    where
+        F: FnMut(u64) -> u32,
+    {
+        let sub = self
+            .subs
+            .get(victim)
+            .ok_or_else(|| GsmError::UnknownSubscriber(victim.to_string()))?;
+        let imsi = sub.ms.imsi();
+        let cell = self
+            .cells
+            .best_for(attacker_pos)
+            .cloned()
+            .ok_or_else(|| GsmError::ProtocolViolation("no cell covers the attacker".into()))?;
+        let bts_pos = cell.position;
+
+        self.transmit(
+            &cell,
+            Direction::Uplink,
+            CipherAlgo::A50,
+            None,
+            attacker_pos,
+            &AirMessage::LocationUpdateRequest {
+                id: MsIdentity::Imsi(imsi),
+                classmark: classmark.mask(),
+            },
+        );
+        let rand: u64 = self.rng.gen();
+        self.transmit(
+            &cell,
+            Direction::Downlink,
+            CipherAlgo::A50,
+            None,
+            bts_pos,
+            &AirMessage::AuthRequest { rand },
+        );
+        let relayed_sres = auth_relay(rand);
+        self.transmit(
+            &cell,
+            Direction::Uplink,
+            CipherAlgo::A50,
+            None,
+            attacker_pos,
+            &AirMessage::AuthResponse { sres: relayed_sres },
+        );
+        let (expected_sres, kc) = {
+            let sub = self.subs.get(victim).expect("checked above");
+            (sub.ms.a3_sres(rand), self.weaken(sub.ms.a8_kc(rand)))
+        };
+        if relayed_sres != expected_sres {
+            return Err(GsmError::ProtocolViolation("authentication failed (bad SRES)".into()));
+        }
+        let algo = classmark.negotiate(&cell.cipher_preference);
+        self.transmit(
+            &cell,
+            Direction::Downlink,
+            CipherAlgo::A50,
+            None,
+            bts_pos,
+            &AirMessage::CipherModeCommand { algo },
+        );
+        if algo != CipherAlgo::A50 {
+            // The attacker does not hold Kc; only a successful downgrade
+            // to plaintext lets the spoofed registration proceed.
+            return Err(GsmError::ProtocolViolation(format!(
+                "network insisted on {algo}; spoofed registration impossible"
+            )));
+        }
+        let ctx = CipherContext::plaintext();
+        self.transmit(
+            &cell,
+            Direction::Uplink,
+            algo,
+            Some(&ctx),
+            attacker_pos,
+            &AirMessage::CipherModeComplete,
+        );
+        self.transmit(
+            &cell,
+            Direction::Downlink,
+            algo,
+            Some(&ctx),
+            bts_pos,
+            &AirMessage::LocationUpdateAccept { new_tmsi: None },
+        );
+        let sub = self.subs.get_mut(victim).expect("checked above");
+        sub.attachment = Attachment::Spoofed { ctx };
+        sub.kc = Some(kc);
+        obs::add("gsm.network.spoofed_registrations", 1);
+        Ok(ctx)
+    }
+
+    pub(crate) fn deliver_one(&mut self, id: SubscriberId, tpdu: &SmsDeliver) -> Result<(), GsmError> {
+        let sub = self.subs.get(id).ok_or_else(|| GsmError::UnknownSubscriber(id.to_string()))?;
+        match sub.attachment {
+            Attachment::None => Err(GsmError::NotAttached),
+            Attachment::Real { cell, ctx } => {
+                let cell = self.cells.get(cell).cloned().ok_or(GsmError::UnknownCell(cell.0))?;
+                let (identity, ms_pos) = {
+                    let sub = self.subs.get(id).expect("checked above");
+                    let identity = if self.config.page_by_imsi {
+                        MsIdentity::Imsi(sub.ms.imsi())
+                    } else {
+                        match sub.ms.tmsi() {
+                            Some(t) => MsIdentity::Tmsi(t),
+                            None => MsIdentity::Imsi(sub.ms.imsi()),
+                        }
+                    };
+                    (identity, sub.ms.position())
+                };
+                let bts_pos = cell.position;
+                self.transmit(
+                    &cell,
+                    Direction::Downlink,
+                    CipherAlgo::A50,
+                    None,
+                    bts_pos,
+                    &AirMessage::PagingRequest { id: identity },
+                );
+                self.transmit(
+                    &cell,
+                    Direction::Uplink,
+                    CipherAlgo::A50,
+                    None,
+                    ms_pos,
+                    &AirMessage::PagingResponse { id: identity },
+                );
+                let landed = self.transmit(
+                    &cell,
+                    Direction::Downlink,
+                    ctx.algo,
+                    Some(&ctx),
+                    bts_pos,
+                    &AirMessage::SmsDeliverData { tpdu: tpdu.encode() },
+                );
+                if !landed {
+                    // The burst faded; the handset never acknowledges and
+                    // the SMSC will retry.
+                    return Err(GsmError::ProtocolViolation("delivery burst lost on the air".into()));
+                }
+                self.transmit(
+                    &cell,
+                    Direction::Uplink,
+                    ctx.algo,
+                    Some(&ctx),
+                    ms_pos,
+                    &AirMessage::SmsAck,
+                );
+                let received = ReceivedSms {
+                    originator: tpdu.originator.to_string(),
+                    text: tpdu.text()?,
+                    time: self.clock,
+                    raw_tpdu: tpdu.encode(),
+                };
+                let sub = self.subs.get_mut(id).expect("checked above");
+                sub.ms.receive_sms(received, tpdu.concat);
+                Ok(())
+            }
+            Attachment::Spoofed { ctx } => {
+                // Traffic goes to the attacker's registration; the cell is
+                // whichever covers the attacker — reuse the first cell for
+                // the transmission record.
+                let cell = self.cells.first().cloned().ok_or(GsmError::UnknownCell(0))?;
+                let bts_pos = cell.position;
+                let imsi = {
+                    let sub = self.subs.get(id).expect("checked above");
+                    sub.ms.imsi()
+                };
+                self.transmit(
+                    &cell,
+                    Direction::Downlink,
+                    CipherAlgo::A50,
+                    None,
+                    bts_pos,
+                    &AirMessage::PagingRequest { id: MsIdentity::Imsi(imsi) },
+                );
+                self.transmit(
+                    &cell,
+                    Direction::Downlink,
+                    ctx.algo,
+                    Some(&ctx),
+                    bts_pos,
+                    &AirMessage::SmsDeliverData { tpdu: tpdu.encode() },
+                );
+                let received = ReceivedSms {
+                    originator: tpdu.originator.to_string(),
+                    text: tpdu.text()?,
+                    time: self.clock,
+                    raw_tpdu: tpdu.encode(),
+                };
+                let sub = self.subs.get_mut(id).expect("checked above");
+                sub.spoofed_inbox.push(received);
+                Ok(())
+            }
+        }
+    }
+
+    /// Sends a person-to-person SMS from an attached subscriber's
+    /// handset: the SMS-SUBMIT crosses the air uplink (ciphered under the
+    /// sender's session), the SMSC stores it, and delivery to the
+    /// recipient proceeds as usual.
+    ///
+    /// # Errors
+    ///
+    /// - [`GsmError::NotAttached`] when the sender has no service.
+    /// - [`GsmError::UnknownSubscriber`] for sender or recipient.
+    /// - [`GsmError::PduEncode`] when the text needs more than one PDU
+    ///   (mobile-originated concatenation is not modelled).
+    pub fn ms_send_sms(
+        &mut self,
+        from: SubscriberId,
+        to: &Msisdn,
+        text: &str,
+    ) -> Result<(), GsmError> {
+        let sub = self
+            .subs
+            .get(from)
+            .ok_or_else(|| GsmError::UnknownSubscriber(from.to_string()))?;
+        let Attachment::Real { cell, ctx } = sub.attachment else {
+            return Err(GsmError::NotAttached);
+        };
+        if self.subscriber_by_msisdn(to).is_none() {
+            return Err(GsmError::UnknownSubscriber(to.to_string()));
+        }
+        let sender_msisdn = sub.ms.msisdn().clone();
+        let ms_pos = sub.ms.position();
+        let cell = self.cells.get(cell).cloned().ok_or(GsmError::UnknownCell(cell.0))?;
+        let destination = crate::pdu::Address::from_msisdn(to);
+        let submit = crate::pdu::SmsSubmit::new(self.rng.gen(), destination, text)?;
+        self.transmit(
+            &cell,
+            Direction::Uplink,
+            ctx.algo,
+            Some(&ctx),
+            ms_pos,
+            &AirMessage::SmsSubmitData { tpdu: submit.encode() },
+        );
+        self.transmit(
+            &cell,
+            Direction::Downlink,
+            ctx.algo,
+            Some(&ctx),
+            cell.position,
+            &AirMessage::SmsAck,
+        );
+        // Store-and-forward toward the recipient.
+        obs::add("gsm.network.sms_mobile_originated", 1);
+        self.send_sms_from(crate::pdu::Address::from_msisdn(&sender_msisdn), to, text)
+    }
+
+    /// Transmits a frame on behalf of equipment that is *not* part of the
+    /// legitimate network — the fake base station and fake terminal of the
+    /// active MitM rig. The frame lands in the same ether all receivers
+    /// and sniffers read.
+    pub fn transmit_on(
+        &mut self,
+        cell: &CellConfig,
+        direction: Direction,
+        cipher: CipherAlgo,
+        ctx: Option<&CipherContext>,
+        origin: Position,
+        msg: &AirMessage,
+    ) {
+        self.transmit(cell, direction, cipher, ctx, origin, msg);
+    }
+}

@@ -1,0 +1,189 @@
+//! Property tests for the city-scale campaign engine and the mobility
+//! semantics it abstracts: shard-count invariance of campaign reports,
+//! single-serving-cell attachment, and pending-SMS survival across
+//! handovers.
+
+use actfort_gsm::arfcn::Arfcn;
+use actfort_gsm::campaign::{run, run_sharded, CampaignConfig};
+use actfort_gsm::identity::Msisdn;
+use actfort_gsm::network::{GsmNetwork, NetworkConfig};
+use actfort_gsm::radio::{CellConfig, CellId, Position};
+use actfort_gsm::terminal::Camp;
+use proptest::prelude::*;
+
+fn msisdn(s: &str) -> Msisdn {
+    Msisdn::new(s).unwrap()
+}
+
+/// A 2×2 cell grid with 1200 m spacing and 800 m range: interior
+/// positions are always covered, corners can fall out of coverage.
+fn grid_network() -> GsmNetwork {
+    let mut net = GsmNetwork::new(NetworkConfig { session_key_bits: 16, ..Default::default() });
+    for (i, (x, y)) in [(1_200.0, 0.0), (0.0, 1_200.0), (1_200.0, 1_200.0)].iter().enumerate() {
+        net.add_cell(CellConfig {
+            id: CellId(2 + i as u16),
+            arfcn: Arfcn(23 + i as u16),
+            lac: 0x1002 + i as u16,
+            position: Position::new(*x, *y),
+            range_m: 800.0,
+            cipher_preference: vec![actfort_gsm::cipher::CipherAlgo::A51],
+        })
+        .unwrap();
+    }
+    net
+}
+
+/// Nearest covering real cell for a position, straight from the
+/// network's own directory — what `attach` must pick.
+fn nearest_covering(net: &GsmNetwork, pos: Position) -> Option<CellId> {
+    net.cells()
+        .iter()
+        .filter(|c| c.position.distance(pos) <= c.range_m)
+        .min_by(|a, b| {
+            a.position.distance(pos).partial_cmp(&b.position.distance(pos)).expect("no NaN")
+        })
+        .map(|c| c.id)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// The merged campaign report is byte-identical however the
+    /// subscriber population is partitioned over shards — including
+    /// degenerate partitions with more shards than subscribers.
+    #[test]
+    fn campaign_report_is_shard_invariant(
+        seed in any::<u64>(),
+        subscribers in 20u32..120,
+        sniffers in 0u32..5,
+        mitm_stations in 0u32..4,
+    ) {
+        let cfg = CampaignConfig {
+            seed,
+            subscribers,
+            duration_s: 8,
+            grid_cols: 5,
+            grid_rows: 3,
+            sniffers,
+            mitm_stations,
+            ..CampaignConfig::default()
+        };
+        let one = run_sharded(&cfg, 1).to_json();
+        prop_assert_eq!(&one, &run_sharded(&cfg, 2).to_json(), "2 shards diverged");
+        prop_assert_eq!(&one, &run_sharded(&cfg, 8).to_json(), "8 shards diverged");
+        prop_assert_eq!(&one, &run(&cfg).to_json(), "run() is the 1-shard path");
+    }
+
+    /// Structural report invariants hold for any seed: counters
+    /// reconcile between totals and per-cell, interceptions are sorted
+    /// and unique per (time, subscriber), and the compromised list is
+    /// exactly the distinct intercepted subscribers.
+    #[test]
+    fn campaign_report_reconciles(seed in any::<u64>()) {
+        let cfg = CampaignConfig {
+            seed,
+            subscribers: 80,
+            duration_s: 10,
+            grid_cols: 4,
+            grid_rows: 3,
+            sniffers: 3,
+            mitm_stations: 2,
+            ..CampaignConfig::default()
+        };
+        let report = run(&cfg);
+        let t = &report.totals;
+        prop_assert_eq!(report.per_cell.iter().map(|c| c.frames).sum::<u64>(), t.frames);
+        prop_assert_eq!(report.per_cell.iter().map(|c| c.attaches).sum::<u64>(), t.attaches);
+        prop_assert_eq!(report.per_cell.iter().map(|c| c.handovers).sum::<u64>(), t.handovers);
+        prop_assert_eq!(
+            report.per_cell.iter().map(|c| c.pages).sum::<u64>(),
+            t.sms_delivered + t.sms_diverted,
+            "every SMS pages exactly once"
+        );
+        prop_assert_eq!(
+            report.per_cell.iter().map(|c| c.page_responses).sum::<u64>(),
+            t.sms_delivered,
+            "only real deliveries answer their page"
+        );
+        prop_assert_eq!(t.sms_sniffed + t.sms_diverted, report.interceptions.len() as u64);
+        for w in report.interceptions.windows(2) {
+            prop_assert!(
+                (w[0].time_us, w[0].subscriber) < (w[1].time_us, w[1].subscriber),
+                "interceptions sorted and unique"
+            );
+        }
+        let mut subs: Vec<u32> = report.interceptions.iter().map(|i| i.subscriber).collect();
+        subs.sort_unstable();
+        subs.dedup();
+        prop_assert_eq!(subs, report.compromised);
+    }
+
+    /// After any walk, an attached subscriber camps on exactly one real
+    /// cell: the nearest one covering its position. Out-of-coverage
+    /// attaches fail without corrupting the previous camp.
+    #[test]
+    fn attach_camps_on_the_single_nearest_covering_cell(
+        walk in prop::collection::vec((-500i32..1_700, -500i32..1_700), 1..8),
+    ) {
+        let mut net = grid_network();
+        let id = net.provision_subscriber("walker", msisdn("13800138000")).unwrap();
+        for (x, y) in walk {
+            let pos = Position::new(f64::from(x), f64::from(y));
+            net.terminal_mut(id).unwrap().set_position(pos);
+            let before = net.terminal(id).unwrap().camp();
+            match net.attach(id) {
+                Ok(cell) => {
+                    prop_assert_eq!(Some(cell), nearest_covering(&net, pos));
+                    // Exactly one serving cell, and it is the one
+                    // attach reported.
+                    prop_assert_eq!(net.terminal(id).unwrap().camp(), Camp::Real(cell));
+                }
+                Err(_) => {
+                    prop_assert_eq!(nearest_covering(&net, pos), None, "covered attach failed");
+                    prop_assert_eq!(net.terminal(id).unwrap().camp(), before);
+                }
+            }
+        }
+    }
+
+    /// An SMS queued while the subscriber is unreachable survives any
+    /// handover: wherever the subscriber re-attaches, the retry wheel
+    /// delivers it there, on that cell's carrier.
+    #[test]
+    fn handover_preserves_pending_sms_delivery(
+        first in 0usize..4,
+        second in 0usize..4,
+        code in 100_000u32..1_000_000,
+    ) {
+        let sites =
+            [(0.0, 0.0), (1_200.0, 0.0), (0.0, 1_200.0), (1_200.0, 1_200.0)];
+        let mut net = grid_network();
+        let id = net.provision_subscriber("mover", msisdn("13800138000")).unwrap();
+        net.terminal_mut(id).unwrap().set_position(Position::new(sites[first].0, sites[first].1));
+        let origin = net.attach(id).unwrap();
+        net.detach(id);
+
+        let text = format!("{code} is your verification code.");
+        net.send_sms(&msisdn("13800138000"), &text).unwrap();
+        prop_assert_eq!(net.smsc_pending(), 1, "undeliverable SMS is queued");
+
+        // Hand over: re-attach at a (possibly) different site.
+        net.terminal_mut(id).unwrap().set_position(Position::new(sites[second].0, sites[second].1));
+        let landed = net.attach(id).unwrap();
+        if first != second {
+            prop_assert_ne!(origin, landed, "distinct sites map to distinct cells");
+        }
+        let report = net.run_until_idle();
+        prop_assert_eq!(report.residual, 0, "wheel drained");
+        prop_assert_eq!(net.smsc_pending(), 0, "queue drained");
+        let ms = net.terminal(id).unwrap();
+        prop_assert_eq!(ms.inbox().len(), 1);
+        prop_assert_eq!(ms.inbox()[0].text.clone(), text);
+        // The delivery rode the landing cell's carrier.
+        let arfcn = net.cells().iter().find(|c| c.id == landed).unwrap().arfcn;
+        prop_assert!(
+            net.ether().frames().iter().rev().any(|f| f.cell == landed && f.arfcn == arfcn),
+            "no frames on the landing cell"
+        );
+    }
+}

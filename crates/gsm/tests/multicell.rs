@@ -3,10 +3,13 @@
 //! rig.
 
 use actfort_gsm::arfcn::Arfcn;
+use actfort_gsm::cipher::CipherSet;
 use actfort_gsm::identity::Msisdn;
+use actfort_gsm::mitm::FakeBaseStation;
 use actfort_gsm::network::{GsmNetwork, NetworkConfig};
 use actfort_gsm::radio::{CellConfig, CellId, Position};
 use actfort_gsm::sniffer::{PassiveSniffer, SnifferConfig};
+use actfort_gsm::terminal::{Camp, RatPreference};
 
 fn msisdn(s: &str) -> Msisdn {
     Msisdn::new(s).unwrap()
@@ -107,4 +110,49 @@ fn sniffer_tracks_distinct_keys_per_cell() {
     let keys: Vec<_> = rig.sms().iter().filter_map(|s| s.cracked_key).collect();
     assert_eq!(keys.len(), 2);
     assert_ne!(keys[0], keys[1], "each subscriber had its own session key");
+}
+
+/// The fake-cell capture invariant the campaign engine models: once a
+/// victim is parked on a MitM base station, *no* real cell delivers to
+/// it — every message is diverted, however many retry sweeps run, and
+/// even in a multi-cell city with a nearer real cell available.
+#[test]
+fn captured_victim_receives_nothing_real_across_retries() {
+    let mut net = two_cell_network();
+    let id = net.provision_subscriber("victim", msisdn("13800138000")).unwrap();
+    net.terminal_mut(id).unwrap().set_rat(RatPreference::GsmOnly);
+    net.attach(id).unwrap();
+
+    // Stage 1: the IMSI catcher parks the victim on the fake cell.
+    let mut fbs = FakeBaseStation::new(Position::new(10.0, 0.0), Arfcn(42));
+    fbs.lure(&mut net, id).unwrap();
+    let fake = match net.terminal(id).unwrap().camp() {
+        Camp::Fake(cell) => cell,
+        other => panic!("victim should camp on the fake cell, camps on {other:?}"),
+    };
+    assert_ne!(fake, CellId(1));
+    assert_ne!(fake, CellId(2));
+
+    // Stage 2: the attacker impersonates the victim towards the real
+    // network by relaying its true SRES, diverting its traffic.
+    let victim_ms = net.terminal(id).unwrap().clone();
+    net.register_spoofed(id, Position::new(50.0, 0.0), CipherSet::none(), |rand| {
+        victim_ms.a3_sres(rand)
+    })
+    .unwrap();
+
+    for i in 0..3 {
+        net.send_sms(&msisdn("13800138000"), &format!("OTP {i}00{i}")).unwrap();
+    }
+    // Drain every retry sweep the SMSC will ever schedule.
+    let report = net.run_until_idle();
+    assert_eq!(report.residual, 0, "retry wheel drained");
+
+    assert_eq!(net.terminal(id).unwrap().inbox().len(), 0, "victim got nothing real");
+    assert_eq!(net.smsc_pending(), 0, "nothing left queued for a real cell");
+    let diverted = net.spoofed_inbox(id);
+    assert_eq!(diverted.len(), 3, "attacker harvested every message");
+    assert!(diverted.iter().enumerate().all(|(i, s)| s.text == format!("OTP {i}00{i}")));
+    // The victim never regained real service along the way.
+    assert_eq!(net.terminal(id).unwrap().camp(), Camp::Fake(fake));
 }

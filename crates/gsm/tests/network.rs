@@ -1,0 +1,303 @@
+//! End-to-end tests of the network's public API: provisioning, attach,
+//! SMS delivery, spoofed registrations and the drain-budget contract.
+//! (Moved out of `src/network.rs` when the monolith was decomposed.)
+
+use actfort_gsm::cipher::{CipherAlgo, CipherSet};
+use actfort_gsm::error::GsmError;
+use actfort_gsm::identity::Msisdn;
+use actfort_gsm::network::{GsmNetwork, NetworkConfig};
+use actfort_gsm::radio::{AirMessage, Direction, Position};
+use actfort_gsm::terminal::RatPreference;
+
+fn net() -> GsmNetwork {
+    GsmNetwork::new(NetworkConfig::default())
+}
+
+fn msisdn(s: &str) -> Msisdn {
+    Msisdn::new(s).unwrap()
+}
+
+#[test]
+fn provision_attach_and_deliver() {
+    let mut net = net();
+    let id = net.provision_subscriber("alice", msisdn("13800138000")).unwrap();
+    net.attach(id).unwrap();
+    net.send_sms(&msisdn("13800138000"), "123456 is your code").unwrap();
+    let ms = net.terminal(id).unwrap();
+    assert_eq!(ms.inbox().len(), 1);
+    assert_eq!(ms.inbox()[0].text, "123456 is your code");
+}
+
+#[test]
+fn duplicate_msisdn_rejected() {
+    let mut net = net();
+    net.provision_subscriber("a", msisdn("13800138000")).unwrap();
+    assert!(net.provision_subscriber("b", msisdn("13800138000")).is_err());
+}
+
+#[test]
+fn sms_to_unknown_number_fails() {
+    let mut net = net();
+    assert!(matches!(
+        net.send_sms(&msisdn("19999999999"), "x"),
+        Err(GsmError::UnknownSubscriber(_))
+    ));
+}
+
+#[test]
+fn sms_queues_until_attach() {
+    let mut net = net();
+    let id = net.provision_subscriber("alice", msisdn("13800138000")).unwrap();
+    net.send_sms(&msisdn("13800138000"), "early").unwrap();
+    assert_eq!(net.smsc_pending(), 1);
+    assert!(net.terminal(id).unwrap().inbox().is_empty());
+    net.attach(id).unwrap();
+    let report = net.run_until_idle();
+    assert_eq!(net.smsc_pending(), 0);
+    assert_eq!(net.terminal(id).unwrap().inbox().len(), 1);
+    assert!(report.events_processed >= 1);
+    assert!(!report.exhausted);
+    assert_eq!(report.residual, 0);
+}
+
+#[test]
+fn attach_negotiates_a51_by_default() {
+    let mut net = net();
+    let id = net.provision_subscriber("alice", msisdn("13800138000")).unwrap();
+    net.attach(id).unwrap();
+    assert_eq!(net.terminal(id).unwrap().cipher_context().algo, CipherAlgo::A51);
+    assert!(net.current_kc(id).is_some());
+}
+
+#[test]
+fn attach_fails_when_handset_on_lte() {
+    let mut net = GsmNetwork::new(NetworkConfig { lte_available: true, ..Default::default() });
+    let id = net.provision_subscriber("alice", msisdn("13800138000")).unwrap();
+    net.terminal_mut(id).unwrap().set_rat(RatPreference::PreferLte);
+    assert!(net.attach(id).is_err());
+    // Jamming LTE forces the GSM fallback.
+    net.terminal_mut(id).unwrap().set_lte_jammed(true);
+    assert!(net.attach(id).is_ok());
+}
+
+#[test]
+fn attach_fails_out_of_coverage() {
+    let mut net = net();
+    let id = net.provision_subscriber("alice", msisdn("13800138000")).unwrap();
+    net.terminal_mut(id).unwrap().set_position(Position::new(10_000.0, 10_000.0));
+    assert!(net.attach(id).is_err());
+}
+
+#[test]
+fn attach_emits_expected_transaction_on_air() {
+    let mut net = net();
+    let id = net.provision_subscriber("alice", msisdn("13800138000")).unwrap();
+    net.attach(id).unwrap();
+    let kinds: Vec<u8> =
+        net.ether().frames().iter().map(|f| f.payload.first().copied().unwrap_or(0)).collect();
+    // LAU request, auth request, auth response and cipher-mode command
+    // are all plaintext; the final three (cipher-mode complete, SI5
+    // padding, LAU accept) are ciphered, so their tags are opaque.
+    assert_eq!(kinds[0], 0x03);
+    assert_eq!(kinds[1], 0x07);
+    assert_eq!(kinds[2], 0x08);
+    assert_eq!(kinds[3], 0x09);
+    assert_eq!(net.ether().frames().len(), 7);
+}
+
+#[test]
+fn tmsi_is_reallocated_on_attach() {
+    let mut net = net();
+    let id = net.provision_subscriber("alice", msisdn("13800138000")).unwrap();
+    assert!(net.terminal(id).unwrap().tmsi().is_none());
+    net.attach(id).unwrap();
+    let first = net.terminal(id).unwrap().tmsi().unwrap();
+    net.attach(id).unwrap();
+    let second = net.terminal(id).unwrap().tmsi().unwrap();
+    assert_ne!(first, second);
+}
+
+#[test]
+fn delivered_sms_frames_are_ciphered_under_a51() {
+    let mut net = net();
+    let id = net.provision_subscriber("alice", msisdn("13800138000")).unwrap();
+    net.attach(id).unwrap();
+    let before = net.ether().frames().len();
+    net.send_sms(&msisdn("13800138000"), "sensitive otp 555666").unwrap();
+    let frames = &net.ether().frames()[before..];
+    let sms_frame = frames
+        .iter()
+        .find(|f| f.cipher == CipherAlgo::A51 && f.direction == Direction::Downlink)
+        .expect("ciphered downlink SMS frame");
+    // Without the key the payload must not parse as an SMS deliver.
+    let parsed = sms_frame.message_plaintext();
+    assert!(!matches!(parsed, Ok(AirMessage::SmsDeliverData { .. })));
+    // With the victim's context it parses fine.
+    let ctx = net.terminal(id).unwrap().cipher_context();
+    assert!(matches!(sms_frame.message_with(&ctx), Ok(AirMessage::SmsDeliverData { .. })));
+}
+
+#[test]
+fn spoofed_registration_diverts_sms() {
+    let mut net = net();
+    let id = net.provision_subscriber("victim", msisdn("13800138000")).unwrap();
+    net.attach(id).unwrap();
+    // The attacker relays the victim's true SRES (fake BTS capture).
+    let victim_ms = net.terminal(id).unwrap().clone();
+    net.register_spoofed(id, Position::new(50.0, 0.0), CipherSet::none(), |rand| {
+        victim_ms.a3_sres(rand)
+    })
+    .unwrap();
+    net.send_sms(&msisdn("13800138000"), "OTP 999000").unwrap();
+    assert_eq!(net.spoofed_inbox(id).len(), 1, "attacker got the message");
+    assert_eq!(net.terminal(id).unwrap().inbox().len(), 0, "victim got nothing");
+    assert_eq!(net.spoofed_inbox(id)[0].text, "OTP 999000");
+}
+
+#[test]
+fn spoofed_registration_rejects_wrong_sres() {
+    let mut net = net();
+    let id = net.provision_subscriber("victim", msisdn("13800138000")).unwrap();
+    let err = net.register_spoofed(id, Position::new(0.0, 0.0), CipherSet::none(), |_| 0xbad);
+    assert!(matches!(err, Err(GsmError::ProtocolViolation(_))));
+}
+
+#[test]
+fn spoofed_registration_requires_downgrade() {
+    // If the network mandates A5/3 the spoof cannot complete.
+    let mut net = GsmNetwork::new(NetworkConfig {
+        cipher_preference: vec![CipherAlgo::A53],
+        ..Default::default()
+    });
+    let id = net.provision_subscriber("victim", msisdn("13800138000")).unwrap();
+    let victim_ms = net.terminal(id).unwrap().clone();
+    // Even claiming full support, the attacker has no Kc; and claiming
+    // none is refused by a network whose preference list lacks A5/0?
+    // Preference [A53] + classmark none negotiates A5/0 fallback, so
+    // configure preference to only offer A5/3 — negotiate() falls back
+    // to A50 by design, mirroring real networks that accept it. Spoof
+    // therefore succeeds only because the network tolerates A5/0:
+    let res = net.register_spoofed(id, Position::new(0.0, 0.0), CipherSet::none(), |rand| {
+        victim_ms.a3_sres(rand)
+    });
+    assert!(res.is_ok(), "downgrade-tolerant network accepts A5/0 spoof");
+    // A network that *refuses* A5/0 blocks the spoof: model by putting
+    // A5/3 first and having the attacker claim A5/3 support (it still
+    // lacks Kc, so the registration must fail).
+    let mut strict = GsmNetwork::new(NetworkConfig {
+        cipher_preference: vec![CipherAlgo::A53, CipherAlgo::A51],
+        ..Default::default()
+    });
+    let id2 = strict.provision_subscriber("victim2", msisdn("13900000000")).unwrap();
+    let ms2 = strict.terminal(id2).unwrap().clone();
+    let err = strict.register_spoofed(id2, Position::new(0.0, 0.0), CipherSet::all(), |rand| {
+        ms2.a3_sres(rand)
+    });
+    assert!(matches!(err, Err(GsmError::ProtocolViolation(_))));
+}
+
+#[test]
+fn person_to_person_sms_flows_both_ways() {
+    let mut net = net();
+    let a = net.provision_subscriber("alice", msisdn("13800138000")).unwrap();
+    let b = net.provision_subscriber("bob", msisdn("13900139000")).unwrap();
+    net.attach(a).unwrap();
+    net.attach(b).unwrap();
+    net.ms_send_sms(a, &msisdn("13900139000"), "dinner at 8?").unwrap();
+    let bob = net.terminal(b).unwrap();
+    assert_eq!(bob.inbox().len(), 1);
+    assert_eq!(bob.inbox()[0].text, "dinner at 8?");
+    assert_eq!(bob.inbox()[0].originator, "13800138000");
+    // The uplink SMS-SUBMIT crossed the air ciphered.
+    assert!(net
+        .ether()
+        .frames()
+        .iter()
+        .any(|f| f.direction == Direction::Uplink && f.cipher == CipherAlgo::A51));
+}
+
+#[test]
+fn ms_send_requires_attachment() {
+    let mut net = net();
+    let a = net.provision_subscriber("alice", msisdn("13800138000")).unwrap();
+    let _b = net.provision_subscriber("bob", msisdn("13900139000")).unwrap();
+    assert!(matches!(
+        net.ms_send_sms(a, &msisdn("13900139000"), "hi"),
+        Err(GsmError::NotAttached)
+    ));
+    net.attach(a).unwrap();
+    assert!(matches!(
+        net.ms_send_sms(a, &msisdn("19999999999"), "hi"),
+        Err(GsmError::UnknownSubscriber(_))
+    ));
+}
+
+#[test]
+fn long_sms_is_split_and_reassembled() {
+    let mut net = net();
+    let id = net.provision_subscriber("alice", msisdn("13800138000")).unwrap();
+    net.attach(id).unwrap();
+    let text = "Your statement is ready. ".repeat(12); // > 160 septets
+    net.send_sms(&msisdn("13800138000"), &text).unwrap();
+    let ms = net.terminal(id).unwrap();
+    assert_eq!(ms.inbox().len(), 1, "parts reassembled into one message");
+    assert_eq!(ms.inbox()[0].text, text);
+    assert_eq!(ms.pending_multipart(), 0);
+    // More than one SMS-DELIVER frame crossed the air.
+    let deliver_frames = net
+        .ether()
+        .frames()
+        .iter()
+        .filter(|f| f.direction == Direction::Downlink && f.cipher == CipherAlgo::A51)
+        .count();
+    assert!(deliver_frames >= 2, "expected multiple ciphered parts, saw {deliver_frames}");
+}
+
+#[test]
+fn interleaved_multipart_messages_reassemble_independently() {
+    let mut net = net();
+    let a = net.provision_subscriber("alice", msisdn("13800138000")).unwrap();
+    net.attach(a).unwrap();
+    let text1 = "AAAA ".repeat(40);
+    let text2 = "BBBB ".repeat(40);
+    net.send_sms(&msisdn("13800138000"), &text1).unwrap();
+    net.send_sms(&msisdn("13800138000"), &text2).unwrap();
+    let ms = net.terminal(a).unwrap();
+    assert_eq!(ms.inbox().len(), 2);
+    assert_eq!(ms.inbox()[0].text, text1);
+    assert_eq!(ms.inbox()[1].text, text2);
+}
+
+#[test]
+fn detach_makes_subscriber_unreachable() {
+    let mut net = net();
+    let id = net.provision_subscriber("alice", msisdn("13800138000")).unwrap();
+    net.attach(id).unwrap();
+    net.detach(id);
+    net.send_sms(&msisdn("13800138000"), "late").unwrap();
+    assert!(net.terminal(id).unwrap().inbox().is_empty());
+    assert_eq!(net.smsc_pending(), 1);
+}
+
+#[test]
+fn drain_budget_stops_self_rescheduling_retries() {
+    // An unreachable destination with a huge retry budget produces a
+    // delivery event that keeps rescheduling itself. run_until_idle
+    // must stop at its iteration budget and say so, not hang.
+    let mut net = GsmNetwork::new(NetworkConfig {
+        smsc_max_attempts: u8::MAX,
+        ..Default::default()
+    });
+    let _id = net.provision_subscriber("ghost", msisdn("13800138000")).unwrap();
+    net.send_sms(&msisdn("13800138000"), "never arrives").unwrap();
+    let report = net.run_until_idle_with(50);
+    assert_eq!(report.events_processed, 50);
+    assert!(report.exhausted, "budget ran out with the retry chain still live");
+    assert!(report.residual >= 1);
+    assert_eq!(net.smsc_pending(), 1, "message still queued, not lost");
+    // A later drain with enough budget runs the chain to expiry.
+    let report = net.run_until_idle_with(10_000);
+    assert!(!report.exhausted);
+    assert_eq!(report.residual, 0);
+    assert_eq!(net.smsc_pending(), 0, "SMSC expired the message");
+}
